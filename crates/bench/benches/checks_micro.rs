@@ -1,0 +1,64 @@
+//! Microbenchmarks of the safety substrate itself: splay-tree lookups
+//! (the cost unit behind every bounds check) and metapool operations.
+//! This is the ablation behind the paper's §7.1.3 "fat pointers instead of
+//! splay lookups" optimization discussion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sva_rt::{MetaPool, SplayTree};
+
+fn splay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt/splay");
+    // Hot lookup: repeated hits on the same object (the common pattern the
+    // splay tree optimizes for).
+    g.bench_function("lookup_hot", |b| {
+        let mut t = SplayTree::new();
+        for i in 0..1024u64 {
+            t.insert(i * 64, 64);
+        }
+        b.iter(|| t.lookup(512 * 64 + 8));
+    });
+    // Cold lookups: uniformly spread accesses.
+    g.bench_function("lookup_spread", |b| {
+        let mut t = SplayTree::new();
+        for i in 0..1024u64 {
+            t.insert(i * 64, 64);
+        }
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t.lookup((x % 1024) * 64 + 8)
+        });
+    });
+    g.bench_function("insert_remove", |b| {
+        b.iter_batched(
+            SplayTree::new,
+            |mut t| {
+                for i in 0..256u64 {
+                    t.insert(i * 32, 32);
+                }
+                for i in 0..256u64 {
+                    t.remove(i * 32);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("rt/metapool");
+    g.bench_function("bounds_check_hit", |b| {
+        let mut p = MetaPool::new("bench", true, true, Some(64));
+        p.reg_obj(0x1000, 4096).unwrap();
+        b.iter(|| p.bounds_check(0x1800, 0x1801));
+    });
+    g.bench_function("ls_check_hit", |b| {
+        let mut p = MetaPool::new("bench", false, true, None);
+        p.reg_obj(0x1000, 4096).unwrap();
+        b.iter(|| p.ls_check(0x1800));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, splay);
+criterion_main!(benches);

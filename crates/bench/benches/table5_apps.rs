@@ -1,0 +1,34 @@
+//! Criterion wall-clock benches for the Table 5 application workloads.
+//!
+//! One group per application; within each group, one benchmark per kernel
+//! configuration — the Criterion report shows the four-way comparison the
+//! paper's Table 5 makes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::{arg, run_workload};
+use sva_vm::KernelKind;
+
+fn apps(c: &mut Criterion) {
+    let cases: [(&str, &str, u64); 4] = [
+        ("bzip2", "user_bzip2", arg(6, 0, 0)),
+        ("lame", "user_lame", arg(6, 0, 0)),
+        ("ldd", "user_ldd", arg(80, 0, 0)),
+        ("thttpd_311B", "user_thttpd", arg(60, 311, 0)),
+    ];
+    for (name, prog, a) in cases {
+        let mut g = c.benchmark_group(format!("table5/{name}"));
+        g.sample_size(10);
+        g.measurement_time(Duration::from_secs(3));
+        for kind in KernelKind::ALL {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| run_workload(kind, prog, a));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, apps);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion wall-clock benches for the Table 7 kernel-operation latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::{arg, run_workload};
+use sva_vm::KernelKind;
+
+fn syscalls(c: &mut Criterion) {
+    let cases: [(&str, &str, u64); 5] = [
+        ("getpid", "user_getpid_loop", arg(500, 0, 0)),
+        ("open_close", "user_openclose_loop", arg(100, 0, 0)),
+        ("pipe", "user_pipe_loop", arg(60, 0, 0)),
+        ("fork", "user_fork_loop", arg(12, 0, 0)),
+        ("fork_exec", "user_forkexec_loop", arg(12, 0, 0)),
+    ];
+    for (name, prog, a) in cases {
+        let mut g = c.benchmark_group(format!("table7/{name}"));
+        g.sample_size(10);
+        g.measurement_time(Duration::from_secs(3));
+        for kind in KernelKind::ALL {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| run_workload(kind, prog, a));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, syscalls);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion wall-clock benches for the Table 8 bandwidth workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use bench::{arg, run_workload};
+use sva_vm::KernelKind;
+
+fn bandwidth(c: &mut Criterion) {
+    for (name, prog, size, iters) in [
+        ("fileread_32k", "user_fileread_bw", 32 * 1024u64, 32u64),
+        ("fileread_128k", "user_fileread_bw", 128 * 1024, 8),
+        ("pipe_32k", "user_pipe_bw", 32 * 1024, 8),
+        ("pipe_128k", "user_pipe_bw", 128 * 1024, 2),
+    ] {
+        let mut g = c.benchmark_group(format!("table8/{name}"));
+        g.sample_size(10);
+        g.measurement_time(Duration::from_secs(3));
+        g.throughput(Throughput::Bytes(size * iters));
+        for kind in KernelKind::ALL {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| run_workload(kind, prog, arg(iters, size, 0)));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 4: porting effort. The paper counts modified source lines per
+//! kernel section; our kernel is born ported, so the analog is the static
+//! density of porting artifacts (SVA-OS call sites, allocator calls,
+//! analysis annotations) per subsystem.
+
+use sva_kernel::harness::raw_kernel;
+use sva_kernel::port_report::{port_report, render};
+
+fn main() {
+    let m = raw_kernel();
+    let report = port_report(&m);
+    println!("== Table 4 (analog): porting artifacts per kernel section ==\n");
+    print!("{}", render(&report));
+    println!("\npaper shape: SVA-OS usage concentrates in the arch-dependent core;");
+    println!("allocator changes localize to mm; analysis annotations are few.");
+}

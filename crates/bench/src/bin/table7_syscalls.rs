@@ -1,0 +1,32 @@
+//! Table 7: latency of raw kernel operations, four kernel configurations.
+//!
+//! Paper rows: getpid, getrusage, gettimeofday, open/close, sbrk,
+//! sigaction, write, pipe, fork, fork/exec.
+
+use bench::{arg, latency_row, print_latency_table};
+
+fn main() {
+    let rows = vec![
+        latency_row("getpid", "user_getpid_loop", arg(2000, 0, 0), 2000),
+        latency_row("getrusage", "user_getrusage_loop", arg(2000, 0, 0), 2000),
+        latency_row(
+            "gettimeofday",
+            "user_gettimeofday_loop",
+            arg(2000, 0, 0),
+            2000,
+        ),
+        latency_row("open/close", "user_openclose_loop", arg(500, 0, 0), 500),
+        latency_row("sbrk", "user_sbrk_loop", arg(2000, 0, 0), 2000),
+        latency_row("sigaction", "user_sigaction_loop", arg(2000, 0, 0), 2000),
+        latency_row("write", "user_write_loop", arg(500, 64, 0), 500),
+        latency_row("pipe", "user_pipe_loop", arg(300, 0, 0), 300),
+        latency_row("fork", "user_fork_loop", arg(60, 0, 0), 60),
+        latency_row("fork/exec", "user_forkexec_loop", arg(60, 0, 0), 60),
+    ];
+    print_latency_table(
+        "Table 7: latency increase for raw kernel operations (% of native)",
+        &rows,
+    );
+    println!("\npaper shape: SVA-OS dominates trivial syscalls (getpid/gettimeofday);");
+    println!("run-time checks dominate compute-heavy ones (open/close, pipe, fork).");
+}

@@ -1,0 +1,40 @@
+//! Table 8: bandwidth of raw kernel operations (file read, pipe) at
+//! 32 KB / 64 KB / 128 KB transfer sizes, four kernel configurations.
+
+use bench::{arg, bandwidth_row, print_bandwidth_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, size) in [
+        ("file read (32k)", 32 * 1024u64),
+        ("file read (64k)", 64 * 1024),
+        ("file read (128k)", 128 * 1024),
+    ] {
+        let iters = (8 * 1024 * 1024 / size).max(4);
+        rows.push(bandwidth_row(
+            label,
+            "user_fileread_bw",
+            arg(iters, size, 0),
+            iters * size,
+        ));
+    }
+    for (label, size) in [
+        ("pipe (32k)", 32 * 1024u64),
+        ("pipe (64k)", 64 * 1024),
+        ("pipe (128k)", 128 * 1024),
+    ] {
+        let iters = (2 * 1024 * 1024 / size).max(2);
+        rows.push(bandwidth_row(
+            label,
+            "user_pipe_bw",
+            arg(iters, size, 0),
+            iters * size,
+        ));
+    }
+    print_bandwidth_table(
+        "Table 8: bandwidth reduction for raw kernel operations (% of native)",
+        &rows,
+    );
+    println!("\npaper shape: file read overhead small (copy in the excluded library);");
+    println!("pipe overhead large (per-byte checked copies in analyzed kernel code).");
+}

@@ -1,0 +1,46 @@
+//! Table 9: static metrics of the safety-checking compiler — percentage of
+//! loads/stores/structure-indexing/array-indexing operations on incomplete
+//! and on type-safe partitions, plus allocation sites seen, for the
+//! "as tested" and "entire kernel" configurations.
+
+use sva_analysis::{analyze, compute_metrics, AccessKind, AnalysisConfig};
+use sva_kernel::harness::raw_kernel;
+use sva_kernel::{AS_TESTED_EXCLUSIONS, ENTIRE_KERNEL_EXCLUSIONS};
+
+fn print_block(title: &str, exclusions: &[&str]) {
+    let m = raw_kernel();
+    let cfg = AnalysisConfig::kernel_excluding(exclusions);
+    let r = analyze(&m, &cfg);
+    let metrics = compute_metrics(&m, &r);
+    println!("\n-- {title} --");
+    println!("allocation sites seen: {:.1}%", metrics.pct_alloc_seen());
+    println!(
+        "{:<22} {:>8} {:>13} {:>11}",
+        "Access Type", "Total", "Incomplete %", "TypeSafe %"
+    );
+    for k in AccessKind::ALL {
+        let c = metrics.of(k);
+        println!(
+            "{:<22} {:>8} {:>13.1} {:>11.1}",
+            k.label(),
+            c.total,
+            c.pct_incomplete(),
+            c.pct_type_safe()
+        );
+    }
+    println!(
+        "partitions: {} ({} TH, {} complete)",
+        metrics.partitions, metrics.th_partitions, metrics.complete_partitions
+    );
+}
+
+fn main() {
+    println!("== Table 9: static metrics of the safety-checking compiler ==");
+    print_block(
+        "Kernel as tested (mm, lib, chr excluded)",
+        AS_TESTED_EXCLUSIONS,
+    );
+    print_block("Entire kernel", ENTIRE_KERNEL_EXCLUSIONS);
+    println!("\npaper shape: high incomplete-access rates as tested, 0% for the");
+    println!("entire kernel; type-safe share similar in both configurations.");
+}

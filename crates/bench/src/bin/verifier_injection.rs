@@ -1,0 +1,42 @@
+//! §5: verifier fault injection — 5 instances of each of 4 bug kinds
+//! injected into the pointer-analysis results; the paper's verifier
+//! detected all 20.
+
+use sva_analysis::AnalysisConfig;
+use sva_core::compile::{compile, CompileOptions};
+use sva_core::inject::{inject_fault, FaultKind};
+use sva_core::verifier::typecheck_module;
+use sva_kernel::harness::raw_kernel;
+use sva_kernel::ENTIRE_KERNEL_EXCLUSIONS;
+
+fn main() {
+    println!("== Verifier fault injection (paper §5) ==\n");
+    let base = {
+        let m = raw_kernel();
+        let cfg = AnalysisConfig::kernel_excluding(ENTIRE_KERNEL_EXCLUSIONS);
+        compile(m, &cfg, &CompileOptions::default()).module
+    };
+    assert!(
+        typecheck_module(&base).is_empty(),
+        "clean kernel must typecheck"
+    );
+    let mut total = 0;
+    let mut detected = 0;
+    for kind in FaultKind::ALL {
+        let mut kind_detected = 0;
+        for seed in 0..5 {
+            let mut m = base.clone();
+            let desc = inject_fault(&mut m, kind, seed).expect("injection point");
+            total += 1;
+            let errs = typecheck_module(&m);
+            if !errs.is_empty() {
+                detected += 1;
+                kind_detected += 1;
+            } else {
+                println!("  UNDETECTED: {kind:?} seed {seed}: {desc}");
+            }
+        }
+        println!("{:<45} {}/5 detected", kind.describe(), kind_detected);
+    }
+    println!("\ntotal: {detected}/{total} detected — paper: 20/20");
+}

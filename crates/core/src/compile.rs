@@ -1,0 +1,944 @@
+//! The safety-checking compiler (paper §4.3).
+//!
+//! Pipeline:
+//!
+//! 1. (optional) §4.8 precision transforms — function cloning;
+//! 2. pointer analysis (`sva-analysis`);
+//! 3. metapool assignment: one metapool per points-to partition, merged by
+//!    kernel-pool constraints (the analysis already anchors kernel pools);
+//! 4. instrumentation: `pchk.reg.obj` after every allocation (heap, stack,
+//!    global, manufactured), `pchk.drop.obj` before every deallocation and
+//!    at stack-frame exits, stack-to-heap promotion for escaping allocas;
+//! 5. annotation encoding: metapool descriptors, per-value pool
+//!    assignments, indirect-call target sets — the "proof" the bytecode
+//!    verifier checks (paper §5).
+
+use std::collections::HashMap;
+
+use sva_analysis::analyze::{AnalysisResult, SMALL_INT_PTR};
+use sva_analysis::{analyze, AnalysisConfig, NodeId};
+use sva_ir::{
+    AllocKind, BlockId, Callee, CastOp, FuncId, Inst, InstId, Intrinsic, MetaPoolDesc, Module,
+    Operand, PoolAnnotations, SizeSpec, Type, ValueId,
+};
+
+/// Options of a compiler run.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Promote escaping stack objects to the heap (paper §4.3). Requires an
+    /// ordinary allocator in the module; otherwise escaping allocas are
+    /// registered in place.
+    pub promote_stack: bool,
+    /// Apply function cloning before analysis (paper §4.8).
+    pub clone_functions: bool,
+    /// Devirtualize signature-asserted indirect calls with small target
+    /// sets (paper §4.8).
+    pub devirtualize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            promote_stack: true,
+            clone_functions: false,
+            devirtualize: false,
+        }
+    }
+}
+
+/// Statistics of a compiler run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CompileReport {
+    /// Metapools created.
+    pub metapools: u32,
+    /// Type-homogeneous metapools.
+    pub th_metapools: u32,
+    /// Complete metapools.
+    pub complete_metapools: u32,
+    /// Heap registrations inserted.
+    pub heap_regs: u32,
+    /// Stack registrations inserted.
+    pub stack_regs: u32,
+    /// Global registrations inserted.
+    pub global_regs: u32,
+    /// `pchk.drop.obj` operations inserted.
+    pub drops: u32,
+    /// Stack objects promoted to the heap.
+    pub promotions: u32,
+    /// Functions cloned by the §4.8 pass.
+    pub clones: u32,
+    /// Indirect call sites devirtualized.
+    pub devirtualized: u32,
+}
+
+/// Result of the safety-checking compiler: the instrumented, annotated
+/// module plus the analysis it was derived from.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The instrumented module carrying [`PoolAnnotations`].
+    pub module: Module,
+    /// The pointer-analysis result (kept for metrics and diagnostics).
+    pub analysis: AnalysisResult,
+    /// Run statistics.
+    pub report: CompileReport,
+    /// Metapool id of each representative node.
+    pub node_pools: HashMap<NodeId, u32>,
+}
+
+/// Runs the safety-checking compiler over `module`.
+pub fn compile(mut module: Module, cfg: &AnalysisConfig, opts: &CompileOptions) -> Compiled {
+    let mut report = CompileReport::default();
+    if opts.clone_functions {
+        report.clones = crate::transform::clone_functions(&mut module, cfg);
+    }
+    let mut analysis = analyze(&module, cfg);
+    if opts.devirtualize {
+        report.devirtualized = crate::transform::devirtualize(&mut module, &analysis);
+        // Devirtualization rewrites call sites; re-analyze for a consistent
+        // value-node map.
+        analysis = analyze(&module, cfg);
+    }
+
+    // --- metapool assignment -------------------------------------------
+    let reps = analysis.graph.reps();
+    let mut node_pools: HashMap<NodeId, u32> = HashMap::new();
+    let mut descs: Vec<MetaPoolDesc> = Vec::new();
+    for rep in &reps {
+        let id = descs.len() as u32;
+        node_pools.insert(*rep, id);
+        descs.push(MetaPoolDesc {
+            name: format!("MP{id}"),
+            type_homogeneous: analysis.graph.is_th(*rep),
+            complete: analysis.graph.is_complete(*rep),
+            elem_type: analysis.graph.elem_type(*rep),
+            points_to: Vec::new(), // filled below once ids exist
+            fields_collapsed: analysis.graph.fields_collapsed(*rep),
+            userspace: analysis.graph.flags(*rep).userspace,
+        });
+    }
+    for rep in &reps {
+        let edges: Vec<(u32, u32)> = analysis
+            .graph
+            .cells(*rep)
+            .into_iter()
+            .map(|(c, p)| (c, node_pools[&analysis.graph.find_ro(p)]))
+            .collect();
+        descs[node_pools[rep] as usize].points_to = edges;
+    }
+    report.metapools = descs.len() as u32;
+    report.th_metapools = descs.iter().filter(|d| d.type_homogeneous).count() as u32;
+    report.complete_metapools = descs.iter().filter(|d| d.complete).count() as u32;
+
+    // --- annotations -----------------------------------------------------
+    let mut pa = PoolAnnotations {
+        metapools: descs,
+        value_pools: Vec::with_capacity(module.funcs.len()),
+        value_cells: Vec::with_capacity(module.funcs.len()),
+        global_pools: Vec::with_capacity(module.globals.len()),
+        func_sets: Vec::new(),
+        call_sets: Vec::new(),
+    };
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let mut row = vec![None; f.num_values()];
+        let mut cells = vec![0u32; f.num_values()];
+        for v in 0..f.num_values() as u32 {
+            let fid = FuncId(fi as u32);
+            if let Some(n) = analysis.value_node(fid, ValueId(v)) {
+                row[v as usize] = node_pools.get(&n).copied();
+                cells[v as usize] = analysis.value_cell(fid, ValueId(v));
+            }
+        }
+        pa.value_pools.push(row);
+        pa.value_cells.push(cells);
+    }
+    for gi in 0..module.globals.len() {
+        let n = analysis.global_node(sva_ir::GlobalId(gi as u32));
+        pa.global_pools.push(node_pools.get(&n).copied());
+    }
+    // Indirect-call target sets.
+    for ((fid, iid), info) in &analysis.callsites {
+        let is_indirect = matches!(
+            module.func(*fid).inst(*iid),
+            Inst::Call {
+                callee: Callee::Indirect(_),
+                ..
+            }
+        );
+        if !is_indirect || info.targets.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = info
+            .targets
+            .iter()
+            .map(|t| module.func(*t).name.clone())
+            .collect();
+        let set = pa.func_sets.len() as u32;
+        pa.func_sets.push(names);
+        pa.call_sets.push((fid.0, iid.0, set));
+    }
+
+    // --- instrumentation --------------------------------------------------
+    let mut instr = Instrumenter {
+        analysis: &analysis,
+        node_pools: &node_pools,
+        report: &mut report,
+        annotations: &mut pa,
+    };
+    instr.run(&mut module, opts);
+
+    module.pool_annotations = Some(pa);
+    Compiled {
+        module,
+        analysis,
+        report,
+        node_pools,
+    }
+}
+
+/// Where to splice a new instruction relative to an anchor.
+enum Place {
+    Before,
+    After,
+}
+
+struct Instrumenter<'a> {
+    analysis: &'a AnalysisResult,
+    node_pools: &'a HashMap<NodeId, u32>,
+    report: &'a mut CompileReport,
+    annotations: &'a mut PoolAnnotations,
+}
+
+impl Instrumenter<'_> {
+    fn run(&mut self, module: &mut Module, opts: &CompileOptions) {
+        // Pick the promotion allocator: the designated ordinary interface
+        // (paper §4.4 requires one to exist for stack-to-heap promotion).
+        let promote = module
+            .allocators
+            .iter()
+            .find(|a| matches!(a.kind, AllocKind::Ordinary))
+            .map(|a| (a.alloc_fn.clone(), a.dealloc_fn.clone()));
+
+        let nfuncs = module.funcs.len();
+        for fi in 0..nfuncs {
+            let fid = FuncId(fi as u32);
+            if !self.analysis.analyzed[fi] {
+                continue;
+            }
+            self.instrument_function(module, fid, opts, &promote);
+        }
+        self.register_globals(module);
+    }
+
+    fn pool_of_node(&self, n: NodeId) -> Option<u32> {
+        self.node_pools.get(&n).copied()
+    }
+
+    fn pool_of_value(&self, f: FuncId, v: ValueId) -> Option<u32> {
+        self.analysis
+            .value_node(f, v)
+            .and_then(|n| self.pool_of_node(n))
+    }
+
+    /// `pchk.reg.obj(mp, ptr, len[, stack])` as a detached instruction.
+    fn mk_reg(
+        &self,
+        module: &mut Module,
+        f: FuncId,
+        mp: u32,
+        ptr: Operand,
+        len: Operand,
+        stack: bool,
+    ) -> InstId {
+        let i64t = module.types.i64();
+        let mut args = vec![Operand::ConstInt(mp as i64, i64t), ptr, len];
+        if stack {
+            args.push(Operand::ConstInt(1, i64t));
+        }
+        let func = module.func_mut(f);
+        func.add_inst_detached(
+            Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::PchkRegObj),
+                args,
+            },
+            None,
+        )
+        .0
+    }
+
+    fn mk_drop(&self, module: &mut Module, f: FuncId, mp: u32, ptr: Operand) -> InstId {
+        let i64t = module.types.i64();
+        let args = vec![Operand::ConstInt(mp as i64, i64t), ptr];
+        let func = module.func_mut(f);
+        func.add_inst_detached(
+            Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::PchkDropObj),
+                args,
+            },
+            None,
+        )
+        .0
+    }
+
+    fn instrument_function(
+        &mut self,
+        module: &mut Module,
+        fid: FuncId,
+        opts: &CompileOptions,
+        promote: &Option<(String, Option<String>)>,
+    ) {
+        let mut placements: Vec<(InstId, Place, InstId)> = Vec::new();
+        // Stack objects to drop at returns: (mp, pointer operand).
+        let mut frame_objects: Vec<(u32, Operand, bool)> = Vec::new();
+
+        // Heap allocation sites.
+        let allocs: Vec<_> = self
+            .analysis
+            .alloc_sites
+            .iter()
+            .filter(|s| s.func == fid)
+            .cloned()
+            .collect();
+        for site in allocs {
+            let Some(mp) = self.pool_of_node(self.analysis.graph.find_ro(site.node)) else {
+                continue;
+            };
+            let (res, args) = {
+                let f = module.func(fid);
+                let res = f.result_of(site.inst);
+                let args = match f.inst(site.inst) {
+                    Inst::Call { args, .. } => args.clone(),
+                    _ => continue,
+                };
+                (res, args)
+            };
+            let Some(res) = res else { continue };
+            let i64t = module.types.i64();
+            let len: Operand = match site.size {
+                SizeSpec::Arg(n) => args.get(n).copied().unwrap_or(Operand::ConstInt(0, i64t)),
+                SizeSpec::Const(c) => Operand::ConstInt(c as i64, i64t),
+                SizeSpec::PoolObjectSize => {
+                    let decl = &module.allocators[site.allocator];
+                    let size_fn = decl.size_fn.clone();
+                    let pool_arg = decl.pool_arg.unwrap_or(0);
+                    match size_fn.and_then(|n| module.func_by_name(&n)) {
+                        Some(sf) => {
+                            let desc = args.get(pool_arg).copied();
+                            let (iid, v) = module.func_mut(fid).add_inst_detached(
+                                Inst::Call {
+                                    callee: Callee::Direct(sf),
+                                    args: desc.into_iter().collect(),
+                                },
+                                Some(i64t),
+                            );
+                            placements.push((site.inst, after(), iid));
+                            Operand::Value(v.unwrap())
+                        }
+                        None => {
+                            // Fall back to the static element size.
+                            let mpd = &self.annotations.metapools[mp as usize];
+                            let sz = mpd.elem_type.map(|t| module.types.size_of(t)).unwrap_or(0);
+                            Operand::ConstInt(sz as i64, i64t)
+                        }
+                    }
+                }
+            };
+            let reg = self.mk_reg(module, fid, mp, Operand::Value(res), len, false);
+            placements.push((site.inst, after(), reg));
+            self.report.heap_regs += 1;
+        }
+
+        // Deallocation sites.
+        let deallocs: Vec<_> = self
+            .analysis
+            .dealloc_sites
+            .iter()
+            .filter(|s| s.func == fid)
+            .cloned()
+            .collect();
+        for site in deallocs {
+            let Some(node) = site.node else { continue };
+            let Some(mp) = self.pool_of_node(self.analysis.graph.find_ro(node)) else {
+                continue;
+            };
+            let ptr = {
+                let f = module.func(fid);
+                match f.inst(site.inst) {
+                    Inst::Call { args, .. } => {
+                        let decl = &module.allocators[site.allocator];
+                        let idx = if decl.pool_arg.is_some() {
+                            args.len().saturating_sub(1)
+                        } else {
+                            0
+                        };
+                        args.get(idx).copied()
+                    }
+                    _ => None,
+                }
+            };
+            let Some(ptr) = ptr else { continue };
+            let drop = self.mk_drop(module, fid, mp, ptr);
+            placements.push((site.inst, Place::Before, drop));
+            self.report.drops += 1;
+        }
+
+        // Stack objects (allocas) and pseudo allocations.
+        let inst_list: Vec<(BlockId, InstId)> = module.func(fid).inst_order().collect();
+        for (bid, iid) in &inst_list {
+            let inst = module.func(fid).inst(*iid).clone();
+            match inst {
+                Inst::Alloca { ty, count } => {
+                    let Some(res) = module.func(fid).result_of(*iid) else {
+                        continue;
+                    };
+                    let Some(node) = self.analysis.value_node(fid, res) else {
+                        continue;
+                    };
+                    let Some(mp) = self.pool_of_node(node) else {
+                        continue;
+                    };
+                    let i64t = module.types.i64();
+                    let elem = module.types.size_of(ty);
+                    let len = match count {
+                        Operand::ConstInt(c, _) => Operand::ConstInt(elem as i64 * c, i64t),
+                        dyn_count => {
+                            let widened = match module.func(fid).operand_type(&dyn_count, module) {
+                                t if t == i64t => dyn_count,
+                                _ => {
+                                    let (c, v) = module.func_mut(fid).add_inst_detached(
+                                        Inst::Cast {
+                                            op: CastOp::ZExt,
+                                            val: dyn_count,
+                                            to: i64t,
+                                        },
+                                        Some(i64t),
+                                    );
+                                    placements.push((*iid, after(), c));
+                                    Operand::Value(v.unwrap())
+                                }
+                            };
+                            let (mulid, v) = module.func_mut(fid).add_inst_detached(
+                                Inst::Bin {
+                                    op: sva_ir::BinOp::Mul,
+                                    lhs: widened,
+                                    rhs: Operand::ConstInt(elem as i64, i64t),
+                                },
+                                Some(i64t),
+                            );
+                            placements.push((*iid, after(), mulid));
+                            Operand::Value(v.unwrap())
+                        }
+                    };
+                    let escaping = {
+                        let flags = self.analysis.graph.flags(node);
+                        flags.stored || flags.incomplete
+                    };
+                    if escaping && opts.promote_stack {
+                        if let Some((alloc_fn, _)) = promote {
+                            // Stack-to-heap promotion: replace the alloca
+                            // with `bitcast(alloc(len))`, keeping the
+                            // original result value id for all users.
+                            if let Some(af) = module.func_by_name(alloc_fn) {
+                                let i8p = module.types.byte_ptr();
+                                let tptr = module.types.ptr(ty);
+                                let (call, cv) = module.func_mut(fid).add_inst_detached(
+                                    Inst::Call {
+                                        callee: Callee::Direct(af),
+                                        args: vec![len],
+                                    },
+                                    Some(i8p),
+                                );
+                                placements.push((*iid, Place::Before, call));
+                                module.func_mut(fid).insts[iid.0 as usize] = Inst::Cast {
+                                    op: CastOp::Bitcast,
+                                    val: Operand::Value(cv.unwrap()),
+                                    to: tptr,
+                                };
+                                let reg =
+                                    self.mk_reg(module, fid, mp, Operand::Value(res), len, false);
+                                placements.push((*iid, after(), reg));
+                                self.report.promotions += 1;
+                                self.report.heap_regs += 1;
+                                frame_objects.push((mp, Operand::Value(res), true));
+                                continue;
+                            }
+                        }
+                    }
+                    let reg = self.mk_reg(module, fid, mp, Operand::Value(res), len, true);
+                    placements.push((*iid, after(), reg));
+                    self.report.stack_regs += 1;
+                    if bid.0 == 0 {
+                        // Entry-block allocas dominate every return; others
+                        // are cleaned up by the VM's frame-pop sweep (the
+                        // `stack` flag on the registration).
+                        frame_objects.push((mp, Operand::Value(res), false));
+                    }
+                }
+                Inst::Call {
+                    callee: Callee::Intrinsic(Intrinsic::PseudoAlloc),
+                    args,
+                } => {
+                    // Manufactured-address object (paper §4.7): register
+                    // [start, end) in the result's metapool.
+                    let Some(res) = module.func(fid).result_of(*iid) else {
+                        continue;
+                    };
+                    let Some(mp) = self.pool_of_value(fid, res) else {
+                        continue;
+                    };
+                    let i64t = module.types.i64();
+                    if let (Some(Operand::ConstInt(s, _)), Some(Operand::ConstInt(e, _))) =
+                        (args.first(), args.get(1))
+                    {
+                        let len = Operand::ConstInt(e - s, i64t);
+                        let reg = self.mk_reg(module, fid, mp, Operand::Value(res), len, false);
+                        placements.push((*iid, after(), reg));
+                        self.report.global_regs += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Frame-exit drops (and frees for promoted objects).
+        if !frame_objects.is_empty() {
+            let rets: Vec<InstId> = inst_list
+                .iter()
+                .filter(|(_, iid)| matches!(module.func(fid).inst(*iid), Inst::Ret { .. }))
+                .map(|(_, iid)| *iid)
+                .collect();
+            for ret in rets {
+                for (mp, ptr, promoted) in &frame_objects {
+                    let drop = self.mk_drop(module, fid, *mp, *ptr);
+                    placements.push((ret, Place::Before, drop));
+                    self.report.drops += 1;
+                    if *promoted {
+                        if let Some((_, Some(free_fn))) = promote {
+                            if let Some(ff) = module.func_by_name(free_fn) {
+                                let i8p = module.types.byte_ptr();
+                                let (cast, cv) = module.func_mut(fid).add_inst_detached(
+                                    Inst::Cast {
+                                        op: CastOp::Bitcast,
+                                        val: *ptr,
+                                        to: i8p,
+                                    },
+                                    Some(i8p),
+                                );
+                                let (call, _) = module.func_mut(fid).add_inst_detached(
+                                    Inst::Call {
+                                        callee: Callee::Direct(ff),
+                                        args: vec![Operand::Value(cv.unwrap())],
+                                    },
+                                    None,
+                                );
+                                placements.push((ret, Place::Before, cast));
+                                placements.push((ret, Place::Before, call));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        splice(module.func_mut(fid), placements);
+        // Annotate values created during instrumentation (size calls etc.)
+        // so the verifier sees a complete row.
+        let row = &mut self.annotations.value_pools[fid.0 as usize];
+        row.resize(module.func(fid).num_values(), None);
+        self.annotations.value_cells[fid.0 as usize].resize(module.func(fid).num_values(), 0);
+        // Promoted alloca results keep their original annotation; the new
+        // i8* call results share the same pool as the object they create.
+        let f = module.func(fid);
+        for (i, inst) in f.insts.iter().enumerate() {
+            if let Inst::Cast {
+                op: CastOp::Bitcast,
+                val: Operand::Value(src),
+                ..
+            } = inst
+            {
+                if let Some(res) = f.inst_results[i] {
+                    let (a, b) = (row[src.0 as usize], row[res.0 as usize]);
+                    match (a, b) {
+                        (Some(x), None) => row[res.0 as usize] = Some(x),
+                        (None, Some(x)) => row[src.0 as usize] = Some(x),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn register_globals(&mut self, module: &mut Module) {
+        let Some(entry) = module.entry else { return };
+        if !self.analysis.analyzed[entry.0 as usize] {
+            return;
+        }
+        let i64t = module.types.i64();
+        let mut regs = Vec::new();
+        for gi in 0..module.globals.len() {
+            let g = sva_ir::GlobalId(gi as u32);
+            let n = self.analysis.global_node(g);
+            let Some(mp) = self.pool_of_node(n) else {
+                continue;
+            };
+            let size = module.types.size_of(module.global(g).ty);
+            let reg = self.mk_reg(
+                module,
+                entry,
+                mp,
+                Operand::Global(g),
+                Operand::ConstInt(size as i64, i64t),
+                false,
+            );
+            regs.push(reg);
+            self.report.global_regs += 1;
+        }
+        // Prepend to the entry block of the kernel entry function.
+        let f = module.func_mut(entry);
+        let first = f.blocks[0].insts.first().copied();
+        match first {
+            Some(anchor) => splice(
+                f,
+                regs.into_iter()
+                    .map(|r| (anchor, Place::Before, r))
+                    .collect(),
+            ),
+            None => f.blocks[0].insts.extend(regs),
+        }
+    }
+}
+
+fn after() -> Place {
+    Place::After
+}
+
+/// Splices detached instructions into block lists around their anchors.
+fn splice(f: &mut sva_ir::Function, placements: Vec<(InstId, Place, InstId)>) {
+    if placements.is_empty() {
+        return;
+    }
+    let mut before: HashMap<InstId, Vec<InstId>> = HashMap::new();
+    let mut after_map: HashMap<InstId, Vec<InstId>> = HashMap::new();
+    for (anchor, place, inst) in placements {
+        match place {
+            Place::Before => before.entry(anchor).or_default().push(inst),
+            Place::After => after_map.entry(anchor).or_default().push(inst),
+        }
+    }
+    for b in &mut f.blocks {
+        let old = std::mem::take(&mut b.insts);
+        let mut newlist = Vec::with_capacity(old.len());
+        for iid in old {
+            if let Some(pre) = before.get(&iid) {
+                newlist.extend(pre.iter().copied());
+            }
+            newlist.push(iid);
+            if let Some(post) = after_map.get(&iid) {
+                newlist.extend(post.iter().copied());
+            }
+        }
+        b.insts = newlist;
+    }
+}
+
+/// True when every index of a `getelementptr` is provably in range at
+/// compile time, so no bounds check is needed (paper §4.5: "any array
+/// indexing operation that cannot be proven safe at compile-time").
+pub fn gep_statically_safe(
+    m: &Module,
+    f: &sva_ir::Function,
+    base: &Operand,
+    indices: &[Operand],
+) -> bool {
+    let base_ty = f.operand_type(base, m);
+    if !m.types.is_ptr(base_ty) {
+        return false;
+    }
+    let mut cur = m.types.pointee(base_ty);
+    for (n, idx) in indices.iter().enumerate() {
+        let c = match idx {
+            Operand::ConstInt(c, _) => *c,
+            _ => return false,
+        };
+        if n == 0 {
+            // A nonzero first index walks between sibling objects; only a
+            // zero first index is provably safe without object bounds.
+            if c != 0 {
+                return false;
+            }
+            continue;
+        }
+        match m.types.get(cur).clone() {
+            Type::Array(e, len) => {
+                if c < 0 || c as u64 >= len {
+                    return false;
+                }
+                cur = e;
+            }
+            Type::Struct(_) => {
+                let fields = m.types.struct_fields(cur);
+                if c < 0 || c as usize >= fields.len() {
+                    return false;
+                }
+                cur = fields[c as usize];
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Re-exported threshold (documented in `sva-analysis`).
+pub const SMALL_INT_PTR_LIMIT: i64 = SMALL_INT_PTR;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_ir::build::FunctionBuilder;
+    use sva_ir::{AllocatorDecl, GlobalInit, Linkage};
+
+    fn kernel_like_module() -> Module {
+        let mut m = Module::new("k");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let i64t = m.types.i64();
+        let void = m.types.void();
+        let kty = m.types.func(bp, vec![i64t], false);
+        let kmalloc = m.add_function("kmalloc", kty, Linkage::Public);
+        let fty = m.types.func(void, vec![bp], false);
+        let kfree = m.add_function("kfree", fty, Linkage::Public);
+        m.declare_allocator(AllocatorDecl {
+            name: "kmalloc".into(),
+            kind: AllocKind::Ordinary,
+            alloc_fn: "kmalloc".into(),
+            dealloc_fn: Some("kfree".into()),
+            pool_create_fn: None,
+            pool_destroy_fn: None,
+            size: SizeSpec::Arg(0),
+            size_fn: None,
+            pool_arg: None,
+            backed_by: None,
+        });
+        {
+            let mut b = FunctionBuilder::new(&mut m, kmalloc);
+            let n = b.null(i8);
+            b.ret(Some(n));
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, kfree);
+            b.ret(None);
+        }
+        m
+    }
+
+    fn count_intrinsic(m: &Module, f: FuncId, which: Intrinsic) -> usize {
+        m.func(f)
+            .inst_order()
+            .filter(|(_, iid)| {
+                matches!(
+                    m.func(f).inst(*iid),
+                    Inst::Call { callee: Callee::Intrinsic(i), .. } if *i == which
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn heap_alloc_gets_registration() {
+        let mut m = kernel_like_module();
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("driver", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let sz = b.c64(96);
+            let p = b.call_named("kmalloc", vec![sz]).unwrap();
+            b.call_named("kfree", vec![p]);
+            b.ret(None);
+        }
+        let _ = bp;
+        let out = compile(m, &AnalysisConfig::kernel(), &CompileOptions::default());
+        assert_eq!(count_intrinsic(&out.module, f, Intrinsic::PchkRegObj), 1);
+        assert_eq!(count_intrinsic(&out.module, f, Intrinsic::PchkDropObj), 1);
+        assert!(out.report.heap_regs == 1 && out.report.drops == 1);
+        // Registration comes right after the kmalloc call, drop right
+        // before the kfree call.
+        let body = &out.module.func(f).blocks[0].insts;
+        let kinds: Vec<String> = body
+            .iter()
+            .map(|iid| format!("{:?}", out.module.func(f).inst(*iid)))
+            .collect();
+        assert!(kinds[1].contains("PchkRegObj"), "{kinds:?}");
+        assert!(kinds[2].contains("PchkDropObj"), "{kinds:?}");
+    }
+
+    #[test]
+    fn annotations_cover_pointer_values() {
+        let mut m = kernel_like_module();
+        let i8 = m.types.i8();
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("driver", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let sz = b.c64(64);
+            let p = b.call_named("kmalloc", vec![sz]).unwrap();
+            let one = b.c64(1);
+            let q = b.index_ptr(p, one);
+            let zero = b.c8(0);
+            b.store(zero, q);
+            b.ret(None);
+        }
+        let _ = i8;
+        let out = compile(m, &AnalysisConfig::kernel(), &CompileOptions::default());
+        let pa = out.module.pool_annotations.as_ref().unwrap();
+        // p (value) and q (gep result) share the metapool.
+        let row = &pa.value_pools[f.0 as usize];
+        let pools: Vec<u32> = row.iter().flatten().copied().collect();
+        assert!(pools.len() >= 2);
+        assert!(pools.windows(2).all(|w| w[0] == w[1]), "{row:?}");
+    }
+
+    #[test]
+    fn non_escaping_alloca_registered_as_stack() {
+        let mut m = kernel_like_module();
+        let i64t = m.types.i64();
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("local", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s = b.alloca(i64t);
+            let one = b.c64(1);
+            b.store(one, s);
+            b.ret(None);
+        }
+        let out = compile(m, &AnalysisConfig::kernel(), &CompileOptions::default());
+        assert_eq!(out.report.stack_regs, 1);
+        assert_eq!(out.report.promotions, 0);
+        assert_eq!(count_intrinsic(&out.module, f, Intrinsic::PchkDropObj), 1);
+    }
+
+    #[test]
+    fn escaping_alloca_promoted_to_heap() {
+        let mut m = kernel_like_module();
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let g = m.add_global("sink", p64, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("leaky", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s = b.alloca(i64t);
+            b.store(s, Operand::Global(g));
+            b.ret(None);
+        }
+        let out = compile(m, &AnalysisConfig::kernel(), &CompileOptions::default());
+        assert_eq!(out.report.promotions, 1);
+        // The alloca is gone, replaced by a kmalloc call + bitcast.
+        let has_alloca = out
+            .module
+            .func(f)
+            .inst_order()
+            .any(|(_, iid)| matches!(out.module.func(f).inst(iid), Inst::Alloca { .. }));
+        assert!(!has_alloca);
+        // A free is emitted on the return path.
+        let frees = out
+            .module
+            .func(f)
+            .inst_order()
+            .filter(|(_, iid)| {
+                matches!(out.module.func(f).inst(*iid),
+                    Inst::Call { callee: Callee::Direct(c), .. }
+                        if out.module.func(*c).name == "kfree")
+            })
+            .count();
+        assert_eq!(frees, 1);
+    }
+
+    #[test]
+    fn globals_registered_in_entry() {
+        let mut m = kernel_like_module();
+        let i64t = m.types.i64();
+        let arr = m.types.array(i64t, 4);
+        m.add_global("table", arr, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("start_kernel", fty, Linkage::Public);
+        m.entry = Some(f);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            b.ret(None);
+        }
+        let out = compile(m, &AnalysisConfig::kernel(), &CompileOptions::default());
+        assert!(out.report.global_regs >= 1);
+        let first = out.module.func(f).blocks[0].insts[0];
+        assert!(matches!(
+            out.module.func(f).inst(first),
+            Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::PchkRegObj),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn metapool_descs_reflect_analysis() {
+        let mut m = kernel_like_module();
+        let i64t = m.types.i64();
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("typed", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s = b.alloca(i64t);
+            let one = b.c64(1);
+            b.store(one, s);
+            b.ret(None);
+        }
+        let out = compile(m, &AnalysisConfig::kernel(), &CompileOptions::default());
+        let pa = out.module.pool_annotations.as_ref().unwrap();
+        assert!(out.report.th_metapools >= 1);
+        assert!(pa
+            .metapools
+            .iter()
+            .any(|d| d.type_homogeneous && d.elem_type.is_some()));
+    }
+
+    #[test]
+    fn gep_static_safety_rules() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let i64t = m.types.i64();
+        let arr = m.types.array(i32t, 8);
+        let s = m.types.struct_type("rec", vec![i64t, arr]);
+        let sp = m.types.ptr(s);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![sp, i64t], false);
+        let f = m.add_function("t", fty, Linkage::Public);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let idx = b.param(1);
+        let zero = b.c32(0);
+        let one = b.c32(1);
+        let three = b.c32(3);
+        let nine = b.c32(9);
+        let safe = vec![zero, one, three];
+        let unsafe_dyn = vec![zero, one, idx];
+        let unsafe_oob = vec![zero, one, nine];
+        let func = m.func(f);
+        assert!(gep_statically_safe(&m, func, &p, &safe));
+        assert!(!gep_statically_safe(&m, func, &p, &unsafe_dyn));
+        assert!(!gep_statically_safe(&m, func, &p, &unsafe_oob));
+        assert!(!gep_statically_safe(&m, func, &p, &[one]));
+    }
+}

@@ -1,0 +1,442 @@
+//! Fault injection into pointer-analysis results (paper §5).
+//!
+//! The paper evaluates the verifier by injecting "20 different bugs
+//! (5 instances each of 4 different kinds) in the pointer analysis
+//! results": incorrect variable aliasing, incorrect inter-node edges,
+//! incorrect claims of type homogeneity, and insufficient merging of
+//! points-to graph nodes. The verifier detected all 20. This module
+//! reproduces the injection; `bench/verifier_injection` and the
+//! integration tests reproduce the 20/20 result.
+
+use sva_ir::{Callee, FuncId, Inst, Module, Operand, ValueId};
+
+/// The four §5 bug classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Incorrect variable aliasing: a pointer value is re-annotated with a
+    /// different metapool than the value it was derived from.
+    VariableAliasing,
+    /// Incorrect inter-node edge: a metapool's points-to edge is corrupted.
+    InterNodeEdge,
+    /// Incorrect claim of type homogeneity on a non-TH pool.
+    FalseTypeHomogeneity,
+    /// Insufficient merging: one partition is split into two, leaving
+    /// values that flow together annotated with different pools.
+    InsufficientMerging,
+}
+
+impl FaultKind {
+    /// All four kinds.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::VariableAliasing,
+        FaultKind::InterNodeEdge,
+        FaultKind::FalseTypeHomogeneity,
+        FaultKind::InsufficientMerging,
+    ];
+
+    /// Paper wording for the kind.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FaultKind::VariableAliasing => "incorrect variable aliasing",
+            FaultKind::InterNodeEdge => "incorrect inter-node edges",
+            FaultKind::FalseTypeHomogeneity => "incorrect claims of type homogeneity",
+            FaultKind::InsufficientMerging => "insufficient merging of points-to graph nodes",
+        }
+    }
+}
+
+/// Injects the `seed`-th fault of the given kind into the module's pool
+/// annotations. Returns a description of what was corrupted, or `None` if
+/// no injection point of that kind exists for this seed.
+///
+/// Injection points are enumerated deterministically so experiments are
+/// reproducible: seed *n* picks the *n*-th eligible site (wrapping).
+pub fn inject_fault(m: &mut Module, kind: FaultKind, seed: usize) -> Option<String> {
+    match kind {
+        FaultKind::VariableAliasing => inject_aliasing(m, seed),
+        FaultKind::InterNodeEdge => inject_edge(m, seed),
+        FaultKind::FalseTypeHomogeneity => inject_th(m, seed),
+        FaultKind::InsufficientMerging => inject_split(m, seed),
+    }
+}
+
+/// Eligible sites: results of `gep` instructions (re-annotating one breaks
+/// the `gep-same-pool` rule).
+fn inject_aliasing(m: &mut Module, seed: usize) -> Option<String> {
+    let mut sites: Vec<(FuncId, ValueId)> = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let pa = m.pool_annotations.as_ref()?;
+        for (_, iid) in f.inst_order() {
+            if let Inst::Gep { .. } = f.inst(iid) {
+                if let Some(v) = f.result_of(iid) {
+                    if pa.value_pool(FuncId(fi as u32), v).is_some() {
+                        sites.push((FuncId(fi as u32), v));
+                    }
+                }
+            }
+        }
+    }
+    if sites.is_empty() {
+        return None;
+    }
+    let (fid, v) = sites[seed % sites.len()];
+    let pa = m.pool_annotations.as_mut()?;
+    let evil = pa.metapools.len() as u32;
+    pa.metapools.push(sva_ir::MetaPoolDesc {
+        name: format!("MPalias{seed}"),
+        type_homogeneous: false,
+        complete: true,
+        elem_type: None,
+        points_to: Vec::new(),
+        fields_collapsed: false,
+        userspace: false,
+    });
+    pa.value_pools[fid.0 as usize][v.0 as usize] = Some(evil);
+    Some(format!(
+        "re-annotated %{} in @{} with fresh pool {}",
+        v.0,
+        m.func(fid).name,
+        evil
+    ))
+}
+
+/// Eligible sites: metapools with a points-to edge that is actually used
+/// by some load/store (corrupting it breaks `load-points-to`).
+fn inject_edge(m: &mut Module, seed: usize) -> Option<String> {
+    let pa = m.pool_annotations.as_ref()?;
+    let mut used: Vec<u32> = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        for (_, iid) in f.inst_order() {
+            if let Inst::Load { ptr } = f.inst(iid) {
+                if f.result_of(iid)
+                    .and_then(|v| pa.value_pool(FuncId(fi as u32), v))
+                    .is_some()
+                {
+                    if let Operand::Value(pv) = ptr {
+                        if let Some(pp) = pa.value_pool(FuncId(fi as u32), *pv) {
+                            if !pa.metapools[pp as usize].points_to.is_empty() {
+                                used.push(pp);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    used.sort_unstable();
+    used.dedup();
+    if used.is_empty() {
+        return None;
+    }
+    let victim = used[seed % used.len()];
+    let pa = m.pool_annotations.as_mut()?;
+    let old = pa.metapools[victim as usize].points_to.clone();
+    // Point every edge somewhere else (or drop them).
+    let n = pa.metapools.len() as u32;
+    if seed.is_multiple_of(2) {
+        for (_, t) in pa.metapools[victim as usize].points_to.iter_mut() {
+            *t = (*t + 1) % n;
+        }
+    } else {
+        pa.metapools[victim as usize].points_to.clear();
+    }
+    Some(format!(
+        "corrupted points-to edges of pool {victim} (was {old:?})"
+    ))
+}
+
+/// Eligible sites: pools that are *not* TH (claiming TH on them violates
+/// `th-elem-type` or `th-consistency`).
+fn inject_th(m: &mut Module, seed: usize) -> Option<String> {
+    let pa = m.pool_annotations.as_mut()?;
+    let victims: Vec<usize> = pa
+        .metapools
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.type_homogeneous)
+        .map(|(i, _)| i)
+        .collect();
+    if victims.is_empty() {
+        return None;
+    }
+    let v = victims[seed % victims.len()];
+    pa.metapools[v].type_homogeneous = true;
+    // Leave elem_type as-is: a None elem type trips `th-elem-type`; a
+    // stale one trips `th-consistency` on the first conflicting pointer.
+    Some(format!("claimed pool {v} type-homogeneous"))
+}
+
+/// Eligible sites: pools with at least two annotated values connected by
+/// an instruction; splitting re-annotates one endpoint with a cloned pool.
+fn inject_split(m: &mut Module, seed: usize) -> Option<String> {
+    // Find a call or phi connecting two values of the same pool and break
+    // one side. Calls *into* allocator functions are the trust boundary
+    // where partitions are born (paper §4.4) — the verifier deliberately
+    // does not bind them, so they are not injection targets.
+    let allocator_fns: Vec<FuncId> = m
+        .allocators
+        .iter()
+        .flat_map(|a| {
+            [
+                Some(a.alloc_fn.clone()),
+                a.dealloc_fn.clone(),
+                a.pool_create_fn.clone(),
+                a.size_fn.clone(),
+            ]
+            .into_iter()
+            .flatten()
+        })
+        .filter_map(|n| m.func_by_name(&n))
+        .collect();
+    let mut sites: Vec<(FuncId, ValueId, u32)> = Vec::new();
+    {
+        let pa = m.pool_annotations.as_ref()?;
+        for (fi, f) in m.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (_, iid) in f.inst_order() {
+                match f.inst(iid) {
+                    Inst::Phi { incomings, .. } => {
+                        if let Some(res) = f.result_of(iid) {
+                            if let Some(rp) = pa.value_pool(fid, res) {
+                                let any_val = incomings
+                                    .iter()
+                                    .any(|(_, v)| matches!(v, Operand::Value(_)));
+                                if any_val {
+                                    sites.push((fid, res, rp));
+                                }
+                            }
+                        }
+                    }
+                    Inst::Call {
+                        callee: Callee::Direct(t),
+                        args,
+                    } => {
+                        if allocator_fns.contains(t) {
+                            continue;
+                        }
+                        let tf = m.func(*t);
+                        for (a, p) in args.iter().zip(tf.params.iter()) {
+                            if let Operand::Value(av) = a {
+                                if let (Some(ap), Some(_)) =
+                                    (pa.value_pool(fid, *av), pa.value_pool(*t, *p))
+                                {
+                                    sites.push((fid, *av, ap));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if sites.is_empty() {
+        return None;
+    }
+    let (fid, v, old) = sites[seed % sites.len()];
+    let pa = m.pool_annotations.as_mut()?;
+    let split = pa.metapools.len() as u32;
+    let mut clone = pa.metapools[old as usize].clone();
+    clone.name = format!("MPsplit{seed}");
+    pa.metapools.push(clone);
+    pa.value_pools[fid.0 as usize][v.0 as usize] = Some(split);
+    Some(format!(
+        "split pool {old}: %{} in @{} moved to clone {split}",
+        v.0,
+        m.func(fid).name
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::verifier::typecheck_module;
+    use sva_analysis::AnalysisConfig;
+    use sva_ir::build::FunctionBuilder;
+    use sva_ir::{AllocKind, AllocatorDecl, GlobalInit, Linkage, SizeSpec};
+
+    /// A module with enough pointer structure that all four fault kinds
+    /// have injection points.
+    fn rich_module() -> Module {
+        let mut m = Module::new("rich");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let pp64 = m.types.ptr(p64);
+        let void = m.types.void();
+        let kty = m.types.func(bp, vec![i64t], false);
+        let km = m.add_function("kmalloc", kty, Linkage::Public);
+        m.declare_allocator(AllocatorDecl {
+            name: "kmalloc".into(),
+            kind: AllocKind::Ordinary,
+            alloc_fn: "kmalloc".into(),
+            dealloc_fn: None,
+            pool_create_fn: None,
+            pool_destroy_fn: None,
+            size: SizeSpec::Arg(0),
+            size_fn: None,
+            pool_arg: None,
+            backed_by: None,
+        });
+        let hty = m.types.func(void, vec![p64], false);
+        let helper = m.add_function("helper", hty, Linkage::Internal);
+        let fty = m.types.func(void, vec![pp64, i64t, i64t], false);
+        let f = m.add_function("main3", fty, Linkage::Public);
+        let gslot = m.add_global("gslot", p64, GlobalInit::Zero, false);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, km);
+            let n = b.null(i8);
+            b.ret(Some(n));
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, helper);
+            let p = b.param(0);
+            let one = b.c64(1);
+            b.store(one, p);
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let pp = b.param(0);
+            let idx = b.param(1);
+            let cond0 = b.param(2);
+            let t = b.block("t");
+            let e = b.block("e");
+            let j = b.block("j");
+            let p = b.load(pp);
+            let q = b.index_ptr(p, idx);
+            let zero = b.c64(0);
+            let c = b.icmp(sva_ir::IPred::Ne, cond0, zero);
+            b.cond_br(c, t, e);
+            b.switch_to(t);
+            b.br(j);
+            b.switch_to(e);
+            b.br(j);
+            b.switch_to(j);
+            let merged = b.phi(p64, vec![(t, p), (e, q)]);
+            b.call(helper, vec![merged]);
+            // A second indexing site so every fault kind has several
+            // injection points.
+            let further = b.index_ptr(merged, idx);
+            b.call(helper, vec![further]);
+            // A second pointer-load chain (through a global slot) so the
+            // inter-node-edge kind also has several victim pools.
+            let zero0 = b.c64(0);
+            let gp = b.gep(sva_ir::Operand::Global(gslot), vec![zero0]);
+            let p2 = b.load(gp);
+            let q2 = b.index_ptr(p2, idx);
+            b.call(helper, vec![q2]);
+            b.ret(None);
+        }
+        compile(m, &AnalysisConfig::kernel(), &CompileOptions::default()).module
+    }
+
+    #[test]
+    fn clean_module_typechecks() {
+        let m = rich_module();
+        let errs = typecheck_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn all_twenty_injected_faults_detected() {
+        // The paper's experiment: 5 instances × 4 kinds, all detected.
+        let mut injected = 0;
+        let mut detected = 0;
+        for kind in FaultKind::ALL {
+            for seed in 0..5 {
+                let mut m = rich_module();
+                match inject_fault(&mut m, kind, seed) {
+                    Some(desc) => {
+                        injected += 1;
+                        let errs = typecheck_module(&m);
+                        assert!(!errs.is_empty(), "undetected {kind:?} seed {seed}: {desc}");
+                        detected += 1;
+                    }
+                    None => panic!("no injection point for {kind:?} seed {seed}"),
+                }
+            }
+        }
+        assert_eq!((injected, detected), (20, 20));
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        for kind in FaultKind::ALL {
+            assert!(!kind.describe().is_empty());
+        }
+        let mut m = rich_module();
+        let d = inject_fault(&mut m, FaultKind::VariableAliasing, 0).unwrap();
+        assert!(d.contains("re-annotated"));
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        // The experiment must be reproducible: a (kind, seed) pair always
+        // picks the same injection point and produces the same module.
+        for kind in FaultKind::ALL {
+            let mut a = rich_module();
+            let mut b = rich_module();
+            let da = inject_fault(&mut a, kind, 2);
+            let db = inject_fault(&mut b, kind, 2);
+            assert_eq!(da, db, "{kind:?}");
+            assert_eq!(
+                sva_ir::bytecode::encode_module(&a),
+                sva_ir::bytecode::encode_module(&b),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_actually_mutates_the_annotations() {
+        let clean_bytes = sva_ir::bytecode::encode_module(&rich_module());
+        for kind in FaultKind::ALL {
+            let mut m = rich_module();
+            inject_fault(&mut m, kind, 0).unwrap();
+            assert_ne!(
+                sva_ir::bytecode::encode_module(&m),
+                clean_bytes,
+                "{kind:?} left the module unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_without_annotations_is_a_noop() {
+        for kind in FaultKind::ALL {
+            let mut m = Module::new("bare");
+            assert!(inject_fault(&mut m, kind, 0).is_none(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn seeds_enumerate_multiple_injection_points() {
+        // Seeds wrap over the eligible sites; the kinds with several sites
+        // in this fixture must actually spread over them — otherwise "5
+        // instances" of a kind would be 5 copies of one bug. (The TH kind
+        // has a single non-TH partition here; the full-kernel experiment in
+        // `bench/verifier_injection` exercises its spread.)
+        let expect_distinct = [
+            (FaultKind::VariableAliasing, 2),
+            (FaultKind::InterNodeEdge, 2),
+            (FaultKind::FalseTypeHomogeneity, 1),
+            (FaultKind::InsufficientMerging, 2),
+        ];
+        for (kind, want) in expect_distinct {
+            let mut descs = std::collections::BTreeSet::new();
+            for seed in 0..5 {
+                let mut m = rich_module();
+                descs.insert(inject_fault(&mut m, kind, seed).unwrap());
+            }
+            assert!(
+                descs.len() >= want,
+                "{kind:?}: {} distinct sites, wanted >= {want}",
+                descs.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # SVA safety-checking compiler and bytecode verifier
+//!
+//! The paper's primary contribution (paper §4–§5), in two halves:
+//!
+//! * [`compile()`] — the **safety-checking compiler**. Runs the pointer
+//!   analysis, correlates kernel pools with points-to partitions
+//!   (*metapools*), inserts object registrations (`pchk.reg.obj` /
+//!   `pchk.drop.obj`) at every allocation, deallocation, global and stack
+//!   object, promotes escaping stack objects to the heap, and encodes the
+//!   metapool assignment as type annotations on the bytecode — the
+//!   "encoded proof".
+//!
+//! * [`verifier`] — the **bytecode verifier**, the only part of this
+//!   pipeline inside the trusted computing base. An *intraprocedural*
+//!   type checker validates the metapool annotations (catching bugs in —
+//!   or tampering with — the complex compiler), and only then inserts the
+//!   run-time checks: bounds checks on `getelementptr`, load/store checks
+//!   on non-type-homogeneous pools, and indirect-call checks, honouring the
+//!   "reduced checks" rule for incomplete partitions.
+//!
+//! * [`transform`] — the §4.8 analysis-precision transforms: function
+//!   cloning and indirect-call devirtualization.
+//!
+//! * [`inject`] — the §5 fault-injection experiment: seed the annotations
+//!   with the four classes of pointer-analysis bugs and confirm the
+//!   verifier rejects every one.
+
+pub mod compile;
+pub mod inject;
+pub mod transform;
+pub mod verifier;
+
+pub use compile::{compile, CompileOptions, CompileReport, Compiled};
+pub use inject::{inject_fault, FaultKind};
+pub use verifier::{
+    verify_and_insert_checks, verify_and_insert_checks_with, InsertOptions, PoolCheckError,
+    VerifiedModule, VerifyReport,
+};

@@ -1,0 +1,597 @@
+//! Analysis-precision transforms (paper §4.8).
+//!
+//! *Function cloning*: different objects passed through the same parameter
+//! from different call sites are merged by a unification analysis; cloning
+//! the callee per call site eliminates that merging. Heuristics keep code
+//! growth small (the paper reports < 10% bytecode growth).
+//!
+//! *Devirtualization*: at call sites carrying the programmer's signature
+//! assertion, a small target set can be expanded into an explicit compare
+//! chain of direct calls — improving precision, safety and check speed.
+
+use std::collections::HashMap;
+
+use sva_analysis::analyze::AnalysisResult;
+use sva_analysis::AnalysisConfig;
+use sva_ir::{BlockId, Callee, FuncId, IPred, Inst, InstId, Linkage, Module, Operand};
+
+/// Maximum body size (instructions) of a cloning candidate.
+const CLONE_MAX_BODY: usize = 40;
+/// Maximum number of call sites of a cloning candidate.
+const CLONE_MAX_SITES: usize = 3;
+/// Maximum indirect-call target set size for devirtualization.
+const DEVIRT_MAX_TARGETS: usize = 4;
+
+/// Clones small, internal, multiply-called functions with pointer
+/// parameters so each call site gets its own copy. Returns the number of
+/// clones created.
+pub fn clone_functions(m: &mut Module, cfg: &AnalysisConfig) -> u32 {
+    // Collect call sites per callee and address-taken functions.
+    let mut sites: HashMap<FuncId, Vec<(FuncId, InstId)>> = HashMap::new();
+    let mut address_taken: Vec<bool> = vec![false; m.funcs.len()];
+    for (fi, f) in m.funcs.iter().enumerate() {
+        for (_, iid) in f.inst_order() {
+            let inst = f.inst(iid);
+            if let Inst::Call {
+                callee: Callee::Direct(t),
+                ..
+            } = inst
+            {
+                sites.entry(*t).or_default().push((FuncId(fi as u32), iid));
+            }
+            inst.for_each_operand(|op| {
+                if let Operand::Func(t) = op {
+                    address_taken[t.0 as usize] = true;
+                }
+            });
+        }
+        for g in &m.globals {
+            if let sva_ir::GlobalInit::Relocated { relocs, .. } = &g.init {
+                for (_, t) in relocs {
+                    if let sva_ir::RelocTarget::Func(name) = t {
+                        if let Some(fid) = m.func_by_name(name) {
+                            address_taken[fid.0 as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let allocator_fns: Vec<String> = m
+        .allocators
+        .iter()
+        .flat_map(|a| {
+            [
+                Some(a.alloc_fn.clone()),
+                a.dealloc_fn.clone(),
+                a.size_fn.clone(),
+            ]
+            .into_iter()
+            .flatten()
+        })
+        .collect();
+
+    let candidates: Vec<FuncId> = (0..m.funcs.len() as u32)
+        .map(FuncId)
+        .filter(|&fid| {
+            let f = m.func(fid);
+            let nsites = sites.get(&fid).map(|s| s.len()).unwrap_or(0);
+            matches!(f.linkage, Linkage::Internal)
+                && !address_taken[fid.0 as usize]
+                && !allocator_fns.contains(&f.name)
+                && !cfg.is_excluded(&f.name)
+                && f.insts.len() <= CLONE_MAX_BODY
+                && (2..=CLONE_MAX_SITES).contains(&nsites)
+                && f.params.iter().any(|&p| m.types.is_ptr(f.value_type(p)))
+        })
+        .collect();
+
+    let mut clones = 0;
+    for fid in candidates {
+        let fsites = sites.get(&fid).cloned().unwrap_or_default();
+        // Keep the original for the first site; clone for the rest.
+        for (n, (caller, iid)) in fsites.into_iter().enumerate().skip(1) {
+            let base_name = m.func(fid).name.clone();
+            let clone_name = format!("{base_name}.clone{n}");
+            if m.func_by_name(&clone_name).is_some() {
+                continue;
+            }
+            let mut cloned = m.func(fid).clone();
+            cloned.name = clone_name.clone();
+            let new_id = m.push_decoded_function(cloned);
+            // Retarget this call site.
+            if let Inst::Call { callee, .. } = &mut m.func_mut(caller).insts[iid.0 as usize] {
+                *callee = Callee::Direct(new_id);
+            }
+            clones += 1;
+        }
+    }
+    clones
+}
+
+/// Devirtualizes signature-asserted indirect calls with small, complete
+/// target sets into compare chains of direct calls. Returns the number of
+/// sites rewritten.
+pub fn devirtualize(m: &mut Module, analysis: &AnalysisResult) -> u32 {
+    let mut rewritten = 0;
+    let mut work: Vec<(FuncId, InstId, Vec<FuncId>)> = Vec::new();
+    for ((fid, iid), info) in &analysis.callsites {
+        if !info.sig_asserted
+            || info.may_call_unknown
+            || info.targets.is_empty()
+            || info.targets.len() > DEVIRT_MAX_TARGETS
+        {
+            continue;
+        }
+        if matches!(
+            m.func(*fid).inst(*iid),
+            Inst::Call {
+                callee: Callee::Indirect(_),
+                ..
+            }
+        ) {
+            work.push((*fid, *iid, info.targets.clone()));
+        }
+    }
+    // Deterministic order.
+    work.sort_by_key(|(f, i, _)| (f.0, i.0));
+    for (fid, iid, targets) in work {
+        if devirtualize_site(m, fid, iid, &targets) {
+            rewritten += 1;
+        }
+    }
+    rewritten
+}
+
+fn devirtualize_site(m: &mut Module, fid: FuncId, iid: InstId, targets: &[FuncId]) -> bool {
+    let (fp, args) = match m.func(fid).inst(iid) {
+        Inst::Call {
+            callee: Callee::Indirect(fp),
+            args,
+        } => (*fp, args.clone()),
+        _ => return false,
+    };
+    // Locate the call within its block.
+    let mut loc = None;
+    for (bi, b) in m.func(fid).blocks.iter().enumerate() {
+        if let Some(pos) = b.insts.iter().position(|&i| i == iid) {
+            loc = Some((BlockId(bi as u32), pos));
+            break;
+        }
+    }
+    let Some((bid, pos)) = loc else { return false };
+    let has_result = m.func(fid).result_of(iid).is_some();
+    let result_ty = m
+        .func(fid)
+        .result_of(iid)
+        .map(|v| m.func(fid).value_type(v));
+    let i1 = m.types.i1();
+
+    let f = m.func_mut(fid);
+    let old_block = std::mem::take(&mut f.blocks[bid.0 as usize].insts);
+    let (pre, rest) = old_block.split_at(pos);
+    let post: Vec<InstId> = rest[1..].to_vec();
+    f.blocks[bid.0 as usize].insts = pre.to_vec();
+
+    // New blocks: compare chain + arms + merge. The first compare lives in
+    // the original block; cmp_blocks[j-1] holds the compare for target j;
+    // the last target needs no compare (the set is exhaustive for a
+    // complete, signature-asserted site), so k-2 extra blocks suffice.
+    let k = targets.len();
+    let mut cmp_blocks = Vec::new();
+    for j in 0..k.saturating_sub(2) {
+        cmp_blocks.push(f.add_block(&format!("devirt{}.cmp{}", iid.0, j + 1)));
+    }
+    let mut arm_blocks = Vec::new();
+    for j in 0..k {
+        arm_blocks.push(f.add_block(&format!("devirt{}.arm{}", iid.0, j)));
+    }
+    let merge = f.add_block(&format!("devirt{}.merge", iid.0));
+
+    // Emit compare chain. Compare block for target j (j in 0..k-1):
+    //   c = icmp eq fp, @target_j ; condbr c, arm_j, next
+    // where next is the next compare block or, for the last compare, the
+    // final arm (target k-1 needs no compare: sets are exhaustive for
+    // complete, signature-asserted sites).
+    let emit_cmp = |f: &mut sva_ir::Function, into: BlockId, j: usize| {
+        let next: BlockId = if j < k - 2 {
+            cmp_blocks[j] // compare block for target j+1
+        } else {
+            arm_blocks[k - 1]
+        };
+        let (cid, cv) = f.add_inst_detached(
+            Inst::ICmp {
+                pred: IPred::Eq,
+                lhs: fp,
+                rhs: Operand::Func(targets[j]),
+            },
+            Some(i1),
+        );
+        let (bid2, _) = f.add_inst_detached(
+            Inst::CondBr {
+                cond: Operand::Value(cv.unwrap()),
+                then_bb: arm_blocks[j],
+                else_bb: next,
+            },
+            None,
+        );
+        f.blocks[into.0 as usize].insts.push(cid);
+        f.blocks[into.0 as usize].insts.push(bid2);
+    };
+
+    if k == 1 {
+        // Unconditional direct call.
+        let (br, _) = f.add_inst_detached(
+            Inst::Br {
+                target: arm_blocks[0],
+            },
+            None,
+        );
+        f.blocks[bid.0 as usize].insts.push(br);
+    } else {
+        emit_cmp(f, bid, 0);
+        for j in 1..k - 1 {
+            emit_cmp(f, cmp_blocks[j - 1], j);
+        }
+    }
+
+    // Arms: direct call + br merge.
+    let mut arm_results = Vec::new();
+    for (j, t) in targets.iter().enumerate() {
+        let (call, res) = f.add_inst_detached(
+            Inst::Call {
+                callee: Callee::Direct(*t),
+                args: args.clone(),
+            },
+            result_ty,
+        );
+        let (br, _) = f.add_inst_detached(Inst::Br { target: merge }, None);
+        f.blocks[arm_blocks[j].0 as usize].insts.push(call);
+        f.blocks[arm_blocks[j].0 as usize].insts.push(br);
+        arm_results.push(res);
+    }
+
+    // Merge block: the original call instruction is repurposed as the
+    // φ-node merging arm results (keeping its result ValueId for users);
+    // void calls need no φ.
+    if has_result {
+        let ty = result_ty.unwrap();
+        f.insts[iid.0 as usize] = Inst::Phi {
+            incomings: arm_blocks
+                .iter()
+                .zip(arm_results.iter())
+                .map(|(b, r)| (*b, Operand::Value(r.unwrap())))
+                .collect(),
+            ty,
+        };
+        f.blocks[merge.0 as usize].insts.push(iid);
+    } else {
+        // Drop the original instruction; it is no longer in any block.
+    }
+    f.blocks[merge.0 as usize].insts.extend(post);
+
+    // The original block's terminator moved into `merge`: fix φ-nodes in
+    // its successors that named `bid` as predecessor.
+    let succs: Vec<BlockId> = f.blocks[merge.0 as usize]
+        .insts
+        .last()
+        .map(|&last| f.inst(last).successors())
+        .unwrap_or_default();
+    for s in succs {
+        let insts = f.blocks[s.0 as usize].insts.clone();
+        for i in insts {
+            if let Inst::Phi { incomings, .. } = &mut f.insts[i.0 as usize] {
+                for (pb, _) in incomings.iter_mut() {
+                    if *pb == bid {
+                        *pb = merge;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Reports the §4.8 target-set reduction: for each signature-asserted
+/// indirect call site, `(before, after)` target counts.
+pub fn sig_assertion_reduction(analysis: &AnalysisResult) -> Vec<(usize, usize)> {
+    analysis
+        .callsites
+        .values()
+        .filter(|i| i.sig_asserted)
+        .map(|i| (i.targets_before_filter, i.targets.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_analysis::analyze;
+    use sva_ir::build::FunctionBuilder;
+    use sva_ir::verify::verify_module;
+    use sva_ir::GlobalInit;
+
+    fn mk_handlers(m: &mut Module) -> (FuncId, FuncId) {
+        let i64t = m.types.i64();
+        let hty = m.types.func(i64t, vec![i64t], false);
+        let h1 = m.add_function("h1", hty, Linkage::Internal);
+        let h2 = m.add_function("h2", hty, Linkage::Internal);
+        for (h, k) in [(h1, 1i64), (h2, 2)] {
+            let mut b = FunctionBuilder::new(m, h);
+            let x = b.param(0);
+            let c = b.c64(k);
+            let r = b.add(x, c);
+            b.ret(Some(r));
+        }
+        (h1, h2)
+    }
+
+    #[test]
+    fn cloning_splits_call_sites() {
+        let mut m = Module::new("t");
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let void = m.types.void();
+        let callee_ty = m.types.func(void, vec![p64], false);
+        let callee = m.add_function("helper", callee_ty, Linkage::Internal);
+        let main_ty = m.types.func(void, vec![p64, p64], false);
+        let main = m.add_function("main2", main_ty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, callee);
+            let p = b.param(0);
+            let one = b.c64(1);
+            b.store(one, p);
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, main);
+            let (x, y) = (b.param(0), b.param(1));
+            b.call(callee, vec![x]);
+            b.call(callee, vec![y]);
+            b.ret(None);
+        }
+        let cfg = AnalysisConfig::kernel();
+        let n = clone_functions(&mut m, &cfg);
+        assert_eq!(n, 1);
+        assert!(m.func_by_name("helper.clone1").is_some());
+        assert!(verify_module(&m).is_empty());
+        // With cloning, the two params are no longer merged.
+        let r = analyze(&m, &cfg);
+        let f = m.func(main);
+        let n0 = r.value_node(main, f.params[0]).unwrap();
+        let n1 = r.value_node(main, f.params[1]).unwrap();
+        assert_ne!(n0, n1, "cloning keeps call-site objects separate");
+    }
+
+    #[test]
+    fn cloning_skips_address_taken() {
+        let mut m = Module::new("t");
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let void = m.types.void();
+        let callee_ty = m.types.func(void, vec![p64], false);
+        let callee = m.add_function("helper", callee_ty, Linkage::Internal);
+        let cp = m.types.ptr(callee_ty);
+        m.add_global(
+            "fnp",
+            cp,
+            GlobalInit::Relocated {
+                bytes: vec![0; 8],
+                relocs: vec![(0, sva_ir::RelocTarget::Func("helper".into()))],
+            },
+            false,
+        );
+        let main_ty = m.types.func(void, vec![p64, p64], false);
+        let main = m.add_function("main2", main_ty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, callee);
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, main);
+            let (x, y) = (b.param(0), b.param(1));
+            b.call(callee, vec![x]);
+            b.call(callee, vec![y]);
+            b.ret(None);
+        }
+        assert_eq!(clone_functions(&mut m, &AnalysisConfig::kernel()), 0);
+    }
+
+    #[test]
+    fn devirtualization_rewrites_asserted_site() {
+        let mut m = Module::new("t");
+        let (h1, h2) = mk_handlers(&mut m);
+        let i64t = m.types.i64();
+        let hty = m.func(h1).ty;
+        let hp = m.types.ptr(hty);
+        let dty = m.types.func(i64t, vec![hp, i64t], false);
+        let d = m.add_function("dispatch", dty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, d);
+            let fp = b.param(0);
+            let x = b.param(1);
+            let r = b.call_indirect(fp, vec![x]).unwrap();
+            b.assert_call_signature();
+            b.ret(Some(r));
+        }
+        // Make both handlers reachable through the pointer: a caller that
+        // passes both.
+        let void = m.types.void();
+        let cty = m.types.func(void, vec![], false);
+        let c = m.add_function("caller", cty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, c);
+            let five = b.c64(5);
+            b.call(d, vec![Operand::Func(h1), five]);
+            let six = b.c64(6);
+            b.call(d, vec![Operand::Func(h2), six]);
+            b.ret(None);
+        }
+        let cfg = AnalysisConfig::kernel();
+        let analysis = analyze(&m, &cfg);
+        let n = devirtualize(&mut m, &analysis);
+        assert_eq!(n, 1);
+        let errs = verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+        // The dispatch function now contains direct calls to both handlers
+        // and no indirect call.
+        let f = m.func(d);
+        let mut direct = 0;
+        let mut indirect = 0;
+        for (_, iid) in f.inst_order() {
+            match f.inst(iid) {
+                Inst::Call {
+                    callee: Callee::Direct(_),
+                    ..
+                } => direct += 1,
+                Inst::Call {
+                    callee: Callee::Indirect(_),
+                    ..
+                } => indirect += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(direct, 2);
+        assert_eq!(indirect, 0);
+    }
+
+    #[test]
+    fn sig_reduction_reports_counts() {
+        let mut m = Module::new("t");
+        let (h1, _h2) = mk_handlers(&mut m);
+        let i64t = m.types.i64();
+        let hty = m.func(h1).ty;
+        let hp = m.types.ptr(hty);
+        let dty = m.types.func(i64t, vec![hp, i64t], false);
+        let d = m.add_function("dispatch", dty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, d);
+            let fp = b.param(0);
+            let x = b.param(1);
+            let r = b.call_indirect(fp, vec![x]).unwrap();
+            b.assert_call_signature();
+            b.ret(Some(r));
+        }
+        let analysis = analyze(&m, &AnalysisConfig::kernel());
+        let red = sig_assertion_reduction(&analysis);
+        assert_eq!(red.len(), 1);
+    }
+
+    /// Builds the two-call-site module of `cloning_splits_call_sites`, with
+    /// a configurable helper name.
+    fn two_site_module(helper_name: &str) -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let void = m.types.void();
+        let callee_ty = m.types.func(void, vec![p64], false);
+        let callee = m.add_function(helper_name, callee_ty, Linkage::Internal);
+        let main_ty = m.types.func(void, vec![p64, p64], false);
+        let main = m.add_function("main2", main_ty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, callee);
+            let p = b.param(0);
+            let one = b.c64(1);
+            b.store(one, p);
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, main);
+            let (x, y) = (b.param(0), b.param(1));
+            b.call(callee, vec![x]);
+            b.call(callee, vec![y]);
+            b.ret(None);
+        }
+        (m, callee)
+    }
+
+    #[test]
+    fn cloning_skips_excluded_functions() {
+        // An excluded helper is unanalyzed code: cloning it would not make
+        // any partition more precise, so the transform must leave it alone.
+        let (mut m, _) = two_site_module("lib_helper");
+        let cfg = AnalysisConfig::kernel_excluding(&["lib_"]);
+        assert_eq!(clone_functions(&mut m, &cfg), 0);
+        assert!(m.func_by_name("lib_helper.clone1").is_none());
+    }
+
+    #[test]
+    fn cloning_skips_single_call_site() {
+        let mut m = Module::new("t");
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let void = m.types.void();
+        let callee_ty = m.types.func(void, vec![p64], false);
+        let callee = m.add_function("helper", callee_ty, Linkage::Internal);
+        let main_ty = m.types.func(void, vec![p64], false);
+        let main = m.add_function("main1", main_ty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, callee);
+            let p = b.param(0);
+            let one = b.c64(1);
+            b.store(one, p);
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, main);
+            let x = b.param(0);
+            b.call(callee, vec![x]);
+            b.ret(None);
+        }
+        assert_eq!(clone_functions(&mut m, &AnalysisConfig::kernel()), 0);
+    }
+
+    #[test]
+    fn cloning_is_idempotent() {
+        let (mut m, _) = two_site_module("helper");
+        let cfg = AnalysisConfig::kernel();
+        assert_eq!(clone_functions(&mut m, &cfg), 1);
+        // Re-running finds each callee with one site only — nothing to do.
+        assert_eq!(clone_functions(&mut m, &cfg), 0);
+        assert!(verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn devirtualization_skips_unasserted_sites() {
+        // Without `!sigassert` the verifier cannot trust the target set, so
+        // the transform must not rewrite the call.
+        let mut m = Module::new("t");
+        let (h1, h2) = mk_handlers(&mut m);
+        let i64t = m.types.i64();
+        let hty = m.func(h1).ty;
+        let hp = m.types.ptr(hty);
+        let dty = m.types.func(i64t, vec![hp, i64t], false);
+        let d = m.add_function("dispatch", dty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, d);
+            let fp = b.param(0);
+            let x = b.param(1);
+            let r = b.call_indirect(fp, vec![x]).unwrap();
+            b.ret(Some(r));
+        }
+        let void = m.types.void();
+        let cty = m.types.func(void, vec![], false);
+        let c = m.add_function("caller", cty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, c);
+            let five = b.c64(5);
+            b.call(d, vec![Operand::Func(h1), five]);
+            let six = b.c64(6);
+            b.call(d, vec![Operand::Func(h2), six]);
+            b.ret(None);
+        }
+        let cfg = AnalysisConfig::kernel();
+        let analysis = analyze(&m, &cfg);
+        assert_eq!(devirtualize(&mut m, &analysis), 0);
+    }
+}

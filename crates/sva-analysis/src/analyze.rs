@@ -1,0 +1,1568 @@
+//! Constraint generation and interprocedural fixpoint.
+//!
+//! One flow-insensitive pass per function generates unification
+//! constraints; indirect calls (and internal system calls) are resolved in
+//! an interprocedural fixpoint that re-runs call-site binding as target
+//! sets grow. Completeness is then derived: partitions exposed to
+//! unanalyzed code (externals, excluded kernel modules, unanalyzable
+//! manufactured addresses) are *incomplete* and will receive only reduced
+//! checks (paper §4.5).
+
+use std::collections::HashMap;
+
+use sva_ir::{
+    AllocKind, Callee, CastOp, FuncId, GlobalId, Inst, InstId, Intrinsic, Module, Operand,
+    RelocTarget, SizeSpec, Type, TypeId, ValueId,
+};
+
+use crate::graph::{NodeId, PointsToGraph};
+
+/// Threshold below which an integer constant cast to a pointer is treated
+/// as an error encoding (null) rather than a manufactured address
+/// (paper §4.8: "small constant values (1 and −1, for example)").
+pub const SMALL_INT_PTR: i64 = 4096;
+
+/// The field *cell* a `getelementptr` lands in (field-sensitive DSA-style
+/// partitioning): arrays are element-periodic and transparent, the first
+/// struct level met defines the cell, and everything nested below stays
+/// inside it. A pointer already inside a field (`base_cell != 0`) stays
+/// there. Used identically by the analysis and the bytecode verifier.
+pub fn gep_cell(
+    types: &sva_ir::TypeTable,
+    base_ptr_ty: TypeId,
+    base_cell: u32,
+    indices: &[Operand],
+) -> u32 {
+    if base_cell != 0 || !types.is_ptr(base_ptr_ty) {
+        return base_cell;
+    }
+    let mut t = types.pointee(base_ptr_ty);
+    for (i, idx) in indices.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        match types.get(t) {
+            Type::Array(e, _) => t = *e,
+            Type::Struct(_) => {
+                return match idx {
+                    Operand::ConstInt(f, _) => *f as u32,
+                    _ => 0,
+                };
+            }
+            _ => return 0,
+        }
+    }
+    0
+}
+
+/// Configuration of an analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisConfig {
+    /// Functions whose bodies are *not* analyzed (the paper's "as tested"
+    /// kernel excluded the memory subsystem, two utility libraries and the
+    /// character drivers, §7.1). Matched by prefix against function names.
+    pub excluded_prefixes: Vec<String>,
+    /// Treat all of userspace as a single valid object reachable from
+    /// system-call arguments (paper §4.6). On by default in [`AnalysisConfig::kernel`].
+    pub userspace_object: bool,
+    /// Honor call-site signature assertions when resolving indirect calls
+    /// (paper §4.8).
+    pub use_sig_assertions: bool,
+}
+
+impl AnalysisConfig {
+    /// The configuration used for kernel analysis.
+    pub fn kernel() -> Self {
+        AnalysisConfig {
+            excluded_prefixes: Vec::new(),
+            userspace_object: true,
+            use_sig_assertions: true,
+        }
+    }
+
+    /// Kernel analysis with excluded subsystems (the paper's "as tested"
+    /// kernel, §7.1/§7.3).
+    pub fn kernel_excluding(prefixes: &[&str]) -> Self {
+        AnalysisConfig {
+            excluded_prefixes: prefixes.iter().map(|s| s.to_string()).collect(),
+            userspace_object: true,
+            use_sig_assertions: true,
+        }
+    }
+
+    /// Whether `name` is excluded from analysis.
+    pub fn is_excluded(&self, name: &str) -> bool {
+        self.excluded_prefixes
+            .iter()
+            .any(|p| name.starts_with(p.as_str()))
+    }
+}
+
+/// Resolution of one call site.
+#[derive(Clone, Debug, Default)]
+pub struct CallSiteInfo {
+    /// Possible callees (function ids) after any signature filtering.
+    pub targets: Vec<FuncId>,
+    /// Target-set size before signature filtering (for the §4.8 numbers).
+    pub targets_before_filter: usize,
+    /// Whether the programmer asserted signatures at this site.
+    pub sig_asserted: bool,
+    /// Whether the pointer node was incomplete (external callees possible).
+    pub may_call_unknown: bool,
+}
+
+/// A heap allocation site found by the analysis.
+#[derive(Clone, Debug)]
+pub struct AllocSite {
+    /// Containing function.
+    pub func: FuncId,
+    /// The call instruction.
+    pub inst: InstId,
+    /// Index into `module.allocators`.
+    pub allocator: usize,
+    /// The points-to node of the allocated objects.
+    pub node: NodeId,
+    /// How the byte size is computed from the call.
+    pub size: SizeSpec,
+}
+
+/// A deallocation site.
+#[derive(Clone, Debug)]
+pub struct DeallocSite {
+    /// Containing function.
+    pub func: FuncId,
+    /// The call instruction.
+    pub inst: InstId,
+    /// Index into `module.allocators`.
+    pub allocator: usize,
+    /// Node of the freed object (from the pointer argument).
+    pub node: Option<NodeId>,
+}
+
+/// Everything the safety-checking compiler needs from the analysis.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisResult {
+    /// The points-to graph.
+    pub graph: PointsToGraph,
+    /// Per-function, per-value node assignment with the field cell the
+    /// value points into (`[func][value]`).
+    pub value_nodes: Vec<Vec<Option<(NodeId, u32)>>>,
+    /// Node of each global's storage.
+    pub global_nodes: Vec<NodeId>,
+    /// Return-value node per function (pointer-returning functions).
+    pub ret_nodes: Vec<Option<NodeId>>,
+    /// Resolved call sites (indirect and internal-syscall).
+    pub callsites: HashMap<(FuncId, InstId), CallSiteInfo>,
+    /// Registered system calls: number → handler.
+    pub syscalls: HashMap<i64, FuncId>,
+    /// Registered interrupt handlers: vector → handler.
+    pub interrupts: HashMap<i64, FuncId>,
+    /// Heap allocation sites (for `pchk.reg.obj` insertion).
+    pub alloc_sites: Vec<AllocSite>,
+    /// Deallocation sites (for `pchk.drop.obj` insertion).
+    pub dealloc_sites: Vec<DeallocSite>,
+    /// Functions whose bodies were analyzed.
+    pub analyzed: Vec<bool>,
+    /// The userspace pseudo-object node, if `userspace_object` was set.
+    pub userspace_node: Option<NodeId>,
+    /// Allocation calls that could *not* be attributed (inside excluded
+    /// code): the paper's "allocation sites seen" metric denominator
+    /// includes these.
+    pub unseen_alloc_calls: u32,
+}
+
+impl AnalysisResult {
+    /// The (representative) node a value points to, if any.
+    pub fn value_node(&self, f: FuncId, v: ValueId) -> Option<NodeId> {
+        self.value_nodes
+            .get(f.0 as usize)
+            .and_then(|vs| vs.get(v.0 as usize).copied().flatten())
+            .map(|(n, _)| self.graph.find_ro(n))
+    }
+
+    /// The field cell a pointer value points into (0 for whole objects;
+    /// forced to 0 on field-collapsed nodes).
+    pub fn value_cell(&self, f: FuncId, v: ValueId) -> u32 {
+        match self
+            .value_nodes
+            .get(f.0 as usize)
+            .and_then(|vs| vs.get(v.0 as usize).copied().flatten())
+        {
+            Some((n, c)) => {
+                if self.graph.fields_collapsed(n) {
+                    0
+                } else {
+                    c
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// The node of a global's storage.
+    pub fn global_node(&self, g: GlobalId) -> NodeId {
+        self.graph.find_ro(self.global_nodes[g.0 as usize])
+    }
+}
+
+struct Analyzer<'m> {
+    m: &'m Module,
+    cfg: &'m AnalysisConfig,
+    g: PointsToGraph,
+    value_nodes: Vec<Vec<Option<(NodeId, u32)>>>,
+    global_nodes: Vec<NodeId>,
+    ret_nodes: Vec<Option<NodeId>>,
+    func_addr_nodes: HashMap<FuncId, NodeId>,
+    extern_addr_nodes: HashMap<u32, NodeId>,
+    /// Ordinary-allocator partition anchors (per allocator or size class).
+    alloc_anchor: HashMap<String, NodeId>,
+    analyzed: Vec<bool>,
+    syscalls: HashMap<i64, FuncId>,
+    interrupts: HashMap<i64, FuncId>,
+    callsites: HashMap<(FuncId, InstId), CallSiteInfo>,
+    alloc_sites: Vec<AllocSite>,
+    dealloc_sites: Vec<DeallocSite>,
+    userspace_node: Option<NodeId>,
+    unseen_alloc_calls: u32,
+}
+
+/// Runs the full analysis over a module.
+pub fn analyze(m: &Module, cfg: &AnalysisConfig) -> AnalysisResult {
+    let mut a = Analyzer {
+        m,
+        cfg,
+        g: PointsToGraph::new(),
+        value_nodes: m.funcs.iter().map(|f| vec![None; f.num_values()]).collect(),
+        global_nodes: Vec::new(),
+        ret_nodes: vec![None; m.funcs.len()],
+        func_addr_nodes: HashMap::new(),
+        extern_addr_nodes: HashMap::new(),
+        alloc_anchor: HashMap::new(),
+        analyzed: m.funcs.iter().map(|f| !cfg.is_excluded(&f.name)).collect(),
+        syscalls: HashMap::new(),
+        interrupts: HashMap::new(),
+        callsites: HashMap::new(),
+        alloc_sites: Vec::new(),
+        dealloc_sites: Vec::new(),
+        userspace_node: None,
+        unseen_alloc_calls: 0,
+    };
+    a.init_globals();
+    a.collect_registrations();
+    if cfg.userspace_object {
+        let n = a.g.fresh();
+        a.g.flags_mut(n).userspace = true;
+        a.userspace_node = Some(n);
+    }
+    // Intraprocedural pass over every analyzed function.
+    for fid in 0..m.funcs.len() {
+        let fid = FuncId(fid as u32);
+        if a.analyzed[fid.0 as usize] {
+            a.scan_function(fid);
+        } else {
+            a.mark_excluded(fid);
+        }
+    }
+    // Interprocedural fixpoint: indirect call targets may grow as nodes
+    // merge; rebind until stable.
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let changed = a.bind_callsites();
+        if !changed || iterations > 50 {
+            break;
+        }
+    }
+    // Userspace exposure: every node reachable from a syscall handler's
+    // parameters may receive the userspace pseudo-object (paper §4.6).
+    if let Some(us) = a.userspace_node {
+        let handlers: Vec<FuncId> = a.syscalls.values().copied().collect();
+        for h in handlers {
+            if !a.analyzed[h.0 as usize] {
+                continue;
+            }
+            let params = a.m.func(h).params.clone();
+            for p in params {
+                if let Some((n, _)) = a.value_nodes[h.0 as usize][p.0 as usize] {
+                    // The handler argument may *be* a userspace pointer.
+                    let types = &a.m.types;
+                    a.g.unify(types, n, us);
+                }
+            }
+        }
+    }
+    a.g.propagate_incomplete();
+    AnalysisResult {
+        graph: a.g,
+        value_nodes: a.value_nodes,
+        global_nodes: a.global_nodes,
+        ret_nodes: a.ret_nodes,
+        callsites: a.callsites,
+        syscalls: a.syscalls,
+        interrupts: a.interrupts,
+        alloc_sites: a.alloc_sites,
+        dealloc_sites: a.dealloc_sites,
+        analyzed: a.analyzed,
+        userspace_node: a.userspace_node,
+        unseen_alloc_calls: a.unseen_alloc_calls,
+    }
+}
+
+impl<'m> Analyzer<'m> {
+    fn init_globals(&mut self) {
+        for (gi, g) in self.m.globals.iter().enumerate() {
+            let n = self.g.fresh();
+            self.g.flags_mut(n).global = true;
+            self.observe_pointee_type(n, g.ty);
+            self.global_nodes.push(n);
+            let _ = gi;
+        }
+        // Wire relocated initializers: stored pointers give the global's
+        // pointee edge.
+        for (gi, g) in self.m.globals.iter().enumerate() {
+            if let sva_ir::GlobalInit::Relocated { relocs, .. } = &g.init {
+                let gn = self.global_nodes[gi];
+                for (_, target) in relocs {
+                    match target {
+                        RelocTarget::Func(name) => {
+                            let f = self.m.func_by_name(name).expect("reloc to known func");
+                            let p = self.g.pointee_or_fresh(gn);
+                            self.g.add_function(p, f);
+                        }
+                        RelocTarget::Global(name) => {
+                            let tg = self.m.global_by_name(name).expect("reloc to known global");
+                            let p = self.g.pointee_or_fresh(gn);
+                            let tn = self.global_nodes[tg.0 as usize];
+                            self.g.unify(&self.m.types, p, tn);
+                        }
+                        RelocTarget::Extern(_) => {
+                            let p = self.g.pointee_or_fresh(gn);
+                            self.g.flags_mut(p).incomplete = true;
+                            self.g.flags_mut(p).func = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-scan for `sva.register.syscall` / `sva.register.interrupt` so
+    /// internal syscalls can be resolved as direct calls (paper §4.8).
+    fn collect_registrations(&mut self) {
+        for (fi, f) in self.m.funcs.iter().enumerate() {
+            if !self.analyzed[fi] {
+                continue;
+            }
+            for inst in &f.insts {
+                if let Inst::Call {
+                    callee: Callee::Intrinsic(i),
+                    args,
+                } = inst
+                {
+                    let table = match i {
+                        Intrinsic::RegisterSyscall => &mut self.syscalls,
+                        Intrinsic::RegisterInterrupt => &mut self.interrupts,
+                        _ => continue,
+                    };
+                    if let (Some(Operand::ConstInt(num, _)), Some(Operand::Func(h))) =
+                        (args.first(), args.get(1))
+                    {
+                        table.insert(*num, *h);
+                    }
+                }
+            }
+        }
+    }
+
+    fn mark_excluded(&mut self, fid: FuncId) {
+        // An excluded function is unknown code: every pointer parameter it
+        // receives escapes analysis, and its return is unknown. Callers
+        // handle this at call sites; address-taken uses are handled by the
+        // function-address node below.
+        let n = self.func_addr_node(fid);
+        self.g.flags_mut(n).incomplete = true;
+    }
+
+    fn func_addr_node(&mut self, f: FuncId) -> NodeId {
+        if let Some(&n) = self.func_addr_nodes.get(&f) {
+            return n;
+        }
+        let n = self.g.fresh();
+        self.g.add_function(n, f);
+        self.func_addr_nodes.insert(f, n);
+        n
+    }
+
+    fn extern_addr_node(&mut self, e: u32) -> NodeId {
+        if let Some(&n) = self.extern_addr_nodes.get(&e) {
+            return n;
+        }
+        let n = self.g.fresh();
+        self.g.flags_mut(n).func = true;
+        self.g.flags_mut(n).incomplete = true;
+        self.extern_addr_nodes.insert(e, n);
+        n
+    }
+
+    /// Observes the pointee type `ty` on node `n`, skipping byte-like
+    /// types (`i8` and `[N x i8]`): raw byte buffers carry no layout
+    /// information, and letting one claim a pool would mislabel partitions
+    /// holding differently-sized untyped objects as type-homogeneous.
+    fn observe_pointee_type(&mut self, n: NodeId, ty: TypeId) {
+        let byte_like = match self.m.types.get(ty) {
+            Type::Int(8) => true,
+            Type::Array(e, _) => matches!(self.m.types.get(*e), Type::Int(8)),
+            _ => false,
+        };
+        if byte_like {
+            return;
+        }
+        self.g.observe_type(&self.m.types, n, ty);
+    }
+
+    fn is_ptr_sized_int(&self, ty: TypeId) -> bool {
+        matches!(self.m.types.get(ty), Type::Int(64))
+    }
+
+    fn set_value_node(&mut self, f: FuncId, v: ValueId, n: NodeId) -> NodeId {
+        self.set_value_node_cell(f, v, n, 0).0
+    }
+
+    fn set_value_node_cell(
+        &mut self,
+        f: FuncId,
+        v: ValueId,
+        n: NodeId,
+        cell: u32,
+    ) -> (NodeId, u32) {
+        let slot = self.value_nodes[f.0 as usize][v.0 as usize];
+        match slot {
+            None => {
+                self.value_nodes[f.0 as usize][v.0 as usize] = Some((n, cell));
+                (n, cell)
+            }
+            Some((prev, pcell)) => {
+                let rep = self.g.unify(&self.m.types, prev, n);
+                let cell = if pcell == cell {
+                    cell
+                } else {
+                    // A value reachable through two different fields: lose
+                    // field sensitivity for the node.
+                    self.g.collapse_fields(rep);
+                    0
+                };
+                let rep = self.g.find(rep);
+                self.value_nodes[f.0 as usize][v.0 as usize] = Some((rep, cell));
+                (rep, cell)
+            }
+        }
+    }
+
+    fn value_node_or_fresh(&mut self, f: FuncId, v: ValueId) -> NodeId {
+        self.value_node_or_fresh_cell(f, v).0
+    }
+
+    fn value_node_or_fresh_cell(&mut self, f: FuncId, v: ValueId) -> (NodeId, u32) {
+        if let Some((n, c)) = self.value_nodes[f.0 as usize][v.0 as usize] {
+            return (self.g.find(n), c);
+        }
+        let n = self.g.fresh();
+        self.value_nodes[f.0 as usize][v.0 as usize] = Some((n, 0));
+        // Observe the pointee type of the value if it is a pointer.
+        let ty = self.m.func(f).value_type(v);
+        if self.m.types.is_ptr(ty) {
+            let p = self.m.types.pointee(ty);
+            self.observe_pointee_type(n, p);
+        }
+        (n, 0)
+    }
+
+    /// Node (and field cell) an operand points to, or `None` for
+    /// null/constants.
+    fn operand_node_cell(&mut self, f: FuncId, op: &Operand) -> Option<(NodeId, u32)> {
+        match *op {
+            Operand::Value(v) => {
+                let ty = self.m.func(f).value_type(v);
+                if self.m.types.is_ptr(ty) || self.is_ptr_sized_int(ty) {
+                    Some(self.value_node_or_fresh_cell(f, v))
+                } else {
+                    self.value_nodes[f.0 as usize][v.0 as usize].map(|(n, c)| (self.g.find(n), c))
+                }
+            }
+            Operand::Global(g) => Some((self.g.find(self.global_nodes[g.0 as usize]), 0)),
+            Operand::Func(fid) => Some((self.func_addr_node(fid), 0)),
+            Operand::Extern(e) => Some((self.extern_addr_node(e.0), 0)),
+            Operand::ConstInt(..) | Operand::ConstF64(_) | Operand::Null(_) | Operand::Undef(_) => {
+                None
+            }
+        }
+    }
+
+    /// Node an operand points to, ignoring the cell.
+    fn operand_node(&mut self, f: FuncId, op: &Operand) -> Option<NodeId> {
+        self.operand_node_cell(f, op).map(|(n, _)| n)
+    }
+
+    fn scan_function(&mut self, fid: FuncId) {
+        let f = self.m.func(fid);
+        let insts: Vec<(InstId, Inst)> = f
+            .inst_order()
+            .map(|(_, iid)| (iid, f.inst(iid).clone()))
+            .collect();
+        // Pre-create nodes for pointer params so calls can bind them.
+        let params = f.params.clone();
+        for p in params {
+            let ty = f.value_type(p);
+            if self.m.types.is_ptr(ty) {
+                self.value_node_or_fresh(fid, p);
+            }
+        }
+        for (iid, inst) in insts {
+            self.scan_inst(fid, iid, &inst);
+        }
+    }
+
+    fn result_value(&self, fid: FuncId, iid: InstId) -> Option<ValueId> {
+        self.m.func(fid).result_of(iid)
+    }
+
+    fn scan_inst(&mut self, fid: FuncId, iid: InstId, inst: &Inst) {
+        let types_is_ptr = |a: &Analyzer<'m>, v: ValueId| {
+            let ty = a.m.func(fid).value_type(v);
+            a.m.types.is_ptr(ty)
+        };
+        match inst {
+            Inst::Alloca { ty, .. } => {
+                let res = self.result_value(fid, iid).unwrap();
+                let n = self.value_node_or_fresh(fid, res);
+                self.g.flags_mut(n).stack = true;
+                self.observe_pointee_type(n, *ty);
+            }
+            Inst::Gep { base, indices } => {
+                // Indexing stays within the same partition; the landing
+                // field defines the value's cell.
+                if let Some((bn, bcell)) = self.operand_node_cell(fid, base) {
+                    let res = self.result_value(fid, iid).unwrap();
+                    let bty = self.m.func(fid).operand_type(base, self.m);
+                    let cell = gep_cell(&self.m.types, bty, bcell, indices);
+                    self.set_value_node_cell(fid, res, bn, cell);
+                }
+            }
+            Inst::Cast { op, val, to } => {
+                let res = self.result_value(fid, iid).unwrap();
+                match op {
+                    CastOp::Bitcast => {
+                        if let Some((n, c)) = self.operand_node_cell(fid, val) {
+                            let (n, _) = self.set_value_node_cell(fid, res, n, c);
+                            let p = self.m.types.pointee(*to);
+                            // Interior pointers carry the field's type, not
+                            // the object's — only observe whole-object
+                            // views.
+                            if c == 0 {
+                                self.observe_pointee_type(n, p);
+                            }
+                        }
+                    }
+                    CastOp::PtrToInt => {
+                        // Track the integer as a potential pointer.
+                        if let Some((n, c)) = self.operand_node_cell(fid, val) {
+                            self.set_value_node_cell(fid, res, n, c);
+                        }
+                    }
+                    CastOp::IntToPtr => {
+                        let tracked = match val {
+                            Operand::ConstInt(v, _) if v.abs() < SMALL_INT_PTR => {
+                                // Error-encoding constant: treated as null
+                                // (paper §4.8).
+                                return;
+                            }
+                            Operand::Value(v) => {
+                                let vty = self.m.func(fid).value_type(*v);
+                                if self.is_ptr_sized_int(vty) {
+                                    // Tracked pointer-sized integer (§4.8):
+                                    // materialize its node and round-trip.
+                                    Some(self.value_node_or_fresh_cell(fid, *v))
+                                } else {
+                                    None
+                                }
+                            }
+                            _ => None,
+                        };
+                        match tracked {
+                            Some((n, c)) => {
+                                let (n, c2) = self.set_value_node_cell(fid, res, n, c);
+                                let p = self.m.types.pointee(*to);
+                                if c2 == 0 {
+                                    self.observe_pointee_type(n, p);
+                                }
+                            }
+                            None => {
+                                // Manufactured address: unanalyzable.
+                                let n = self.value_node_or_fresh(fid, res);
+                                self.g.flags_mut(n).unknown = true;
+                                self.g.collapse(n);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Inst::Bin { lhs, rhs, .. } => {
+                // Pointer-sized integer arithmetic propagates tracking
+                // (offset adjustment of a ptrtoint'd pointer).
+                let res = match self.result_value(fid, iid) {
+                    Some(r) => r,
+                    None => return,
+                };
+                let rty = self.m.func(fid).value_type(res);
+                if !self.is_ptr_sized_int(rty) {
+                    return;
+                }
+                // Materialize the base side's node (`ptr + offset` idiom):
+                // prefer the left operand, falling back to the right. This
+                // is the §4.8 pointer-sized-integer tracking.
+                let pick = |a: &mut Self, o: &Operand| match o {
+                    Operand::Value(v) => {
+                        let vty = a.m.func(fid).value_type(*v);
+                        if a.is_ptr_sized_int(vty) {
+                            Some(a.value_node_or_fresh_cell(fid, *v))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                let n = pick(self, lhs).or_else(|| pick(self, rhs));
+                if let Some((n, c)) = n {
+                    self.set_value_node_cell(fid, res, n, c);
+                }
+            }
+            Inst::Load { ptr } => {
+                let res = match self.result_value(fid, iid) {
+                    Some(r) => r,
+                    None => return,
+                };
+                let rty = self.m.func(fid).value_type(res);
+                if let Some((pn, cell)) = self.operand_node_cell(fid, ptr) {
+                    // Pointer results AND pointer-sized integers: the §4.8
+                    // int-tracking treats loaded i64s as potential pointers,
+                    // so they live in the cell's points-to successor.
+                    if self.m.types.is_ptr(rty) || self.is_ptr_sized_int(rty) {
+                        let pointee = self.g.pointee_at(pn, cell);
+                        self.set_value_node(fid, res, pointee);
+                    }
+                }
+            }
+            Inst::Store { val, ptr } => {
+                if let Some(vn) = self.operand_node(fid, val) {
+                    // Only pointer-typed (or tracked) values create edges.
+                    let vty = self.m.func(fid).operand_type(val, self.m);
+                    let tracked = self.m.types.is_ptr(vty)
+                        || matches!(val, Operand::Value(v)
+                            if self.value_nodes[fid.0 as usize][v.0 as usize].is_some());
+                    if tracked {
+                        if let Some((pn, cell)) = self.operand_node_cell(fid, ptr) {
+                            let pointee = self.g.pointee_at(pn, cell);
+                            self.g.unify(&self.m.types, pointee, vn);
+                            // The stored-to object may outlive any frame.
+                            self.g.flags_mut(vn).stored = true;
+                        }
+                    }
+                }
+            }
+            Inst::Phi { incomings, .. } => {
+                let res = self.result_value(fid, iid).unwrap();
+                let rty = self.m.func(fid).value_type(res);
+                if !self.m.types.is_ptr(rty) && !self.is_ptr_sized_int(rty) {
+                    return;
+                }
+                for (_, v) in incomings {
+                    if let Some((n, c)) = self.operand_node_cell(fid, v) {
+                        self.set_value_node_cell(fid, res, n, c);
+                    }
+                }
+            }
+            Inst::Select { tval, fval, .. } => {
+                let res = self.result_value(fid, iid).unwrap();
+                let rty = self.m.func(fid).value_type(res);
+                if !self.m.types.is_ptr(rty) && !self.is_ptr_sized_int(rty) {
+                    return;
+                }
+                for v in [tval, fval] {
+                    if let Some((n, c)) = self.operand_node_cell(fid, v) {
+                        self.set_value_node_cell(fid, res, n, c);
+                    }
+                }
+            }
+            Inst::AtomicRmw { ptr, .. } | Inst::CmpXchg { ptr, .. } => {
+                // Integer-only atomics: just materialize the object node.
+                let _ = self.operand_node(fid, ptr);
+            }
+            Inst::Ret { val: Some(v) } => {
+                let vty = self.m.func(fid).operand_type(v, self.m);
+                if self.m.types.is_ptr(vty) || self.is_ptr_sized_int(vty) {
+                    if let Some(n) = self.operand_node(fid, v) {
+                        self.g.flags_mut(n).stored = true;
+                        match self.ret_nodes[fid.0 as usize] {
+                            Some(rn) => {
+                                self.g.unify(&self.m.types, rn, n);
+                            }
+                            None => self.ret_nodes[fid.0 as usize] = Some(n),
+                        }
+                    }
+                }
+            }
+            Inst::Call { callee, args } => {
+                self.scan_call(fid, iid, callee, args);
+            }
+            _ => {}
+        }
+        let _ = types_is_ptr;
+    }
+
+    fn scan_call(&mut self, fid: FuncId, iid: InstId, callee: &Callee, args: &[Operand]) {
+        match callee {
+            Callee::Direct(target) => {
+                let tname = self.m.func(*target).name.clone();
+                if let Some(ai) = self.m.allocators.iter().position(|a| a.alloc_fn == tname) {
+                    self.scan_alloc_call(fid, iid, ai, args);
+                    return;
+                }
+                if let Some(alloc) = self
+                    .m
+                    .allocators
+                    .iter()
+                    .find(|a| a.pool_create_fn.as_deref() == Some(tname.as_str()))
+                {
+                    // Pool creation is a partition-birth point: clone the
+                    // descriptor per call site (heap-cloning style), so two
+                    // caches created at different sites never merge their
+                    // object pools through the descriptor allocator.
+                    let pool_name = alloc.name.clone();
+                    if let Some(res) = self.result_value(fid, iid) {
+                        let n = self.g.fresh();
+                        let n = self.set_value_node(fid, res, n);
+                        self.g.add_pool(n, &format!("{pool_name}:create"));
+                    }
+                    return;
+                }
+                if let Some(ai) = self
+                    .m
+                    .allocators
+                    .iter()
+                    .position(|a| a.dealloc_fn.as_deref() == Some(tname.as_str()))
+                {
+                    let node = args.last().and_then(|p| self.operand_node(fid, p));
+                    // Convention: the object pointer is the last argument
+                    // for pool allocators (cache, obj) and the only pointer
+                    // argument for ordinary ones.
+                    let node = match self.m.allocators[ai].pool_arg {
+                        Some(_) => node,
+                        None => args.first().and_then(|p| self.operand_node(fid, p)),
+                    };
+                    self.dealloc_sites.push(DeallocSite {
+                        func: fid,
+                        inst: iid,
+                        allocator: ai,
+                        node,
+                    });
+                    return;
+                }
+                if self.analyzed[target.0 as usize] {
+                    self.bind_direct(fid, iid, *target, args);
+                } else {
+                    self.escape_args(fid, args);
+                    if let Some(res) = self.result_value(fid, iid) {
+                        let rty = self.m.func(fid).value_type(res);
+                        if self.m.types.is_ptr(rty) {
+                            let n = self.value_node_or_fresh(fid, res);
+                            self.g.flags_mut(n).incomplete = true;
+                            // An unanalyzed allocator-ish function may hand
+                            // out heap objects we cannot see.
+                            self.unseen_alloc_calls +=
+                                u32::from(tname.contains("alloc") || tname.contains("get_page"));
+                        }
+                    }
+                }
+            }
+            Callee::External(_) => {
+                self.escape_args(fid, args);
+                if let Some(res) = self.result_value(fid, iid) {
+                    let rty = self.m.func(fid).value_type(res);
+                    if self.m.types.is_ptr(rty) {
+                        let n = self.value_node_or_fresh(fid, res);
+                        self.g.flags_mut(n).incomplete = true;
+                    }
+                }
+            }
+            Callee::Indirect(fp) => {
+                let node = self.operand_node(fid, fp);
+                let info = CallSiteInfo {
+                    sig_asserted: self.m.func(fid).sig_asserted_calls.contains(&iid)
+                        && self.cfg.use_sig_assertions,
+                    may_call_unknown: node.map(|n| !self.g.is_complete(n)).unwrap_or(true),
+                    ..Default::default()
+                };
+                self.callsites.insert((fid, iid), info);
+                // Targets bound in the interprocedural fixpoint.
+            }
+            Callee::Intrinsic(i) => self.scan_intrinsic(fid, iid, *i, args),
+        }
+    }
+
+    fn scan_alloc_call(&mut self, fid: FuncId, iid: InstId, ai: usize, args: &[Operand]) {
+        let alloc = &self.m.allocators[ai];
+        let res = match self.result_value(fid, iid) {
+            Some(r) => r,
+            None => return,
+        };
+        let obj = match alloc.kind {
+            AllocKind::Pool => {
+                // The pool descriptor argument's node anchors the object
+                // partition: one kernel pool = one metapool (paper §4.3).
+                let pool_arg = alloc.pool_arg.unwrap_or(0);
+                match args.get(pool_arg).and_then(|p| self.operand_node(fid, p)) {
+                    Some(desc) => self.g.pool_obj_or_fresh(desc),
+                    None => self.g.fresh(),
+                }
+            }
+            AllocKind::Ordinary => {
+                // One partition per allocator — unless the backing pool
+                // relationship is exposed and the size is a known constant,
+                // in which case each size class stays separate (§6.2).
+                let key = match (&alloc.backed_by, alloc.size) {
+                    (Some(_), SizeSpec::Arg(n)) => match args.get(n) {
+                        Some(Operand::ConstInt(sz, _)) => {
+                            format!("{}:{}", alloc.name, size_class(*sz as u64))
+                        }
+                        _ => alloc.name.clone(),
+                    },
+                    _ => alloc.name.clone(),
+                };
+                match self.alloc_anchor.get(&key) {
+                    Some(&n) => self.g.find(n),
+                    None => {
+                        let n = self.g.fresh();
+                        self.alloc_anchor.insert(key.clone(), n);
+                        self.g.add_pool(n, &key);
+                        n
+                    }
+                }
+            }
+        };
+        self.g.flags_mut(obj).heap = true;
+        self.g.add_pool(obj, &alloc.name);
+        self.g.add_alloc_site(obj);
+        let obj = self.set_value_node(fid, res, obj);
+        self.alloc_sites.push(AllocSite {
+            func: fid,
+            inst: iid,
+            allocator: ai,
+            node: obj,
+            size: alloc.size,
+        });
+    }
+
+    fn scan_intrinsic(&mut self, fid: FuncId, iid: InstId, i: Intrinsic, args: &[Operand]) {
+        match i {
+            Intrinsic::MemCpy | Intrinsic::MemMove => {
+                let dst = args.first().and_then(|o| self.operand_node(fid, o));
+                let src = args.get(1).and_then(|o| self.operand_node(fid, o));
+                if let (Some(d), Some(s)) = (dst, src) {
+                    let d_user = self.g.flags(d).userspace;
+                    let s_user = self.g.flags(s).userspace;
+                    if d_user || s_user {
+                        // §4.8 heuristic: merge only the targets of the
+                        // outgoing edges, not the objects themselves —
+                        // keeping kernel and userspace objects apart. This
+                        // requires precise type information on both sides;
+                        // otherwise collapse each node individually.
+                        let precise = !self.g.is_collapsed(d) && !self.g.is_collapsed(s);
+                        if precise {
+                            // Merge the targets of the copied objects'
+                            // outgoing edges, cell by cell.
+                            for (c, sp) in self.g.cells(s) {
+                                let dp = self.g.pointee_at(d, c);
+                                self.g.unify(&self.m.types, dp, sp);
+                            }
+                        } else {
+                            self.g.collapse(d);
+                            self.g.collapse(s);
+                        }
+                    } else {
+                        // Plain copy: handled like `p = q`.
+                        self.g.unify(&self.m.types, d, s);
+                    }
+                }
+            }
+            Intrinsic::PseudoAlloc => {
+                // Manufactured-address registration (paper §4.7): the
+                // result is a normal object, registered by the compiler.
+                if let Some(res) = self.result_value(fid, iid) {
+                    let n = self.value_node_or_fresh(fid, res);
+                    self.g.flags_mut(n).global = true;
+                }
+            }
+            Intrinsic::Syscall => {
+                // Internal system call: resolve by constant number
+                // (paper §4.8) and bind like a direct call.
+                if let Some(Operand::ConstInt(num, _)) = args.first() {
+                    if let Some(&handler) = self.syscalls.get(num) {
+                        if self.analyzed[handler.0 as usize] {
+                            self.bind_direct(fid, iid, handler, &args[1..]);
+                            self.callsites.insert(
+                                (fid, iid),
+                                CallSiteInfo {
+                                    targets: vec![handler],
+                                    targets_before_filter: 1,
+                                    sig_asserted: false,
+                                    may_call_unknown: false,
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    // Syscall with unknown number: all handlers possible.
+                    let handlers: Vec<FuncId> = self.syscalls.values().copied().collect();
+                    for h in handlers {
+                        if self.analyzed[h.0 as usize] {
+                            self.bind_direct(fid, iid, h, &args[1..]);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // SVA-OS operations are implemented by the (trusted) SVM
+                // and do not leak kernel pointers to unknown code; no
+                // constraints needed (paper §7.3: "all SVA operations are
+                // understood").
+            }
+        }
+    }
+
+    /// Binds arguments/return of a call to `target`'s parameters/return.
+    fn bind_direct(&mut self, fid: FuncId, iid: InstId, target: FuncId, args: &[Operand]) {
+        let tparams = self.m.func(target).params.clone();
+        for (a, p) in args.iter().zip(tparams.iter()) {
+            let pty = self.m.func(target).value_type(*p);
+            let want = self.m.types.is_ptr(pty) || self.is_ptr_sized_int(pty);
+            if !want {
+                continue;
+            }
+            if let Some(an) = self.operand_node(fid, a) {
+                let pn = self.value_node_or_fresh(target, *p);
+                self.g.unify(&self.m.types, an, pn);
+            }
+        }
+        if let Some(res) = self.result_value(fid, iid) {
+            let rty = self.m.func(fid).value_type(res);
+            if self.m.types.is_ptr(rty) || self.is_ptr_sized_int(rty) {
+                let rn = self.value_node_or_fresh(fid, res);
+                match self.ret_nodes[target.0 as usize] {
+                    Some(tn) => {
+                        self.g.unify(&self.m.types, rn, tn);
+                    }
+                    None => self.ret_nodes[target.0 as usize] = Some(rn),
+                }
+            }
+        }
+    }
+
+    /// Marks argument nodes of a call into unknown code as incomplete.
+    fn escape_args(&mut self, fid: FuncId, args: &[Operand]) {
+        for a in args {
+            if let Some(n) = self.operand_node(fid, a) {
+                self.g.flags_mut(n).incomplete = true;
+                self.g.flags_mut(n).stored = true;
+            }
+        }
+    }
+
+    /// One round of indirect-call binding; returns whether anything new
+    /// was bound.
+    fn bind_callsites(&mut self) -> bool {
+        let sites: Vec<(FuncId, InstId)> = self.callsites.keys().copied().collect();
+        let mut changed = false;
+        for (fid, iid) in sites {
+            let inst = self.m.func(fid).inst(iid).clone();
+            let (fp, args) = match &inst {
+                Inst::Call {
+                    callee: Callee::Indirect(fp),
+                    args,
+                } => (*fp, args.clone()),
+                _ => continue,
+            };
+            let node = match self.operand_node(fid, &fp) {
+                Some(n) => n,
+                None => continue,
+            };
+            let mut targets = self.g.functions(node);
+            let before = targets.len();
+            let info = self.callsites.get(&(fid, iid)).cloned().unwrap_or_default();
+            if info.sig_asserted {
+                // Keep only callees whose signature matches the call shape.
+                let fpty = self.m.func(fid).operand_type(&fp, self.m);
+                let want_ty = if self.m.types.is_ptr(fpty) {
+                    Some(self.m.types.pointee(fpty))
+                } else {
+                    None
+                };
+                targets.retain(|t| {
+                    let fty = self.m.func(*t).ty;
+                    match want_ty {
+                        Some(w) => fty == w,
+                        None => self.m.func(*t).params.len() == args.len(),
+                    }
+                });
+            }
+            let old = self
+                .callsites
+                .get(&(fid, iid))
+                .map(|i| i.targets.len())
+                .unwrap_or(0);
+            if targets.len() != old {
+                changed = true;
+                for t in &targets {
+                    if self.analyzed[t.0 as usize] {
+                        self.bind_direct(fid, iid, *t, &args);
+                    }
+                }
+            }
+            let may_unknown = !self.g.is_complete(node);
+            let entry = self.callsites.entry((fid, iid)).or_default();
+            entry.targets = targets;
+            entry.targets_before_filter = before;
+            entry.may_call_unknown = may_unknown;
+        }
+        changed
+    }
+}
+
+/// Rounds a size up to its kmalloc-style size class (powers of two from 32).
+pub fn size_class(sz: u64) -> u64 {
+    let mut c = 32;
+    while c < sz {
+        c *= 2;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_ir::build::FunctionBuilder;
+    use sva_ir::{AllocatorDecl, GlobalInit, Linkage};
+
+    fn module_with_kmalloc() -> Module {
+        let mut m = Module::new("t");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let i64 = m.types.i64();
+        let void = m.types.void();
+        let kty = m.types.func(bp, vec![i64], false);
+        m.add_function("kmalloc", kty, Linkage::Public);
+        let fty = m.types.func(void, vec![bp], false);
+        m.add_function("kfree", fty, Linkage::Public);
+        m.declare_allocator(AllocatorDecl {
+            name: "kmalloc".into(),
+            kind: AllocKind::Ordinary,
+            alloc_fn: "kmalloc".into(),
+            dealloc_fn: Some("kfree".into()),
+            pool_create_fn: None,
+            pool_destroy_fn: None,
+            size: SizeSpec::Arg(0),
+            size_fn: None,
+            pool_arg: None,
+            backed_by: None,
+        });
+        // Give the allocator bodies (they'd normally be in the memory
+        // subsystem); a trivial body suffices for the analysis.
+        {
+            let f = m.func_by_name("kmalloc").unwrap();
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let n = b.null(i8);
+            b.ret(Some(n));
+        }
+        {
+            let f = m.func_by_name("kfree").unwrap();
+            let mut b = FunctionBuilder::new(&mut m, f);
+            b.ret(None);
+        }
+        m
+    }
+
+    #[test]
+    fn alloca_makes_stack_node() {
+        let mut m = Module::new("t");
+        let i64 = m.types.i64();
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("f", fty, Linkage::Public);
+        m.intern_address_types();
+        let slot;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s = b.alloca(i64);
+            slot = FunctionBuilder::value_of(s);
+            let one = b.c64(1);
+            b.store(one, s);
+            b.ret(None);
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n = r.value_node(f, slot).unwrap();
+        assert!(r.graph.flags(n).stack);
+        assert!(r.graph.is_th(n));
+        assert_eq!(r.graph.elem_type(n), Some(i64));
+        assert!(!r.graph.flags(n).stored, "storing INTO it is not escaping");
+    }
+
+    #[test]
+    fn escaping_alloca_is_marked_stored() {
+        let mut m = Module::new("t");
+        let i64 = m.types.i64();
+        let p64 = m.types.ptr(i64);
+        let g = m.add_global("sink", p64, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("f", fty, Linkage::Public);
+        m.intern_address_types();
+        let slot;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s = b.alloca(i64);
+            slot = FunctionBuilder::value_of(s);
+            b.store(s, sva_ir::Operand::Global(g));
+            b.ret(None);
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n = r.value_node(f, slot).unwrap();
+        assert!(r.graph.flags(n).stored, "address escaped into a global");
+        // The global's pointee is the alloca node.
+        let gp = r.graph.pointee(r.global_node(sva_ir::GlobalId(0))).unwrap();
+        assert_eq!(gp, n);
+    }
+
+    #[test]
+    fn kmalloc_result_is_heap_with_alloc_site() {
+        let mut m = module_with_kmalloc();
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let fty = m.types.func(bp, vec![], false);
+        let f = m.add_function("use", fty, Linkage::Public);
+        m.intern_address_types();
+        let res;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let sz = b.c64(96);
+            let r = b.call_named("kmalloc", vec![sz]).unwrap();
+            res = FunctionBuilder::value_of(r);
+            b.ret(Some(r));
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n = r.value_node(f, res).unwrap();
+        assert!(r.graph.flags(n).heap);
+        assert_eq!(r.graph.alloc_sites(n), 1);
+        assert_eq!(r.alloc_sites.len(), 1);
+        assert_eq!(r.alloc_sites[0].func, f);
+    }
+
+    #[test]
+    fn kmalloc_size_classes_stay_separate_with_backing() {
+        let mut m = module_with_kmalloc();
+        m.allocators[0].backed_by = Some("kmem_cache".into());
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("use", fty, Linkage::Public);
+        m.intern_address_types();
+        let (r1, r2, r3);
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s1 = b.c64(64);
+            let a1 = b.call_named("kmalloc", vec![s1]).unwrap();
+            r1 = FunctionBuilder::value_of(a1);
+            let s2 = b.c64(500);
+            let a2 = b.call_named("kmalloc", vec![s2]).unwrap();
+            r2 = FunctionBuilder::value_of(a2);
+            let s3 = b.c64(40);
+            let a3 = b.call_named("kmalloc", vec![s3]).unwrap();
+            r3 = FunctionBuilder::value_of(a3);
+            b.ret(None);
+        }
+        let _ = bp;
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n1 = r.value_node(f, r1).unwrap();
+        let n2 = r.value_node(f, r2).unwrap();
+        let n3 = r.value_node(f, r3).unwrap();
+        assert_ne!(n1, n2, "different size classes stay separate");
+        assert_eq!(n1, n3, "same size class (64) shares a partition");
+    }
+
+    #[test]
+    fn without_backing_all_kmalloc_merges() {
+        let mut m = module_with_kmalloc();
+        let i8 = m.types.i8();
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![], false);
+        let f = m.add_function("use", fty, Linkage::Public);
+        m.intern_address_types();
+        let (r1, r2);
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let s1 = b.c64(64);
+            let a1 = b.call_named("kmalloc", vec![s1]).unwrap();
+            r1 = FunctionBuilder::value_of(a1);
+            let s2 = b.c64(500);
+            let a2 = b.call_named("kmalloc", vec![s2]).unwrap();
+            r2 = FunctionBuilder::value_of(a2);
+            b.ret(None);
+        }
+        let _ = i8;
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        assert_eq!(r.value_node(f, r1), r.value_node(f, r2));
+    }
+
+    #[test]
+    fn small_int_to_ptr_is_null_not_unknown() {
+        let mut m = Module::new("t");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let fty = m.types.func(bp, vec![], false);
+        let f = m.add_function("errptr", fty, Linkage::Public);
+        m.intern_address_types();
+        let res;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let c = b.c64(-1);
+            let p = b.inttoptr(c, i8);
+            res = FunctionBuilder::value_of(p);
+            b.ret(Some(p));
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        // The node (if any) must not be unknown.
+        if let Some(n) = r.value_node(f, res) {
+            assert!(!r.graph.flags(n).unknown);
+        }
+    }
+
+    #[test]
+    fn large_int_to_ptr_is_unknown() {
+        let mut m = Module::new("t");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let fty = m.types.func(bp, vec![], false);
+        let f = m.add_function("manuf", fty, Linkage::Public);
+        m.intern_address_types();
+        let res;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let c = b.c64(0xE0000);
+            let p = b.inttoptr(c, i8);
+            res = FunctionBuilder::value_of(p);
+            b.ret(Some(p));
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n = r.value_node(f, res).unwrap();
+        assert!(r.graph.flags(n).unknown);
+        assert!(!r.graph.is_complete(n));
+    }
+
+    #[test]
+    fn ptrtoint_round_trip_stays_tracked() {
+        let mut m = Module::new("t");
+        let i64 = m.types.i64();
+        let p64 = m.types.ptr(i64);
+        let fty = m.types.func(p64, vec![p64], false);
+        let f = m.add_function("rt", fty, Linkage::Public);
+        m.intern_address_types();
+        let (pin, pout);
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let p = b.param(0);
+            pin = FunctionBuilder::value_of(p);
+            let x = b.ptrtoint(p);
+            let eight = b.c64(8);
+            let y = b.add(x, eight);
+            let q = b.inttoptr(y, i64);
+            pout = FunctionBuilder::value_of(q);
+            b.ret(Some(q));
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        assert_eq!(r.value_node(f, pin), r.value_node(f, pout));
+        let n = r.value_node(f, pin).unwrap();
+        assert!(!r.graph.flags(n).unknown);
+    }
+
+    #[test]
+    fn extern_call_makes_args_incomplete() {
+        let mut m = Module::new("t");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let void = m.types.void();
+        let ety = m.types.func(void, vec![bp], false);
+        m.add_extern("mystery", ety);
+        let fty = m.types.func(void, vec![bp], false);
+        let f = m.add_function("leak", fty, Linkage::Public);
+        m.intern_address_types();
+        let param;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let p = b.param(0);
+            param = FunctionBuilder::value_of(p);
+            b.call_named("mystery", vec![p]);
+            b.ret(None);
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n = r.value_node(f, param).unwrap();
+        assert!(!r.graph.is_complete(n));
+    }
+
+    #[test]
+    fn indirect_call_targets_from_table() {
+        let mut m = Module::new("t");
+        let i64 = m.types.i64();
+        let hty = m.types.func(i64, vec![i64], false);
+        let h1 = m.add_function("h1", hty, Linkage::Internal);
+        let h2 = m.add_function("h2", hty, Linkage::Internal);
+        let hp = m.types.ptr(hty);
+        let table_ty = m.types.array(hp, 2);
+        let bytes = vec![0u8; 16];
+        let g = m.add_global(
+            "handlers",
+            table_ty,
+            GlobalInit::Relocated {
+                bytes,
+                relocs: vec![
+                    (0, RelocTarget::Func("h1".into())),
+                    (8, RelocTarget::Func("h2".into())),
+                ],
+            },
+            true,
+        );
+        let fty = m.types.func(i64, vec![i64, i64], false);
+        let f = m.add_function("dispatch", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            for h in [h1, h2] {
+                let mut b = FunctionBuilder::new(&mut m, h);
+                let x = b.param(0);
+                b.ret(Some(x));
+            }
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let idx = b.param(0);
+            let arg = b.param(1);
+            let slot = b.array_elem_ptr(Operand::Global(g), idx);
+            let fp = b.load(slot);
+            let r = b.call_indirect(fp, vec![arg]).unwrap();
+            b.ret(Some(r));
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let site = r
+            .callsites
+            .iter()
+            .find(|((cf, _), _)| *cf == f)
+            .map(|(_, info)| info.clone())
+            .expect("callsite recorded");
+        let mut t = site.targets.clone();
+        t.sort();
+        assert_eq!(t, vec![h1, h2]);
+    }
+
+    #[test]
+    fn syscall_registration_and_internal_resolution() {
+        let mut m = Module::new("t");
+        let i64 = m.types.i64();
+        let hty = m.types.func(i64, vec![i64], false);
+        let h = m.add_function("sys_write", hty, Linkage::Internal);
+        let void = m.types.void();
+        let ety = m.types.func(void, vec![], false);
+        let boot = m.add_function("boot", ety, Linkage::Public);
+        let uty = m.types.func(i64, vec![i64], false);
+        let internal = m.add_function("call_write", uty, Linkage::Internal);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, h);
+            let x = b.param(0);
+            b.ret(Some(x));
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, boot);
+            let num = b.c64(4);
+            b.intrinsic(
+                Intrinsic::RegisterSyscall,
+                vec![num, Operand::Func(h)],
+                None,
+            );
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, internal);
+            let arg = b.param(0);
+            let num = b.c64(4);
+            let r = b.syscall(num, vec![arg]);
+            b.ret(Some(r));
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        assert_eq!(r.syscalls.get(&4), Some(&h));
+        let info = r
+            .callsites
+            .get(&(internal, InstId(0)))
+            .expect("internal syscall resolved");
+        assert_eq!(info.targets, vec![h]);
+    }
+
+    #[test]
+    fn excluded_function_params_make_callers_incomplete() {
+        let mut m = Module::new("t");
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let void = m.types.void();
+        let ety = m.types.func(void, vec![bp], false);
+        let lib = m.add_function("lib_copy", ety, Linkage::Public);
+        let fty = m.types.func(void, vec![bp], false);
+        let f = m.add_function("caller", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, lib);
+            b.ret(None);
+        }
+        let param;
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let p = b.param(0);
+            param = FunctionBuilder::value_of(p);
+            b.call(lib, vec![p]);
+            b.ret(None);
+        }
+        // Entire kernel: complete.
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let n = r.value_node(f, param).unwrap();
+        assert!(r.graph.is_complete(n));
+        // Excluding the library: incomplete.
+        let r = analyze(&m, &AnalysisConfig::kernel_excluding(&["lib_"]));
+        let n = r.value_node(f, param).unwrap();
+        assert!(!r.graph.is_complete(n));
+    }
+
+    #[test]
+    fn size_class_rounding() {
+        assert_eq!(size_class(1), 32);
+        assert_eq!(size_class(32), 32);
+        assert_eq!(size_class(33), 64);
+        assert_eq!(size_class(96), 128);
+        assert_eq!(size_class(4096), 4096);
+    }
+}
+
+#[cfg(test)]
+mod cell_tests {
+    use super::*;
+    use sva_ir::build::FunctionBuilder;
+    use sva_ir::{GlobalInit, Linkage};
+
+    #[test]
+    fn gep_cell_rules() {
+        let mut t = sva_ir::TypeTable::new();
+        let i32t = t.i32();
+        let i64t = t.i64();
+        let arr = t.array(i64t, 4);
+        let s = t.struct_type("rec", vec![i64t, arr, i32t]);
+        let sp = t.ptr(s);
+        let sarr = t.array(s, 8);
+        let sap = t.ptr(sarr);
+        let p64 = t.ptr(i64t);
+        let z32 = Operand::ConstInt(0, i32t);
+        let one = Operand::ConstInt(1, i32t);
+        let two = Operand::ConstInt(2, i32t);
+        let dynv = Operand::Value(ValueId(0));
+        // &p->field2 → cell 2.
+        assert_eq!(gep_cell(&t, sp, 0, &[z32, two]), 2);
+        // &p->field1[i] → cell 1 (nested array folds into the field).
+        assert_eq!(gep_cell(&t, sp, 0, &[z32, one, dynv]), 1);
+        // &arr[i].field1 → array transparent, cell 1.
+        assert_eq!(gep_cell(&t, sap, 0, &[z32, dynv, one]), 1);
+        // plain pointer arithmetic on i64* → cell 0.
+        assert_eq!(gep_cell(&t, p64, 0, &[dynv]), 0);
+        // already inside a field: stays there.
+        assert_eq!(gep_cell(&t, p64, 3, &[dynv]), 3);
+    }
+
+    /// Scalar fields must not alias pointer fields of the same struct:
+    /// storing a syscall-arg integer into `size` must not drag the
+    /// `data` pointer's partition into the argument's partition.
+    #[test]
+    fn field_sensitivity_keeps_scalar_and_pointer_fields_apart() {
+        let mut m = Module::new("t");
+        let i8t = m.types.i8();
+        let bp = m.types.ptr(i8t);
+        let i64t = m.types.i64();
+        // struct inode { size: i64, data: i8* }
+        let inode = m.types.struct_type("inode", vec![i64t, bp]);
+        let _g = m.add_global("ino", inode, GlobalInit::Zero, false);
+        let buf = m.types.array(i8t, 64);
+        let _g2 = m.add_global("storage", buf, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![i64t], false);
+        let f = m.add_function("sys_set", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let n = b.param(0); // untrusted size
+            let g = Operand::Global(sva_ir::GlobalId(0));
+            let size_p = b.field_ptr(g, 0);
+            b.store(n, size_p); // scalar field takes the tracked int
+            let data_p = b.field_ptr(g, 1);
+            let g2 = Operand::Global(sva_ir::GlobalId(1));
+            let zero = b.c32(0);
+            let s0 = b.gep(g2, vec![zero, zero]);
+            b.store(s0, data_p); // pointer field points at storage
+            b.ret(None);
+        }
+        // Register as a syscall handler so the param unifies with the
+        // userspace pseudo-object.
+        let void2 = m.types.void();
+        let boot_ty = m.types.func(void2, vec![], false);
+        let boot = m.add_function("boot", boot_ty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, boot);
+            let n = b.c64(7);
+            b.intrinsic(Intrinsic::RegisterSyscall, vec![n, Operand::Func(f)], None);
+            b.ret(None);
+        }
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let us = r.graph.find_ro(r.userspace_node.unwrap());
+        let storage = r.global_node(sva_ir::GlobalId(1));
+        assert_ne!(
+            storage, us,
+            "the data pointer's target must not merge with userspace"
+        );
+        // But the scalar cell's contents did merge with userspace (the
+        // tracked integer lives there).
+        let ino = r.global_node(sva_ir::GlobalId(0));
+        let cell0 = r.graph.pointee_at_ro(ino, 0).unwrap();
+        assert_eq!(cell0, us);
+        // And the pointer cell points at storage.
+        let cell1 = r.graph.pointee_at_ro(ino, 1).unwrap();
+        assert_eq!(cell1, storage);
+    }
+
+    /// Conflicting access patterns collapse field sensitivity, soundly
+    /// folding the cells together.
+    #[test]
+    fn field_collapse_merges_cells() {
+        let mut t = sva_ir::TypeTable::new();
+        let mut g = crate::graph::PointsToGraph::new();
+        let n = g.fresh();
+        let a = g.pointee_at(n, 0);
+        let b = g.pointee_at(n, 1);
+        assert_ne!(g.find_ro(a), g.find_ro(b));
+        g.collapse_fields(n);
+        assert_eq!(g.find_ro(a), g.find_ro(b), "cells folded");
+        // New cell lookups route through cell 0.
+        let c = g.pointee_at(n, 5);
+        assert_eq!(g.find_ro(c), g.find_ro(a));
+        let _ = &mut t;
+    }
+}

@@ -1,0 +1,693 @@
+//! The points-to graph: union-find nodes with unification.
+//!
+//! Each node represents one static partition of memory objects (paper
+//! §4.3). Because the analysis is unification-based, merging two nodes also
+//! merges their outgoing points-to edges, recursively. Like the paper's
+//! DSA nodes, partitions are **field-sensitive**: a node whose element type
+//! is a struct keeps one points-to *cell per top-level field* (arrays are
+//! element-periodic and transparent), so the `size` field of an inode does
+//! not alias its `data` pointer. Conflicting layouts collapse the fields
+//! into a single cell, sacrificing precision but preserving soundness.
+//!
+//! Node type information drives the type-homogeneity inference: a node
+//! whose observed element types all agree (up to "same type or array
+//! thereof") keeps that type; conflicting observations *collapse* the
+//! node.
+
+use std::collections::BTreeSet;
+
+use sva_ir::{FuncId, TypeId, TypeTable};
+
+/// Handle of a points-to graph node. Always resolve through
+/// [`PointsToGraph::find`] before comparing: merged nodes alias.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// Memory-class and analysis flags of a node (paper Fig. 2 legend:
+/// H/S/G/F/U plus completeness).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct NodeFlags {
+    /// Contains heap objects.
+    pub heap: bool,
+    /// Contains stack objects.
+    pub stack: bool,
+    /// Contains global objects.
+    pub global: bool,
+    /// Contains functions.
+    pub func: bool,
+    /// Contains values from unanalyzable sources (manufactured addresses).
+    pub unknown: bool,
+    /// Escapes to (or arrives from) code outside the analyzed portion.
+    pub incomplete: bool,
+    /// Is (or includes) the userspace pseudo-object (paper §4.6).
+    pub userspace: bool,
+    /// Objects of this node had their address stored into memory (or
+    /// returned), so pointers to them may outlive the defining frame —
+    /// drives stack-to-heap promotion (paper §4.3).
+    pub stored: bool,
+}
+
+impl NodeFlags {
+    fn merge(&mut self, o: &NodeFlags) {
+        self.heap |= o.heap;
+        self.stack |= o.stack;
+        self.global |= o.global;
+        self.func |= o.func;
+        self.unknown |= o.unknown;
+        self.incomplete |= o.incomplete;
+        self.userspace |= o.userspace;
+        self.stored |= o.stored;
+    }
+
+    /// One-letter-per-flag rendering (`HSGFU!u`), as in paper Fig. 2.
+    pub fn letters(&self) -> String {
+        let mut s = String::new();
+        if self.global {
+            s.push('G');
+        }
+        if self.heap {
+            s.push('H');
+        }
+        if self.stack {
+            s.push('S');
+        }
+        if self.func {
+            s.push('F');
+        }
+        if self.unknown {
+            s.push('U');
+        }
+        if self.incomplete {
+            s.push('I');
+        }
+        if self.userspace {
+            s.push('u');
+        }
+        s
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeData {
+    pub flags: NodeFlags,
+    /// Observed cell type, when consistent.
+    pub elem_type: Option<TypeId>,
+    /// Type information lost (conflicting observations).
+    pub collapsed: bool,
+    /// Outgoing points-to edges, one per top-level field ("cell").
+    pub cells: std::collections::BTreeMap<u32, NodeId>,
+    /// Field sensitivity lost: every cell folded into cell 0.
+    pub fields_collapsed: bool,
+    /// For pool-descriptor nodes: the node of the objects the pool hands
+    /// out (an auxiliary edge so allocations from the same kernel pool land
+    /// in the same partition, paper §4.3).
+    pub pool_obj: Option<NodeId>,
+    /// Functions contained in this node (indirect-call targets).
+    pub functions: BTreeSet<FuncId>,
+    /// Names of kernel allocators/pools feeding this node.
+    pub pools: BTreeSet<String>,
+    /// Count of allocation sites assigned to this node.
+    pub alloc_sites: u32,
+}
+
+/// The unification-based points-to graph.
+#[derive(Clone, Debug, Default)]
+pub struct PointsToGraph {
+    parent: Vec<u32>,
+    nodes: Vec<NodeData>,
+}
+
+impl PointsToGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, empty node.
+    pub fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.parent.len() as u32);
+        self.parent.push(id.0);
+        self.nodes.push(NodeData::default());
+        id
+    }
+
+    /// Number of representative (live) nodes.
+    pub fn num_reps(&self) -> usize {
+        (0..self.parent.len() as u32)
+            .filter(|&i| self.parent[i as usize] == i)
+            .count()
+    }
+
+    /// Total allocated node slots (including merged-away ones).
+    pub fn num_slots(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Union-find root with path compression.
+    pub fn find(&mut self, n: NodeId) -> NodeId {
+        let mut r = n.0;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        // Path compression.
+        let mut c = n.0;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        NodeId(r)
+    }
+
+    /// Read-only find (no compression), for immutable contexts.
+    pub fn find_ro(&self, n: NodeId) -> NodeId {
+        let mut r = n.0;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        NodeId(r)
+    }
+
+    pub(crate) fn data(&mut self, n: NodeId) -> &mut NodeData {
+        let r = self.find(n);
+        &mut self.nodes[r.0 as usize]
+    }
+
+    pub(crate) fn data_ro(&self, n: NodeId) -> &NodeData {
+        let r = self.find_ro(n);
+        &self.nodes[r.0 as usize]
+    }
+
+    /// Merges two nodes (and, recursively, their pointees). Returns the
+    /// representative.
+    pub fn unify(&mut self, types: &TypeTable, a: NodeId, b: NodeId) -> NodeId {
+        // Iterative worklist to handle pointee chains and cycles.
+        let mut work = vec![(a, b)];
+        let mut last = self.find(a);
+        while let Some((a, b)) = work.pop() {
+            last = self.unify_step(types, a, b, &mut work);
+        }
+        last
+    }
+
+    /// Type-less unify used internally by [`PointsToGraph::collapse_fields`]
+    /// (cell folding cannot consult the type table; merged element types
+    /// are reconciled conservatively by collapsing).
+    fn unify_raw(&mut self, a: NodeId, b: NodeId, work: &mut Vec<(NodeId, NodeId)>) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Conflicting element types cannot be checked here; collapse types
+        // when both sides carry one and they differ.
+        let (keep, gone) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+        self.parent[gone.0 as usize] = keep.0;
+        let gone_data = std::mem::take(&mut self.nodes[gone.0 as usize]);
+        let keep_data = &mut self.nodes[keep.0 as usize];
+        keep_data.flags.merge(&gone_data.flags);
+        keep_data.functions.extend(gone_data.functions);
+        keep_data.pools.extend(gone_data.pools);
+        keep_data.alloc_sites += gone_data.alloc_sites;
+        keep_data.collapsed |= gone_data.collapsed;
+        // Conflicting element types cannot be reconciled without the type
+        // table; collapse when both carry one and they differ.
+        match (keep_data.elem_type, gone_data.elem_type) {
+            (Some(t1), Some(t2)) if t1 != t2 => {
+                keep_data.collapsed = true;
+                keep_data.elem_type = None;
+            }
+            (None, Some(t)) if !keep_data.collapsed => keep_data.elem_type = Some(t),
+            _ => {}
+        }
+        let kpo = keep_data.pool_obj;
+        let both_collapsed = keep_data.fields_collapsed || gone_data.fields_collapsed;
+        keep_data.fields_collapsed |= gone_data.fields_collapsed;
+        for (cell, p2) in gone_data.cells {
+            match self.nodes[keep.0 as usize].cells.get(&cell) {
+                Some(&p1) => work.push((p1, p2)),
+                None => {
+                    self.nodes[keep.0 as usize].cells.insert(cell, p2);
+                }
+            }
+        }
+        match (kpo, gone_data.pool_obj) {
+            (Some(p1), Some(p2)) => work.push((p1, p2)),
+            (None, Some(p2)) => self.nodes[keep.0 as usize].pool_obj = Some(p2),
+            _ => {}
+        }
+        if both_collapsed {
+            self.fold_cells(keep, work);
+        }
+    }
+
+    fn unify_step(
+        &mut self,
+        types: &TypeTable,
+        a: NodeId,
+        b: NodeId,
+        work: &mut Vec<(NodeId, NodeId)>,
+    ) -> NodeId {
+        {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return ra;
+            }
+            // Union by index order (deterministic).
+            let (keep, gone) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+            self.parent[gone.0 as usize] = keep.0;
+            let gone_data = std::mem::take(&mut self.nodes[gone.0 as usize]);
+            let keep_data = &mut self.nodes[keep.0 as usize];
+            keep_data.flags.merge(&gone_data.flags);
+            keep_data.functions.extend(gone_data.functions);
+            keep_data.pools.extend(gone_data.pools);
+            keep_data.alloc_sites += gone_data.alloc_sites;
+            keep_data.collapsed |= gone_data.collapsed;
+            // Type merging.
+            match (keep_data.elem_type, gone_data.elem_type) {
+                (Some(t1), Some(t2)) if t1 != t2 => {
+                    if types.same_or_array_of(t1, t2) {
+                        // Prefer the scalar element type over the array.
+                        if matches!(types.get(t1), sva_ir::Type::Array(e, _) if *e == t2) {
+                            keep_data.elem_type = Some(t2);
+                        }
+                    } else {
+                        keep_data.collapsed = true;
+                        keep_data.elem_type = None;
+                    }
+                }
+                (None, Some(t)) if !keep_data.collapsed => {
+                    keep_data.elem_type = Some(t);
+                }
+                _ => {}
+            }
+            if keep_data.collapsed {
+                keep_data.elem_type = None;
+            }
+            // Cell-wise pointee unification.
+            let kpo = keep_data.pool_obj;
+            let both_collapsed = keep_data.fields_collapsed || gone_data.fields_collapsed;
+            keep_data.fields_collapsed |= gone_data.fields_collapsed;
+            for (cell, p2) in gone_data.cells {
+                match self.nodes[keep.0 as usize].cells.get(&cell) {
+                    Some(&p1) => work.push((p1, p2)),
+                    None => {
+                        self.nodes[keep.0 as usize].cells.insert(cell, p2);
+                    }
+                }
+            }
+            match (kpo, gone_data.pool_obj) {
+                (Some(p1), Some(p2)) => work.push((p1, p2)),
+                (None, Some(p2)) => self.nodes[keep.0 as usize].pool_obj = Some(p2),
+                _ => {}
+            }
+            if both_collapsed {
+                self.fold_cells(keep, work);
+            }
+            keep
+        }
+    }
+
+    /// Folds every cell of `n` into cell 0, queueing the required pointee
+    /// unifications on `work`.
+    fn fold_cells(&mut self, n: NodeId, work: &mut Vec<(NodeId, NodeId)>) {
+        let r = self.find(n);
+        self.nodes[r.0 as usize].fields_collapsed = true;
+        let cells = std::mem::take(&mut self.nodes[r.0 as usize].cells);
+        let mut iter = cells.into_values();
+        if let Some(first) = iter.next() {
+            self.nodes[r.0 as usize].cells.insert(0, first);
+            for p in iter {
+                work.push((first, p));
+            }
+        }
+    }
+
+    /// Loses field sensitivity on `n`: all cells become one.
+    pub fn collapse_fields(&mut self, n: NodeId) {
+        let mut work = Vec::new();
+        self.fold_cells(n, &mut work);
+        while let Some((a, b)) = work.pop() {
+            // The unify below may queue further work internally.
+            self.unify_raw(a, b, &mut work);
+        }
+    }
+
+    /// The points-to successor for `cell`, creating it if absent.
+    /// Field-collapsed nodes route every cell through cell 0.
+    pub fn pointee_at(&mut self, n: NodeId, cell: u32) -> NodeId {
+        let r = self.find(n);
+        let cell = if self.nodes[r.0 as usize].fields_collapsed {
+            0
+        } else {
+            cell
+        };
+        if let Some(&p) = self.nodes[r.0 as usize].cells.get(&cell) {
+            return self.find(p);
+        }
+        let p = self.fresh();
+        self.nodes[r.0 as usize].cells.insert(cell, p);
+        p
+    }
+
+    /// The points-to successor for `cell`, if present.
+    pub fn pointee_at_ro(&self, n: NodeId, cell: u32) -> Option<NodeId> {
+        let r = self.find_ro(n);
+        let cell = if self.nodes[r.0 as usize].fields_collapsed {
+            0
+        } else {
+            cell
+        };
+        self.nodes[r.0 as usize]
+            .cells
+            .get(&cell)
+            .map(|&p| self.find_ro(p))
+    }
+
+    /// Whether the node lost field sensitivity.
+    pub fn fields_collapsed(&self, n: NodeId) -> bool {
+        self.data_ro(n).fields_collapsed
+    }
+
+    /// All `(cell, target)` edges of a node.
+    pub fn cells(&self, n: NodeId) -> Vec<(u32, NodeId)> {
+        self.data_ro(n)
+            .cells
+            .iter()
+            .map(|(c, p)| (*c, self.find_ro(*p)))
+            .collect()
+    }
+
+    /// Cell-0 successor, creating it if absent (compatibility shorthand for
+    /// scalar nodes).
+    pub fn pointee_or_fresh(&mut self, n: NodeId) -> NodeId {
+        self.pointee_at(n, 0)
+    }
+
+    /// The node's cell-0 successor, if any (compatibility shorthand).
+    pub fn pointee(&self, n: NodeId) -> Option<NodeId> {
+        self.pointee_at_ro(n, 0)
+    }
+
+    /// The pool-object node of a pool-descriptor node, creating it if
+    /// absent (the auxiliary `pool_obj` edge).
+    pub fn pool_obj_or_fresh(&mut self, n: NodeId) -> NodeId {
+        let r = self.find(n);
+        if let Some(p) = self.nodes[r.0 as usize].pool_obj {
+            return self.find(p);
+        }
+        let p = self.fresh();
+        self.nodes[r.0 as usize].pool_obj = Some(p);
+        p
+    }
+
+    /// Observes that cells of this node have type `ty`; conflicting
+    /// observations collapse the node.
+    pub fn observe_type(&mut self, types: &TypeTable, n: NodeId, ty: TypeId) {
+        let d = self.data(n);
+        if d.collapsed {
+            return;
+        }
+        match d.elem_type {
+            None => d.elem_type = Some(ty),
+            Some(t) if t == ty => {}
+            Some(t) => {
+                if types.same_or_array_of(t, ty) {
+                    if matches!(types.get(t), sva_ir::Type::Array(e, _) if *e == ty) {
+                        d.elem_type = Some(ty);
+                    }
+                } else {
+                    d.collapsed = true;
+                    d.elem_type = None;
+                }
+            }
+        }
+    }
+
+    /// Marks the node collapsed (type information lost). Field sensitivity
+    /// goes with it: without a reliable layout, cells are meaningless.
+    pub fn collapse(&mut self, n: NodeId) {
+        {
+            let d = self.data(n);
+            d.collapsed = true;
+            d.elem_type = None;
+        }
+        self.collapse_fields(n);
+    }
+
+    /// Flags of a node.
+    pub fn flags(&self, n: NodeId) -> NodeFlags {
+        self.data_ro(n).flags
+    }
+
+    /// Mutates the flags of a node.
+    pub fn flags_mut(&mut self, n: NodeId) -> &mut NodeFlags {
+        &mut self.data(n).flags
+    }
+
+    /// The consistent cell type, if the node is type-homogeneous so far.
+    pub fn elem_type(&self, n: NodeId) -> Option<TypeId> {
+        self.data_ro(n).elem_type
+    }
+
+    /// True if type information was lost.
+    pub fn is_collapsed(&self, n: NodeId) -> bool {
+        self.data_ro(n).collapsed
+    }
+
+    /// A node is **type-homogeneous** when it retained a consistent cell
+    /// type and holds no unknown values (paper §4.1: "all objects allocated
+    /// in the pool are of a single (known) type or arrays of that type").
+    pub fn is_th(&self, n: NodeId) -> bool {
+        let d = self.data_ro(n);
+        !d.collapsed && d.elem_type.is_some() && !d.flags.unknown
+    }
+
+    /// A node is **complete** when the analysis saw every operation on it
+    /// (paper §4.5: otherwise only "reduced checks" are possible).
+    pub fn is_complete(&self, n: NodeId) -> bool {
+        let d = self.data_ro(n);
+        !d.flags.incomplete && !d.flags.unknown
+    }
+
+    /// Adds a function to the node's target set.
+    pub fn add_function(&mut self, n: NodeId, f: FuncId) {
+        let d = self.data(n);
+        d.flags.func = true;
+        d.functions.insert(f);
+    }
+
+    /// The functions contained in this node.
+    pub fn functions(&self, n: NodeId) -> Vec<FuncId> {
+        self.data_ro(n).functions.iter().copied().collect()
+    }
+
+    /// Records a kernel pool/allocator name feeding this node.
+    pub fn add_pool(&mut self, n: NodeId, pool: &str) {
+        self.data(n).pools.insert(pool.to_string());
+    }
+
+    /// Kernel pools feeding this node.
+    pub fn pools(&self, n: NodeId) -> Vec<String> {
+        self.data_ro(n).pools.iter().cloned().collect()
+    }
+
+    /// Bumps the allocation-site counter.
+    pub fn add_alloc_site(&mut self, n: NodeId) {
+        self.data(n).alloc_sites += 1;
+    }
+
+    /// Allocation sites assigned to this node.
+    pub fn alloc_sites(&self, n: NodeId) -> u32 {
+        self.data_ro(n).alloc_sites
+    }
+
+    /// All representative node ids.
+    pub fn reps(&self) -> Vec<NodeId> {
+        (0..self.parent.len() as u32)
+            .filter(|&i| self.parent[i as usize] == i)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Propagates incompleteness along points-to edges: anything reachable
+    /// from an incomplete node is incomplete (unknown code may follow any
+    /// pointer it is handed).
+    pub fn propagate_incomplete(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rep in self.reps() {
+                let d = self.data_ro(rep);
+                if !(d.flags.incomplete || d.flags.unknown) {
+                    continue;
+                }
+                let targets: Vec<NodeId> = d.cells.values().copied().collect();
+                for t in targets {
+                    let p = self.find(t);
+                    let pd = self.data(p);
+                    if !pd.flags.incomplete {
+                        pd.flags.incomplete = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn types() -> TypeTable {
+        TypeTable::new()
+    }
+
+    #[test]
+    fn fresh_nodes_are_distinct_reps() {
+        let mut g = PointsToGraph::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(g.find(a), g.find(b));
+        assert_eq!(g.num_reps(), 2);
+    }
+
+    #[test]
+    fn unify_merges_flags_and_functions() {
+        let t = types();
+        let mut g = PointsToGraph::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        g.flags_mut(a).heap = true;
+        g.flags_mut(b).global = true;
+        g.add_function(b, FuncId(3));
+        let r = g.unify(&t, a, b);
+        assert_eq!(g.find(a), g.find(b));
+        let f = g.flags(r);
+        assert!(f.heap && f.global && f.func);
+        assert_eq!(g.functions(r), vec![FuncId(3)]);
+        assert_eq!(g.num_reps(), 1);
+    }
+
+    #[test]
+    fn unify_recurses_into_pointees() {
+        let t = types();
+        let mut g = PointsToGraph::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        let pa = g.pointee_or_fresh(a);
+        let pb = g.pointee_or_fresh(b);
+        g.flags_mut(pa).heap = true;
+        g.flags_mut(pb).stack = true;
+        g.unify(&t, a, b);
+        let p = g.pointee(a).unwrap();
+        assert_eq!(g.find(pa), p);
+        assert_eq!(g.find(pb), p);
+        let f = g.flags(p);
+        assert!(f.heap && f.stack);
+    }
+
+    #[test]
+    fn unify_handles_cycles() {
+        let t = types();
+        let mut g = PointsToGraph::new();
+        // a -> a (self loop), b -> b; unify(a, b) must terminate.
+        let a = g.fresh();
+        let b = g.fresh();
+        g.data(a).cells.insert(0, a);
+        g.data(b).cells.insert(0, b);
+        let r = g.unify(&t, a, b);
+        assert_eq!(g.pointee(r), Some(g.find_ro(r)));
+    }
+
+    #[test]
+    fn type_observation_and_collapse() {
+        let mut t = types();
+        let i32 = t.i32();
+        let i64 = t.i64();
+        let arr = t.array(i32, 4);
+        let mut g = PointsToGraph::new();
+        let n = g.fresh();
+        g.observe_type(&t, n, i32);
+        assert!(g.is_th(n));
+        assert_eq!(g.elem_type(n), Some(i32));
+        // Array of the same element refines to the scalar.
+        g.observe_type(&t, n, arr);
+        assert_eq!(g.elem_type(n), Some(i32));
+        assert!(g.is_th(n));
+        // A conflicting type collapses.
+        g.observe_type(&t, n, i64);
+        assert!(!g.is_th(n));
+        assert!(g.is_collapsed(n));
+        assert_eq!(g.elem_type(n), None);
+    }
+
+    #[test]
+    fn unify_conflicting_types_collapses() {
+        let mut t = types();
+        let i32 = t.i32();
+        let i64 = t.i64();
+        let mut g = PointsToGraph::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        g.observe_type(&t, a, i32);
+        g.observe_type(&t, b, i64);
+        let r = g.unify(&t, a, b);
+        assert!(g.is_collapsed(r));
+    }
+
+    #[test]
+    fn unknown_forbids_th_and_complete() {
+        let mut t = types();
+        let i32 = t.i32();
+        let mut g = PointsToGraph::new();
+        let n = g.fresh();
+        g.observe_type(&t, n, i32);
+        g.flags_mut(n).unknown = true;
+        assert!(!g.is_th(n));
+        assert!(!g.is_complete(n));
+    }
+
+    #[test]
+    fn incomplete_propagates_to_pointees() {
+        let _t = types();
+        let mut g = PointsToGraph::new();
+        let a = g.fresh();
+        let b = g.pointee_or_fresh(a);
+        let c = g.pointee_or_fresh(b);
+        g.flags_mut(a).incomplete = true;
+        g.propagate_incomplete();
+        assert!(!g.is_complete(b));
+        assert!(!g.is_complete(c));
+    }
+
+    #[test]
+    fn pools_and_alloc_sites_merge() {
+        let t = types();
+        let mut g = PointsToGraph::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        g.add_pool(a, "kmalloc-64");
+        g.add_pool(b, "task_cache");
+        g.add_alloc_site(a);
+        g.add_alloc_site(b);
+        let r = g.unify(&t, a, b);
+        assert_eq!(
+            g.pools(r),
+            vec!["kmalloc-64".to_string(), "task_cache".to_string()]
+        );
+        assert_eq!(g.alloc_sites(r), 2);
+    }
+
+    #[test]
+    fn flag_letters_render() {
+        let f = NodeFlags {
+            global: true,
+            heap: true,
+            ..Default::default()
+        };
+        assert_eq!(f.letters(), "GH");
+    }
+}

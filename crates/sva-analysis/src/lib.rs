@@ -1,0 +1,32 @@
+//! # Unification-based points-to analysis for SVA
+//!
+//! The SVA safety strategy assumes a *unification-style* pointer analysis
+//! (paper §4.3, citing Steensgaard): every pointer variable points to a
+//! unique node in the points-to graph, and each node has at most one
+//! outgoing points-to edge. This crate implements that analysis over the
+//! `sva-ir` instruction set, plus the kernel-specific refinements of §4.8:
+//!
+//! * small integer constants (error encodings like `1`/`-1`) cast to
+//!   pointers are treated as null instead of poisoning the partition;
+//! * pointer-sized integers are tracked as potential pointers, so
+//!   `ptrtoint`/arithmetic/`inttoptr` round trips stay analyzable;
+//! * internal system calls (a trap with a constant number) are resolved to
+//!   the registered handler and analyzed as direct calls;
+//! * `memcpy`-style copies to/from userspace merge only the *targets* of
+//!   the copied objects' outgoing edges, keeping kernel and user objects
+//!   apart;
+//! * call sites can carry a programmer signature assertion that filters the
+//!   indirect-call target set (enabling devirtualization).
+//!
+//! Outputs: the [`graph::PointsToGraph`] (partitions with
+//! heap/stack/global/function flags, type-homogeneity, completeness), a
+//! call graph with per-site target sets, and the static safety metrics of
+//! the paper's Table 9 ([`metrics`]).
+
+pub mod analyze;
+pub mod graph;
+pub mod metrics;
+
+pub use analyze::{analyze, AnalysisConfig, AnalysisResult, CallSiteInfo};
+pub use graph::{NodeFlags, NodeId, PointsToGraph};
+pub use metrics::{compute_metrics, AccessKind, StaticMetrics};

@@ -1,0 +1,359 @@
+//! Static safety metrics — the paper's Table 9.
+//!
+//! For each memory access in the analyzed portion of the kernel, classify
+//! the accessed partition: *incomplete* (only reduced checks possible) and
+//! *type-safe* (type-homogeneous — the strongest guarantee). Accesses are
+//! split the way the paper splits them: loads, stores, structure indexing
+//! and array indexing (buffer overflows live in the last category).
+
+use std::collections::HashMap;
+
+use sva_ir::{FuncId, Inst, Module, Operand, Type};
+
+use crate::analyze::AnalysisResult;
+
+/// The four access categories of Table 9.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// `struct.field` indexing (`getelementptr` into a struct).
+    StructIndex,
+    /// `array[index]` indexing (`getelementptr` with a non-constant or
+    /// array-walking index).
+    ArrayIndex,
+}
+
+impl AccessKind {
+    /// All categories in table order.
+    pub const ALL: [AccessKind; 4] = [
+        AccessKind::Load,
+        AccessKind::Store,
+        AccessKind::StructIndex,
+        AccessKind::ArrayIndex,
+    ];
+
+    /// Row label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Load => "Loads",
+            AccessKind::Store => "Stores",
+            AccessKind::StructIndex => "Structure Indexing",
+            AccessKind::ArrayIndex => "Array Indexing",
+        }
+    }
+}
+
+/// Counters for one access category.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Total static occurrences.
+    pub total: u64,
+    /// Occurrences whose partition is incomplete.
+    pub incomplete: u64,
+    /// Occurrences whose partition is type-homogeneous.
+    pub type_safe: u64,
+}
+
+impl AccessCounts {
+    /// Percentage of incomplete accesses (0 when empty).
+    pub fn pct_incomplete(&self) -> f64 {
+        pct(self.incomplete, self.total)
+    }
+
+    /// Percentage of type-safe accesses (0 when empty).
+    pub fn pct_type_safe(&self) -> f64 {
+        pct(self.type_safe, self.total)
+    }
+}
+
+fn pct(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// The full static metrics block (Table 9 for one kernel configuration).
+#[derive(Clone, Debug, Default)]
+pub struct StaticMetrics {
+    /// Per-category counters.
+    pub counts: HashMap<AccessKind, AccessCounts>,
+    /// Allocation sites attributed to partitions.
+    pub alloc_sites_seen: u64,
+    /// Allocation calls inside unanalyzed code.
+    pub alloc_sites_unseen: u64,
+    /// Number of (representative) partitions.
+    pub partitions: u64,
+    /// Partitions that are type-homogeneous.
+    pub th_partitions: u64,
+    /// Partitions that are complete.
+    pub complete_partitions: u64,
+}
+
+impl StaticMetrics {
+    /// Percentage of allocation sites seen by the analysis.
+    pub fn pct_alloc_seen(&self) -> f64 {
+        pct(
+            self.alloc_sites_seen,
+            self.alloc_sites_seen + self.alloc_sites_unseen,
+        )
+    }
+
+    /// Counters for one category (zero block if absent).
+    pub fn of(&self, k: AccessKind) -> AccessCounts {
+        self.counts.get(&k).copied().unwrap_or_default()
+    }
+}
+
+/// Computes Table 9 metrics from an analysis result.
+pub fn compute_metrics(m: &Module, r: &AnalysisResult) -> StaticMetrics {
+    let mut out = StaticMetrics::default();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        if !r.analyzed[fi] {
+            continue;
+        }
+        for (_, iid) in f.inst_order() {
+            let inst = f.inst(iid);
+            let (kind, ptr) = match inst {
+                Inst::Load { ptr } => (AccessKind::Load, ptr),
+                Inst::Store { ptr, .. } => (AccessKind::Store, ptr),
+                Inst::Gep { base, indices } => (classify_gep(m, f, base, indices), base),
+                _ => continue,
+            };
+            let entry = out.counts.entry(kind).or_default();
+            entry.total += 1;
+            let node = match ptr {
+                Operand::Value(v) => r.value_node(fid, *v),
+                Operand::Global(g) => Some(r.global_node(*g)),
+                _ => None,
+            };
+            if let Some(n) = node {
+                if !r.graph.is_complete(n) {
+                    entry.incomplete += 1;
+                }
+                if r.graph.is_th(n) {
+                    entry.type_safe += 1;
+                }
+            } else {
+                // Null/undef accesses: counted as neither.
+            }
+        }
+    }
+    out.alloc_sites_seen = r.alloc_sites.len() as u64;
+    out.alloc_sites_unseen = r.unseen_alloc_calls as u64;
+    let reps = r.graph.reps();
+    out.partitions = reps.len() as u64;
+    for n in reps {
+        if r.graph.is_th(n) {
+            out.th_partitions += 1;
+        }
+        if r.graph.is_complete(n) {
+            out.complete_partitions += 1;
+        }
+    }
+    out
+}
+
+fn classify_gep(
+    m: &Module,
+    f: &sva_ir::Function,
+    base: &Operand,
+    indices: &[Operand],
+) -> AccessKind {
+    // The first index is array-style whenever it can be nonzero; walking
+    // into a struct with a constant is structure indexing; walking into an
+    // array is array indexing.
+    let base_ty = f.operand_type(base, m);
+    if !m.types.is_ptr(base_ty) {
+        return AccessKind::ArrayIndex;
+    }
+    let mut cur = m.types.pointee(base_ty);
+    let mut has_array = false;
+    let mut has_struct = false;
+    for (n, idx) in indices.iter().enumerate() {
+        if n == 0 {
+            if !matches!(idx, Operand::ConstInt(0, _)) {
+                has_array = true;
+            }
+            continue;
+        }
+        match m.types.get(cur).clone() {
+            Type::Array(e, _) => {
+                has_array = true;
+                cur = e;
+            }
+            Type::Struct(_) => {
+                has_struct = true;
+                if let Operand::ConstInt(v, _) = idx {
+                    let fields = m.types.struct_fields(cur);
+                    if (*v as usize) < fields.len() {
+                        cur = fields[*v as usize];
+                        continue;
+                    }
+                }
+                return AccessKind::StructIndex;
+            }
+            _ => break,
+        }
+    }
+    if has_array {
+        AccessKind::ArrayIndex
+    } else if has_struct {
+        AccessKind::StructIndex
+    } else {
+        AccessKind::ArrayIndex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, AnalysisConfig};
+    use sva_ir::build::FunctionBuilder;
+    use sva_ir::{GlobalInit, Linkage};
+
+    fn build_module() -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let i64t = m.types.i64();
+        let arr = m.types.array(i32t, 8);
+        let s = m.types.struct_type("rec", vec![i64t, arr]);
+        let _g = m.add_global("recs", s, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![i64t], false);
+        let f = m.add_function("touch", fty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let idx = b.param(0);
+            let g = sva_ir::Operand::Global(sva_ir::GlobalId(0));
+            // struct index: &recs.f0
+            let fp = b.field_ptr(g, 0);
+            let v = b.load(fp);
+            // array index: &recs.f1[idx]
+            let zero = b.c32(0);
+            let one = b.c32(1);
+            let ap = b.gep(g, vec![zero, one, idx]);
+            let w = b.load(ap);
+            let ww = b.zext(w, i64t);
+            let sum = b.add(v, ww);
+            b.store(sum, fp);
+            b.ret(None);
+        }
+        (m, f)
+    }
+
+    #[test]
+    fn counts_by_category() {
+        let (m, _) = build_module();
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let metrics = compute_metrics(&m, &r);
+        assert_eq!(metrics.of(AccessKind::Load).total, 2);
+        assert_eq!(metrics.of(AccessKind::Store).total, 1);
+        assert_eq!(metrics.of(AccessKind::StructIndex).total, 1);
+        assert_eq!(metrics.of(AccessKind::ArrayIndex).total, 1);
+    }
+
+    #[test]
+    fn complete_kernel_has_no_incomplete_accesses() {
+        let (m, _) = build_module();
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let metrics = compute_metrics(&m, &r);
+        for k in AccessKind::ALL {
+            assert_eq!(metrics.of(k).incomplete, 0, "{k:?}");
+        }
+        assert_eq!(metrics.pct_alloc_seen(), 0.0, "no allocs at all");
+    }
+
+    #[test]
+    fn percentages_behave() {
+        let c = AccessCounts {
+            total: 0,
+            incomplete: 0,
+            type_safe: 0,
+        };
+        assert_eq!(c.pct_incomplete(), 0.0);
+        let c = AccessCounts {
+            total: 4,
+            incomplete: 1,
+            type_safe: 2,
+        };
+        assert!((c.pct_incomplete() - 25.0).abs() < 1e-9);
+        assert!((c.pct_type_safe() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn th_partitions_counted() {
+        let (m, _) = build_module();
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let metrics = compute_metrics(&m, &r);
+        assert!(metrics.partitions > 0);
+        assert!(metrics.th_partitions > 0);
+    }
+
+    /// A module where the kernel passes a pointer into an *excluded*
+    /// library and then dereferences it — the exact Table 9 mechanism:
+    /// objects escaping into unanalyzed code make the kernel's own
+    /// accesses incomplete.
+    fn module_with_library() -> Module {
+        let mut m = Module::new("t");
+        let i64t = m.types.i64();
+        let p64 = m.types.ptr(i64t);
+        let cell = m.add_global("cell", i64t, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let fty = m.types.func(void, vec![p64], false);
+        let lib = m.add_function("lib_fill", fty, Linkage::Public);
+        let kty = m.types.func(i64t, vec![], false);
+        let k = m.add_function("k_use", kty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, lib);
+            let p = b.param(0);
+            let one = b.c64(1);
+            b.store(one, p);
+            b.ret(None);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, k);
+            b.call(lib, vec![sva_ir::Operand::Global(cell)]);
+            let v = b.load(sva_ir::Operand::Global(cell));
+            b.ret(Some(v));
+        }
+        m
+    }
+
+    #[test]
+    fn exclusions_make_kernel_accesses_incomplete() {
+        let m = module_with_library();
+        // Entire kernel analyzed: nothing incomplete.
+        let r = analyze(&m, &AnalysisConfig::kernel());
+        let full = compute_metrics(&m, &r);
+        assert_eq!(full.of(AccessKind::Load).incomplete, 0);
+        // `lib_` excluded: the load through the shared slot is incomplete.
+        let cfg = AnalysisConfig::kernel_excluding(&["lib_"]);
+        let r = analyze(&m, &cfg);
+        let part = compute_metrics(&m, &r);
+        assert!(
+            part.of(AccessKind::Load).incomplete > 0,
+            "{:?}",
+            part.of(AccessKind::Load)
+        );
+        // Excluded bodies themselves do not contribute accesses.
+        assert!(part.of(AccessKind::Load).total <= full.of(AccessKind::Load).total);
+    }
+
+    #[test]
+    fn excluded_bodies_are_not_counted() {
+        let m = module_with_library();
+        let cfg = AnalysisConfig::kernel_excluding(&["lib_"]);
+        let r = analyze(&m, &cfg);
+        let part = compute_metrics(&m, &r);
+        // lib_fill's store must not show up in the metrics.
+        assert_eq!(part.of(AccessKind::Store).total, 0, "{part:?}");
+    }
+}

@@ -1,0 +1,719 @@
+//! Ergonomic IR construction.
+//!
+//! [`FunctionBuilder`] is how front ends (and the mini-kernel in
+//! `sva-kernel`) emit SVA-Core code. It tracks a current insertion block,
+//! computes result types (including `getelementptr` type walking), and
+//! offers shorthand for constants, casts and intrinsic calls.
+
+use crate::inst::{AtomicOp, BinOp, Callee, CastOp, IPred, Inst, InstId, Intrinsic, Operand};
+use crate::module::{BlockId, FuncId, Function, Module, ValueId};
+use crate::types::{Type, TypeId};
+
+/// Builder appending instructions to one function of a module.
+pub struct FunctionBuilder<'m> {
+    /// The module being built.
+    pub module: &'m mut Module,
+    /// The function being built.
+    pub func: FuncId,
+    cur: Option<BlockId>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    /// Starts building `func`; creates and positions at an `entry` block if
+    /// the function has none yet.
+    pub fn new(module: &'m mut Module, func: FuncId) -> Self {
+        let mut b = FunctionBuilder {
+            module,
+            func,
+            cur: None,
+        };
+        if b.f().blocks.is_empty() {
+            let entry = b.f_mut().add_block("entry");
+            b.cur = Some(entry);
+        } else {
+            b.cur = Some(BlockId(0));
+        }
+        b
+    }
+
+    fn f(&self) -> &Function {
+        self.module.func(self.func)
+    }
+
+    fn f_mut(&mut self) -> &mut Function {
+        self.module.func_mut(self.func)
+    }
+
+    /// The current insertion block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder is not positioned (after a terminator with no
+    /// [`FunctionBuilder::switch_to`]).
+    pub fn cur_block(&self) -> BlockId {
+        self.cur.expect("builder not positioned at a block")
+    }
+
+    /// Creates a new (empty) block without moving the insertion point.
+    pub fn block(&mut self, name: &str) -> BlockId {
+        self.f_mut().add_block(name)
+    }
+
+    /// Moves the insertion point to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = Some(b);
+    }
+
+    /// The `i`-th parameter as an operand.
+    pub fn param(&self, i: usize) -> Operand {
+        Operand::Value(self.f().params[i])
+    }
+
+    /// Names a value (printing aid only).
+    pub fn name_value(&mut self, op: Operand, name: &str) {
+        if let Operand::Value(v) = op {
+            self.f_mut().value_names[v.0 as usize] = Some(name.to_string());
+        }
+    }
+
+    fn emit(&mut self, inst: Inst, result_ty: Option<TypeId>) -> (InstId, Option<Operand>) {
+        let cur = self.cur_block();
+        let (iid, res) = self.f_mut().push_inst(cur, inst, result_ty);
+        (iid, res.map(Operand::Value))
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    /// `i1` constant.
+    pub fn c1(&mut self, v: bool) -> Operand {
+        let t = self.module.types.i1();
+        Operand::ConstInt(v as i64, t)
+    }
+
+    /// `i8` constant.
+    pub fn c8(&mut self, v: i64) -> Operand {
+        let t = self.module.types.i8();
+        Operand::ConstInt(v, t)
+    }
+
+    /// `i16` constant.
+    pub fn c16(&mut self, v: i64) -> Operand {
+        let t = self.module.types.i16();
+        Operand::ConstInt(v, t)
+    }
+
+    /// `i32` constant.
+    pub fn c32(&mut self, v: i64) -> Operand {
+        let t = self.module.types.i32();
+        Operand::ConstInt(v, t)
+    }
+
+    /// `i64` constant.
+    pub fn c64(&mut self, v: i64) -> Operand {
+        let t = self.module.types.i64();
+        Operand::ConstInt(v, t)
+    }
+
+    /// Null pointer of pointee type `to`.
+    pub fn null(&mut self, to: TypeId) -> Operand {
+        let p = self.module.types.ptr(to);
+        Operand::Null(p)
+    }
+
+    /// Null `i8*`.
+    pub fn null_byte_ptr(&mut self) -> Operand {
+        let p = self.module.types.byte_ptr();
+        Operand::Null(p)
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Emits a binary operation; result type is the lhs type.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Operand {
+        let ty = self.operand_ty(&lhs);
+        self.emit(Inst::Bin { op, lhs, rhs }, Some(ty)).1.unwrap()
+    }
+
+    /// `add`.
+    pub fn add(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// `sub`.
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// `mul`.
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// `udiv`.
+    pub fn udiv(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::UDiv, a, b)
+    }
+
+    /// `and`.
+    pub fn and(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// `or`.
+    pub fn or(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// `xor`.
+    pub fn xor(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// `shl`.
+    pub fn shl(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// `lshr`.
+    pub fn lshr(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::LShr, a, b)
+    }
+
+    /// `urem`.
+    pub fn urem(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::URem, a, b)
+    }
+
+    /// Integer comparison (`i1` result).
+    pub fn icmp(&mut self, pred: IPred, lhs: Operand, rhs: Operand) -> Operand {
+        let t = self.module.types.i1();
+        self.emit(Inst::ICmp { pred, lhs, rhs }, Some(t)).1.unwrap()
+    }
+
+    /// `select` (result type = tval's type).
+    pub fn select(&mut self, cond: Operand, tval: Operand, fval: Operand) -> Operand {
+        let ty = self.operand_ty(&tval);
+        self.emit(Inst::Select { cond, tval, fval }, Some(ty))
+            .1
+            .unwrap()
+    }
+
+    // ---- casts -----------------------------------------------------------
+
+    /// Emits a cast of any kind.
+    pub fn cast(&mut self, op: CastOp, val: Operand, to: TypeId) -> Operand {
+        self.emit(Inst::Cast { op, val, to }, Some(to)).1.unwrap()
+    }
+
+    /// Zero-extends to `to`.
+    pub fn zext(&mut self, val: Operand, to: TypeId) -> Operand {
+        self.cast(CastOp::ZExt, val, to)
+    }
+
+    /// Sign-extends to `to`.
+    pub fn sext(&mut self, val: Operand, to: TypeId) -> Operand {
+        self.cast(CastOp::SExt, val, to)
+    }
+
+    /// Truncates to `to`.
+    pub fn trunc(&mut self, val: Operand, to: TypeId) -> Operand {
+        self.cast(CastOp::Trunc, val, to)
+    }
+
+    /// Bit-casts a pointer to pointee type `to`.
+    pub fn bitcast_ptr(&mut self, val: Operand, to_pointee: TypeId) -> Operand {
+        let p = self.module.types.ptr(to_pointee);
+        self.cast(CastOp::Bitcast, val, p)
+    }
+
+    /// Pointer to `i64`.
+    pub fn ptrtoint(&mut self, val: Operand) -> Operand {
+        let t = self.module.types.i64();
+        self.cast(CastOp::PtrToInt, val, t)
+    }
+
+    /// `i64` to pointer of pointee type `to`.
+    pub fn inttoptr(&mut self, val: Operand, to_pointee: TypeId) -> Operand {
+        let p = self.module.types.ptr(to_pointee);
+        self.cast(CastOp::IntToPtr, val, p)
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Computes the result type of a GEP from the base type and indices.
+    pub fn gep_result_type(&self, base_ty: TypeId, indices: &[Operand]) -> TypeId {
+        let types = &self.module.types;
+        let mut cur = match types.get(base_ty) {
+            Type::Ptr(p) => *p,
+            _ => panic!("gep base is not a pointer"),
+        };
+        for (n, idx) in indices.iter().enumerate() {
+            if n == 0 {
+                // The first index steps over whole elements of the pointee.
+                continue;
+            }
+            cur = match types.get(cur) {
+                Type::Array(e, _) => *e,
+                Type::Struct(_) => {
+                    let field = match idx {
+                        Operand::ConstInt(v, _) => *v as usize,
+                        _ => panic!("struct gep index must be constant"),
+                    };
+                    types.struct_fields(cur)[field]
+                }
+                other => panic!("gep walks into non-aggregate {other:?}"),
+            };
+        }
+        types
+            .probe(&Type::Ptr(cur))
+            .unwrap_or_else(|| panic!("gep result pointer type not interned"))
+    }
+
+    /// Emits `getelementptr base, indices` (interning the result type).
+    pub fn gep(&mut self, base: Operand, indices: Vec<Operand>) -> Operand {
+        let base_ty = self.operand_ty(&base);
+        // Make sure the result pointer type exists before the read-only walk.
+        {
+            let types = &mut self.module.types;
+            let mut cur = types.pointee(base_ty);
+            for (n, idx) in indices.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cur = match types.get(cur).clone() {
+                    Type::Array(e, _) => e,
+                    Type::Struct(_) => {
+                        let field = match idx {
+                            Operand::ConstInt(v, _) => *v as usize,
+                            _ => panic!("struct gep index must be constant"),
+                        };
+                        types.struct_fields(cur)[field]
+                    }
+                    other => panic!("gep walks into non-aggregate {other:?}"),
+                };
+            }
+            types.ptr(cur);
+        }
+        let ty = self.gep_result_type(base_ty, &indices);
+        self.emit(Inst::Gep { base, indices }, Some(ty)).1.unwrap()
+    }
+
+    /// `&base->field` for a pointer-to-struct: `gep base, [0, field]`.
+    pub fn field_ptr(&mut self, base: Operand, field: usize) -> Operand {
+        let i32 = self.module.types.i32();
+        let zero = Operand::ConstInt(0, i32);
+        let idx = Operand::ConstInt(field as i64, i32);
+        self.gep(base, vec![zero, idx])
+    }
+
+    /// `&base[idx]` for a pointer-to-element: `gep base, [idx]`.
+    pub fn index_ptr(&mut self, base: Operand, idx: Operand) -> Operand {
+        self.gep(base, vec![idx])
+    }
+
+    /// `&arr[0][idx]` for a pointer-to-array: `gep base, [0, idx]`.
+    pub fn array_elem_ptr(&mut self, base: Operand, idx: Operand) -> Operand {
+        let i32 = self.module.types.i32();
+        self.gep(base, vec![Operand::ConstInt(0, i32), idx])
+    }
+
+    /// Emits a typed load.
+    pub fn load(&mut self, ptr: Operand) -> Operand {
+        let pty = self.operand_ty(&ptr);
+        let vty = self.module.types.pointee(pty);
+        self.emit(Inst::Load { ptr }, Some(vty)).1.unwrap()
+    }
+
+    /// Emits a typed store.
+    pub fn store(&mut self, val: Operand, ptr: Operand) {
+        self.emit(Inst::Store { val, ptr }, None);
+    }
+
+    /// Stack-allocates one element of `ty`; returns the `ty*`.
+    pub fn alloca(&mut self, ty: TypeId) -> Operand {
+        let one = self.c32(1);
+        self.alloca_n(ty, one)
+    }
+
+    /// Stack-allocates `count` elements of `ty`.
+    pub fn alloca_n(&mut self, ty: TypeId, count: Operand) -> Operand {
+        let p = self.module.types.ptr(ty);
+        self.emit(Inst::Alloca { ty, count }, Some(p)).1.unwrap()
+    }
+
+    /// Atomic read-modify-write.
+    pub fn atomic_rmw(&mut self, op: AtomicOp, ptr: Operand, val: Operand) -> Operand {
+        let pty = self.operand_ty(&ptr);
+        let vty = self.module.types.pointee(pty);
+        self.emit(Inst::AtomicRmw { op, ptr, val }, Some(vty))
+            .1
+            .unwrap()
+    }
+
+    /// Atomic compare-and-swap; returns the old value.
+    pub fn cmpxchg(&mut self, ptr: Operand, expected: Operand, new: Operand) -> Operand {
+        let pty = self.operand_ty(&ptr);
+        let vty = self.module.types.pointee(pty);
+        self.emit(Inst::CmpXchg { ptr, expected, new }, Some(vty))
+            .1
+            .unwrap()
+    }
+
+    /// Memory write barrier.
+    pub fn fence(&mut self) {
+        self.emit(Inst::Fence, None);
+    }
+
+    // ---- calls -----------------------------------------------------------
+
+    /// Direct call to a defined function; returns the result operand for
+    /// non-void callees.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>) -> Option<Operand> {
+        let fty = self.module.func(callee).ty;
+        let ret = self.fn_ret(fty);
+        self.emit(
+            Inst::Call {
+                callee: Callee::Direct(callee),
+                args,
+            },
+            ret,
+        )
+        .1
+    }
+
+    /// Direct call by function name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function or extern with that name exists.
+    pub fn call_named(&mut self, name: &str, args: Vec<Operand>) -> Option<Operand> {
+        if let Some(f) = self.module.func_by_name(name) {
+            return self.call(f, args);
+        }
+        if let Some(e) = self.module.extern_by_name(name) {
+            let ety = self.module.externs[e.0 as usize].ty;
+            let ret = self.fn_ret(ety);
+            return self
+                .emit(
+                    Inst::Call {
+                        callee: Callee::External(e),
+                        args,
+                    },
+                    ret,
+                )
+                .1;
+        }
+        panic!("no function named `{name}`");
+    }
+
+    /// Indirect call through a function-pointer operand of type `fn_ty*`.
+    pub fn call_indirect(&mut self, fnptr: Operand, args: Vec<Operand>) -> Option<Operand> {
+        let pty = self.operand_ty(&fnptr);
+        let fty = self.module.types.pointee(pty);
+        let ret = self.fn_ret(fty);
+        self.emit(
+            Inst::Call {
+                callee: Callee::Indirect(fnptr),
+                args,
+            },
+            ret,
+        )
+        .1
+    }
+
+    /// Marks the most recent call instruction with the §4.8 "callee
+    /// signatures match this call" assertion.
+    pub fn assert_call_signature(&mut self) {
+        let cur = self.cur_block();
+        let last = *self.f().blocks[cur.0 as usize]
+            .insts
+            .last()
+            .expect("no instruction to annotate");
+        assert!(
+            matches!(self.f().inst(last), Inst::Call { .. }),
+            "signature assertion must follow a call"
+        );
+        self.f_mut().sig_asserted_calls.push(last);
+    }
+
+    /// Intrinsic call with explicit result type (`None` for void).
+    pub fn intrinsic(
+        &mut self,
+        i: Intrinsic,
+        args: Vec<Operand>,
+        ret: Option<TypeId>,
+    ) -> Option<Operand> {
+        self.emit(
+            Inst::Call {
+                callee: Callee::Intrinsic(i),
+                args,
+            },
+            ret,
+        )
+        .1
+    }
+
+    /// `sva.syscall(num, args...)` returning `i64`.
+    pub fn syscall(&mut self, num: Operand, args: Vec<Operand>) -> Operand {
+        let i64 = self.module.types.i64();
+        let mut all = vec![num];
+        all.extend(args);
+        self.intrinsic(Intrinsic::Syscall, all, Some(i64)).unwrap()
+    }
+
+    fn fn_ret(&self, fty: TypeId) -> Option<TypeId> {
+        match self.module.types.get(fty) {
+            Type::Func { ret, .. } => {
+                if matches!(self.module.types.get(*ret), Type::Void) {
+                    None
+                } else {
+                    Some(*ret)
+                }
+            }
+            _ => panic!("call through non-function type"),
+        }
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// φ-node of type `ty`.
+    pub fn phi(&mut self, ty: TypeId, incomings: Vec<(BlockId, Operand)>) -> Operand {
+        self.emit(Inst::Phi { incomings, ty }, Some(ty)).1.unwrap()
+    }
+
+    /// Unconditional branch; unsets the insertion point.
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(Inst::Br { target }, None);
+        self.cur = None;
+    }
+
+    /// Conditional branch; unsets the insertion point.
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.emit(
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+            None,
+        );
+        self.cur = None;
+    }
+
+    /// Multi-way switch; unsets the insertion point.
+    pub fn switch(&mut self, val: Operand, default: BlockId, cases: Vec<(i64, BlockId)>) {
+        self.emit(
+            Inst::Switch {
+                val,
+                default,
+                cases,
+            },
+            None,
+        );
+        self.cur = None;
+    }
+
+    /// Return; unsets the insertion point.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.emit(Inst::Ret { val }, None);
+        self.cur = None;
+    }
+
+    /// Unreachable terminator; unsets the insertion point.
+    pub fn unreachable(&mut self) {
+        self.emit(Inst::Unreachable, None);
+        self.cur = None;
+    }
+
+    // ---- misc ------------------------------------------------------------
+
+    /// The type of any operand in this function.
+    pub fn operand_ty(&self, op: &Operand) -> TypeId {
+        self.f().operand_type(op, self.module)
+    }
+
+    /// Returns the [`ValueId`] behind a value operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is not [`Operand::Value`].
+    pub fn value_of(op: Operand) -> ValueId {
+        match op {
+            Operand::Value(v) => v,
+            _ => panic!("operand is not an SSA value"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{GlobalInit, Linkage};
+
+    fn fixture() -> Module {
+        Module::new("bt")
+    }
+
+    #[test]
+    fn build_simple_function() {
+        let mut m = fixture();
+        let i32 = m.types.i32();
+        let fnty = m.types.func(i32, vec![i32, i32], false);
+        let f = m.add_function("max", fnty, Linkage::Public);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let (x, y) = (b.param(0), b.param(1));
+        let bb_then = b.block("then");
+        let bb_else = b.block("else");
+        let c = b.icmp(IPred::SGt, x, y);
+        b.cond_br(c, bb_then, bb_else);
+        b.switch_to(bb_then);
+        b.ret(Some(x));
+        b.switch_to(bb_else);
+        b.ret(Some(y));
+        let func = m.func(f);
+        assert_eq!(func.blocks.len(), 3);
+        assert_eq!(func.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn gep_type_walking() {
+        let mut m = fixture();
+        let i32 = m.types.i32();
+        let i64 = m.types.i64();
+        let arr = m.types.array(i32, 8);
+        let s = m.types.struct_type("pair", vec![i64, arr]);
+        let sp = m.types.ptr(s);
+        let void = m.types.void();
+        let fnty = m.types.func(void, vec![sp, i64], false);
+        let f = m.add_function("touch", fnty, Linkage::Internal);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let idx = b.param(1);
+        // &p->field1[idx]
+        let zero = b.c32(0);
+        let one = b.c32(1);
+        let ep = b.gep(p, vec![zero, one, idx]);
+        let ety = b.operand_ty(&ep);
+        assert_eq!(m.types.pointee(ety), i32);
+    }
+
+    #[test]
+    fn load_store_types() {
+        let mut m = fixture();
+        let i64 = m.types.i64();
+        let void = m.types.void();
+        let p64 = m.types.ptr(i64);
+        let fnty = m.types.func(void, vec![p64], false);
+        let f = m.add_function("bump", fnty, Linkage::Internal);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let v = b.load(p);
+        assert_eq!(b.operand_ty(&v), i64);
+        let one = b.c64(1);
+        let v2 = b.add(v, one);
+        b.store(v2, p);
+        b.ret(None);
+    }
+
+    #[test]
+    fn alloca_and_field_ptr() {
+        let mut m = fixture();
+        let i32 = m.types.i32();
+        let i8 = m.types.i8();
+        let s = m.types.struct_type("two", vec![i8, i32]);
+        let void = m.types.void();
+        let fnty = m.types.func(void, vec![], false);
+        let f = m.add_function("local", fnty, Linkage::Internal);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let slot = b.alloca(s);
+        let fp = b.field_ptr(slot, 1);
+        let fpt = b.operand_ty(&fp);
+        assert_eq!(m.types.pointee(fpt), i32);
+    }
+
+    #[test]
+    fn call_and_intrinsic_results() {
+        let mut m = fixture();
+        let i64 = m.types.i64();
+        let fnty = m.types.func(i64, vec![], false);
+        let callee = m.add_function("gettick", fnty, Linkage::Internal);
+        let void = m.types.void();
+        let mainty = m.types.func(void, vec![], false);
+        let f = m.add_function("main", mainty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, callee);
+            let t = b.intrinsic(Intrinsic::GetTimer, vec![], Some(i64)).unwrap();
+            b.ret(Some(t));
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let r = b.call(callee, vec![]).unwrap();
+            assert_eq!(b.operand_ty(&r), i64);
+            b.ret(None);
+        }
+    }
+
+    #[test]
+    fn global_access_and_array_elem_ptr() {
+        let mut m = fixture();
+        let i32 = m.types.i32();
+        let arr = m.types.array(i32, 16);
+        let g = m.add_global("tbl", arr, GlobalInit::Zero, false);
+        let void = m.types.void();
+        let i64 = m.types.i64();
+        let fnty = m.types.func(void, vec![i64], false);
+        let f = m.add_function("poke", fnty, Linkage::Internal);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let idx = b.param(0);
+        let ep = b.array_elem_ptr(Operand::Global(g), idx);
+        let one = b.c32(1);
+        b.store(one, ep);
+        b.ret(None);
+        let ety = b.operand_ty(&ep);
+        assert_eq!(m.types.pointee(ety), i32);
+    }
+
+    #[test]
+    fn syscall_builder_shape() {
+        let mut m = fixture();
+        let i64 = m.types.i64();
+        let fnty = m.types.func(i64, vec![], false);
+        let f = m.add_function("user", fnty, Linkage::Public);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let n = b.c64(39);
+        let r = b.syscall(n, vec![]);
+        b.ret(Some(r));
+        let func = m.func(f);
+        let call = func.inst(InstId(0));
+        match call {
+            Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::Syscall),
+                args,
+            } => {
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected syscall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not positioned")]
+    fn emitting_after_terminator_panics() {
+        let mut m = fixture();
+        let void = m.types.void();
+        let fnty = m.types.func(void, vec![], false);
+        let f = m.add_function("stop", fnty, Linkage::Internal);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        let _ = b.c32(0); // fine: constants don't emit
+        b.fence(); // must panic: no insertion block
+    }
+}

@@ -1,0 +1,807 @@
+//! SVA-Core instructions, operands and intrinsics.
+//!
+//! The instruction set is RISC-like and fully typed (paper §3.2): arithmetic
+//! and logic, comparisons producing `i1`, explicit branches, typed indexing
+//! via `getelementptr`, loads and stores, calls, stack allocation, atomic
+//! memory operations and a write barrier. Heap allocation is performed by
+//! calling declared allocator functions (paper §4.3), while the SVA-OS and
+//! safety-check operations are [`Intrinsic`]s implemented by the SVM.
+
+use crate::module::{BlockId, ExternId, FuncId, GlobalId, ValueId};
+use crate::types::TypeId;
+
+/// Dense handle of an instruction inside a [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct InstId(pub u32);
+
+/// An operand of an instruction.
+///
+/// SSA values, constants and references to module-level entities are all
+/// operands; only instructions and block parameters define [`ValueId`]s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// An SSA value defined by an instruction or function parameter.
+    Value(ValueId),
+    /// An integer constant of the given type (stored sign-extended).
+    ConstInt(i64, TypeId),
+    /// A floating-point constant (bit pattern of an `f64`).
+    ConstF64(u64),
+    /// The null pointer of the given pointer type.
+    Null(TypeId),
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// The address of a function (for indirect calls / tables).
+    Func(FuncId),
+    /// The address of an external (declared, undefined) function.
+    Extern(ExternId),
+    /// An undefined value of the given type.
+    Undef(TypeId),
+}
+
+impl Operand {
+    /// Convenience constructor for a typed integer constant.
+    pub fn int(v: i64, ty: TypeId) -> Self {
+        Operand::ConstInt(v, ty)
+    }
+}
+
+/// Integer binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (traps on zero).
+    UDiv,
+    /// Signed division (traps on zero).
+    SDiv,
+    /// Unsigned remainder (traps on zero).
+    URem,
+    /// Signed remainder (traps on zero).
+    SRem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Floating addition.
+    FAdd,
+    /// Floating subtraction.
+    FSub,
+    /// Floating multiplication.
+    FMul,
+    /// Floating division.
+    FDiv,
+}
+
+impl BinOp {
+    /// True for the floating-point operations.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::UDiv => "udiv",
+            BinOp::SDiv => "sdiv",
+            BinOp::URem => "urem",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Integer comparison predicates (result type is `i1`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    ULt,
+    /// Unsigned less-or-equal.
+    ULe,
+    /// Unsigned greater-than.
+    UGt,
+    /// Unsigned greater-or-equal.
+    UGe,
+    /// Signed less-than.
+    SLt,
+    /// Signed less-or-equal.
+    SLe,
+    /// Signed greater-than.
+    SGt,
+    /// Signed greater-or-equal.
+    SGe,
+}
+
+impl IPred {
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IPred::Eq => "eq",
+            IPred::Ne => "ne",
+            IPred::ULt => "ult",
+            IPred::ULe => "ule",
+            IPred::UGt => "ugt",
+            IPred::UGe => "uge",
+            IPred::SLt => "slt",
+            IPred::SLe => "sle",
+            IPred::SGt => "sgt",
+            IPred::SGe => "sge",
+        }
+    }
+}
+
+/// Explicit cast operations (paper §3.1: unsafe languages are supported via
+/// explicit cast instructions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CastOp {
+    /// Pointer-to-pointer reinterpretation.
+    Bitcast,
+    /// Integer truncation to a narrower width.
+    Trunc,
+    /// Zero extension to a wider width.
+    ZExt,
+    /// Sign extension to a wider width.
+    SExt,
+    /// Pointer to integer.
+    PtrToInt,
+    /// Integer to pointer — the "manufactured address" source (paper §4.7).
+    IntToPtr,
+    /// Integer to float.
+    SiToFp,
+    /// Float to integer (truncating).
+    FpToSi,
+}
+
+impl CastOp {
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastOp::Bitcast => "bitcast",
+            CastOp::Trunc => "trunc",
+            CastOp::ZExt => "zext",
+            CastOp::SExt => "sext",
+            CastOp::PtrToInt => "ptrtoint",
+            CastOp::IntToPtr => "inttoptr",
+            CastOp::SiToFp => "sitofp",
+            CastOp::FpToSi => "fptosi",
+        }
+    }
+}
+
+/// Atomic read-modify-write operations (paper §3.2: added to support an OS
+/// kernel and multi-threaded code).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AtomicOp {
+    /// Atomic load-add-store; returns the *old* value.
+    Add,
+    /// Atomic load-sub-store; returns the old value.
+    Sub,
+    /// Atomic exchange; returns the old value.
+    Xchg,
+}
+
+/// The callee of a [`Inst::Call`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Callee {
+    /// Direct call to a function defined in this module.
+    Direct(FuncId),
+    /// Direct call to a declared external function.
+    External(ExternId),
+    /// Indirect call through a function pointer value.
+    Indirect(Operand),
+    /// A virtual-machine intrinsic (SVA-OS or safety-check operation).
+    Intrinsic(Intrinsic),
+}
+
+/// Operations implemented by the Secure Virtual Machine rather than by
+/// bytecode: the SVA-OS interface (paper §3.3, Tables 1–2), the safety
+/// run-time operations inserted by the verifier (paper §4.5, Table 3) and a
+/// few compiler-known memory intrinsics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Intrinsic {
+    // --- Table 1: native processor state ---
+    /// `llva.save.integer(void* buffer)` — save integer state; returns 1 on
+    /// the original return and 0 when resumed via `llva.load.integer`.
+    SaveInteger,
+    /// `llva.load.integer(void* buffer)` — resume previously saved state.
+    LoadInteger,
+    /// `llva.save.fp(void* buffer, int always)` — save FP state (lazily
+    /// unless `always != 0`).
+    SaveFp,
+    /// `llva.load.fp(void* buffer)` — restore FP state.
+    LoadFp,
+
+    // --- Table 2: interrupt contexts ---
+    /// `llva.icontext.save(void* icp, void* isp)` — save an interrupt
+    /// context as integer state.
+    IcontextSave,
+    /// `llva.icontext.load(void* icp, void* isp)` — load integer state into
+    /// an interrupt context.
+    IcontextLoad,
+    /// `llva.icontext.commit(void* icp)` — commit the context to memory.
+    IcontextCommit,
+    /// `llva.ipush.function(void* icp, fn, arg)` — arrange for `fn(arg)` to
+    /// run when the context returns (signal dispatch).
+    IpushFunction,
+    /// `llva.was.privileged(void* icp)` — 1 if the context was privileged.
+    WasPrivileged,
+    /// `sva.icontext.get()` — handle of the interrupt context that entered
+    /// the kernel on this trap.
+    IcontextGet,
+    /// `sva.icontext.new(isp, asid)` — create an interrupt context from
+    /// saved integer state (0 for an empty context) bound to an address
+    /// space; the mechanism behind `copy_thread` in a ported kernel.
+    IcontextNew,
+    /// `sva.icontext.setentry(icp, fn, arg)` — reset a context so that
+    /// resuming it enters `fn(arg)` fresh in user mode (exec).
+    IcontextSetEntry,
+
+    // --- SVA-OS privileged operations (paper §3.3, "straightforward") ---
+    /// `sva_register_syscall(num, fn)` — register a system-call handler.
+    RegisterSyscall,
+    /// `sva_register_interrupt(num, fn)` — register an interrupt handler.
+    RegisterInterrupt,
+    /// `sva_io_read(port)` — read from an I/O port.
+    IoRead,
+    /// `sva_io_write(port, value)` — write to an I/O port.
+    IoWrite,
+    /// `sva_mmu_map(vpage, pframe, flags)` — establish a mapping (mediated).
+    MmuMap,
+    /// `sva_mmu_unmap(vpage)` — remove a mapping.
+    MmuUnmap,
+    /// `sva.mmu.new.space()` — create an address space, returning its id.
+    MmuNewSpace,
+    /// `sva.mmu.load.space(asid)` — switch the current user address space
+    /// (the CR3 write of a ported kernel).
+    MmuLoadSpace,
+    /// `sva.mmu.copy.page(dst_asid, vpage)` — copy one page of the current
+    /// space into `dst_asid` (fork's page copy, kernel-driven).
+    MmuCopyPage,
+    /// `sva.mmu.free.space(asid)` — destroy an address space (process reap).
+    MmuFreeSpace,
+    /// `sva_mmu_protect(vpage, flags)` — change protection bits.
+    MmuProtect,
+    /// `sva_invoke_syscall(num, a0..a3)` — user-side trap into the kernel.
+    Syscall,
+    /// `sva_iret(icp)` — return from an interrupt/trap context.
+    Iret,
+    /// `sva_cpu_id()` — current virtual CPU.
+    CpuId,
+    /// `sva_get_timer()` — monotonic virtual clock (cycles).
+    GetTimer,
+
+    // --- Table 3 + §4.5: safety run-time (inserted by the verifier) ---
+    /// `pchk.reg.obj(MP, addr, len)` — register an object with a metapool.
+    PchkRegObj,
+    /// `pchk.drop.obj(MP, addr)` — remove an object from a metapool.
+    PchkDropObj,
+    /// `boundscheck(MP, src, derived)` — verify `derived` stays inside the
+    /// object containing `src`.
+    BoundsCheck,
+    /// `lscheck(MP, ptr)` — verify `ptr` points into a registered object.
+    LsCheck,
+    /// `getbounds(MP, ptr, &start, &end)` — fetch the bounds of the object
+    /// containing `ptr` into two out-parameters (paper Fig. 2 line 8).
+    GetBounds,
+    /// `boundscheck(start, derived, end)` — bounds check against known
+    /// bounds, used when the verifier can determine the bounds expressions
+    /// statically (paper Fig. 2 line 19: after a `kmalloc` of known size).
+    BoundsCheckRange,
+    /// `funccheck(setid, fnptr)` — indirect-call check against the call
+    /// graph's target set.
+    FuncCheck,
+    /// `pseudo_alloc(start, end)` — register a manufactured-address range
+    /// (paper §4.7); replaced by `pchk.reg.obj` by the compiler.
+    PseudoAlloc,
+
+    // --- Compiler-known memory intrinsics ---
+    /// `memcpy(dst, src, len)`.
+    MemCpy,
+    /// `memmove(dst, src, len)`.
+    MemMove,
+    /// `memset(dst, byte, len)`.
+    MemSet,
+
+    // --- Diagnostics ---
+    /// `sva_print(val)` — write a value to the VM console (debug aid).
+    Print,
+    /// `sva_abort(code)` — terminate execution with an error code.
+    Abort,
+}
+
+impl Intrinsic {
+    /// The textual name used in assembly (`call @llva.save.integer(...)`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::SaveInteger => "llva.save.integer",
+            Intrinsic::LoadInteger => "llva.load.integer",
+            Intrinsic::SaveFp => "llva.save.fp",
+            Intrinsic::LoadFp => "llva.load.fp",
+            Intrinsic::IcontextSave => "llva.icontext.save",
+            Intrinsic::IcontextLoad => "llva.icontext.load",
+            Intrinsic::IcontextCommit => "llva.icontext.commit",
+            Intrinsic::IpushFunction => "llva.ipush.function",
+            Intrinsic::WasPrivileged => "llva.was.privileged",
+            Intrinsic::IcontextGet => "sva.icontext.get",
+            Intrinsic::IcontextNew => "sva.icontext.new",
+            Intrinsic::IcontextSetEntry => "sva.icontext.setentry",
+            Intrinsic::RegisterSyscall => "sva.register.syscall",
+            Intrinsic::RegisterInterrupt => "sva.register.interrupt",
+            Intrinsic::IoRead => "sva.io.read",
+            Intrinsic::IoWrite => "sva.io.write",
+            Intrinsic::MmuMap => "sva.mmu.map",
+            Intrinsic::MmuUnmap => "sva.mmu.unmap",
+            Intrinsic::MmuNewSpace => "sva.mmu.new.space",
+            Intrinsic::MmuLoadSpace => "sva.mmu.load.space",
+            Intrinsic::MmuCopyPage => "sva.mmu.copy.page",
+            Intrinsic::MmuFreeSpace => "sva.mmu.free.space",
+            Intrinsic::MmuProtect => "sva.mmu.protect",
+            Intrinsic::Syscall => "sva.syscall",
+            Intrinsic::Iret => "sva.iret",
+            Intrinsic::CpuId => "sva.cpu.id",
+            Intrinsic::GetTimer => "sva.get.timer",
+            Intrinsic::PchkRegObj => "pchk.reg.obj",
+            Intrinsic::PchkDropObj => "pchk.drop.obj",
+            Intrinsic::BoundsCheck => "pchk.bounds",
+            Intrinsic::LsCheck => "pchk.lscheck",
+            Intrinsic::GetBounds => "pchk.getbounds",
+            Intrinsic::BoundsCheckRange => "pchk.bounds.range",
+            Intrinsic::FuncCheck => "pchk.funccheck",
+            Intrinsic::PseudoAlloc => "sva.pseudo.alloc",
+            Intrinsic::MemCpy => "sva.memcpy",
+            Intrinsic::MemMove => "sva.memmove",
+            Intrinsic::MemSet => "sva.memset",
+            Intrinsic::Print => "sva.print",
+            Intrinsic::Abort => "sva.abort",
+        }
+    }
+
+    /// Parses an intrinsic from its textual name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        use Intrinsic::*;
+        Some(match name {
+            "llva.save.integer" => SaveInteger,
+            "llva.load.integer" => LoadInteger,
+            "llva.save.fp" => SaveFp,
+            "llva.load.fp" => LoadFp,
+            "llva.icontext.save" => IcontextSave,
+            "llva.icontext.load" => IcontextLoad,
+            "llva.icontext.commit" => IcontextCommit,
+            "llva.ipush.function" => IpushFunction,
+            "llva.was.privileged" => WasPrivileged,
+            "sva.icontext.get" => IcontextGet,
+            "sva.icontext.new" => IcontextNew,
+            "sva.icontext.setentry" => IcontextSetEntry,
+            "sva.register.syscall" => RegisterSyscall,
+            "sva.register.interrupt" => RegisterInterrupt,
+            "sva.io.read" => IoRead,
+            "sva.io.write" => IoWrite,
+            "sva.mmu.map" => MmuMap,
+            "sva.mmu.unmap" => MmuUnmap,
+            "sva.mmu.new.space" => MmuNewSpace,
+            "sva.mmu.load.space" => MmuLoadSpace,
+            "sva.mmu.copy.page" => MmuCopyPage,
+            "sva.mmu.free.space" => MmuFreeSpace,
+            "sva.mmu.protect" => MmuProtect,
+            "sva.syscall" => Syscall,
+            "sva.iret" => Iret,
+            "sva.cpu.id" => CpuId,
+            "sva.get.timer" => GetTimer,
+            "pchk.reg.obj" => PchkRegObj,
+            "pchk.drop.obj" => PchkDropObj,
+            "pchk.bounds" => BoundsCheck,
+            "pchk.lscheck" => LsCheck,
+            "pchk.getbounds" => GetBounds,
+            "pchk.bounds.range" => BoundsCheckRange,
+            "pchk.funccheck" => FuncCheck,
+            "sva.pseudo.alloc" => PseudoAlloc,
+            "sva.memcpy" => MemCpy,
+            "sva.memmove" => MemMove,
+            "sva.memset" => MemSet,
+            "sva.print" => Print,
+            "sva.abort" => Abort,
+            _ => return None,
+        })
+    }
+
+    /// True for the safety-check operations that only the bytecode verifier
+    /// may insert (untrusted input bytecode containing them is rejected).
+    pub fn verifier_only(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::PchkRegObj
+                | Intrinsic::PchkDropObj
+                | Intrinsic::BoundsCheck
+                | Intrinsic::BoundsCheckRange
+                | Intrinsic::LsCheck
+                | Intrinsic::GetBounds
+                | Intrinsic::FuncCheck
+        )
+    }
+
+    /// True for privileged SVA-OS operations that require kernel mode.
+    pub fn privileged(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::RegisterSyscall
+                | Intrinsic::RegisterInterrupt
+                | Intrinsic::IoRead
+                | Intrinsic::IoWrite
+                | Intrinsic::MmuMap
+                | Intrinsic::MmuUnmap
+                | Intrinsic::MmuProtect
+                | Intrinsic::MmuNewSpace
+                | Intrinsic::MmuLoadSpace
+                | Intrinsic::MmuCopyPage
+                | Intrinsic::MmuFreeSpace
+                | Intrinsic::Iret
+                | Intrinsic::IcontextGet
+                | Intrinsic::IcontextNew
+                | Intrinsic::IcontextSetEntry
+                | Intrinsic::IcontextSave
+                | Intrinsic::IcontextLoad
+                | Intrinsic::IcontextCommit
+                | Intrinsic::IpushFunction
+                | Intrinsic::WasPrivileged
+        )
+    }
+}
+
+/// An SVA-Core instruction.
+///
+/// Instructions that produce a value get a [`ValueId`] assigned by the
+/// containing function. Terminators must appear exactly once, at the end of
+/// each basic block.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Inst {
+    /// Binary arithmetic/logic on two operands of the same type.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Integer (or pointer) comparison producing `i1`.
+    ICmp {
+        /// The predicate.
+        pred: IPred,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `cond ? tval : fval` without branching.
+    Select {
+        /// `i1` condition.
+        cond: Operand,
+        /// Value if true.
+        tval: Operand,
+        /// Value if false.
+        fval: Operand,
+    },
+    /// Explicit type conversion.
+    Cast {
+        /// The conversion kind.
+        op: CastOp,
+        /// Source value.
+        val: Operand,
+        /// Destination type.
+        to: TypeId,
+    },
+    /// Typed indexing: computes `&base[idx0].field[idx1]...` without
+    /// touching memory. All address arithmetic goes through this instruction
+    /// (paper §4.5: "all indexing calculations are performed by the
+    /// getelementptr instruction").
+    Gep {
+        /// Base pointer.
+        base: Operand,
+        /// Index list; the first index scales by the pointee size.
+        indices: Vec<Operand>,
+    },
+    /// Memory read through a typed pointer.
+    Load {
+        /// Pointer operand.
+        ptr: Operand,
+    },
+    /// Memory write through a typed pointer.
+    Store {
+        /// Value to store.
+        val: Operand,
+        /// Pointer operand.
+        ptr: Operand,
+    },
+    /// Stack allocation of `count` elements of `ty` in the current frame.
+    Alloca {
+        /// Element type.
+        ty: TypeId,
+        /// Element count (usually constant 1).
+        count: Operand,
+    },
+    /// Function call (direct, external, indirect, or intrinsic).
+    Call {
+        /// The callee.
+        callee: Callee,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// SSA φ-node merging values per predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs; must cover every predecessor.
+        incomings: Vec<(BlockId, Operand)>,
+        /// The merged type.
+        ty: TypeId,
+    },
+    /// Atomic read-modify-write; returns the previous value.
+    AtomicRmw {
+        /// Which RMW operation.
+        op: AtomicOp,
+        /// Pointer to the location.
+        ptr: Operand,
+        /// Operand value.
+        val: Operand,
+    },
+    /// Atomic compare-and-swap; returns the previous value.
+    CmpXchg {
+        /// Pointer to the location.
+        ptr: Operand,
+        /// Expected value.
+        expected: Operand,
+        /// Replacement value.
+        new: Operand,
+    },
+    /// Memory write barrier (paper §3.2).
+    Fence,
+    /// Unconditional branch.
+    Br {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch.
+    CondBr {
+        /// `i1` condition.
+        cond: Operand,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Multi-way branch on an integer.
+    Switch {
+        /// Scrutinee.
+        val: Operand,
+        /// Default target.
+        default: BlockId,
+        /// `(constant, target)` arms.
+        cases: Vec<(i64, BlockId)>,
+    },
+    /// Function return.
+    Ret {
+        /// Returned value, or `None` for `void`.
+        val: Option<Operand>,
+    },
+    /// Marks unreachable control flow; executing it is a VM fault.
+    Unreachable,
+}
+
+impl Inst {
+    /// True if this instruction terminates a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::Br { .. }
+                | Inst::CondBr { .. }
+                | Inst::Switch { .. }
+                | Inst::Ret { .. }
+                | Inst::Unreachable
+        )
+    }
+
+    /// The blocks this terminator may transfer control to.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Br { target } => vec![*target],
+            Inst::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Inst::Switch { default, cases, .. } => {
+                let mut v = vec![*default];
+                v.extend(cases.iter().map(|(_, b)| *b));
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Visits every operand of the instruction.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::ICmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Select { cond, tval, fval } => {
+                f(cond);
+                f(tval);
+                f(fval);
+            }
+            Inst::Cast { val, .. } => f(val),
+            Inst::Gep { base, indices } => {
+                f(base);
+                for i in indices {
+                    f(i);
+                }
+            }
+            Inst::Load { ptr } => f(ptr),
+            Inst::Store { val, ptr } => {
+                f(val);
+                f(ptr);
+            }
+            Inst::Alloca { count, .. } => f(count),
+            Inst::Call { callee, args } => {
+                if let Callee::Indirect(op) = callee {
+                    f(op);
+                }
+                for a in args {
+                    f(a);
+                }
+            }
+            Inst::Phi { incomings, .. } => {
+                for (_, op) in incomings {
+                    f(op);
+                }
+            }
+            Inst::AtomicRmw { ptr, val, .. } => {
+                f(ptr);
+                f(val);
+            }
+            Inst::CmpXchg { ptr, expected, new } => {
+                f(ptr);
+                f(expected);
+                f(new);
+            }
+            Inst::Fence | Inst::Br { .. } | Inst::Unreachable => {}
+            Inst::CondBr { cond, .. } => f(cond),
+            Inst::Switch { val, .. } => f(val),
+            Inst::Ret { val } => {
+                if let Some(v) = val {
+                    f(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_classification() {
+        let t = Inst::Br { target: BlockId(0) };
+        assert!(t.is_terminator());
+        assert_eq!(t.successors(), vec![BlockId(0)]);
+        let l = Inst::Load {
+            ptr: Operand::Null(TypeId(0)),
+        };
+        assert!(!l.is_terminator());
+        assert!(l.successors().is_empty());
+    }
+
+    #[test]
+    fn switch_successors_include_default_and_cases() {
+        let s = Inst::Switch {
+            val: Operand::ConstInt(3, TypeId(0)),
+            default: BlockId(9),
+            cases: vec![(1, BlockId(1)), (2, BlockId(2))],
+        };
+        assert_eq!(s.successors(), vec![BlockId(9), BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn intrinsic_names_round_trip() {
+        use Intrinsic::*;
+        let all = [
+            SaveInteger,
+            LoadInteger,
+            SaveFp,
+            LoadFp,
+            IcontextSave,
+            IcontextLoad,
+            IcontextCommit,
+            IpushFunction,
+            WasPrivileged,
+            RegisterSyscall,
+            RegisterInterrupt,
+            IoRead,
+            IoWrite,
+            MmuMap,
+            MmuUnmap,
+            MmuProtect,
+            MmuNewSpace,
+            MmuLoadSpace,
+            MmuCopyPage,
+            MmuFreeSpace,
+            Syscall,
+            Iret,
+            CpuId,
+            GetTimer,
+            PchkRegObj,
+            PchkDropObj,
+            IcontextGet,
+            IcontextNew,
+            IcontextSetEntry,
+            BoundsCheck,
+            LsCheck,
+            GetBounds,
+            BoundsCheckRange,
+            FuncCheck,
+            PseudoAlloc,
+            MemCpy,
+            MemMove,
+            MemSet,
+            Print,
+            Abort,
+        ];
+        for i in all {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i), "{}", i.name());
+        }
+        assert_eq!(Intrinsic::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn verifier_only_flags() {
+        assert!(Intrinsic::BoundsCheck.verifier_only());
+        assert!(Intrinsic::PchkRegObj.verifier_only());
+        assert!(!Intrinsic::Syscall.verifier_only());
+        assert!(!Intrinsic::MemCpy.verifier_only());
+    }
+
+    #[test]
+    fn privileged_flags() {
+        assert!(Intrinsic::MmuMap.privileged());
+        assert!(Intrinsic::RegisterSyscall.privileged());
+        assert!(!Intrinsic::Syscall.privileged());
+        assert!(!Intrinsic::Print.privileged());
+    }
+
+    #[test]
+    fn operand_visitation_covers_call() {
+        let c = Inst::Call {
+            callee: Callee::Indirect(Operand::Value(ValueId(7))),
+            args: vec![Operand::ConstInt(1, TypeId(0)), Operand::Value(ValueId(8))],
+        };
+        let mut seen = Vec::new();
+        c.for_each_operand(|o| seen.push(*o));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], Operand::Value(ValueId(7)));
+    }
+}

@@ -1,0 +1,742 @@
+//! IR containers: [`Module`], [`Function`], [`Block`], globals and the
+//! kernel allocator declarations.
+//!
+//! An SVA object file ("Module", paper §3.1) holds functions, global
+//! variables, type and external-function declarations, and a symbol table.
+//! Modules additionally carry the *allocator declarations* the kernel makes
+//! during porting (paper §4.3–§4.4) and, after the safety-checking compiler
+//! has run, the metapool *pool annotations* — the encoded "proof" checked by
+//! the bytecode verifier (paper §5).
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, InstId, Operand};
+use crate::types::{Type, TypeId, TypeTable};
+
+/// Handle of an SSA value within one [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ValueId(pub u32);
+
+/// Handle of a basic block within one [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+/// Handle of a function defined in a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FuncId(pub u32);
+
+/// Handle of a global variable in a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GlobalId(pub u32);
+
+/// Handle of an external (declared but not defined) function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ExternId(pub u32);
+
+/// Linkage of a function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Linkage {
+    /// Visible to other modules and callable from outside (an "entry point").
+    Public,
+    /// Only reachable from within this module.
+    Internal,
+}
+
+/// What defined an SSA value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueDef {
+    /// The `n`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// A basic block: a straight-line instruction list ending in a terminator.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Label, unique within the function.
+    pub name: String,
+    /// Instruction list in execution order.
+    pub insts: Vec<InstId>,
+}
+
+/// A function definition.
+///
+/// Values, blocks and instructions live in dense per-function arenas indexed
+/// by [`ValueId`], [`BlockId`] and [`InstId`].
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbol name, unique within the module.
+    pub name: String,
+    /// Function type (must be [`Type::Func`]).
+    pub ty: TypeId,
+    /// Parameter values, in order.
+    pub params: Vec<ValueId>,
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Instruction arena.
+    pub insts: Vec<Inst>,
+    /// Result value of each instruction (parallel to `insts`).
+    pub inst_results: Vec<Option<ValueId>>,
+    /// Type of each value (indexed by [`ValueId`]).
+    pub value_types: Vec<TypeId>,
+    /// Definition site of each value (indexed by [`ValueId`]).
+    pub value_defs: Vec<ValueDef>,
+    /// Optional names for values (printing only).
+    pub value_names: Vec<Option<String>>,
+    /// Linkage.
+    pub linkage: Linkage,
+    /// Call sites carrying the programmer's "all callees match this call
+    /// signature" assertion (paper §4.8) — candidates for devirtualization.
+    pub sig_asserted_calls: Vec<InstId>,
+}
+
+impl Function {
+    /// Creates an empty function of type `ty` (parameters are added from the
+    /// function type by [`crate::build::FunctionBuilder`] or the parser).
+    pub fn new(name: &str, ty: TypeId, linkage: Linkage) -> Self {
+        Function {
+            name: name.to_string(),
+            ty,
+            params: Vec::new(),
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            inst_results: Vec::new(),
+            value_types: Vec::new(),
+            value_defs: Vec::new(),
+            value_names: Vec::new(),
+            linkage,
+            sig_asserted_calls: Vec::new(),
+        }
+    }
+
+    /// Allocates a new SSA value of type `ty`.
+    pub fn new_value(&mut self, ty: TypeId, def: ValueDef) -> ValueId {
+        let id = ValueId(self.value_types.len() as u32);
+        self.value_types.push(ty);
+        self.value_defs.push(def);
+        self.value_names.push(None);
+        id
+    }
+
+    /// Appends an instruction to `block`, assigning a result value of type
+    /// `result_ty` when `result_ty` is not `None`.
+    pub fn push_inst(
+        &mut self,
+        block: BlockId,
+        inst: Inst,
+        result_ty: Option<TypeId>,
+    ) -> (InstId, Option<ValueId>) {
+        let iid = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        let result = result_ty.map(|ty| self.new_value(ty, ValueDef::Inst(iid)));
+        self.inst_results.push(result);
+        self.blocks[block.0 as usize].insts.push(iid);
+        (iid, result)
+    }
+
+    /// Adds an instruction to the arena *without* placing it in any block
+    /// (instrumentation passes splice it into block lists themselves).
+    pub fn add_inst_detached(
+        &mut self,
+        inst: Inst,
+        result_ty: Option<TypeId>,
+    ) -> (InstId, Option<ValueId>) {
+        let iid = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        let result = result_ty.map(|ty| self.new_value(ty, ValueDef::Inst(iid)));
+        self.inst_results.push(result);
+        (iid, result)
+    }
+
+    /// Adds an empty basic block.
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.to_string(),
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// Returns the instruction behind `id`.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.0 as usize]
+    }
+
+    /// Returns the result value of an instruction, if any.
+    pub fn result_of(&self, id: InstId) -> Option<ValueId> {
+        self.inst_results[id.0 as usize]
+    }
+
+    /// Type of a value.
+    pub fn value_type(&self, v: ValueId) -> TypeId {
+        self.value_types[v.0 as usize]
+    }
+
+    /// Number of SSA values.
+    pub fn num_values(&self) -> usize {
+        self.value_types.len()
+    }
+
+    /// The type of an operand, given the module type table (constants carry
+    /// their own type; module-level operands are pointers to their entity).
+    pub fn operand_type(&self, op: &Operand, module: &Module) -> TypeId {
+        match *op {
+            Operand::Value(v) => self.value_type(v),
+            Operand::ConstInt(_, ty) | Operand::Null(ty) | Operand::Undef(ty) => ty,
+            Operand::ConstF64(_) => module
+                .types
+                .intern_lookup(&Type::F64)
+                .expect("f64 interned"),
+            Operand::Global(g) => module.global_ptr_type(g),
+            Operand::Func(f) => module.func_ptr_type(f),
+            Operand::Extern(e) => module.extern_ptr_type(e),
+        }
+    }
+
+    /// Iterates over `(BlockId, InstId)` pairs in layout order.
+    pub fn inst_order(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.insts.iter().map(move |&i| (BlockId(bi as u32), i)))
+    }
+}
+
+/// A relocation inside a global initializer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelocTarget {
+    /// Address of a defined function.
+    Func(String),
+    /// Address of an external function.
+    Extern(String),
+    /// Address of another global.
+    Global(String),
+}
+
+/// Initializer of a global variable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// Raw bytes (must match the type's size).
+    Bytes(Vec<u8>),
+    /// Raw bytes plus pointer-sized relocations at given byte offsets.
+    /// Used for function-pointer tables and linked global data.
+    Relocated {
+        /// Base bytes (length = type size).
+        bytes: Vec<u8>,
+        /// `(offset, target)` pairs; each patches a pointer-sized slot.
+        relocs: Vec<(u64, RelocTarget)>,
+    },
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Symbol name, unique within the module.
+    pub name: String,
+    /// The *value* type of the global (its address has type `ty*`).
+    pub ty: TypeId,
+    /// Initializer.
+    pub init: GlobalInit,
+    /// Whether stores to the global are illegal.
+    pub is_const: bool,
+}
+
+/// An external function declaration (unknown code, paper §4.5: partitions
+/// reaching externals become "incomplete").
+#[derive(Clone, Debug)]
+pub struct ExternDecl {
+    /// Symbol name.
+    pub name: String,
+    /// Function type.
+    pub ty: TypeId,
+}
+
+/// Whether an allocator is a pool allocator or an ordinary one (paper §4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocKind {
+    /// A pool allocator (`kmem_cache_alloc`-style): the first argument
+    /// designates a pool descriptor created by `pool_create`.
+    Pool,
+    /// An ordinary allocator (`kmalloc`-style): one logical pool for all of
+    /// its memory.
+    Ordinary,
+}
+
+/// How to compute the byte size of an allocation from the call arguments
+/// (paper §4.4: "each allocator must provide a function that returns the
+/// size of an allocation given the arguments").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SizeSpec {
+    /// The size is the `n`-th argument (0-based) of the allocation call.
+    Arg(usize),
+    /// The size is the pool descriptor's object size (pool allocators).
+    PoolObjectSize,
+    /// A fixed size in bytes.
+    Const(u64),
+}
+
+/// A kernel allocator declaration made during porting (paper §4.3–§4.4, §6.2).
+#[derive(Clone, Debug)]
+pub struct AllocatorDecl {
+    /// Human-readable allocator name (`"kmem_cache"`, `"kmalloc"`, ...).
+    pub name: String,
+    /// Pool or ordinary.
+    pub kind: AllocKind,
+    /// Name of the allocation function.
+    pub alloc_fn: String,
+    /// Name of the deallocation function, if any.
+    pub dealloc_fn: Option<String>,
+    /// Pool-creation function (pool allocators only).
+    pub pool_create_fn: Option<String>,
+    /// Pool-destruction function (pool allocators only).
+    pub pool_destroy_fn: Option<String>,
+    /// Size of an allocation as a function of the call arguments.
+    pub size: SizeSpec,
+    /// For [`SizeSpec::PoolObjectSize`]: the kernel function that returns
+    /// the object size given the pool descriptor (paper §4.4: "each
+    /// allocator must provide a function that returns the size of an
+    /// allocation given the arguments").
+    pub size_fn: Option<String>,
+    /// Which argument of `alloc_fn` is the pool descriptor (pool allocators).
+    pub pool_arg: Option<usize>,
+    /// For ordinary allocators internally implemented over a pool allocator
+    /// (e.g. `kmalloc` over `kmem_cache_alloc`, paper §6.2): the name of the
+    /// underlying allocator. Exposing this avoids merging all the ordinary
+    /// allocator's metapools into one.
+    pub backed_by: Option<String>,
+}
+
+/// Descriptor of one metapool in the encoded annotations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetaPoolDesc {
+    /// Symbolic name (`"MP0"`, `"MP_task"`, ...).
+    pub name: String,
+    /// Whether the partition is type-homogeneous (paper §4.1 T2).
+    pub type_homogeneous: bool,
+    /// Whether the partition is complete (not exposed to unknown code).
+    pub complete: bool,
+    /// Inferred element type for TH pools.
+    pub elem_type: Option<TypeId>,
+    /// The metapools that pointers stored *inside* this pool's objects
+    /// point to, one entry per field cell (field-sensitive partitions:
+    /// `(cell, target pool)`).
+    pub points_to: Vec<(u32, u32)>,
+    /// Field sensitivity lost: every access routes through cell 0.
+    pub fields_collapsed: bool,
+    /// Whether the userspace pseudo-object must be registered in this pool
+    /// at boot (paper §4.6).
+    pub userspace: bool,
+}
+
+/// The metapool annotations emitted by the safety-checking compiler and
+/// validated by the bytecode verifier (paper §5: the "encoded proof").
+#[derive(Clone, Debug, Default)]
+pub struct PoolAnnotations {
+    /// All metapools; a metapool id is an index into this vector.
+    pub metapools: Vec<MetaPoolDesc>,
+    /// Per-function, per-value metapool assignment for pointer-typed values.
+    /// Indexed `[func.0][value.0]`.
+    pub value_pools: Vec<Vec<Option<u32>>>,
+    /// Field cell each pointer value points into (parallel to
+    /// `value_pools`; empty rows mean all-zero).
+    pub value_cells: Vec<Vec<u32>>,
+    /// Metapool of each global's storage.
+    pub global_pools: Vec<Option<u32>>,
+    /// Indirect-call target sets, referenced by `funccheck` set ids.
+    pub func_sets: Vec<Vec<String>>,
+    /// Call-site → target-set binding: `(func, inst, set)` triples.
+    pub call_sets: Vec<(u32, u32, u32)>,
+}
+
+impl PoolAnnotations {
+    /// The annotated metapool of a value, if any.
+    pub fn value_pool(&self, f: FuncId, v: ValueId) -> Option<u32> {
+        self.value_pools
+            .get(f.0 as usize)
+            .and_then(|vs| vs.get(v.0 as usize).copied().flatten())
+    }
+
+    /// The annotated field cell of a value (0 when unrecorded).
+    pub fn value_cell(&self, f: FuncId, v: ValueId) -> u32 {
+        self.value_cells
+            .get(f.0 as usize)
+            .and_then(|vs| vs.get(v.0 as usize).copied())
+            .unwrap_or(0)
+    }
+
+    /// The points-to edge of `(pool, cell)` (cell 0 when collapsed).
+    pub fn edge(&self, pool: u32, cell: u32) -> Option<u32> {
+        let d = self.metapools.get(pool as usize)?;
+        let cell = if d.fields_collapsed { 0 } else { cell };
+        d.points_to
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .map(|(_, t)| *t)
+    }
+}
+
+/// An SVA object file: functions, globals, type and external declarations,
+/// a symbol table, allocator declarations and (optionally) pool annotations.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// The interned type table.
+    pub types: TypeTable,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Defined functions.
+    pub funcs: Vec<Function>,
+    /// External declarations.
+    pub externs: Vec<ExternDecl>,
+    /// Kernel allocator declarations.
+    pub allocators: Vec<AllocatorDecl>,
+    /// The kernel "entry" function where global registrations go
+    /// (paper §4.3), if designated.
+    pub entry: Option<FuncId>,
+    /// Metapool annotations (present after the safety-checking compiler).
+    pub pool_annotations: Option<PoolAnnotations>,
+    func_index: HashMap<String, FuncId>,
+    global_index: HashMap<String, GlobalId>,
+    extern_index: HashMap<String, ExternId>,
+}
+
+impl TypeTable {
+    /// Looks up an already-interned type without mutating the table.
+    pub fn intern_lookup(&self, ty: &Type) -> Option<TypeId> {
+        // TypeTable keeps `intern` private; expose a read-only probe here so
+        // Module helpers can resolve primitive types without `&mut`.
+        self.probe(ty)
+    }
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> Self {
+        Module {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a function; its parameter values are created from the function
+    /// type. Returns the new id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken or `ty` is not a function type.
+    pub fn add_function(&mut self, name: &str, ty: TypeId, linkage: Linkage) -> FuncId {
+        assert!(
+            !self.func_index.contains_key(name) && !self.extern_index.contains_key(name),
+            "duplicate function `{name}`"
+        );
+        let params = match self.types.get(ty) {
+            Type::Func { params, .. } => params.clone(),
+            _ => panic!("add_function with non-function type"),
+        };
+        let mut f = Function::new(name, ty, linkage);
+        for (i, pty) in params.iter().enumerate() {
+            let v = f.new_value(*pty, ValueDef::Param(i as u32));
+            f.params.push(v);
+        }
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        self.func_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares an external function.
+    pub fn add_extern(&mut self, name: &str, ty: TypeId) -> ExternId {
+        if let Some(&e) = self.extern_index.get(name) {
+            return e;
+        }
+        let id = ExternId(self.externs.len() as u32);
+        self.externs.push(ExternDecl {
+            name: name.to_string(),
+            ty,
+        });
+        self.extern_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a global variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add_global(
+        &mut self,
+        name: &str,
+        ty: TypeId,
+        init: GlobalInit,
+        is_const: bool,
+    ) -> GlobalId {
+        assert!(
+            !self.global_index.contains_key(name),
+            "duplicate global `{name}`"
+        );
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.to_string(),
+            ty,
+            init,
+            is_const,
+        });
+        self.global_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a kernel allocator declaration.
+    pub fn declare_allocator(&mut self, decl: AllocatorDecl) {
+        self.allocators.push(decl);
+    }
+
+    /// Finds a defined function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_index.get(name).copied()
+    }
+
+    /// Finds a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.global_index.get(name).copied()
+    }
+
+    /// Finds an external declaration by name.
+    pub fn extern_by_name(&self, name: &str) -> Option<ExternId> {
+        self.extern_index.get(name).copied()
+    }
+
+    /// The allocator declaration whose alloc function is `name`, if any.
+    pub fn allocator_for_alloc_fn(&self, name: &str) -> Option<&AllocatorDecl> {
+        self.allocators.iter().find(|a| a.alloc_fn == name)
+    }
+
+    /// The allocator declaration whose dealloc function is `name`, if any.
+    pub fn allocator_for_dealloc_fn(&self, name: &str) -> Option<&AllocatorDecl> {
+        self.allocators
+            .iter()
+            .find(|a| a.dealloc_fn.as_deref() == Some(name))
+    }
+
+    /// Shorthand for `&self.funcs[id.0]`.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Shorthand for `&self.globals[id.0]`.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// The pointer type of a global's address. Requires `Ptr(g.ty)` to have
+    /// been interned; module construction does this eagerly.
+    pub fn global_ptr_type(&self, g: GlobalId) -> TypeId {
+        let ty = self.globals[g.0 as usize].ty;
+        self.types
+            .intern_lookup(&Type::Ptr(ty))
+            .expect("global pointer type interned")
+    }
+
+    /// The pointer type of a defined function's address.
+    pub fn func_ptr_type(&self, f: FuncId) -> TypeId {
+        let ty = self.funcs[f.0 as usize].ty;
+        self.types
+            .intern_lookup(&Type::Ptr(ty))
+            .expect("function pointer type interned")
+    }
+
+    /// The pointer type of an external function's address.
+    pub fn extern_ptr_type(&self, e: ExternId) -> TypeId {
+        let ty = self.externs[e.0 as usize].ty;
+        self.types
+            .intern_lookup(&Type::Ptr(ty))
+            .expect("extern pointer type interned")
+    }
+
+    /// Ensures pointer types exist for every function/global/extern address
+    /// (called by builders after module construction).
+    pub fn intern_address_types(&mut self) {
+        let mut tys: Vec<TypeId> = Vec::new();
+        tys.extend(self.funcs.iter().map(|f| f.ty));
+        tys.extend(self.globals.iter().map(|g| g.ty));
+        tys.extend(self.externs.iter().map(|e| e.ty));
+        for ty in tys {
+            self.types.ptr(ty);
+        }
+    }
+
+    /// Pushes a fully-constructed function (bytecode decoding only) and
+    /// indexes its name.
+    pub fn push_decoded_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.func_index.insert(f.name.clone(), id);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Renames a function, keeping the index consistent (used by cloning).
+    pub fn rename_function(&mut self, id: FuncId, new_name: &str) {
+        assert!(
+            !self.func_index.contains_key(new_name),
+            "duplicate function `{new_name}`"
+        );
+        let old = std::mem::replace(&mut self.funcs[id.0 as usize].name, new_name.to_string());
+        self.func_index.remove(&old);
+        self.func_index.insert(new_name.to_string(), id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Callee, Intrinsic};
+
+    fn mk_module() -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let i32 = m.types.i32();
+        let fnty = m.types.func(i32, vec![i32, i32], false);
+        let f = m.add_function("add2", fnty, Linkage::Public);
+        m.intern_address_types();
+        (m, f)
+    }
+
+    #[test]
+    fn function_params_get_values() {
+        let (m, f) = mk_module();
+        let func = m.func(f);
+        assert_eq!(func.params.len(), 2);
+        assert_eq!(func.value_defs[0], ValueDef::Param(0));
+        assert_eq!(func.value_defs[1], ValueDef::Param(1));
+    }
+
+    #[test]
+    fn push_inst_assigns_results() {
+        let (mut m, f) = mk_module();
+        let i32 = m.types.i32();
+        let func = m.func_mut(f);
+        let entry = func.add_block("entry");
+        let (iid, res) = func.push_inst(
+            entry,
+            Inst::Bin {
+                op: crate::inst::BinOp::Add,
+                lhs: Operand::Value(func.params[0]),
+                rhs: Operand::Value(func.params[1]),
+            },
+            Some(i32),
+        );
+        let res = res.unwrap();
+        assert_eq!(func.result_of(iid), Some(res));
+        assert_eq!(func.value_type(res), i32);
+        assert_eq!(func.value_defs[res.0 as usize], ValueDef::Inst(iid));
+        let (_, none) = func.push_inst(
+            entry,
+            Inst::Ret {
+                val: Some(Operand::Value(res)),
+            },
+            None,
+        );
+        assert!(none.is_none());
+        assert_eq!(func.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (mut m, f) = mk_module();
+        assert_eq!(m.func_by_name("add2"), Some(f));
+        assert_eq!(m.func_by_name("nope"), None);
+        let i8 = m.types.i8();
+        let bp = m.types.ptr(i8);
+        let ety = m.types.func(bp, vec![], false);
+        let e = m.add_extern("mystery", ety);
+        assert_eq!(m.extern_by_name("mystery"), Some(e));
+        // Re-declaring returns the same id.
+        assert_eq!(m.add_extern("mystery", ety), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_panics() {
+        let (mut m, _) = mk_module();
+        let i32 = m.types.i32();
+        let fnty = m.types.func(i32, vec![], false);
+        m.add_function("add2", fnty, Linkage::Internal);
+    }
+
+    #[test]
+    fn allocator_lookup() {
+        let (mut m, _) = mk_module();
+        m.declare_allocator(AllocatorDecl {
+            name: "kmalloc".into(),
+            kind: AllocKind::Ordinary,
+            alloc_fn: "kmalloc".into(),
+            dealloc_fn: Some("kfree".into()),
+            pool_create_fn: None,
+            pool_destroy_fn: None,
+            size: SizeSpec::Arg(0),
+            size_fn: None,
+            pool_arg: None,
+            backed_by: Some("kmem_cache".into()),
+        });
+        assert!(m.allocator_for_alloc_fn("kmalloc").is_some());
+        assert!(m.allocator_for_dealloc_fn("kfree").is_some());
+        assert!(m.allocator_for_alloc_fn("kfree").is_none());
+    }
+
+    #[test]
+    fn global_init_and_ptr_type() {
+        let (mut m, _) = mk_module();
+        let i32 = m.types.i32();
+        let arr = m.types.array(i32, 4);
+        let g = m.add_global("table", arr, GlobalInit::Zero, false);
+        m.intern_address_types();
+        let pt = m.global_ptr_type(g);
+        assert!(m.types.is_ptr(pt));
+        assert_eq!(m.types.pointee(pt), arr);
+    }
+
+    #[test]
+    fn rename_function_updates_index() {
+        let (mut m, f) = mk_module();
+        m.rename_function(f, "add2_clone0");
+        assert_eq!(m.func_by_name("add2_clone0"), Some(f));
+        assert_eq!(m.func_by_name("add2"), None);
+    }
+
+    #[test]
+    fn operand_types_resolve() {
+        let (mut m, f) = mk_module();
+        let i64 = m.types.i64();
+        let g = m.add_global("g", i64, GlobalInit::Zero, false);
+        m.intern_address_types();
+        let func = m.func(f);
+        let t = func.operand_type(&Operand::Global(g), &m);
+        assert!(m.types.is_ptr(t));
+        let c = func.operand_type(&Operand::ConstInt(3, i64), &m);
+        assert_eq!(c, i64);
+    }
+
+    #[test]
+    fn intrinsic_call_is_plain_inst() {
+        let (mut m, f) = mk_module();
+        let func = m.func_mut(f);
+        let b = func.add_block("entry");
+        let (iid, _) = func.push_inst(
+            b,
+            Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::Print),
+                args: vec![],
+            },
+            None,
+        );
+        assert!(matches!(func.inst(iid), Inst::Call { .. }));
+    }
+}

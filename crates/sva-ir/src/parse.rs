@@ -1,0 +1,1451 @@
+//! Parser for the textual SVA assembly emitted by [`crate::print`].
+//!
+//! Parsing is two-pass: the first pass registers all module-level entities
+//! (structs, globals, externs, allocator declarations and function
+//! signatures) so bodies can reference entities defined later in the file;
+//! the second pass parses function bodies, pre-creating every SSA value from
+//! its explicitly printed result type before resolving operands (required
+//! for φ-nodes and cross-block references).
+
+use std::collections::HashMap;
+
+use crate::inst::{AtomicOp, BinOp, Callee, CastOp, IPred, Inst, Intrinsic, Operand};
+use crate::module::{
+    AllocKind, AllocatorDecl, BlockId, FuncId, GlobalInit, Linkage, Module, RelocTarget, SizeSpec,
+    ValueId,
+};
+use crate::types::TypeId;
+
+/// A parse error with a human-readable message and byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(char),
+    Arrow,
+    Ellipsis,
+    SigAssert,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let at = self.pos;
+            if self.pos >= self.src.len() {
+                out.push((Tok::Eof, at));
+                return Ok(out);
+            }
+            let c = self.src[self.pos] as char;
+            let tok = match c {
+                'a'..='z' | 'A'..='Z' | '_' => {
+                    let s = self.ident();
+                    Tok::Ident(s)
+                }
+                '0'..='9' => Tok::Int(self.number(false, at)?),
+                '-' => {
+                    if self.peek(1) == Some('>') {
+                        self.pos += 2;
+                        Tok::Arrow
+                    } else {
+                        self.pos += 1;
+                        Tok::Int(self.number(true, at)?)
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(ParseError {
+                            msg: "unterminated string".into(),
+                            at,
+                        });
+                    }
+                    let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    Tok::Str(s)
+                }
+                '.' => {
+                    if self.peek(1) == Some('.') && self.peek(2) == Some('.') {
+                        self.pos += 3;
+                        Tok::Ellipsis
+                    } else {
+                        self.pos += 1;
+                        Tok::Punct('.')
+                    }
+                }
+                '!' => {
+                    self.pos += 1;
+                    let s = self.ident();
+                    if s == "sigassert" {
+                        Tok::SigAssert
+                    } else {
+                        return Err(ParseError {
+                            msg: format!("unknown attribute !{s}"),
+                            at,
+                        });
+                    }
+                }
+                '{' | '}' | '(' | ')' | '[' | ']' | ',' | ':' | '=' | '*' | '@' | '%' | '$' => {
+                    self.pos += 1;
+                    Tok::Punct(c)
+                }
+                other => {
+                    return Err(ParseError {
+                        msg: format!("unexpected character `{other}`"),
+                        at,
+                    })
+                }
+            };
+            out.push((tok, at));
+        }
+    }
+
+    fn peek(&self, n: usize) -> Option<char> {
+        self.src.get(self.pos + n).map(|&b| b as char)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b';' || (c == b'/' && self.src.get(self.pos + 1) == Some(&b'/')) {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn number(&mut self, negative: bool, at: usize) -> Result<i64, ParseError> {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let v: i64 = text
+            .parse::<u64>()
+            .map(|u| u as i64)
+            .map_err(|_| ParseError {
+                msg: format!("bad number `{text}`"),
+                at,
+            })?;
+        Ok(if negative { v.wrapping_neg() } else { v })
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].0
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.i].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.i].0.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            msg: msg.into(),
+            at: self.at(),
+        })
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(ParseError {
+                msg: format!("expected `{c}`, found {other:?}"),
+                at: self.toks[self.i.saturating_sub(1)].1,
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                msg: format!("expected identifier, found {other:?}"),
+                at: self.toks[self.i.saturating_sub(1)].1,
+            }),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Tok::Int(v) => Ok(v),
+            other => Err(ParseError {
+                msg: format!("expected integer, found {other:?}"),
+                at: self.toks[self.i.saturating_sub(1)].1,
+            }),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Tok::Ident(s) if s == kw => Ok(()),
+            other => Err(ParseError {
+                msg: format!("expected `{kw}`, found {other:?}"),
+                at: self.toks[self.i.saturating_sub(1)].1,
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Tok::Punct(p) if *p == c) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    fn parse_type(&mut self, m: &mut Module) -> Result<TypeId, ParseError> {
+        let mut base = match self.next() {
+            Tok::Ident(s) => match s.as_str() {
+                "void" => m.types.void(),
+                "i1" => m.types.i1(),
+                "i8" => m.types.i8(),
+                "i16" => m.types.i16(),
+                "i32" => m.types.i32(),
+                "i64" => m.types.i64(),
+                "f64" => m.types.f64(),
+                other => return self.err(format!("unknown type `{other}`")),
+            },
+            Tok::Punct('%') => {
+                let name = self.expect_ident()?;
+                m.types.declare_struct(&name)
+            }
+            Tok::Punct('[') => {
+                let n = self.expect_int()?;
+                self.expect_kw("x")?;
+                let elem = self.parse_type(m)?;
+                self.expect_punct(']')?;
+                m.types.array(elem, n as u64)
+            }
+            Tok::Punct('(') => {
+                let mut params = Vec::new();
+                let mut vararg = false;
+                if !self.eat_punct(')') {
+                    loop {
+                        if matches!(self.peek(), Tok::Ellipsis) {
+                            self.next();
+                            vararg = true;
+                            self.expect_punct(')')?;
+                            break;
+                        }
+                        params.push(self.parse_type(m)?);
+                        if self.eat_punct(')') {
+                            break;
+                        }
+                        self.expect_punct(',')?;
+                    }
+                }
+                if matches!(self.peek(), Tok::Arrow) {
+                    self.next();
+                    let ret = self.parse_type(m)?;
+                    m.types.func(ret, params, vararg)
+                } else if params.len() == 1 && !vararg {
+                    // Parenthesized group, e.g. `((i64) -> i64)*`.
+                    params[0]
+                } else {
+                    return self.err("expected `->` after parameter list");
+                }
+            }
+            other => return self.err(format!("expected type, found {other:?}")),
+        };
+        while self.eat_punct('*') {
+            base = m.types.ptr(base);
+        }
+        Ok(base)
+    }
+}
+
+/// Function body captured during pass 1 (token range) for pass-2 parsing.
+struct PendingBody {
+    func: FuncId,
+    start_tok: usize,
+}
+
+/// Parses a module from its textual form.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, i: 0 };
+    let mut m = Module::new("");
+    let mut pending: Vec<PendingBody> = Vec::new();
+    let mut entry_name: Option<String> = None;
+    let mut relocs_to_fix: Vec<(usize, Vec<(u64, String)>)> = Vec::new();
+
+    p.expect_kw("module")?;
+    match p.next() {
+        Tok::Str(s) => m.name = s,
+        other => return p.err(format!("expected module name string, found {other:?}")),
+    }
+
+    loop {
+        match p.peek().clone() {
+            Tok::Eof => break,
+            Tok::Ident(kw) => match kw.as_str() {
+                "struct" => {
+                    p.next();
+                    p.expect_punct('%')?;
+                    let name = p.expect_ident()?;
+                    p.expect_punct('=')?;
+                    p.expect_punct('{')?;
+                    let sid = m.types.declare_struct(&name);
+                    if matches!(p.peek(), Tok::Ident(s) if s == "opaque") {
+                        p.next();
+                        p.expect_punct('}')?;
+                        continue;
+                    }
+                    let mut fields = Vec::new();
+                    if !p.eat_punct('}') {
+                        loop {
+                            fields.push(p.parse_type(&mut m)?);
+                            if p.eat_punct('}') {
+                                break;
+                            }
+                            p.expect_punct(',')?;
+                        }
+                    }
+                    m.types.set_struct_body(sid, fields);
+                }
+                "global" | "const" => {
+                    let is_const = kw == "const";
+                    p.next();
+                    if is_const {
+                        p.expect_kw("global")?;
+                    }
+                    p.expect_punct('@')?;
+                    let name = p.expect_ident()?;
+                    p.expect_punct(':')?;
+                    let ty = p.parse_type(&mut m)?;
+                    p.expect_punct('=')?;
+                    let init = parse_init(&mut p, &mut m, &mut relocs_to_fix)?;
+                    m.add_global(&name, ty, init, is_const);
+                }
+                "declare" => {
+                    p.next();
+                    p.expect_punct('@')?;
+                    let name = p.expect_ident()?;
+                    p.expect_punct(':')?;
+                    let ty = p.parse_type(&mut m)?;
+                    m.add_extern(&name, ty);
+                }
+                "allocator" => {
+                    p.next();
+                    parse_allocator(&mut p, &mut m)?;
+                }
+                "entry" => {
+                    p.next();
+                    p.expect_punct('@')?;
+                    entry_name = Some(p.expect_ident()?);
+                }
+                "func" => {
+                    p.next();
+                    let linkage = match p.expect_ident()?.as_str() {
+                        "public" => Linkage::Public,
+                        "internal" => Linkage::Internal,
+                        other => return p.err(format!("bad linkage `{other}`")),
+                    };
+                    p.expect_punct('@')?;
+                    let name = p.expect_ident()?;
+                    p.expect_punct('(')?;
+                    let mut params: Vec<(String, TypeId)> = Vec::new();
+                    if !p.eat_punct(')') {
+                        loop {
+                            p.expect_punct('%')?;
+                            let pname = match p.next() {
+                                Tok::Ident(s) => s,
+                                Tok::Int(v) => v.to_string(),
+                                other => {
+                                    return p.err(format!("bad param name {other:?}"));
+                                }
+                            };
+                            p.expect_punct(':')?;
+                            let pty = p.parse_type(&mut m)?;
+                            params.push((pname, pty));
+                            if p.eat_punct(')') {
+                                break;
+                            }
+                            p.expect_punct(',')?;
+                        }
+                    }
+                    p.expect_punct(':')?;
+                    let ret = p.parse_type(&mut m)?;
+                    let ptys = params.iter().map(|(_, t)| *t).collect();
+                    let fnty = m.types.func(ret, ptys, false);
+                    let fid = m.add_function(&name, fnty, linkage);
+                    for (i, (pname, _)) in params.iter().enumerate() {
+                        let v = m.func(fid).params[i];
+                        // Purely numeric names equal to the value id are the
+                        // printer's default; storing them would double up as
+                        // `%0.0` on re-print. Likewise, the printer shows a
+                        // named param as `%name.id` — strip that id suffix so
+                        // print → parse → print is a fixed point.
+                        if *pname != v.0.to_string() {
+                            let canon = pname
+                                .strip_suffix(&format!(".{}", v.0))
+                                .unwrap_or(pname)
+                                .to_string();
+                            m.func_mut(fid).value_names[v.0 as usize] = Some(canon);
+                        }
+                    }
+                    p.expect_punct('{')?;
+                    pending.push(PendingBody {
+                        func: fid,
+                        start_tok: p.i,
+                    });
+                    // Skip to the matching closing brace (bodies contain no
+                    // nested braces).
+                    while !matches!(p.peek(), Tok::Punct('}') | Tok::Eof) {
+                        p.next();
+                    }
+                    p.expect_punct('}')?;
+                }
+                other => return p.err(format!("unexpected keyword `{other}`")),
+            },
+            other => return p.err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    m.intern_address_types();
+
+    // Fix up relocation targets now that every symbol is known.
+    for (gidx, relocs) in relocs_to_fix {
+        let resolved: Result<Vec<(u64, RelocTarget)>, ParseError> = relocs
+            .into_iter()
+            .map(|(off, name)| {
+                let t = if m.func_by_name(&name).is_some() {
+                    RelocTarget::Func(name)
+                } else if m.extern_by_name(&name).is_some() {
+                    RelocTarget::Extern(name)
+                } else if m.global_by_name(&name).is_some() {
+                    RelocTarget::Global(name)
+                } else {
+                    return Err(ParseError {
+                        msg: format!("unknown reloc target @{name}"),
+                        at: 0,
+                    });
+                };
+                Ok((off, t))
+            })
+            .collect();
+        let resolved = resolved?;
+        match &mut m.globals[gidx].init {
+            GlobalInit::Relocated { relocs, .. } => *relocs = resolved,
+            _ => unreachable!("reloc fixup on non-relocated global"),
+        }
+    }
+
+    for body in pending {
+        parse_body(&mut p, &mut m, body)?;
+    }
+
+    if let Some(e) = entry_name {
+        m.entry = m.func_by_name(&e);
+        if m.entry.is_none() {
+            return Err(ParseError {
+                msg: format!("entry function @{e} not defined"),
+                at: 0,
+            });
+        }
+    }
+    Ok(m)
+}
+
+fn parse_init(
+    p: &mut Parser,
+    m: &mut Module,
+    relocs_to_fix: &mut Vec<(usize, Vec<(u64, String)>)>,
+) -> Result<GlobalInit, ParseError> {
+    match p.next() {
+        Tok::Ident(s) if s == "zero" => Ok(GlobalInit::Zero),
+        Tok::Ident(s) if s == "bytes" => {
+            let hexstr = p.expect_ident()?;
+            let hexstr = hexstr.strip_prefix('x').unwrap_or(&hexstr);
+            let bytes = from_hex(hexstr).ok_or_else(|| ParseError {
+                msg: "bad hex bytes".into(),
+                at: p.at(),
+            })?;
+            if matches!(p.peek(), Tok::Ident(s) if s == "relocs") {
+                p.next();
+                p.expect_punct('[')?;
+                let mut relocs = Vec::new();
+                if !p.eat_punct(']') {
+                    loop {
+                        let off = p.expect_int()? as u64;
+                        p.expect_punct(':')?;
+                        p.expect_punct('@')?;
+                        let name = p.expect_ident()?;
+                        relocs.push((off, name));
+                        if p.eat_punct(']') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                relocs_to_fix.push((m.globals.len(), relocs));
+                Ok(GlobalInit::Relocated {
+                    bytes,
+                    relocs: Vec::new(),
+                })
+            } else {
+                Ok(GlobalInit::Bytes(bytes))
+            }
+        }
+        other => p.err(format!("expected initializer, found {other:?}")),
+    }
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+fn parse_allocator(p: &mut Parser, m: &mut Module) -> Result<(), ParseError> {
+    let kind = match p.expect_ident()?.as_str() {
+        "pool" => AllocKind::Pool,
+        "ordinary" => AllocKind::Ordinary,
+        other => return p.err(format!("bad allocator kind `{other}`")),
+    };
+    let name = match p.next() {
+        Tok::Str(s) => s,
+        other => return p.err(format!("expected allocator name string, found {other:?}")),
+    };
+    let mut decl = AllocatorDecl {
+        name,
+        kind,
+        alloc_fn: String::new(),
+        dealloc_fn: None,
+        pool_create_fn: None,
+        pool_destroy_fn: None,
+        size: SizeSpec::Const(0),
+        size_fn: None,
+        pool_arg: None,
+        backed_by: None,
+    };
+    while let Tok::Ident(key) = p.peek().clone() {
+        if !matches!(
+            key.as_str(),
+            "alloc"
+                | "dealloc"
+                | "create"
+                | "destroy"
+                | "size"
+                | "size_fn"
+                | "pool_arg"
+                | "backed_by"
+        ) {
+            break;
+        }
+        p.next();
+        p.expect_punct('=')?;
+        match key.as_str() {
+            "alloc" => {
+                p.expect_punct('@')?;
+                decl.alloc_fn = p.expect_ident()?;
+            }
+            "dealloc" => {
+                p.expect_punct('@')?;
+                decl.dealloc_fn = Some(p.expect_ident()?);
+            }
+            "create" => {
+                p.expect_punct('@')?;
+                decl.pool_create_fn = Some(p.expect_ident()?);
+            }
+            "destroy" => {
+                p.expect_punct('@')?;
+                decl.pool_destroy_fn = Some(p.expect_ident()?);
+            }
+            "size" => {
+                let v = p.expect_ident()?;
+                decl.size = if v == "pool" {
+                    SizeSpec::PoolObjectSize
+                } else if let Some(n) = v.strip_prefix("arg") {
+                    SizeSpec::Arg(n.parse().map_err(|_| ParseError {
+                        msg: format!("bad size spec `{v}`"),
+                        at: p.at(),
+                    })?)
+                } else if let Some(c) = v.strip_prefix("const") {
+                    SizeSpec::Const(c.parse().map_err(|_| ParseError {
+                        msg: format!("bad size spec `{v}`"),
+                        at: p.at(),
+                    })?)
+                } else {
+                    return p.err(format!("bad size spec `{v}`"));
+                };
+            }
+            "size_fn" => {
+                p.expect_punct('@')?;
+                decl.size_fn = Some(p.expect_ident()?);
+            }
+            "pool_arg" => {
+                decl.pool_arg = Some(p.expect_int()? as usize);
+            }
+            "backed_by" => match p.next() {
+                Tok::Str(s) => decl.backed_by = Some(s),
+                other => return p.err(format!("expected string, found {other:?}")),
+            },
+            _ => unreachable!(),
+        }
+    }
+    if decl.alloc_fn.is_empty() {
+        return p.err("allocator missing alloc=@fn");
+    }
+    m.declare_allocator(decl);
+    Ok(())
+}
+
+/// One instruction as parsed, before operand resolution.
+struct RawInst {
+    result: Option<(String, TypeId)>,
+    block: usize,
+    inst: RawOp,
+    sig_assert: bool,
+}
+
+enum RawOperand {
+    Val(String),
+    Int(i64, TypeId),
+    F64(u64),
+    Null(TypeId),
+    Sym(String),
+    Undef(TypeId),
+}
+
+enum RawCallee {
+    Sym(String),
+    Indirect(RawOperand),
+    Intrinsic(Intrinsic),
+}
+
+enum RawOp {
+    Bin(BinOp, RawOperand, RawOperand),
+    ICmp(IPred, RawOperand, RawOperand),
+    Select(RawOperand, RawOperand, RawOperand),
+    Cast(CastOp, RawOperand, TypeId),
+    Gep(RawOperand, Vec<RawOperand>),
+    Load(RawOperand),
+    Store(RawOperand, RawOperand),
+    Alloca(TypeId, RawOperand),
+    Call(RawCallee, Vec<RawOperand>),
+    Phi(TypeId, Vec<(String, RawOperand)>),
+    AtomicRmw(AtomicOp, RawOperand, RawOperand),
+    CmpXchg(RawOperand, RawOperand, RawOperand),
+    Fence,
+    Br(String),
+    CondBr(RawOperand, String, String),
+    Switch(RawOperand, String, Vec<(i64, String)>),
+    Ret(Option<RawOperand>),
+    Unreachable,
+}
+
+fn parse_body(p: &mut Parser, m: &mut Module, body: PendingBody) -> Result<(), ParseError> {
+    p.i = body.start_tok;
+    let mut raw: Vec<RawInst> = Vec::new();
+    let mut block_names: Vec<String> = Vec::new();
+    let mut cur_block: Option<usize> = None;
+
+    loop {
+        match p.peek().clone() {
+            Tok::Punct('}') => {
+                p.next();
+                break;
+            }
+            Tok::Ident(label) => {
+                // Either `label:` or an opcode keyword inside a block.
+                let save = p.i;
+                p.next();
+                if p.eat_punct(':') {
+                    block_names.push(label);
+                    cur_block = Some(block_names.len() - 1);
+                    continue;
+                }
+                p.i = save;
+                let blk = cur_block.ok_or_else(|| ParseError {
+                    msg: "instruction before label".into(),
+                    at: p.at(),
+                })?;
+                let inst = parse_raw_inst(p, m, None)?;
+                raw.push(RawInst {
+                    result: None,
+                    block: blk,
+                    inst: inst.0,
+                    sig_assert: inst.1,
+                });
+            }
+            Tok::Punct('%') => {
+                p.next();
+                let name = match p.next() {
+                    Tok::Ident(s) => s,
+                    Tok::Int(v) => v.to_string(),
+                    other => return p.err(format!("bad value name {other:?}")),
+                };
+                p.expect_punct(':')?;
+                let ty = p.parse_type(m)?;
+                p.expect_punct('=')?;
+                let blk = cur_block.ok_or_else(|| ParseError {
+                    msg: "instruction before label".into(),
+                    at: p.at(),
+                })?;
+                let inst = parse_raw_inst(p, m, Some(ty))?;
+                raw.push(RawInst {
+                    result: Some((name, ty)),
+                    block: blk,
+                    inst: inst.0,
+                    sig_assert: inst.1,
+                });
+            }
+            other => return p.err(format!("unexpected token in body {other:?}")),
+        }
+    }
+
+    // Construct the function body.
+    let fid = body.func;
+    let mut blocks = Vec::new();
+    for name in &block_names {
+        blocks.push(m.func_mut(fid).add_block(name));
+    }
+    let block_index: HashMap<&str, BlockId> = block_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), blocks[i]))
+        .collect();
+
+    // Pre-create all result values keyed by name; params are already there.
+    let mut value_index: HashMap<String, ValueId> = HashMap::new();
+    {
+        let f = m.func(fid);
+        for &pv in &f.params {
+            match &f.value_names[pv.0 as usize] {
+                Some(n) => {
+                    // Accept both the bare name and the printer's
+                    // `%name.id` spelling for references in the body.
+                    value_index.insert(format!("{n}.{}", pv.0), pv);
+                    value_index.insert(n.clone(), pv);
+                }
+                None => {
+                    value_index.insert(pv.0.to_string(), pv);
+                }
+            }
+        }
+    }
+    let mut result_values: Vec<Option<ValueId>> = Vec::new();
+    for r in &raw {
+        if let Some((name, ty)) = &r.result {
+            let v = m
+                .func_mut(fid)
+                .new_value(*ty, crate::module::ValueDef::Param(u32::MAX));
+            // The def is patched below when the instruction is pushed.
+            value_index.insert(name.clone(), v);
+            result_values.push(Some(v));
+        } else {
+            result_values.push(None);
+        }
+    }
+
+    let lookup_block = |name: &str| -> Result<BlockId, ParseError> {
+        block_index.get(name).copied().ok_or_else(|| ParseError {
+            msg: format!("unknown block `{name}`"),
+            at: 0,
+        })
+    };
+
+    let resolve = |m: &Module, op: RawOperand| -> Result<Operand, ParseError> {
+        Ok(match op {
+            RawOperand::Val(n) => {
+                Operand::Value(*value_index.get(&n).ok_or_else(|| ParseError {
+                    msg: format!("unknown value %{n}"),
+                    at: 0,
+                })?)
+            }
+            RawOperand::Int(v, t) => Operand::ConstInt(v, t),
+            RawOperand::F64(bits) => Operand::ConstF64(bits),
+            RawOperand::Null(t) => Operand::Null(t),
+            RawOperand::Undef(t) => Operand::Undef(t),
+            RawOperand::Sym(n) => {
+                if let Some(f) = m.func_by_name(&n) {
+                    Operand::Func(f)
+                } else if let Some(e) = m.extern_by_name(&n) {
+                    Operand::Extern(e)
+                } else if let Some(g) = m.global_by_name(&n) {
+                    Operand::Global(g)
+                } else {
+                    return Err(ParseError {
+                        msg: format!("unknown symbol @{n}"),
+                        at: 0,
+                    });
+                }
+            }
+        })
+    };
+
+    for (ri, r) in raw.into_iter().enumerate() {
+        let inst = match r.inst {
+            RawOp::Bin(op, a, b) => Inst::Bin {
+                op,
+                lhs: resolve(m, a)?,
+                rhs: resolve(m, b)?,
+            },
+            RawOp::ICmp(pred, a, b) => Inst::ICmp {
+                pred,
+                lhs: resolve(m, a)?,
+                rhs: resolve(m, b)?,
+            },
+            RawOp::Select(c, t, f2) => Inst::Select {
+                cond: resolve(m, c)?,
+                tval: resolve(m, t)?,
+                fval: resolve(m, f2)?,
+            },
+            RawOp::Cast(op, v, to) => Inst::Cast {
+                op,
+                val: resolve(m, v)?,
+                to,
+            },
+            RawOp::Gep(base, idxs) => {
+                let base = resolve(m, base)?;
+                let mut indices = Vec::new();
+                for i in idxs {
+                    indices.push(resolve(m, i)?);
+                }
+                Inst::Gep { base, indices }
+            }
+            RawOp::Load(ptr) => Inst::Load {
+                ptr: resolve(m, ptr)?,
+            },
+            RawOp::Store(v, ptr) => Inst::Store {
+                val: resolve(m, v)?,
+                ptr: resolve(m, ptr)?,
+            },
+            RawOp::Alloca(ty, n) => Inst::Alloca {
+                ty,
+                count: resolve(m, n)?,
+            },
+            RawOp::Call(callee, args) => {
+                let callee = match callee {
+                    RawCallee::Sym(n) => {
+                        if let Some(f) = m.func_by_name(&n) {
+                            Callee::Direct(f)
+                        } else if let Some(e) = m.extern_by_name(&n) {
+                            Callee::External(e)
+                        } else {
+                            return Err(ParseError {
+                                msg: format!("unknown callee @{n}"),
+                                at: 0,
+                            });
+                        }
+                    }
+                    RawCallee::Indirect(op) => Callee::Indirect(resolve(m, op)?),
+                    RawCallee::Intrinsic(i) => Callee::Intrinsic(i),
+                };
+                let mut a = Vec::new();
+                for x in args {
+                    a.push(resolve(m, x)?);
+                }
+                Inst::Call { callee, args: a }
+            }
+            RawOp::Phi(ty, incs) => {
+                let mut incomings = Vec::new();
+                for (b, v) in incs {
+                    incomings.push((lookup_block(&b)?, resolve(m, v)?));
+                }
+                Inst::Phi { incomings, ty }
+            }
+            RawOp::AtomicRmw(op, ptr, v) => Inst::AtomicRmw {
+                op,
+                ptr: resolve(m, ptr)?,
+                val: resolve(m, v)?,
+            },
+            RawOp::CmpXchg(ptr, e, n) => Inst::CmpXchg {
+                ptr: resolve(m, ptr)?,
+                expected: resolve(m, e)?,
+                new: resolve(m, n)?,
+            },
+            RawOp::Fence => Inst::Fence,
+            RawOp::Br(t) => Inst::Br {
+                target: lookup_block(&t)?,
+            },
+            RawOp::CondBr(c, t, e) => Inst::CondBr {
+                cond: resolve(m, c)?,
+                then_bb: lookup_block(&t)?,
+                else_bb: lookup_block(&e)?,
+            },
+            RawOp::Switch(v, d, cases) => {
+                let mut cs = Vec::new();
+                for (c, b) in cases {
+                    cs.push((c, lookup_block(&b)?));
+                }
+                Inst::Switch {
+                    val: resolve(m, v)?,
+                    default: lookup_block(&d)?,
+                    cases: cs,
+                }
+            }
+            RawOp::Ret(v) => Inst::Ret {
+                val: v.map(|x| resolve(m, x)).transpose()?,
+            },
+            RawOp::Unreachable => Inst::Unreachable,
+        };
+        let f = m.func_mut(fid);
+        let iid = crate::inst::InstId(f.insts.len() as u32);
+        f.insts.push(inst);
+        f.inst_results.push(result_values[ri]);
+        if let Some(v) = result_values[ri] {
+            f.value_defs[v.0 as usize] = crate::module::ValueDef::Inst(iid);
+        }
+        f.blocks[blocks[r.block].0 as usize].insts.push(iid);
+        if r.sig_assert {
+            f.sig_asserted_calls.push(iid);
+        }
+    }
+    Ok(())
+}
+
+fn parse_raw_operand(p: &mut Parser, m: &mut Module) -> Result<RawOperand, ParseError> {
+    match p.next() {
+        Tok::Punct('%') => match p.next() {
+            Tok::Ident(s) => Ok(RawOperand::Val(s)),
+            Tok::Int(v) => Ok(RawOperand::Val(v.to_string())),
+            other => p.err(format!("bad value reference {other:?}")),
+        },
+        Tok::Punct('@') => Ok(RawOperand::Sym(p.expect_ident()?)),
+        Tok::Int(v) => {
+            p.expect_punct(':')?;
+            let ty = p.parse_type(m)?;
+            Ok(RawOperand::Int(v, ty))
+        }
+        Tok::Ident(s) if s == "null" => {
+            p.expect_punct(':')?;
+            let ty = p.parse_type(m)?;
+            Ok(RawOperand::Null(ty))
+        }
+        Tok::Ident(s) if s == "undef" => {
+            p.expect_punct(':')?;
+            let ty = p.parse_type(m)?;
+            Ok(RawOperand::Undef(ty))
+        }
+        Tok::Ident(s) if s.starts_with("fp") => {
+            let hexpart = &s[2..];
+            let bits = u64::from_str_radix(hexpart, 16).map_err(|_| ParseError {
+                msg: format!("bad fp literal {s}"),
+                at: p.at(),
+            })?;
+            Ok(RawOperand::F64(bits))
+        }
+        other => p.err(format!("expected operand, found {other:?}")),
+    }
+}
+
+fn parse_raw_inst(
+    p: &mut Parser,
+    m: &mut Module,
+    _result_ty: Option<TypeId>,
+) -> Result<(RawOp, bool), ParseError> {
+    let opcode = p.expect_ident()?;
+    let binops: &[(&str, BinOp)] = &[
+        ("add", BinOp::Add),
+        ("sub", BinOp::Sub),
+        ("mul", BinOp::Mul),
+        ("udiv", BinOp::UDiv),
+        ("sdiv", BinOp::SDiv),
+        ("urem", BinOp::URem),
+        ("srem", BinOp::SRem),
+        ("and", BinOp::And),
+        ("or", BinOp::Or),
+        ("xor", BinOp::Xor),
+        ("shl", BinOp::Shl),
+        ("lshr", BinOp::LShr),
+        ("ashr", BinOp::AShr),
+        ("fadd", BinOp::FAdd),
+        ("fsub", BinOp::FSub),
+        ("fmul", BinOp::FMul),
+        ("fdiv", BinOp::FDiv),
+    ];
+    let raw = if let Some((_, op)) = binops.iter().find(|(n, _)| *n == opcode) {
+        let a = parse_raw_operand(p, m)?;
+        p.expect_punct(',')?;
+        let b = parse_raw_operand(p, m)?;
+        RawOp::Bin(*op, a, b)
+    } else {
+        match opcode.as_str() {
+            "icmp" => {
+                let pred = match p.expect_ident()?.as_str() {
+                    "eq" => IPred::Eq,
+                    "ne" => IPred::Ne,
+                    "ult" => IPred::ULt,
+                    "ule" => IPred::ULe,
+                    "ugt" => IPred::UGt,
+                    "uge" => IPred::UGe,
+                    "slt" => IPred::SLt,
+                    "sle" => IPred::SLe,
+                    "sgt" => IPred::SGt,
+                    "sge" => IPred::SGe,
+                    other => return p.err(format!("bad predicate `{other}`")),
+                };
+                let a = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let b = parse_raw_operand(p, m)?;
+                RawOp::ICmp(pred, a, b)
+            }
+            "select" => {
+                let c = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let t = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let f = parse_raw_operand(p, m)?;
+                RawOp::Select(c, t, f)
+            }
+            "cast" => {
+                let op = match p.expect_ident()?.as_str() {
+                    "bitcast" => CastOp::Bitcast,
+                    "trunc" => CastOp::Trunc,
+                    "zext" => CastOp::ZExt,
+                    "sext" => CastOp::SExt,
+                    "ptrtoint" => CastOp::PtrToInt,
+                    "inttoptr" => CastOp::IntToPtr,
+                    "sitofp" => CastOp::SiToFp,
+                    "fptosi" => CastOp::FpToSi,
+                    other => return p.err(format!("bad cast op `{other}`")),
+                };
+                let v = parse_raw_operand(p, m)?;
+                p.expect_kw("to")?;
+                let to = p.parse_type(m)?;
+                RawOp::Cast(op, v, to)
+            }
+            "gep" => {
+                let base = parse_raw_operand(p, m)?;
+                p.expect_punct('[')?;
+                let mut idxs = Vec::new();
+                if !p.eat_punct(']') {
+                    loop {
+                        idxs.push(parse_raw_operand(p, m)?);
+                        if p.eat_punct(']') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                RawOp::Gep(base, idxs)
+            }
+            "load" => RawOp::Load(parse_raw_operand(p, m)?),
+            "store" => {
+                let v = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let ptr = parse_raw_operand(p, m)?;
+                RawOp::Store(v, ptr)
+            }
+            "alloca" => {
+                let ty = p.parse_type(m)?;
+                p.expect_punct(',')?;
+                let n = parse_raw_operand(p, m)?;
+                RawOp::Alloca(ty, n)
+            }
+            "call" | "callind" => {
+                let callee = if opcode == "callind" {
+                    RawCallee::Indirect(parse_raw_operand(p, m)?)
+                } else {
+                    match p.next() {
+                        Tok::Punct('@') => RawCallee::Sym(p.expect_ident()?),
+                        Tok::Punct('$') => {
+                            let name = p.expect_ident()?;
+                            let i = Intrinsic::from_name(&name).ok_or_else(|| ParseError {
+                                msg: format!("unknown intrinsic ${name}"),
+                                at: p.at(),
+                            })?;
+                            RawCallee::Intrinsic(i)
+                        }
+                        other => return p.err(format!("bad callee {other:?}")),
+                    }
+                };
+                p.expect_punct('(')?;
+                let mut args = Vec::new();
+                if !p.eat_punct(')') {
+                    loop {
+                        args.push(parse_raw_operand(p, m)?);
+                        if p.eat_punct(')') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                // Optional redundant `: ty` suffix after intrinsic calls.
+                if matches!(callee, RawCallee::Intrinsic(_)) && p.eat_punct(':') {
+                    let _ = p.parse_type(m)?;
+                }
+                RawOp::Call(callee, args)
+            }
+            "phi" => {
+                let ty = p.parse_type(m)?;
+                p.expect_punct('[')?;
+                let mut incs = Vec::new();
+                if !p.eat_punct(']') {
+                    loop {
+                        let b = p.expect_ident()?;
+                        p.expect_punct(':')?;
+                        let v = parse_raw_operand(p, m)?;
+                        incs.push((b, v));
+                        if p.eat_punct(']') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                RawOp::Phi(ty, incs)
+            }
+            "atomicrmw" => {
+                let op = match p.expect_ident()?.as_str() {
+                    "add" => AtomicOp::Add,
+                    "sub" => AtomicOp::Sub,
+                    "xchg" => AtomicOp::Xchg,
+                    other => return p.err(format!("bad atomic op `{other}`")),
+                };
+                let ptr = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let v = parse_raw_operand(p, m)?;
+                RawOp::AtomicRmw(op, ptr, v)
+            }
+            "cmpxchg" => {
+                let ptr = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let e = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let n = parse_raw_operand(p, m)?;
+                RawOp::CmpXchg(ptr, e, n)
+            }
+            "fence" => RawOp::Fence,
+            "br" => RawOp::Br(p.expect_ident()?),
+            "condbr" => {
+                let c = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let t = p.expect_ident()?;
+                p.expect_punct(',')?;
+                let e = p.expect_ident()?;
+                RawOp::CondBr(c, t, e)
+            }
+            "switch" => {
+                let v = parse_raw_operand(p, m)?;
+                p.expect_punct(',')?;
+                let d = p.expect_ident()?;
+                p.expect_punct('[')?;
+                let mut cases = Vec::new();
+                if !p.eat_punct(']') {
+                    loop {
+                        let c = p.expect_int()?;
+                        p.expect_punct(':')?;
+                        let b = p.expect_ident()?;
+                        cases.push((c, b));
+                        if p.eat_punct(']') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                RawOp::Switch(v, d, cases)
+            }
+            "ret" => {
+                // `ret` with no operand ends the line; detect by lookahead.
+                let has_val = matches!(p.peek(), Tok::Punct('%') | Tok::Punct('@') | Tok::Int(_))
+                    || matches!(p.peek(), Tok::Ident(s) if s == "null" || s == "undef" || s.starts_with("fp"));
+                if has_val {
+                    RawOp::Ret(Some(parse_raw_operand(p, m)?))
+                } else {
+                    RawOp::Ret(None)
+                }
+            }
+            "unreachable" => RawOp::Unreachable,
+            other => return p.err(format!("unknown opcode `{other}`")),
+        }
+    };
+    let sig = if matches!(p.peek(), Tok::SigAssert) {
+        p.next();
+        true
+    } else {
+        false
+    };
+    Ok((raw, sig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_module;
+
+    #[test]
+    fn parse_minimal_function() {
+        let src = r#"
+module "m"
+func public @id(%x: i32) : i32 {
+entry:
+  ret %x
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.name, "m");
+        let f = m.func_by_name("id").unwrap();
+        assert_eq!(m.func(f).blocks.len(), 1);
+    }
+
+    #[test]
+    fn parse_arith_and_branches() {
+        let src = r#"
+module "m"
+func public @max(%a: i32, %b: i32) : i32 {
+entry:
+  %c:i1 = icmp sgt %a, %b
+  condbr %c, t, e
+t:
+  ret %a
+e:
+  ret %b
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.func(m.func_by_name("max").unwrap());
+        assert_eq!(f.blocks.len(), 3);
+        assert!(matches!(
+            f.inst(crate::inst::InstId(1)),
+            Inst::CondBr { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_phi_forward_reference() {
+        let src = r#"
+module "m"
+func public @count(%n: i64) : i64 {
+entry:
+  br loop
+loop:
+  %i:i64 = phi i64 [entry: 0:i64, loop: %next]
+  %next:i64 = add %i, 1:i64
+  %done:i1 = icmp uge %next, %n
+  condbr %done, out, loop
+out:
+  ret %next
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.func(m.func_by_name("count").unwrap());
+        assert_eq!(f.blocks.len(), 3);
+        match f.inst(crate::inst::InstId(1)) {
+            Inst::Phi { incomings, .. } => assert_eq!(incomings.len(), 2),
+            other => panic!("expected phi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_globals_structs_externs() {
+        let src = r#"
+module "m"
+struct %pair = { i64, i32* }
+const global @msg : [4 x i8] = bytes x68690000
+global @table : [2 x i64] = zero
+declare @mystery : (i8*) -> i32
+func public @main() : i32 {
+entry:
+  %p:i8* = gep @msg [0:i32, 0:i32]
+  %r:i32 = call @mystery(%p)
+  ret %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert!(m.global_by_name("msg").is_some());
+        assert!(m.extern_by_name("mystery").is_some());
+        assert!(m.types.struct_by_name("pair").is_some());
+        match &m.global(m.global_by_name("msg").unwrap()).init {
+            GlobalInit::Bytes(b) => assert_eq!(b, &vec![0x68, 0x69, 0, 0]),
+            other => panic!("bad init {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_allocator_decls() {
+        let src = r#"
+module "m"
+declare @kmalloc : (i64) -> i8*
+declare @kfree : (i8*) -> void
+allocator ordinary "kmalloc" alloc=@kmalloc dealloc=@kfree size=arg0 backed_by="kmem_cache"
+func public @f() : void {
+entry:
+  ret
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.allocators.len(), 1);
+        let a = &m.allocators[0];
+        assert_eq!(a.kind, AllocKind::Ordinary);
+        assert_eq!(a.size, SizeSpec::Arg(0));
+        assert_eq!(a.backed_by.as_deref(), Some("kmem_cache"));
+    }
+
+    #[test]
+    fn parse_intrinsic_call() {
+        let src = r#"
+module "m"
+func public @t() : i64 {
+entry:
+  %v:i64 = call $sva.get.timer() : i64
+  ret %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.func(m.func_by_name("t").unwrap());
+        match f.inst(crate::inst::InstId(0)) {
+            Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::GetTimer),
+                ..
+            } => {}
+            other => panic!("expected intrinsic call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_print_parse_print() {
+        let src = r#"
+module "rt"
+struct %node = { i64, %node* }
+global @head : %node* = zero
+func public @sum() : i64 {
+entry:
+  %h:%node* = load @head
+  br loop
+loop:
+  %acc:i64 = phi i64 [entry: 0:i64, body: %acc2]
+  %cur:%node* = phi %node* [entry: %h, body: %nxt]
+  %isnull:i1 = icmp eq %cur, null:%node*
+  condbr %isnull, out, body
+body:
+  %vp:i64* = gep %cur [0:i32, 0:i32]
+  %v:i64 = load %vp
+  %acc2:i64 = add %acc, %v
+  %np:%node** = gep %cur [0:i32, 1:i32]
+  %nxt:%node* = load %np
+  br loop
+out:
+  ret %acc
+}
+"#;
+        let m1 = parse_module(src).unwrap();
+        let t1 = print_module(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2, "printer/parser fixed point");
+    }
+
+    #[test]
+    fn error_reports_unknown_value() {
+        let src = r#"
+module "m"
+func public @f() : i32 {
+entry:
+  ret %nope
+}
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("unknown value"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_unknown_opcode() {
+        let src = r#"
+module "m"
+func public @f() : void {
+entry:
+  frobnicate
+}
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("unknown opcode"), "{err}");
+    }
+
+    #[test]
+    fn parse_switch_and_select() {
+        let src = r#"
+module "m"
+func public @classify(%x: i64) : i64 {
+entry:
+  switch %x, dflt [0: zero, 1: one]
+zero:
+  ret 100:i64
+one:
+  ret 200:i64
+dflt:
+  %big:i1 = icmp sgt %x, 10:i64
+  %r:i64 = select %big, 1:i64, 2:i64
+  ret %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.func(m.func_by_name("classify").unwrap());
+        assert_eq!(f.blocks.len(), 4);
+    }
+}

@@ -1,0 +1,499 @@
+//! Textual assembly printer for SVA modules.
+//!
+//! The format is LLVM-flavoured but self-contained; [`crate::parse`] reads
+//! it back. Printing then parsing yields a structurally identical module
+//! (covered by round-trip tests in `parse.rs`).
+
+use std::fmt::Write as _;
+
+use crate::inst::{Callee, Inst, Operand};
+use crate::module::{AllocKind, Function, GlobalInit, Module, RelocTarget, SizeSpec, ValueId};
+use crate::types::TypeId;
+
+/// Renders a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    out.push('\n');
+
+    for def in &m.types.structs {
+        let _ = write!(out, "struct %{} = {{ ", def.name);
+        if def.opaque {
+            let _ = write!(out, "opaque ");
+        } else {
+            for (i, f) in def.fields.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}", m.types.display(*f));
+            }
+            out.push(' ');
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if !m.types.structs.is_empty() {
+        out.push('\n');
+    }
+
+    for g in &m.globals {
+        let konst = if g.is_const { "const " } else { "" };
+        let _ = write!(
+            out,
+            "{}global @{} : {} = ",
+            konst,
+            g.name,
+            m.types.display(g.ty)
+        );
+        match &g.init {
+            GlobalInit::Zero => {
+                let _ = writeln!(out, "zero");
+            }
+            GlobalInit::Bytes(b) => {
+                let _ = writeln!(out, "bytes x{}", hex(b));
+            }
+            GlobalInit::Relocated { bytes, relocs } => {
+                let _ = write!(out, "bytes x{} relocs [", hex(bytes));
+                for (i, (off, t)) in relocs.iter().enumerate() {
+                    if i > 0 {
+                        let _ = write!(out, ", ");
+                    }
+                    let name = match t {
+                        RelocTarget::Func(n) | RelocTarget::Extern(n) | RelocTarget::Global(n) => n,
+                    };
+                    let _ = write!(out, "{off}: @{name}");
+                }
+                let _ = writeln!(out, "]");
+            }
+        }
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+
+    for e in &m.externs {
+        let _ = writeln!(out, "declare @{} : {}", e.name, m.types.display(e.ty));
+    }
+    if !m.externs.is_empty() {
+        out.push('\n');
+    }
+
+    for a in &m.allocators {
+        let kind = match a.kind {
+            AllocKind::Pool => "pool",
+            AllocKind::Ordinary => "ordinary",
+        };
+        let _ = write!(
+            out,
+            "allocator {} \"{}\" alloc=@{}",
+            kind, a.name, a.alloc_fn
+        );
+        if let Some(d) = &a.dealloc_fn {
+            let _ = write!(out, " dealloc=@{d}");
+        }
+        if let Some(c) = &a.pool_create_fn {
+            let _ = write!(out, " create=@{c}");
+        }
+        if let Some(d) = &a.pool_destroy_fn {
+            let _ = write!(out, " destroy=@{d}");
+        }
+        match a.size {
+            SizeSpec::Arg(n) => {
+                let _ = write!(out, " size=arg{n}");
+            }
+            SizeSpec::PoolObjectSize => {
+                let _ = write!(out, " size=pool");
+            }
+            SizeSpec::Const(c) => {
+                let _ = write!(out, " size=const{c}");
+            }
+        }
+        if let Some(sf) = &a.size_fn {
+            let _ = write!(out, " size_fn=@{sf}");
+        }
+        if let Some(p) = a.pool_arg {
+            let _ = write!(out, " pool_arg={p}");
+        }
+        if let Some(b) = &a.backed_by {
+            let _ = write!(out, " backed_by=\"{b}\"");
+        }
+        out.push('\n');
+    }
+    if !m.allocators.is_empty() {
+        out.push('\n');
+    }
+
+    if let Some(e) = m.entry {
+        let _ = writeln!(out, "entry @{}\n", m.func(e).name);
+    }
+
+    for f in &m.funcs {
+        print_function(&mut out, m, f);
+        out.push('\n');
+    }
+    out
+}
+
+fn hex(b: &[u8]) -> String {
+    let mut s = String::with_capacity(b.len() * 2);
+    for byte in b {
+        let _ = write!(s, "{byte:02x}");
+    }
+    s
+}
+
+fn vname(f: &Function, v: ValueId) -> String {
+    match &f.value_names[v.0 as usize] {
+        Some(n) => format!("%{n}.{}", v.0),
+        None => format!("%{}", v.0),
+    }
+}
+
+/// Renders one operand (with enough type info to re-parse it).
+pub fn operand_str(m: &Module, f: &Function, op: &Operand) -> String {
+    match op {
+        Operand::Value(v) => vname(f, *v),
+        Operand::ConstInt(v, ty) => format!("{}:{}", v, m.types.display(*ty)),
+        Operand::ConstF64(bits) => format!("fp{:016x}", bits),
+        Operand::Null(ty) => format!("null:{}", m.types.display(*ty)),
+        Operand::Global(g) => format!("@{}", m.global(*g).name),
+        Operand::Func(fid) => format!("@{}", m.func(*fid).name),
+        Operand::Extern(e) => format!("@{}", m.externs[e.0 as usize].name),
+        Operand::Undef(ty) => format!("undef:{}", m.types.display(*ty)),
+    }
+}
+
+fn print_function(out: &mut String, m: &Module, f: &Function) {
+    let linkage = match f.linkage {
+        crate::module::Linkage::Public => "public",
+        crate::module::Linkage::Internal => "internal",
+    };
+    let ret = match m.types.get(f.ty) {
+        crate::types::Type::Func { ret, .. } => *ret,
+        _ => unreachable!(),
+    };
+    let _ = write!(out, "func {} @{}(", linkage, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(
+            out,
+            "{}: {}",
+            vname(f, *p),
+            m.types.display(f.value_type(*p))
+        );
+    }
+    let _ = writeln!(out, ") : {} {{", m.types.display(ret));
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "{}:", b.name);
+        for &iid in &b.insts {
+            let inst = f.inst(iid);
+            let _ = write!(out, "  ");
+            if let Some(r) = f.result_of(iid) {
+                // The result type is printed explicitly so the parser can
+                // create all SSA values before resolving operands.
+                let _ = write!(
+                    out,
+                    "{}:{} = ",
+                    vname(f, r),
+                    m.types.display(f.value_type(r))
+                );
+            }
+            print_inst(out, m, f, inst, f.result_of(iid).map(|v| f.value_type(v)));
+            if f.sig_asserted_calls.contains(&iid) {
+                let _ = write!(out, " !sigassert");
+            }
+            out.push('\n');
+        }
+        let _ = bi;
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst, result_ty: Option<TypeId>) {
+    let op = |o: &Operand| operand_str(m, f, o);
+    let blk = |b: &crate::module::BlockId| f.blocks[b.0 as usize].name.clone();
+    match inst {
+        Inst::Bin { op: o, lhs, rhs } => {
+            let _ = write!(out, "{} {}, {}", o.mnemonic(), op(lhs), op(rhs));
+        }
+        Inst::ICmp { pred, lhs, rhs } => {
+            let _ = write!(out, "icmp {} {}, {}", pred.mnemonic(), op(lhs), op(rhs));
+        }
+        Inst::Select { cond, tval, fval } => {
+            let _ = write!(out, "select {}, {}, {}", op(cond), op(tval), op(fval));
+        }
+        Inst::Cast { op: c, val, to } => {
+            let _ = write!(
+                out,
+                "cast {} {} to {}",
+                c.mnemonic(),
+                op(val),
+                m.types.display(*to)
+            );
+        }
+        Inst::Gep { base, indices } => {
+            let _ = write!(out, "gep {} [", op(base));
+            for (i, idx) in indices.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}", op(idx));
+            }
+            let _ = write!(out, "]");
+        }
+        Inst::Load { ptr } => {
+            let _ = write!(out, "load {}", op(ptr));
+        }
+        Inst::Store { val, ptr } => {
+            let _ = write!(out, "store {}, {}", op(val), op(ptr));
+        }
+        Inst::Alloca { ty, count } => {
+            let _ = write!(out, "alloca {}, {}", m.types.display(*ty), op(count));
+        }
+        Inst::Call { callee, args } => {
+            match callee {
+                Callee::Direct(fid) => {
+                    let _ = write!(out, "call @{}(", m.func(*fid).name);
+                }
+                Callee::External(e) => {
+                    let _ = write!(out, "call @{}(", m.externs[e.0 as usize].name);
+                }
+                Callee::Indirect(p) => {
+                    let _ = write!(out, "callind {}(", op(p));
+                }
+                Callee::Intrinsic(i) => {
+                    let _ = write!(out, "call ${}(", i.name());
+                }
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}", op(a));
+            }
+            let _ = write!(out, ")");
+        }
+        Inst::Phi { incomings, ty } => {
+            let _ = write!(out, "phi {} [", m.types.display(*ty));
+            for (i, (b, v)) in incomings.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}: {}", blk(b), op(v));
+            }
+            let _ = write!(out, "]");
+        }
+        Inst::AtomicRmw { op: o, ptr, val } => {
+            let name = match o {
+                crate::inst::AtomicOp::Add => "add",
+                crate::inst::AtomicOp::Sub => "sub",
+                crate::inst::AtomicOp::Xchg => "xchg",
+            };
+            let _ = write!(out, "atomicrmw {} {}, {}", name, op(ptr), op(val));
+        }
+        Inst::CmpXchg { ptr, expected, new } => {
+            let _ = write!(out, "cmpxchg {}, {}, {}", op(ptr), op(expected), op(new));
+        }
+        Inst::Fence => {
+            let _ = write!(out, "fence");
+        }
+        Inst::Br { target } => {
+            let _ = write!(out, "br {}", blk(target));
+        }
+        Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            let _ = write!(
+                out,
+                "condbr {}, {}, {}",
+                op(cond),
+                blk(then_bb),
+                blk(else_bb)
+            );
+        }
+        Inst::Switch {
+            val,
+            default,
+            cases,
+        } => {
+            let _ = write!(out, "switch {}, {} [", op(val), blk(default));
+            for (i, (c, b)) in cases.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}: {}", c, blk(b));
+            }
+            let _ = write!(out, "]");
+        }
+        Inst::Ret { val } => match val {
+            Some(v) => {
+                let _ = write!(out, "ret {}", op(v));
+            }
+            None => {
+                let _ = write!(out, "ret");
+            }
+        },
+        Inst::Unreachable => {
+            let _ = write!(out, "unreachable");
+        }
+    }
+    // Intrinsic calls additionally record their result type so the parser
+    // can reconstruct it (intrinsics have no declared function type).
+    if let Inst::Call {
+        callee: Callee::Intrinsic(_),
+        ..
+    } = inst
+    {
+        if let Some(rty) = result_ty {
+            let _ = write!(out, " : {}", m.types.display(rty));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::inst::{IPred, Intrinsic};
+    use crate::module::Linkage;
+
+    #[test]
+    fn prints_function_shell() {
+        let mut m = Module::new("demo");
+        let i32 = m.types.i32();
+        let fnty = m.types.func(i32, vec![i32], false);
+        let f = m.add_function("id", fnty, Linkage::Public);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let x = b.param(0);
+        b.ret(Some(x));
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("func public @id(%0: i32) : i32 {"));
+        assert!(text.contains("ret %0"));
+    }
+
+    #[test]
+    fn prints_intrinsic_with_result_type() {
+        let mut m = Module::new("demo");
+        let i64 = m.types.i64();
+        let fnty = m.types.func(i64, vec![], false);
+        let f = m.add_function("t", fnty, Linkage::Public);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let v = b.intrinsic(Intrinsic::GetTimer, vec![], Some(i64)).unwrap();
+        b.ret(Some(v));
+        let text = print_module(&m);
+        assert!(text.contains("call $sva.get.timer() : i64"), "{text}");
+    }
+
+    #[test]
+    fn prints_control_flow_names() {
+        let mut m = Module::new("demo");
+        let i32 = m.types.i32();
+        let fnty = m.types.func(i32, vec![i32], false);
+        let f = m.add_function("abs", fnty, Linkage::Public);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let x = b.param(0);
+        let neg = b.block("neg");
+        let pos = b.block("pos");
+        let z = b.c32(0);
+        let c = b.icmp(IPred::SLt, x, z);
+        b.cond_br(c, neg, pos);
+        b.switch_to(neg);
+        let z2 = b.c32(0);
+        let n = b.sub(z2, x);
+        b.ret(Some(n));
+        b.switch_to(pos);
+        b.ret(Some(x));
+        let text = print_module(&m);
+        assert!(text.contains("condbr %1, neg, pos"), "{text}");
+    }
+
+    #[test]
+    fn print_parse_fixed_point_on_rich_module() {
+        // Round-trip stability over every module-level construct: struct
+        // types, const globals, relocated globals, externs, full allocator
+        // declarations, `!sigassert` call sites and fn-pointer types.
+        let src = r#"
+module "rich"
+struct %pair = { i64, i8* }
+const global @greet : [3 x i8] = bytes x414243
+global @vec : [2 x i64] = zero
+global @fp : ((i64) -> i64)* = bytes x0000000000000000 relocs [0: @inc]
+declare @ext : (i8*) -> i32
+func internal @inc(%x: i64) : i64 {
+entry:
+  %r:i64 = add %x, 1:i64
+  ret %r
+}
+func public @palloc(%pool: i8*, %n: i64) : i8* {
+entry:
+  ret %pool
+}
+func public @main(%n: i64) : i64 {
+entry:
+  %f:((i64) -> i64)* = load @fp
+  %r:i64 = callind %f(%n) !sigassert
+  ret %r
+}
+allocator pool "palloc" alloc=@palloc create=@inc destroy=@inc size=pool pool_arg=0 backed_by="kmem"
+entry @main
+"#;
+        let m1 = crate::parse::parse_module(src).expect("parse");
+        let t1 = print_module(&m1);
+        let m2 = crate::parse::parse_module(&t1).expect("reparse printed text");
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2, "printer must be a fixed point of the parser");
+        // The surface details must actually survive, not merely re-balance.
+        for needle in [
+            "struct %pair",
+            "const global @greet",
+            "relocs [0: @inc]",
+            "declare @ext",
+            "!sigassert",
+            "size=pool",
+            "pool_arg=0",
+            "backed_by=\"kmem\"",
+            "entry @main",
+        ] {
+            assert!(t1.contains(needle), "missing `{needle}` in:\n{t1}");
+        }
+    }
+
+    #[test]
+    fn prints_byte_initializers_as_hex() {
+        let mut m = Module::new("demo");
+        let i8t = m.types.i8();
+        let arr = m.types.array(i8t, 4);
+        m.add_global(
+            "blob",
+            arr,
+            crate::module::GlobalInit::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
+            true,
+        );
+        m.intern_address_types();
+        let text = print_module(&m);
+        assert!(text.contains("bytes xdeadbeef"), "{text}");
+    }
+
+    #[test]
+    fn prints_variadic_and_void_function_types() {
+        let mut m = Module::new("demo");
+        let void = m.types.void();
+        let i64t = m.types.i64();
+        let fnty = m.types.func(void, vec![i64t], true);
+        let f = m.add_function("log", fnty, Linkage::Internal);
+        m.intern_address_types();
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        let text = print_module(&m);
+        let m2 = crate::parse::parse_module(&text).expect("reparse");
+        assert_eq!(print_module(&m2), text);
+        assert!(text.contains("func internal @log"), "{text}");
+    }
+}

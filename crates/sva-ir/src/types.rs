@@ -1,0 +1,558 @@
+//! The SVA type system: hash-consed types with target-independent layout.
+//!
+//! Every instruction in SVA is typed (paper §3.1). Types are interned in a
+//! [`TypeTable`] owned by the [`crate::Module`]; a [`TypeId`] is a cheap,
+//! copyable handle. The table also computes the layout (size and alignment)
+//! used by `getelementptr`, `alloca`, the interpreter memory model and the
+//! metapool runtime's type-homogeneity rules.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned [`Type`] inside a [`TypeTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TypeId(pub u32);
+
+/// A named struct definition.
+///
+/// Structs are nominal: two structs with identical fields but different names
+/// are distinct types. Recursive types are expressed by declaring the struct
+/// name first (fields empty, `opaque == true`) and filling the body later
+/// with [`TypeTable::set_struct_body`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StructDef {
+    /// Struct name, unique within the module (e.g. `"task_struct"`).
+    pub name: String,
+    /// Field types, in declaration order.
+    pub fields: Vec<TypeId>,
+    /// True while the body has not been provided yet.
+    pub opaque: bool,
+}
+
+/// An SVA type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// The empty type; only valid as a function return type.
+    Void,
+    /// An integer of the given bit width: 1, 8, 16, 32 or 64.
+    Int(u8),
+    /// A 64-bit IEEE float (the paper's FP state; one width suffices).
+    F64,
+    /// A pointer to another type.
+    Ptr(TypeId),
+    /// A fixed-length array.
+    Array(TypeId, u64),
+    /// A named struct; the index points into [`TypeTable::structs`].
+    Struct(u32),
+    /// A function type: return type, parameter types, varargs flag.
+    Func {
+        /// Return type (possibly [`Type::Void`]).
+        ret: TypeId,
+        /// Declared parameter types.
+        params: Vec<TypeId>,
+        /// Whether extra arguments are accepted.
+        vararg: bool,
+    },
+}
+
+/// Interner and layout oracle for [`Type`]s.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    types: Vec<Type>,
+    intern: HashMap<Type, TypeId>,
+    /// Struct definitions referenced by [`Type::Struct`].
+    pub structs: Vec<StructDef>,
+    struct_by_name: HashMap<String, u32>,
+}
+
+/// Target-independent layout of a type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Layout {
+    /// Size in bytes.
+    pub size: u64,
+    /// Alignment in bytes (power of two).
+    pub align: u64,
+}
+
+impl Layout {
+    fn new(size: u64, align: u64) -> Self {
+        Layout { size, align }
+    }
+}
+
+/// Pointer size of the virtual target, in bytes.
+///
+/// SVA is a 64-bit virtual architecture in this implementation; the original
+/// system targeted 32-bit x86 but nothing in the design depends on the width.
+pub const PTR_SIZE: u64 = 8;
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `ty`, returning its id. Identical types share one id.
+    pub fn intern(&mut self, ty: Type) -> TypeId {
+        if let Some(&id) = self.intern.get(&ty) {
+            return id;
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(ty.clone());
+        self.intern.insert(ty, id);
+        id
+    }
+
+    /// Returns the type behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: TypeId) -> &Type {
+        &self.types[id.0 as usize]
+    }
+
+    /// Read-only probe: returns the id of `ty` if it is already interned.
+    pub fn probe(&self, ty: &Type) -> Option<TypeId> {
+        self.intern.get(ty).copied()
+    }
+
+    /// Pushes a type positionally (bytecode decoding only): ids must be
+    /// appended in their original order.
+    pub fn raw_push(&mut self, ty: Type) -> TypeId {
+        let id = TypeId(self.types.len() as u32);
+        self.intern.insert(ty.clone(), id);
+        self.types.push(ty);
+        id
+    }
+
+    /// Rebuilds the name → struct index after bulk-loading `structs`
+    /// (bytecode decoding only).
+    pub fn rebuild_struct_index(&mut self) {
+        self.struct_by_name = self
+            .structs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i as u32))
+            .collect();
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if no types are interned.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The `void` type.
+    pub fn void(&mut self) -> TypeId {
+        self.intern(Type::Void)
+    }
+
+    /// The 1-bit boolean type.
+    pub fn i1(&mut self) -> TypeId {
+        self.intern(Type::Int(1))
+    }
+
+    /// The 8-bit integer type.
+    pub fn i8(&mut self) -> TypeId {
+        self.intern(Type::Int(8))
+    }
+
+    /// The 16-bit integer type.
+    pub fn i16(&mut self) -> TypeId {
+        self.intern(Type::Int(16))
+    }
+
+    /// The 32-bit integer type.
+    pub fn i32(&mut self) -> TypeId {
+        self.intern(Type::Int(32))
+    }
+
+    /// The 64-bit integer type.
+    pub fn i64(&mut self) -> TypeId {
+        self.intern(Type::Int(64))
+    }
+
+    /// The 64-bit float type.
+    pub fn f64(&mut self) -> TypeId {
+        self.intern(Type::F64)
+    }
+
+    /// A pointer to `to`.
+    pub fn ptr(&mut self, to: TypeId) -> TypeId {
+        self.intern(Type::Ptr(to))
+    }
+
+    /// A raw byte pointer (`i8*`), SVA's analogue of C's `void*`.
+    pub fn byte_ptr(&mut self) -> TypeId {
+        let i8 = self.i8();
+        self.ptr(i8)
+    }
+
+    /// An array `[n x elem]`.
+    pub fn array(&mut self, elem: TypeId, n: u64) -> TypeId {
+        self.intern(Type::Array(elem, n))
+    }
+
+    /// A function type.
+    pub fn func(&mut self, ret: TypeId, params: Vec<TypeId>, vararg: bool) -> TypeId {
+        self.intern(Type::Func {
+            ret,
+            params,
+            vararg,
+        })
+    }
+
+    /// Declares a named struct (opaque until a body is set) and returns its
+    /// type id. Declaring an existing name returns the existing type.
+    pub fn declare_struct(&mut self, name: &str) -> TypeId {
+        if let Some(&idx) = self.struct_by_name.get(name) {
+            return self.intern(Type::Struct(idx));
+        }
+        let idx = self.structs.len() as u32;
+        self.structs.push(StructDef {
+            name: name.to_string(),
+            fields: Vec::new(),
+            opaque: true,
+        });
+        self.struct_by_name.insert(name.to_string(), idx);
+        self.intern(Type::Struct(idx))
+    }
+
+    /// Defines (or redefines) the body of a declared struct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a struct type of this table.
+    pub fn set_struct_body(&mut self, id: TypeId, fields: Vec<TypeId>) {
+        match *self.get(id) {
+            Type::Struct(idx) => {
+                let def = &mut self.structs[idx as usize];
+                def.fields = fields;
+                def.opaque = false;
+            }
+            _ => panic!("set_struct_body on non-struct type"),
+        }
+    }
+
+    /// Declares a struct and sets its body in one step.
+    pub fn struct_type(&mut self, name: &str, fields: Vec<TypeId>) -> TypeId {
+        let id = self.declare_struct(name);
+        self.set_struct_body(id, fields);
+        id
+    }
+
+    /// Looks up a struct type by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<TypeId> {
+        let idx = *self.struct_by_name.get(name)?;
+        // Struct types are always interned when declared, so this lookup
+        // cannot miss; re-derive the id without `&mut self`.
+        self.intern.get(&Type::Struct(idx)).copied()
+    }
+
+    /// Returns the fields of a struct type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a struct type.
+    pub fn struct_fields(&self, id: TypeId) -> &[TypeId] {
+        match *self.get(id) {
+            Type::Struct(idx) => &self.structs[idx as usize].fields,
+            _ => panic!("struct_fields on non-struct type"),
+        }
+    }
+
+    /// Returns the struct name for a struct type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a struct type.
+    pub fn struct_name(&self, id: TypeId) -> &str {
+        match *self.get(id) {
+            Type::Struct(idx) => &self.structs[idx as usize].name,
+            _ => panic!("struct_name on non-struct type"),
+        }
+    }
+
+    /// True if `id` is any integer type.
+    pub fn is_int(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::Int(_))
+    }
+
+    /// True if `id` is a pointer type.
+    pub fn is_ptr(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::Ptr(_))
+    }
+
+    /// The pointee of a pointer type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a pointer type.
+    pub fn pointee(&self, id: TypeId) -> TypeId {
+        match *self.get(id) {
+            Type::Ptr(p) => p,
+            _ => panic!("pointee of non-pointer type"),
+        }
+    }
+
+    /// Computes the layout of a type.
+    ///
+    /// Layout rules mirror a conventional C ABI: integers and floats align to
+    /// their size (i1 occupies one byte), pointers are [`PTR_SIZE`] bytes,
+    /// arrays multiply, structs pad fields to their alignment and round the
+    /// total size up to the struct alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void`, function types, or opaque structs — none of which
+    /// have an in-memory layout.
+    pub fn layout(&self, id: TypeId) -> Layout {
+        match *self.get(id) {
+            Type::Void => panic!("void has no layout"),
+            Type::Int(1) | Type::Int(8) => Layout::new(1, 1),
+            Type::Int(16) => Layout::new(2, 2),
+            Type::Int(32) => Layout::new(4, 4),
+            Type::Int(64) => Layout::new(8, 8),
+            Type::Int(w) => panic!("unsupported integer width {w}"),
+            Type::F64 => Layout::new(8, 8),
+            Type::Ptr(_) => Layout::new(PTR_SIZE, PTR_SIZE),
+            Type::Array(elem, n) => {
+                let e = self.layout(elem);
+                Layout::new(e.size * n, e.align)
+            }
+            Type::Struct(idx) => {
+                let def = &self.structs[idx as usize];
+                assert!(!def.opaque, "opaque struct `{}` has no layout", def.name);
+                let mut size = 0u64;
+                let mut align = 1u64;
+                for &f in &def.fields {
+                    let fl = self.layout(f);
+                    size = round_up(size, fl.align) + fl.size;
+                    align = align.max(fl.align);
+                }
+                Layout::new(round_up(size, align), align)
+            }
+            Type::Func { .. } => panic!("function types have no layout"),
+        }
+    }
+
+    /// Byte offset of struct field `idx` within struct type `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a struct or `idx` is out of range.
+    pub fn field_offset(&self, id: TypeId, idx: usize) -> u64 {
+        let fields = self.struct_fields(id).to_vec();
+        assert!(idx < fields.len(), "field index out of range");
+        let mut off = 0u64;
+        for (i, f) in fields.iter().enumerate() {
+            let fl = self.layout(*f);
+            off = round_up(off, fl.align);
+            if i == idx {
+                return off;
+            }
+            off += fl.size;
+        }
+        unreachable!()
+    }
+
+    /// Size in bytes, shorthand for `layout(id).size`.
+    pub fn size_of(&self, id: TypeId) -> u64 {
+        self.layout(id).size
+    }
+
+    /// Renders a type as text (e.g. `i32**`, `[4 x %task]`).
+    pub fn display(&self, id: TypeId) -> TypeDisplay<'_> {
+        TypeDisplay { table: self, id }
+    }
+
+    /// Structural equality helper for "same type or array thereof", the
+    /// relation used by type-homogeneity (paper §4.1 T2).
+    pub fn same_or_array_of(&self, a: TypeId, b: TypeId) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.get(a), self.get(b)) {
+            (Type::Array(ea, _), _) if *ea == b => true,
+            (_, Type::Array(eb, _)) if *eb == a => true,
+            _ => false,
+        }
+    }
+}
+
+/// Rounds `v` up to the next multiple of `align` (power of two or 1).
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+/// [`fmt::Display`] adapter produced by [`TypeTable::display`].
+pub struct TypeDisplay<'a> {
+    table: &'a TypeTable,
+    id: TypeId,
+}
+
+impl fmt::Display for TypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.table.get(self.id) {
+            Type::Void => write!(f, "void"),
+            Type::Int(w) => write!(f, "i{w}"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr(p) => write!(f, "{}*", self.table.display(*p)),
+            Type::Array(e, n) => write!(f, "[{} x {}]", n, self.table.display(*e)),
+            Type::Struct(idx) => write!(f, "%{}", self.table.structs[*idx as usize].name),
+            Type::Func {
+                ret,
+                params,
+                vararg,
+            } => {
+                // Wrapped in parens so `((i64) -> i64)*` (pointer to
+                // function) is unambiguous against `(i64) -> i64*`
+                // (function returning a pointer).
+                write!(f, "((")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.table.display(*p))?;
+                }
+                if *vararg {
+                    if !params.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, ") -> {})", self.table.display(*ret))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut t = TypeTable::new();
+        let a = t.i32();
+        let b = t.i32();
+        assert_eq!(a, b);
+        let p1 = t.ptr(a);
+        let p2 = t.ptr(b);
+        assert_eq!(p1, p2);
+        assert_ne!(a, p1);
+    }
+
+    #[test]
+    fn primitive_layouts() {
+        let mut t = TypeTable::new();
+        let cases = [
+            (t.i1(), 1, 1),
+            (t.i8(), 1, 1),
+            (t.i16(), 2, 2),
+            (t.i32(), 4, 4),
+            (t.i64(), 8, 8),
+            (t.f64(), 8, 8),
+        ];
+        for (ty, size, align) in cases {
+            let l = t.layout(ty);
+            assert_eq!((l.size, l.align), (size, align));
+        }
+        let i8 = t.i8();
+        let p = t.ptr(i8);
+        assert_eq!(t.layout(p).size, PTR_SIZE);
+    }
+
+    #[test]
+    fn struct_layout_padding() {
+        let mut t = TypeTable::new();
+        let (i8, i32, i64) = (t.i8(), t.i32(), t.i64());
+        // { i8, i32, i8, i64 } -> offsets 0, 4, 8, 16; size 24; align 8.
+        let s = t.struct_type("padded", vec![i8, i32, i8, i64]);
+        assert_eq!(t.field_offset(s, 0), 0);
+        assert_eq!(t.field_offset(s, 1), 4);
+        assert_eq!(t.field_offset(s, 2), 8);
+        assert_eq!(t.field_offset(s, 3), 16);
+        let l = t.layout(s);
+        assert_eq!((l.size, l.align), (24, 8));
+    }
+
+    #[test]
+    fn array_layout() {
+        let mut t = TypeTable::new();
+        let i32 = t.i32();
+        let a = t.array(i32, 10);
+        let l = t.layout(a);
+        assert_eq!((l.size, l.align), (40, 4));
+    }
+
+    #[test]
+    fn recursive_struct_via_pointer() {
+        let mut t = TypeTable::new();
+        let node = t.declare_struct("node");
+        let node_ptr = t.ptr(node);
+        let i64 = t.i64();
+        t.set_struct_body(node, vec![i64, node_ptr]);
+        let l = t.layout(node);
+        assert_eq!((l.size, l.align), (16, 8));
+    }
+
+    #[test]
+    fn struct_nominal_identity() {
+        let mut t = TypeTable::new();
+        let i32 = t.i32();
+        let a = t.struct_type("a", vec![i32]);
+        let b = t.struct_type("b", vec![i32]);
+        assert_ne!(a, b);
+        assert_eq!(t.struct_by_name("a"), Some(a));
+        assert_eq!(t.struct_by_name("missing"), None);
+    }
+
+    #[test]
+    fn display_round() {
+        let mut t = TypeTable::new();
+        let i32 = t.i32();
+        let p = t.ptr(i32);
+        let pp = t.ptr(p);
+        assert_eq!(t.display(pp).to_string(), "i32**");
+        let arr = t.array(p, 4);
+        assert_eq!(t.display(arr).to_string(), "[4 x i32*]");
+        let v = t.void();
+        let fnty = t.func(v, vec![i32], true);
+        assert_eq!(t.display(fnty).to_string(), "((i32, ...) -> void)");
+    }
+
+    #[test]
+    fn same_or_array_of_relation() {
+        let mut t = TypeTable::new();
+        let i32 = t.i32();
+        let arr = t.array(i32, 8);
+        let i64 = t.i64();
+        assert!(t.same_or_array_of(i32, i32));
+        assert!(t.same_or_array_of(arr, i32));
+        assert!(t.same_or_array_of(i32, arr));
+        assert!(!t.same_or_array_of(i64, arr));
+    }
+
+    #[test]
+    #[should_panic(expected = "opaque struct")]
+    fn opaque_struct_layout_panics() {
+        let mut t = TypeTable::new();
+        let s = t.declare_struct("fwd");
+        let _ = t.layout(s);
+    }
+
+    #[test]
+    fn round_up_behaviour() {
+        assert_eq!(round_up(0, 8), 0);
+        assert_eq!(round_up(1, 8), 8);
+        assert_eq!(round_up(8, 8), 8);
+        assert_eq!(round_up(9, 4), 12);
+    }
+}

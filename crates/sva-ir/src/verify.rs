@@ -1,0 +1,908 @@
+//! Structural and type verification of SVA modules.
+//!
+//! Every instruction in the SVA instruction set is type-checked (paper
+//! §3.1). This verifier enforces:
+//!
+//! * CFG well-formedness — nonempty blocks, exactly one terminator at the
+//!   end of each block, in-range branch targets;
+//! * SSA dominance — every use of a value is reached only along paths where
+//!   the value has been defined (computed as a forward must-be-defined
+//!   dataflow, equivalent to dominance checking for SSA form);
+//! * φ discipline — φ-nodes appear only at the head of a block and carry
+//!   exactly one incoming value per CFG predecessor;
+//! * per-instruction typing — operand/result types for arithmetic,
+//!   comparisons, casts, `getelementptr` walks, loads/stores, calls and
+//!   returns;
+//! * intrinsic hygiene — untrusted bytecode must not contain the
+//!   verifier-inserted safety-check operations ([`Intrinsic::verifier_only`]).
+//!
+//! The metapool (pool-annotation) type checking of paper §5 is layered on
+//! top of this in `sva-core`; this module is only about the base IR.
+
+use std::collections::HashSet;
+
+use crate::inst::{BinOp, Callee, CastOp, Inst, InstId, Intrinsic, Operand};
+use crate::module::{BlockId, Function, Module, ValueId};
+use crate::types::{Type, TypeId};
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the error occurred (or `None` for module-level).
+    pub func: Option<String>,
+    /// Offending instruction, if known.
+    pub inst: Option<InstId>,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.func, self.inst) {
+            (Some(fname), Some(i)) => write!(f, "[{}::inst{}] {}", fname, i.0, self.msg),
+            (Some(fname), None) => write!(f, "[{}] {}", fname, self.msg),
+            _ => write!(f, "[module] {}", self.msg),
+        }
+    }
+}
+
+/// Verification options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerifyOptions {
+    /// Whether verifier-inserted safety intrinsics (`pchk.*`) are allowed.
+    /// Untrusted input bytecode must be verified with `false`; bytecode that
+    /// already passed through the SVM verifier is re-checked with `true`.
+    pub allow_check_intrinsics: bool,
+}
+
+/// Verifies a whole module; returns all errors found (empty = valid).
+pub fn verify_module(m: &Module) -> Vec<VerifyError> {
+    verify_module_with(m, VerifyOptions::default())
+}
+
+/// Verifies a whole module with explicit options.
+pub fn verify_module_with(m: &Module, opts: VerifyOptions) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    for f in &m.funcs {
+        verify_function(m, f, opts, &mut errs);
+    }
+    errs
+}
+
+struct Ctx<'a> {
+    m: &'a Module,
+    f: &'a Function,
+    opts: VerifyOptions,
+    errs: &'a mut Vec<VerifyError>,
+}
+
+impl Ctx<'_> {
+    fn err(&mut self, inst: Option<InstId>, msg: impl Into<String>) {
+        self.errs.push(VerifyError {
+            func: Some(self.f.name.clone()),
+            inst,
+            msg: msg.into(),
+        });
+    }
+
+    fn operand_ty(&self, op: &Operand) -> Option<TypeId> {
+        match *op {
+            Operand::Value(v) => {
+                if (v.0 as usize) < self.f.value_types.len() {
+                    Some(self.f.value_type(v))
+                } else {
+                    None
+                }
+            }
+            _ => Some(self.f.operand_type(op, self.m)),
+        }
+    }
+}
+
+fn verify_function(m: &Module, f: &Function, opts: VerifyOptions, errs: &mut Vec<VerifyError>) {
+    let mut ctx = Ctx { m, f, opts, errs };
+
+    if f.blocks.is_empty() {
+        ctx.err(None, "function has no blocks");
+        return;
+    }
+
+    // --- block shape and branch-target validity ---
+    let nblocks = f.blocks.len() as u32;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if b.insts.is_empty() {
+            ctx.err(None, format!("block `{}` is empty", b.name));
+            continue;
+        }
+        for (pos, &iid) in b.insts.iter().enumerate() {
+            if (iid.0 as usize) >= f.insts.len() {
+                ctx.err(
+                    None,
+                    format!("block `{}` references bad inst {}", b.name, iid.0),
+                );
+                continue;
+            }
+            let inst = f.inst(iid);
+            let last = pos + 1 == b.insts.len();
+            if inst.is_terminator() != last {
+                ctx.err(
+                    Some(iid),
+                    format!(
+                        "terminator placement error in `{}` (pos {} of {})",
+                        b.name,
+                        pos,
+                        b.insts.len()
+                    ),
+                );
+            }
+            for succ in inst.successors() {
+                if succ.0 >= nblocks {
+                    ctx.err(
+                        Some(iid),
+                        format!("branch to out-of-range block {}", succ.0),
+                    );
+                }
+            }
+            if let Inst::Phi { .. } = inst {
+                // φ must be contiguous at the head of the block.
+                let head = b.insts[..pos]
+                    .iter()
+                    .all(|&i| matches!(f.inst(i), Inst::Phi { .. }));
+                if !head {
+                    ctx.err(Some(iid), format!("phi not at head of block `{}`", b.name));
+                }
+            }
+        }
+        let _ = bi;
+    }
+    if !ctx.errs.is_empty() {
+        // Structural breakage makes the dataflow below unreliable; report
+        // the structural errors alone.
+        return;
+    }
+
+    // --- predecessors ---
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let term = f.inst(*b.insts.last().unwrap());
+        for s in term.successors() {
+            preds[s.0 as usize].push(BlockId(bi as u32));
+        }
+    }
+
+    // --- must-be-defined dataflow for SSA dominance of uses ---
+    let nvals = f.num_values();
+    let words = nvals.div_ceil(64);
+    let full = vec![u64::MAX; words];
+    let mut entry_in = vec![0u64; words];
+    for &p in &f.params {
+        entry_in[p.0 as usize / 64] |= 1 << (p.0 as usize % 64);
+    }
+    let mut outs: Vec<Vec<u64>> = vec![full.clone(); f.blocks.len()];
+    let bit = |set: &[u64], v: ValueId| set[v.0 as usize / 64] >> (v.0 as usize % 64) & 1 == 1;
+    let set_bit = |set: &mut [u64], v: ValueId| set[v.0 as usize / 64] |= 1 << (v.0 as usize % 64);
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut cur = if bi == 0 {
+                entry_in.clone()
+            } else if preds[bi].is_empty() {
+                // Unreachable block: treat everything as defined (no error).
+                full.clone()
+            } else {
+                let mut acc = full.clone();
+                for p in &preds[bi] {
+                    for (w, word) in acc.iter_mut().enumerate() {
+                        *word &= outs[p.0 as usize][w];
+                    }
+                }
+                acc
+            };
+            for &iid in &b.insts {
+                if let Some(r) = f.result_of(iid) {
+                    set_bit(&mut cur, r);
+                }
+            }
+            if cur != outs[bi] {
+                outs[bi] = cur;
+                changed = true;
+            }
+        }
+    }
+
+    // --- per-instruction checks ---
+    for (bi, b) in f.blocks.iter().enumerate() {
+        // Recompute the running defined-set for use checking.
+        let mut cur = if bi == 0 {
+            entry_in.clone()
+        } else if preds[bi].is_empty() {
+            full.clone()
+        } else {
+            let mut acc = full.clone();
+            for p in &preds[bi] {
+                for (w, word) in acc.iter_mut().enumerate() {
+                    *word &= outs[p.0 as usize][w];
+                }
+            }
+            acc
+        };
+        for &iid in &b.insts {
+            let inst = f.inst(iid).clone();
+
+            // Use-before-def (φ incoming values are checked against the
+            // incoming predecessor's out-set instead).
+            if !matches!(inst, Inst::Phi { .. }) {
+                inst.for_each_operand(|op| {
+                    if let Operand::Value(v) = op {
+                        if (v.0 as usize) >= nvals {
+                            ctx.err(Some(iid), format!("operand references bad value %{}", v.0));
+                        } else if !bit(&cur, *v) {
+                            ctx.err(
+                                Some(iid),
+                                format!("use of %{} not dominated by its definition", v.0),
+                            );
+                        }
+                    }
+                });
+            }
+
+            check_inst_types(&mut ctx, iid, &inst);
+
+            match &inst {
+                Inst::Phi { incomings, ty } => {
+                    let mut seen: HashSet<u32> = HashSet::new();
+                    let expected: HashSet<u32> = preds[bi].iter().map(|p| p.0).collect();
+                    for (pb, val) in incomings {
+                        if !seen.insert(pb.0) {
+                            ctx.err(
+                                Some(iid),
+                                format!("duplicate phi predecessor block {}", pb.0),
+                            );
+                        }
+                        if !expected.contains(&pb.0) {
+                            ctx.err(
+                                Some(iid),
+                                format!("phi names non-predecessor block {}", pb.0),
+                            );
+                        }
+                        if let Operand::Value(v) = val {
+                            if (v.0 as usize) < nvals
+                                && (pb.0 as usize) < outs.len()
+                                && !bit(&outs[pb.0 as usize], *v)
+                            {
+                                ctx.err(
+                                    Some(iid),
+                                    format!(
+                                        "phi incoming %{} not defined on edge from block {}",
+                                        v.0, pb.0
+                                    ),
+                                );
+                            }
+                        }
+                        if let Some(t) = ctx.operand_ty(val) {
+                            if t != *ty {
+                                ctx.err(Some(iid), "phi incoming type mismatch");
+                            }
+                        }
+                    }
+                    for missing in expected.iter().filter(|p| !seen.contains(p)) {
+                        ctx.err(
+                            Some(iid),
+                            format!("phi missing predecessor block {missing}"),
+                        );
+                    }
+                }
+                Inst::Call {
+                    callee: Callee::Intrinsic(i),
+                    ..
+                } if i.verifier_only() && !ctx.opts.allow_check_intrinsics => {
+                    ctx.err(
+                        Some(iid),
+                        format!(
+                            "untrusted bytecode contains verifier-only intrinsic `{}`",
+                            i.name()
+                        ),
+                    );
+                }
+                _ => {}
+            }
+
+            if let Some(r) = f.result_of(iid) {
+                set_bit(&mut cur, r);
+            }
+        }
+    }
+}
+
+fn check_inst_types(ctx: &mut Ctx<'_>, iid: InstId, inst: &Inst) {
+    let m = ctx.m;
+    let f = ctx.f;
+    let result_ty = f.result_of(iid).map(|v| f.value_type(v));
+    match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            let (lt, rt) = (ctx.operand_ty(lhs), ctx.operand_ty(rhs));
+            if let (Some(lt), Some(rt)) = (lt, rt) {
+                if lt != rt {
+                    ctx.err(Some(iid), "binary operand types differ");
+                } else if op.is_float() {
+                    if !matches!(m.types.get(lt), Type::F64) {
+                        ctx.err(Some(iid), "float op on non-float operands");
+                    }
+                } else if !m.types.is_int(lt) {
+                    ctx.err(Some(iid), "integer op on non-integer operands");
+                }
+                if result_ty != Some(lt) {
+                    ctx.err(Some(iid), "binary result type mismatch");
+                }
+                if matches!(op, BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem) {
+                    if let Operand::ConstInt(0, _) = rhs {
+                        ctx.err(Some(iid), "constant division by zero");
+                    }
+                }
+            }
+        }
+        Inst::ICmp { lhs, rhs, .. } => {
+            let (lt, rt) = (ctx.operand_ty(lhs), ctx.operand_ty(rhs));
+            if let (Some(lt), Some(rt)) = (lt, rt) {
+                if lt != rt {
+                    ctx.err(Some(iid), "icmp operand types differ");
+                } else if !m.types.is_int(lt) && !m.types.is_ptr(lt) {
+                    ctx.err(Some(iid), "icmp on non-integer, non-pointer operands");
+                }
+            }
+            if let Some(rt) = result_ty {
+                if !matches!(m.types.get(rt), Type::Int(1)) {
+                    ctx.err(Some(iid), "icmp result must be i1");
+                }
+            }
+        }
+        Inst::Select { cond, tval, fval } => {
+            if let Some(ct) = ctx.operand_ty(cond) {
+                if !matches!(m.types.get(ct), Type::Int(1)) {
+                    ctx.err(Some(iid), "select condition must be i1");
+                }
+            }
+            let (tt, ft) = (ctx.operand_ty(tval), ctx.operand_ty(fval));
+            if let (Some(tt), Some(ft)) = (tt, ft) {
+                if tt != ft {
+                    ctx.err(Some(iid), "select arm types differ");
+                }
+                if result_ty != Some(tt) {
+                    ctx.err(Some(iid), "select result type mismatch");
+                }
+            }
+        }
+        Inst::Cast { op, val, to } => {
+            let from = match ctx.operand_ty(val) {
+                Some(t) => t,
+                None => return,
+            };
+            let (fk, tk) = (m.types.get(from).clone(), m.types.get(*to).clone());
+            let ok = match op {
+                CastOp::Bitcast => matches!(fk, Type::Ptr(_)) && matches!(tk, Type::Ptr(_)),
+                CastOp::Trunc => int_widths(&fk, &tk).is_some_and(|(a, b)| a > b),
+                CastOp::ZExt | CastOp::SExt => int_widths(&fk, &tk).is_some_and(|(a, b)| a < b),
+                CastOp::PtrToInt => matches!(fk, Type::Ptr(_)) && matches!(tk, Type::Int(_)),
+                CastOp::IntToPtr => matches!(fk, Type::Int(_)) && matches!(tk, Type::Ptr(_)),
+                CastOp::SiToFp => matches!(fk, Type::Int(_)) && matches!(tk, Type::F64),
+                CastOp::FpToSi => matches!(fk, Type::F64) && matches!(tk, Type::Int(_)),
+            };
+            if !ok {
+                ctx.err(
+                    Some(iid),
+                    format!(
+                        "invalid {} from {} to {}",
+                        op.mnemonic(),
+                        m.types.display(from),
+                        m.types.display(*to)
+                    ),
+                );
+            }
+            if result_ty != Some(*to) {
+                ctx.err(Some(iid), "cast result type mismatch");
+            }
+        }
+        Inst::Gep { base, indices } => {
+            let bt = match ctx.operand_ty(base) {
+                Some(t) => t,
+                None => return,
+            };
+            if !m.types.is_ptr(bt) {
+                ctx.err(Some(iid), "gep base is not a pointer");
+                return;
+            }
+            if indices.is_empty() {
+                ctx.err(Some(iid), "gep with no indices");
+                return;
+            }
+            let mut cur = m.types.pointee(bt);
+            for (n, idx) in indices.iter().enumerate() {
+                if let Some(it) = ctx.operand_ty(idx) {
+                    if !m.types.is_int(it) {
+                        ctx.err(Some(iid), "gep index is not an integer");
+                    }
+                }
+                if n == 0 {
+                    continue;
+                }
+                match m.types.get(cur).clone() {
+                    Type::Array(e, _) => cur = e,
+                    Type::Struct(_) => match idx {
+                        Operand::ConstInt(v, _) => {
+                            let fields = m.types.struct_fields(cur);
+                            if (*v as usize) < fields.len() {
+                                cur = fields[*v as usize];
+                            } else {
+                                ctx.err(Some(iid), "gep struct field index out of range");
+                                return;
+                            }
+                        }
+                        _ => {
+                            ctx.err(Some(iid), "gep struct index must be constant");
+                            return;
+                        }
+                    },
+                    _ => {
+                        ctx.err(Some(iid), "gep walks into non-aggregate type");
+                        return;
+                    }
+                }
+            }
+            if let Some(rt) = result_ty {
+                if !m.types.is_ptr(rt) || m.types.pointee(rt) != cur {
+                    ctx.err(Some(iid), "gep result type mismatch");
+                }
+            }
+        }
+        Inst::Load { ptr } => {
+            if let Some(pt) = ctx.operand_ty(ptr) {
+                if !m.types.is_ptr(pt) {
+                    ctx.err(Some(iid), "load through non-pointer");
+                } else if result_ty != Some(m.types.pointee(pt)) {
+                    ctx.err(Some(iid), "load result type mismatch");
+                }
+            }
+        }
+        Inst::Store { val, ptr } => {
+            if let (Some(vt), Some(pt)) = (ctx.operand_ty(val), ctx.operand_ty(ptr)) {
+                if !m.types.is_ptr(pt) {
+                    ctx.err(Some(iid), "store through non-pointer");
+                } else if m.types.pointee(pt) != vt {
+                    ctx.err(Some(iid), "store value/pointee type mismatch");
+                }
+            }
+        }
+        Inst::Alloca { ty, count } => {
+            if let Some(ct) = ctx.operand_ty(count) {
+                if !m.types.is_int(ct) {
+                    ctx.err(Some(iid), "alloca count is not an integer");
+                }
+            }
+            if let Some(rt) = result_ty {
+                if !m.types.is_ptr(rt) || m.types.pointee(rt) != *ty {
+                    ctx.err(Some(iid), "alloca result type mismatch");
+                }
+            }
+        }
+        Inst::Call { callee, args } => {
+            let fty = match callee {
+                Callee::Direct(fid) => Some(m.func(*fid).ty),
+                Callee::External(e) => Some(m.externs[e.0 as usize].ty),
+                Callee::Indirect(op) => match ctx.operand_ty(op) {
+                    Some(pt) if m.types.is_ptr(pt) => Some(m.types.pointee(pt)),
+                    Some(_) => {
+                        ctx.err(Some(iid), "indirect call through non-pointer");
+                        None
+                    }
+                    None => None,
+                },
+                Callee::Intrinsic(_) => None,
+            };
+            if let Some(fty) = fty {
+                match m.types.get(fty).clone() {
+                    Type::Func {
+                        ret,
+                        params,
+                        vararg,
+                    } => {
+                        if args.len() < params.len() || (!vararg && args.len() != params.len()) {
+                            ctx.err(
+                                Some(iid),
+                                format!(
+                                    "call arity mismatch: {} args for {} params",
+                                    args.len(),
+                                    params.len()
+                                ),
+                            );
+                        }
+                        for (a, p) in args.iter().zip(params.iter()) {
+                            if let Some(at) = ctx.operand_ty(a) {
+                                if at != *p {
+                                    ctx.err(Some(iid), "call argument type mismatch");
+                                }
+                            }
+                        }
+                        let void = matches!(m.types.get(ret), Type::Void);
+                        match (void, result_ty) {
+                            (true, Some(_)) => ctx.err(Some(iid), "void call has a result"),
+                            (false, Some(rt)) if rt != ret => {
+                                ctx.err(Some(iid), "call result type mismatch")
+                            }
+                            _ => {}
+                        }
+                    }
+                    _ => ctx.err(Some(iid), "call through non-function type"),
+                }
+            } else if let Callee::Intrinsic(i) = callee {
+                check_intrinsic_arity(ctx, iid, *i, args.len());
+            }
+        }
+        Inst::AtomicRmw { ptr, val, .. } => {
+            if let (Some(pt), Some(vt)) = (ctx.operand_ty(ptr), ctx.operand_ty(val)) {
+                if !m.types.is_ptr(pt) || m.types.pointee(pt) != vt {
+                    ctx.err(Some(iid), "atomicrmw pointer/value type mismatch");
+                } else if !m.types.is_int(vt) {
+                    ctx.err(Some(iid), "atomicrmw on non-integer");
+                }
+            }
+        }
+        Inst::CmpXchg { ptr, expected, new } => {
+            if let (Some(pt), Some(et), Some(nt)) = (
+                ctx.operand_ty(ptr),
+                ctx.operand_ty(expected),
+                ctx.operand_ty(new),
+            ) {
+                if !m.types.is_ptr(pt) || m.types.pointee(pt) != et || et != nt {
+                    ctx.err(Some(iid), "cmpxchg type mismatch");
+                }
+            }
+        }
+        Inst::CondBr { cond, .. } => {
+            if let Some(ct) = ctx.operand_ty(cond) {
+                if !matches!(m.types.get(ct), Type::Int(1)) {
+                    ctx.err(Some(iid), "condbr condition must be i1");
+                }
+            }
+        }
+        Inst::Switch { val, .. } => {
+            if let Some(vt) = ctx.operand_ty(val) {
+                if !m.types.is_int(vt) {
+                    ctx.err(Some(iid), "switch on non-integer");
+                }
+            }
+        }
+        Inst::Ret { val } => {
+            let ret = match m.types.get(f.ty) {
+                Type::Func { ret, .. } => *ret,
+                _ => return,
+            };
+            let void = matches!(m.types.get(ret), Type::Void);
+            match (void, val) {
+                (true, Some(_)) => ctx.err(Some(iid), "ret with value in void function"),
+                (false, None) => ctx.err(Some(iid), "ret without value in non-void function"),
+                (false, Some(v)) => {
+                    if let Some(vt) = ctx.operand_ty(v) {
+                        if vt != ret {
+                            ctx.err(Some(iid), "ret value type mismatch");
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Inst::Phi { .. } | Inst::Fence | Inst::Br { .. } | Inst::Unreachable => {}
+    }
+}
+
+fn int_widths(a: &Type, b: &Type) -> Option<(u8, u8)> {
+    match (a, b) {
+        (Type::Int(x), Type::Int(y)) => Some((*x, *y)),
+        _ => None,
+    }
+}
+
+fn check_intrinsic_arity(ctx: &mut Ctx<'_>, iid: InstId, i: Intrinsic, nargs: usize) {
+    use Intrinsic::*;
+    let min = match i {
+        SaveInteger | LoadInteger | LoadFp | IcontextCommit | WasPrivileged | Iret | Print
+        | Abort | PseudoAlloc => 1,
+        SaveFp | IcontextSave | IcontextLoad | RegisterSyscall | RegisterInterrupt | IoWrite
+        | MmuUnmap | MmuCopyPage | PchkDropObj | LsCheck | IcontextNew => 2,
+        IpushFunction | IcontextSetEntry | MmuMap | MmuProtect | PchkRegObj | BoundsCheck
+        | BoundsCheckRange | MemCpy | MemMove | MemSet => 3,
+        GetBounds => 4,
+        FuncCheck => 2,
+        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace => 1,
+        CpuId | GetTimer | IcontextGet | MmuNewSpace => 0,
+    };
+    if nargs < min {
+        ctx.err(
+            Some(iid),
+            format!(
+                "intrinsic `{}` needs at least {} args, got {}",
+                i.name(),
+                min,
+                nargs
+            ),
+        );
+    }
+    // PseudoAlloc actually takes (start, end).
+    if matches!(i, PseudoAlloc) && nargs == 1 {
+        ctx.err(Some(iid), "pseudo_alloc needs (start, end)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::module::Linkage;
+    use crate::parse::parse_module;
+
+    fn verify_src(src: &str) -> Vec<VerifyError> {
+        let m = parse_module(src).unwrap();
+        verify_module(&m)
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let errs = verify_src(
+            r#"
+module "ok"
+func public @max(%a: i32, %b: i32) : i32 {
+entry:
+  %c:i1 = icmp sgt %a, %b
+  condbr %c, t, e
+t:
+  ret %a
+e:
+  ret %b
+}
+"#,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn loop_with_phi_passes() {
+        let errs = verify_src(
+            r#"
+module "ok"
+func public @count(%n: i64) : i64 {
+entry:
+  br loop
+loop:
+  %i:i64 = phi i64 [entry: 0:i64, loop: %next]
+  %next:i64 = add %i, 1:i64
+  %done:i1 = icmp uge %next, %n
+  condbr %done, out, loop
+out:
+  ret %next
+}
+"#,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn detects_type_mismatch_in_bin() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f(%a: i32, %b: i64) : i32 {
+entry:
+  %c:i32 = add %a, %b
+  ret %c
+}
+"#,
+        );
+        assert!(
+            errs.iter().any(|e| e.msg.contains("operand types differ")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_missing_terminator() {
+        let mut m = Module::new("bad");
+        let i32 = m.types.i32();
+        let fnty = m.types.func(i32, vec![], false);
+        let f = m.add_function("f", fnty, Linkage::Public);
+        m.intern_address_types();
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let x = b.c32(1);
+            let y = b.c32(2);
+            let _ = b.add(x, y); // no terminator emitted
+        }
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter().any(|e| e.msg.contains("terminator placement")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_use_before_def_across_blocks() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f(%p: i1) : i64 {
+entry:
+  condbr %p, a, b
+a:
+  %x:i64 = add 1:i64, 2:i64
+  br join
+b:
+  br join
+join:
+  ret %x
+}
+"#,
+        );
+        assert!(
+            errs.iter().any(|e| e.msg.contains("not dominated")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_phi_missing_predecessor() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f(%p: i1) : i64 {
+entry:
+  condbr %p, a, b
+a:
+  br join
+b:
+  br join
+join:
+  %x:i64 = phi i64 [a: 1:i64]
+  ret %x
+}
+"#,
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.msg.contains("phi missing predecessor")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_bad_cast() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f(%a: i32) : i64 {
+entry:
+  %b:i64 = cast trunc %a to i64
+  ret %b
+}
+"#,
+        );
+        assert!(
+            errs.iter().any(|e| e.msg.contains("invalid trunc")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_store_type_mismatch() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f(%p: i64*) : void {
+entry:
+  store 7:i32, %p
+  ret
+}
+"#,
+        );
+        assert!(
+            errs.iter().any(|e| e.msg.contains("store value/pointee")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_verifier_only_intrinsics_in_untrusted_code() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f(%p: i8*) : void {
+entry:
+  call $pchk.lscheck(0:i64, %p)
+  ret
+}
+"#,
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.msg.contains("verifier-only intrinsic")),
+            "{errs:?}"
+        );
+        // ... but the same module passes when checks are allowed.
+        let m = parse_module(
+            r#"
+module "ok"
+func public @f(%p: i8*) : void {
+entry:
+  call $pchk.lscheck(0:i64, %p)
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let errs2 = verify_module_with(
+            &m,
+            VerifyOptions {
+                allow_check_intrinsics: true,
+            },
+        );
+        assert!(errs2.is_empty(), "{errs2:?}");
+    }
+
+    #[test]
+    fn detects_call_arity_mismatch() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @callee(%a: i32) : i32 {
+entry:
+  ret %a
+}
+func public @caller() : i32 {
+entry:
+  %r:i32 = call @callee()
+  ret %r
+}
+"#,
+        );
+        assert!(
+            errs.iter().any(|e| e.msg.contains("arity mismatch")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_gep_struct_index_out_of_range() {
+        let errs = verify_src(
+            r#"
+module "bad"
+struct %s = { i32, i64 }
+func public @f(%p: %s*) : void {
+entry:
+  %q:i64* = gep %p [0:i32, 5:i32]
+  ret
+}
+"#,
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.msg.contains("field index out of range")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_ret_mismatch() {
+        let errs = verify_src(
+            r#"
+module "bad"
+func public @f() : i64 {
+entry:
+  ret
+}
+"#,
+        );
+        assert!(
+            errs.iter().any(|e| e.msg.contains("ret without value")),
+            "{errs:?}"
+        );
+    }
+}

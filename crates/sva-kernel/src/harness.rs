@@ -1,0 +1,94 @@
+//! Convenience harness: build → safety-compile → verify → load → boot.
+//!
+//! Building and safety-compiling the kernel takes real work, so compiled
+//! images are cached per exclusion list and cloned into each VM.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use sva_analysis::AnalysisConfig;
+use sva_core::compile::{compile, CompileOptions};
+use sva_core::verifier::verify_and_insert_checks;
+use sva_ir::Module;
+use sva_vm::{KernelKind, Vm, VmConfig, VmError, VmExit, USER_BASE};
+
+use crate::build::{build_kernel, KernelOptions};
+use crate::AS_TESTED_EXCLUSIONS;
+
+/// Start of the user brk heap (above the big I/O buffer).
+pub const USER_HEAP_BASE: u64 = USER_BASE + 0x28000;
+
+/// Re-export of the user-program argument packer.
+pub use crate::build::user::pack_arg;
+
+/// A loaded kernel image: the module plus how it was prepared.
+#[derive(Clone, Debug)]
+pub struct KernelImage {
+    /// The (possibly instrumented) kernel module.
+    pub module: Module,
+    /// Exclusion prefixes used for the safety compiler (empty = raw build).
+    pub exclusions: Vec<String>,
+}
+
+fn cache() -> &'static Mutex<HashMap<String, Module>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Module>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The raw (uninstrumented) kernel module, cached.
+pub fn raw_kernel() -> Module {
+    let mut c = cache().lock().unwrap();
+    c.entry("raw".to_string())
+        .or_insert_with(|| build_kernel(&KernelOptions::default()))
+        .clone()
+}
+
+/// The safety-compiled, verifier-checked kernel for the given exclusion
+/// list (use [`AS_TESTED_EXCLUSIONS`] for the paper's configuration).
+pub fn safe_kernel_module(exclusions: &[&str]) -> Module {
+    let key = format!("safe:{}", exclusions.join(","));
+    let mut c = cache().lock().unwrap();
+    c.entry(key)
+        .or_insert_with(|| {
+            let m = build_kernel(&KernelOptions::default());
+            let cfg = AnalysisConfig::kernel_excluding(exclusions);
+            let compiled = compile(m, &cfg, &CompileOptions::default());
+            let verified = verify_and_insert_checks(compiled.module)
+                .expect("kernel fails metapool verification");
+            verified.module
+        })
+        .clone()
+}
+
+/// Builds a VM running the kernel under the given configuration; the
+/// `SvaSafe` configuration uses the paper's "as tested" exclusions.
+pub fn make_vm(kind: KernelKind) -> Vm {
+    make_vm_with(kind, AS_TESTED_EXCLUSIONS)
+}
+
+/// Like [`make_vm`] with explicit safety-compiler exclusions.
+pub fn make_vm_with(kind: KernelKind, exclusions: &[&str]) -> Vm {
+    let module = if kind.checks() {
+        safe_kernel_module(exclusions)
+    } else {
+        raw_kernel()
+    };
+    Vm::new(
+        module,
+        VmConfig {
+            kind,
+            ..Default::default()
+        },
+    )
+    .expect("kernel loads")
+}
+
+/// Boots the kernel with `prog(arg)` as the init user program.
+pub fn boot_user(vm: &mut Vm, prog: &str, arg: u64) -> Result<VmExit, VmError> {
+    let addr = vm
+        .func_address(prog)
+        .ok_or_else(|| VmError::Unsupported(format!("no user program @{prog}")))?;
+    vm.write_global_u64("boot_user_prog", addr)?;
+    vm.write_global_u64("boot_user_arg", arg)?;
+    vm.boot()
+}

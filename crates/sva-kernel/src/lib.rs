@@ -1,0 +1,98 @@
+//! # A miniature commodity kernel, written in SVA IR
+//!
+//! This crate plays the role Linux 2.4.22 played in the paper (§6): a
+//! kernel *ported to SVA* — no inline assembly, every privileged operation
+//! through SVA-OS, allocators declared to the safety compiler. It is
+//! emitted through [`sva_ir::build::FunctionBuilder`], so the pointer
+//! analysis, the safety-checking compiler and the verifier all operate on
+//! genuine kernel-shaped bytecode.
+//!
+//! Subsystems (function name prefixes mirror the paper's Table 4 rows):
+//!
+//! | prefix | subsystem |
+//! |---|---|
+//! | `boot_`, `start_kernel` | architecture-independent core boot |
+//! | `mm_` | bootmem, page allocator, `kmem_cache` slab, `kmalloc`, `vmalloc` |
+//! | `proc_`, `sys_` | processes, scheduler, system calls |
+//! | `sig_` | signals |
+//! | `fs_` | ramfs VFS, file table |
+//! | `pipe_` | pipes |
+//! | `net_` | sockets, the vulnerable protocol handlers |
+//! | `elf_` | the program loader |
+//! | `lib_` | utility library (user-copy routines) |
+//! | `chr_` | character-driver stand-in |
+//! | `user_` | userspace programs (never analyzed as kernel code) |
+//!
+//! The paper's "as tested" kernel excluded the memory subsystem, two
+//! utility libraries and the character drivers from the safety-checking
+//! compiler (§7.1); [`AS_TESTED_EXCLUSIONS`] reproduces that split and is
+//! what makes the ELF exploit slip through (§7.2).
+
+pub mod build;
+pub mod harness;
+pub mod port_report;
+
+pub use build::{build_kernel, KernelOptions};
+pub use harness::{boot_user, make_vm, safe_kernel_module, KernelImage};
+pub use port_report::{port_report, PortReport};
+
+/// Function-name prefixes excluded from the safety-checking compiler in the
+/// paper's "as tested" configuration (§7.1: `mm/mm.o`, `lib/lib.a`, and the
+/// character drivers), plus userspace programs which are never kernel code.
+pub const AS_TESTED_EXCLUSIONS: &[&str] = &["mm_", "lib_", "chr_", "user_"];
+
+/// Exclusions for the "entire kernel" configuration of Table 9: only
+/// userspace programs stay out.
+pub const ENTIRE_KERNEL_EXCLUSIONS: &[&str] = &["user_"];
+
+/// System call numbers (Linux 2.4-flavoured).
+pub mod nr {
+    /// `exit(code)`.
+    pub const EXIT: i64 = 1;
+    /// `fork()`.
+    pub const FORK: i64 = 2;
+    /// `read(fd, buf, n)`.
+    pub const READ: i64 = 3;
+    /// `write(fd, buf, n)`.
+    pub const WRITE: i64 = 4;
+    /// `open(path, flags)`.
+    pub const OPEN: i64 = 5;
+    /// `close(fd)`.
+    pub const CLOSE: i64 = 6;
+    /// `waitpid(pid)`.
+    pub const WAITPID: i64 = 7;
+    /// `execve(path)`.
+    pub const EXECVE: i64 = 11;
+    /// `lseek(fd, off)`.
+    pub const LSEEK: i64 = 19;
+    /// `getpid()`.
+    pub const GETPID: i64 = 20;
+    /// `kill(pid, sig)`.
+    pub const KILL: i64 = 37;
+    /// `pipe(fds)`.
+    pub const PIPE: i64 = 42;
+    /// `sbrk(incr)`.
+    pub const SBRK: i64 = 45;
+    /// `sigaction(sig, handler)`.
+    pub const SIGACTION: i64 = 67;
+    /// `getrusage(ru)`.
+    pub const GETRUSAGE: i64 = 77;
+    /// `gettimeofday(tv)`.
+    pub const GETTIMEOFDAY: i64 = 78;
+    /// `yield()`.
+    pub const YIELD: i64 = 158;
+    /// `socket()`.
+    pub const SOCKET: i64 = 200;
+    /// `setsockopt(sock, optname, optval, optlen)` — the MCAST_MSFILTER
+    /// integer-overflow surface (exploit 1).
+    pub const SETSOCKOPT: i64 = 201;
+    /// Deliver a raw IGMP packet (exploit 2).
+    pub const NET_RX_IGMP: i64 = 202;
+    /// Deliver a raw Bluetooth packet (exploit 4).
+    pub const NET_RX_BT: i64 = 203;
+    /// Route lookup by message type (exploit 3, the Fig. 2 pattern).
+    pub const ROUTE_LOOKUP: i64 = 204;
+}
+
+#[cfg(test)]
+mod tests;

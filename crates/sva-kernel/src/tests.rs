@@ -1,0 +1,353 @@
+//! Kernel smoke tests: IR validity, boot, syscalls, processes, exploits.
+
+use sva_vm::{KernelKind, VmError, VmExit};
+
+use crate::harness::{boot_user, make_vm, pack_arg, raw_kernel, safe_kernel_module};
+use crate::{AS_TESTED_EXCLUSIONS, ENTIRE_KERNEL_EXCLUSIONS};
+
+#[test]
+fn kernel_ir_is_well_formed() {
+    let m = raw_kernel();
+    let errs = sva_ir::verify::verify_module(&m);
+    assert!(errs.is_empty(), "{:#?}", &errs[..errs.len().min(10)]);
+    assert!(m.funcs.len() > 60, "kernel has {} functions", m.funcs.len());
+}
+
+#[test]
+fn kernel_compiles_and_verifies_as_tested() {
+    let m = safe_kernel_module(AS_TESTED_EXCLUSIONS);
+    assert!(m.pool_annotations.is_some());
+}
+
+#[test]
+fn kernel_compiles_and_verifies_entire() {
+    let m = safe_kernel_module(ENTIRE_KERNEL_EXCLUSIONS);
+    assert!(m.pool_annotations.is_some());
+}
+
+#[test]
+fn boots_hello_on_all_kernels() {
+    for kind in KernelKind::ALL {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_hello", 0).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+        assert_eq!(vm.console_string(), "hello from userspace\n", "{kind:?}");
+    }
+}
+
+#[test]
+fn getpid_loop_runs() {
+    let mut vm = make_vm(KernelKind::SvaSafe);
+    let exit = boot_user(&mut vm, "user_getpid_loop", pack_arg(50, 0, 0)).unwrap();
+    assert_eq!(exit, VmExit::Halted(0));
+    assert!(vm.stats().traps >= 51);
+}
+
+#[test]
+fn fork_wait_works() {
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_fork_loop", pack_arg(3, 0, 0))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+        assert!(vm.stats().context_switches >= 1, "{kind:?}");
+    }
+}
+
+#[test]
+fn pipes_and_blocking_work() {
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_pipe_bw", pack_arg(2, 9000, 0))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+    }
+}
+
+#[test]
+fn forkexec_works() {
+    let mut vm = make_vm(KernelKind::Native);
+    let exit = boot_user(&mut vm, "user_forkexec_loop", pack_arg(2, 0, 0)).unwrap();
+    assert_eq!(exit, VmExit::Halted(0));
+}
+
+#[test]
+fn signal_delivery_works() {
+    let mut vm = make_vm(KernelKind::Native);
+    let exit = boot_user(&mut vm, "user_signal_demo", 0).unwrap();
+    assert_eq!(exit, VmExit::Halted(3), "handler must record signal 3");
+}
+
+#[test]
+fn legit_net_paths_pass_under_checks() {
+    let mut vm = make_vm(KernelKind::SvaSafe);
+    let exit = boot_user(&mut vm, "user_legit_net", 0).unwrap();
+    assert_eq!(
+        exit,
+        VmExit::Halted(0),
+        "legit net use must not trip checks"
+    );
+}
+
+#[test]
+fn exploits_caught_under_sva_safe() {
+    for prog in [
+        "user_exploit_msfilter",
+        "user_exploit_igmp",
+        "user_exploit_bt",
+        "user_exploit_route",
+    ] {
+        let mut vm = make_vm(KernelKind::SvaSafe);
+        let r = boot_user(&mut vm, prog, 0);
+        match r {
+            Err(VmError::Safety(e)) => {
+                // Either §4.5 check is a valid SVA catch: the undersized
+                // object trips the bounds check on the indexing or the
+                // load-store check on the first out-of-object store.
+                assert!(
+                    matches!(
+                        e.kind,
+                        sva_rt::CheckKind::Bounds | sva_rt::CheckKind::LoadStore
+                    ),
+                    "{prog}: {e}"
+                );
+            }
+            other => panic!("{prog}: expected safety violation, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn exploits_succeed_on_native() {
+    // Without SVA the same attacks corrupt memory silently (or crash the
+    // machine) — either way, no *detection*.
+    for prog in ["user_exploit_igmp", "user_exploit_bt", "user_exploit_route"] {
+        let mut vm = make_vm(KernelKind::Native);
+        let r = boot_user(&mut vm, prog, 0);
+        assert!(
+            !matches!(r, Err(VmError::Safety(_))),
+            "{prog}: native kernel cannot detect the exploit"
+        );
+    }
+}
+
+#[test]
+fn table4_port_report_is_populated() {
+    let m = raw_kernel();
+    let report = crate::port_report::port_report(&m);
+    assert!(report.allocator_decls >= 4);
+    let core = report.rows.get("core (syscalls)").expect("core row");
+    assert!(core.sva_os_calls > 0, "{report:?}");
+    let rendered = crate::port_report::render(&report);
+    assert!(rendered.contains("Total"));
+}
+
+#[test]
+fn chr_dispatch_through_fops_table() {
+    // /dev/zero reads go through the indirect f_ops dispatch with a §4.8
+    // signature assertion; it must work on every configuration.
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_devzero", pack_arg(0, 256, 0))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+    }
+}
+
+#[test]
+fn sig_assertion_recorded_and_resolved() {
+    use sva_analysis::{analyze, AnalysisConfig};
+    let m = raw_kernel();
+    // In the entire-kernel analysis the chr handlers are known and the
+    // asserted site resolves to exactly the two table entries.
+    let cfg = AnalysisConfig::kernel_excluding(crate::ENTIRE_KERNEL_EXCLUSIONS);
+    let r = analyze(&m, &cfg);
+    let f = m.func_by_name("sys_read").unwrap();
+    let site = r
+        .callsites
+        .iter()
+        .find(|((cf, _), info)| *cf == f && info.sig_asserted)
+        .map(|(_, info)| info.clone())
+        .expect("asserted callsite in sys_read");
+    let names: Vec<&str> = site
+        .targets
+        .iter()
+        .map(|t| m.func(*t).name.as_str())
+        .collect();
+    assert!(names.contains(&"chr_zero_read"), "{names:?}");
+    assert!(names.contains(&"chr_null_read"), "{names:?}");
+}
+
+#[test]
+fn file_contents_round_trip_through_grow() {
+    // 8 chunks x 1 KiB: forces fs_grow to reallocate via vmalloc several
+    // times; the user program verifies every byte.
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_fileverify", pack_arg(8, 1024, 0))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}: contents corrupted");
+    }
+}
+
+#[test]
+fn multiple_children_schedule_deterministically() {
+    let mut base = None;
+    for kind in KernelKind::ALL {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_multichild", 0)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+        let console = vm.console_string();
+        // Each child writes its letter before the parent's 'p'.
+        assert_eq!(console.len(), 3, "{kind:?}: {console:?}");
+        assert!(console.ends_with('p'), "{kind:?}: {console:?}");
+        assert!(
+            console.contains('a') && console.contains('b'),
+            "{kind:?}: {console:?}"
+        );
+        match &base {
+            None => base = Some(console),
+            Some(b) => assert_eq!(&console, b, "{kind:?}: schedule must be deterministic"),
+        }
+    }
+}
+
+#[test]
+fn transformed_kernel_boots_and_behaves_identically() {
+    // §4.8 transforms (cloning + devirtualization) must preserve behavior
+    // end to end: compile the kernel with them enabled, verify, boot.
+    use sva_analysis::AnalysisConfig;
+    use sva_core::compile::{compile, CompileOptions};
+    use sva_core::verifier::verify_and_insert_checks;
+    use sva_vm::{Vm, VmConfig};
+
+    let m = raw_kernel();
+    let cfg = AnalysisConfig::kernel_excluding(AS_TESTED_EXCLUSIONS);
+    let opts = CompileOptions {
+        clone_functions: true,
+        devirtualize: true,
+        ..Default::default()
+    };
+    let compiled = compile(m, &cfg, &opts);
+    assert!(compiled.report.devirtualized >= 1 || compiled.report.clones >= 1);
+    let verified = verify_and_insert_checks(compiled.module).expect("verifies");
+    let mut vm = Vm::new(
+        verified.module,
+        VmConfig {
+            kind: KernelKind::SvaSafe,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let exit = boot_user(&mut vm, "user_devzero", pack_arg(0, 128, 0))
+        .unwrap_or_else(|e| panic!("{e}\nbt: {:?}", vm.backtrace()));
+    assert_eq!(exit, VmExit::Halted(0));
+    // And the hello workload produces the same console output.
+    let mut vm2 = Vm::new(
+        safe_kernel_module(AS_TESTED_EXCLUSIONS),
+        VmConfig {
+            kind: KernelKind::SvaSafe,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    boot_user(&mut vm2, "user_hello", 0).unwrap();
+    let m2 = {
+        let m = raw_kernel();
+        let c = compile(m, &cfg, &opts);
+        verify_and_insert_checks(c.module).unwrap().module
+    };
+    let mut vm3 = Vm::new(
+        m2,
+        VmConfig {
+            kind: KernelKind::SvaSafe,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    boot_user(&mut vm3, "user_hello", 0).unwrap();
+    assert_eq!(vm2.console_string(), vm3.console_string());
+}
+
+#[test]
+fn th_heap_pools_use_dedicated_caches_only() {
+    // The §4.4 invariant that makes dangling pointers harmless: memory of
+    // a type-homogeneous pool is never handed to another pool. Our slab
+    // pages are per-cache, so the invariant reduces to: every TH *heap*
+    // metapool must be fed exclusively by a dedicated kmem_cache (like
+    // pipe_cache), never by the shared kmalloc size classes (which stay
+    // non-TH and therefore carry load-store checks that catch stale
+    // pointers instead).
+    use sva_analysis::{analyze, AnalysisConfig};
+    let m = raw_kernel();
+    for exclusions in [AS_TESTED_EXCLUSIONS, ENTIRE_KERNEL_EXCLUSIONS] {
+        let cfg = AnalysisConfig::kernel_excluding(exclusions);
+        let r = analyze(&m, &cfg);
+        for rep in r.graph.reps() {
+            if !r.graph.is_th(rep) || !r.graph.flags(rep).heap {
+                continue;
+            }
+            let pools = r.graph.pools(rep);
+            assert!(
+                !pools.iter().any(|p| p.starts_with("kmalloc")),
+                "TH heap pool fed by shared kmalloc pages: {pools:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn timer_interrupts_tick_through_checked_kernel() {
+    // Hardware interrupts traverse the same interrupt-context machinery as
+    // traps; the handler is analyzed, instrumented kernel code under
+    // sva-safe.
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        for _ in 0..5 {
+            vm.raise_interrupt(0);
+        }
+        let exit = boot_user(&mut vm, "user_getpid_loop", pack_arg(20, 0, 0))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+        assert_eq!(vm.stats().interrupts, 5, "{kind:?}");
+        assert_eq!(vm.read_global_u64("time_ticks").unwrap(), 5, "{kind:?}");
+    }
+}
+
+#[test]
+fn kernel_error_paths_return_errors_not_crashes() {
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_errorpaths", 0)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}: some misuse succeeded");
+    }
+}
+
+#[test]
+fn kill_interrupts_blocked_pipe_reader() {
+    // Cross-process signal delivery against a reader blocked inside the
+    // kernel: the sleep must be interruptible (-EINTR), the handler must
+    // run on the return to user mode, and the parent must reap the child.
+    // The whole dance runs under full checks on SvaSafe.
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_killchild", 0)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+    }
+}
+
+#[test]
+fn kill_interrupts_blocked_pipe_writer() {
+    // The write-side twin: a writer blocked on a full pipe must also be
+    // interruptible, and exactly one buffer's worth of data (the completed
+    // first write) must remain in the pipe.
+    for kind in [KernelKind::Native, KernelKind::SvaSafe] {
+        let mut vm = make_vm(kind);
+        let exit = boot_user(&mut vm, "user_killwriter", 0)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}\nbt: {:?}", vm.backtrace()));
+        assert_eq!(exit, VmExit::Halted(0), "{kind:?}");
+    }
+}

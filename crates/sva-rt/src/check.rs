@@ -1,0 +1,136 @@
+//! Check outcomes, violations and counters.
+
+use std::fmt;
+
+/// Which run-time check detected a violation (paper §4.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// `boundscheck` — an indexing result escaped its source object.
+    Bounds,
+    /// `lscheck` — a load/store pointer did not hit a registered object.
+    LoadStore,
+    /// `funccheck` — an indirect call left the computed call graph.
+    IndirectCall,
+    /// `pchk.drop.obj` on a non-live object (double/illegal free, T5).
+    IllegalFree,
+    /// A registration conflicted with a live object.
+    BadRegistration,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::Bounds => "bounds check",
+            CheckKind::LoadStore => "load-store check",
+            CheckKind::IndirectCall => "indirect call check",
+            CheckKind::IllegalFree => "illegal free",
+            CheckKind::BadRegistration => "bad registration",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected memory-safety violation.
+///
+/// This is what the SVM raises instead of letting the kernel corrupt
+/// memory; kernel recovery policy is out of scope (paper §2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckError {
+    /// The failing check.
+    pub kind: CheckKind,
+    /// The metapool involved.
+    pub pool: String,
+    /// The offending address.
+    pub addr: u64,
+    /// Additional context (source object bounds, target set id, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SVA {} violation in metapool {}: addr {:#x} ({})",
+            self.kind, self.pool, self.addr, self.detail
+        )
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Counters for the run-time checks, used by the benchmark harnesses to
+/// report check volume alongside latency.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CheckStats {
+    /// `boundscheck` executions.
+    pub bounds_checks: u64,
+    /// `lscheck` executions.
+    pub ls_checks: u64,
+    /// `getbounds` executions.
+    pub get_bounds: u64,
+    /// Indirect call checks.
+    pub func_checks: u64,
+    /// Object registrations.
+    pub registrations: u64,
+    /// Object deregistrations.
+    pub drops: u64,
+    /// Checks skipped because the partition is incomplete ("reduced
+    /// checks", the source of false negatives).
+    pub reduced_skips: u64,
+}
+
+impl CheckStats {
+    /// Total number of check executions.
+    pub fn total_checks(&self) -> u64 {
+        self.bounds_checks + self.ls_checks + self.get_bounds + self.func_checks
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.bounds_checks += other.bounds_checks;
+        self.ls_checks += other.ls_checks;
+        self.get_bounds += other.get_bounds;
+        self.func_checks += other.func_checks;
+        self.registrations += other.registrations;
+        self.drops += other.drops;
+        self.reduced_skips += other.reduced_skips;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CheckError {
+            kind: CheckKind::Bounds,
+            pool: "MP3".into(),
+            addr: 0x1000,
+            detail: "object [0xf00, 0xfff]".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("bounds check"));
+        assert!(s.contains("MP3"));
+        assert!(s.contains("0x1000"));
+    }
+
+    #[test]
+    fn stats_merge_and_total() {
+        let mut a = CheckStats {
+            bounds_checks: 1,
+            ls_checks: 2,
+            ..Default::default()
+        };
+        let b = CheckStats {
+            bounds_checks: 10,
+            func_checks: 5,
+            reduced_skips: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bounds_checks, 11);
+        assert_eq!(a.total_checks(), 11 + 2 + 5);
+        assert_eq!(a.reduced_skips, 7);
+    }
+}

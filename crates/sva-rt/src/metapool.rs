@@ -1,0 +1,439 @@
+//! Metapools: the run-time representation of points-to partitions.
+//!
+//! A metapool (paper §4.3) is "a set of data objects that map to the same
+//! points-to node and so must be treated as one logical pool by the safety
+//! checking algorithm". At run time it owns a splay tree of registered
+//! object ranges and implements the checks of §4.5, honouring the
+//! completeness-based "reduced checks" rule.
+
+use crate::check::{CheckError, CheckKind, CheckStats};
+use crate::splay::SplayTree;
+
+/// Identifier of a metapool within a [`MetaPoolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MetaPoolId(pub u32);
+
+/// One metapool with its object registry.
+#[derive(Clone, Debug)]
+pub struct MetaPool {
+    /// Symbolic name (matches the bytecode annotation, e.g. `"MP4"`).
+    pub name: String,
+    /// Whether the partition is type-homogeneous.
+    pub type_homogeneous: bool,
+    /// Whether the partition is complete. Incomplete pools run reduced
+    /// checks (paper §4.5).
+    pub complete: bool,
+    /// Element size for TH pools (alignment constraint, paper §4.4).
+    pub elem_size: Option<u64>,
+    objects: SplayTree,
+    stats: CheckStats,
+}
+
+impl MetaPool {
+    /// Creates an empty metapool.
+    pub fn new(name: &str, type_homogeneous: bool, complete: bool, elem_size: Option<u64>) -> Self {
+        MetaPool {
+            name: name.to_string(),
+            type_homogeneous,
+            complete,
+            elem_size,
+            objects: SplayTree::new(),
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// Number of live registered objects.
+    pub fn live_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Read-only access to the counters.
+    pub fn stats(&self) -> &CheckStats {
+        &self.stats
+    }
+
+    /// Resets the counters (benchmark runs).
+    pub fn reset_stats(&mut self) {
+        self.stats = CheckStats::default();
+    }
+
+    fn err(&self, kind: CheckKind, addr: u64, detail: impl Into<String>) -> CheckError {
+        CheckError {
+            kind,
+            pool: self.name.clone(),
+            addr,
+            detail: detail.into(),
+        }
+    }
+
+    /// `pchk.reg.obj`: registers `[addr, addr + len)`.
+    ///
+    /// Registering an overlapping range is a [`CheckKind::BadRegistration`]
+    /// error — it would mean the kernel allocator handed out overlapping
+    /// objects or the compiler mis-sized a registration.
+    pub fn reg_obj(&mut self, addr: u64, len: u64) -> Result<(), CheckError> {
+        self.stats.registrations += 1;
+        if len == 0 {
+            // Zero-sized allocations register a 1-byte placeholder so that
+            // the pointer identity stays checkable.
+            if self.objects.insert(addr, 1) {
+                return Ok(());
+            }
+            return Err(self.err(CheckKind::BadRegistration, addr, "zero-size overlap"));
+        }
+        if self.objects.insert(addr, len) {
+            Ok(())
+        } else {
+            Err(self.err(
+                CheckKind::BadRegistration,
+                addr,
+                format!("overlapping registration of {len} bytes"),
+            ))
+        }
+    }
+
+    /// `pchk.drop.obj`: deregisters the object starting at `addr`.
+    ///
+    /// Dropping a non-live object or a pointer not at the start of an
+    /// object is an illegal free (guarantee T5).
+    pub fn drop_obj(&mut self, addr: u64) -> Result<(), CheckError> {
+        self.stats.drops += 1;
+        match self.objects.remove(addr) {
+            Some(_) => Ok(()),
+            None => Err(self.err(
+                CheckKind::IllegalFree,
+                addr,
+                "object not live at this address",
+            )),
+        }
+    }
+
+    /// `getbounds`: bounds of the object containing `addr`, if registered.
+    pub fn get_bounds(&mut self, addr: u64) -> Option<(u64, u64)> {
+        self.stats.get_bounds += 1;
+        self.objects.lookup(addr)
+    }
+
+    /// `boundscheck`: verifies that `derived` stays within the object
+    /// containing `src` (paper §4.5 check 1).
+    ///
+    /// For incomplete pools this is a *reduced* check: if `src` hits no
+    /// registered object nothing can be said and the check passes (counted
+    /// in [`CheckStats::reduced_skips`]).
+    ///
+    /// `derived == end` (one-past-the-end) is accepted, matching C pointer
+    /// arithmetic rules; dereference would still be caught because loads use
+    /// the same object lookup.
+    pub fn bounds_check(&mut self, src: u64, derived: u64) -> Result<(), CheckError> {
+        self.stats.bounds_checks += 1;
+        match self.objects.lookup(src) {
+            Some((start, end)) => {
+                if derived >= start && derived <= end {
+                    Ok(())
+                } else {
+                    Err(self.err(
+                        CheckKind::Bounds,
+                        derived,
+                        format!("derived from {src:#x}, object [{start:#x}, {end:#x})"),
+                    ))
+                }
+            }
+            None => {
+                if self.complete {
+                    // In a complete pool every legal object is registered, so
+                    // an unknown source pointer is itself a violation.
+                    Err(self.err(CheckKind::Bounds, src, "source pointer hits no object"))
+                } else {
+                    // Reduced check: unregistered (external) object.
+                    self.stats.reduced_skips += 1;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Bounds check against statically known bounds (`pchk.bounds.range`),
+    /// used when the verifier determined the object extent at compile time
+    /// (paper Fig. 2 line 19).
+    pub fn bounds_check_range(
+        &mut self,
+        start: u64,
+        derived: u64,
+        end: u64,
+    ) -> Result<(), CheckError> {
+        self.stats.bounds_checks += 1;
+        if derived >= start && derived <= end {
+            Ok(())
+        } else {
+            Err(self.err(
+                CheckKind::Bounds,
+                derived,
+                format!("static object [{start:#x}, {end:#x})"),
+            ))
+        }
+    }
+
+    /// `lscheck`: verifies a load/store pointer targets a registered object
+    /// (paper §4.5 check 2). Only required for non-TH pools; disabled
+    /// ("useless", paper) on incomplete pools.
+    pub fn ls_check(&mut self, addr: u64) -> Result<(), CheckError> {
+        self.stats.ls_checks += 1;
+        if !self.complete {
+            self.stats.reduced_skips += 1;
+            return Ok(());
+        }
+        match self.objects.lookup(addr) {
+            Some(_) => Ok(()),
+            None => Err(self.err(CheckKind::LoadStore, addr, "no registered object")),
+        }
+    }
+
+    /// Drops every remaining object (pool destruction: "deregister all
+    /// remaining objects that are in a kernel pool when a pool is
+    /// destroyed", paper §4.3).
+    pub fn clear(&mut self) {
+        self.objects.clear();
+    }
+
+    /// All live ranges, ascending (diagnostics).
+    pub fn live_ranges(&self) -> Vec<(u64, u64)> {
+        self.objects.iter_ranges()
+    }
+}
+
+/// The set of all metapools of a loaded kernel, indexed by the metapool ids
+/// embedded in the bytecode annotations.
+#[derive(Clone, Debug, Default)]
+pub struct MetaPoolTable {
+    pools: Vec<MetaPool>,
+    /// Indirect-call target sets (function ids), indexed by funccheck set id.
+    pub func_sets: Vec<Vec<u64>>,
+    func_stats: CheckStats,
+}
+
+impl MetaPoolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pool, returning its id.
+    pub fn add_pool(&mut self, pool: MetaPool) -> MetaPoolId {
+        let id = MetaPoolId(self.pools.len() as u32);
+        self.pools.push(pool);
+        id
+    }
+
+    /// Number of pools.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// True if no pools exist.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Access a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn pool(&self, id: MetaPoolId) -> &MetaPool {
+        &self.pools[id.0 as usize]
+    }
+
+    /// Mutable access to a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn pool_mut(&mut self, id: MetaPoolId) -> &mut MetaPool {
+        &mut self.pools[id.0 as usize]
+    }
+
+    /// Registers an indirect-call target set, returning its set id.
+    pub fn add_func_set(&mut self, targets: Vec<u64>) -> u32 {
+        self.func_sets.push(targets);
+        (self.func_sets.len() - 1) as u32
+    }
+
+    /// `funccheck`: verifies `target` is in set `set_id` (paper §4.5
+    /// check 3).
+    pub fn func_check(&mut self, set_id: u32, target: u64) -> Result<(), CheckError> {
+        self.func_stats.func_checks += 1;
+        let set = match self.func_sets.get(set_id as usize) {
+            Some(s) => s,
+            None => {
+                return Err(CheckError {
+                    kind: CheckKind::IndirectCall,
+                    pool: format!("funcset{set_id}"),
+                    addr: target,
+                    detail: "unknown target set".into(),
+                })
+            }
+        };
+        if set.contains(&target) {
+            Ok(())
+        } else {
+            Err(CheckError {
+                kind: CheckKind::IndirectCall,
+                pool: format!("funcset{set_id}"),
+                addr: target,
+                detail: format!("target not among {} allowed callees", set.len()),
+            })
+        }
+    }
+
+    /// Aggregated statistics across all pools (plus indirect-call checks).
+    pub fn total_stats(&self) -> CheckStats {
+        let mut s = self.func_stats;
+        for p in &self.pools {
+            s.merge(p.stats());
+        }
+        s
+    }
+
+    /// Resets every counter.
+    pub fn reset_stats(&mut self) {
+        self.func_stats = CheckStats::default();
+        for p in &mut self.pools {
+            p.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th_pool() -> MetaPool {
+        MetaPool::new("MP0", true, true, Some(16))
+    }
+
+    #[test]
+    fn register_lookup_drop_cycle() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        assert_eq!(p.get_bounds(0x1020), Some((0x1000, 0x1040)));
+        assert_eq!(p.live_objects(), 1);
+        p.drop_obj(0x1000).unwrap();
+        assert_eq!(p.get_bounds(0x1020), None);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        p.drop_obj(0x1000).unwrap();
+        let err = p.drop_obj(0x1000).unwrap_err();
+        assert_eq!(err.kind, CheckKind::IllegalFree);
+    }
+
+    #[test]
+    fn free_of_interior_pointer_detected() {
+        // T5: deallocation must use "a legal pointer to the start of the
+        // allocated object".
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        let err = p.drop_obj(0x1010).unwrap_err();
+        assert_eq!(err.kind, CheckKind::IllegalFree);
+    }
+
+    #[test]
+    fn bounds_check_within_and_past() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        p.bounds_check(0x1000, 0x103f).unwrap();
+        p.bounds_check(0x1000, 0x1040).unwrap(); // one-past-the-end ok
+        let err = p.bounds_check(0x1000, 0x1041).unwrap_err();
+        assert_eq!(err.kind, CheckKind::Bounds);
+        let err = p.bounds_check(0x1010, 0x0fff).unwrap_err();
+        assert_eq!(err.kind, CheckKind::Bounds);
+    }
+
+    #[test]
+    fn bounds_check_unknown_source_complete_vs_incomplete() {
+        let mut complete = MetaPool::new("MPc", false, true, None);
+        let err = complete.bounds_check(0x5000, 0x5004).unwrap_err();
+        assert_eq!(err.kind, CheckKind::Bounds);
+
+        let mut incomplete = MetaPool::new("MPi", false, false, None);
+        incomplete.bounds_check(0x5000, 0x5004).unwrap();
+        assert_eq!(incomplete.stats().reduced_skips, 1);
+    }
+
+    #[test]
+    fn ls_check_complete_vs_incomplete() {
+        let mut complete = MetaPool::new("MPc", false, true, None);
+        complete.reg_obj(0x2000, 16).unwrap();
+        complete.ls_check(0x2008).unwrap();
+        let err = complete.ls_check(0x3000).unwrap_err();
+        assert_eq!(err.kind, CheckKind::LoadStore);
+
+        let mut incomplete = MetaPool::new("MPi", false, false, None);
+        incomplete.ls_check(0x3000).unwrap();
+        assert_eq!(incomplete.stats().reduced_skips, 1);
+    }
+
+    #[test]
+    fn zero_size_registration_is_checkable() {
+        let mut p = th_pool();
+        p.reg_obj(0x9000, 0).unwrap();
+        assert_eq!(p.get_bounds(0x9000), Some((0x9000, 0x9001)));
+    }
+
+    #[test]
+    fn overlapping_registration_rejected() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        let err = p.reg_obj(0x1020, 8).unwrap_err();
+        assert_eq!(err.kind, CheckKind::BadRegistration);
+    }
+
+    #[test]
+    fn bounds_check_range_static() {
+        let mut p = th_pool();
+        p.bounds_check_range(0x100, 0x150, 0x160).unwrap();
+        let err = p.bounds_check_range(0x100, 0x161, 0x160).unwrap_err();
+        assert_eq!(err.kind, CheckKind::Bounds);
+    }
+
+    #[test]
+    fn func_check_sets() {
+        let mut t = MetaPoolTable::new();
+        let set = t.add_func_set(vec![0x10, 0x20, 0x30]);
+        t.func_check(set, 0x20).unwrap();
+        let err = t.func_check(set, 0x40).unwrap_err();
+        assert_eq!(err.kind, CheckKind::IndirectCall);
+        let err = t.func_check(99, 0x10).unwrap_err();
+        assert_eq!(err.kind, CheckKind::IndirectCall);
+    }
+
+    #[test]
+    fn stats_aggregate_across_pools() {
+        let mut t = MetaPoolTable::new();
+        let a = t.add_pool(MetaPool::new("A", true, true, None));
+        let b = t.add_pool(MetaPool::new("B", false, false, None));
+        t.pool_mut(a).reg_obj(0x100, 8).unwrap();
+        t.pool_mut(a).bounds_check(0x100, 0x104).unwrap();
+        t.pool_mut(b).ls_check(0x200).unwrap();
+        let s = t.total_stats();
+        assert_eq!(s.registrations, 1);
+        assert_eq!(s.bounds_checks, 1);
+        assert_eq!(s.ls_checks, 1);
+        assert_eq!(s.reduced_skips, 1);
+        t.reset_stats();
+        assert_eq!(t.total_stats(), CheckStats::default());
+    }
+
+    #[test]
+    fn clear_deregisters_everything() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 16).unwrap();
+        p.reg_obj(0x2000, 16).unwrap();
+        p.clear();
+        assert_eq!(p.live_objects(), 0);
+        assert_eq!(p.get_bounds(0x1008), None);
+    }
+}

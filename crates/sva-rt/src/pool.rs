@@ -1,0 +1,262 @@
+//! Pool-allocator page policy (paper §4.4).
+//!
+//! Two of the kernel-allocator porting requirements are enforceable at run
+//! time and live here:
+//!
+//! 1. *Alignment*: a type-homogeneous pool must hand out objects aligned at
+//!    multiples of the type size, so a dangling pointer can never observe a
+//!    type-confused view of a newly reused slot.
+//! 2. *No cross-pool page release*: a pool may reuse memory internally but
+//!    must not release its page frames for use by other metapools until the
+//!    metapool is destroyed (the `SLAB_NO_REAP` analog in paper §6.2).
+//!
+//! [`PagePolicy`] tracks page-frame ownership per metapool and rejects
+//! violating transfers; the kernel allocators in `sva-kernel` route all
+//! page acquisition/release through it.
+
+use std::collections::HashMap;
+
+use crate::metapool::MetaPoolId;
+
+/// Page size of the virtual machine (4 KiB, like the paper's x86 target).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Errors raised by the page policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A page was claimed by a metapool while still owned by another live
+    /// metapool — the reuse pattern that makes dangling pointers dangerous.
+    CrossPoolReuse {
+        /// The page frame number.
+        page: u64,
+        /// Current owner.
+        owner: MetaPoolId,
+        /// Claimant.
+        claimant: MetaPoolId,
+    },
+    /// An object was carved out of a page the pool does not own.
+    UnownedPage {
+        /// The page frame number.
+        page: u64,
+        /// The pool that tried to allocate from it.
+        pool: MetaPoolId,
+    },
+    /// A TH pool produced an object whose offset is not a multiple of the
+    /// element size.
+    Misaligned {
+        /// Object address.
+        addr: u64,
+        /// Required alignment (the element size).
+        align: u64,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::CrossPoolReuse {
+                page,
+                owner,
+                claimant,
+            } => write!(
+                f,
+                "page {page:#x} released to metapool {} while owned by live metapool {}",
+                claimant.0, owner.0
+            ),
+            PoolError::UnownedPage { page, pool } => {
+                write!(
+                    f,
+                    "metapool {} allocated from unowned page {page:#x}",
+                    pool.0
+                )
+            }
+            PoolError::Misaligned { addr, align } => {
+                write!(f, "TH object at {addr:#x} not aligned to type size {align}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Tracks which metapool owns each page frame.
+#[derive(Clone, Debug, Default)]
+pub struct PagePolicy {
+    owners: HashMap<u64, MetaPoolId>,
+}
+
+impl PagePolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of owned pages.
+    pub fn owned_pages(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Claims the pages overlapping `[addr, addr + len)` for `pool`.
+    ///
+    /// Claiming pages the pool already owns is a no-op; claiming pages owned
+    /// by a *different* live pool is the §4.4 violation this policy exists
+    /// to prevent.
+    pub fn claim(&mut self, pool: MetaPoolId, addr: u64, len: u64) -> Result<(), PoolError> {
+        for page in pages(addr, len) {
+            match self.owners.get(&page) {
+                Some(&owner) if owner != pool => {
+                    return Err(PoolError::CrossPoolReuse {
+                        page,
+                        owner,
+                        claimant: pool,
+                    });
+                }
+                _ => {
+                    self.owners.insert(page, pool);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that `pool` owns every page under `[addr, addr + len)`
+    /// (used when an allocator carves an object out of its pages).
+    pub fn check_carve(&self, pool: MetaPoolId, addr: u64, len: u64) -> Result<(), PoolError> {
+        for page in pages(addr, len) {
+            if self.owners.get(&page) != Some(&pool) {
+                return Err(PoolError::UnownedPage { page, pool });
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases all pages of a destroyed metapool back to the free pool.
+    /// Only at this point may other metapools reuse the memory.
+    pub fn destroy_pool(&mut self, pool: MetaPoolId) -> u64 {
+        let before = self.owners.len();
+        self.owners.retain(|_, &mut owner| owner != pool);
+        (before - self.owners.len()) as u64
+    }
+
+    /// The owner of the page containing `addr`, if any.
+    pub fn owner_of(&self, addr: u64) -> Option<MetaPoolId> {
+        self.owners.get(&(addr / PAGE_SIZE)).copied()
+    }
+}
+
+/// Checks the TH alignment constraint for an object at `addr` carved from a
+/// pool base at `base` with element size `elem`.
+pub fn check_th_alignment(base: u64, addr: u64, elem: u64) -> Result<(), PoolError> {
+    if elem == 0 {
+        return Ok(());
+    }
+    if (addr - base).is_multiple_of(elem) {
+        Ok(())
+    } else {
+        Err(PoolError::Misaligned { addr, align: elem })
+    }
+}
+
+fn pages(addr: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = addr / PAGE_SIZE;
+    let last = if len == 0 {
+        first
+    } else {
+        (addr + len - 1) / PAGE_SIZE
+    };
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: MetaPoolId = MetaPoolId(0);
+    const B: MetaPoolId = MetaPoolId(1);
+
+    #[test]
+    fn claim_and_recline_same_pool_ok() {
+        let mut p = PagePolicy::new();
+        p.claim(A, 0x1000, PAGE_SIZE * 2).unwrap();
+        p.claim(A, 0x1000, PAGE_SIZE).unwrap();
+        assert_eq!(p.owned_pages(), 2); // [0x1000, 0x3000) spans pages 1..=2
+        assert_eq!(p.owner_of(0x1234), Some(A));
+    }
+
+    #[test]
+    fn cross_pool_reuse_rejected() {
+        let mut p = PagePolicy::new();
+        p.claim(A, 0x1000, PAGE_SIZE).unwrap();
+        let err = p.claim(B, 0x1000, 8).unwrap_err();
+        assert!(
+            matches!(err, PoolError::CrossPoolReuse { owner: x, claimant: y, .. } if x == A && y == B)
+        );
+    }
+
+    #[test]
+    fn destroy_releases_pages_for_reuse() {
+        let mut p = PagePolicy::new();
+        p.claim(A, 0x1000, PAGE_SIZE).unwrap();
+        let released = p.destroy_pool(A);
+        assert_eq!(released, 1);
+        p.claim(B, 0x1000, 8).unwrap();
+        assert_eq!(p.owner_of(0x1000), Some(B));
+    }
+
+    #[test]
+    fn carve_requires_ownership() {
+        let mut p = PagePolicy::new();
+        p.claim(A, 0x2000, PAGE_SIZE).unwrap();
+        p.check_carve(A, 0x2100, 64).unwrap();
+        assert!(p.check_carve(B, 0x2100, 64).is_err());
+        assert!(p.check_carve(A, 0x9000, 8).is_err());
+    }
+
+    #[test]
+    fn th_alignment() {
+        check_th_alignment(0x1000, 0x1000, 24).unwrap();
+        check_th_alignment(0x1000, 0x1000 + 48, 24).unwrap();
+        let err = check_th_alignment(0x1000, 0x1000 + 25, 24).unwrap_err();
+        assert!(matches!(err, PoolError::Misaligned { .. }));
+        check_th_alignment(0x1000, 0x1007, 0).unwrap();
+    }
+
+    #[test]
+    fn multi_page_claim_and_destroy_counts_all() {
+        let mut p = PagePolicy::new();
+        p.claim(A, 0x10000, PAGE_SIZE * 8).unwrap();
+        assert_eq!(p.owned_pages(), 8);
+        assert_eq!(p.destroy_pool(A), 8);
+        assert_eq!(p.owned_pages(), 0);
+    }
+
+    #[test]
+    fn destroy_only_releases_own_pages() {
+        let mut p = PagePolicy::new();
+        p.claim(A, 0x1000, PAGE_SIZE).unwrap();
+        p.claim(B, 0x5000, PAGE_SIZE).unwrap();
+        assert_eq!(p.destroy_pool(A), 1);
+        assert_eq!(p.owner_of(0x5000), Some(B));
+        assert_eq!(p.owner_of(0x1000), None);
+    }
+
+    #[test]
+    fn partial_page_overlap_across_pools_rejected() {
+        let mut p = PagePolicy::new();
+        // A owns bytes near the end of page 1; B claiming the *start* of
+        // the same page must still be rejected — the unit of exclusion is
+        // a page (the SLAB_NO_REAP discipline, paper §6.2).
+        p.claim(A, 0x1ff0, 8).unwrap();
+        assert!(p.claim(B, 0x1000, 8).is_err());
+    }
+
+    #[test]
+    fn page_span_computation() {
+        let v: Vec<u64> = pages(PAGE_SIZE - 1, 2).collect();
+        assert_eq!(v, vec![0, 1]);
+        let v: Vec<u64> = pages(0, 0).collect();
+        assert_eq!(v, vec![0]);
+        let v: Vec<u64> = pages(PAGE_SIZE, PAGE_SIZE).collect();
+        assert_eq!(v, vec![1]);
+    }
+}

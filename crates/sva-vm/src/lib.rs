@@ -1,0 +1,23 @@
+//! # The Secure Virtual Machine (SVM)
+//!
+//! Executes SVA bytecode (paper §3.4): verification, translation to a
+//! signed "native" code cache, and the SVA-OS operations — interrupt
+//! contexts, processor-state save/restore, MMU mediation, I/O ports and
+//! system-call dispatch. Under [`KernelKind::SvaSafe`] the run-time
+//! metapool checks from `sva-rt` are live and any violation stops the
+//! machine with [`VmError::Safety`] instead of letting the guest kernel
+//! corrupt memory.
+
+pub mod mem;
+pub mod vm;
+
+pub use mem::{
+    func_addr, Memory, Mode, FUNC_BASE, KERN_BASE, KERN_END, KHEAP_BASE, KHEAP_END, KSTACK_BASE,
+    KSTACK_END, PAGE_SIZE, USER_BASE, USER_END, USER_SIZE,
+};
+pub use vm::{
+    KernelKind, Vm, VmConfig, VmError, VmExit, VmStats, PORT_CONSOLE, PORT_TIMER, USTACK_SIZE,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,2047 @@
+//! The Secure Virtual Machine.
+//!
+//! The SVM implements SVA "by performing bytecode verification,
+//! translation, native code caching and authentication, and implementing
+//! the SVA-OS instructions" (paper §3.4). This implementation:
+//!
+//! * loads a module, lays out globals in kernel memory and patches
+//!   relocations;
+//! * **translates** bytecode to a pre-resolved flat instruction stream
+//!   (the "native code cache"), signed together with the bytecode;
+//! * executes either the flat code or the tree-walking interpreter — the
+//!   two code generators behind the paper's GCC/LLVM comparison columns;
+//! * implements every SVA-OS operation: interrupt contexts, integer/FP
+//!   state save/restore, MMU mediation, I/O, syscall dispatch;
+//! * when safety enforcement is on, runs the metapool checks from `sva-rt`
+//!   and refuses to run modules that did not pass the bytecode verifier.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sva_ir::bytecode::SignedModule;
+use sva_ir::{
+    AtomicOp, BinOp, Callee, CastOp, GlobalInit, IPred, Inst, Intrinsic, Module, Operand,
+    RelocTarget, Type, TypeId,
+};
+use sva_rt::{CheckError, MetaPool, MetaPoolTable};
+
+use crate::mem::{
+    addr_func, extern_addr, func_addr, Memory, Mode, KSTACK_BASE, KSTACK_END, PAGE_SIZE, USER_BASE,
+    USER_END, USER_SIZE,
+};
+
+/// Errors that abort VM execution.
+#[derive(Clone, Debug)]
+pub enum VmError {
+    /// Access to unmapped memory (the hardware fault SAFECode relies on for
+    /// uninitialized pointers).
+    Fault {
+        /// Offending address.
+        addr: u64,
+        /// Access length.
+        len: u64,
+    },
+    /// User-mode access to privileged memory or instructions.
+    Privilege {
+        /// Offending address (or 0 for instruction traps).
+        addr: u64,
+    },
+    /// Unknown or dead address space.
+    BadAsid(u32),
+    /// Integer division by zero.
+    DivZero,
+    /// `unreachable` executed.
+    Unreachable,
+    /// A run-time safety check fired (the SVA result).
+    Safety(CheckError),
+    /// Trap to an unregistered system call.
+    UnknownSyscall(i64),
+    /// Indirect call through a non-function address.
+    BadIndirect(u64),
+    /// Call to a declared-but-undefined external function.
+    CallToExternal(String),
+    /// Kernel or user stack exhausted.
+    StackOverflow,
+    /// Bad interrupt-context handle.
+    BadIContext(u64),
+    /// `llva.load.integer` from a buffer never saved to.
+    BadStateBuffer(u64),
+    /// Safety enforcement requested for a module without verifier output.
+    NotVerified,
+    /// Native-code cache signature mismatch (paper §3.4).
+    BadSignature,
+    /// Execution exceeded the configured fuel limit.
+    OutOfFuel,
+    /// Malformed module or unsupported construct.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Fault { addr, len } => write!(f, "memory fault at {addr:#x} (+{len})"),
+            VmError::Privilege { addr } => write!(f, "privilege violation at {addr:#x}"),
+            VmError::BadAsid(a) => write!(f, "bad address space {a}"),
+            VmError::DivZero => write!(f, "division by zero"),
+            VmError::Unreachable => write!(f, "unreachable executed"),
+            VmError::Safety(e) => write!(f, "{e}"),
+            VmError::UnknownSyscall(n) => write!(f, "unknown syscall {n}"),
+            VmError::BadIndirect(a) => write!(f, "indirect call to {a:#x}"),
+            VmError::CallToExternal(n) => write!(f, "call to external @{n}"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::BadIContext(i) => write!(f, "bad interrupt context {i}"),
+            VmError::BadStateBuffer(a) => write!(f, "no integer state saved at {a:#x}"),
+            VmError::NotVerified => write!(f, "safety enforcement requires verified bytecode"),
+            VmError::BadSignature => write!(f, "native code cache signature mismatch"),
+            VmError::OutOfFuel => write!(f, "execution exceeded fuel limit"),
+            VmError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Normal VM exits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmExit {
+    /// The entry function returned this value.
+    Returned(u64),
+    /// `sva.abort(code)` halted the machine.
+    Halted(u64),
+}
+
+/// The four kernel configurations of the paper's evaluation (§7.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelKind {
+    /// "Linux-native": translated code, SVA-OS fast paths, no checks.
+    Native,
+    /// "Linux-SVA-GCC": tree-walking code generator, full SVA-OS, no checks.
+    SvaGcc,
+    /// "Linux-SVA-LLVM": translated code, full SVA-OS, no checks.
+    SvaLlvm,
+    /// "Linux-SVA-Safe": translated code, full SVA-OS, run-time checks.
+    SvaSafe,
+}
+
+impl KernelKind {
+    /// All four, in the paper's column order.
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Native,
+        KernelKind::SvaGcc,
+        KernelKind::SvaLlvm,
+        KernelKind::SvaSafe,
+    ];
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Native => "native",
+            KernelKind::SvaGcc => "sva-gcc",
+            KernelKind::SvaLlvm => "sva-llvm",
+            KernelKind::SvaSafe => "sva-safe",
+        }
+    }
+
+    fn flat(self) -> bool {
+        !matches!(self, KernelKind::SvaGcc)
+    }
+
+    fn fast_os(self) -> bool {
+        matches!(self, KernelKind::Native)
+    }
+
+    /// Whether run-time safety checks execute.
+    pub fn checks(self) -> bool {
+        matches!(self, KernelKind::SvaSafe)
+    }
+}
+
+/// VM construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Kernel configuration.
+    pub kind: KernelKind,
+    /// Key for the native-code-cache signature.
+    pub sign_key: u64,
+    /// Instruction budget (guards against runaway guests); `u64::MAX` for
+    /// unlimited.
+    pub fuel: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            kind: KernelKind::SvaSafe,
+            sign_key: 0x57a,
+            fuel: u64::MAX,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat ("translated native") code.
+// ---------------------------------------------------------------------------
+
+/// A pre-resolved operand.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Src {
+    /// Register (SSA value slot).
+    Reg(u32),
+    /// Immediate (already encoded as u64 bits).
+    Imm(u64),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum FlatCallee {
+    Direct(u32),
+    External(u32),
+    Indirect(Src),
+    Intrinsic(Intrinsic),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum FlatOp {
+    Bin {
+        op: BinOp,
+        w: u8,
+        dst: u32,
+        a: Src,
+        b: Src,
+    },
+    ICmp {
+        pred: IPred,
+        w: u8,
+        dst: u32,
+        a: Src,
+        b: Src,
+    },
+    Select {
+        dst: u32,
+        c: Src,
+        a: Src,
+        b: Src,
+    },
+    Cast {
+        dst: u32,
+        a: Src,
+        op: CastOp,
+        from_w: u8,
+        to_w: u8,
+    },
+    Gep {
+        dst: u32,
+        base: Src,
+        const_off: i64,
+        dynamic: Vec<(Src, u64, u8)>,
+    },
+    Load {
+        dst: u32,
+        ptr: Src,
+        w: u8,
+    },
+    Store {
+        val: Src,
+        ptr: Src,
+        w: u8,
+    },
+    Alloca {
+        dst: u32,
+        elem: u64,
+        count: Src,
+        align: u64,
+    },
+    Call {
+        dst: Option<u32>,
+        callee: FlatCallee,
+        args: Vec<Src>,
+    },
+    Phi {
+        dst: u32,
+        incomings: Vec<(u32, Src)>,
+    },
+    AtomicRmw {
+        op: AtomicOp,
+        dst: u32,
+        ptr: Src,
+        val: Src,
+        w: u8,
+    },
+    CmpXchg {
+        dst: u32,
+        ptr: Src,
+        expected: Src,
+        new: Src,
+        w: u8,
+    },
+    Fence,
+    Br {
+        pc: u32,
+        from: u32,
+    },
+    CondBr {
+        c: Src,
+        tpc: u32,
+        fpc: u32,
+        from: u32,
+    },
+    Switch {
+        v: Src,
+        w: u8,
+        dpc: u32,
+        cases: Vec<(i64, u32)>,
+        from: u32,
+    },
+    Ret {
+        val: Option<Src>,
+    },
+    Unreachable,
+}
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FlatFunc {
+    pub ops: Vec<FlatOp>,
+}
+
+/// The loaded, immutable code image shared by the execution loop.
+pub(crate) struct CodeImage {
+    pub module: Module,
+    pub flat: Vec<FlatFunc>,
+    pub global_addr: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Execution state.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub(crate) struct Frame {
+    pub func: u32,
+    /// Flat pc (flat engine) or instruction cursor (tree engine:
+    /// block/index packed by the engine).
+    pub pc: u32,
+    pub block: u32,
+    pub idx: u32,
+    pub prev_block: u32,
+    pub regs: Vec<u64>,
+    pub ret_dst: Option<u32>,
+    pub mode: Mode,
+    pub sp_saved: u64,
+    /// Stack registrations to auto-drop on pop: `(metapool, addr)`.
+    pub stack_regs: Vec<(u32, u64)>,
+}
+
+/// Saved integer state (`llva.save.integer`, paper Table 1).
+#[derive(Clone, Debug)]
+struct SavedState {
+    frames: Vec<Frame>,
+    icid: Option<u32>,
+    asid: u32,
+    ksp: u64,
+    kstack: Vec<u8>,
+    save_dst: Option<u32>,
+}
+
+/// An interrupt context (paper §3.3): the interrupted control state handed
+/// to the kernel on a trap.
+#[derive(Clone, Debug)]
+struct IContext {
+    frames: Vec<Frame>,
+    usp: u64,
+    asid: u32,
+    privileged: bool,
+    result_dst: Option<u32>,
+    /// Frame index (within `frames`) the syscall result belongs to; pushed
+    /// signal handlers sit above it.
+    result_frame: usize,
+    live: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Thread {
+    pub frames: Vec<Frame>,
+    pub asid: u32,
+    pub icid: Option<u32>,
+    pub ksp: u64,
+    pub usp: u64,
+    pub fp_dirty: bool,
+}
+
+impl Thread {
+    fn new() -> Self {
+        Thread {
+            frames: Vec::new(),
+            asid: 0,
+            icid: None,
+            ksp: KSTACK_BASE,
+            usp: USER_END - USTACK_SIZE,
+            fp_dirty: false,
+        }
+    }
+}
+
+/// User stack size within each address space.
+pub const USTACK_SIZE: u64 = 0x0001_0000; // 64 KiB
+
+/// Execution statistics.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Virtual cycles (instructions plus SVA-OS ceremony costs).
+    pub cycles: u64,
+    /// Traps taken (syscalls from user mode).
+    pub traps: u64,
+    /// Known-bounds range checks executed (no splay lookup).
+    pub range_checks: u64,
+    /// Context switches (`llva.load.integer`).
+    pub context_switches: u64,
+    /// Hardware interrupts delivered.
+    pub interrupts: u64,
+}
+
+/// The Secure Virtual Machine instance.
+pub struct Vm {
+    /// Simulated memory.
+    pub mem: Memory,
+    code: Arc<CodeImage>,
+    cfg: VmConfig,
+    thread: Thread,
+    icontexts: Vec<IContext>,
+    int_state: HashMap<u64, SavedState>,
+    user_state: HashMap<u64, IContext>,
+    syscalls: HashMap<i64, u32>,
+    interrupts: HashMap<i64, u32>,
+    /// Metapool run-time (live only under [`KernelKind::SvaSafe`]).
+    pub pools: MetaPoolTable,
+    /// Console output captured from `sva.print` / the console port.
+    pub console: Vec<u8>,
+    stats: VmStats,
+    fuel: u64,
+    halted: Option<u64>,
+    pending_irq: std::collections::VecDeque<i64>,
+}
+
+impl Vm {
+    /// Loads a module under the given configuration.
+    ///
+    /// Under [`KernelKind::SvaSafe`] the module must carry pool annotations
+    /// (i.e. be the output of the verifier); other configurations accept
+    /// plain modules.
+    pub fn new(module: Module, cfg: VmConfig) -> Result<Vm, VmError> {
+        if cfg.kind.checks() && module.pool_annotations.is_none() {
+            return Err(VmError::NotVerified);
+        }
+        // Translation + authentication: encode, sign and verify the pair —
+        // the offline-translation flow of §3.4.
+        let sealed = SignedModule::seal(&module, cfg.sign_key);
+        if sealed.open(cfg.sign_key).is_err() {
+            return Err(VmError::BadSignature);
+        }
+
+        let mut mem = Memory::new();
+        let mut global_addr = Vec::with_capacity(module.globals.len());
+        let mut cursor = crate::mem::KERN_BASE + 0x1000;
+        for g in &module.globals {
+            let layout = module.types.layout(g.ty);
+            cursor = round_up(cursor, layout.align.max(8));
+            global_addr.push(cursor);
+            cursor += layout.size;
+        }
+        // Initialize global contents.
+        for (gi, g) in module.globals.iter().enumerate() {
+            let addr = global_addr[gi];
+            match &g.init {
+                GlobalInit::Zero => {}
+                GlobalInit::Bytes(b) => {
+                    mem.write_bytes(addr, b, Mode::Kernel)?;
+                }
+                GlobalInit::Relocated { bytes, relocs } => {
+                    mem.write_bytes(addr, bytes, Mode::Kernel)?;
+                    for (off, t) in relocs {
+                        let v = match t {
+                            RelocTarget::Func(n) => {
+                                func_addr(module.func_by_name(n).map(|f| f.0).ok_or_else(|| {
+                                    VmError::Unsupported(format!("reloc to unknown @{n}"))
+                                })?)
+                            }
+                            RelocTarget::Extern(n) => {
+                                extern_addr(module.extern_by_name(n).map(|e| e.0).ok_or_else(
+                                    || VmError::Unsupported(format!("reloc to unknown @{n}")),
+                                )?)
+                            }
+                            RelocTarget::Global(n) => {
+                                let g2 = module.global_by_name(n).ok_or_else(|| {
+                                    VmError::Unsupported(format!("reloc to unknown @{n}"))
+                                })?;
+                                global_addr[g2.0 as usize]
+                            }
+                        };
+                        mem.write_uint(addr + off, 8, v, Mode::Kernel)?;
+                    }
+                }
+            }
+        }
+
+        // Metapool runtime from the annotations.
+        let mut pools = MetaPoolTable::new();
+        if cfg.kind.checks() {
+            let pa = module.pool_annotations.as_ref().unwrap();
+            for d in &pa.metapools {
+                let elem_size = d.elem_type.map(|t| module.types.size_of(t));
+                pools.add_pool(MetaPool::new(
+                    &d.name,
+                    d.type_homogeneous,
+                    d.complete,
+                    elem_size,
+                ));
+            }
+            for set in &pa.func_sets {
+                let addrs: Vec<u64> = set
+                    .iter()
+                    .filter_map(|n| module.func_by_name(n))
+                    .map(|f| func_addr(f.0))
+                    .collect();
+                pools.add_func_set(addrs);
+            }
+            // Register every global eagerly (the compiler also emits
+            // registrations in the kernel entry; eager registration keeps
+            // direct `vm.call` entry points checkable too). Registration is
+            // idempotent at the entry because reg rejects only *overlap*
+            // with other objects, so pre-register and let the kernel-entry
+            // registrations be skipped.
+            // Instead: rely on the instrumented entry; here we only
+            // register the userspace pseudo-object (paper §4.6).
+            for (i, d) in pa.metapools.iter().enumerate() {
+                if d.userspace {
+                    let _ = pools
+                        .pool_mut(sva_rt::MetaPoolId(i as u32))
+                        .reg_obj(USER_BASE, USER_SIZE);
+                }
+            }
+            // Modules without a designated kernel entry have no function
+            // that runs the compiler-inserted global registrations; the SVM
+            // registers their globals at load time instead.
+            if module.entry.is_none() {
+                for (gi, mp) in pa.global_pools.iter().enumerate() {
+                    if let Some(mp) = mp {
+                        let addr = global_addr[gi];
+                        let size = module.types.size_of(module.globals[gi].ty);
+                        pools
+                            .pool_mut(sva_rt::MetaPoolId(*mp))
+                            .reg_obj(addr, size)
+                            .map_err(VmError::Safety)?;
+                    }
+                }
+            }
+        }
+
+        // Translation to the flat "native" form.
+        let flat = if cfg.kind.flat() {
+            module
+                .funcs
+                .iter()
+                .map(|f| translate(&module, f, &global_addr))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
+
+        Ok(Vm {
+            mem,
+            code: Arc::new(CodeImage {
+                module,
+                flat,
+                global_addr,
+            }),
+            cfg,
+            thread: Thread::new(),
+            icontexts: Vec::new(),
+            int_state: HashMap::new(),
+            user_state: HashMap::new(),
+            syscalls: HashMap::new(),
+            interrupts: HashMap::new(),
+            pools,
+            console: Vec::new(),
+            stats: VmStats::default(),
+            fuel: cfg.fuel,
+            halted: None,
+            pending_irq: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// The loaded module.
+    pub fn module(&self) -> &Module {
+        &self.code.module
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Console output as a lossy string.
+    pub fn console_string(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// Queues a hardware interrupt. It is delivered at the next
+    /// instruction boundary while the machine runs in *user* mode (the
+    /// mini-kernel is non-preemptible, like Linux 2.4): the user
+    /// computation is captured in an interrupt context and the registered
+    /// handler runs in kernel mode; returning resumes the context
+    /// (paper §3.3).
+    pub fn raise_interrupt(&mut self, vector: i64) {
+        self.pending_irq.push_back(vector);
+    }
+
+    /// Function names of the current frame stack, innermost last
+    /// (diagnostics for guest crashes).
+    pub fn backtrace(&self) -> Vec<String> {
+        self.thread
+            .frames
+            .iter()
+            .map(|f| self.code.module.funcs[f.func as usize].name.clone())
+            .collect()
+    }
+
+    /// Address of a function (for wiring globals / exec tables in tests).
+    pub fn func_address(&self, name: &str) -> Option<u64> {
+        self.code.module.func_by_name(name).map(|f| func_addr(f.0))
+    }
+
+    /// Address of a global.
+    pub fn global_address(&self, name: &str) -> Option<u64> {
+        self.code
+            .module
+            .global_by_name(name)
+            .map(|g| self.code.global_addr[g.0 as usize])
+    }
+
+    /// Writes a u64 into a named global (boot parameters).
+    pub fn write_global_u64(&mut self, name: &str, v: u64) -> Result<(), VmError> {
+        let addr = self
+            .global_address(name)
+            .ok_or_else(|| VmError::Unsupported(format!("no global @{name}")))?;
+        self.mem.write_uint(addr, 8, v, Mode::Kernel)
+    }
+
+    /// Reads a u64 from a named global.
+    pub fn read_global_u64(&mut self, name: &str) -> Result<u64, VmError> {
+        let addr = self
+            .global_address(name)
+            .ok_or_else(|| VmError::Unsupported(format!("no global @{name}")))?;
+        self.mem.read_uint(addr, 8, Mode::Kernel)
+    }
+
+    /// Calls a public function in kernel mode and runs to completion.
+    pub fn call(&mut self, name: &str, args: &[u64]) -> Result<VmExit, VmError> {
+        let fid = self
+            .code
+            .module
+            .func_by_name(name)
+            .ok_or_else(|| VmError::Unsupported(format!("no function @{name}")))?;
+        let frame = self.frame_for_call(fid.0, args, None, Mode::Kernel)?;
+        self.thread.frames.push(frame);
+        self.run()
+    }
+
+    /// Boots the module: runs its designated entry function.
+    pub fn boot(&mut self) -> Result<VmExit, VmError> {
+        let entry = self
+            .code
+            .module
+            .entry
+            .ok_or_else(|| VmError::Unsupported("module has no entry".into()))?;
+        let name = self.code.module.func(entry).name.clone();
+        self.call(&name, &[])
+    }
+
+    fn frame_for_call(
+        &mut self,
+        func: u32,
+        args: &[u64],
+        ret_dst: Option<u32>,
+        mode: Mode,
+    ) -> Result<Frame, VmError> {
+        let code = self.code.clone();
+        let f = &code.module.funcs[func as usize];
+        let nvals = f.num_values().max(args.len());
+        let mut regs = vec![0u64; nvals];
+        for (i, a) in args.iter().enumerate() {
+            if i < f.params.len() {
+                regs[f.params[i].0 as usize] = *a;
+            }
+        }
+        let sp_saved = match mode {
+            Mode::Kernel => self.thread.ksp,
+            Mode::User => self.thread.usp,
+        };
+        Ok(Frame {
+            func,
+            pc: 0,
+            block: 0,
+            idx: 0,
+            prev_block: u32::MAX,
+            regs,
+            ret_dst,
+            mode,
+            sp_saved,
+            stack_regs: Vec::new(),
+        })
+    }
+
+    fn mode(&self) -> Mode {
+        self.thread
+            .frames
+            .last()
+            .map(|f| f.mode)
+            .unwrap_or(Mode::Kernel)
+    }
+
+    fn alloca(&mut self, size: u64, align: u64) -> Result<u64, VmError> {
+        let mode = self.mode();
+        let align = align.max(8);
+        match mode {
+            Mode::Kernel => {
+                let base = round_up(self.thread.ksp, align);
+                if base + size > KSTACK_END {
+                    return Err(VmError::StackOverflow);
+                }
+                self.thread.ksp = base + size;
+                Ok(base)
+            }
+            Mode::User => {
+                let base = round_up(self.thread.usp, align);
+                if base + size > USER_END {
+                    return Err(VmError::StackOverflow);
+                }
+                self.thread.usp = base + size;
+                Ok(base)
+            }
+        }
+    }
+
+    // --- main loop -------------------------------------------------------
+
+    /// Runs until the outermost frame returns, the machine halts, or an
+    /// error (including safety violations) occurs.
+    pub fn run(&mut self) -> Result<VmExit, VmError> {
+        let code = self.code.clone();
+        loop {
+            if let Some(c) = self.halted.take() {
+                return Ok(VmExit::Halted(c));
+            }
+            if self.thread.frames.is_empty() {
+                return Ok(VmExit::Returned(0));
+            }
+            if self.fuel == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            self.stats.instructions += 1;
+            self.stats.cycles += 1;
+            if !self.pending_irq.is_empty() && self.mode() == Mode::User {
+                self.deliver_interrupt()?;
+                continue;
+            }
+            let step = if self.cfg.kind.flat() {
+                self.step_flat(&code)
+            } else {
+                self.step_tree(&code)
+            };
+            match step? {
+                StepOut::Continue => {}
+                StepOut::Exit(e) => return Ok(e),
+            }
+        }
+    }
+
+    fn step_flat(&mut self, code: &CodeImage) -> Result<StepOut, VmError> {
+        let fr = self.thread.frames.last_mut().expect("frame");
+        let func = fr.func as usize;
+        let pc = fr.pc as usize;
+        let op = &code.flat[func].ops[pc];
+        fr.pc += 1;
+        // Resolve sources against the current frame.
+        macro_rules! src {
+            ($s:expr) => {
+                match $s {
+                    Src::Reg(r) => fr.regs[*r as usize],
+                    Src::Imm(v) => *v,
+                }
+            };
+        }
+        match op {
+            FlatOp::Bin { op, w, dst, a, b } => {
+                let (a, b) = (src!(a), src!(b));
+                let r = eval_bin(*op, *w, a, b)?;
+                fr.regs[*dst as usize] = r;
+            }
+            FlatOp::ICmp { pred, w, dst, a, b } => {
+                let (a, b) = (src!(a), src!(b));
+                fr.regs[*dst as usize] = eval_icmp(*pred, *w, a, b) as u64;
+            }
+            FlatOp::Select { dst, c, a, b } => {
+                let v = if src!(c) & 1 == 1 { src!(a) } else { src!(b) };
+                fr.regs[*dst as usize] = v;
+            }
+            FlatOp::Cast {
+                dst,
+                a,
+                op,
+                from_w,
+                to_w,
+            } => {
+                fr.regs[*dst as usize] = eval_cast(*op, *from_w, *to_w, src!(a));
+            }
+            FlatOp::Gep {
+                dst,
+                base,
+                const_off,
+                dynamic,
+            } => {
+                let mut addr = src!(base) as i64 + const_off;
+                for (s, scale, w) in dynamic {
+                    let idx = sext_w(src!(s), *w);
+                    addr += idx.wrapping_mul(*scale as i64);
+                }
+                fr.regs[*dst as usize] = addr as u64;
+            }
+            FlatOp::Load { dst, ptr, w } => {
+                let addr = src!(ptr);
+                let mode = fr.mode;
+                let v = self.mem.read_uint(addr, *w as u64, mode)?;
+                let fr = self.thread.frames.last_mut().unwrap();
+                fr.regs[*dst as usize] = v;
+            }
+            FlatOp::Store { val, ptr, w } => {
+                let (v, addr) = (src!(val), src!(ptr));
+                let mode = fr.mode;
+                self.mem.write_uint(addr, *w as u64, v, mode)?;
+            }
+            FlatOp::Alloca {
+                dst,
+                elem,
+                count,
+                align,
+            } => {
+                let n = src!(count);
+                let dst = *dst;
+                let (elem, align) = (*elem, *align);
+                let addr = self.alloca(elem * n, align)?;
+                self.thread.frames.last_mut().unwrap().regs[dst as usize] = addr;
+            }
+            FlatOp::Call { dst, callee, args } => {
+                let argv: Vec<u64> = args.iter().map(|a| src!(a)).collect();
+                let dst = *dst;
+                let callee = callee.clone();
+                return self.do_call(callee, argv, dst);
+            }
+            FlatOp::Phi { dst, incomings } => {
+                let pb = fr.prev_block;
+                let mut chosen = None;
+                for (b, s) in incomings {
+                    if *b == pb {
+                        chosen = Some(src!(s));
+                        break;
+                    }
+                }
+                fr.regs[*dst as usize] =
+                    chosen.ok_or(VmError::Unsupported("phi without matching pred".into()))?;
+            }
+            FlatOp::AtomicRmw {
+                op,
+                dst,
+                ptr,
+                val,
+                w,
+            } => {
+                let (addr, v) = (src!(ptr), src!(val));
+                let (op, dst, w) = (*op, *dst, *w);
+                let mode = fr.mode;
+                let old = self.mem.read_uint(addr, w as u64, mode)?;
+                let newv = match op {
+                    AtomicOp::Add => old.wrapping_add(v),
+                    AtomicOp::Sub => old.wrapping_sub(v),
+                    AtomicOp::Xchg => v,
+                };
+                self.mem.write_uint(addr, w as u64, newv, mode)?;
+                self.thread.frames.last_mut().unwrap().regs[dst as usize] = old;
+            }
+            FlatOp::CmpXchg {
+                dst,
+                ptr,
+                expected,
+                new,
+                w,
+            } => {
+                let (addr, e, n) = (src!(ptr), src!(expected), src!(new));
+                let (dst, w) = (*dst, *w);
+                let mode = fr.mode;
+                let old = self.mem.read_uint(addr, w as u64, mode)?;
+                if old == e {
+                    self.mem.write_uint(addr, w as u64, n, mode)?;
+                }
+                self.thread.frames.last_mut().unwrap().regs[dst as usize] = old;
+            }
+            FlatOp::Fence => {}
+            FlatOp::Br { pc, from } => {
+                fr.prev_block = *from;
+                fr.pc = *pc;
+            }
+            FlatOp::CondBr { c, tpc, fpc, from } => {
+                fr.prev_block = *from;
+                fr.pc = if src!(c) & 1 == 1 { *tpc } else { *fpc };
+            }
+            FlatOp::Switch {
+                v,
+                w,
+                dpc,
+                cases,
+                from,
+            } => {
+                let x = sext_w(src!(v), *w);
+                fr.prev_block = *from;
+                fr.pc = cases
+                    .iter()
+                    .find(|(c, _)| *c == x)
+                    .map(|(_, p)| *p)
+                    .unwrap_or(*dpc);
+            }
+            FlatOp::Ret { val } => {
+                let v = val.as_ref().map(|s| src!(s)).unwrap_or(0);
+                return self.do_ret(v);
+            }
+            FlatOp::Unreachable => return Err(VmError::Unreachable),
+        }
+        Ok(StepOut::Continue)
+    }
+
+    fn step_tree(&mut self, code: &CodeImage) -> Result<StepOut, VmError> {
+        let fr = self.thread.frames.last_mut().expect("frame");
+        let func = &code.module.funcs[fr.func as usize];
+        let block = &func.blocks[fr.block as usize];
+        let iid = block.insts[fr.idx as usize];
+        let inst = func.inst(iid);
+        let result = func.result_of(iid).map(|v| v.0);
+        fr.idx += 1;
+        // Resolve an operand against the current frame/module.
+        let m = &code.module;
+        macro_rules! opd {
+            ($o:expr) => {
+                resolve_operand(m, &code.global_addr, fr, $o)
+            };
+        }
+        match inst {
+            Inst::Bin { op, lhs, rhs } => {
+                let w = width_of(m, func, lhs);
+                let (a, b) = (opd!(lhs), opd!(rhs));
+                fr.regs[result.unwrap() as usize] = eval_bin(*op, w, a, b)?;
+            }
+            Inst::ICmp { pred, lhs, rhs } => {
+                let w = width_of(m, func, lhs);
+                let (a, b) = (opd!(lhs), opd!(rhs));
+                fr.regs[result.unwrap() as usize] = eval_icmp(*pred, w, a, b) as u64;
+            }
+            Inst::Select { cond, tval, fval } => {
+                let v = if opd!(cond) & 1 == 1 {
+                    opd!(tval)
+                } else {
+                    opd!(fval)
+                };
+                fr.regs[result.unwrap() as usize] = v;
+            }
+            Inst::Cast { op, val, to } => {
+                let from_w = width_of(m, func, val);
+                let to_w = bit_width(m, *to);
+                let v = opd!(val);
+                fr.regs[result.unwrap() as usize] = eval_cast(*op, from_w, to_w, v);
+            }
+            Inst::Gep { base, indices } => {
+                let bty = func.operand_type(base, m);
+                let mut addr = opd!(base) as i64;
+                let mut cur = m.types.pointee(bty);
+                for (n, idx) in indices.iter().enumerate() {
+                    let w = width_of(m, func, idx);
+                    let iv = sext_w(opd!(idx), w);
+                    if n == 0 {
+                        addr += iv.wrapping_mul(m.types.size_of(cur) as i64);
+                        continue;
+                    }
+                    match m.types.get(cur).clone() {
+                        Type::Array(e, _) => {
+                            addr += iv.wrapping_mul(m.types.size_of(e) as i64);
+                            cur = e;
+                        }
+                        Type::Struct(_) => {
+                            let off = m.types.field_offset(cur, iv as usize);
+                            addr += off as i64;
+                            cur = m.types.struct_fields(cur)[iv as usize];
+                        }
+                        _ => return Err(VmError::Unsupported("bad gep".into())),
+                    }
+                }
+                fr.regs[result.unwrap() as usize] = addr as u64;
+            }
+            Inst::Load { ptr } => {
+                let pty = func.operand_type(ptr, m);
+                let w = byte_width(m, m.types.pointee(pty));
+                let addr = opd!(ptr);
+                let mode = fr.mode;
+                let v = self.mem.read_uint(addr, w as u64, mode)?;
+                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = v;
+            }
+            Inst::Store { val, ptr } => {
+                let vty = func.operand_type(val, m);
+                let w = byte_width(m, vty);
+                let (v, addr) = (opd!(val), opd!(ptr));
+                let mode = fr.mode;
+                self.mem.write_uint(addr, w as u64, v, mode)?;
+            }
+            Inst::Alloca { ty, count } => {
+                let layout = m.types.layout(*ty);
+                let n = opd!(count);
+                let addr = self.alloca(layout.size * n, layout.align)?;
+                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = addr;
+            }
+            Inst::Call { callee, args } => {
+                let argv: Vec<u64> = args.iter().map(|a| opd!(a)).collect();
+                let fc = match callee {
+                    Callee::Direct(f) => FlatCallee::Direct(f.0),
+                    Callee::External(e) => FlatCallee::External(e.0),
+                    Callee::Indirect(o) => {
+                        let v = opd!(o);
+                        FlatCallee::Indirect(Src::Imm(v))
+                    }
+                    Callee::Intrinsic(i) => FlatCallee::Intrinsic(*i),
+                };
+                return self.do_call(fc, argv, result);
+            }
+            Inst::Phi { incomings, .. } => {
+                let pb = fr.prev_block;
+                let mut chosen = None;
+                for (b, v) in incomings {
+                    if b.0 == pb {
+                        chosen = Some(opd!(v));
+                        break;
+                    }
+                }
+                fr.regs[result.unwrap() as usize] =
+                    chosen.ok_or(VmError::Unsupported("phi without matching pred".into()))?;
+            }
+            Inst::AtomicRmw { op, ptr, val } => {
+                let pty = func.operand_type(ptr, m);
+                let w = byte_width(m, m.types.pointee(pty));
+                let (addr, v) = (opd!(ptr), opd!(val));
+                let mode = fr.mode;
+                let old = self.mem.read_uint(addr, w as u64, mode)?;
+                let newv = match op {
+                    AtomicOp::Add => old.wrapping_add(v),
+                    AtomicOp::Sub => old.wrapping_sub(v),
+                    AtomicOp::Xchg => v,
+                };
+                self.mem.write_uint(addr, w as u64, newv, mode)?;
+                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = old;
+            }
+            Inst::CmpXchg { ptr, expected, new } => {
+                let pty = func.operand_type(ptr, m);
+                let w = byte_width(m, m.types.pointee(pty));
+                let (addr, e, n) = (opd!(ptr), opd!(expected), opd!(new));
+                let mode = fr.mode;
+                let old = self.mem.read_uint(addr, w as u64, mode)?;
+                if old == e {
+                    self.mem.write_uint(addr, w as u64, n, mode)?;
+                }
+                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = old;
+            }
+            Inst::Fence => {}
+            Inst::Br { target } => {
+                fr.prev_block = fr.block;
+                fr.block = target.0;
+                fr.idx = 0;
+            }
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let t = opd!(cond) & 1 == 1;
+                fr.prev_block = fr.block;
+                fr.block = if t { then_bb.0 } else { else_bb.0 };
+                fr.idx = 0;
+            }
+            Inst::Switch {
+                val,
+                default,
+                cases,
+            } => {
+                let w = width_of(m, func, val);
+                let x = sext_w(opd!(val), w);
+                let target = cases
+                    .iter()
+                    .find(|(c, _)| *c == x)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(*default);
+                fr.prev_block = fr.block;
+                fr.block = target.0;
+                fr.idx = 0;
+            }
+            Inst::Ret { val } => {
+                let v = val.as_ref().map(|o| opd!(o)).unwrap_or(0);
+                return self.do_ret(v);
+            }
+            Inst::Unreachable => return Err(VmError::Unreachable),
+        }
+        Ok(StepOut::Continue)
+    }
+
+    fn do_call(
+        &mut self,
+        callee: FlatCallee,
+        args: Vec<u64>,
+        dst: Option<u32>,
+    ) -> Result<StepOut, VmError> {
+        match callee {
+            FlatCallee::Direct(f) => {
+                let mode = self.mode();
+                let frame = self.frame_for_call(f, &args, dst, mode)?;
+                self.thread.frames.push(frame);
+                Ok(StepOut::Continue)
+            }
+            FlatCallee::External(e) => {
+                let name = self.code.module.externs[e as usize].name.clone();
+                Err(VmError::CallToExternal(name))
+            }
+            FlatCallee::Indirect(s) => {
+                let addr = match s {
+                    Src::Reg(r) => self.thread.frames.last().unwrap().regs[r as usize],
+                    Src::Imm(v) => v,
+                };
+                let f = addr_func(addr).ok_or(VmError::BadIndirect(addr))?;
+                if f as usize >= self.code.module.funcs.len() {
+                    return Err(VmError::BadIndirect(addr));
+                }
+                let mode = self.mode();
+                let frame = self.frame_for_call(f, &args, dst, mode)?;
+                self.thread.frames.push(frame);
+                Ok(StepOut::Continue)
+            }
+            FlatCallee::Intrinsic(i) => self.intrinsic(i, &args, dst),
+        }
+    }
+
+    fn do_ret(&mut self, v: u64) -> Result<StepOut, VmError> {
+        let fr = self.thread.frames.pop().expect("frame");
+        // Auto-drop stack registrations (frame-pop sweep).
+        for (mp, addr) in &fr.stack_regs {
+            let _ = self.pools.pool_mut(sva_rt::MetaPoolId(*mp)).drop_obj(*addr);
+        }
+        match fr.mode {
+            Mode::Kernel => self.thread.ksp = fr.sp_saved,
+            Mode::User => self.thread.usp = fr.sp_saved,
+        }
+        if let Some(parent) = self.thread.frames.last_mut() {
+            if let Some(d) = fr.ret_dst {
+                parent.regs[d as usize] = v;
+            }
+            return Ok(StepOut::Continue);
+        }
+        // Outermost frame returned.
+        if let Some(icid) = self.thread.icid {
+            // A trap handler finished: resume the interrupted context with
+            // the handler's return value as the syscall result.
+            self.iret(icid as u64, v)?;
+            return Ok(StepOut::Continue);
+        }
+        Ok(StepOut::Exit(VmExit::Returned(v)))
+    }
+
+    // --- SVA-OS + safety intrinsics ---------------------------------------
+
+    fn intrinsic(
+        &mut self,
+        i: Intrinsic,
+        args: &[u64],
+        dst: Option<u32>,
+    ) -> Result<StepOut, VmError> {
+        use Intrinsic::*;
+        if i.privileged() && self.mode() == Mode::User {
+            return Err(VmError::Privilege { addr: 0 });
+        }
+        let set = |vm: &mut Vm, v: u64| {
+            if let Some(d) = dst {
+                vm.thread.frames.last_mut().unwrap().regs[d as usize] = v;
+            }
+        };
+        let arg = |n: usize| args.get(n).copied().unwrap_or(0);
+        match i {
+            // ---- Table 1: processor state ----
+            SaveInteger => {
+                let buf = arg(0);
+                let kstack = self.mem.read_bytes(
+                    KSTACK_BASE,
+                    self.thread.ksp - KSTACK_BASE,
+                    Mode::Kernel,
+                )?;
+                let st = SavedState {
+                    frames: self.thread.frames.clone(),
+                    icid: self.thread.icid,
+                    asid: self.thread.asid,
+                    ksp: self.thread.ksp,
+                    kstack,
+                    save_dst: dst,
+                };
+                self.stats.cycles += 32 + st.frames.len() as u64 * 8;
+                self.int_state.insert(buf, st);
+                set(self, 1);
+            }
+            LoadInteger => {
+                let buf = arg(0);
+                let st = self
+                    .int_state
+                    .get(&buf)
+                    .cloned()
+                    .ok_or(VmError::BadStateBuffer(buf))?;
+                self.stats.cycles += 32 + st.frames.len() as u64 * 8;
+                self.stats.context_switches += 1;
+                self.mem
+                    .write_bytes(KSTACK_BASE, &st.kstack, Mode::Kernel)?;
+                self.mem.load_space(st.asid)?;
+                self.thread.frames = st.frames;
+                self.thread.icid = st.icid;
+                self.thread.asid = st.asid;
+                self.thread.ksp = st.ksp;
+                if let Some(d) = st.save_dst {
+                    self.thread.frames.last_mut().unwrap().regs[d as usize] = 0;
+                }
+            }
+            SaveFp => {
+                let always = arg(1) != 0;
+                if always || self.thread.fp_dirty {
+                    self.stats.cycles += 64;
+                    self.thread.fp_dirty = false;
+                }
+            }
+            LoadFp => {
+                self.stats.cycles += 64;
+                self.thread.fp_dirty = true;
+            }
+            // ---- Table 2: interrupt contexts ----
+            IcontextGet => {
+                let icid = self.thread.icid.map(|i| i as u64).unwrap_or(u64::MAX);
+                set(self, icid);
+            }
+            IcontextSave => {
+                let (icp, isp) = (arg(0), arg(1));
+                let ic = self.icontext(icp)?.clone();
+                self.stats.cycles += 16 + ic.frames.len() as u64 * 4;
+                self.user_state.insert(isp, ic);
+            }
+            IcontextLoad => {
+                let (icp, isp) = (arg(0), arg(1));
+                let st = self
+                    .user_state
+                    .get(&isp)
+                    .cloned()
+                    .ok_or(VmError::BadStateBuffer(isp))?;
+                let ic = self.icontext_mut(icp)?;
+                let live = ic.live;
+                *ic = st;
+                ic.live = live;
+            }
+            IcontextCommit => {
+                // Commit the full context to memory: modelled as the copy
+                // cost of the register file.
+                let icp = arg(0);
+                let n = self.icontext(icp)?.frames.len() as u64;
+                self.stats.cycles += 16 + n * 4;
+            }
+            IpushFunction => {
+                let (icp, faddr, a0) = (arg(0), arg(1), arg(2));
+                let f = addr_func(faddr).ok_or(VmError::BadIndirect(faddr))?;
+                // Build the synthetic frame against the *context's* user
+                // stack, then push onto its frame stack.
+                let frame = {
+                    let code = self.code.clone();
+                    let fdef = &code.module.funcs[f as usize];
+                    let mut regs = vec![0u64; fdef.num_values()];
+                    if !fdef.params.is_empty() {
+                        regs[fdef.params[0].0 as usize] = a0;
+                    }
+                    let ic = self.icontext(icp)?;
+                    Frame {
+                        func: f,
+                        pc: 0,
+                        block: 0,
+                        idx: 0,
+                        prev_block: u32::MAX,
+                        regs,
+                        ret_dst: None,
+                        mode: Mode::User,
+                        sp_saved: ic.usp,
+                        stack_regs: Vec::new(),
+                    }
+                };
+                self.icontext_mut(icp)?.frames.push(frame);
+            }
+            WasPrivileged => {
+                let icp = arg(0);
+                let p = self.icontext(icp)?.privileged;
+                set(self, p as u64);
+            }
+            IcontextNew => {
+                let (isp, asid) = (arg(0), arg(1) as u32);
+                let mut ic = if isp == 0 {
+                    IContext {
+                        frames: Vec::new(),
+                        usp: USER_END - USTACK_SIZE,
+                        asid,
+                        privileged: false,
+                        result_dst: None,
+                        result_frame: 0,
+                        live: true,
+                    }
+                } else {
+                    self.user_state
+                        .get(&isp)
+                        .cloned()
+                        .ok_or(VmError::BadStateBuffer(isp))?
+                };
+                ic.asid = asid;
+                ic.live = true;
+                let icid = self.push_icontext(ic);
+                set(self, icid as u64);
+            }
+            IcontextSetEntry => {
+                let (icp, faddr, a0) = (arg(0), arg(1), arg(2));
+                let f = addr_func(faddr).ok_or(VmError::BadIndirect(faddr))?;
+                let frame = {
+                    let code = self.code.clone();
+                    let fdef = &code.module.funcs[f as usize];
+                    let mut regs = vec![0u64; fdef.num_values()];
+                    if !fdef.params.is_empty() {
+                        regs[fdef.params[0].0 as usize] = a0;
+                    }
+                    Frame {
+                        func: f,
+                        pc: 0,
+                        block: 0,
+                        idx: 0,
+                        prev_block: u32::MAX,
+                        regs,
+                        ret_dst: None,
+                        mode: Mode::User,
+                        sp_saved: USER_END - USTACK_SIZE,
+                        stack_regs: Vec::new(),
+                    }
+                };
+                let ic = self.icontext_mut(icp)?;
+                ic.frames = vec![frame];
+                ic.usp = USER_END - USTACK_SIZE;
+                ic.result_dst = None;
+                ic.privileged = false;
+            }
+            // ---- OS support ----
+            RegisterSyscall => {
+                let num = arg(0) as i64;
+                let f = addr_func(arg(1)).ok_or(VmError::BadIndirect(arg(1)))?;
+                self.syscalls.insert(num, f);
+            }
+            RegisterInterrupt => {
+                let num = arg(0) as i64;
+                let f = addr_func(arg(1)).ok_or(VmError::BadIndirect(arg(1)))?;
+                self.interrupts.insert(num, f);
+            }
+            IoRead => {
+                let v = self.io_read(arg(0));
+                set(self, v);
+            }
+            IoWrite => {
+                self.io_write(arg(0), arg(1));
+            }
+            MmuMap | MmuUnmap | MmuProtect => {
+                // Mapping requests are mediated: the SVM validates that the
+                // kernel never maps SVM-reserved frames (paper §3.4). Our
+                // reserved range is the function-address window.
+                let v = arg(1);
+                if (crate::mem::FUNC_BASE..crate::mem::EXTERN_BASE).contains(&v) {
+                    return Err(VmError::Privilege { addr: v });
+                }
+                self.stats.cycles += 8;
+            }
+            MmuNewSpace => {
+                let asid = self.mem.new_space();
+                self.stats.cycles += PAGE_SIZE / 64;
+                set(self, asid as u64);
+            }
+            MmuLoadSpace => {
+                let asid = arg(0) as u32;
+                self.mem.load_space(asid)?;
+                self.thread.asid = asid;
+                self.stats.cycles += 16;
+            }
+            MmuCopyPage => {
+                let (dst, va) = (arg(0) as u32, arg(1));
+                self.mem.copy_page(dst, va)?;
+                self.stats.cycles += PAGE_SIZE / 16;
+            }
+            MmuFreeSpace => {
+                self.mem.free_space(arg(0) as u32)?;
+            }
+            Syscall => {
+                return self.do_syscall(args, dst);
+            }
+            Iret => {
+                self.iret(arg(0), arg(1))?;
+            }
+            CpuId => set(self, 0),
+            GetTimer => {
+                let c = self.stats.cycles;
+                set(self, c);
+            }
+            // ---- safety runtime ----
+            PchkRegObj => {
+                self.stats.cycles += REG_CYCLES;
+                let (mp, addr, len) = (arg(0) as u32, arg(1), arg(2));
+                if addr == 0 {
+                    // Failed allocation: nothing to register.
+                    return Ok(StepOut::Continue);
+                }
+                let stack = arg(3) != 0;
+                self.pools
+                    .pool_mut(sva_rt::MetaPoolId(mp))
+                    .reg_obj(addr, len)
+                    .map_err(VmError::Safety)?;
+                if stack {
+                    self.thread
+                        .frames
+                        .last_mut()
+                        .unwrap()
+                        .stack_regs
+                        .push((mp, addr));
+                }
+            }
+            PchkDropObj => {
+                self.stats.cycles += REG_CYCLES;
+                let (mp, addr) = (arg(0) as u32, arg(1));
+                if addr == 0 {
+                    return Ok(StepOut::Continue);
+                }
+                self.pools
+                    .pool_mut(sva_rt::MetaPoolId(mp))
+                    .drop_obj(addr)
+                    .map_err(VmError::Safety)?;
+                // Remove from the frame sweep if it was a stack object.
+                if let Some(fr) = self.thread.frames.last_mut() {
+                    fr.stack_regs.retain(|(m, a)| !(*m == mp && *a == addr));
+                }
+            }
+            BoundsCheck => {
+                self.stats.cycles += CHECK_CYCLES;
+                let (mp, src, derived) = (arg(0) as u32, arg(1), arg(2));
+                self.pools
+                    .pool_mut(sva_rt::MetaPoolId(mp))
+                    .bounds_check(src, derived)
+                    .map_err(VmError::Safety)?;
+            }
+            BoundsCheckRange => {
+                self.stats.cycles += 2;
+                self.stats.range_checks += 1;
+                let (start, derived, end) = (arg(0), arg(1), arg(2));
+                if !(derived >= start && derived <= end) {
+                    return Err(VmError::Safety(CheckError {
+                        kind: sva_rt::CheckKind::Bounds,
+                        pool: "static".into(),
+                        addr: derived,
+                        detail: format!("static object [{start:#x}, {end:#x})"),
+                    }));
+                }
+            }
+            LsCheck => {
+                self.stats.cycles += CHECK_CYCLES;
+                let (mp, addr) = (arg(0) as u32, arg(1));
+                self.pools
+                    .pool_mut(sva_rt::MetaPoolId(mp))
+                    .ls_check(addr)
+                    .map_err(VmError::Safety)?;
+            }
+            GetBounds => {
+                self.stats.cycles += CHECK_CYCLES;
+                let (mp, p, sout, eout) = (arg(0) as u32, arg(1), arg(2), arg(3));
+                let b = self.pools.pool_mut(sva_rt::MetaPoolId(mp)).get_bounds(p);
+                let (s, e) = b.unwrap_or((0, 0));
+                let mode = self.mode();
+                self.mem.write_uint(sout, 8, s, mode)?;
+                self.mem.write_uint(eout, 8, e, mode)?;
+            }
+            FuncCheck => {
+                self.stats.cycles += CHECK_CYCLES / 2;
+                let (setid, target) = (arg(0) as u32, arg(1));
+                self.pools
+                    .func_check(setid, target)
+                    .map_err(VmError::Safety)?;
+            }
+            PseudoAlloc => {
+                // Returns a pointer to the manufactured range; registration
+                // is a separate pchk.reg.obj inserted by the compiler.
+                set(self, arg(0));
+            }
+            // ---- memory intrinsics ----
+            MemCpy | MemMove => {
+                let (d, s, n) = (arg(0), arg(1), arg(2));
+                let mode = self.mode();
+                self.mem.copy_bytes(d, s, n, mode)?;
+                self.stats.cycles += n / 8;
+            }
+            MemSet => {
+                let (d, b, n) = (arg(0), arg(1), arg(2));
+                let mode = self.mode();
+                self.mem.set_bytes(d, b as u8, n, mode)?;
+                self.stats.cycles += n / 8;
+            }
+            // ---- diagnostics ----
+            Print => {
+                let v = arg(0);
+                if args.len() >= 2 {
+                    // (ptr, len) string form.
+                    let mode = self.mode();
+                    let bytes = self.mem.read_bytes(v, arg(1), mode)?;
+                    self.console.extend_from_slice(&bytes);
+                } else {
+                    self.console.extend_from_slice(format!("{v}\n").as_bytes());
+                }
+            }
+            Abort => {
+                self.halted = Some(arg(0));
+            }
+        }
+        Ok(StepOut::Continue)
+    }
+
+    fn push_icontext(&mut self, ic: IContext) -> u32 {
+        // Reuse dead slots.
+        for (i, slot) in self.icontexts.iter_mut().enumerate() {
+            if !slot.live {
+                *slot = ic;
+                return i as u32;
+            }
+        }
+        self.icontexts.push(ic);
+        (self.icontexts.len() - 1) as u32
+    }
+
+    fn icontext(&self, icp: u64) -> Result<&IContext, VmError> {
+        self.icontexts
+            .get(icp as usize)
+            .filter(|c| c.live)
+            .ok_or(VmError::BadIContext(icp))
+    }
+
+    fn icontext_mut(&mut self, icp: u64) -> Result<&mut IContext, VmError> {
+        self.icontexts
+            .get_mut(icp as usize)
+            .filter(|c| c.live)
+            .ok_or(VmError::BadIContext(icp))
+    }
+
+    /// Delivers the front pending interrupt: trap ceremony, then the
+    /// registered handler with the vector as its argument.
+    fn deliver_interrupt(&mut self) -> Result<(), VmError> {
+        let Some(vec) = self.pending_irq.pop_front() else {
+            return Ok(());
+        };
+        let Some(&handler) = self.interrupts.get(&vec) else {
+            // Unhandled vectors are dropped (masked), like a PIC with no
+            // registered line.
+            return Ok(());
+        };
+        self.stats.interrupts += 1;
+        let fast = self.cfg.kind.fast_os();
+        self.stats.cycles += if fast { 24 } else { 40 };
+        let frames = std::mem::take(&mut self.thread.frames);
+        let result_frame = frames.len().saturating_sub(1);
+        let ic = IContext {
+            frames,
+            usp: self.thread.usp,
+            asid: self.thread.asid,
+            privileged: false,
+            result_dst: None,
+            result_frame,
+            live: true,
+        };
+        let icid = self.push_icontext(ic);
+        self.thread.icid = Some(icid);
+        self.thread.ksp = KSTACK_BASE;
+        let frame = self.frame_for_call(handler, &[vec as u64], None, Mode::Kernel)?;
+        self.thread.frames.push(frame);
+        Ok(())
+    }
+
+    fn do_syscall(&mut self, args: &[u64], dst: Option<u32>) -> Result<StepOut, VmError> {
+        let num = args.first().copied().unwrap_or(0) as i64;
+        let handler = *self
+            .syscalls
+            .get(&num)
+            .ok_or(VmError::UnknownSyscall(num))?;
+        let hargs = &args[1..];
+        match self.mode() {
+            Mode::Kernel => {
+                // Internal system call: analyzed as a direct call (§4.8);
+                // executed as one too — no privilege transition needed.
+                self.stats.cycles += 8;
+                let frame = self.frame_for_call(handler, hargs, dst, Mode::Kernel)?;
+                self.thread.frames.push(frame);
+            }
+            Mode::User => {
+                self.stats.traps += 1;
+                // Trap: move the user computation into an interrupt context
+                // and start the kernel handler.
+                // The SVA-OS entry path saves a *subset* of control state
+                // (paper §3.3); the full interface costs a little more than
+                // the hand-written native path.
+                let fast = self.cfg.kind.fast_os();
+                self.stats.cycles += if fast { 24 } else { 40 };
+                let frames = std::mem::take(&mut self.thread.frames);
+                let result_frame = frames.len().saturating_sub(1);
+                let ic = IContext {
+                    frames,
+                    usp: self.thread.usp,
+                    asid: self.thread.asid,
+                    privileged: false,
+                    result_dst: dst,
+                    result_frame,
+                    live: true,
+                };
+                let icid = self.push_icontext(ic);
+                self.thread.icid = Some(icid);
+                self.thread.ksp = KSTACK_BASE;
+                let frame = self.frame_for_call(handler, hargs, None, Mode::Kernel)?;
+                self.thread.frames.push(frame);
+            }
+        }
+        Ok(StepOut::Continue)
+    }
+
+    fn iret(&mut self, icp: u64, retval: u64) -> Result<(), VmError> {
+        let fast = self.cfg.kind.fast_os();
+        self.stats.cycles += if fast { 16 } else { 24 };
+        let ic = self.icontext_mut(icp)?;
+        ic.live = false;
+        let mut frames = std::mem::take(&mut ic.frames);
+        let usp = ic.usp;
+        let asid = ic.asid;
+        let result_dst = ic.result_dst;
+        let result_frame = ic.result_frame;
+        if let Some(d) = result_dst {
+            if let Some(fr) = frames.get_mut(result_frame) {
+                fr.regs[d as usize] = retval;
+            }
+        }
+        self.mem.load_space(asid)?;
+        self.thread.frames = frames;
+        self.thread.usp = usp;
+        self.thread.asid = asid;
+        self.thread.icid = None;
+        self.thread.ksp = KSTACK_BASE;
+        Ok(())
+    }
+
+    // --- devices -----------------------------------------------------------
+
+    fn io_read(&mut self, port: u64) -> u64 {
+        match port {
+            PORT_TIMER => self.stats.cycles,
+            _ => 0,
+        }
+    }
+
+    fn io_write(&mut self, port: u64, v: u64) {
+        if port == PORT_CONSOLE {
+            self.console.push(v as u8);
+        }
+    }
+}
+
+/// Virtual-cycle charge of one metapool check (a hot splay lookup on the
+/// paper's hardware; calibrates the cycle model against Table 7/8 shapes).
+pub const CHECK_CYCLES: u64 = 16;
+/// Virtual-cycle charge of an object registration/drop (splay insert or
+/// delete).
+pub const REG_CYCLES: u64 = 24;
+
+/// Console output port.
+pub const PORT_CONSOLE: u64 = 0x3f8;
+/// Virtual timer port (returns cycles).
+pub const PORT_TIMER: u64 = 0x40;
+
+enum StepOut {
+    Continue,
+    Exit(VmExit),
+}
+
+// ---------------------------------------------------------------------------
+// Shared evaluation helpers.
+// ---------------------------------------------------------------------------
+
+fn mask_w(v: u64, w: u8) -> u64 {
+    match w {
+        64 => v,
+        0 => 0,
+        w => v & ((1u64 << w) - 1),
+    }
+}
+
+fn sext_w(v: u64, w: u8) -> i64 {
+    match w {
+        64 => v as i64,
+        0 => 0,
+        w => {
+            let shift = 64 - w as u32;
+            ((v << shift) as i64) >> shift
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, w: u8, a: u64, b: u64) -> Result<u64, VmError> {
+    if op.is_float() {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        let r = match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            _ => unreachable!(),
+        };
+        return Ok(r.to_bits());
+    }
+    let (ua, ub) = (mask_w(a, w), mask_w(b, w));
+    let (sa, sb) = (sext_w(a, w), sext_w(b, w));
+    let r = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        BinOp::UDiv => {
+            if ub == 0 {
+                return Err(VmError::DivZero);
+            }
+            ua / ub
+        }
+        BinOp::SDiv => {
+            if sb == 0 {
+                return Err(VmError::DivZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        BinOp::URem => {
+            if ub == 0 {
+                return Err(VmError::DivZero);
+            }
+            ua % ub
+        }
+        BinOp::SRem => {
+            if sb == 0 {
+                return Err(VmError::DivZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+        BinOp::Shl => ua.wrapping_shl(ub as u32 % w.max(1) as u32),
+        BinOp::LShr => ua.wrapping_shr(ub as u32 % w.max(1) as u32),
+        BinOp::AShr => (sa >> (ub as u32 % w.max(1) as u32)) as u64,
+        _ => unreachable!(),
+    };
+    Ok(mask_w(r, w))
+}
+
+fn eval_icmp(pred: IPred, w: u8, a: u64, b: u64) -> bool {
+    let (ua, ub) = (mask_w(a, w), mask_w(b, w));
+    let (sa, sb) = (sext_w(a, w), sext_w(b, w));
+    match pred {
+        IPred::Eq => ua == ub,
+        IPred::Ne => ua != ub,
+        IPred::ULt => ua < ub,
+        IPred::ULe => ua <= ub,
+        IPred::UGt => ua > ub,
+        IPred::UGe => ua >= ub,
+        IPred::SLt => sa < sb,
+        IPred::SLe => sa <= sb,
+        IPred::SGt => sa > sb,
+        IPred::SGe => sa >= sb,
+    }
+}
+
+fn eval_cast(op: CastOp, from_w: u8, to_w: u8, v: u64) -> u64 {
+    match op {
+        CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => v,
+        CastOp::Trunc => mask_w(v, to_w),
+        CastOp::ZExt => mask_w(v, from_w),
+        CastOp::SExt => mask_w(sext_w(v, from_w) as u64, to_w),
+        CastOp::SiToFp => (sext_w(v, from_w) as f64).to_bits(),
+        CastOp::FpToSi => mask_w(f64::from_bits(v) as i64 as u64, to_w),
+    }
+}
+
+/// Bit width of a type for arithmetic (pointers and `f64` behave as 64).
+fn bit_width(m: &Module, t: TypeId) -> u8 {
+    match m.types.get(t) {
+        Type::Int(w) => *w,
+        _ => 64,
+    }
+}
+
+/// Byte width of a type for memory accesses (`i1` occupies one byte).
+fn byte_width(m: &Module, t: TypeId) -> u8 {
+    match m.types.get(t) {
+        Type::Int(1) | Type::Int(8) => 1,
+        Type::Int(16) => 2,
+        Type::Int(32) => 4,
+        _ => 8,
+    }
+}
+
+/// Arithmetic width of an operand.
+fn width_of(m: &Module, f: &sva_ir::Function, op: &Operand) -> u8 {
+    let t = f.operand_type(op, m);
+    match m.types.get(t) {
+        Type::Int(w) => *w,
+        _ => 64,
+    }
+}
+
+fn resolve_operand(m: &Module, global_addr: &[u64], fr: &Frame, op: &Operand) -> u64 {
+    let _ = m;
+    match op {
+        Operand::Value(v) => fr.regs[v.0 as usize],
+        Operand::ConstInt(v, _) => *v as u64,
+        Operand::ConstF64(bits) => *bits,
+        Operand::Null(_) => 0,
+        Operand::Global(g) => global_addr[g.0 as usize],
+        Operand::Func(f) => func_addr(f.0),
+        Operand::Extern(e) => extern_addr(e.0),
+        Operand::Undef(_) => 0,
+    }
+}
+
+fn round_up(v: u64, a: u64) -> u64 {
+    v.div_ceil(a) * a
+}
+
+// ---------------------------------------------------------------------------
+// Translation (bytecode → flat "native" code).
+// ---------------------------------------------------------------------------
+
+fn translate(m: &Module, f: &sva_ir::Function, global_addr: &[u64]) -> Result<FlatFunc, VmError> {
+    let mut ops: Vec<FlatOp> = Vec::with_capacity(f.insts.len());
+    // First pass: compute the pc of each block.
+    let mut block_pc = Vec::with_capacity(f.blocks.len());
+    {
+        let mut pc = 0u32;
+        for b in &f.blocks {
+            block_pc.push(pc);
+            pc += b.insts.len() as u32;
+        }
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &iid in &b.insts {
+            let inst = f.inst(iid);
+            let dst = f.result_of(iid).map(|v| v.0);
+            let op = translate_inst(m, f, inst, dst, bi as u32, &block_pc, global_addr)?;
+            ops.push(op);
+        }
+    }
+    Ok(FlatFunc { ops })
+}
+
+fn t_src(m: &Module, g: &[u64], op: &Operand) -> Src {
+    let _ = m;
+    match op {
+        Operand::Value(v) => Src::Reg(v.0),
+        Operand::ConstInt(v, _) => Src::Imm(*v as u64),
+        Operand::ConstF64(bits) => Src::Imm(*bits),
+        Operand::Null(_) => Src::Imm(0),
+        Operand::Global(gid) => Src::Imm(g[gid.0 as usize]),
+        Operand::Func(fid) => Src::Imm(func_addr(fid.0)),
+        Operand::Extern(e) => Src::Imm(extern_addr(e.0)),
+        Operand::Undef(_) => Src::Imm(0),
+    }
+}
+
+fn translate_inst(
+    m: &Module,
+    f: &sva_ir::Function,
+    inst: &Inst,
+    dst: Option<u32>,
+    from_block: u32,
+    block_pc: &[u32],
+    global_addr: &[u64],
+) -> Result<FlatOp, VmError> {
+    let s = |op: &Operand| t_src(m, global_addr, op);
+    let ww = |op: &Operand| width_of(m, f, op);
+    Ok(match inst {
+        Inst::Bin { op, lhs, rhs } => FlatOp::Bin {
+            op: *op,
+            w: ww(lhs),
+            dst: dst.unwrap(),
+            a: s(lhs),
+            b: s(rhs),
+        },
+        Inst::ICmp { pred, lhs, rhs } => FlatOp::ICmp {
+            pred: *pred,
+            w: ww(lhs),
+            dst: dst.unwrap(),
+            a: s(lhs),
+            b: s(rhs),
+        },
+        Inst::Select { cond, tval, fval } => FlatOp::Select {
+            dst: dst.unwrap(),
+            c: s(cond),
+            a: s(tval),
+            b: s(fval),
+        },
+        Inst::Cast { op, val, to } => FlatOp::Cast {
+            dst: dst.unwrap(),
+            a: s(val),
+            op: *op,
+            from_w: ww(val),
+            to_w: bit_width(m, *to),
+        },
+        Inst::Gep { base, indices } => {
+            let bty = f.operand_type(base, m);
+            let mut cur = m.types.pointee(bty);
+            let mut const_off: i64 = 0;
+            let mut dynamic = Vec::new();
+            for (n, idx) in indices.iter().enumerate() {
+                if n == 0 {
+                    let scale = m.types.size_of(cur);
+                    match idx {
+                        Operand::ConstInt(c, _) => const_off += c * scale as i64,
+                        _ => dynamic.push((s(idx), scale, ww(idx))),
+                    }
+                    continue;
+                }
+                match m.types.get(cur).clone() {
+                    Type::Array(e, _) => {
+                        let scale = m.types.size_of(e);
+                        match idx {
+                            Operand::ConstInt(c, _) => const_off += c * scale as i64,
+                            _ => dynamic.push((s(idx), scale, ww(idx))),
+                        }
+                        cur = e;
+                    }
+                    Type::Struct(_) => {
+                        let c = match idx {
+                            Operand::ConstInt(c, _) => *c as usize,
+                            _ => return Err(VmError::Unsupported("dyn struct index".into())),
+                        };
+                        const_off += m.types.field_offset(cur, c) as i64;
+                        cur = m.types.struct_fields(cur)[c];
+                    }
+                    _ => return Err(VmError::Unsupported("bad gep".into())),
+                }
+            }
+            FlatOp::Gep {
+                dst: dst.unwrap(),
+                base: s(base),
+                const_off,
+                dynamic,
+            }
+        }
+        Inst::Load { ptr } => {
+            let pty = f.operand_type(ptr, m);
+            FlatOp::Load {
+                dst: dst.unwrap(),
+                ptr: s(ptr),
+                w: byte_width(m, m.types.pointee(pty)),
+            }
+        }
+        Inst::Store { val, ptr } => {
+            let vty = f.operand_type(val, m);
+            FlatOp::Store {
+                val: s(val),
+                ptr: s(ptr),
+                w: byte_width(m, vty),
+            }
+        }
+        Inst::Alloca { ty, count } => {
+            let layout = m.types.layout(*ty);
+            FlatOp::Alloca {
+                dst: dst.unwrap(),
+                elem: layout.size,
+                count: s(count),
+                align: layout.align,
+            }
+        }
+        Inst::Call { callee, args } => {
+            let fc = match callee {
+                Callee::Direct(fid) => FlatCallee::Direct(fid.0),
+                Callee::External(e) => FlatCallee::External(e.0),
+                Callee::Indirect(o) => FlatCallee::Indirect(s(o)),
+                Callee::Intrinsic(i) => FlatCallee::Intrinsic(*i),
+            };
+            FlatOp::Call {
+                dst,
+                callee: fc,
+                args: args.iter().map(&s).collect(),
+            }
+        }
+        Inst::Phi { incomings, .. } => FlatOp::Phi {
+            dst: dst.unwrap(),
+            incomings: incomings.iter().map(|(b, v)| (b.0, s(v))).collect(),
+        },
+        Inst::AtomicRmw { op, ptr, val } => {
+            let pty = f.operand_type(ptr, m);
+            FlatOp::AtomicRmw {
+                op: *op,
+                dst: dst.unwrap(),
+                ptr: s(ptr),
+                val: s(val),
+                w: byte_width(m, m.types.pointee(pty)),
+            }
+        }
+        Inst::CmpXchg { ptr, expected, new } => {
+            let pty = f.operand_type(ptr, m);
+            FlatOp::CmpXchg {
+                dst: dst.unwrap(),
+                ptr: s(ptr),
+                expected: s(expected),
+                new: s(new),
+                w: byte_width(m, m.types.pointee(pty)),
+            }
+        }
+        Inst::Fence => FlatOp::Fence,
+        Inst::Br { target } => FlatOp::Br {
+            pc: block_pc[target.0 as usize],
+            from: from_block,
+        },
+        Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => FlatOp::CondBr {
+            c: s(cond),
+            tpc: block_pc[then_bb.0 as usize],
+            fpc: block_pc[else_bb.0 as usize],
+            from: from_block,
+        },
+        Inst::Switch {
+            val,
+            default,
+            cases,
+        } => FlatOp::Switch {
+            v: s(val),
+            w: ww(val),
+            dpc: block_pc[default.0 as usize],
+            cases: cases
+                .iter()
+                .map(|(c, b)| (*c, block_pc[b.0 as usize]))
+                .collect(),
+            from: from_block,
+        },
+        Inst::Ret { val } => FlatOp::Ret {
+            val: val.as_ref().map(s),
+        },
+        Inst::Unreachable => FlatOp::Unreachable,
+    })
+}

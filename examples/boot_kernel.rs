@@ -1,0 +1,41 @@
+//! Boot the mini commodity kernel on all four configurations of the
+//! paper's evaluation, run a userspace program, and compare the costs.
+//!
+//! Run with: `cargo run --release --example boot_kernel`
+
+use sva::kernel::harness::{boot_user, make_vm, pack_arg};
+use sva::vm::KernelKind;
+
+fn main() {
+    println!("booting the SVA mini-kernel under the four §7.1 configurations\n");
+    for kind in KernelKind::ALL {
+        let mut vm = make_vm(kind);
+        let start = std::time::Instant::now();
+        let exit = boot_user(&mut vm, "user_hello", 0).expect("boot");
+        let wall = start.elapsed();
+        let stats = vm.stats();
+        println!("[{:<8}] exit={exit:?}", kind.label());
+        println!("           console: {:?}", vm.console_string());
+        println!(
+            "           {} instructions, {} cycles, {} traps, {:?} wall",
+            stats.instructions, stats.cycles, stats.traps, wall
+        );
+        if kind.checks() {
+            let c = vm.pools.total_stats();
+            println!(
+                "           checks: {} bounds, {} load/store, {} registrations",
+                c.bounds_checks, c.ls_checks, c.registrations
+            );
+        }
+    }
+
+    // Something more substantial: a fork/exec workload.
+    println!("\nfork/exec workload (8 children) under sva-safe:");
+    let mut vm = make_vm(KernelKind::SvaSafe);
+    let exit = boot_user(&mut vm, "user_forkexec_loop", pack_arg(8, 0, 0)).expect("boot");
+    let stats = vm.stats();
+    println!(
+        "exit={exit:?}; {} context switches, {} traps, {} cycles",
+        stats.context_switches, stats.traps, stats.cycles
+    );
+}

@@ -1,0 +1,26 @@
+//! # SVA — Secure Virtual Architecture
+//!
+//! Umbrella crate re-exporting the full SVA system: a reproduction of
+//! *"Secure Virtual Architecture: A Safe Execution Environment for Commodity
+//! Operating Systems"* (Criswell, Lenharth, Dhurjati, Adve — SOSP 2007).
+//!
+//! The pieces:
+//!
+//! * [`ir`] — the SVA-Core typed SSA virtual instruction set;
+//! * [`rt`] — the metapool run-time (splay trees, run-time checks);
+//! * [`analysis`] — unification-based points-to analysis;
+//! * [`core`] — the safety-checking compiler and bytecode verifier
+//!   (the paper's primary contribution);
+//! * [`vm`] — the Secure Virtual Machine with the SVA-OS operations;
+//! * [`kernel`] — a miniature commodity kernel written in SVA IR;
+//! * [`exploits`] — reproductions of the five Linux 2.4.22 exploits.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
+
+pub use sva_analysis as analysis;
+pub use sva_core as core;
+pub use sva_exploits as exploits;
+pub use sva_ir as ir;
+pub use sva_kernel as kernel;
+pub use sva_rt as rt;
+pub use sva_vm as vm;
