@@ -60,5 +60,73 @@ fn splay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, splay);
+/// Builds a pool with `n` registered 64-byte objects, 256 bytes apart.
+fn pool_with_objects(n: u64, fast_path: bool) -> MetaPool {
+    let mut p = MetaPool::new("bench", false, true, None);
+    p.set_fast_path(fast_path);
+    for i in 0..n {
+        p.reg_obj(0x1_0000 + i * 0x100, 64).unwrap();
+    }
+    p
+}
+
+/// The fast path vs. the splay-only baseline (set_fast_path(false)) on the
+/// two workload shapes that matter: repeated access to the same few hot
+/// objects (the paper's locality argument — served by the MRU cache) and a
+/// pseudo-random spread over many objects (served by the page index).
+fn fastpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt/fastpath");
+    for (label, fast) in [("repeat_fast", true), ("repeat_baseline", false)] {
+        g.bench_function(label, |b| {
+            let mut p = pool_with_objects(1024, fast);
+            let mut i = 0u64;
+            b.iter(|| {
+                // Two hot objects, alternating: fits the 2-entry MRU.
+                i = i.wrapping_add(1);
+                let addr = 0x1_0000 + (i & 1) * 0x100 + 8;
+                p.ls_check(addr)
+            });
+        });
+    }
+    for (label, fast) in [("spread_fast", true), ("spread_baseline", false)] {
+        g.bench_function(label, |b| {
+            let mut p = pool_with_objects(1024, fast);
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let addr = 0x1_0000 + (x % 1024) * 0x100 + 8;
+                p.ls_check(addr)
+            });
+        });
+    }
+    g.finish();
+
+    // One-shot layer breakdown on a mixed workload, so the bench output
+    // documents where lookups resolve (cache / page index / tree).
+    let mut p = pool_with_objects(1024, true);
+    let mut x = 0u64;
+    for i in 0..100_000u64 {
+        // 75% hot-pair traffic, 25% spread.
+        let addr = if i % 4 != 0 {
+            0x1_0000 + (i & 1) * 0x100 + 8
+        } else {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            0x1_0000 + (x % 1024) * 0x100 + 8
+        };
+        let _ = p.ls_check(addr);
+    }
+    let s = *p.stats();
+    println!(
+        "rt/fastpath breakdown (100k mixed lookups): cache_hits {} ({:.1}%), \
+         page_hits {} ({:.1}%), tree_walks {} ({:.1}%)",
+        s.cache_hits,
+        100.0 * s.cache_hits as f64 / s.lookups() as f64,
+        s.page_hits,
+        100.0 * s.page_hits as f64 / s.lookups() as f64,
+        s.tree_walks,
+        100.0 * s.tree_walks as f64 / s.lookups() as f64,
+    );
+}
+
+criterion_group!(benches, splay, fastpath);
 criterion_main!(benches);

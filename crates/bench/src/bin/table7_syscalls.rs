@@ -3,7 +3,7 @@
 //! Paper rows: getpid, getrusage, gettimeofday, open/close, sbrk,
 //! sigaction, write, pipe, fork, fork/exec.
 
-use bench::{arg, latency_row, print_latency_table};
+use bench::{arg, latency_row, print_check_breakdown, print_latency_table};
 
 fn main() {
     let rows = vec![
@@ -29,4 +29,15 @@ fn main() {
     );
     println!("\npaper shape: SVA-OS dominates trivial syscalls (getpid/gettimeofday);");
     println!("run-time checks dominate compute-heavy ones (open/close, pipe, fork).");
+
+    print_check_breakdown(
+        "sva-safe lookup-layer breakdown (MRU cache / page index / splay tree)",
+        &[
+            ("getpid", "user_getpid_loop", arg(2000, 0, 0)),
+            ("open/close", "user_openclose_loop", arg(500, 0, 0)),
+            ("write", "user_write_loop", arg(500, 64, 0)),
+            ("pipe", "user_pipe_loop", arg(300, 0, 0)),
+            ("fork", "user_fork_loop", arg(60, 0, 0)),
+        ],
+    );
 }

@@ -24,6 +24,12 @@ pub struct Sample {
     pub instructions: u64,
     /// Exit code.
     pub exit: u64,
+    /// Metapool lookups served by the MRU cache (sva-safe only).
+    pub cache_hits: u64,
+    /// Metapool lookups served by the page index (sva-safe only).
+    pub page_hits: u64,
+    /// Metapool lookups that walked the splay tree (sva-safe only).
+    pub tree_walks: u64,
 }
 
 /// Boots `prog(arg)` on a `kind` kernel and measures it.
@@ -45,6 +51,9 @@ pub fn run_workload(kind: KernelKind, prog: &str, arg: u64) -> Sample {
     let VmStats {
         instructions,
         cycles,
+        cache_hits,
+        page_hits,
+        tree_walks,
         ..
     } = vm.stats();
     Sample {
@@ -52,6 +61,9 @@ pub fn run_workload(kind: KernelKind, prog: &str, arg: u64) -> Sample {
         cycles,
         instructions,
         exit: code,
+        cache_hits,
+        page_hits,
+        tree_walks,
     }
 }
 
@@ -191,4 +203,28 @@ pub fn print_bandwidth_table(title: &str, rows: &[BandwidthRow]) {
 /// Convenience: packed workload argument.
 pub fn arg(iters: u64, size: u64, mode: u64) -> u64 {
     pack_arg(iters, size, mode)
+}
+
+/// Prints, for each workload, where the sva-safe configuration's metapool
+/// lookups resolved: MRU cache, page index, or splay tree. Each row is one
+/// `(label, prog, arg)` workload booted once under [`KernelKind::SvaSafe`].
+pub fn print_check_breakdown(title: &str, rows: &[(&str, &str, u64)]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>8}",
+        "Test", "cache hits", "page hits", "tree walks", "tree %"
+    );
+    for (label, prog, a) in rows {
+        let s = run_workload(KernelKind::SvaSafe, prog, *a);
+        let total = s.cache_hits + s.page_hits + s.tree_walks;
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * s.tree_walks as f64 / total as f64
+        };
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>7.1}%",
+            label, s.cache_hits, s.page_hits, s.tree_walks, pct
+        );
+    }
 }

@@ -1,0 +1,340 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `criterion` crate cannot be fetched. This crate implements the small
+//! slice of its API the `bench` crate uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`/`iter_batched`,
+//! `Throughput`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros — with a plain warmup-then-measure loop.
+//!
+//! Differences from real criterion, by design:
+//!
+//! * no statistical analysis: we report the median of the sample set and
+//!   min/max, which is enough for the CI perf-trajectory artifact;
+//! * results are also appended as JSON lines to
+//!   `target/sva-bench/<bench>.json` (override the directory with
+//!   `SVA_BENCH_DIR`) so CI can upload a machine-readable artifact;
+//! * `--quick` shrinks warmup/measurement so a full bench binary finishes
+//!   in seconds; a positional argument filters benchmarks by substring,
+//!   and the `--bench` flag cargo passes is accepted and ignored.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration batch.
+    Bytes(u64),
+    /// Abstract elements processed per iteration batch.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs every batch at
+/// size 1, so the variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Harness configuration shared by every group.
+#[derive(Clone, Debug)]
+struct Config {
+    warmup: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+            filter: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => {
+                    cfg.warmup = Duration::from_millis(50);
+                    cfg.measurement = Duration::from_millis(200);
+                    cfg.sample_size = 10;
+                }
+                "--bench" | "--test" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    // Flags with a value we do not use.
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => cfg.filter = Some(s.to_string()),
+            }
+        }
+        cfg
+    }
+}
+
+/// Entry point object, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    cfg: Config,
+    bench_name: String,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_name = std::env::args()
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .map(|s| {
+                // Strip the `-<hash>` suffix cargo appends to bench binaries.
+                match s.rsplit_once('-') {
+                    Some((stem, hash)) if hash.len() == 16 => stem.to_string(),
+                    _ => s,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        Criterion {
+            cfg: Config::from_args(),
+            bench_name,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (already done in `default`; kept for API
+    /// compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Annotates the group with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if let Some(filter) = &self.c.cfg.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = self.sample_size.unwrap_or(self.c.cfg.sample_size).max(3);
+        let budget = self.measurement.unwrap_or(self.c.cfg.measurement);
+        // Warmup while estimating a per-iteration cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1000);
+        while warm_start.elapsed() < self.c.cfg.warmup {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.iters > 0 && !b.elapsed.is_zero() {
+                per_iter = b.elapsed / b.iters as u32;
+            }
+        }
+        // Choose an iteration count so each sample takes ~budget/samples.
+        let per_sample = budget / samples as u32;
+        let iters =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u64;
+        let mut ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let median = ns[ns.len() / 2];
+        let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+        let mut line = format!(
+            "{full:<44} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let mbs = bytes as f64 / median * 1000.0; // ns → MB/s
+            let _ = write!(line, "  thrpt: {mbs:.1} MB/s");
+        }
+        println!("{line}");
+        record_json(&self.c.bench_name, &full, lo, median, hi, iters, samples);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn default_bench_dir() -> std::path::PathBuf {
+    // Cargo runs bench binaries with cwd set to the *package* directory, so a
+    // plain relative path would land in crates/<pkg>/target. Anchor at the
+    // workspace root instead: the nearest ancestor holding Cargo.lock (member
+    // crates of a workspace don't have their own lockfile).
+    let mut cur = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("target").join("sva-bench");
+        }
+        if !cur.pop() {
+            return std::path::PathBuf::from("target/sva-bench");
+        }
+    }
+}
+
+fn record_json(bench: &str, id: &str, lo: f64, median: f64, hi: f64, iters: u64, samples: usize) {
+    let dir = std::env::var("SVA_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| default_bench_dir());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{bench}.json"));
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    let _ = writeln!(
+        f,
+        "{{\"bench\":\"{bench}\",\"id\":\"{id}\",\"ns_low\":{lo:.1},\"ns_median\":{median:.1},\
+         \"ns_high\":{hi:.1},\"iters_per_sample\":{iters},\"samples\":{samples}}}"
+    );
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the harness-chosen iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declares the benchmark functions of a target, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

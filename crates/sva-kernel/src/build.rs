@@ -1,0 +1,2585 @@
+//! Emits the miniature kernel as SVA IR.
+//!
+//! Everything the tests, exploits and benchmarks run is produced here, by
+//! hand, through [`FunctionBuilder`] — a stand-in for the ported Linux
+//! 2.4.22 sources of the paper (§6). The kernel is deliberately shaped
+//! like the real thing where it matters to the safety compiler:
+//!
+//! * allocators are *declared* ([`Module::declare_allocator`]): a slab
+//!   (`kmem_cache`) layer with per-object-size caches, `kmalloc` backed by
+//!   it, `vmalloc`, and a raw page allocator (§4.4, §6.2);
+//! * device dispatch goes through a relocated function-pointer table
+//!   (`chr_fops`) with a §4.8 signature assertion at the indirect call;
+//! * the protocol handlers reproduce the paper's exploit surfaces (§7.2):
+//!   the `MCAST_MSFILTER` integer overflow, the IGMP report truncation,
+//!   the Fig. 2 route-lookup unchecked index, the Bluetooth stack
+//!   overflow, and the ELF loader `e_phnum` copy that the "as tested"
+//!   exclusion of `lib/` lets slip through;
+//! * processes, fork/exec/wait, pipes, signals and a ramfs VFS are real
+//!   enough to schedule multiple address spaces through the SVA-OS
+//!   interrupt-context intrinsics (§3.3).
+//!
+//! Userspace programs (`user_*`) live in the same module but are excluded
+//! from kernel analysis; they only talk to the kernel through
+//! `sva.syscall`.
+
+use std::collections::HashMap;
+
+use sva_ir::build::FunctionBuilder;
+use sva_ir::{
+    AllocKind, AllocatorDecl, FuncId, GlobalId, GlobalInit, IPred, Intrinsic, Linkage, Module,
+    Operand, RelocTarget, SizeSpec, TypeId,
+};
+
+use crate::nr;
+
+/// Userspace program argument packing.
+pub mod user {
+    /// Packs `(iters, size, mode)` into the single `i64` argument every
+    /// `user_*` program receives: `iters` in bits 0..24, `size` in bits
+    /// 24..48, `mode` in bits 48..64.
+    pub fn pack_arg(iters: u64, size: u64, mode: u64) -> u64 {
+        (iters & 0xff_ffff) | ((size & 0xff_ffff) << 24) | (mode << 48)
+    }
+}
+
+/// Build-time options for the kernel image (reserved for future knobs; the
+/// default builds the full kernel).
+#[derive(Clone, Debug, Default)]
+pub struct KernelOptions {}
+
+// ---- kernel-wide constants ------------------------------------------------
+
+/// Process table size.
+const NPROC: i64 = 8;
+/// Global open-file table size.
+const NFILE: i64 = 16;
+/// Per-process file-descriptor table size.
+const NFDS: i64 = 8;
+/// Number of ramfs inodes.
+const NINODE: i64 = 8;
+/// Number of signals.
+const NSIG: i64 = 8;
+/// Pipe ring-buffer capacity in bytes.
+const PIPE_SZ: i64 = 512;
+
+/// `-EINTR`: a blocked system call was interrupted by a signal.
+const EINTR: i64 = -4;
+/// `-EBADF`: bad file descriptor (also used for exhaustion).
+const EBADF: i64 = -9;
+/// Generic "no such thing" error.
+const ENOENT: i64 = -1;
+
+/// Key space for `sva.save.integer` state buffers: one per process.
+const SAVE_KEY_BASE: i64 = 0x6000_0000;
+/// The `IcontextSave` slot used transiently by `sys_fork`.
+const FORK_ISP: i64 = 1;
+
+/// Process states.
+const P_FREE: i64 = 0;
+const P_RUNNING: i64 = 1;
+/// Blocked in the kernel, runnable: resume via `sva.load.integer`.
+const P_READY_KERNEL: i64 = 2;
+const P_BLOCKED: i64 = 3;
+const P_ZOMBIE: i64 = 4;
+/// Never ran: start by `sva.iret`-ing into its interrupt context.
+const P_READY_USER: i64 = 5;
+
+/// Console I/O port (16550-flavoured).
+const PORT_CONSOLE: i64 = 0x3f8;
+
+/// file_t kinds.
+const F_CHR: i64 = 1;
+const F_REG: i64 = 2;
+const F_PIPE_R: i64 = 3;
+const F_PIPE_W: i64 = 4;
+
+// Userspace memory map (inside the 256 KiB user window starting at
+// `sva_vm::USER_BASE`); the brk heap above these is
+// `crate::harness::USER_HEAP_BASE`.
+const UBASE: i64 = sva_vm::USER_BASE as i64;
+const FDBUF: i64 = UBASE + 0x6000;
+const UBUF: i64 = UBASE + 0x8000;
+const USRC: i64 = UBASE + 0x10000;
+const UDST: i64 = UBASE + 0x18000;
+const UTMP: i64 = UBASE + 0x20000;
+const UHEAP: i64 = UBASE + 0x28000;
+
+/// Base of the kernel brk heap mirrored by `mm_claim` (the VM maps
+/// `sva_vm` kernel memory flat; this matches `sva_vm::mem::KHEAP_BASE`).
+const KHEAP_BASE: i64 = 0x1020_0000;
+
+// ---- shared builder context ------------------------------------------------
+
+/// Interned types, functions and globals the emitters share.
+struct K {
+    i8t: TypeId,
+    i32t: TypeId,
+    i64t: TypeId,
+    pipe_t: TypeId,
+    file_t: TypeId,
+    chr_fn_t: TypeId,
+    f: HashMap<String, FuncId>,
+    g: HashMap<String, GlobalId>,
+}
+
+impl K {
+    fn fid(&self, name: &str) -> FuncId {
+        *self.f.get(name).unwrap_or_else(|| panic!("no fn {name}"))
+    }
+    fn gop(&self, name: &str) -> Operand {
+        Operand::Global(
+            *self
+                .g
+                .get(name)
+                .unwrap_or_else(|| panic!("no global {name}")),
+        )
+    }
+}
+
+/// `i64` constant operand.
+fn ci(k: &K, v: i64) -> Operand {
+    Operand::ConstInt(v, k.i64t)
+}
+
+/// Emits `for i in 0..n { body }` over a stack counter (no φ-nodes, which
+/// keeps dominance trivial). The closure must leave the insertion point in
+/// a reachable block.
+fn emit_loop<F>(b: &mut FunctionBuilder, k: &K, n: Operand, body: F)
+where
+    F: FnOnce(&mut FunctionBuilder, Operand),
+{
+    let slot = b.alloca(k.i64t);
+    b.store(ci(k, 0), slot);
+    let head = b.block("for.head");
+    let bb = b.block("for.body");
+    let done = b.block("for.done");
+    b.br(head);
+    b.switch_to(head);
+    let i = b.load(slot);
+    let cond = b.icmp(IPred::ULt, i, n);
+    b.cond_br(cond, bb, done);
+    b.switch_to(bb);
+    body(b, i);
+    let next = b.add(i, ci(k, 1));
+    b.store(next, slot);
+    b.br(head);
+    b.switch_to(done);
+}
+
+/// Emits `if cond { return retval; }`.
+fn ret_if(b: &mut FunctionBuilder, k: &K, cond: Operand, retval: i64) {
+    let bad = b.block("guard.bad");
+    let ok = b.block("guard.ok");
+    b.cond_br(cond, bad, ok);
+    b.switch_to(bad);
+    b.ret(Some(ci(k, retval)));
+    b.switch_to(ok);
+}
+
+/// Unsigned minimum.
+fn umin(b: &mut FunctionBuilder, a: Operand, bb: Operand) -> Operand {
+    let c = b.icmp(IPred::ULt, a, bb);
+    b.select(c, a, bb)
+}
+
+/// `&proc_table[pid]`.
+fn proc_at(b: &mut FunctionBuilder, k: &K, pid: Operand) -> Operand {
+    let pt = k.gop("proc_table");
+    b.array_elem_ptr(pt, pid)
+}
+
+/// The current pid (`proc_current`).
+fn cur_pid(b: &mut FunctionBuilder, k: &K) -> Operand {
+    let g = k.gop("proc_current");
+    b.load(g)
+}
+
+// proc_t field indices.
+const PF_STATE: usize = 0;
+const PF_ICID: usize = 1;
+const PF_RETVAL: usize = 2;
+const PF_PARENT: usize = 3;
+const PF_EXIT: usize = 4;
+const PF_PENDING: usize = 5;
+const PF_ASID: usize = 6;
+const PF_UBRK: usize = 7;
+const PF_SIGH: usize = 8;
+const PF_FDS: usize = 9;
+
+// file_t field indices.
+const FF_KIND: usize = 0;
+const FF_INO: usize = 1;
+const FF_POS: usize = 2;
+const FF_REFCNT: usize = 3;
+const FF_PIPE: usize = 4;
+const FF_CHR: usize = 5;
+
+// pipe_t field indices.
+const QF_RPOS: usize = 0;
+const QF_WPOS: usize = 1;
+const QF_READERS: usize = 2;
+const QF_WRITERS: usize = 3;
+const QF_BUF: usize = 4;
+
+// inode_t field indices.
+const NF_SIZE: usize = 0;
+const NF_CAP: usize = 1;
+const NF_DATA: usize = 2;
+
+// cache_t field indices.
+const CF_OBJSIZE: usize = 0;
+const CF_NEXT: usize = 1;
+const CF_LIMIT: usize = 2;
+
+/// Loads `field` of the struct behind `p`.
+fn fld(b: &mut FunctionBuilder, p: Operand, field: usize) -> Operand {
+    let fp = b.field_ptr(p, field);
+    b.load(fp)
+}
+
+/// Stores `v` into `field` of the struct behind `p`.
+fn setfld(b: &mut FunctionBuilder, p: Operand, field: usize, v: Operand) {
+    let fp = b.field_ptr(p, field);
+    b.store(v, fp);
+}
+
+/// Builds the whole kernel module (plus userspace programs).
+pub fn build_kernel(_opts: &KernelOptions) -> Module {
+    let mut m = Module::new("sva-kernel");
+    let k = declare(&mut m);
+    // Builders resolve `Operand::Global`/`Operand::Func` through interned
+    // pointer types, so intern them before any body is emitted.
+    m.intern_address_types();
+    define_mm(&mut m, &k);
+    define_lib_chr(&mut m, &k);
+    define_proc(&mut m, &k);
+    define_fs(&mut m, &k);
+    define_pipe(&mut m, &k);
+    define_net_elf(&mut m, &k);
+    define_sys(&mut m, &k);
+    define_sys_io(&mut m, &k);
+    define_boot(&mut m, &k);
+    define_user(&mut m, &k);
+    m.entry = Some(k.fid("start_kernel"));
+    m.intern_address_types();
+    m
+}
+
+/// Interns types, declares globals + allocators, and forward-declares every
+/// function so bodies can call each other in any order.
+fn declare(m: &mut Module) -> K {
+    let i8t = m.types.i8();
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let void = m.types.void();
+    let p_i8 = m.types.byte_ptr();
+
+    // Slab descriptor: object size, bump cursor, object limit.
+    let cache_t = m.types.struct_type("cache_t", vec![i64t, i64t, i64t]);
+    let p_cache = m.types.ptr(cache_t);
+    // Pipe: ring positions, endpoint refcounts, ring buffer.
+    let pipe_t = m
+        .types
+        .struct_type("pipe_t", vec![i64t, i64t, i64t, i64t, p_i8]);
+    let p_pipe = m.types.ptr(pipe_t);
+    // Character-device read: fn(user_buf, count) -> read.
+    let chr_fn_t = m.types.func(i64t, vec![i64t, i64t], false);
+    let p_chr_fn = m.types.ptr(chr_fn_t);
+    // Open file: kind, inode index, position, refcount, pipe, chr handler.
+    let file_t = m
+        .types
+        .struct_type("file_t", vec![i64t, i64t, i64t, i64t, p_pipe, p_chr_fn]);
+    let p_file = m.types.ptr(file_t);
+    // Ramfs inode: size, capacity, data buffer.
+    let inode_t = m.types.struct_type("inode_t", vec![i64t, i64t, p_i8]);
+    let p_inode = m.types.ptr(inode_t);
+    // Process: state, icid, retval, parent, exit_code, pending_sig, asid,
+    // ubrk, sig handler table, fd table.
+    let sigh_arr = m.types.array(i64t, NSIG as u64);
+    let fds_arr = m.types.array(i64t, NFDS as u64);
+    let proc_t = m.types.struct_type(
+        "proc_t",
+        vec![
+            i64t, i64t, i64t, i64t, i64t, i64t, i64t, i64t, sigh_arr, fds_arr,
+        ],
+    );
+    // Userspace entry point: fn(packed_arg) -> exit-ish value.
+    let user_fn_t = m.types.func(i64t, vec![i64t], false);
+    let p_user_fn = m.types.ptr(user_fn_t);
+
+    let mut g = HashMap::new();
+    let mut gdecl = |m: &mut Module, name: &str, ty: TypeId, init: GlobalInit| {
+        let id = m.add_global(name, ty, init, false);
+        g.insert(name.to_string(), id);
+    };
+
+    // Globals. Declaration order fixes the layout: the exploit tests
+    // inspect a 128-byte window starting 64 bytes into `net_bt_scratch`,
+    // so the neighbours of the scratch buffer are chosen deliberately —
+    // two guard arrays that are never legitimately written, and the two
+    // boot parameter words the harness is allowed to touch.
+    let scratch_arr = m.types.array(i8t, 64);
+    let canary_arr = m.types.array(i8t, 24);
+    let guard_arr = m.types.array(i8t, 32);
+    gdecl(m, "net_bt_scratch", scratch_arr, GlobalInit::Zero);
+    gdecl(m, "net_bt_canary", canary_arr, GlobalInit::Zero);
+    gdecl(m, "boot_user_prog", i64t, GlobalInit::Zero);
+    gdecl(m, "boot_user_arg", i64t, GlobalInit::Zero);
+    gdecl(m, "net_bt_guard", guard_arr, GlobalInit::Zero);
+    gdecl(m, "time_ticks", i64t, GlobalInit::Zero);
+    gdecl(m, "mm_brk", i64t, GlobalInit::Zero);
+    gdecl(m, "proc_current", i64t, GlobalInit::Zero);
+    let proc_arr = m.types.array(proc_t, NPROC as u64);
+    gdecl(m, "proc_table", proc_arr, GlobalInit::Zero);
+    let ftab_arr = m.types.array(p_file, NFILE as u64);
+    gdecl(m, "file_table", ftab_arr, GlobalInit::Zero);
+    let itab_arr = m.types.array(inode_t, NINODE as u64);
+    gdecl(m, "inode_table", itab_arr, GlobalInit::Zero);
+    gdecl(m, "pipe_cache", cache_t, GlobalInit::Zero);
+    gdecl(m, "file_cache", cache_t, GlobalInit::Zero);
+    let rt_arr = m.types.array(i64t, 32);
+    gdecl(m, "rt_table", rt_arr, GlobalInit::Zero);
+    // Character-device dispatch table: /dev/zero and /dev/null readers.
+    let fops_arr = m.types.array(p_chr_fn, 2);
+    gdecl(
+        m,
+        "chr_fops",
+        fops_arr,
+        GlobalInit::Relocated {
+            bytes: vec![0; 16],
+            relocs: vec![
+                (0, RelocTarget::Func("chr_zero_read".into())),
+                (8, RelocTarget::Func("chr_null_read".into())),
+            ],
+        },
+    );
+    // "ELF" program table the exec path indirects through.
+    let prog_arr = m.types.array(p_user_fn, 4);
+    gdecl(
+        m,
+        "elf_prog_table",
+        prog_arr,
+        GlobalInit::Relocated {
+            bytes: vec![0; 32],
+            relocs: vec![(0, RelocTarget::Func("user_exec_child".into()))],
+        },
+    );
+    gdecl(m, "net_rx_count", i64t, GlobalInit::Zero);
+
+    // Allocators (§4.4, §6.2): slab caches carved from raw pages, kmalloc
+    // backed by the slab layer, vmalloc for large buffers, and the page
+    // allocator itself.
+    m.declare_allocator(AllocatorDecl {
+        name: "kmem_cache".into(),
+        kind: AllocKind::Pool,
+        alloc_fn: "mm_kmem_cache_alloc".into(),
+        dealloc_fn: Some("mm_kmem_cache_free".into()),
+        pool_create_fn: Some("mm_cache_init".into()),
+        pool_destroy_fn: None,
+        size: SizeSpec::PoolObjectSize,
+        size_fn: Some("mm_cache_objsize".into()),
+        pool_arg: Some(0),
+        backed_by: Some("pages".into()),
+    });
+    m.declare_allocator(AllocatorDecl {
+        name: "kmalloc".into(),
+        kind: AllocKind::Ordinary,
+        alloc_fn: "mm_kmalloc".into(),
+        dealloc_fn: Some("mm_kfree".into()),
+        pool_create_fn: None,
+        pool_destroy_fn: None,
+        size: SizeSpec::Arg(0),
+        size_fn: None,
+        pool_arg: None,
+        backed_by: Some("kmem_cache".into()),
+    });
+    m.declare_allocator(AllocatorDecl {
+        name: "vmalloc".into(),
+        kind: AllocKind::Ordinary,
+        alloc_fn: "mm_vmalloc".into(),
+        dealloc_fn: Some("mm_vfree".into()),
+        pool_create_fn: None,
+        pool_destroy_fn: None,
+        size: SizeSpec::Arg(0),
+        size_fn: None,
+        pool_arg: None,
+        backed_by: None,
+    });
+    m.declare_allocator(AllocatorDecl {
+        name: "pages".into(),
+        kind: AllocKind::Ordinary,
+        alloc_fn: "mm_page_alloc".into(),
+        dealloc_fn: None,
+        pool_create_fn: None,
+        pool_destroy_fn: None,
+        size: SizeSpec::Arg(0),
+        size_fn: None,
+        pool_arg: None,
+        backed_by: None,
+    });
+
+    // Function signatures.
+    let f0_i = m.types.func(i64t, vec![], false);
+    let f1_i = m.types.func(i64t, vec![i64t], false);
+    let f2_i = m.types.func(i64t, vec![i64t, i64t], false);
+    let f3_i = m.types.func(i64t, vec![i64t, i64t, i64t], false);
+    let f4_i = m.types.func(i64t, vec![i64t, i64t, i64t, i64t], false);
+    let f0_v = m.types.func(void, vec![], false);
+    let f_claim = f1_i;
+    let f_alloc = m.types.func(p_i8, vec![i64t], false);
+    let f_free = m.types.func(void, vec![p_i8], false);
+    let f_cinit = m.types.func(void, vec![p_cache, i64t, i64t], false);
+    let f_cobjsz = m.types.func(i64t, vec![p_cache], false);
+    let f_calloc = m.types.func(p_i8, vec![p_cache], false);
+    let f_cfree = m.types.func(void, vec![p_cache, p_i8], false);
+    let f_copy = m.types.func(i64t, vec![p_i8, i64t, i64t], false);
+    let f_dbg = m.types.func(i64t, vec![p_i8], false);
+    let f_getfile = m.types.func(p_file, vec![i64t], false);
+    let f_allocfd = m.types.func(i64t, vec![p_file], false);
+    let f_inodeof = m.types.func(p_inode, vec![p_file], false);
+    let f_ensure = m.types.func(void, vec![p_inode, i64t], false);
+    let f_fileio = m.types.func(i64t, vec![p_file, i64t, i64t], false);
+    let f_pcreate = m.types.func(p_pipe, vec![], false);
+    let f_pipeio = m.types.func(i64t, vec![p_pipe, i64t, i64t], false);
+
+    let mut f = HashMap::new();
+    let mut fdecl = |m: &mut Module, name: &str, ty: TypeId, link: Linkage| {
+        let id = m.add_function(name, ty, link);
+        f.insert(name.to_string(), id);
+    };
+    use Linkage::Public as Pub;
+
+    fdecl(m, "mm_claim", f_claim, Pub);
+    fdecl(m, "mm_init", f0_v, Pub);
+    fdecl(m, "mm_cache_init", f_cinit, Pub);
+    fdecl(m, "mm_cache_objsize", f_cobjsz, Pub);
+    fdecl(m, "mm_kmem_cache_alloc", f_calloc, Pub);
+    fdecl(m, "mm_kmem_cache_free", f_cfree, Pub);
+    fdecl(m, "mm_kmalloc", f_alloc, Pub);
+    fdecl(m, "mm_kfree", f_free, Pub);
+    fdecl(m, "mm_vmalloc", f_alloc, Pub);
+    fdecl(m, "mm_vfree", f_free, Pub);
+    fdecl(m, "mm_page_alloc", f_alloc, Pub);
+
+    fdecl(m, "lib_copy_from_user", f_copy, Pub);
+    fdecl(m, "chr_zero_read", chr_fn_t, Pub);
+    fdecl(m, "chr_null_read", chr_fn_t, Pub);
+    fdecl(m, "chr_dbg_note", f_dbg, Pub);
+
+    fdecl(m, "proc_find_free", f0_i, Pub);
+    fdecl(m, "proc_schedule", f0_v, Pub);
+    fdecl(m, "proc_block_current", f0_v, Pub);
+    fdecl(m, "proc_wake_all", f0_v, Pub);
+    fdecl(m, "sig_check_pending", f0_i, Pub);
+    fdecl(m, "sig_timer_tick", f1_i, Pub);
+
+    fdecl(m, "fs_get_file", f_getfile, Pub);
+    fdecl(m, "fs_alloc_fd", f_allocfd, Pub);
+    // Internal + small + called from exactly read and write: a function
+    // cloning candidate (§4 compiler transforms).
+    fdecl(m, "fs_inode_of", f_inodeof, Linkage::Internal);
+    fdecl(m, "fs_ensure_cap", f_ensure, Pub);
+    fdecl(m, "fs_file_read", f_fileio, Pub);
+    fdecl(m, "fs_file_write", f_fileio, Pub);
+
+    fdecl(m, "pipe_create", f_pcreate, Pub);
+    fdecl(m, "pipe_read", f_pipeio, Pub);
+    fdecl(m, "pipe_write", f_pipeio, Pub);
+
+    fdecl(m, "net_set_msfilter", f2_i, Pub);
+    fdecl(m, "net_rx_igmp", f2_i, Pub);
+    fdecl(m, "net_rx_bt", f2_i, Pub);
+    fdecl(m, "net_route_lookup", f1_i, Pub);
+    fdecl(m, "elf_load", f3_i, Pub);
+
+    fdecl(m, "sys_exit", f1_i, Pub);
+    fdecl(m, "sys_fork", f0_i, Pub);
+    fdecl(m, "sys_read", f3_i, Pub);
+    fdecl(m, "sys_write", f3_i, Pub);
+    fdecl(m, "sys_open", f2_i, Pub);
+    fdecl(m, "sys_close", f1_i, Pub);
+    fdecl(m, "sys_waitpid", f1_i, Pub);
+    fdecl(m, "sys_execve", f3_i, Pub);
+    fdecl(m, "sys_lseek", f2_i, Pub);
+    fdecl(m, "sys_getpid", f0_i, Pub);
+    fdecl(m, "sys_kill", f2_i, Pub);
+    fdecl(m, "sys_pipe", f1_i, Pub);
+    fdecl(m, "sys_sbrk", f1_i, Pub);
+    fdecl(m, "sys_sigaction", f2_i, Pub);
+    fdecl(m, "sys_getrusage", f1_i, Pub);
+    fdecl(m, "sys_gettimeofday", f1_i, Pub);
+    fdecl(m, "sys_yield", f0_i, Pub);
+    fdecl(m, "sys_socket", f0_i, Pub);
+    fdecl(m, "sys_setsockopt", f4_i, Pub);
+    fdecl(m, "sys_net_rx_igmp", f2_i, Pub);
+    fdecl(m, "sys_net_rx_bt", f2_i, Pub);
+    fdecl(m, "sys_route_lookup", f1_i, Pub);
+
+    fdecl(m, "start_kernel", f0_i, Pub);
+
+    for name in [
+        "user_hello",
+        "user_getpid_loop",
+        "user_openclose_loop",
+        "user_pipe_loop",
+        "user_fork_loop",
+        "user_signal_demo",
+        "user_sig_handler",
+        "user_legit_net",
+        "user_exploit_msfilter",
+        "user_exploit_igmp",
+        "user_exploit_bt",
+        "user_exploit_route",
+        "user_exploit_elf",
+        "user_devzero",
+        "user_fileverify",
+        "user_multichild",
+        "user_errorpaths",
+        "user_killchild",
+        "user_child_sig",
+        "user_killwriter",
+        "user_fileread_bw",
+        "user_scp",
+        "user_thttpd",
+        "user_pipe_bw",
+        "user_forkexec_loop",
+        "user_exec_child",
+        "user_getrusage_loop",
+        "user_bzip2",
+        "user_lame",
+        "user_gcc",
+        "user_ldd",
+        "user_gettimeofday_loop",
+        "user_sbrk_loop",
+        "user_sigaction_loop",
+        "user_write_loop",
+    ] {
+        fdecl(m, name, user_fn_t, Pub);
+    }
+    fdecl(m, "user_fill", f3_i, Pub);
+    fdecl(m, "user_verify", f3_i, Pub);
+    fdecl(m, "user_check_zero", f2_i, Pub);
+
+    K {
+        i8t,
+        i32t,
+        i64t,
+        pipe_t,
+        file_t,
+        chr_fn_t,
+        f,
+        g,
+    }
+}
+
+// ---- mm: page allocator, slab caches, kmalloc/vmalloc ----------------------
+
+fn define_mm(m: &mut Module, k: &K) {
+    // mm_claim(n): bump-allocate n bytes (rounded to 8, min 8) of kernel
+    // heap and return the old break.
+    let mut b = FunctionBuilder::new(m, k.fid("mm_claim"));
+    let n = b.param(0);
+    let n7 = b.add(n, ci(k, 7));
+    let rounded = b.and(n7, ci(k, !7));
+    let isz = b.icmp(IPred::Eq, rounded, ci(k, 0));
+    let want = b.select(isz, ci(k, 8), rounded);
+    let brk = k.gop("mm_brk");
+    let old = b.load(brk);
+    let new = b.add(old, want);
+    b.store(new, brk);
+    b.ret(Some(old));
+
+    // mm_page_alloc / mm_kmalloc / mm_vmalloc: thin wrappers returning the
+    // claimed range as a byte pointer.
+    for name in ["mm_page_alloc", "mm_kmalloc", "mm_vmalloc"] {
+        let mut b = FunctionBuilder::new(m, k.fid(name));
+        let n = b.param(0);
+        let addr = b.call(k.fid("mm_claim"), vec![n]).unwrap();
+        let p = b.inttoptr(addr, k.i8t);
+        b.ret(Some(p));
+    }
+    // Frees are no-ops for the bump allocator; they still exist so the
+    // safety checker learns object lifetimes from the dealloc calls.
+    for name in ["mm_kfree", "mm_vfree"] {
+        let mut b = FunctionBuilder::new(m, k.fid(name));
+        b.ret(None);
+    }
+
+    // mm_cache_init(desc, objsize, count): carve a slab arena out of the
+    // page allocator.
+    let mut b = FunctionBuilder::new(m, k.fid("mm_cache_init"));
+    let desc = b.param(0);
+    let objsize = b.param(1);
+    let count = b.param(2);
+    setfld(&mut b, desc, CF_OBJSIZE, objsize);
+    let total = b.mul(objsize, count);
+    let arena = b.call(k.fid("mm_page_alloc"), vec![total]).unwrap();
+    let base = b.ptrtoint(arena);
+    setfld(&mut b, desc, CF_NEXT, base);
+    let limit = b.add(base, total);
+    setfld(&mut b, desc, CF_LIMIT, limit);
+    b.ret(None);
+
+    // mm_cache_objsize(desc).
+    let mut b = FunctionBuilder::new(m, k.fid("mm_cache_objsize"));
+    let desc = b.param(0);
+    let sz = fld(&mut b, desc, CF_OBJSIZE);
+    b.ret(Some(sz));
+
+    // mm_kmem_cache_alloc(desc): bump within the arena, null when full.
+    let mut b = FunctionBuilder::new(m, k.fid("mm_kmem_cache_alloc"));
+    let desc = b.param(0);
+    let nxt = fld(&mut b, desc, CF_NEXT);
+    let lim = fld(&mut b, desc, CF_LIMIT);
+    let sz = fld(&mut b, desc, CF_OBJSIZE);
+    let end = b.add(nxt, sz);
+    let over = b.icmp(IPred::UGt, end, lim);
+    let full = b.block("slab.full");
+    let ok = b.block("slab.ok");
+    b.cond_br(over, full, ok);
+    b.switch_to(full);
+    let nullp = b.null_byte_ptr();
+    b.ret(Some(nullp));
+    b.switch_to(ok);
+    setfld(&mut b, desc, CF_NEXT, end);
+    let obj = b.inttoptr(nxt, k.i8t);
+    b.ret(Some(obj));
+
+    // mm_kmem_cache_free(desc, obj): no-op (objects are never reused, so a
+    // stale pointer can only dangle, not alias a new object).
+    let mut b = FunctionBuilder::new(m, k.fid("mm_kmem_cache_free"));
+    b.ret(None);
+
+    // mm_init: heap break, then the two slab caches the kernel uses.
+    let mut b = FunctionBuilder::new(m, k.fid("mm_init"));
+    b.store(ci(k, KHEAP_BASE), k.gop("mm_brk"));
+    let pc = k.gop("pipe_cache");
+    let fc = k.gop("file_cache");
+    b.call(k.fid("mm_cache_init"), vec![pc, ci(k, 40), ci(k, 128)]);
+    b.call(k.fid("mm_cache_init"), vec![fc, ci(k, 48), ci(k, 256)]);
+    b.ret(None);
+}
+
+// ---- lib + character devices -----------------------------------------------
+
+fn define_lib_chr(m: &mut Module, k: &K) {
+    // lib_copy_from_user(dst, src, n): byte copy with *no* clamp — exactly
+    // the pattern the §7.2 ELF-loader exploit abuses when lib/ is compiled
+    // without checks ("as tested") and catches when it is included.
+    let mut b = FunctionBuilder::new(m, k.fid("lib_copy_from_user"));
+    let dst = b.param(0);
+    let src = b.param(1);
+    let n = b.param(2);
+    emit_loop(&mut b, k, n, |b, i| {
+        let sa = b.add(src, i);
+        let sp = b.inttoptr(sa, k.i8t);
+        let byte = b.load(sp);
+        let dp = b.gep(dst, vec![i]);
+        b.store(byte, dp);
+    });
+    b.ret(Some(n));
+
+    // chr_zero_read(buf, count): /dev/zero.
+    let mut b = FunctionBuilder::new(m, k.fid("chr_zero_read"));
+    let buf = b.param(0);
+    let count = b.param(1);
+    emit_loop(&mut b, k, count, |b, i| {
+        let ua = b.add(buf, i);
+        let up = b.inttoptr(ua, k.i8t);
+        b.store(Operand::ConstInt(0, k.i8t), up);
+    });
+    b.ret(Some(count));
+
+    // chr_null_read: /dev/null — always EOF.
+    let mut b = FunctionBuilder::new(m, k.fid("chr_null_read"));
+    b.ret(Some(ci(k, 0)));
+
+    // chr_dbg_note(p): a diagnostic hook the Bluetooth path hands its
+    // scratch buffer to. chr_ is outside the analysed kernel in every
+    // configuration, so this single escape makes the scratch pool
+    // incomplete — load/store checks are relaxed there, but bounds checks
+    // on known objects still fire (§4.2's "reduced checks" behaviour).
+    let mut b = FunctionBuilder::new(m, k.fid("chr_dbg_note"));
+    b.ret(Some(ci(k, 0)));
+}
+
+// ---- processes, scheduling, signals ----------------------------------------
+
+fn define_proc(m: &mut Module, k: &K) {
+    // proc_find_free: first FREE slot above pid 0, or -1.
+    let mut b = FunctionBuilder::new(m, k.fid("proc_find_free"));
+    let slot = b.alloca(k.i64t);
+    b.store(ci(k, 1), slot);
+    let head = b.block("scan.head");
+    let body = b.block("scan.body");
+    let cont = b.block("scan.cont");
+    let none = b.block("scan.none");
+    let found = b.block("scan.found");
+    b.br(head);
+    b.switch_to(head);
+    let i = b.load(slot);
+    let c = b.icmp(IPred::ULt, i, ci(k, NPROC));
+    b.cond_br(c, body, none);
+    b.switch_to(body);
+    let pp = proc_at(&mut b, k, i);
+    let st = fld(&mut b, pp, PF_STATE);
+    let isfree = b.icmp(IPred::Eq, st, ci(k, P_FREE));
+    b.cond_br(isfree, found, cont);
+    b.switch_to(cont);
+    let i1 = b.add(i, ci(k, 1));
+    b.store(i1, slot);
+    b.br(head);
+    b.switch_to(found);
+    b.ret(Some(i));
+    b.switch_to(none);
+    b.ret(Some(ci(k, -1)));
+
+    // proc_schedule: round-robin from proc_current+1. READY_USER procs are
+    // entered by sva.iret into their saved interrupt context; READY_KERNEL
+    // procs resume their kernel continuation via sva.load.integer (§3.3).
+    let mut b = FunctionBuilder::new(m, k.fid("proc_schedule"));
+    let cur = cur_pid(&mut b, k);
+    let slot = b.alloca(k.i64t);
+    b.store(ci(k, 1), slot);
+    let head = b.block("sched.head");
+    let body = b.block("sched.body");
+    let chk_kern = b.block("sched.kern?");
+    let run_user = b.block("sched.user");
+    let run_kern = b.block("sched.kernel");
+    let cont = b.block("sched.cont");
+    let none = b.block("sched.none");
+    b.br(head);
+    b.switch_to(head);
+    let j = b.load(slot);
+    let c = b.icmp(IPred::ULe, j, ci(k, NPROC));
+    b.cond_br(c, body, none);
+    b.switch_to(body);
+    let sum = b.add(cur, j);
+    let idx = b.urem(sum, ci(k, NPROC));
+    let pp = proc_at(&mut b, k, idx);
+    let st = fld(&mut b, pp, PF_STATE);
+    let isuser = b.icmp(IPred::Eq, st, ci(k, P_READY_USER));
+    b.cond_br(isuser, run_user, chk_kern);
+    b.switch_to(run_user);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_RUNNING));
+    b.store(idx, k.gop("proc_current"));
+    let ic = fld(&mut b, pp, PF_ICID);
+    let rv = fld(&mut b, pp, PF_RETVAL);
+    b.intrinsic(Intrinsic::Iret, vec![ic, rv], None);
+    b.ret(None);
+    b.switch_to(run_kern);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_RUNNING));
+    b.store(idx, k.gop("proc_current"));
+    let key = b.add(ci(k, SAVE_KEY_BASE), idx);
+    b.intrinsic(Intrinsic::LoadInteger, vec![key], None);
+    b.ret(None);
+    b.switch_to(chk_kern);
+    let iskern = b.icmp(IPred::Eq, st, ci(k, P_READY_KERNEL));
+    b.cond_br(iskern, run_kern, cont);
+    b.switch_to(cont);
+    let j1 = b.add(j, ci(k, 1));
+    b.store(j1, slot);
+    b.br(head);
+    b.switch_to(none);
+    // Nothing runnable: the kernel would idle forever, so halt loudly.
+    b.intrinsic(Intrinsic::Abort, vec![ci(k, 99)], None);
+    b.ret(None);
+
+    // proc_block_current: mark BLOCKED, checkpoint this kernel
+    // continuation, and go schedule someone else. The 1-return is the
+    // save path; the 0-return is the wakeup path.
+    let mut b = FunctionBuilder::new(m, k.fid("proc_block_current"));
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_BLOCKED));
+    let key = b.add(ci(k, SAVE_KEY_BASE), cur);
+    let r = b
+        .intrinsic(Intrinsic::SaveInteger, vec![key], Some(k.i64t))
+        .unwrap();
+    let saved = b.icmp(IPred::Eq, r, ci(k, 1));
+    let sched = b.block("blk.sched");
+    let resumed = b.block("blk.resumed");
+    b.cond_br(saved, sched, resumed);
+    b.switch_to(sched);
+    b.call(k.fid("proc_schedule"), vec![]);
+    b.ret(None);
+    b.switch_to(resumed);
+    b.ret(None);
+
+    // proc_wake_all: every BLOCKED proc becomes READY_KERNEL. Wakeups are
+    // broadcast; blocking loops re-check their condition.
+    let mut b = FunctionBuilder::new(m, k.fid("proc_wake_all"));
+    emit_loop(&mut b, k, ci(k, NPROC), |b, i| {
+        let pp = proc_at(b, k, i);
+        let st = fld(b, pp, PF_STATE);
+        let isb = b.icmp(IPred::Eq, st, ci(k, P_BLOCKED));
+        let yes = b.block("wake.yes");
+        let cont = b.block("wake.cont");
+        b.cond_br(isb, yes, cont);
+        b.switch_to(yes);
+        setfld(b, pp, PF_STATE, ci(k, P_READY_KERNEL));
+        b.br(cont);
+        b.switch_to(cont);
+    });
+    b.ret(None);
+
+    // sig_check_pending: deliver at most one pending signal to the current
+    // process by pushing its handler onto the interrupt context
+    // (sva.ipush.function, §3.4). Returns 1 if a signal was consumed.
+    let mut b = FunctionBuilder::new(m, k.fid("sig_check_pending"));
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    let s = fld(&mut b, pp, PF_PENDING);
+    let isz = b.icmp(IPred::Eq, s, ci(k, 0));
+    ret_if(&mut b, k, isz, 0);
+    setfld(&mut b, pp, PF_PENDING, ci(k, 0));
+    let hp = b.field_ptr(pp, PF_SIGH);
+    let idx = b.and(s, ci(k, NSIG - 1));
+    let hslot = b.array_elem_ptr(hp, idx);
+    let h = b.load(hslot);
+    let isnz = b.icmp(IPred::Ne, h, ci(k, 0));
+    let push = b.block("sig.push");
+    let out = b.block("sig.out");
+    b.cond_br(isnz, push, out);
+    b.switch_to(push);
+    let ic = b
+        .intrinsic(Intrinsic::IcontextGet, vec![], Some(k.i64t))
+        .unwrap();
+    b.intrinsic(Intrinsic::IpushFunction, vec![ic, h, s], None);
+    b.br(out);
+    b.switch_to(out);
+    b.ret(Some(ci(k, 1)));
+
+    // sig_timer_tick: interrupt vector 0 — count ticks.
+    let mut b = FunctionBuilder::new(m, k.fid("sig_timer_tick"));
+    let t = b.load(k.gop("time_ticks"));
+    let t1 = b.add(t, ci(k, 1));
+    b.store(t1, k.gop("time_ticks"));
+    b.ret(Some(ci(k, 0)));
+}
+
+// ---- ramfs VFS --------------------------------------------------------------
+
+fn define_fs(m: &mut Module, k: &K) {
+    // fs_get_file(fd) -> file_t* (null on any invalid fd).
+    let mut b = FunctionBuilder::new(m, k.fid("fs_get_file"));
+    let fd = b.param(0);
+    let bad = b.block("gf.bad");
+    let ok = b.block("gf.ok");
+    let have = b.block("gf.have");
+    let oor = b.icmp(IPred::UGe, fd, ci(k, NFDS));
+    b.cond_br(oor, bad, ok);
+    b.switch_to(ok);
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    let fdsp = b.field_ptr(pp, PF_FDS);
+    let slot = b.array_elem_ptr(fdsp, fd);
+    let v = b.load(slot);
+    let isz = b.icmp(IPred::Eq, v, ci(k, 0));
+    b.cond_br(isz, bad, have);
+    b.switch_to(have);
+    // fd table stores file_table index + 1 so 0 means "closed".
+    let idx = b.sub(v, ci(k, 1));
+    let ftab = k.gop("file_table");
+    let fslot = b.array_elem_ptr(ftab, idx);
+    let f = b.load(fslot);
+    b.ret(Some(f));
+    b.switch_to(bad);
+    let nullf = b.null(k.file_t);
+    b.ret(Some(nullf));
+
+    // fs_alloc_fd(f): park f in the global file table, then bind the first
+    // free descriptor (>= 2; 0/1 are console-ish) of the current process.
+    let mut b = FunctionBuilder::new(m, k.fid("fs_alloc_fd"));
+    let f = b.param(0);
+    // Scan file_table for a null slot.
+    let islot = b.alloca(k.i64t);
+    b.store(ci(k, 0), islot);
+    let h1 = b.block("ft.head");
+    let b1 = b.block("ft.body");
+    let c1b = b.block("ft.cont");
+    let f1 = b.block("ft.found");
+    let n1 = b.block("ft.none");
+    b.br(h1);
+    b.switch_to(h1);
+    let i = b.load(islot);
+    let c = b.icmp(IPred::ULt, i, ci(k, NFILE));
+    b.cond_br(c, b1, n1);
+    b.switch_to(b1);
+    let ftab = k.gop("file_table");
+    let fslot = b.array_elem_ptr(ftab, i);
+    let v = b.load(fslot);
+    let vint = b.ptrtoint(v);
+    let isz = b.icmp(IPred::Eq, vint, ci(k, 0));
+    b.cond_br(isz, f1, c1b);
+    b.switch_to(c1b);
+    let i1 = b.add(i, ci(k, 1));
+    b.store(i1, islot);
+    b.br(h1);
+    b.switch_to(n1);
+    b.ret(Some(ci(k, EBADF)));
+    b.switch_to(f1);
+    b.store(f, fslot);
+    // Scan the per-process fd table for a zero slot.
+    let jslot = b.alloca(k.i64t);
+    b.store(ci(k, 2), jslot);
+    let h2 = b.block("fd.head");
+    let b2 = b.block("fd.body");
+    let c2b = b.block("fd.cont");
+    let f2 = b.block("fd.found");
+    let n2 = b.block("fd.none");
+    b.br(h2);
+    b.switch_to(h2);
+    let j = b.load(jslot);
+    let cj = b.icmp(IPred::ULt, j, ci(k, NFDS));
+    b.cond_br(cj, b2, n2);
+    b.switch_to(b2);
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    let fdsp = b.field_ptr(pp, PF_FDS);
+    let dslot = b.array_elem_ptr(fdsp, j);
+    let dv = b.load(dslot);
+    let dz = b.icmp(IPred::Eq, dv, ci(k, 0));
+    b.cond_br(dz, f2, c2b);
+    b.switch_to(c2b);
+    let j1 = b.add(j, ci(k, 1));
+    b.store(j1, jslot);
+    b.br(h2);
+    b.switch_to(n2);
+    // No descriptor: release the table slot again.
+    let nullf = b.null(k.file_t);
+    b.store(nullf, fslot);
+    b.ret(Some(ci(k, EBADF)));
+    b.switch_to(f2);
+    let iv = b.add(i, ci(k, 1));
+    b.store(iv, dslot);
+    b.ret(Some(j));
+
+    // fs_inode_of(f) -> inode_t*.
+    let mut b = FunctionBuilder::new(m, k.fid("fs_inode_of"));
+    let f = b.param(0);
+    let ino = fld(&mut b, f, FF_INO);
+    let itab = k.gop("inode_table");
+    let ip = b.array_elem_ptr(itab, ino);
+    b.ret(Some(ip));
+
+    // fs_ensure_cap(ip, need): grow the inode's data buffer (vmalloc,
+    // copy, vfree the old buffer — the dealloc exercises pchk.drop.obj).
+    let mut b = FunctionBuilder::new(m, k.fid("fs_ensure_cap"));
+    let ip = b.param(0);
+    let need = b.param(1);
+    let cap = fld(&mut b, ip, NF_CAP);
+    let fits = b.icmp(IPred::ULe, need, cap);
+    let done = b.block("cap.done");
+    let grow = b.block("cap.grow");
+    b.cond_br(fits, done, grow);
+    b.switch_to(done);
+    b.ret(None);
+    b.switch_to(grow);
+    let n1 = b.add(need, ci(k, 1023));
+    let newcap = b.and(n1, ci(k, !1023));
+    let nd = b.call(k.fid("mm_vmalloc"), vec![newcap]).unwrap();
+    let old = fld(&mut b, ip, NF_DATA);
+    let size = fld(&mut b, ip, NF_SIZE);
+    emit_loop(&mut b, k, size, |b, i| {
+        let sp = b.gep(old, vec![i]);
+        let byte = b.load(sp);
+        let dp = b.gep(nd, vec![i]);
+        b.store(byte, dp);
+    });
+    let oldint = b.ptrtoint(old);
+    let hadold = b.icmp(IPred::Ne, oldint, ci(k, 0));
+    let freeb = b.block("cap.free");
+    let fin = b.block("cap.fin");
+    b.cond_br(hadold, freeb, fin);
+    b.switch_to(freeb);
+    b.call(k.fid("mm_vfree"), vec![old]);
+    b.br(fin);
+    b.switch_to(fin);
+    setfld(&mut b, ip, NF_DATA, nd);
+    setfld(&mut b, ip, NF_CAP, newcap);
+    b.ret(None);
+
+    // fs_file_write(f, buf, n): copy user bytes in at f.pos.
+    let mut b = FunctionBuilder::new(m, k.fid("fs_file_write"));
+    let f = b.param(0);
+    let buf = b.param(1);
+    let n = b.param(2);
+    let ip = b.call(k.fid("fs_inode_of"), vec![f]).unwrap();
+    let pos = fld(&mut b, f, FF_POS);
+    let end = b.add(pos, n);
+    b.call(k.fid("fs_ensure_cap"), vec![ip, end]);
+    let data = fld(&mut b, ip, NF_DATA);
+    emit_loop(&mut b, k, n, |b, i| {
+        let ua = b.add(buf, i);
+        let up = b.inttoptr(ua, k.i8t);
+        let byte = b.load(up);
+        let off = b.add(pos, i);
+        let dp = b.gep(data, vec![off]);
+        b.store(byte, dp);
+    });
+    let size = fld(&mut b, ip, NF_SIZE);
+    let bigger = b.icmp(IPred::UGt, end, size);
+    let nsz = b.select(bigger, end, size);
+    setfld(&mut b, ip, NF_SIZE, nsz);
+    setfld(&mut b, f, FF_POS, end);
+    b.ret(Some(n));
+
+    // fs_file_read(f, buf, n): copy out from f.pos, clamped to size.
+    let mut b = FunctionBuilder::new(m, k.fid("fs_file_read"));
+    let f = b.param(0);
+    let buf = b.param(1);
+    let n = b.param(2);
+    let ip = b.call(k.fid("fs_inode_of"), vec![f]).unwrap();
+    let pos = fld(&mut b, f, FF_POS);
+    let size = fld(&mut b, ip, NF_SIZE);
+    let pastend = b.icmp(IPred::UGe, pos, size);
+    ret_if(&mut b, k, pastend, 0);
+    let avail = b.sub(size, pos);
+    let c = umin(&mut b, avail, n);
+    let data = fld(&mut b, ip, NF_DATA);
+    emit_loop(&mut b, k, c, |b, i| {
+        let off = b.add(pos, i);
+        let sp = b.gep(data, vec![off]);
+        let byte = b.load(sp);
+        let ua = b.add(buf, i);
+        let up = b.inttoptr(ua, k.i8t);
+        b.store(byte, up);
+    });
+    let npos = b.add(pos, c);
+    setfld(&mut b, f, FF_POS, npos);
+    b.ret(Some(c));
+}
+
+// ---- pipes ------------------------------------------------------------------
+
+fn define_pipe(m: &mut Module, k: &K) {
+    // pipe_create: slab-allocated descriptor + kmalloc'd ring.
+    let mut b = FunctionBuilder::new(m, k.fid("pipe_create"));
+    let pc = k.gop("pipe_cache");
+    let raw = b.call(k.fid("mm_kmem_cache_alloc"), vec![pc]).unwrap();
+    let p = b.bitcast_ptr(raw, k.pipe_t);
+    setfld(&mut b, p, QF_RPOS, ci(k, 0));
+    setfld(&mut b, p, QF_WPOS, ci(k, 0));
+    setfld(&mut b, p, QF_READERS, ci(k, 1));
+    setfld(&mut b, p, QF_WRITERS, ci(k, 1));
+    let ring = b.call(k.fid("mm_kmalloc"), vec![ci(k, PIPE_SZ)]).unwrap();
+    setfld(&mut b, p, QF_BUF, ring);
+    b.ret(Some(p));
+
+    // pipe_write(p, buf, n): all-or-nothing write of min(n, PIPE_SZ),
+    // blocking until space. Signals interrupt the wait (-EINTR).
+    let mut b = FunctionBuilder::new(m, k.fid("pipe_write"));
+    let p = b.param(0);
+    let buf = b.param(1);
+    let n = b.param(2);
+    let c = umin(&mut b, n, ci(k, PIPE_SZ));
+    let loop_b = b.block("pw.loop");
+    let chk = b.block("pw.chk");
+    let do_copy = b.block("pw.copy");
+    let wait = b.block("pw.wait");
+    let intr = b.block("pw.intr");
+    b.br(loop_b);
+    b.switch_to(loop_b);
+    let sig = b.call(k.fid("sig_check_pending"), vec![]).unwrap();
+    let gotsig = b.icmp(IPred::Ne, sig, ci(k, 0));
+    b.cond_br(gotsig, intr, chk);
+    b.switch_to(intr);
+    b.ret(Some(ci(k, EINTR)));
+    b.switch_to(chk);
+    let rpos = fld(&mut b, p, QF_RPOS);
+    let wpos = fld(&mut b, p, QF_WPOS);
+    let used = b.sub(wpos, rpos);
+    let space = b.sub(ci(k, PIPE_SZ), used);
+    let fits = b.icmp(IPred::ULe, c, space);
+    b.cond_br(fits, do_copy, wait);
+    b.switch_to(wait);
+    b.call(k.fid("proc_block_current"), vec![]);
+    b.br(loop_b);
+    b.switch_to(do_copy);
+    let ring = fld(&mut b, p, QF_BUF);
+    emit_loop(&mut b, k, c, |b, i| {
+        let ua = b.add(buf, i);
+        let up = b.inttoptr(ua, k.i8t);
+        let byte = b.load(up);
+        let w = b.add(wpos, i);
+        let off = b.urem(w, ci(k, PIPE_SZ));
+        let dp = b.gep(ring, vec![off]);
+        b.store(byte, dp);
+    });
+    let nw = b.add(wpos, c);
+    setfld(&mut b, p, QF_WPOS, nw);
+    b.call(k.fid("proc_wake_all"), vec![]);
+    b.ret(Some(c));
+
+    // pipe_read(p, buf, n): blocking read of up to n bytes; 0 at EOF
+    // (no writers), -EINTR on signal.
+    let mut b = FunctionBuilder::new(m, k.fid("pipe_read"));
+    let p = b.param(0);
+    let buf = b.param(1);
+    let n = b.param(2);
+    let loop_b = b.block("pr.loop");
+    let chk = b.block("pr.chk");
+    let do_copy = b.block("pr.copy");
+    let eofchk = b.block("pr.eof?");
+    let eof = b.block("pr.eof");
+    let wait = b.block("pr.wait");
+    let intr = b.block("pr.intr");
+    b.br(loop_b);
+    b.switch_to(loop_b);
+    let sig = b.call(k.fid("sig_check_pending"), vec![]).unwrap();
+    let gotsig = b.icmp(IPred::Ne, sig, ci(k, 0));
+    b.cond_br(gotsig, intr, chk);
+    b.switch_to(intr);
+    b.ret(Some(ci(k, EINTR)));
+    b.switch_to(chk);
+    let rpos = fld(&mut b, p, QF_RPOS);
+    let wpos = fld(&mut b, p, QF_WPOS);
+    let avail = b.sub(wpos, rpos);
+    let has = b.icmp(IPred::UGt, avail, ci(k, 0));
+    b.cond_br(has, do_copy, eofchk);
+    b.switch_to(eofchk);
+    let writers = fld(&mut b, p, QF_WRITERS);
+    let nowr = b.icmp(IPred::Eq, writers, ci(k, 0));
+    b.cond_br(nowr, eof, wait);
+    b.switch_to(eof);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(wait);
+    b.call(k.fid("proc_block_current"), vec![]);
+    b.br(loop_b);
+    b.switch_to(do_copy);
+    let c = umin(&mut b, avail, n);
+    let ring = fld(&mut b, p, QF_BUF);
+    emit_loop(&mut b, k, c, |b, i| {
+        let r = b.add(rpos, i);
+        let off = b.urem(r, ci(k, PIPE_SZ));
+        let sp = b.gep(ring, vec![off]);
+        let byte = b.load(sp);
+        let ua = b.add(buf, i);
+        let up = b.inttoptr(ua, k.i8t);
+        b.store(byte, up);
+    });
+    let nr2 = b.add(rpos, c);
+    setfld(&mut b, p, QF_RPOS, nr2);
+    b.call(k.fid("proc_wake_all"), vec![]);
+    b.ret(Some(c));
+}
+
+// ---- network paths + ELF loader (the §7.2 exploit surfaces) -----------------
+
+fn define_net_elf(m: &mut Module, k: &K) {
+    // net_set_msfilter(n, src): the MCAST_MSFILTER bug — the allocation
+    // size is computed in 32 bits (n * 8 truncated), the copy length in
+    // 64. n = 0x2000_0001 allocates 8 bytes and copies far past them.
+    let mut b = FunctionBuilder::new(m, k.fid("net_set_msfilter"));
+    let n = b.param(0);
+    let src = b.param(1);
+    let n32 = b.trunc(n, k.i32t);
+    let b32 = b.mul(n32, Operand::ConstInt(8, k.i32t));
+    let bytes = b.zext(b32, k.i64t);
+    let buf = b.call(k.fid("mm_kmalloc"), vec![bytes]).unwrap();
+    let bi = b.ptrtoint(buf);
+    let isnull = b.icmp(IPred::Eq, bi, ci(k, 0));
+    ret_if(&mut b, k, isnull, ENOENT);
+    let total = b.mul(n, ci(k, 8));
+    let cap = umin(&mut b, total, ci(k, 4096));
+    emit_loop(&mut b, k, cap, |b, i| {
+        let sa = b.add(src, i);
+        let sp = b.inttoptr(sa, k.i8t);
+        let byte = b.load(sp);
+        let dp = b.gep(buf, vec![i]);
+        b.store(byte, dp);
+    });
+    b.ret(Some(ci(k, 0)));
+
+    // net_rx_igmp(n, src): IGMP report parsing — group count is masked to
+    // 8 bits for the allocation but the full count drives the copy.
+    let mut b = FunctionBuilder::new(m, k.fid("net_rx_igmp"));
+    let n = b.param(0);
+    let src = b.param(1);
+    let g = b.and(n, ci(k, 255));
+    let bytes = b.mul(g, ci(k, 8));
+    let buf = b.call(k.fid("mm_kmalloc"), vec![bytes]).unwrap();
+    let bi = b.ptrtoint(buf);
+    let isnull = b.icmp(IPred::Eq, bi, ci(k, 0));
+    ret_if(&mut b, k, isnull, ENOENT);
+    let total = b.mul(n, ci(k, 8));
+    let cap = umin(&mut b, total, ci(k, 4096));
+    emit_loop(&mut b, k, cap, |b, i| {
+        let sa = b.add(src, i);
+        let sp = b.inttoptr(sa, k.i8t);
+        let byte = b.load(sp);
+        let dp = b.gep(buf, vec![i]);
+        b.store(byte, dp);
+    });
+    let cnt = b.load(k.gop("net_rx_count"));
+    let cnt1 = b.add(cnt, ci(k, 1));
+    b.store(cnt1, k.gop("net_rx_count"));
+    b.ret(Some(ci(k, 0)));
+
+    // net_rx_bt(n, src): Bluetooth packet staging — a fixed 64-byte global
+    // scratch buffer, a length check that trusts the caller up to 80.
+    let mut b = FunctionBuilder::new(m, k.fid("net_rx_bt"));
+    let n = b.param(0);
+    let src = b.param(1);
+    let scratch = k.gop("net_bt_scratch");
+    let sc8 = b.bitcast_ptr(scratch, k.i8t);
+    b.call(k.fid("chr_dbg_note"), vec![sc8]);
+    let cap = umin(&mut b, n, ci(k, 80));
+    emit_loop(&mut b, k, cap, |b, i| {
+        let sa = b.add(src, i);
+        let sp = b.inttoptr(sa, k.i8t);
+        let byte = b.load(sp);
+        let dp = b.array_elem_ptr(scratch, i);
+        b.store(byte, dp);
+    });
+    b.ret(Some(ci(k, 0)));
+
+    // net_route_lookup(idx): Fig. 2 — array indexed by an unchecked,
+    // attacker-controlled hash value.
+    let mut b = FunctionBuilder::new(m, k.fid("net_route_lookup"));
+    let idx = b.param(0);
+    let rt = k.gop("rt_table");
+    let ep = b.array_elem_ptr(rt, idx);
+    let v = b.load(ep);
+    b.ret(Some(v));
+
+    // elf_load(prog, hdr, hdrlen): copy the "program headers" into an
+    // 8-entry kernel buffer with the *user-supplied* length, then enter
+    // the selected program. lib_copy_from_user has no clamp; whether the
+    // overrun is caught depends on whether lib/ is inside the safety
+    // boundary (the "as tested" vs "with copy lib" configurations).
+    let mut b = FunctionBuilder::new(m, k.fid("elf_load"));
+    let prog = b.param(0);
+    let hdr = b.param(1);
+    let hdrlen = b.param(2);
+    let hbuf = b.call(k.fid("mm_kmalloc"), vec![ci(k, 64)]).unwrap();
+    let hi = b.ptrtoint(hbuf);
+    let isnull = b.icmp(IPred::Eq, hi, ci(k, 0));
+    ret_if(&mut b, k, isnull, ENOENT);
+    b.call(k.fid("lib_copy_from_user"), vec![hbuf, hdr, hdrlen]);
+    let oob = b.icmp(IPred::UGe, prog, ci(k, 4));
+    ret_if(&mut b, k, oob, ENOENT);
+    let ptab = k.gop("elf_prog_table");
+    let pslot = b.array_elem_ptr(ptab, prog);
+    let fp = b.load(pslot);
+    let fpi = b.ptrtoint(fp);
+    let nof = b.icmp(IPred::Eq, fpi, ci(k, 0));
+    ret_if(&mut b, k, nof, ENOENT);
+    let ic = b
+        .intrinsic(Intrinsic::IcontextGet, vec![], Some(k.i64t))
+        .unwrap();
+    b.intrinsic(Intrinsic::IcontextSetEntry, vec![ic, fpi, ci(k, 0)], None);
+    b.ret(Some(ci(k, 0)));
+}
+
+// ---- system calls -----------------------------------------------------------
+
+fn define_sys(m: &mut Module, k: &K) {
+    // sys_exit(code): pid 0 halts the machine; everyone else zombifies,
+    // releases descriptors, wakes waiters and schedules away.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_exit"));
+    let code = b.param(0);
+    let cur = cur_pid(&mut b, k);
+    let is0 = b.icmp(IPred::Eq, cur, ci(k, 0));
+    let halt = b.block("exit.halt");
+    let zomb = b.block("exit.zombie");
+    b.cond_br(is0, halt, zomb);
+    b.switch_to(halt);
+    b.intrinsic(Intrinsic::Abort, vec![code], None);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(zomb);
+    let pp = proc_at(&mut b, k, cur);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_ZOMBIE));
+    setfld(&mut b, pp, PF_EXIT, code);
+    emit_loop(&mut b, k, ci(k, NFDS), |b, fd| {
+        let fdsp = b.field_ptr(pp, PF_FDS);
+        let slot = b.array_elem_ptr(fdsp, fd);
+        let v = b.load(slot);
+        let open = b.icmp(IPred::Ne, v, ci(k, 0));
+        let yes = b.block("exit.close");
+        let cont = b.block("exit.cont");
+        b.cond_br(open, yes, cont);
+        b.switch_to(yes);
+        b.call(k.fid("sys_close"), vec![fd]);
+        b.br(cont);
+        b.switch_to(cont);
+    });
+    b.call(k.fid("proc_wake_all"), vec![]);
+    b.call(k.fid("proc_schedule"), vec![]);
+    b.ret(Some(ci(k, 0)));
+
+    // sys_fork: clone the address space page by page, snapshot the parent's
+    // interrupt context, and build the child from the snapshot (§5.2's
+    // fork-from-icontext pattern). Parent gets the pid, child gets 0.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_fork"));
+    let pid = b.call(k.fid("proc_find_free"), vec![]).unwrap();
+    let nofree = b.icmp(IPred::SLt, pid, ci(k, 0));
+    ret_if(&mut b, k, nofree, ENOENT);
+    let casid = b
+        .intrinsic(Intrinsic::MmuNewSpace, vec![], Some(k.i64t))
+        .unwrap();
+    emit_loop(&mut b, k, ci(k, 64), |b, pg| {
+        let off = b.mul(pg, ci(k, 4096));
+        let va = b.add(ci(k, UBASE), off);
+        b.intrinsic(Intrinsic::MmuCopyPage, vec![casid, va], None);
+    });
+    let ic = b
+        .intrinsic(Intrinsic::IcontextGet, vec![], Some(k.i64t))
+        .unwrap();
+    b.intrinsic(Intrinsic::IcontextSave, vec![ic, ci(k, FORK_ISP)], None);
+    let cicid = b
+        .intrinsic(
+            Intrinsic::IcontextNew,
+            vec![ci(k, FORK_ISP), casid],
+            Some(k.i64t),
+        )
+        .unwrap();
+    let cp = proc_at(&mut b, k, pid);
+    setfld(&mut b, cp, PF_STATE, ci(k, P_READY_USER));
+    setfld(&mut b, cp, PF_ICID, cicid);
+    setfld(&mut b, cp, PF_RETVAL, ci(k, 0));
+    let cur = cur_pid(&mut b, k);
+    setfld(&mut b, cp, PF_PARENT, cur);
+    setfld(&mut b, cp, PF_PENDING, ci(k, 0));
+    setfld(&mut b, cp, PF_ASID, casid);
+    let pp = proc_at(&mut b, k, cur);
+    let ubrk = fld(&mut b, pp, PF_UBRK);
+    setfld(&mut b, cp, PF_UBRK, ubrk);
+    // Share open files (bump refcounts) and inherit signal handlers.
+    emit_loop(&mut b, k, ci(k, NFDS), |b, fd| {
+        let pfds = b.field_ptr(pp, PF_FDS);
+        let ps = b.array_elem_ptr(pfds, fd);
+        let v = b.load(ps);
+        let cfds = b.field_ptr(cp, PF_FDS);
+        let cs = b.array_elem_ptr(cfds, fd);
+        b.store(v, cs);
+        let open = b.icmp(IPred::Ne, v, ci(k, 0));
+        let yes = b.block("fork.ref");
+        let cont = b.block("fork.cont");
+        b.cond_br(open, yes, cont);
+        b.switch_to(yes);
+        let idx = b.sub(v, ci(k, 1));
+        let ftab = k.gop("file_table");
+        let fslot = b.array_elem_ptr(ftab, idx);
+        let f = b.load(fslot);
+        let rc = fld(b, f, FF_REFCNT);
+        let rc1 = b.add(rc, ci(k, 1));
+        setfld(b, f, FF_REFCNT, rc1);
+        b.br(cont);
+        b.switch_to(cont);
+    });
+    emit_loop(&mut b, k, ci(k, NSIG), |b, s| {
+        let ph = b.field_ptr(pp, PF_SIGH);
+        let ps = b.array_elem_ptr(ph, s);
+        let v = b.load(ps);
+        let ch = b.field_ptr(cp, PF_SIGH);
+        let cs = b.array_elem_ptr(ch, s);
+        b.store(v, cs);
+    });
+    b.ret(Some(pid));
+
+    // sys_waitpid(pid): block until the child is a zombie, then reap.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_waitpid"));
+    let pid = b.param(0);
+    let oor = b.icmp(IPred::UGe, pid, ci(k, NPROC));
+    ret_if(&mut b, k, oor, ENOENT);
+    let pp = proc_at(&mut b, k, pid);
+    let loop_b = b.block("wp.loop");
+    let chk = b.block("wp.chk");
+    let chk2 = b.block("wp.chk2");
+    let reap = b.block("wp.reap");
+    let nochild = b.block("wp.nochild");
+    let wait = b.block("wp.wait");
+    let intr = b.block("wp.intr");
+    b.br(loop_b);
+    b.switch_to(loop_b);
+    let sig = b.call(k.fid("sig_check_pending"), vec![]).unwrap();
+    let gotsig = b.icmp(IPred::Ne, sig, ci(k, 0));
+    b.cond_br(gotsig, intr, chk);
+    b.switch_to(intr);
+    b.ret(Some(ci(k, EINTR)));
+    b.switch_to(chk);
+    let st = fld(&mut b, pp, PF_STATE);
+    let isz = b.icmp(IPred::Eq, st, ci(k, P_ZOMBIE));
+    b.cond_br(isz, reap, chk2);
+    b.switch_to(chk2);
+    let isfree = b.icmp(IPred::Eq, st, ci(k, P_FREE));
+    b.cond_br(isfree, nochild, wait);
+    b.switch_to(nochild);
+    b.ret(Some(ci(k, ENOENT)));
+    b.switch_to(wait);
+    b.call(k.fid("proc_block_current"), vec![]);
+    b.br(loop_b);
+    b.switch_to(reap);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_FREE));
+    let ec = fld(&mut b, pp, PF_EXIT);
+    b.ret(Some(ec));
+
+    // sys_kill(pid, sig): post the signal; self-signals deliver now,
+    // blocked targets are kicked awake to notice it.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_kill"));
+    let pid = b.param(0);
+    let sig = b.param(1);
+    let oor = b.icmp(IPred::UGe, pid, ci(k, NPROC));
+    ret_if(&mut b, k, oor, ENOENT);
+    let soor = b.icmp(IPred::UGe, sig, ci(k, NSIG));
+    ret_if(&mut b, k, soor, ENOENT);
+    let pp = proc_at(&mut b, k, pid);
+    let st = fld(&mut b, pp, PF_STATE);
+    let isfree = b.icmp(IPred::Eq, st, ci(k, P_FREE));
+    ret_if(&mut b, k, isfree, ENOENT);
+    setfld(&mut b, pp, PF_PENDING, sig);
+    let cur = cur_pid(&mut b, k);
+    let isself = b.icmp(IPred::Eq, pid, cur);
+    let selfb = b.block("kill.self");
+    let other = b.block("kill.other");
+    let kick = b.block("kill.kick");
+    let out = b.block("kill.out");
+    b.cond_br(isself, selfb, other);
+    b.switch_to(selfb);
+    b.call(k.fid("sig_check_pending"), vec![]);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(other);
+    let isb = b.icmp(IPred::Eq, st, ci(k, P_BLOCKED));
+    b.cond_br(isb, kick, out);
+    b.switch_to(kick);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_READY_KERNEL));
+    b.br(out);
+    b.switch_to(out);
+    b.ret(Some(ci(k, 0)));
+
+    // sys_yield: requeue self and schedule.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_yield"));
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    setfld(&mut b, pp, PF_STATE, ci(k, P_READY_KERNEL));
+    let key = b.add(ci(k, SAVE_KEY_BASE), cur);
+    let r = b
+        .intrinsic(Intrinsic::SaveInteger, vec![key], Some(k.i64t))
+        .unwrap();
+    let saved = b.icmp(IPred::Eq, r, ci(k, 1));
+    let sched = b.block("yield.sched");
+    let resumed = b.block("yield.back");
+    b.cond_br(saved, sched, resumed);
+    b.switch_to(sched);
+    b.call(k.fid("proc_schedule"), vec![]);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(resumed);
+    let pp2 = proc_at(&mut b, k, cur);
+    setfld(&mut b, pp2, PF_STATE, ci(k, P_RUNNING));
+    b.ret(Some(ci(k, 0)));
+
+    // sys_getpid.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_getpid"));
+    let cur = cur_pid(&mut b, k);
+    b.ret(Some(cur));
+
+    // sys_sbrk(incr): classic break bump; returns the old break.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_sbrk"));
+    let incr = b.param(0);
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    let old = fld(&mut b, pp, PF_UBRK);
+    let new = b.add(old, incr);
+    setfld(&mut b, pp, PF_UBRK, new);
+    b.ret(Some(old));
+
+    // sys_sigaction(sig, handler): install a user handler address.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_sigaction"));
+    let sig = b.param(0);
+    let h = b.param(1);
+    let oor = b.icmp(IPred::UGe, sig, ci(k, NSIG));
+    ret_if(&mut b, k, oor, ENOENT);
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    let hp = b.field_ptr(pp, PF_SIGH);
+    let slot = b.array_elem_ptr(hp, sig);
+    b.store(h, slot);
+    b.ret(Some(ci(k, 0)));
+
+    // sys_getrusage(ru): write tick count + context-switch-ish word
+    // straight through the user pointer (two adjacent u64 stores).
+    let mut b = FunctionBuilder::new(m, k.fid("sys_getrusage"));
+    let ru = b.param(0);
+    let t = b.load(k.gop("time_ticks"));
+    let p0 = b.inttoptr(ru, k.i64t);
+    b.store(t, p0);
+    let p1 = b.index_ptr(p0, ci(k, 1));
+    b.store(t, p1);
+    b.ret(Some(ci(k, 0)));
+
+    // sys_gettimeofday(tv): one u64 of "time".
+    let mut b = FunctionBuilder::new(m, k.fid("sys_gettimeofday"));
+    let tv = b.param(0);
+    let t = b.load(k.gop("time_ticks"));
+    let p0 = b.inttoptr(tv, k.i64t);
+    b.store(t, p0);
+    b.ret(Some(ci(k, 0)));
+}
+
+// ---- file/pipe/net system calls ---------------------------------------------
+
+fn define_sys_io(m: &mut Module, k: &K) {
+    // sys_open(path, flags): path < 0x10 selects a character device (bit 0
+    // picks /dev/zero vs /dev/null through chr_fops); 0x10+i opens ramfs
+    // inode i.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_open"));
+    let path = b.param(0);
+    let ischr = b.icmp(IPred::ULt, path, ci(k, 0x10));
+    let kind = b.select(ischr, ci(k, F_CHR), ci(k, F_REG));
+    let ino_r = b.sub(path, ci(k, 0x10));
+    let ino = b.select(ischr, ci(k, 0), ino_r);
+    let fidx = b.and(path, ci(k, 1));
+    let fops = k.gop("chr_fops");
+    let fslot = b.array_elem_ptr(fops, fidx);
+    let h = b.load(fslot);
+    let nb = b.null_byte_ptr();
+    let nchr = b.bitcast_ptr(nb, k.chr_fn_t);
+    let chr = b.select(ischr, h, nchr);
+    let notchr = b.icmp(IPred::UGe, path, ci(k, 0x10));
+    let oor = b.icmp(IPred::UGe, ino_r, ci(k, NINODE));
+    let bad = b.and(notchr, oor);
+    ret_if(&mut b, k, bad, ENOENT);
+    let fc = k.gop("file_cache");
+    let raw = b.call(k.fid("mm_kmem_cache_alloc"), vec![fc]).unwrap();
+    let ri = b.ptrtoint(raw);
+    let isnull = b.icmp(IPred::Eq, ri, ci(k, 0));
+    ret_if(&mut b, k, isnull, EBADF);
+    let f = b.bitcast_ptr(raw, k.file_t);
+    setfld(&mut b, f, FF_KIND, kind);
+    setfld(&mut b, f, FF_INO, ino);
+    setfld(&mut b, f, FF_POS, ci(k, 0));
+    setfld(&mut b, f, FF_REFCNT, ci(k, 1));
+    let np = b.null(k.pipe_t);
+    setfld(&mut b, f, FF_PIPE, np);
+    setfld(&mut b, f, FF_CHR, chr);
+    let fd = b.call(k.fid("fs_alloc_fd"), vec![f]).unwrap();
+    b.ret(Some(fd));
+
+    // sys_close(fd): drop the descriptor; the last reference updates pipe
+    // endpoint counts, wakes sleepers, and frees the file object.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_close"));
+    let fd = b.param(0);
+    let oor = b.icmp(IPred::UGe, fd, ci(k, NFDS));
+    ret_if(&mut b, k, oor, EBADF);
+    let cur = cur_pid(&mut b, k);
+    let pp = proc_at(&mut b, k, cur);
+    let fdsp = b.field_ptr(pp, PF_FDS);
+    let slot = b.array_elem_ptr(fdsp, fd);
+    let v = b.load(slot);
+    let isz = b.icmp(IPred::Eq, v, ci(k, 0));
+    ret_if(&mut b, k, isz, EBADF);
+    b.store(ci(k, 0), slot);
+    let idx = b.sub(v, ci(k, 1));
+    let ftab = k.gop("file_table");
+    let fslot = b.array_elem_ptr(ftab, idx);
+    let f = b.load(fslot);
+    let rc = fld(&mut b, f, FF_REFCNT);
+    let rc1 = b.sub(rc, ci(k, 1));
+    setfld(&mut b, f, FF_REFCNT, rc1);
+    let last = b.icmp(IPred::Eq, rc1, ci(k, 0));
+    let teardown = b.block("close.last");
+    let keep = b.block("close.keep");
+    b.cond_br(last, teardown, keep);
+    b.switch_to(keep);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(teardown);
+    let kind = fld(&mut b, f, FF_KIND);
+    let isr = b.icmp(IPred::Eq, kind, ci(k, F_PIPE_R));
+    let rblk = b.block("close.rdend");
+    let chkw = b.block("close.w?");
+    let wblk = b.block("close.wrend");
+    let fin = b.block("close.fin");
+    b.cond_br(isr, rblk, chkw);
+    b.switch_to(rblk);
+    let p = fld(&mut b, f, FF_PIPE);
+    let r = fld(&mut b, p, QF_READERS);
+    let r1 = b.sub(r, ci(k, 1));
+    setfld(&mut b, p, QF_READERS, r1);
+    b.br(fin);
+    b.switch_to(chkw);
+    let isw = b.icmp(IPred::Eq, kind, ci(k, F_PIPE_W));
+    b.cond_br(isw, wblk, fin);
+    b.switch_to(wblk);
+    let p2 = fld(&mut b, f, FF_PIPE);
+    let w = fld(&mut b, p2, QF_WRITERS);
+    let w1 = b.sub(w, ci(k, 1));
+    setfld(&mut b, p2, QF_WRITERS, w1);
+    b.br(fin);
+    b.switch_to(fin);
+    b.call(k.fid("proc_wake_all"), vec![]);
+    let nullf = b.null(k.file_t);
+    b.store(nullf, fslot);
+    let raw = b.bitcast_ptr(f, k.i8t);
+    let fc = k.gop("file_cache");
+    b.call(k.fid("mm_kmem_cache_free"), vec![fc, raw]);
+    b.ret(Some(ci(k, 0)));
+
+    // sys_read(fd, buf, n): dispatch on file kind. The character-device
+    // path is the kernel's one indirect call, carrying a §4.8 signature
+    // assertion.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_read"));
+    let fd = b.param(0);
+    let buf = b.param(1);
+    let n = b.param(2);
+    let f = b.call(k.fid("fs_get_file"), vec![fd]).unwrap();
+    let fi = b.ptrtoint(f);
+    let isz = b.icmp(IPred::Eq, fi, ci(k, 0));
+    ret_if(&mut b, k, isz, EBADF);
+    let kind = fld(&mut b, f, FF_KIND);
+    let chrb = b.block("read.chr");
+    let c2 = b.block("read.reg?");
+    let regb = b.block("read.reg");
+    let c3 = b.block("read.pipe?");
+    let pipb = b.block("read.pipe");
+    let badb = b.block("read.bad");
+    let ischr = b.icmp(IPred::Eq, kind, ci(k, F_CHR));
+    b.cond_br(ischr, chrb, c2);
+    b.switch_to(chrb);
+    let h = fld(&mut b, f, FF_CHR);
+    let r = b.call_indirect(h, vec![buf, n]).unwrap();
+    b.assert_call_signature();
+    b.ret(Some(r));
+    b.switch_to(c2);
+    let isreg = b.icmp(IPred::Eq, kind, ci(k, F_REG));
+    b.cond_br(isreg, regb, c3);
+    b.switch_to(regb);
+    let rr = b.call(k.fid("fs_file_read"), vec![f, buf, n]).unwrap();
+    b.ret(Some(rr));
+    b.switch_to(c3);
+    let isp = b.icmp(IPred::Eq, kind, ci(k, F_PIPE_R));
+    b.cond_br(isp, pipb, badb);
+    b.switch_to(pipb);
+    let p = fld(&mut b, f, FF_PIPE);
+    let pr = b.call(k.fid("pipe_read"), vec![p, buf, n]).unwrap();
+    b.ret(Some(pr));
+    b.switch_to(badb);
+    b.ret(Some(ci(k, EBADF)));
+
+    // sys_write(fd, buf, n): fd 1 is the console port; otherwise files and
+    // pipe write ends.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_write"));
+    let fd = b.param(0);
+    let buf = b.param(1);
+    let n = b.param(2);
+    let iscon = b.icmp(IPred::Eq, fd, ci(k, 1));
+    let conb = b.block("write.con");
+    let fileb = b.block("write.file");
+    b.cond_br(iscon, conb, fileb);
+    b.switch_to(conb);
+    emit_loop(&mut b, k, n, |b, i| {
+        let ua = b.add(buf, i);
+        let up = b.inttoptr(ua, k.i8t);
+        let byte = b.load(up);
+        let wide = b.zext(byte, k.i64t);
+        b.intrinsic(Intrinsic::IoWrite, vec![ci(k, PORT_CONSOLE), wide], None);
+    });
+    b.ret(Some(n));
+    b.switch_to(fileb);
+    let f = b.call(k.fid("fs_get_file"), vec![fd]).unwrap();
+    let fi = b.ptrtoint(f);
+    let isz = b.icmp(IPred::Eq, fi, ci(k, 0));
+    ret_if(&mut b, k, isz, EBADF);
+    let kind = fld(&mut b, f, FF_KIND);
+    let regb = b.block("write.reg");
+    let c2 = b.block("write.pipe?");
+    let pipb = b.block("write.pipe");
+    let badb = b.block("write.bad");
+    let isreg = b.icmp(IPred::Eq, kind, ci(k, F_REG));
+    b.cond_br(isreg, regb, c2);
+    b.switch_to(regb);
+    let wr = b.call(k.fid("fs_file_write"), vec![f, buf, n]).unwrap();
+    b.ret(Some(wr));
+    b.switch_to(c2);
+    let isp = b.icmp(IPred::Eq, kind, ci(k, F_PIPE_W));
+    b.cond_br(isp, pipb, badb);
+    b.switch_to(pipb);
+    let p = fld(&mut b, f, FF_PIPE);
+    let pw = b.call(k.fid("pipe_write"), vec![p, buf, n]).unwrap();
+    b.ret(Some(pw));
+    b.switch_to(badb);
+    b.ret(Some(ci(k, EBADF)));
+
+    // sys_lseek(fd, off): absolute seek only.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_lseek"));
+    let fd = b.param(0);
+    let off = b.param(1);
+    let f = b.call(k.fid("fs_get_file"), vec![fd]).unwrap();
+    let fi = b.ptrtoint(f);
+    let isz = b.icmp(IPred::Eq, fi, ci(k, 0));
+    ret_if(&mut b, k, isz, EBADF);
+    setfld(&mut b, f, FF_POS, off);
+    b.ret(Some(off));
+
+    // sys_pipe(fdsp): create both endpoints, write the fd pair to user
+    // memory as two u64s.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_pipe"));
+    let fdsp = b.param(0);
+    let p = b.call(k.fid("pipe_create"), vec![]).unwrap();
+    let fc = k.gop("file_cache");
+    let raw_r = b.call(k.fid("mm_kmem_cache_alloc"), vec![fc]).unwrap();
+    let rri = b.ptrtoint(raw_r);
+    let rnull = b.icmp(IPred::Eq, rri, ci(k, 0));
+    ret_if(&mut b, k, rnull, EBADF);
+    let fr = b.bitcast_ptr(raw_r, k.file_t);
+    setfld(&mut b, fr, FF_KIND, ci(k, F_PIPE_R));
+    setfld(&mut b, fr, FF_INO, ci(k, 0));
+    setfld(&mut b, fr, FF_POS, ci(k, 0));
+    setfld(&mut b, fr, FF_REFCNT, ci(k, 1));
+    setfld(&mut b, fr, FF_PIPE, p);
+    let nb = b.null_byte_ptr();
+    let nchr = b.bitcast_ptr(nb, k.chr_fn_t);
+    setfld(&mut b, fr, FF_CHR, nchr);
+    let rfd = b.call(k.fid("fs_alloc_fd"), vec![fr]).unwrap();
+    let raw_w = b.call(k.fid("mm_kmem_cache_alloc"), vec![fc]).unwrap();
+    let wri = b.ptrtoint(raw_w);
+    let wnull = b.icmp(IPred::Eq, wri, ci(k, 0));
+    ret_if(&mut b, k, wnull, EBADF);
+    let fw = b.bitcast_ptr(raw_w, k.file_t);
+    setfld(&mut b, fw, FF_KIND, ci(k, F_PIPE_W));
+    setfld(&mut b, fw, FF_INO, ci(k, 0));
+    setfld(&mut b, fw, FF_POS, ci(k, 0));
+    setfld(&mut b, fw, FF_REFCNT, ci(k, 1));
+    setfld(&mut b, fw, FF_PIPE, p);
+    let nb2 = b.null_byte_ptr();
+    let nchr2 = b.bitcast_ptr(nb2, k.chr_fn_t);
+    setfld(&mut b, fw, FF_CHR, nchr2);
+    let wfd = b.call(k.fid("fs_alloc_fd"), vec![fw]).unwrap();
+    let up0 = b.inttoptr(fdsp, k.i64t);
+    b.store(rfd, up0);
+    let up1 = b.index_ptr(up0, ci(k, 1));
+    b.store(wfd, up1);
+    b.ret(Some(ci(k, 0)));
+
+    // sys_execve(prog, hdr, hdrlen) → ELF loader.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_execve"));
+    let prog = b.param(0);
+    let hdr = b.param(1);
+    let len = b.param(2);
+    let r = b.call(k.fid("elf_load"), vec![prog, hdr, len]).unwrap();
+    b.ret(Some(r));
+
+    // sys_socket: always "socket 0".
+    let mut b = FunctionBuilder::new(m, k.fid("sys_socket"));
+    b.ret(Some(ci(k, 0)));
+
+    // sys_setsockopt(sock, opt, n, src) → MCAST_MSFILTER path.
+    let mut b = FunctionBuilder::new(m, k.fid("sys_setsockopt"));
+    let n = b.param(2);
+    let src = b.param(3);
+    let r = b.call(k.fid("net_set_msfilter"), vec![n, src]).unwrap();
+    b.ret(Some(r));
+
+    // Packet-injection syscalls (stand-ins for the network RX paths).
+    let mut b = FunctionBuilder::new(m, k.fid("sys_net_rx_igmp"));
+    let n = b.param(0);
+    let src = b.param(1);
+    let r = b.call(k.fid("net_rx_igmp"), vec![n, src]).unwrap();
+    b.ret(Some(r));
+    let mut b = FunctionBuilder::new(m, k.fid("sys_net_rx_bt"));
+    let n = b.param(0);
+    let src = b.param(1);
+    let r = b.call(k.fid("net_rx_bt"), vec![n, src]).unwrap();
+    b.ret(Some(r));
+    let mut b = FunctionBuilder::new(m, k.fid("sys_route_lookup"));
+    let idx = b.param(0);
+    let r = b.call(k.fid("net_route_lookup"), vec![idx]).unwrap();
+    b.ret(Some(r));
+}
+
+// ---- boot -------------------------------------------------------------------
+
+fn define_boot(m: &mut Module, k: &K) {
+    let mut b = FunctionBuilder::new(m, k.fid("start_kernel"));
+    b.call(k.fid("mm_init"), vec![]);
+    let table: &[(i64, &str)] = &[
+        (nr::EXIT, "sys_exit"),
+        (nr::FORK, "sys_fork"),
+        (nr::READ, "sys_read"),
+        (nr::WRITE, "sys_write"),
+        (nr::OPEN, "sys_open"),
+        (nr::CLOSE, "sys_close"),
+        (nr::WAITPID, "sys_waitpid"),
+        (nr::EXECVE, "sys_execve"),
+        (nr::LSEEK, "sys_lseek"),
+        (nr::GETPID, "sys_getpid"),
+        (nr::KILL, "sys_kill"),
+        (nr::PIPE, "sys_pipe"),
+        (nr::SBRK, "sys_sbrk"),
+        (nr::SIGACTION, "sys_sigaction"),
+        (nr::GETRUSAGE, "sys_getrusage"),
+        (nr::GETTIMEOFDAY, "sys_gettimeofday"),
+        (nr::YIELD, "sys_yield"),
+        (nr::SOCKET, "sys_socket"),
+        (nr::SETSOCKOPT, "sys_setsockopt"),
+        (nr::NET_RX_IGMP, "sys_net_rx_igmp"),
+        (nr::NET_RX_BT, "sys_net_rx_bt"),
+        (nr::ROUTE_LOOKUP, "sys_route_lookup"),
+    ];
+    for (num, handler) in table {
+        b.intrinsic(
+            Intrinsic::RegisterSyscall,
+            vec![ci(k, *num), Operand::Func(k.fid(handler))],
+            None,
+        );
+    }
+    b.intrinsic(
+        Intrinsic::RegisterInterrupt,
+        vec![ci(k, 0), Operand::Func(k.fid("sig_timer_tick"))],
+        None,
+    );
+    // Process 0 runs the boot program named by the harness globals.
+    let p0 = proc_at(&mut b, k, ci(k, 0));
+    setfld(&mut b, p0, PF_STATE, ci(k, P_RUNNING));
+    setfld(&mut b, p0, PF_UBRK, ci(k, UHEAP));
+    setfld(&mut b, p0, PF_ASID, ci(k, 0));
+    let prog = b.load(k.gop("boot_user_prog"));
+    let arg = b.load(k.gop("boot_user_arg"));
+    let ic = b
+        .intrinsic(
+            Intrinsic::IcontextNew,
+            vec![ci(k, 0), ci(k, 0)],
+            Some(k.i64t),
+        )
+        .unwrap();
+    b.intrinsic(Intrinsic::IcontextSetEntry, vec![ic, prog, arg], None);
+    setfld(&mut b, p0, PF_ICID, ic);
+    b.intrinsic(Intrinsic::Iret, vec![ic, ci(k, 0)], None);
+    b.ret(Some(ci(k, 0)));
+}
+
+// ---- userspace --------------------------------------------------------------
+
+/// Emits a syscall from user code.
+fn sc(b: &mut FunctionBuilder, k: &K, num: i64, args: Vec<Operand>) -> Operand {
+    let n = ci(k, num);
+    b.syscall(n, args)
+}
+
+/// Unpacks the `pack_arg` fields of the program argument.
+fn unpack(b: &mut FunctionBuilder, k: &K, arg: Operand) -> (Operand, Operand, Operand) {
+    let iters = b.and(arg, ci(k, 0xff_ffff));
+    let sh = b.lshr(arg, ci(k, 24));
+    let size = b.and(sh, ci(k, 0xff_ffff));
+    let mode = b.lshr(arg, ci(k, 48));
+    (iters, size, mode)
+}
+
+/// `if val != want { exit(code) }` — user-side assertion.
+fn u_expect(b: &mut FunctionBuilder, k: &K, val: Operand, want: Operand, code: i64) {
+    let okc = b.icmp(IPred::Eq, val, want);
+    let ok = b.block("u.ok");
+    let bad = b.block("u.bad");
+    b.cond_br(okc, ok, bad);
+    b.switch_to(bad);
+    sc(b, k, nr::EXIT, vec![ci(k, code)]);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(ok);
+}
+
+/// Emits the tail `exit(code); ret` every user program ends with.
+fn u_exit(b: &mut FunctionBuilder, k: &K, code: i64) {
+    sc(b, k, nr::EXIT, vec![ci(k, code)]);
+    b.ret(Some(ci(k, 0)));
+}
+
+fn define_user(m: &mut Module, k: &K) {
+    // user_fill(addr, len, seed): deterministic byte pattern.
+    let mut b = FunctionBuilder::new(m, k.fid("user_fill"));
+    let addr = b.param(0);
+    let len = b.param(1);
+    let seed = b.param(2);
+    emit_loop(&mut b, k, len, |b, i| {
+        let t = b.mul(i, ci(k, 31));
+        let v = b.add(seed, t);
+        let byte = b.trunc(v, k.i8t);
+        let pa = b.add(addr, i);
+        let p = b.inttoptr(pa, k.i8t);
+        b.store(byte, p);
+    });
+    b.ret(Some(ci(k, 0)));
+
+    // user_verify(a, b, len): 0 iff the two ranges match.
+    let mut b = FunctionBuilder::new(m, k.fid("user_verify"));
+    let a = b.param(0);
+    let bb = b.param(1);
+    let len = b.param(2);
+    let acc = b.alloca(k.i64t);
+    b.store(ci(k, 0), acc);
+    emit_loop(&mut b, k, len, |b, i| {
+        let pa = b.add(a, i);
+        let p1 = b.inttoptr(pa, k.i8t);
+        let x = b.load(p1);
+        let pb = b.add(bb, i);
+        let p2 = b.inttoptr(pb, k.i8t);
+        let y = b.load(p2);
+        let xw = b.zext(x, k.i64t);
+        let yw = b.zext(y, k.i64t);
+        let d = b.xor(xw, yw);
+        let cur = b.load(acc);
+        let nv = b.or(cur, d);
+        b.store(nv, acc);
+    });
+    let out = b.load(acc);
+    b.ret(Some(out));
+
+    // user_check_zero(addr, len): 0 iff the range is all zero bytes.
+    let mut b = FunctionBuilder::new(m, k.fid("user_check_zero"));
+    let addr = b.param(0);
+    let len = b.param(1);
+    let acc = b.alloca(k.i64t);
+    b.store(ci(k, 0), acc);
+    emit_loop(&mut b, k, len, |b, i| {
+        let pa = b.add(addr, i);
+        let p = b.inttoptr(pa, k.i8t);
+        let x = b.load(p);
+        let xw = b.zext(x, k.i64t);
+        let cur = b.load(acc);
+        let nv = b.or(cur, xw);
+        b.store(nv, acc);
+    });
+    let out = b.load(acc);
+    b.ret(Some(out));
+
+    // user_hello: the canonical console smoke test.
+    let mut b = FunctionBuilder::new(m, k.fid("user_hello"));
+    let msg = b"hello from userspace\n";
+    for (i, ch) in msg.iter().enumerate() {
+        let p = b.inttoptr(ci(k, UBUF + i as i64), k.i8t);
+        b.store(Operand::ConstInt(*ch as i64, k.i8t), p);
+    }
+    sc(
+        &mut b,
+        k,
+        nr::WRITE,
+        vec![ci(k, 1), ci(k, UBUF), ci(k, msg.len() as i64)],
+    );
+    u_exit(&mut b, k, 0);
+
+    // user_getpid_loop(iters): pure trap traffic.
+    let mut b = FunctionBuilder::new(m, k.fid("user_getpid_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::GETPID, vec![]);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_openclose_loop(iters): descriptor churn on one ramfs inode.
+    let mut b = FunctionBuilder::new(m, k.fid("user_openclose_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        let fd = sc(b, k, nr::OPEN, vec![ci(k, 0x10), ci(k, 0)]);
+        sc(b, k, nr::CLOSE, vec![fd]);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_pipe_loop(iters, size): write/read/verify through one pipe.
+    let mut b = FunctionBuilder::new(m, k.fid("user_pipe_loop"));
+    let arg = b.param(0);
+    let (iters, size, _) = unpack(&mut b, k, arg);
+    let defsz = b.icmp(IPred::Eq, size, ci(k, 0));
+    let sz0 = b.select(defsz, ci(k, 64), size);
+    let csz = umin(&mut b, sz0, ci(k, 256));
+    sc(&mut b, k, nr::PIPE, vec![ci(k, FDBUF)]);
+    let rp = b.inttoptr(ci(k, FDBUF), k.i64t);
+    let rfd = b.load(rp);
+    let wp = b.inttoptr(ci(k, FDBUF + 8), k.i64t);
+    let wfd = b.load(wp);
+    emit_loop(&mut b, k, iters, |b, i| {
+        b.call(k.fid("user_fill"), vec![ci(k, USRC), csz, i]);
+        let w = sc(b, k, nr::WRITE, vec![wfd, ci(k, USRC), csz]);
+        u_expect(b, k, w, csz, 11);
+        let r = sc(b, k, nr::READ, vec![rfd, ci(k, UDST), csz]);
+        u_expect(b, k, r, csz, 12);
+        let v = b
+            .call(k.fid("user_verify"), vec![ci(k, USRC), ci(k, UDST), csz])
+            .unwrap();
+        u_expect(b, k, v, ci(k, 0), 13);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_fork_loop(iters): fork/exit/waitpid round trips.
+    let mut b = FunctionBuilder::new(m, k.fid("user_fork_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        let pid = sc(b, k, nr::FORK, vec![]);
+        let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+        let child = b.block("fl.child");
+        let parent = b.block("fl.parent");
+        b.cond_br(isch, child, parent);
+        b.switch_to(child);
+        sc(b, k, nr::EXIT, vec![ci(k, 0)]);
+        b.ret(Some(ci(k, 0)));
+        b.switch_to(parent);
+        let rc = sc(b, k, nr::WAITPID, vec![pid]);
+        u_expect(b, k, rc, ci(k, 0), 21);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_signal_demo: install a handler, signal self; the handler exits
+    // with 3 before control ever returns here.
+    let mut b = FunctionBuilder::new(m, k.fid("user_signal_demo"));
+    let h = b.ptrtoint(Operand::Func(k.fid("user_sig_handler")));
+    sc(&mut b, k, nr::SIGACTION, vec![ci(k, 2), h]);
+    let pid = sc(&mut b, k, nr::GETPID, vec![]);
+    sc(&mut b, k, nr::KILL, vec![pid, ci(k, 2)]);
+    u_exit(&mut b, k, 1);
+
+    // user_sig_handler(sig): exit(3).
+    let mut b = FunctionBuilder::new(m, k.fid("user_sig_handler"));
+    u_exit(&mut b, k, 3);
+
+    // user_child_sig(sig): benign handler — just return to the
+    // interrupted code.
+    let mut b = FunctionBuilder::new(m, k.fid("user_child_sig"));
+    b.ret(Some(ci(k, 0)));
+
+    // user_legit_net: in-bounds traffic through every exploit surface.
+    let mut b = FunctionBuilder::new(m, k.fid("user_legit_net"));
+    b.call(k.fid("user_fill"), vec![ci(k, USRC), ci(k, 64), ci(k, 7)]);
+    sc(&mut b, k, nr::SOCKET, vec![]);
+    sc(
+        &mut b,
+        k,
+        nr::SETSOCKOPT,
+        vec![ci(k, 0), ci(k, 0), ci(k, 2), ci(k, USRC)],
+    );
+    sc(&mut b, k, nr::NET_RX_IGMP, vec![ci(k, 3), ci(k, USRC)]);
+    sc(&mut b, k, nr::ROUTE_LOOKUP, vec![ci(k, 5)]);
+    u_exit(&mut b, k, 0);
+
+    // user_exploit_msfilter: n*8 overflows 32 bits → 8-byte kmalloc,
+    // 4 KiB copy.
+    let mut b = FunctionBuilder::new(m, k.fid("user_exploit_msfilter"));
+    sc(
+        &mut b,
+        k,
+        nr::SETSOCKOPT,
+        vec![ci(k, 0), ci(k, 0), ci(k, 0x2000_0001), ci(k, USRC)],
+    );
+    u_exit(&mut b, k, 1);
+
+    // user_exploit_igmp: 260 groups, allocation masked to 4.
+    let mut b = FunctionBuilder::new(m, k.fid("user_exploit_igmp"));
+    sc(&mut b, k, nr::NET_RX_IGMP, vec![ci(k, 260), ci(k, USRC)]);
+    u_exit(&mut b, k, 1);
+
+    // user_exploit_bt: 80 bytes into the 64-byte scratch global.
+    let mut b = FunctionBuilder::new(m, k.fid("user_exploit_bt"));
+    b.call(k.fid("user_fill"), vec![ci(k, USRC), ci(k, 80), ci(k, 5)]);
+    sc(&mut b, k, nr::NET_RX_BT, vec![ci(k, 80), ci(k, USRC)]);
+    u_exit(&mut b, k, 1);
+
+    // user_exploit_route: Fig. 2 — index 65536 of a 32-entry table.
+    let mut b = FunctionBuilder::new(m, k.fid("user_exploit_route"));
+    sc(&mut b, k, nr::ROUTE_LOOKUP, vec![ci(k, 65536)]);
+    u_exit(&mut b, k, 1);
+
+    // user_exploit_elf: 1 MiB "header" copy via lib_copy_from_user.
+    let mut b = FunctionBuilder::new(m, k.fid("user_exploit_elf"));
+    sc(
+        &mut b,
+        k,
+        nr::EXECVE,
+        vec![ci(k, 0), ci(k, UBUF), ci(k, 0x10_0000)],
+    );
+    u_exit(&mut b, k, 1);
+    define_user2(m, k);
+}
+
+fn define_user2(m: &mut Module, k: &K) {
+    // user_devzero(iters, size): /dev/zero must actually deliver zeros.
+    let mut b = FunctionBuilder::new(m, k.fid("user_devzero"));
+    let arg = b.param(0);
+    let (it0, size, _) = unpack(&mut b, k, arg);
+    let z = b.icmp(IPred::Eq, it0, ci(k, 0));
+    let iters = b.select(z, ci(k, 1), it0);
+    let fd = sc(&mut b, k, nr::OPEN, vec![ci(k, 0), ci(k, 0)]);
+    let neg = b.icmp(IPred::SLt, fd, ci(k, 0));
+    let bad = b.block("dz.bad");
+    let ok = b.block("dz.ok");
+    b.cond_br(neg, bad, ok);
+    b.switch_to(bad);
+    u_exit(&mut b, k, 31);
+    b.switch_to(ok);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        b.call(k.fid("user_fill"), vec![ci(k, UDST), size, ci(k, 9)]);
+        let r = sc(b, k, nr::READ, vec![fd, ci(k, UDST), size]);
+        u_expect(b, k, r, size, 32);
+        let zz = b
+            .call(k.fid("user_check_zero"), vec![ci(k, UDST), size])
+            .unwrap();
+        u_expect(b, k, zz, ci(k, 0), 33);
+    });
+    sc(&mut b, k, nr::CLOSE, vec![fd]);
+    u_exit(&mut b, k, 0);
+
+    // user_fileverify(iters, size): write/readback/compare across the
+    // ramfs inodes.
+    let mut b = FunctionBuilder::new(m, k.fid("user_fileverify"));
+    let arg = b.param(0);
+    let (iters, size, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, it| {
+        let ino = b.urem(it, ci(k, NINODE));
+        let path = b.add(ci(k, 0x10), ino);
+        let fd = sc(b, k, nr::OPEN, vec![path, ci(k, 0)]);
+        let neg = b.icmp(IPred::SLt, fd, ci(k, 0));
+        let badb = b.block("fv.bad");
+        let okb = b.block("fv.ok");
+        b.cond_br(neg, badb, okb);
+        b.switch_to(badb);
+        u_exit(b, k, 40);
+        b.switch_to(okb);
+        let t7 = b.mul(it, ci(k, 7));
+        let seed = b.add(t7, ci(k, 1));
+        b.call(k.fid("user_fill"), vec![ci(k, USRC), size, seed]);
+        let w = sc(b, k, nr::WRITE, vec![fd, ci(k, USRC), size]);
+        u_expect(b, k, w, size, 41);
+        sc(b, k, nr::LSEEK, vec![fd, ci(k, 0)]);
+        let r = sc(b, k, nr::READ, vec![fd, ci(k, UDST), size]);
+        u_expect(b, k, r, size, 42);
+        let v = b
+            .call(k.fid("user_verify"), vec![ci(k, USRC), ci(k, UDST), size])
+            .unwrap();
+        u_expect(b, k, v, ci(k, 0), 43);
+        sc(b, k, nr::CLOSE, vec![fd]);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_multichild: two sequential children print 'a' and 'b', the
+    // parent prints 'p' — console must read "abp".
+    let mut b = FunctionBuilder::new(m, k.fid("user_multichild"));
+    for (ch, code) in [(b'a', 0i64), (b'b', 0)] {
+        let pid = sc(&mut b, k, nr::FORK, vec![]);
+        let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+        let child = b.block("mc.child");
+        let parent = b.block("mc.parent");
+        b.cond_br(isch, child, parent);
+        b.switch_to(child);
+        let p = b.inttoptr(ci(k, UBUF), k.i8t);
+        b.store(Operand::ConstInt(ch as i64, k.i8t), p);
+        sc(&mut b, k, nr::WRITE, vec![ci(k, 1), ci(k, UBUF), ci(k, 1)]);
+        u_exit(&mut b, k, code);
+        b.switch_to(parent);
+        let rc = sc(&mut b, k, nr::WAITPID, vec![pid]);
+        u_expect(&mut b, k, rc, ci(k, code), 45);
+    }
+    let p = b.inttoptr(ci(k, UBUF), k.i8t);
+    b.store(Operand::ConstInt(b'p' as i64, k.i8t), p);
+    sc(&mut b, k, nr::WRITE, vec![ci(k, 1), ci(k, UBUF), ci(k, 1)]);
+    u_exit(&mut b, k, 0);
+
+    // user_errorpaths: every error return the VFS hands out.
+    let mut b = FunctionBuilder::new(m, k.fid("user_errorpaths"));
+    let r = sc(&mut b, k, nr::READ, vec![ci(k, 99), ci(k, UBUF), ci(k, 1)]);
+    u_expect(&mut b, k, r, ci(k, EBADF), 51);
+    let c = sc(&mut b, k, nr::CLOSE, vec![ci(k, 42)]);
+    u_expect(&mut b, k, c, ci(k, EBADF), 52);
+    let o = sc(&mut b, k, nr::OPEN, vec![ci(k, 0x10 + 99), ci(k, 0)]);
+    u_expect(&mut b, k, o, ci(k, ENOENT), 53);
+    let w = sc(&mut b, k, nr::WAITPID, vec![ci(k, 3)]);
+    u_expect(&mut b, k, w, ci(k, ENOENT), 54);
+    u_exit(&mut b, k, 0);
+
+    // user_getrusage_loop(iters).
+    let mut b = FunctionBuilder::new(m, k.fid("user_getrusage_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        let r = sc(b, k, nr::GETRUSAGE, vec![ci(k, UHEAP)]);
+        u_expect(b, k, r, ci(k, 0), 55);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_killchild: a handled signal interrupts a blocking pipe read.
+    let mut b = FunctionBuilder::new(m, k.fid("user_killchild"));
+    sc(&mut b, k, nr::PIPE, vec![ci(k, FDBUF)]);
+    let rp = b.inttoptr(ci(k, FDBUF), k.i64t);
+    let rfd = b.load(rp);
+    let pid = sc(&mut b, k, nr::FORK, vec![]);
+    let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+    let child = b.block("kc.child");
+    let parent = b.block("kc.parent");
+    b.cond_br(isch, child, parent);
+    b.switch_to(child);
+    let h = b.ptrtoint(Operand::Func(k.fid("user_child_sig")));
+    sc(&mut b, k, nr::SIGACTION, vec![ci(k, 2), h]);
+    let r = sc(&mut b, k, nr::READ, vec![rfd, ci(k, UBUF), ci(k, 8)]);
+    u_expect(&mut b, k, r, ci(k, EINTR), 41);
+    u_exit(&mut b, k, 42);
+    b.switch_to(parent);
+    sc(&mut b, k, nr::YIELD, vec![]);
+    sc(&mut b, k, nr::KILL, vec![pid, ci(k, 2)]);
+    let rc = sc(&mut b, k, nr::WAITPID, vec![pid]);
+    u_expect(&mut b, k, rc, ci(k, 42), 61);
+    u_exit(&mut b, k, 0);
+
+    // user_killwriter: an unhandled signal interrupts a blocking pipe
+    // write; exactly the completed first write's bytes flow through.
+    let mut b = FunctionBuilder::new(m, k.fid("user_killwriter"));
+    b.call(
+        k.fid("user_fill"),
+        vec![ci(k, USRC), ci(k, PIPE_SZ), ci(k, 3)],
+    );
+    sc(&mut b, k, nr::PIPE, vec![ci(k, FDBUF)]);
+    let rp = b.inttoptr(ci(k, FDBUF), k.i64t);
+    let rfd = b.load(rp);
+    let wp = b.inttoptr(ci(k, FDBUF + 8), k.i64t);
+    let wfd = b.load(wp);
+    let pid = sc(&mut b, k, nr::FORK, vec![]);
+    let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+    let child = b.block("kw.child");
+    let parent = b.block("kw.parent");
+    b.cond_br(isch, child, parent);
+    b.switch_to(child);
+    let w1 = sc(&mut b, k, nr::WRITE, vec![wfd, ci(k, USRC), ci(k, PIPE_SZ)]);
+    u_expect(&mut b, k, w1, ci(k, PIPE_SZ), 71);
+    let w2 = sc(&mut b, k, nr::WRITE, vec![wfd, ci(k, USRC), ci(k, PIPE_SZ)]);
+    u_expect(&mut b, k, w2, ci(k, EINTR), 72);
+    u_exit(&mut b, k, 0);
+    b.switch_to(parent);
+    sc(&mut b, k, nr::YIELD, vec![]);
+    sc(&mut b, k, nr::KILL, vec![pid, ci(k, 2)]);
+    let r = sc(&mut b, k, nr::READ, vec![rfd, ci(k, UDST), ci(k, PIPE_SZ)]);
+    u_expect(&mut b, k, r, ci(k, PIPE_SZ), 73);
+    let v = b
+        .call(
+            k.fid("user_verify"),
+            vec![ci(k, USRC), ci(k, UDST), ci(k, PIPE_SZ)],
+        )
+        .unwrap();
+    u_expect(&mut b, k, v, ci(k, 0), 74);
+    let rc = sc(&mut b, k, nr::WAITPID, vec![pid]);
+    u_expect(&mut b, k, rc, ci(k, 0), 75);
+    u_exit(&mut b, k, 0);
+
+    // user_fileread_bw(iters, size): repeated full-file reads.
+    let mut b = FunctionBuilder::new(m, k.fid("user_fileread_bw"));
+    let arg = b.param(0);
+    let (iters, size, _) = unpack(&mut b, k, arg);
+    let fd = sc(&mut b, k, nr::OPEN, vec![ci(k, 0x13), ci(k, 0)]);
+    b.call(k.fid("user_fill"), vec![ci(k, USRC), size, ci(k, 1)]);
+    sc(&mut b, k, nr::WRITE, vec![fd, ci(k, USRC), size]);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::LSEEK, vec![fd, ci(k, 0)]);
+        let r = sc(b, k, nr::READ, vec![fd, ci(k, UDST), size]);
+        u_expect(b, k, r, size, 81);
+    });
+    sc(&mut b, k, nr::CLOSE, vec![fd]);
+    u_exit(&mut b, k, 0);
+
+    // user_scp(iters, size): file-to-file copy in 512-byte chunks, then a
+    // readback verify.
+    let mut b = FunctionBuilder::new(m, k.fid("user_scp"));
+    let arg = b.param(0);
+    let (iters, size, _) = unpack(&mut b, k, arg);
+    let sfd = sc(&mut b, k, nr::OPEN, vec![ci(k, 0x11), ci(k, 0)]);
+    let dfd = sc(&mut b, k, nr::OPEN, vec![ci(k, 0x12), ci(k, 0)]);
+    b.call(k.fid("user_fill"), vec![ci(k, USRC), size, ci(k, 2)]);
+    let w = sc(&mut b, k, nr::WRITE, vec![sfd, ci(k, USRC), size]);
+    u_expect(&mut b, k, w, size, 90);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::LSEEK, vec![sfd, ci(k, 0)]);
+        sc(b, k, nr::LSEEK, vec![dfd, ci(k, 0)]);
+        let head = b.block("scp.head");
+        let cpy = b.block("scp.copy");
+        let done = b.block("scp.done");
+        b.br(head);
+        b.switch_to(head);
+        let r = sc(b, k, nr::READ, vec![sfd, ci(k, UTMP), ci(k, 512)]);
+        let more = b.icmp(IPred::SGt, r, ci(k, 0));
+        b.cond_br(more, cpy, done);
+        b.switch_to(cpy);
+        sc(b, k, nr::WRITE, vec![dfd, ci(k, UTMP), r]);
+        b.br(head);
+        b.switch_to(done);
+    });
+    sc(&mut b, k, nr::LSEEK, vec![dfd, ci(k, 0)]);
+    let r = sc(&mut b, k, nr::READ, vec![dfd, ci(k, UDST), size]);
+    u_expect(&mut b, k, r, size, 91);
+    let v = b
+        .call(k.fid("user_verify"), vec![ci(k, USRC), ci(k, UDST), size])
+        .unwrap();
+    u_expect(&mut b, k, v, ci(k, 0), 92);
+    u_exit(&mut b, k, 0);
+
+    // user_thttpd(iters, size, mode): static-file server inner loop; mode 1
+    // forks a worker per request like thttpd's CGI path.
+    let mut b = FunctionBuilder::new(m, k.fid("user_thttpd"));
+    let arg = b.param(0);
+    let (iters, size, mode) = unpack(&mut b, k, arg);
+    b.call(k.fid("user_fill"), vec![ci(k, USRC), size, ci(k, 4)]);
+    let isfork = b.icmp(IPred::Eq, mode, ci(k, 1));
+    let forkm = b.block("ht.fork");
+    let loopm = b.block("ht.loop");
+    b.cond_br(isfork, forkm, loopm);
+    b.switch_to(loopm);
+    let fd = sc(&mut b, k, nr::OPEN, vec![ci(k, 0x14), ci(k, 0)]);
+    emit_loop(&mut b, k, iters, |b, it| {
+        b.call(k.fid("user_fill"), vec![ci(k, USRC), size, it]);
+        sc(b, k, nr::LSEEK, vec![fd, ci(k, 0)]);
+        let w = sc(b, k, nr::WRITE, vec![fd, ci(k, USRC), size]);
+        u_expect(b, k, w, size, 95);
+        sc(b, k, nr::LSEEK, vec![fd, ci(k, 0)]);
+        let r = sc(b, k, nr::READ, vec![fd, ci(k, UDST), size]);
+        u_expect(b, k, r, size, 96);
+        let v = b
+            .call(k.fid("user_verify"), vec![ci(k, USRC), ci(k, UDST), size])
+            .unwrap();
+        u_expect(b, k, v, ci(k, 0), 97);
+    });
+    u_exit(&mut b, k, 0);
+    b.switch_to(forkm);
+    emit_loop(&mut b, k, iters, |b, _it| {
+        let pid = sc(b, k, nr::FORK, vec![]);
+        let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+        let child = b.block("ht.child");
+        let parent = b.block("ht.parent");
+        b.cond_br(isch, child, parent);
+        b.switch_to(child);
+        let cfd = sc(b, k, nr::OPEN, vec![ci(k, 0x14), ci(k, 0)]);
+        let w = sc(b, k, nr::WRITE, vec![cfd, ci(k, USRC), size]);
+        u_expect(b, k, w, size, 98);
+        sc(b, k, nr::CLOSE, vec![cfd]);
+        sc(b, k, nr::EXIT, vec![ci(k, 0)]);
+        b.ret(Some(ci(k, 0)));
+        b.switch_to(parent);
+        let rc = sc(b, k, nr::WAITPID, vec![pid]);
+        u_expect(b, k, rc, ci(k, 0), 99);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_pipe_bw(iters, size): bulk pipe throughput, child producer →
+    // parent consumer.
+    let mut b = FunctionBuilder::new(m, k.fid("user_pipe_bw"));
+    let arg = b.param(0);
+    let (iters, size, _) = unpack(&mut b, k, arg);
+    let total = b.mul(iters, size);
+    sc(&mut b, k, nr::PIPE, vec![ci(k, FDBUF)]);
+    let rp = b.inttoptr(ci(k, FDBUF), k.i64t);
+    let rfd = b.load(rp);
+    let wp = b.inttoptr(ci(k, FDBUF + 8), k.i64t);
+    let wfd = b.load(wp);
+    b.call(
+        k.fid("user_fill"),
+        vec![ci(k, USRC), ci(k, PIPE_SZ), ci(k, 6)],
+    );
+    let pid = sc(&mut b, k, nr::FORK, vec![]);
+    let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+    let child = b.block("bw.child");
+    let parent = b.block("bw.parent");
+    b.cond_br(isch, child, parent);
+    b.switch_to(child);
+    {
+        let sent = b.alloca(k.i64t);
+        b.store(ci(k, 0), sent);
+        let head = b.block("bw.whead");
+        let body = b.block("bw.wbody");
+        let done = b.block("bw.wdone");
+        b.br(head);
+        b.switch_to(head);
+        let s = b.load(sent);
+        let more = b.icmp(IPred::ULt, s, total);
+        b.cond_br(more, body, done);
+        b.switch_to(body);
+        let left = b.sub(total, s);
+        let chunk = umin(&mut b, left, ci(k, PIPE_SZ));
+        let w = sc(&mut b, k, nr::WRITE, vec![wfd, ci(k, USRC), chunk]);
+        let neg = b.icmp(IPred::SLt, w, ci(k, 0));
+        let badw = b.block("bw.badw");
+        let okw = b.block("bw.okw");
+        b.cond_br(neg, badw, okw);
+        b.switch_to(badw);
+        u_exit(&mut b, k, 85);
+        b.switch_to(okw);
+        let s1 = b.add(s, w);
+        b.store(s1, sent);
+        b.br(head);
+        b.switch_to(done);
+        u_exit(&mut b, k, 0);
+    }
+    b.switch_to(parent);
+    {
+        let got = b.alloca(k.i64t);
+        b.store(ci(k, 0), got);
+        let head = b.block("bw.rhead");
+        let body = b.block("bw.rbody");
+        let done = b.block("bw.rdone");
+        b.br(head);
+        b.switch_to(head);
+        let g = b.load(got);
+        let more = b.icmp(IPred::ULt, g, total);
+        b.cond_br(more, body, done);
+        b.switch_to(body);
+        let r = sc(&mut b, k, nr::READ, vec![rfd, ci(k, UDST), ci(k, PIPE_SZ)]);
+        let bad = b.icmp(IPred::SLe, r, ci(k, 0));
+        let badr = b.block("bw.badr");
+        let okr = b.block("bw.okr");
+        b.cond_br(bad, badr, okr);
+        b.switch_to(badr);
+        u_exit(&mut b, k, 86);
+        b.switch_to(okr);
+        let g1 = b.add(g, r);
+        b.store(g1, got);
+        b.br(head);
+        b.switch_to(done);
+        let rc = sc(&mut b, k, nr::WAITPID, vec![pid]);
+        u_expect(&mut b, k, rc, ci(k, 0), 87);
+        u_exit(&mut b, k, 0);
+    }
+
+    // user_forkexec_loop(iters): fork + execve into user_exec_child.
+    let mut b = FunctionBuilder::new(m, k.fid("user_forkexec_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        let pid = sc(b, k, nr::FORK, vec![]);
+        let isch = b.icmp(IPred::Eq, pid, ci(k, 0));
+        let child = b.block("fe.child");
+        let parent = b.block("fe.parent");
+        b.cond_br(isch, child, parent);
+        b.switch_to(child);
+        sc(b, k, nr::EXECVE, vec![ci(k, 0), ci(k, UBUF), ci(k, 32)]);
+        sc(b, k, nr::EXIT, vec![ci(k, 8)]);
+        b.ret(Some(ci(k, 0)));
+        b.switch_to(parent);
+        let rc = sc(b, k, nr::WAITPID, vec![pid]);
+        u_expect(b, k, rc, ci(k, 7), 77);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_exec_child: the execve target.
+    let mut b = FunctionBuilder::new(m, k.fid("user_exec_child"));
+    u_exit(&mut b, k, 7);
+
+    define_user_bench(m, k);
+}
+
+// Benchmark-only userspace programs (Table 5 / Table 7 workloads).
+fn define_user_bench(m: &mut Module, k: &K) {
+    // user_bzip2(iters): compute-bound byte transform (RLE-ish mixing).
+    let mut b = FunctionBuilder::new(m, k.fid("user_bzip2"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    b.call(
+        k.fid("user_fill"),
+        vec![ci(k, USRC), ci(k, 4096), ci(k, 13)],
+    );
+    emit_loop(&mut b, k, iters, |b, it| {
+        emit_loop(b, k, ci(k, 4096), |b, i| {
+            let pa = b.add(ci(k, USRC), i);
+            let p1 = b.inttoptr(pa, k.i8t);
+            let x = b.load(p1);
+            let xw = b.zext(x, k.i64t);
+            let t = b.mul(xw, ci(k, 31));
+            let t2 = b.add(t, it);
+            let byte = b.trunc(t2, k.i8t);
+            let pb = b.add(ci(k, UDST), i);
+            let p2 = b.inttoptr(pb, k.i8t);
+            b.store(byte, p2);
+        });
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_lame(iters): compute-bound "filter" over 2 KiB frames.
+    let mut b = FunctionBuilder::new(m, k.fid("user_lame"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    b.call(
+        k.fid("user_fill"),
+        vec![ci(k, USRC), ci(k, 2048), ci(k, 17)],
+    );
+    emit_loop(&mut b, k, iters, |b, it| {
+        emit_loop(b, k, ci(k, 2048), |b, i| {
+            let pa = b.add(ci(k, USRC), i);
+            let p1 = b.inttoptr(pa, k.i8t);
+            let x = b.load(p1);
+            let xw = b.zext(x, k.i64t);
+            let t = b.shl(xw, ci(k, 3));
+            let t2 = b.xor(t, it);
+            let t3 = b.add(t2, xw);
+            let byte = b.trunc(t3, k.i8t);
+            let pb = b.add(ci(k, UDST), i);
+            let p2 = b.inttoptr(pb, k.i8t);
+            b.store(byte, p2);
+        });
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_gcc(iters): mixed compute + descriptor traffic.
+    let mut b = FunctionBuilder::new(m, k.fid("user_gcc"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    b.call(
+        k.fid("user_fill"),
+        vec![ci(k, USRC), ci(k, 1024), ci(k, 19)],
+    );
+    emit_loop(&mut b, k, iters, |b, it| {
+        let fd = sc(b, k, nr::OPEN, vec![ci(k, 0x16), ci(k, 0)]);
+        emit_loop(b, k, ci(k, 1024), |b, i| {
+            let pa = b.add(ci(k, USRC), i);
+            let p1 = b.inttoptr(pa, k.i8t);
+            let x = b.load(p1);
+            let xw = b.zext(x, k.i64t);
+            let t = b.mul(xw, ci(k, 7));
+            let t2 = b.add(t, it);
+            let byte = b.trunc(t2, k.i8t);
+            b.store(byte, p1);
+        });
+        sc(b, k, nr::CLOSE, vec![fd]);
+    });
+    u_exit(&mut b, k, 0);
+
+    // user_ldd(iters): syscall-bound — pure getpid traffic.
+    let mut b = FunctionBuilder::new(m, k.fid("user_ldd"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::GETPID, vec![]);
+    });
+    u_exit(&mut b, k, 0);
+
+    // Table 7 latency loops.
+    let mut b = FunctionBuilder::new(m, k.fid("user_gettimeofday_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::GETTIMEOFDAY, vec![ci(k, UHEAP)]);
+    });
+    u_exit(&mut b, k, 0);
+
+    let mut b = FunctionBuilder::new(m, k.fid("user_sbrk_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::SBRK, vec![ci(k, 16)]);
+    });
+    u_exit(&mut b, k, 0);
+
+    let mut b = FunctionBuilder::new(m, k.fid("user_sigaction_loop"));
+    let arg = b.param(0);
+    let (iters, _, _) = unpack(&mut b, k, arg);
+    let h = b.ptrtoint(Operand::Func(k.fid("user_child_sig")));
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::SIGACTION, vec![ci(k, 3), h]);
+    });
+    u_exit(&mut b, k, 0);
+
+    let mut b = FunctionBuilder::new(m, k.fid("user_write_loop"));
+    let arg = b.param(0);
+    let (iters, size, _) = unpack(&mut b, k, arg);
+    let fd = sc(&mut b, k, nr::OPEN, vec![ci(k, 0x15), ci(k, 0)]);
+    b.call(k.fid("user_fill"), vec![ci(k, USRC), size, ci(k, 8)]);
+    emit_loop(&mut b, k, iters, |b, _i| {
+        sc(b, k, nr::LSEEK, vec![fd, ci(k, 0)]);
+        let w = sc(b, k, nr::WRITE, vec![fd, ci(k, USRC), size]);
+        u_expect(b, k, w, size, 89);
+    });
+    sc(&mut b, k, nr::CLOSE, vec![fd]);
+    u_exit(&mut b, k, 0);
+}

@@ -77,6 +77,15 @@ pub struct CheckStats {
     /// Checks skipped because the partition is incomplete ("reduced
     /// checks", the source of false negatives).
     pub reduced_skips: u64,
+    /// Object lookups answered by the per-pool MRU last-hit cache
+    /// (fast-path layer 1).
+    pub cache_hits: u64,
+    /// Object lookups resolved by the page-granular interval index,
+    /// including definitive misses it can prove (fast-path layer 2).
+    pub page_hits: u64,
+    /// Object lookups that fell through to the splay tree (layer 3, the
+    /// only layer that existed before the fast path).
+    pub tree_walks: u64,
 }
 
 impl CheckStats {
@@ -94,6 +103,15 @@ impl CheckStats {
         self.registrations += other.registrations;
         self.drops += other.drops;
         self.reduced_skips += other.reduced_skips;
+        self.cache_hits += other.cache_hits;
+        self.page_hits += other.page_hits;
+        self.tree_walks += other.tree_walks;
+    }
+
+    /// Object lookups performed by any layer (the denominator for the
+    /// per-layer hit rates).
+    pub fn lookups(&self) -> u64 {
+        self.cache_hits + self.page_hits + self.tree_walks
     }
 }
 

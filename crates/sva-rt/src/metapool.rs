@@ -6,12 +6,28 @@
 //! object ranges and implements the checks of §4.5, honouring the
 //! completeness-based "reduced checks" rule.
 
+use std::collections::HashMap;
+
 use crate::check::{CheckError, CheckKind, CheckStats};
 use crate::splay::SplayTree;
 
 /// Identifier of a metapool within a [`MetaPoolTable`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct MetaPoolId(pub u32);
+
+/// Page granularity of the interval index (4 KiB, matching the VM).
+const PAGE_SHIFT: u64 = 12;
+
+/// Ranges spanning more than this many pages stay out of the page index
+/// (a huge object would otherwise fill thousands of buckets); they are
+/// tracked in an `unindexed` count instead, which disables the index's
+/// ability to prove definitive misses while any such object is live.
+const MAX_INDEXED_PAGES: u64 = 64;
+
+/// After this many consecutive lookups with no intervening registration
+/// or drop, the pool is considered read-mostly and splay lookups stop
+/// restructuring the tree (they use [`SplayTree::find`] instead).
+const READ_MOSTLY_THRESHOLD: u32 = 32;
 
 /// One metapool with its object registry.
 #[derive(Clone, Debug)]
@@ -27,6 +43,20 @@ pub struct MetaPool {
     pub elem_size: Option<u64>,
     objects: SplayTree,
     stats: CheckStats,
+    /// Fast-path toggle (ablation). When off, every lookup is a splay walk
+    /// — the pre-cache baseline.
+    fast_path: bool,
+    /// Layer 1: MRU last-hit cache, most recent first. Entries are live
+    /// `(start, end)` ranges and must be invalidated on drop/clear.
+    mru: [Option<(u64, u64)>; 2],
+    /// Layer 2: page number (`addr >> 12`) → live ranges touching that
+    /// page. Only ranges spanning ≤ [`MAX_INDEXED_PAGES`] pages appear.
+    page_index: HashMap<u64, Vec<(u64, u64)>>,
+    /// Live ranges too large for the page index. While nonzero, a page
+    /// miss is not a definitive miss and must fall through to the tree.
+    unindexed: usize,
+    /// Consecutive lookups since the last mutation (read-mostly detector).
+    quiet_lookups: u32,
 }
 
 impl MetaPool {
@@ -39,7 +69,142 @@ impl MetaPool {
             elem_size,
             objects: SplayTree::new(),
             stats: CheckStats::default(),
+            fast_path: true,
+            mru: [None; 2],
+            page_index: HashMap::new(),
+            unindexed: 0,
+            quiet_lookups: 0,
         }
+    }
+
+    /// Whether the layered fast path is active.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Enables or disables the lookup fast path (the benchmark ablation
+    /// flag). Disabling drops the caches so every lookup becomes a splay
+    /// walk; re-enabling rebuilds the page index from the live tree.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        if self.fast_path == enabled {
+            return;
+        }
+        self.fast_path = enabled;
+        self.mru = [None; 2];
+        self.page_index.clear();
+        self.unindexed = 0;
+        self.quiet_lookups = 0;
+        if enabled {
+            for (start, end) in self.objects.iter_ranges() {
+                self.index_insert(start, end);
+            }
+        }
+    }
+
+    fn span_pages(start: u64, end: u64) -> u64 {
+        ((end - 1) >> PAGE_SHIFT) - (start >> PAGE_SHIFT) + 1
+    }
+
+    fn index_insert(&mut self, start: u64, end: u64) {
+        if Self::span_pages(start, end) > MAX_INDEXED_PAGES {
+            self.unindexed += 1;
+            return;
+        }
+        for page in (start >> PAGE_SHIFT)..=((end - 1) >> PAGE_SHIFT) {
+            self.page_index.entry(page).or_default().push((start, end));
+        }
+    }
+
+    fn index_remove(&mut self, start: u64, end: u64) {
+        if Self::span_pages(start, end) > MAX_INDEXED_PAGES {
+            self.unindexed -= 1;
+            return;
+        }
+        for page in (start >> PAGE_SHIFT)..=((end - 1) >> PAGE_SHIFT) {
+            if let Some(v) = self.page_index.get_mut(&page) {
+                v.retain(|&r| r != (start, end));
+                if v.is_empty() {
+                    self.page_index.remove(&page);
+                }
+            }
+        }
+    }
+
+    /// Records a mutation: invalidates read-mostly mode and, when `hit` is
+    /// a dropped range, purges it from the MRU cache.
+    fn note_mutation(&mut self, dropped: Option<(u64, u64)>) {
+        self.quiet_lookups = 0;
+        if let Some(range) = dropped {
+            for slot in &mut self.mru {
+                if *slot == Some(range) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// Remembers `range` as the most recent hit (layer-1 cache fill).
+    fn remember(&mut self, range: (u64, u64)) {
+        if self.mru[0] != Some(range) {
+            self.mru[1] = self.mru[0];
+            self.mru[0] = Some(range);
+        }
+    }
+
+    /// The layered object lookup behind every check: MRU cache, then page
+    /// index, then splay tree. Exactly one of `cache_hits` / `page_hits` /
+    /// `tree_walks` is incremented per call.
+    fn lookup_obj(&mut self, addr: u64) -> Option<(u64, u64)> {
+        if !self.fast_path {
+            self.stats.tree_walks += 1;
+            return self.objects.lookup(addr);
+        }
+        // Layer 1: MRU last-hit cache.
+        for i in 0..self.mru.len() {
+            if let Some((start, end)) = self.mru[i] {
+                if start <= addr && addr < end {
+                    self.stats.cache_hits += 1;
+                    if i != 0 {
+                        self.mru.swap(0, 1);
+                    }
+                    self.quiet_lookups = self.quiet_lookups.saturating_add(1);
+                    return Some((start, end));
+                }
+            }
+        }
+        // Layer 2: page-granular interval index.
+        let page = addr >> PAGE_SHIFT;
+        let mut hit = None;
+        if let Some(candidates) = self.page_index.get(&page) {
+            hit = candidates
+                .iter()
+                .copied()
+                .find(|&(start, end)| start <= addr && addr < end);
+        }
+        let definitive = hit.is_some() || self.unindexed == 0;
+        if definitive {
+            // Either the index produced the object, or every live range is
+            // indexed and none on this page contains `addr` — a definitive
+            // miss, also answered without touching the tree.
+            self.stats.page_hits += 1;
+            self.quiet_lookups = self.quiet_lookups.saturating_add(1);
+            if let Some(range) = hit {
+                self.remember(range);
+            }
+            return hit;
+        }
+        // Layer 3: splay tree (only unindexed huge objects remain).
+        self.stats.tree_walks += 1;
+        let found = if self.quiet_lookups >= READ_MOSTLY_THRESHOLD {
+            self.objects.find(addr)
+        } else {
+            self.objects.lookup(addr)
+        };
+        self.quiet_lookups = self.quiet_lookups.saturating_add(1);
+        if let Some(range) = found {
+            self.remember(range);
+        }
+        found
     }
 
     /// Number of live registered objects.
@@ -73,23 +238,21 @@ impl MetaPool {
     /// objects or the compiler mis-sized a registration.
     pub fn reg_obj(&mut self, addr: u64, len: u64) -> Result<(), CheckError> {
         self.stats.registrations += 1;
-        if len == 0 {
-            // Zero-sized allocations register a 1-byte placeholder so that
-            // the pointer identity stays checkable.
-            if self.objects.insert(addr, 1) {
-                return Ok(());
-            }
-            return Err(self.err(CheckKind::BadRegistration, addr, "zero-size overlap"));
-        }
-        if self.objects.insert(addr, len) {
-            Ok(())
-        } else {
-            Err(self.err(
+        // Zero-sized allocations register a 1-byte placeholder so that the
+        // pointer identity stays checkable.
+        let len = len.max(1);
+        if !self.objects.insert(addr, len) {
+            return Err(self.err(
                 CheckKind::BadRegistration,
                 addr,
                 format!("overlapping registration of {len} bytes"),
-            ))
+            ));
         }
+        if self.fast_path {
+            self.note_mutation(None);
+            self.index_insert(addr, addr + len);
+        }
+        Ok(())
     }
 
     /// `pchk.drop.obj`: deregisters the object starting at `addr`.
@@ -99,7 +262,16 @@ impl MetaPool {
     pub fn drop_obj(&mut self, addr: u64) -> Result<(), CheckError> {
         self.stats.drops += 1;
         match self.objects.remove(addr) {
-            Some(_) => Ok(()),
+            Some((start, end)) => {
+                if self.fast_path {
+                    // A freed object must never be served from the caches:
+                    // that would reintroduce exactly the use-after-free class
+                    // the checks exist to catch.
+                    self.note_mutation(Some((start, end)));
+                    self.index_remove(start, end);
+                }
+                Ok(())
+            }
             None => Err(self.err(
                 CheckKind::IllegalFree,
                 addr,
@@ -111,7 +283,7 @@ impl MetaPool {
     /// `getbounds`: bounds of the object containing `addr`, if registered.
     pub fn get_bounds(&mut self, addr: u64) -> Option<(u64, u64)> {
         self.stats.get_bounds += 1;
-        self.objects.lookup(addr)
+        self.lookup_obj(addr)
     }
 
     /// `boundscheck`: verifies that `derived` stays within the object
@@ -126,7 +298,7 @@ impl MetaPool {
     /// the same object lookup.
     pub fn bounds_check(&mut self, src: u64, derived: u64) -> Result<(), CheckError> {
         self.stats.bounds_checks += 1;
-        match self.objects.lookup(src) {
+        match self.lookup_obj(src) {
             Some((start, end)) => {
                 if derived >= start && derived <= end {
                     Ok(())
@@ -182,7 +354,7 @@ impl MetaPool {
             self.stats.reduced_skips += 1;
             return Ok(());
         }
-        match self.objects.lookup(addr) {
+        match self.lookup_obj(addr) {
             Some(_) => Ok(()),
             None => Err(self.err(CheckKind::LoadStore, addr, "no registered object")),
         }
@@ -193,6 +365,10 @@ impl MetaPool {
     /// destroyed", paper §4.3).
     pub fn clear(&mut self) {
         self.objects.clear();
+        self.mru = [None; 2];
+        self.page_index.clear();
+        self.unindexed = 0;
+        self.quiet_lookups = 0;
     }
 
     /// All live ranges, ascending (diagnostics).
@@ -299,6 +475,13 @@ impl MetaPoolTable {
         self.func_stats = CheckStats::default();
         for p in &mut self.pools {
             p.reset_stats();
+        }
+    }
+
+    /// Toggles the lookup fast path on every pool (benchmark ablation).
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        for p in &mut self.pools {
+            p.set_fast_path(enabled);
         }
     }
 }
@@ -435,5 +618,140 @@ mod tests {
         p.clear();
         assert_eq!(p.live_objects(), 0);
         assert_eq!(p.get_bounds(0x1008), None);
+    }
+
+    #[test]
+    fn mru_cache_serves_repeated_hits() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        // First lookup fills the cache (resolved by the page index), the
+        // rest are MRU hits.
+        for _ in 0..10 {
+            p.bounds_check(0x1000, 0x1020).unwrap();
+        }
+        assert_eq!(p.stats().page_hits, 1);
+        assert_eq!(p.stats().cache_hits, 9);
+        assert_eq!(p.stats().tree_walks, 0);
+    }
+
+    #[test]
+    fn mru_second_slot_keeps_alternating_pair() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 16).unwrap();
+        p.reg_obj(0x2000, 16).unwrap();
+        // Warm both slots, then alternate: every lookup after warmup must be
+        // a cache hit (the 2-entry MRU holds both objects).
+        p.ls_check(0x1008).unwrap();
+        p.ls_check(0x2008).unwrap();
+        for _ in 0..8 {
+            p.ls_check(0x1008).unwrap();
+            p.ls_check(0x2008).unwrap();
+        }
+        assert_eq!(p.stats().page_hits, 2);
+        assert_eq!(p.stats().cache_hits, 16);
+        assert_eq!(p.stats().tree_walks, 0);
+    }
+
+    #[test]
+    fn dropped_object_never_served_from_caches() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        // Pull the object into the MRU cache and the page index.
+        p.ls_check(0x1010).unwrap();
+        p.ls_check(0x1010).unwrap();
+        assert_eq!(p.stats().cache_hits, 1);
+        p.drop_obj(0x1000).unwrap();
+        // A use-after-free probe must miss in every layer.
+        let err = p.ls_check(0x1010).unwrap_err();
+        assert_eq!(err.kind, CheckKind::LoadStore);
+        assert_eq!(p.get_bounds(0x1010), None);
+        // And re-registration at an overlapping address serves the new
+        // object, not the stale range.
+        p.reg_obj(0x1008, 8).unwrap();
+        assert_eq!(p.get_bounds(0x100c), Some((0x1008, 0x1010)));
+    }
+
+    #[test]
+    fn cleared_pool_never_served_from_caches() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        p.ls_check(0x1010).unwrap();
+        p.ls_check(0x1010).unwrap();
+        p.clear();
+        let err = p.ls_check(0x1010).unwrap_err();
+        assert_eq!(err.kind, CheckKind::LoadStore);
+    }
+
+    #[test]
+    fn page_index_proves_definitive_misses() {
+        let mut p = MetaPool::new("MPc", false, true, None);
+        p.reg_obj(0x1000, 64).unwrap();
+        // Miss on a page with no candidates: answered by the index (all
+        // live ranges are indexed), no tree walk.
+        assert!(p.ls_check(0x9000).is_err());
+        assert_eq!(p.stats().page_hits, 1);
+        assert_eq!(p.stats().tree_walks, 0);
+    }
+
+    #[test]
+    fn huge_objects_fall_back_to_the_tree() {
+        let mut p = MetaPool::new("MPc", false, true, None);
+        // 1 MiB object: spans 256 pages > MAX_INDEXED_PAGES, so it is not
+        // page-indexed and lookups must reach the splay tree.
+        p.reg_obj(0x10_0000, 0x10_0000).unwrap();
+        p.ls_check(0x18_0000).unwrap();
+        assert_eq!(p.stats().tree_walks, 1);
+        // Second hit comes from the MRU cache even for huge objects.
+        p.ls_check(0x18_0008).unwrap();
+        assert_eq!(p.stats().cache_hits, 1);
+        // Misses cannot be proven by the index while the huge object lives…
+        assert!(p.ls_check(0x50_0000).is_err());
+        assert_eq!(p.stats().tree_walks, 2);
+        // …but become definitive again once it is dropped.
+        p.drop_obj(0x10_0000).unwrap();
+        assert!(p.ls_check(0x50_0000).is_err());
+        assert_eq!(p.stats().tree_walks, 2);
+    }
+
+    #[test]
+    fn fast_path_toggle_recovers_baseline_and_rebuilds() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        p.reg_obj(0x3000, 64).unwrap();
+        p.set_fast_path(false);
+        assert!(!p.fast_path());
+        for _ in 0..4 {
+            p.bounds_check(0x1000, 0x1010).unwrap();
+        }
+        // Baseline: every lookup is a tree walk, no cache traffic.
+        assert_eq!(p.stats().cache_hits, 0);
+        assert_eq!(p.stats().page_hits, 0);
+        assert_eq!(p.stats().tree_walks, 4);
+        // Re-enabling rebuilds the page index from the live tree.
+        p.set_fast_path(true);
+        p.bounds_check(0x3000, 0x3010).unwrap();
+        assert_eq!(p.stats().page_hits, 1);
+        assert_eq!(p.stats().tree_walks, 4);
+    }
+
+    #[test]
+    fn lookup_layers_partition_all_lookups() {
+        let mut p = MetaPool::new("MPc", false, true, None);
+        for i in 0..64u64 {
+            p.reg_obj(0x1000 + i * 0x100, 0x80).unwrap();
+        }
+        let mut x = 7u64;
+        let mut lookups = 0;
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = 0x1000 + (x % 0x4000);
+            let _ = p.ls_check(addr);
+            lookups += 1;
+        }
+        let s = *p.stats();
+        assert_eq!(s.lookups(), lookups);
+        assert_eq!(s.cache_hits + s.page_hits + s.tree_walks, lookups);
     }
 }

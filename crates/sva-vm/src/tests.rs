@@ -251,6 +251,7 @@ entry:
             kind: KernelKind::Native,
             sign_key: 1,
             fuel: 10_000,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -547,6 +548,40 @@ fn safe_kernel_in_bounds_access_passes() {
 }
 
 #[test]
+fn safe_kernel_lookup_breakdown_and_ablation_agree() {
+    // With the fast path on, the repeated checks of `overflow` are served
+    // by the cache layers; with it off the same run is all tree walks.
+    // Outcome, cycle count and check volume must be identical either way.
+    let run = |fast_path: bool| {
+        let m = safe_module(SAFE_KERNEL);
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                kind: KernelKind::SvaSafe,
+                fast_path,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = vm.call("overflow", &[10]).unwrap();
+        (r, vm.stats(), vm.pools.total_stats())
+    };
+    let (r_fast, s_fast, p_fast) = run(true);
+    let (r_base, s_base, p_base) = run(false);
+    assert_eq!(r_fast, r_base);
+    assert_eq!(s_fast.cycles, s_base.cycles, "fast path altered cycle cost");
+    assert_eq!(p_fast.total_checks(), p_base.total_checks());
+    // The baseline run never touches the cache layers.
+    assert_eq!(s_base.cache_hits + s_base.page_hits, 0);
+    assert_eq!(s_base.tree_walks, p_base.lookups());
+    // Both runs account for every lookup, whatever layer answered it.
+    assert_eq!(
+        s_fast.cache_hits + s_fast.page_hits + s_fast.tree_walks,
+        p_fast.lookups()
+    );
+}
+
+#[test]
 fn safe_kernel_catches_buffer_overflow() {
     let m = safe_module(SAFE_KERNEL);
     let mut vm = Vm::new(
@@ -601,6 +636,7 @@ entry:
             kind: KernelKind::Native,
             sign_key: 5,
             fuel: u64::MAX,
+            ..Default::default()
         },
     )
     .unwrap();

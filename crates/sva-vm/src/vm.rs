@@ -166,6 +166,10 @@ pub struct VmConfig {
     /// Instruction budget (guards against runaway guests); `u64::MAX` for
     /// unlimited.
     pub fuel: u64,
+    /// Layered lookup fast path in the metapool runtime (MRU cache + page
+    /// index in front of the splay tree). On by default; benchmarks disable
+    /// it to measure the splay-only baseline.
+    pub fast_path: bool,
 }
 
 impl Default for VmConfig {
@@ -174,6 +178,7 @@ impl Default for VmConfig {
             kind: KernelKind::SvaSafe,
             sign_key: 0x57a,
             fuel: u64::MAX,
+            fast_path: true,
         }
     }
 }
@@ -327,7 +332,7 @@ pub(crate) struct Frame {
     pub mode: Mode,
     pub sp_saved: u64,
     /// Stack registrations to auto-drop on pop: `(metapool, addr)`.
-    pub stack_regs: Vec<(u32, u64)>,
+    pub stack_regs: Vec<(u32, u64, u64)>,
 }
 
 /// Saved integer state (`llva.save.integer`, paper Table 1).
@@ -397,6 +402,12 @@ pub struct VmStats {
     pub context_switches: u64,
     /// Hardware interrupts delivered.
     pub interrupts: u64,
+    /// Metapool lookups answered by the MRU last-hit cache.
+    pub cache_hits: u64,
+    /// Metapool lookups resolved by the page-granular index.
+    pub page_hits: u64,
+    /// Metapool lookups that walked the splay tree.
+    pub tree_walks: u64,
 }
 
 /// The Secure Virtual Machine instance.
@@ -487,7 +498,13 @@ impl Vm {
         if cfg.kind.checks() {
             let pa = module.pool_annotations.as_ref().unwrap();
             for d in &pa.metapools {
-                let elem_size = d.elem_type.map(|t| module.types.size_of(t));
+                // Function types are unsized; a pool whose element type is
+                // a function (e.g. one inferred behind a fops table) gets
+                // no element size and is treated as non-homogeneous.
+                let elem_size = d.elem_type.and_then(|t| match module.types.get(t) {
+                    sva_ir::Type::Func { .. } => None,
+                    _ => Some(module.types.size_of(t)),
+                });
                 pools.add_pool(MetaPool::new(
                     &d.name,
                     d.type_homogeneous,
@@ -534,6 +551,9 @@ impl Vm {
                 }
             }
         }
+        if !cfg.fast_path {
+            pools.set_fast_path(false);
+        }
 
         // Translation to the flat "native" form.
         let flat = if cfg.kind.flat() {
@@ -574,9 +594,15 @@ impl Vm {
         &self.code.module
     }
 
-    /// Execution statistics so far.
+    /// Execution statistics so far. The lookup-layer counters are pulled
+    /// from the metapool runtime so callers see one coherent snapshot.
     pub fn stats(&self) -> VmStats {
-        self.stats
+        let mut s = self.stats;
+        let pool_stats = self.pools.total_stats();
+        s.cache_hits = pool_stats.cache_hits;
+        s.page_hits = pool_stats.page_hits;
+        s.tree_walks = pool_stats.tree_walks;
+        s
     }
 
     /// Console output as a lossy string.
@@ -1133,7 +1159,7 @@ impl Vm {
     fn do_ret(&mut self, v: u64) -> Result<StepOut, VmError> {
         let fr = self.thread.frames.pop().expect("frame");
         // Auto-drop stack registrations (frame-pop sweep).
-        for (mp, addr) in &fr.stack_regs {
+        for (mp, addr, _len) in &fr.stack_regs {
             let _ = self.pools.pool_mut(sva_rt::MetaPoolId(*mp)).drop_obj(*addr);
         }
         match fr.mode {
@@ -1207,6 +1233,18 @@ impl Vm {
                 self.mem
                     .write_bytes(KSTACK_BASE, &st.kstack, Mode::Kernel)?;
                 self.mem.load_space(st.asid)?;
+                self.sweep_stack_regs();
+                // The restored continuation's stack objects were dropped
+                // when its frames were discarded at context-switch time;
+                // bring them back so checks against them pass again.
+                for fr in &st.frames {
+                    for (mp, addr, len) in &fr.stack_regs {
+                        let _ = self
+                            .pools
+                            .pool_mut(sva_rt::MetaPoolId(*mp))
+                            .reg_obj(*addr, *len);
+                    }
+                }
                 self.thread.frames = st.frames;
                 self.thread.icid = st.icid;
                 self.thread.asid = st.asid;
@@ -1418,7 +1456,7 @@ impl Vm {
                         .last_mut()
                         .unwrap()
                         .stack_regs
-                        .push((mp, addr));
+                        .push((mp, addr, len));
                 }
             }
             PchkDropObj => {
@@ -1433,7 +1471,7 @@ impl Vm {
                     .map_err(VmError::Safety)?;
                 // Remove from the frame sweep if it was a stack object.
                 if let Some(fr) = self.thread.frames.last_mut() {
-                    fr.stack_regs.retain(|(m, a)| !(*m == mp && *a == addr));
+                    fr.stack_regs.retain(|(m, a, _)| !(*m == mp && *a == addr));
                 }
             }
             BoundsCheck => {
@@ -1622,6 +1660,19 @@ impl Vm {
         Ok(StepOut::Continue)
     }
 
+    /// Drops the metapool registrations of every stack object owned by the
+    /// current frame stack. Called when frames are *discarded* rather than
+    /// popped (iret, load.integer): without this, the next kernel entry
+    /// re-allocates the same kernel-stack addresses and trips the
+    /// overlapping-registration check.
+    fn sweep_stack_regs(&mut self) {
+        for fr in &self.thread.frames {
+            for (mp, addr, _len) in &fr.stack_regs {
+                let _ = self.pools.pool_mut(sva_rt::MetaPoolId(*mp)).drop_obj(*addr);
+            }
+        }
+    }
+
     fn iret(&mut self, icp: u64, retval: u64) -> Result<(), VmError> {
         let fast = self.cfg.kind.fast_os();
         self.stats.cycles += if fast { 16 } else { 24 };
@@ -1638,6 +1689,7 @@ impl Vm {
             }
         }
         self.mem.load_space(asid)?;
+        self.sweep_stack_regs();
         self.thread.frames = frames;
         self.thread.usp = usp;
         self.thread.asid = asid;

@@ -7,6 +7,9 @@
 //!   encoding/decoding are lossless for generated modules;
 //! * **splay tree vs model** — the range tree agrees with a naive model
 //!   under arbitrary operation sequences;
+//! * **fast-path equivalence** — a metapool with the layered lookup cache
+//!   (MRU + page index) answers every check exactly like the splay-only
+//!   baseline under arbitrary register/check/drop sequences;
 //! * **signature integrity** — any single-bit flip in signed bytecode is
 //!   rejected.
 
@@ -17,7 +20,7 @@ use sva::ir::bytecode::{decode_module, encode_module, sign, verify_signature};
 use sva::ir::parse::parse_module;
 use sva::ir::print::print_module;
 use sva::ir::{BinOp, Linkage, Module, Operand};
-use sva::rt::SplayTree;
+use sva::rt::{MetaPool, SplayTree};
 use sva::vm::{KernelKind, Vm, VmConfig, VmExit};
 
 /// One generated operation: opcode, operand sources, immediate, width.
@@ -307,5 +310,54 @@ proptest! {
             }
             prop_assert_eq!(t.len(), model.len());
         }
+    }
+
+    #[test]
+    fn fastpath_agrees_with_splay_baseline(
+        ops in prop::collection::vec((0u8..5, 0u64..512, 1u64..48, 0u64..64), 1..200),
+        complete in any::<bool>(),
+        toggle_at in 0usize..200,
+    ) {
+        // The same operation sequence runs against a fast-path pool and a
+        // splay-only pool; every observable result (check outcomes, bounds,
+        // live counts) must be identical, including after toggling the
+        // fast path mid-sequence (which forces an index rebuild).
+        let mut fast = MetaPool::new("MPf", false, complete, None);
+        let mut base = MetaPool::new("MPb", false, complete, None);
+        base.set_fast_path(false);
+        for (i, (op, pos, len, off)) in ops.into_iter().enumerate() {
+            if i == toggle_at {
+                fast.set_fast_path(false);
+                fast.set_fast_path(true);
+            }
+            let start = pos * 8;
+            let addr = start + off;
+            match op {
+                0 => prop_assert_eq!(
+                    fast.reg_obj(start, len).is_ok(),
+                    base.reg_obj(start, len).is_ok()
+                ),
+                1 => prop_assert_eq!(
+                    fast.drop_obj(start).is_ok(),
+                    base.drop_obj(start).is_ok()
+                ),
+                2 => prop_assert_eq!(fast.get_bounds(addr), base.get_bounds(addr)),
+                3 => prop_assert_eq!(
+                    fast.ls_check(addr).is_ok(),
+                    base.ls_check(addr).is_ok()
+                ),
+                _ => prop_assert_eq!(
+                    fast.bounds_check(addr, addr + len).is_ok(),
+                    base.bounds_check(addr, addr + len).is_ok()
+                ),
+            }
+            prop_assert_eq!(fast.live_objects(), base.live_objects());
+        }
+        prop_assert_eq!(fast.live_ranges(), base.live_ranges());
+        // Layer accounting: the two pools saw the same lookups, and the
+        // baseline answered all of its own from the tree.
+        prop_assert_eq!(fast.stats().lookups(), base.stats().lookups());
+        prop_assert_eq!(base.stats().tree_walks, base.stats().lookups());
+        prop_assert_eq!(base.stats().cache_hits, 0);
     }
 }
