@@ -12,11 +12,13 @@
 //!    path changes how a lookup is answered, not what it costs in the
 //!    machine model.
 
+use bench::run_workload_traced;
 use sva_analysis::AnalysisConfig;
 use sva_core::compile::{compile, CompileOptions};
 use sva_core::verifier::{verify_and_insert_checks_with, InsertOptions};
 use sva_kernel::harness::{boot_user, pack_arg, raw_kernel};
 use sva_kernel::AS_TESTED_EXCLUSIONS;
+use sva_trace::{top_report, RingConfig};
 use sva_vm::{KernelKind, Vm, VmConfig};
 
 fn run_cycles(module: sva_ir::Module, prog: &str, arg: u64) -> (u64, u64) {
@@ -138,5 +140,18 @@ fn main() {
              {} cycles, {:.2?} wall",
             s.cache_hits, s.page_hits, s.tree_walks, s.cycles, wall
         );
+    }
+
+    // `--trace`: per-pool view of ablation 4's aggregate layer counts —
+    // which metapools the checks hammer and which layer answers each one.
+    if std::env::args().any(|a| a == "--trace") {
+        let (sample, tracer) = run_workload_traced(
+            KernelKind::SvaSafe,
+            "user_pipe_loop",
+            pack_arg(100, 0, 0),
+            RingConfig::default(),
+        );
+        println!("\n-- traced drill-down: sva-safe pipe x100, per-pool layers --");
+        println!("{}", top_report(&tracer, sample.cycles, 5));
     }
 }

@@ -1,0 +1,155 @@
+//! `svaprof`: trace and profile a kernel workload under the SVM.
+//!
+//! Boots the mini commodity kernel with a [`RingTracer`] attached, runs a
+//! user workload (the boot-kernel example's `user_hello` by default),
+//! then emits:
+//!
+//! - a Chrome `trace_event` JSON file (load it in `chrome://tracing` or
+//!   Perfetto) next to a JSONL dump of the raw event stream, both under
+//!   `target/sva-trace/` (override with `SVA_TRACE_DIR`);
+//! - a "top checks / top pools / top opcodes" text report on stdout with
+//!   the fraction of virtual cycles the profile attributes.
+//!
+//! Usage: `cargo run --release -p bench --bin svaprof --
+//!     [--prog NAME] [--arg N] [--kind sva-safe|native|sva-gcc|sva-llvm]
+//!     [--top N] [--capacity N]`
+//!
+//! Exits nonzero if the captured profile is empty — CI uses that to catch
+//! a silently-detached tracer.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::run_workload_traced;
+use sva_trace::{to_chrome_trace, to_jsonl, top_report, RingConfig};
+use sva_vm::KernelKind;
+
+/// Workload the boot-kernel example runs; the default subject here too.
+const DEFAULT_PROG: &str = "user_hello";
+
+fn trace_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("SVA_TRACE_DIR") {
+        return PathBuf::from(d);
+    }
+    let mut cur = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("target").join("sva-trace");
+        }
+        if !cur.pop() {
+            return PathBuf::from("target/sva-trace");
+        }
+    }
+}
+
+fn parse_kind(s: &str) -> Option<KernelKind> {
+    KernelKind::ALL.into_iter().find(|k| k.label() == s)
+}
+
+struct Options {
+    prog: String,
+    arg: u64,
+    kind: KernelKind,
+    top: usize,
+    capacity: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        prog: DEFAULT_PROG.to_string(),
+        arg: 0,
+        kind: KernelKind::SvaSafe,
+        top: 10,
+        capacity: RingConfig::default().capacity,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--prog" => opts.prog = val("--prog")?,
+            "--arg" => {
+                opts.arg = val("--arg")?.parse().map_err(|e| format!("--arg: {e}"))?;
+            }
+            "--kind" => {
+                let s = val("--kind")?;
+                opts.kind = parse_kind(&s).ok_or(format!("unknown kind {s:?}"))?;
+            }
+            "--top" => {
+                opts.top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?;
+            }
+            "--capacity" => {
+                opts.capacity = val("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("svaprof: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = RingConfig {
+        capacity: opts.capacity,
+        ..Default::default()
+    };
+    let (sample, tracer) = run_workload_traced(opts.kind, &opts.prog, opts.arg, cfg);
+
+    let dir = trace_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("svaprof: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let stem = format!("{}-{}", opts.kind.label(), opts.prog);
+    let chrome_path = dir.join(format!("{stem}.trace.json"));
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    for (path, contents) in [
+        (&chrome_path, to_chrome_trace(&tracer)),
+        (&jsonl_path, to_jsonl(&tracer)),
+    ] {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("svaprof: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "svaprof: {} {}({:#x}) — {} instructions, {} cycles, {:?} wall",
+        opts.kind.label(),
+        opts.prog,
+        opts.arg,
+        sample.instructions,
+        sample.cycles,
+        sample.wall,
+    );
+    println!("chrome trace: {}", chrome_path.display());
+    println!("event stream: {}", jsonl_path.display());
+    println!();
+    println!("{}", top_report(&tracer, sample.cycles, opts.top));
+
+    let profile = tracer.profile();
+    if profile.attributed_cycles == 0 || tracer.ring().total_recorded() == 0 {
+        eprintln!("svaprof: empty profile — tracer not attached?");
+        return ExitCode::FAILURE;
+    }
+    let coverage = profile.coverage(sample.cycles);
+    if coverage < 0.95 {
+        eprintln!(
+            "svaprof: profile attributes only {:.1}% of cycles",
+            100.0 * coverage
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,9 +3,12 @@
 //! Paper rows: getpid, getrusage, gettimeofday, open/close, sbrk,
 //! sigaction, write, pipe, fork, fork/exec.
 
-use bench::{arg, latency_row, print_check_breakdown, print_latency_table};
+use bench::{arg, latency_row, print_check_breakdown, print_latency_table, run_workload_traced};
+use sva_trace::{top_report, RingConfig};
+use sva_vm::KernelKind;
 
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace");
     let rows = vec![
         latency_row("getpid", "user_getpid_loop", arg(2000, 0, 0), 2000),
         latency_row("getrusage", "user_getrusage_loop", arg(2000, 0, 0), 2000),
@@ -40,4 +43,18 @@ fn main() {
             ("fork", "user_fork_loop", arg(60, 0, 0)),
         ],
     );
+
+    // `--trace`: re-run one representative row with a RingTracer attached
+    // and print where its cycles actually went (per check, pool, SVA-OS
+    // op). The table numbers above are untraced; this is the drill-down.
+    if trace {
+        let (sample, tracer) = run_workload_traced(
+            KernelKind::SvaSafe,
+            "user_getpid_loop",
+            arg(2000, 0, 0),
+            RingConfig::default(),
+        );
+        println!("\n-- traced drill-down: sva-safe getpid x2000 --");
+        println!("{}", top_report(&tracer, sample.cycles, 5));
+    }
 }

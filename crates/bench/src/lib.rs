@@ -8,7 +8,8 @@
 
 use std::time::{Duration, Instant};
 
-use sva_kernel::harness::{boot_user, make_vm, pack_arg};
+use sva_kernel::harness::{boot_user, make_vm, make_vm_traced, pack_arg};
+use sva_trace::{RingConfig, RingTracer};
 use sva_vm::{KernelKind, VmExit, VmStats};
 
 pub use sva_kernel::harness::pack_arg as pack;
@@ -65,6 +66,52 @@ pub fn run_workload(kind: KernelKind, prog: &str, arg: u64) -> Sample {
         page_hits,
         tree_walks,
     }
+}
+
+/// Like [`run_workload`] but with a [`RingTracer`] attached, returning the
+/// tracer alongside the sample. The VM's cumulative check counters are
+/// folded into the tracer's metrics registry before it is handed back, so
+/// exporters see both the event-derived profile and the authoritative
+/// `CheckStats` totals.
+///
+/// # Panics
+///
+/// Panics like [`run_workload`] if the workload does not halt cleanly.
+pub fn run_workload_traced(
+    kind: KernelKind,
+    prog: &str,
+    arg: u64,
+    cfg: RingConfig,
+) -> (Sample, RingTracer) {
+    let mut vm = make_vm_traced(kind, RingTracer::new(cfg));
+    let start = Instant::now();
+    let exit = boot_user(&mut vm, prog, arg)
+        .unwrap_or_else(|e| panic!("{kind:?} {prog}: {e}\nbacktrace: {:?}", vm.backtrace()));
+    let wall = start.elapsed();
+    let code = match exit {
+        VmExit::Halted(c) | VmExit::Returned(c) => c,
+    };
+    assert_eq!(code, 0, "{kind:?} {prog}: nonzero exit {code}");
+    let VmStats {
+        instructions,
+        cycles,
+        cache_hits,
+        page_hits,
+        tree_walks,
+        ..
+    } = vm.stats();
+    let pool_stats = vm.pools.total_stats();
+    pool_stats.fold_into(vm.tracer_mut().metrics_mut());
+    let sample = Sample {
+        wall,
+        cycles,
+        instructions,
+        exit: code,
+        cache_hits,
+        page_hits,
+        tree_walks,
+    };
+    (sample, vm.into_tracer())
 }
 
 /// Runs a workload on all four configurations.

@@ -10,7 +10,7 @@ use sva_analysis::AnalysisConfig;
 use sva_core::compile::{compile, CompileOptions};
 use sva_core::verifier::verify_and_insert_checks;
 use sva_ir::Module;
-use sva_vm::{KernelKind, Vm, VmConfig, VmError, VmExit, USER_BASE};
+use sva_vm::{KernelKind, Tracer, Vm, VmConfig, VmError, VmExit, USER_BASE};
 
 use crate::build::{build_kernel, KernelOptions};
 use crate::AS_TESTED_EXCLUSIONS;
@@ -83,8 +83,27 @@ pub fn make_vm_with(kind: KernelKind, exclusions: &[&str]) -> Vm {
     .expect("kernel loads")
 }
 
+/// Like [`make_vm`] with an attached tracer (e.g. `RingTracer`). Uses the
+/// paper's "as tested" exclusions, same as [`make_vm`].
+pub fn make_vm_traced<T: Tracer>(kind: KernelKind, tracer: T) -> Vm<T> {
+    let module = if kind.checks() {
+        safe_kernel_module(AS_TESTED_EXCLUSIONS)
+    } else {
+        raw_kernel()
+    };
+    Vm::with_tracer(
+        module,
+        VmConfig {
+            kind,
+            ..Default::default()
+        },
+        tracer,
+    )
+    .expect("kernel loads")
+}
+
 /// Boots the kernel with `prog(arg)` as the init user program.
-pub fn boot_user(vm: &mut Vm, prog: &str, arg: u64) -> Result<VmExit, VmError> {
+pub fn boot_user<T: Tracer>(vm: &mut Vm<T>, prog: &str, arg: u64) -> Result<VmExit, VmError> {
     let addr = vm
         .func_address(prog)
         .ok_or_else(|| VmError::Unsupported(format!("no user program @{prog}")))?;

@@ -33,7 +33,7 @@ pub mod harness;
 pub mod port_report;
 
 pub use build::{build_kernel, KernelOptions};
-pub use harness::{boot_user, make_vm, safe_kernel_module, KernelImage};
+pub use harness::{boot_user, make_vm, make_vm_traced, safe_kernel_module, KernelImage};
 pub use port_report::{port_report, PortReport};
 
 /// Function-name prefixes excluded from the safety-checking compiler in the

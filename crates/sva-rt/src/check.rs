@@ -113,6 +113,22 @@ impl CheckStats {
     pub fn lookups(&self) -> u64 {
         self.cache_hits + self.page_hits + self.tree_walks
     }
+
+    /// Folds every counter into a metrics registry under `check.`-prefixed
+    /// names. Uses `set_counter` semantics: the stats block is already a
+    /// running total, adding would double-count across snapshots.
+    pub fn fold_into(&self, metrics: &mut sva_trace::MetricsRegistry) {
+        metrics.set_counter("check.bounds_checks", self.bounds_checks);
+        metrics.set_counter("check.ls_checks", self.ls_checks);
+        metrics.set_counter("check.get_bounds", self.get_bounds);
+        metrics.set_counter("check.func_checks", self.func_checks);
+        metrics.set_counter("check.registrations", self.registrations);
+        metrics.set_counter("check.drops", self.drops);
+        metrics.set_counter("check.reduced_skips", self.reduced_skips);
+        metrics.set_counter("check.lookup.cache_hits", self.cache_hits);
+        metrics.set_counter("check.lookup.page_hits", self.page_hits);
+        metrics.set_counter("check.lookup.tree_walks", self.tree_walks);
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use sva_trace::LookupLayer;
+
 use crate::check::{CheckError, CheckKind, CheckStats};
 use crate::splay::SplayTree;
 
@@ -57,6 +59,9 @@ pub struct MetaPool {
     unindexed: usize,
     /// Consecutive lookups since the last mutation (read-mostly detector).
     quiet_lookups: u32,
+    /// Which layer answered the most recent lookup. A single byte store on
+    /// the lookup path; read by tracing instrumentation, never by checks.
+    last_layer: LookupLayer,
 }
 
 impl MetaPool {
@@ -74,6 +79,7 @@ impl MetaPool {
             page_index: HashMap::new(),
             unindexed: 0,
             quiet_lookups: 0,
+            last_layer: LookupLayer::None,
         }
     }
 
@@ -157,6 +163,7 @@ impl MetaPool {
     fn lookup_obj(&mut self, addr: u64) -> Option<(u64, u64)> {
         if !self.fast_path {
             self.stats.tree_walks += 1;
+            self.last_layer = LookupLayer::Tree;
             return self.objects.lookup(addr);
         }
         // Layer 1: MRU last-hit cache.
@@ -164,6 +171,7 @@ impl MetaPool {
             if let Some((start, end)) = self.mru[i] {
                 if start <= addr && addr < end {
                     self.stats.cache_hits += 1;
+                    self.last_layer = LookupLayer::Cache;
                     if i != 0 {
                         self.mru.swap(0, 1);
                     }
@@ -187,6 +195,7 @@ impl MetaPool {
             // indexed and none on this page contains `addr` — a definitive
             // miss, also answered without touching the tree.
             self.stats.page_hits += 1;
+            self.last_layer = LookupLayer::Page;
             self.quiet_lookups = self.quiet_lookups.saturating_add(1);
             if let Some(range) = hit {
                 self.remember(range);
@@ -195,6 +204,7 @@ impl MetaPool {
         }
         // Layer 3: splay tree (only unindexed huge objects remain).
         self.stats.tree_walks += 1;
+        self.last_layer = LookupLayer::Tree;
         let found = if self.quiet_lookups >= READ_MOSTLY_THRESHOLD {
             self.objects.find(addr)
         } else {
@@ -205,6 +215,13 @@ impl MetaPool {
             self.remember(range);
         }
         found
+    }
+
+    /// Which lookup layer answered the most recent object lookup
+    /// ([`LookupLayer::None`] before the first lookup). Tracing reads this
+    /// after a check to attribute the check to a layer.
+    pub fn last_lookup_layer(&self) -> LookupLayer {
+        self.last_layer
     }
 
     /// Number of live registered objects.

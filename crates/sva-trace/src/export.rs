@@ -1,0 +1,372 @@
+//! Exporters: Chrome `trace_event` JSON, JSONL, and a flame-style
+//! top-N text report.
+//!
+//! All three read the same [`RingTracer`]: the ring supplies the event
+//! *stream* (Chrome trace, JSONL), the online [`Profile`] supplies the
+//! whole-run *aggregates* (the report), so a wrapped ring still yields a
+//! complete attribution table.
+//!
+//! [`Profile`]: crate::tracer::Profile
+
+use std::fmt::Write as _;
+
+use crate::event::{json_escape, TraceEvent};
+use crate::tracer::RingTracer;
+
+/// Serializes the buffered event stream as JSONL, one event per line.
+pub fn to_jsonl(tracer: &RingTracer) -> String {
+    let mut out = String::new();
+    for ev in tracer.ring().iter() {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the buffered event stream in Chrome `trace_event` format
+/// (load the file in `about://tracing` or ui.perfetto.dev).
+///
+/// Mapping: SVA-OS operations and syscalls become `B`/`E` duration spans,
+/// instructions become `X` complete events with `dur = cost`, and checks,
+/// pool traffic, interrupts and violations become `i` instant events.
+/// Virtual cycles are reported as microseconds — the unit is fictional
+/// either way, and 1 cycle = 1 µs keeps the timeline readable.
+pub fn to_chrome_trace(tracer: &RingTracer) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let common = "\"pid\":1,\"tid\":1";
+    for te in tracer.ring().iter() {
+        let ts = te.ts;
+        match &te.event {
+            TraceEvent::Inst { func, opcode, cost } => {
+                // Complete event, anchored at the start of the instruction.
+                let start = ts.saturating_sub(*cost);
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"inst\",\"ph\":\"X\",\"ts\":{start},\
+                     \"dur\":{cost},{common},\"args\":{{\"func\":\"{}\"}}}}",
+                    json_escape(opcode),
+                    json_escape(&tracer.func_name(*func))
+                ));
+            }
+            TraceEvent::OsEnter { op } => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"os\",\"ph\":\"B\",\"ts\":{ts},{common}}}",
+                    json_escape(op)
+                ));
+            }
+            TraceEvent::OsExit { op, cost } => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"os\",\"ph\":\"E\",\"ts\":{ts},{common},\
+                     \"args\":{{\"cost\":{cost}}}}}",
+                    json_escape(op)
+                ));
+            }
+            TraceEvent::Check {
+                check,
+                pool,
+                layer,
+                passed,
+                cost,
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"check\",\"ph\":\"i\",\"ts\":{ts},{common},\
+                     \"s\":\"t\",\"args\":{{\"pool\":\"{}\",\"layer\":\"{}\",\
+                     \"passed\":{passed},\"cost\":{cost}}}}}",
+                    json_escape(check),
+                    json_escape(&tracer.pool_name(*pool)),
+                    layer.name()
+                ));
+            }
+            TraceEvent::PoolReg { pool, addr, len } => {
+                events.push(format!(
+                    "{{\"name\":\"pchk.reg.obj\",\"cat\":\"pool\",\"ph\":\"i\",\"ts\":{ts},\
+                     {common},\"s\":\"t\",\"args\":{{\"pool\":\"{}\",\"addr\":{addr},\
+                     \"len\":{len}}}}}",
+                    json_escape(&tracer.pool_name(*pool))
+                ));
+            }
+            TraceEvent::PoolDrop { pool, addr } => {
+                events.push(format!(
+                    "{{\"name\":\"pchk.drop.obj\",\"cat\":\"pool\",\"ph\":\"i\",\"ts\":{ts},\
+                     {common},\"s\":\"t\",\"args\":{{\"pool\":\"{}\",\"addr\":{addr}}}}}",
+                    json_escape(&tracer.pool_name(*pool))
+                ));
+            }
+            TraceEvent::SyscallEnter { num } => {
+                events.push(format!(
+                    "{{\"name\":\"syscall {num}\",\"cat\":\"syscall\",\"ph\":\"B\",\
+                     \"ts\":{ts},{common}}}"
+                ));
+            }
+            TraceEvent::SyscallExit { num, cost } => {
+                events.push(format!(
+                    "{{\"name\":\"syscall {num}\",\"cat\":\"syscall\",\"ph\":\"E\",\
+                     \"ts\":{ts},{common},\"args\":{{\"cost\":{cost}}}}}"
+                ));
+            }
+            TraceEvent::IrqDeliver { vector, cost } => {
+                events.push(format!(
+                    "{{\"name\":\"irq {vector}\",\"cat\":\"irq\",\"ph\":\"i\",\"ts\":{ts},\
+                     {common},\"s\":\"g\",\"args\":{{\"cost\":{cost}}}}}"
+                ));
+            }
+            TraceEvent::Violation {
+                check,
+                pool,
+                addr,
+                detail,
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"VIOLATION {}\",\"cat\":\"violation\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"g\",\"args\":{{\"pool\":\"{}\",\
+                     \"addr\":{addr},\"detail\":\"{}\"}}}}",
+                    json_escape(check),
+                    json_escape(pool),
+                    json_escape(detail)
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+fn top<K: Clone, V: Clone>(
+    map: &std::collections::HashMap<K, V>,
+    key: impl Fn(&V) -> u64,
+    n: usize,
+) -> Vec<(K, V)> {
+    let mut rows: Vec<(K, V)> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    rows.sort_by_key(|(_, v)| std::cmp::Reverse(key(v)));
+    rows.truncate(n);
+    rows
+}
+
+/// Renders the flame-style text report: coverage, then top functions /
+/// opcodes / checks / pools by attributed virtual cycles, then SVA-OS and
+/// syscall tables and the metrics registry.
+///
+/// `total_cycles` is the VM's final cycle counter; the coverage line
+/// reports what fraction of it the profile attributes.
+pub fn top_report(tracer: &RingTracer, total_cycles: u64, n: usize) -> String {
+    let p = tracer.profile();
+    let mut out = String::new();
+    let pct = |c: u64| {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / total_cycles as f64
+        }
+    };
+
+    let _ = writeln!(out, "== sva-trace profile ==");
+    let _ = writeln!(
+        out,
+        "total cycles {total_cycles}, attributed {} ({:.2}%), violations {}",
+        p.attributed_cycles,
+        100.0 * p.coverage(total_cycles),
+        p.violations
+    );
+    let _ = writeln!(
+        out,
+        "events recorded {} (buffered {}, dropped {}, pinned-overflow {})",
+        tracer.ring().total_recorded(),
+        tracer.ring().len(),
+        tracer.ring().dropped(),
+        tracer.ring().pinned_overflow()
+    );
+
+    let _ = writeln!(out, "\n-- top functions (by cycles) --");
+    for (func, c) in top(&p.per_func, |c| c.cycles, n) {
+        let _ = writeln!(
+            out,
+            "{:>12} cyc {:>6.2}% {:>10} inst  {}",
+            c.cycles,
+            pct(c.cycles),
+            c.count,
+            tracer.func_name(func)
+        );
+    }
+
+    let _ = writeln!(out, "\n-- top opcodes (by cycles) --");
+    for (op, c) in top(&p.per_opcode, |c| c.cycles, n) {
+        let _ = writeln!(
+            out,
+            "{:>12} cyc {:>6.2}% {:>10} inst  {op}",
+            c.cycles,
+            pct(c.cycles),
+            c.count
+        );
+    }
+
+    let _ = writeln!(out, "\n-- top checks (by cycles) --");
+    for (check, c) in top(&p.per_check, |c| c.cycles, n) {
+        let _ = writeln!(
+            out,
+            "{:>12} cyc {:>6.2}% {:>10} exec {:>4} failed  {check}",
+            c.cycles,
+            pct(c.cycles),
+            c.count,
+            c.failed
+        );
+    }
+
+    let _ = writeln!(out, "\n-- top pools (by check cycles) --");
+    for (pool, pp) in top(&p.per_pool, |p| p.check_cycles, n) {
+        let _ = writeln!(
+            out,
+            "{:>12} cyc {:>10} chk (cache {} page {} tree {}) reg {} drop {}  {}",
+            pp.check_cycles,
+            pp.checks(),
+            pp.cache_hits,
+            pp.page_hits,
+            pp.tree_walks,
+            pp.registrations,
+            pp.drops,
+            tracer.pool_name(pool)
+        );
+    }
+
+    if !p.per_os.is_empty() {
+        let _ = writeln!(out, "\n-- SVA-OS operations (by cycles) --");
+        for (op, c) in top(&p.per_os, |c| c.cycles, n) {
+            let _ = writeln!(out, "{:>12} cyc {:>10} calls  {op}", c.cycles, c.count);
+        }
+    }
+
+    if !p.per_syscall.is_empty() {
+        let _ = writeln!(out, "\n-- syscalls (by cycles in kernel) --");
+        for (num, c) in top(&p.per_syscall, |c| c.cycles, n) {
+            let _ = writeln!(
+                out,
+                "{:>12} cyc {:>10} calls  syscall {num}",
+                c.cycles, c.count
+            );
+        }
+    }
+
+    let m = tracer.metrics();
+    if m.counters().next().is_some() || m.histograms().next().is_some() {
+        let _ = writeln!(out, "\n-- metrics --");
+        for (name, v) in m.counters() {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, h) in m.histograms() {
+            let _ = writeln!(out, "{name}: {h}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LookupLayer, TimedEvent};
+    use crate::tracer::Tracer;
+
+    fn traced() -> RingTracer {
+        let mut t = RingTracer::default();
+        t.note_function_names(&["boot".into(), "sys_write".into()]);
+        t.note_pool_names(&["MP_kernel".into()]);
+        t.record(
+            1,
+            TraceEvent::Inst {
+                func: 0,
+                opcode: "call",
+                cost: 1,
+            },
+        );
+        t.record(2, TraceEvent::OsEnter { op: "sva.syscall" });
+        t.record(3, TraceEvent::SyscallEnter { num: 4 });
+        t.record(
+            20,
+            TraceEvent::Check {
+                check: "pchk.lscheck",
+                pool: 0,
+                layer: LookupLayer::Cache,
+                passed: true,
+                cost: 16,
+            },
+        );
+        t.record(
+            21,
+            TraceEvent::PoolReg {
+                pool: 0,
+                addr: 0x40,
+                len: 16,
+            },
+        );
+        t.record(
+            22,
+            TraceEvent::PoolDrop {
+                pool: 0,
+                addr: 0x40,
+            },
+        );
+        t.record(40, TraceEvent::SyscallExit { num: 4, cost: 37 });
+        t.record(
+            41,
+            TraceEvent::OsExit {
+                op: "sva.syscall",
+                cost: 39,
+            },
+        );
+        t.record(
+            60,
+            TraceEvent::IrqDeliver {
+                vector: 32,
+                cost: 40,
+            },
+        );
+        t.record(
+            70,
+            TraceEvent::Violation {
+                check: "pchk.bounds".into(),
+                pool: "MP_kernel".into(),
+                addr: 0xbad,
+                detail: "out of object".into(),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_codec() {
+        let t = traced();
+        let jsonl = to_jsonl(&t);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), t.ring().len());
+        for line in lines {
+            assert!(TimedEvent::from_json(line).is_some(), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_spans_and_all_events() {
+        let t = traced();
+        let chrome = to_chrome_trace(&t);
+        assert!(chrome.contains("\"traceEvents\""));
+        let b = chrome.matches("\"ph\":\"B\"").count();
+        let e = chrome.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 2); // os span + syscall span
+        assert_eq!(b, e);
+        assert!(chrome.contains("\"name\":\"VIOLATION pchk.bounds\""));
+        assert!(chrome.contains("MP_kernel"));
+        // The whole thing must be loadable JSON at least at the line level:
+        // every event line we emitted parses as a flat-ish object start.
+        assert!(chrome.matches("{\"name\"").count() >= t.ring().len());
+    }
+
+    #[test]
+    fn report_names_functions_pools_and_coverage() {
+        let t = traced();
+        let report = top_report(&t, 41, 10);
+        assert!(report.contains("attributed 41 (100.00%)"), "{report}");
+        assert!(report.contains("boot"));
+        assert!(report.contains("MP_kernel"));
+        assert!(report.contains("pchk.lscheck"));
+        assert!(report.contains("syscall 4"));
+        assert!(report.contains("violations 1"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Fixed-capacity event ring with pinned event classes.
+//!
+//! Single-writer, no locks, no allocation after construction (the pinned
+//! side buffer reserves its capacity up front). Wraparound behaviour is
+//! the interesting part: ordinary events are dropped oldest-first, but
+//! records whose [`EventClass`] is *pinned* are promoted to a side buffer
+//! instead — a safety violation observed once must survive arbitrarily
+//! much later traffic.
+
+use std::collections::VecDeque;
+
+use crate::event::{EventClass, TimedEvent, TraceEvent};
+
+/// Ring construction options.
+#[derive(Clone, Debug)]
+pub struct RingConfig {
+    /// Maximum number of buffered events (oldest evicted first).
+    pub capacity: usize,
+    /// Event classes that wraparound must never drop.
+    pub pinned: Vec<EventClass>,
+    /// Maximum promoted (pinned) records kept aside; beyond this they are
+    /// counted in [`EventRing::pinned_overflow`].
+    pub pinned_capacity: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            capacity: 64 * 1024,
+            pinned: vec![EventClass::Violation],
+            pinned_capacity: 4096,
+        }
+    }
+}
+
+/// The ring buffer.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: VecDeque<TimedEvent>,
+    capacity: usize,
+    pinned_mask: u16,
+    pinned: Vec<TimedEvent>,
+    pinned_capacity: usize,
+    dropped: u64,
+    pinned_overflow: u64,
+    total: u64,
+}
+
+impl EventRing {
+    /// Creates a ring from its configuration.
+    pub fn new(cfg: RingConfig) -> EventRing {
+        let capacity = cfg.capacity.max(1);
+        let mut pinned_mask = 0u16;
+        for c in &cfg.pinned {
+            pinned_mask |= c.bit();
+        }
+        EventRing {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            pinned_mask,
+            pinned: Vec::new(),
+            pinned_capacity: cfg.pinned_capacity,
+            dropped: 0,
+            pinned_overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Whether a class is pinned against wraparound loss.
+    pub fn is_pinned(&self, class: EventClass) -> bool {
+        self.pinned_mask & class.bit() != 0
+    }
+
+    /// Appends an event, evicting the oldest record when full.
+    pub fn push(&mut self, ts: u64, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() == self.capacity {
+            // Eviction: pinned classes are promoted, the rest are lost.
+            let old = self.buf.pop_front().expect("capacity >= 1");
+            if self.is_pinned(old.event.class()) {
+                if self.pinned.len() < self.pinned_capacity {
+                    self.pinned.push(old);
+                } else {
+                    self.pinned_overflow += 1;
+                }
+            } else {
+                self.dropped += 1;
+            }
+        }
+        self.buf.push_back(TimedEvent { ts, event });
+    }
+
+    /// Events still held, oldest first. Promoted pinned records come
+    /// first; they were evicted from the front of the ring in FIFO order,
+    /// so the concatenation stays timestamp-ordered.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.pinned.iter().chain(self.buf.iter())
+    }
+
+    /// Number of events currently held (ring + promoted).
+    pub fn len(&self) -> usize {
+        self.pinned.len() + self.buf.len()
+    }
+
+    /// True if nothing was ever recorded or everything held was cleared.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever pushed.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Unpinned events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pinned events lost because the side buffer itself filled up.
+    pub fn pinned_overflow(&self) -> u64 {
+        self.pinned_overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LookupLayer;
+
+    fn inst(i: u64) -> TraceEvent {
+        TraceEvent::Inst {
+            func: i as u32,
+            opcode: "add",
+            cost: 1,
+        }
+    }
+
+    fn violation(i: u64) -> TraceEvent {
+        TraceEvent::Violation {
+            check: "pchk.bounds".into(),
+            pool: format!("MP{i}"),
+            addr: i,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_unpinned() {
+        let mut r = EventRing::new(RingConfig {
+            capacity: 4,
+            pinned: vec![],
+            pinned_capacity: 0,
+        });
+        for i in 0..10 {
+            r.push(i, inst(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.total_recorded(), 10);
+        let ts: Vec<u64> = r.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn pinned_events_survive_wraparound() {
+        let mut r = EventRing::new(RingConfig {
+            capacity: 3,
+            pinned: vec![EventClass::Violation],
+            pinned_capacity: 64,
+        });
+        r.push(0, violation(0));
+        for i in 1..50 {
+            r.push(i, inst(i));
+        }
+        let held: Vec<&TimedEvent> = r.iter().collect();
+        assert!(matches!(held[0].event, TraceEvent::Violation { .. }));
+        assert_eq!(held[0].ts, 0);
+        // Still timestamp-ordered.
+        assert!(held.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn pinned_side_buffer_overflow_is_counted() {
+        let mut r = EventRing::new(RingConfig {
+            capacity: 1,
+            pinned: vec![EventClass::Violation],
+            pinned_capacity: 2,
+        });
+        for i in 0..5 {
+            r.push(i, violation(i));
+        }
+        // 5 pushed, 1 in ring, 2 promoted, 2 lost to the side-buffer cap.
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pinned_overflow(), 2);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn check_events_pinnable_too() {
+        let mut r = EventRing::new(RingConfig {
+            capacity: 2,
+            pinned: vec![EventClass::Check],
+            pinned_capacity: 64,
+        });
+        r.push(
+            0,
+            TraceEvent::Check {
+                check: "pchk.lscheck",
+                pool: 0,
+                layer: LookupLayer::Tree,
+                passed: false,
+                cost: 16,
+            },
+        );
+        for i in 1..10 {
+            r.push(i, inst(i));
+        }
+        assert!(r
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::Check { .. })));
+    }
+}

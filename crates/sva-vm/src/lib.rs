@@ -15,8 +15,10 @@ pub use mem::{
     func_addr, Memory, Mode, FUNC_BASE, KERN_BASE, KERN_END, KHEAP_BASE, KHEAP_END, KSTACK_BASE,
     KSTACK_END, PAGE_SIZE, USER_BASE, USER_END, USER_SIZE,
 };
+pub use sva_trace::{NullTracer, RingTracer, Tracer};
 pub use vm::{
-    KernelKind, Vm, VmConfig, VmError, VmExit, VmStats, PORT_CONSOLE, PORT_TIMER, USTACK_SIZE,
+    KernelKind, Vm, VmConfig, VmError, VmExit, VmStats, CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER,
+    REG_CYCLES, USTACK_SIZE,
 };
 
 #[cfg(test)]

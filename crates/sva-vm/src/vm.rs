@@ -24,6 +24,7 @@ use sva_ir::{
     RelocTarget, Type, TypeId,
 };
 use sva_rt::{CheckError, MetaPool, MetaPoolTable};
+use sva_trace::{LookupLayer, NullTracer, TraceEvent, Tracer};
 
 use crate::mem::{
     addr_func, extern_addr, func_addr, Memory, Mode, KSTACK_BASE, KSTACK_END, PAGE_SIZE, USER_BASE,
@@ -302,6 +303,66 @@ pub(crate) enum FlatOp {
     Unreachable,
 }
 
+impl FlatOp {
+    /// Static opcode name for trace attribution. Intrinsic calls report
+    /// the intrinsic name (`"pchk.bounds"`, `"sva.syscall"`, ...), which is
+    /// where the interesting cycles live.
+    fn opcode_name(&self) -> &'static str {
+        match self {
+            FlatOp::Bin { .. } => "bin",
+            FlatOp::ICmp { .. } => "icmp",
+            FlatOp::Select { .. } => "select",
+            FlatOp::Cast { .. } => "cast",
+            FlatOp::Gep { .. } => "gep",
+            FlatOp::Load { .. } => "load",
+            FlatOp::Store { .. } => "store",
+            FlatOp::Alloca { .. } => "alloca",
+            FlatOp::Call {
+                callee: FlatCallee::Intrinsic(i),
+                ..
+            } => i.name(),
+            FlatOp::Call { .. } => "call",
+            FlatOp::Phi { .. } => "phi",
+            FlatOp::AtomicRmw { .. } => "atomicrmw",
+            FlatOp::CmpXchg { .. } => "cmpxchg",
+            FlatOp::Fence => "fence",
+            FlatOp::Br { .. } => "br",
+            FlatOp::CondBr { .. } => "condbr",
+            FlatOp::Switch { .. } => "switch",
+            FlatOp::Ret { .. } => "ret",
+            FlatOp::Unreachable => "unreachable",
+        }
+    }
+}
+
+/// Tree-engine counterpart of [`FlatOp::opcode_name`].
+fn inst_opcode_name(inst: &Inst) -> &'static str {
+    match inst {
+        Inst::Bin { .. } => "bin",
+        Inst::ICmp { .. } => "icmp",
+        Inst::Select { .. } => "select",
+        Inst::Cast { .. } => "cast",
+        Inst::Gep { .. } => "gep",
+        Inst::Load { .. } => "load",
+        Inst::Store { .. } => "store",
+        Inst::Alloca { .. } => "alloca",
+        Inst::Call {
+            callee: Callee::Intrinsic(i),
+            ..
+        } => i.name(),
+        Inst::Call { .. } => "call",
+        Inst::Phi { .. } => "phi",
+        Inst::AtomicRmw { .. } => "atomicrmw",
+        Inst::CmpXchg { .. } => "cmpxchg",
+        Inst::Fence => "fence",
+        Inst::Br { .. } => "br",
+        Inst::CondBr { .. } => "condbr",
+        Inst::Switch { .. } => "switch",
+        Inst::Ret { .. } => "ret",
+        Inst::Unreachable => "unreachable",
+    }
+}
+
 #[derive(Clone, Debug, Default)]
 pub(crate) struct FlatFunc {
     pub ops: Vec<FlatOp>,
@@ -359,6 +420,9 @@ struct IContext {
     /// signal handlers sit above it.
     result_frame: usize,
     live: bool,
+    /// Tracing bookkeeping for syscall spans: `(syscall number, cycle
+    /// counter at trap entry)`. Always `None` with tracing off.
+    trace_sys: Option<(i64, u64)>,
 }
 
 #[derive(Clone, Debug)]
@@ -388,7 +452,10 @@ impl Thread {
 pub const USTACK_SIZE: u64 = 0x0001_0000; // 64 KiB
 
 /// Execution statistics.
-#[derive(Clone, Copy, Default, Debug)]
+///
+/// `PartialEq`/`Eq` exist so the tracer-equivalence tests can assert the
+/// whole block byte-identical with tracing on and off.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct VmStats {
     /// Instructions executed.
     pub instructions: u64,
@@ -411,7 +478,13 @@ pub struct VmStats {
 }
 
 /// The Secure Virtual Machine instance.
-pub struct Vm {
+///
+/// The `T: Tracer` parameter statically selects the instrumentation sink.
+/// The default [`NullTracer`] has `Tracer::ENABLED = false`, so every
+/// `if T::ENABLED { ... }` instrumentation block monomorphizes away and
+/// the untraced VM is exactly the pre-tracing machine: same calibrated
+/// cycle tables, same counters, no extra branches.
+pub struct Vm<T: Tracer = NullTracer> {
     /// Simulated memory.
     pub mem: Memory,
     code: Arc<CodeImage>,
@@ -430,15 +503,25 @@ pub struct Vm {
     fuel: u64,
     halted: Option<u64>,
     pending_irq: std::collections::VecDeque<i64>,
+    tracer: T,
 }
 
 impl Vm {
-    /// Loads a module under the given configuration.
+    /// Loads a module under the given configuration (untraced).
     ///
     /// Under [`KernelKind::SvaSafe`] the module must carry pool annotations
     /// (i.e. be the output of the verifier); other configurations accept
     /// plain modules.
     pub fn new(module: Module, cfg: VmConfig) -> Result<Vm, VmError> {
+        Vm::with_tracer(module, cfg, NullTracer)
+    }
+}
+
+impl<T: Tracer> Vm<T> {
+    /// Loads a module with an attached tracer. See [`Vm::new`] for the
+    /// loading rules; the tracer additionally receives the module's
+    /// function-name and metapool-name tables for exporters.
+    pub fn with_tracer(module: Module, cfg: VmConfig, tracer: T) -> Result<Vm<T>, VmError> {
         if cfg.kind.checks() && module.pool_annotations.is_none() {
             return Err(VmError::NotVerified);
         }
@@ -566,7 +649,7 @@ impl Vm {
             Vec::new()
         };
 
-        Ok(Vm {
+        let mut vm = Vm {
             mem,
             code: Arc::new(CodeImage {
                 module,
@@ -586,7 +669,39 @@ impl Vm {
             fuel: cfg.fuel,
             halted: None,
             pending_irq: std::collections::VecDeque::new(),
-        })
+            tracer,
+        };
+        if T::ENABLED {
+            let fnames: Vec<String> = vm
+                .code
+                .module
+                .funcs
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
+            vm.tracer.note_function_names(&fnames);
+            let pnames: Vec<String> = (0..vm.pools.len())
+                .map(|i| vm.pools.pool(sva_rt::MetaPoolId(i as u32)).name.clone())
+                .collect();
+            vm.tracer.note_pool_names(&pnames);
+        }
+        Ok(vm)
+    }
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the attached tracer (e.g. to fold final
+    /// `CheckStats` into its metrics registry).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consumes the VM, returning the tracer (end-of-run export).
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// The loaded module.
@@ -764,21 +879,92 @@ impl Vm {
                 return Err(VmError::OutOfFuel);
             }
             self.fuel -= 1;
+            // Snapshot the cycle counter before this iteration charges
+            // anything: the post-step delta is the cycles attributed to the
+            // event recorded below, so summing event costs reproduces the
+            // counter exactly (100% profile coverage by construction).
+            let iter_start = if T::ENABLED { self.stats.cycles } else { 0 };
             self.stats.instructions += 1;
             self.stats.cycles += 1;
             if !self.pending_irq.is_empty() && self.mode() == Mode::User {
-                self.deliver_interrupt()?;
+                let vector = self.deliver_interrupt()?;
+                if T::ENABLED {
+                    let ts = self.stats.cycles;
+                    self.tracer.record(
+                        ts,
+                        TraceEvent::IrqDeliver {
+                            vector,
+                            cost: ts - iter_start,
+                        },
+                    );
+                }
                 continue;
             }
+            let (func, opcode) = if T::ENABLED {
+                (
+                    self.thread
+                        .frames
+                        .last()
+                        .map(|f| f.func)
+                        .unwrap_or(u32::MAX),
+                    self.current_opcode(&code),
+                )
+            } else {
+                (0, "")
+            };
             let step = if self.cfg.kind.flat() {
                 self.step_flat(&code)
             } else {
                 self.step_tree(&code)
             };
+            if T::ENABLED {
+                let ts = self.stats.cycles;
+                self.tracer.record(
+                    ts,
+                    TraceEvent::Inst {
+                        func,
+                        opcode,
+                        cost: ts - iter_start,
+                    },
+                );
+                if let Err(VmError::Safety(e)) = &step {
+                    self.tracer.record(
+                        ts,
+                        TraceEvent::Violation {
+                            check: e.kind.to_string(),
+                            pool: e.pool.clone(),
+                            addr: e.addr,
+                            detail: e.detail.clone(),
+                        },
+                    );
+                }
+            }
             match step? {
                 StepOut::Continue => {}
                 StepOut::Exit(e) => return Ok(e),
             }
+        }
+    }
+
+    /// Static name of the instruction the current frame is about to
+    /// execute (tracing only; called before the step advances the pc).
+    fn current_opcode(&self, code: &CodeImage) -> &'static str {
+        let Some(fr) = self.thread.frames.last() else {
+            return "?";
+        };
+        if self.cfg.kind.flat() {
+            code.flat[fr.func as usize]
+                .ops
+                .get(fr.pc as usize)
+                .map(FlatOp::opcode_name)
+                .unwrap_or("?")
+        } else {
+            let f = &code.module.funcs[fr.func as usize];
+            f.blocks
+                .get(fr.block as usize)
+                .and_then(|b| b.insts.get(fr.idx as usize))
+                .map(|iid| inst_opcode_name(f.inst(*iid)))
+                .unwrap_or("?")
         }
     }
 
@@ -1190,11 +1376,37 @@ impl Vm {
         args: &[u64],
         dst: Option<u32>,
     ) -> Result<StepOut, VmError> {
+        if !T::ENABLED {
+            return self.intrinsic_inner(i, args, dst);
+        }
+        // SVA-OS span: enter/exit events bracket the operation; the exit
+        // carries the cycles the operation added beyond the base charge.
+        let enter = self.stats.cycles;
+        self.tracer
+            .record(enter, TraceEvent::OsEnter { op: i.name() });
+        let result = self.intrinsic_inner(i, args, dst);
+        let ts = self.stats.cycles;
+        self.tracer.record(
+            ts,
+            TraceEvent::OsExit {
+                op: i.name(),
+                cost: ts - enter,
+            },
+        );
+        result
+    }
+
+    fn intrinsic_inner(
+        &mut self,
+        i: Intrinsic,
+        args: &[u64],
+        dst: Option<u32>,
+    ) -> Result<StepOut, VmError> {
         use Intrinsic::*;
         if i.privileged() && self.mode() == Mode::User {
             return Err(VmError::Privilege { addr: 0 });
         }
-        let set = |vm: &mut Vm, v: u64| {
+        let set = |vm: &mut Vm<T>, v: u64| {
             if let Some(d) = dst {
                 vm.thread.frames.last_mut().unwrap().regs[d as usize] = v;
             }
@@ -1338,6 +1550,7 @@ impl Vm {
                         result_dst: None,
                         result_frame: 0,
                         live: true,
+                        trace_sys: None,
                     }
                 } else {
                     self.user_state
@@ -1450,6 +1663,16 @@ impl Vm {
                     .pool_mut(sva_rt::MetaPoolId(mp))
                     .reg_obj(addr, len)
                     .map_err(VmError::Safety)?;
+                if T::ENABLED {
+                    self.tracer.record(
+                        self.stats.cycles,
+                        TraceEvent::PoolReg {
+                            pool: mp,
+                            addr,
+                            len,
+                        },
+                    );
+                }
                 if stack {
                     self.thread
                         .frames
@@ -1469,6 +1692,10 @@ impl Vm {
                     .pool_mut(sva_rt::MetaPoolId(mp))
                     .drop_obj(addr)
                     .map_err(VmError::Safety)?;
+                if T::ENABLED {
+                    self.tracer
+                        .record(self.stats.cycles, TraceEvent::PoolDrop { pool: mp, addr });
+                }
                 // Remove from the frame sweep if it was a stack object.
                 if let Some(fr) = self.thread.frames.last_mut() {
                     fr.stack_regs.retain(|(m, a, _)| !(*m == mp && *a == addr));
@@ -1477,16 +1704,34 @@ impl Vm {
             BoundsCheck => {
                 self.stats.cycles += CHECK_CYCLES;
                 let (mp, src, derived) = (arg(0) as u32, arg(1), arg(2));
-                self.pools
+                let before = self.lookups_of(mp);
+                let r = self
+                    .pools
                     .pool_mut(sva_rt::MetaPoolId(mp))
-                    .bounds_check(src, derived)
-                    .map_err(VmError::Safety)?;
+                    .bounds_check(src, derived);
+                if T::ENABLED {
+                    self.trace_check(i.name(), mp, before, r.is_ok(), CHECK_CYCLES);
+                }
+                r.map_err(VmError::Safety)?;
             }
             BoundsCheckRange => {
                 self.stats.cycles += 2;
                 self.stats.range_checks += 1;
                 let (start, derived, end) = (arg(0), arg(1), arg(2));
-                if !(derived >= start && derived <= end) {
+                let ok = derived >= start && derived <= end;
+                if T::ENABLED {
+                    self.tracer.record(
+                        self.stats.cycles,
+                        TraceEvent::Check {
+                            check: i.name(),
+                            pool: u32::MAX,
+                            layer: LookupLayer::None,
+                            passed: ok,
+                            cost: 2,
+                        },
+                    );
+                }
+                if !ok {
                     return Err(VmError::Safety(CheckError {
                         kind: sva_rt::CheckKind::Bounds,
                         pool: "static".into(),
@@ -1498,15 +1743,21 @@ impl Vm {
             LsCheck => {
                 self.stats.cycles += CHECK_CYCLES;
                 let (mp, addr) = (arg(0) as u32, arg(1));
-                self.pools
-                    .pool_mut(sva_rt::MetaPoolId(mp))
-                    .ls_check(addr)
-                    .map_err(VmError::Safety)?;
+                let before = self.lookups_of(mp);
+                let r = self.pools.pool_mut(sva_rt::MetaPoolId(mp)).ls_check(addr);
+                if T::ENABLED {
+                    self.trace_check(i.name(), mp, before, r.is_ok(), CHECK_CYCLES);
+                }
+                r.map_err(VmError::Safety)?;
             }
             GetBounds => {
                 self.stats.cycles += CHECK_CYCLES;
                 let (mp, p, sout, eout) = (arg(0) as u32, arg(1), arg(2), arg(3));
+                let before = self.lookups_of(mp);
                 let b = self.pools.pool_mut(sva_rt::MetaPoolId(mp)).get_bounds(p);
+                if T::ENABLED {
+                    self.trace_check(i.name(), mp, before, b.is_some(), CHECK_CYCLES);
+                }
                 let (s, e) = b.unwrap_or((0, 0));
                 let mode = self.mode();
                 self.mem.write_uint(sout, 8, s, mode)?;
@@ -1515,9 +1766,20 @@ impl Vm {
             FuncCheck => {
                 self.stats.cycles += CHECK_CYCLES / 2;
                 let (setid, target) = (arg(0) as u32, arg(1));
-                self.pools
-                    .func_check(setid, target)
-                    .map_err(VmError::Safety)?;
+                let r = self.pools.func_check(setid, target);
+                if T::ENABLED {
+                    self.tracer.record(
+                        self.stats.cycles,
+                        TraceEvent::Check {
+                            check: i.name(),
+                            pool: u32::MAX,
+                            layer: LookupLayer::None,
+                            passed: r.is_ok(),
+                            cost: CHECK_CYCLES / 2,
+                        },
+                    );
+                }
+                r.map_err(VmError::Safety)?;
             }
             PseudoAlloc => {
                 // Returns a pointer to the manufactured range; registration
@@ -1556,6 +1818,45 @@ impl Vm {
         Ok(StepOut::Continue)
     }
 
+    /// Lookup count of pool `mp` (0 when tracing is off — the value is
+    /// only used to detect whether a check performed an object lookup).
+    fn lookups_of(&self, mp: u32) -> u64 {
+        if T::ENABLED {
+            self.pools.pool(sva_rt::MetaPoolId(mp)).stats().lookups()
+        } else {
+            0
+        }
+    }
+
+    /// Records a `Check` event for a pool-backed check, attributing it to
+    /// the lookup layer that answered — or [`LookupLayer::None`] when the
+    /// check decided without an object lookup (reduced checks).
+    fn trace_check(
+        &mut self,
+        check: &'static str,
+        mp: u32,
+        lookups_before: u64,
+        passed: bool,
+        cost: u64,
+    ) {
+        let pool = self.pools.pool(sva_rt::MetaPoolId(mp));
+        let layer = if pool.stats().lookups() > lookups_before {
+            pool.last_lookup_layer()
+        } else {
+            LookupLayer::None
+        };
+        self.tracer.record(
+            self.stats.cycles,
+            TraceEvent::Check {
+                check,
+                pool: mp,
+                layer,
+                passed,
+                cost,
+            },
+        );
+    }
+
     fn push_icontext(&mut self, ic: IContext) -> u32 {
         // Reuse dead slots.
         for (i, slot) in self.icontexts.iter_mut().enumerate() {
@@ -1583,15 +1884,16 @@ impl Vm {
     }
 
     /// Delivers the front pending interrupt: trap ceremony, then the
-    /// registered handler with the vector as its argument.
-    fn deliver_interrupt(&mut self) -> Result<(), VmError> {
+    /// registered handler with the vector as its argument. Returns the
+    /// popped vector (for trace attribution, even when masked).
+    fn deliver_interrupt(&mut self) -> Result<i64, VmError> {
         let Some(vec) = self.pending_irq.pop_front() else {
-            return Ok(());
+            return Ok(-1);
         };
         let Some(&handler) = self.interrupts.get(&vec) else {
             // Unhandled vectors are dropped (masked), like a PIC with no
             // registered line.
-            return Ok(());
+            return Ok(vec);
         };
         self.stats.interrupts += 1;
         let fast = self.cfg.kind.fast_os();
@@ -1606,13 +1908,14 @@ impl Vm {
             result_dst: None,
             result_frame,
             live: true,
+            trace_sys: None,
         };
         let icid = self.push_icontext(ic);
         self.thread.icid = Some(icid);
         self.thread.ksp = KSTACK_BASE;
         let frame = self.frame_for_call(handler, &[vec as u64], None, Mode::Kernel)?;
         self.thread.frames.push(frame);
-        Ok(())
+        Ok(vec)
     }
 
     fn do_syscall(&mut self, args: &[u64], dst: Option<u32>) -> Result<StepOut, VmError> {
@@ -1639,6 +1942,13 @@ impl Vm {
                 // the hand-written native path.
                 let fast = self.cfg.kind.fast_os();
                 self.stats.cycles += if fast { 24 } else { 40 };
+                let trace_sys = if T::ENABLED {
+                    let ts = self.stats.cycles;
+                    self.tracer.record(ts, TraceEvent::SyscallEnter { num });
+                    Some((num, ts))
+                } else {
+                    None
+                };
                 let frames = std::mem::take(&mut self.thread.frames);
                 let result_frame = frames.len().saturating_sub(1);
                 let ic = IContext {
@@ -1649,6 +1959,7 @@ impl Vm {
                     result_dst: dst,
                     result_frame,
                     live: true,
+                    trace_sys,
                 };
                 let icid = self.push_icontext(ic);
                 self.thread.icid = Some(icid);
@@ -1683,6 +1994,7 @@ impl Vm {
         let asid = ic.asid;
         let result_dst = ic.result_dst;
         let result_frame = ic.result_frame;
+        let trace_sys = ic.trace_sys.take();
         if let Some(d) = result_dst {
             if let Some(fr) = frames.get_mut(result_frame) {
                 fr.regs[d as usize] = retval;
@@ -1695,6 +2007,18 @@ impl Vm {
         self.thread.asid = asid;
         self.thread.icid = None;
         self.thread.ksp = KSTACK_BASE;
+        if T::ENABLED {
+            if let Some((num, enter)) = trace_sys {
+                let ts = self.stats.cycles;
+                self.tracer.record(
+                    ts,
+                    TraceEvent::SyscallExit {
+                        num,
+                        cost: ts - enter,
+                    },
+                );
+            }
+        }
         Ok(())
     }
 

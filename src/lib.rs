@@ -12,6 +12,7 @@
 //! * [`core`] — the safety-checking compiler and bytecode verifier
 //!   (the paper's primary contribution);
 //! * [`vm`] — the Secure Virtual Machine with the SVA-OS operations;
+//! * [`trace`] — zero-overhead-when-off tracing, metrics and profiling;
 //! * [`kernel`] — a miniature commodity kernel written in SVA IR;
 //! * [`exploits`] — reproductions of the five Linux 2.4.22 exploits.
 //!
@@ -23,4 +24,5 @@ pub use sva_exploits as exploits;
 pub use sva_ir as ir;
 pub use sva_kernel as kernel;
 pub use sva_rt as rt;
+pub use sva_trace as trace;
 pub use sva_vm as vm;

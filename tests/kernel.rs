@@ -2,7 +2,8 @@
 //! *behaviourally identical* on legitimate workloads (same console output,
 //! same exit codes) and differ only in cost and in what happens to attacks.
 
-use sva::kernel::harness::{boot_user, make_vm, pack_arg};
+use sva::kernel::harness::{boot_user, make_vm, make_vm_traced, pack_arg};
+use sva::trace::RingTracer;
 use sva::vm::{KernelKind, VmError, VmExit};
 
 fn run(kind: KernelKind, prog: &str, arg: u64) -> (VmExit, String, u64) {
@@ -29,6 +30,55 @@ fn configs_behave_identically_on_legit_workloads() {
             assert_eq!(got.0, base.0, "{kind:?} {prog}: exit differs");
             assert_eq!(got.1, base.1, "{kind:?} {prog}: console differs");
         }
+    }
+}
+
+#[test]
+fn tracing_is_invisible_to_the_machine() {
+    // The zero-overhead-when-off discipline, stated the strong way round:
+    // attaching a RingTracer must not change a single counter. Boot the
+    // checked kernel with and without a tracer and demand byte-identical
+    // VmStats, check counters and console output — the tracer only *reads*
+    // the cycle clock, it never feeds back into execution.
+    for (prog, arg) in [
+        ("user_hello", 0),
+        ("user_pipe_loop", pack_arg(5, 0, 0)),
+        ("user_forkexec_loop", pack_arg(2, 0, 0)),
+    ] {
+        let mut plain = make_vm(KernelKind::SvaSafe);
+        let exit_p = boot_user(&mut plain, prog, arg).expect("plain boot");
+
+        let mut traced = make_vm_traced(KernelKind::SvaSafe, RingTracer::default());
+        let exit_t = boot_user(&mut traced, prog, arg).expect("traced boot");
+
+        assert_eq!(exit_p, exit_t, "{prog}: exit differs under tracing");
+        assert_eq!(
+            plain.console_string(),
+            traced.console_string(),
+            "{prog}: console differs under tracing"
+        );
+        assert_eq!(
+            plain.stats(),
+            traced.stats(),
+            "{prog}: VmStats differ under tracing"
+        );
+        assert_eq!(
+            plain.pools.total_stats(),
+            traced.pools.total_stats(),
+            "{prog}: check counters differ under tracing"
+        );
+
+        // And the trace itself must be worth having: every virtual cycle
+        // accounted for, with a live event stream behind it.
+        let stats = traced.stats();
+        let tracer = traced.into_tracer();
+        assert!(tracer.ring().total_recorded() > 0, "{prog}: empty ring");
+        let coverage = tracer.profile().coverage(stats.cycles);
+        assert!(
+            coverage >= 0.95,
+            "{prog}: profile attributes only {:.2}% of cycles",
+            100.0 * coverage
+        );
     }
 }
 
