@@ -1,0 +1,235 @@
+//! Deterministic machine-level fault-injection campaign (DESIGN.md §4.3).
+//!
+//! Boots the recovery-enabled kernel under every [`FaultClass`] across a
+//! grid of seeds and user workloads, asserts that no run panics the host
+//! and that no kernel-mode safety violation escapes `Vm::run`, and writes
+//! a JSON report to `target/sva-inject/faultcamp.json` (override the
+//! directory with `SVA_INJECT_DIR`).
+//!
+//! Exit status is nonzero on any panic, escaped safety violation, or
+//! determinism failure, so CI can gate on it directly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sva_inject::{FaultClass, FaultPlan};
+use sva_kernel::harness::{boot_user, make_vm_recovering, pack_arg};
+use sva_vm::{VmConfig, VmError, VmExit, VmStats};
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+const FUEL: u64 = 3_000_000;
+/// Inject on every other trap.
+const PERIOD: u64 = 2;
+
+const WORKLOADS: [(&str, u64, u64, u64); 4] = [
+    ("user_getpid_loop", 200, 0, 0),
+    ("user_openclose_loop", 60, 0, 0),
+    ("user_pipe_loop", 40, 64, 0),
+    ("user_write_loop", 80, 128, 0),
+];
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RunResult {
+    injected: u64,
+    stats: VmStats,
+    outcome: Outcome,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Outcome {
+    /// The workload ran to completion (any exit value).
+    Completed,
+    /// The recovery handler halted after a pool was poisoned (abort 41).
+    HaltedPoisoned,
+    /// The recovery handler halted with nothing to resume (abort 42).
+    HaltedClean,
+    /// `Vm::run` returned a structured non-safety error (e.g. fuel).
+    StructuredError(String),
+    /// A safety violation escaped the recovery domain — campaign failure.
+    EscapedSafety(String),
+}
+
+/// Metapool ids with complete points-to info in the recovery kernel —
+/// the pools whose checks reject unknown addresses (probe targets).
+fn complete_pools() -> Vec<u32> {
+    let vm = make_vm_recovering(VmConfig::default());
+    (0..vm.pools.len() as u32)
+        .filter(|&i| vm.pools.pool(sva_rt::MetaPoolId(i)).complete)
+        .collect()
+}
+
+fn run_one(class: FaultClass, seed: u64, workload: (&str, u64, u64, u64)) -> Option<RunResult> {
+    let targets = complete_pools();
+    catch_unwind(AssertUnwindSafe(move || {
+        let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets));
+        let cfg = VmConfig {
+            fuel: FUEL,
+            violation_budget: 3,
+            fault_hook: Some(plan.clone()),
+            ..Default::default()
+        };
+        let mut vm = make_vm_recovering(cfg);
+        let (prog, iters, size, mode) = workload;
+        let r = boot_user(&mut vm, prog, pack_arg(iters, size, mode));
+        let outcome = match r {
+            Ok(VmExit::Halted(41)) => Outcome::HaltedPoisoned,
+            Ok(VmExit::Halted(42)) => Outcome::HaltedClean,
+            Ok(_) => Outcome::Completed,
+            Err(VmError::Safety(e)) => Outcome::EscapedSafety(e.to_string()),
+            Err(e) => Outcome::StructuredError(e.to_string()),
+        };
+        RunResult {
+            injected: plan.injected(),
+            stats: vm.stats(),
+            outcome,
+        }
+    }))
+    .ok()
+}
+
+#[derive(Default)]
+struct Tally {
+    runs: u64,
+    injected: u64,
+    recovered: u64,
+    quarantined: u64,
+    poisoned: u64,
+    completed: u64,
+    halted_poisoned: u64,
+    halted_clean: u64,
+    structured_errors: u64,
+    escaped_safety: u64,
+    panics: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, r: &Option<RunResult>) {
+        self.runs += 1;
+        let Some(r) = r else {
+            self.panics += 1;
+            return;
+        };
+        self.injected += r.injected;
+        self.recovered += r.stats.violations_recovered;
+        self.quarantined += r.stats.pools_quarantined;
+        self.poisoned += r.stats.pools_poisoned;
+        match &r.outcome {
+            Outcome::Completed => self.completed += 1,
+            Outcome::HaltedPoisoned => self.halted_poisoned += 1,
+            Outcome::HaltedClean => self.halted_clean += 1,
+            Outcome::StructuredError(_) => self.structured_errors += 1,
+            Outcome::EscapedSafety(e) => {
+                self.escaped_safety += 1;
+                eprintln!("ESCAPED SAFETY VIOLATION: {e}");
+            }
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"runs\":{},\"faults_injected\":{},\"violations_recovered\":{},",
+                "\"pools_quarantined\":{},\"pools_poisoned\":{},\"completed\":{},",
+                "\"halted_poisoned\":{},\"halted_clean\":{},\"structured_errors\":{},",
+                "\"escaped_safety\":{},\"panics\":{}}}"
+            ),
+            self.runs,
+            self.injected,
+            self.recovered,
+            self.quarantined,
+            self.poisoned,
+            self.completed,
+            self.halted_poisoned,
+            self.halted_clean,
+            self.structured_errors,
+            self.escaped_safety,
+            self.panics,
+        )
+    }
+}
+
+fn report_dir() -> std::path::PathBuf {
+    if let Ok(d) = std::env::var("SVA_INJECT_DIR") {
+        return std::path::PathBuf::from(d);
+    }
+    // Anchor at the workspace root (nearest ancestor holding Cargo.lock),
+    // same as the bench harness, so the report lands in one known place
+    // regardless of the cwd cargo chose.
+    let mut cur = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("target").join("sva-inject");
+        }
+        if !cur.pop() {
+            return std::path::PathBuf::from("target/sva-inject");
+        }
+    }
+}
+
+fn main() {
+    // Determinism gate: the same plan on the same workload must replay
+    // bit-identically (stats and injection counts included).
+    let d0 = run_one(FaultClass::WildPtr, SEEDS[0], WORKLOADS[0]);
+    let d1 = run_one(FaultClass::WildPtr, SEEDS[0], WORKLOADS[0]);
+    let deterministic = d0 == d1 && d0.is_some();
+    if !deterministic {
+        eprintln!("DETERMINISM FAILURE:\n  {d0:?}\n  {d1:?}");
+    }
+
+    let mut total = Tally::default();
+    let mut per_class = Vec::new();
+    for class in FaultClass::ALL {
+        let mut tally = Tally::default();
+        for seed in SEEDS {
+            for workload in WORKLOADS {
+                let r = run_one(class, seed, workload);
+                tally.absorb(&r);
+                total.absorb(&r);
+            }
+        }
+        println!(
+            "{:18} runs {:3}  injected {:6}  recovered {:6}  completed {:3}  poisoned-halt {:3}",
+            class.name(),
+            tally.runs,
+            tally.injected,
+            tally.recovered,
+            tally.completed,
+            tally.halted_poisoned,
+        );
+        per_class.push((class, tally));
+    }
+
+    let classes_json: Vec<String> = per_class
+        .iter()
+        .map(|(c, t)| format!("{{\"class\":\"{}\",\"tally\":{}}}", c.name(), t.json()))
+        .collect();
+    let json = format!(
+        "{{\"campaign\":\"faultcamp\",\"deterministic\":{},\"total\":{},\"classes\":[{}]}}\n",
+        deterministic,
+        total.json(),
+        classes_json.join(","),
+    );
+
+    let dir = report_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("faultcamp.json");
+        if std::fs::write(&path, &json).is_ok() {
+            println!("report: {}", path.display());
+        }
+    }
+
+    println!(
+        "total: {} faults injected, {} recovered, {} panics, {} escaped",
+        total.injected, total.recovered, total.panics, total.escaped_safety
+    );
+    let enough = total.injected >= 1000;
+    if !enough {
+        eprintln!("FAILURE: campaign injected fewer than 1000 faults");
+    }
+    if total.panics > 0 || total.escaped_safety > 0 || !deterministic || !enough {
+        std::process::exit(1);
+    }
+}

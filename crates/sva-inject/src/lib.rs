@@ -1,0 +1,262 @@
+//! Deterministic machine-level fault injection for the SVM.
+//!
+//! A [`FaultPlan`] is a [`FaultHook`] that perturbs the machine at
+//! user→kernel trap boundaries according to one of six [`FaultClass`]es.
+//! Plans are pure functions of `(seed, trap_index)` — the same plan on
+//! the same workload injects the same faults at the same traps, so a
+//! campaign run replays bit-identically (DESIGN.md §4.3).
+
+use std::sync::Mutex;
+
+use sva_vm::{FaultAction, FaultHook, TrapInfo};
+
+/// The injected fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Dereference a wild kernel pointer inside a syscall handler, and
+    /// hand the handler a wild pointer argument.
+    WildPtr,
+    /// Skew the results of upcoming kernel-mode GEPs so derived pointers
+    /// land out of bounds.
+    GepSkew,
+    /// Dereference an address previously freed from a metapool
+    /// (use-after-free), learned live from pool drops.
+    StaleUse,
+    /// Corrupt a metapool's object metadata.
+    PoolMetaCorrupt,
+    /// Force upcoming object registrations to fail, as if allocator
+    /// metadata ran out.
+    AllocFail,
+    /// Queue a burst of timer interrupts mid-syscall.
+    IrqStorm,
+}
+
+impl FaultClass {
+    /// Every class, in campaign order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::WildPtr,
+        FaultClass::GepSkew,
+        FaultClass::StaleUse,
+        FaultClass::PoolMetaCorrupt,
+        FaultClass::AllocFail,
+        FaultClass::IrqStorm,
+    ];
+
+    /// Stable name used in campaign reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::WildPtr => "wild_ptr",
+            FaultClass::GepSkew => "gep_skew",
+            FaultClass::StaleUse => "stale_use",
+            FaultClass::PoolMetaCorrupt => "pool_meta_corrupt",
+            FaultClass::AllocFail => "alloc_fail",
+            FaultClass::IrqStorm => "irq_storm",
+        }
+    }
+}
+
+/// splitmix64: tiny, high-quality, and fully deterministic.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Wild kernel addresses land in this window (kernel heap-ish, but never
+/// registered with any pool).
+const WILD_BASE: u64 = 0x11f0_0000;
+
+struct PlanState {
+    injected: u64,
+    /// Learned `(pool, addr)` pairs from recent drops (use-after-free
+    /// candidates), newest last, capped.
+    freed: Vec<(u32, u64)>,
+}
+
+/// A seeded, fully deterministic fault plan for one campaign run.
+pub struct FaultPlan {
+    class: FaultClass,
+    seed: u64,
+    /// Inject on every `period`-th trap.
+    period: u64,
+    /// Metapool ids with complete points-to info — the pools whose checks
+    /// actually reject unknown addresses.
+    targets: Vec<u32>,
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// A plan injecting `class` faults every `period` traps. `targets`
+    /// should list the ids of *complete* metapools (incomplete pools run
+    /// reduced checks and pass unknown addresses, so probing them never
+    /// trips a violation).
+    pub fn new(class: FaultClass, seed: u64, period: u64, targets: Vec<u32>) -> FaultPlan {
+        FaultPlan {
+            class,
+            seed,
+            period: period.max(1),
+            targets,
+            state: Mutex::new(PlanState {
+                injected: 0,
+                freed: Vec::new(),
+            }),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().map(|s| s.injected).unwrap_or(0)
+    }
+
+    fn target(&self, r: u64) -> Option<u32> {
+        if self.targets.is_empty() {
+            None
+        } else {
+            Some(self.targets[(r % self.targets.len() as u64) as usize])
+        }
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn on_trap(&self, info: &TrapInfo<'_>) -> FaultAction {
+        if info.trap_index % self.period != self.period - 1 {
+            return FaultAction::default();
+        }
+        let r = splitmix64(self.seed ^ info.trap_index.wrapping_mul(0x51ed));
+        let mut action = FaultAction::default();
+        match self.class {
+            FaultClass::WildPtr => {
+                let wild = WILD_BASE + (r & 0xf_fff8);
+                if let Some(pool) = self.target(r >> 20) {
+                    action.probe_stale = Some((pool, wild));
+                }
+                if !info.args.is_empty() {
+                    action.mutate_args = vec![(r as usize % info.args.len(), wild)];
+                }
+            }
+            FaultClass::GepSkew => {
+                let count = 1 + (r % 4) as u32;
+                let delta = 0x4000 + (r >> 8 & 0x3ff8) as i64;
+                action.gep_skew = Some((count, if r & 1 == 0 { delta } else { -delta }));
+            }
+            FaultClass::StaleUse => {
+                let mut st = self.state.lock().unwrap();
+                if let Some(&(pool, addr)) = st.freed.last() {
+                    st.freed.pop();
+                    action.probe_stale = Some((pool, addr));
+                } else if let Some(pool) = self.target(r) {
+                    // Nothing freed yet: degrade to a wild probe so the
+                    // injection slot is not wasted.
+                    action.probe_stale = Some((pool, WILD_BASE + (r & 0xfff8)));
+                }
+            }
+            FaultClass::PoolMetaCorrupt => {
+                if let Some(pool) = self.target(r) {
+                    action.corrupt_pool = Some((pool, r >> 16));
+                }
+            }
+            FaultClass::AllocFail => {
+                if let Some(pool) = self.target(r) {
+                    action.fail_allocs = Some((pool, 1 + (r >> 16 & 3) as u32));
+                }
+            }
+            FaultClass::IrqStorm => {
+                action.raise_irqs = 1 + (r & 7) as u32;
+            }
+        }
+        let default = action.mutate_args.is_empty()
+            && action.gep_skew.is_none()
+            && action.probe_stale.is_none()
+            && action.corrupt_pool.is_none()
+            && action.fail_allocs.is_none()
+            && action.raise_irqs == 0;
+        if !default {
+            if let Ok(mut st) = self.state.lock() {
+                st.injected += 1;
+            }
+        }
+        action
+    }
+
+    fn on_pool_drop(&self, pool: u32, addr: u64) {
+        if self.class != FaultClass::StaleUse || !self.targets.contains(&pool) {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.freed.len() >= 64 {
+            st.freed.remove(0);
+        }
+        st.freed.push((pool, addr));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(idx: u64) -> (u64, Vec<u64>) {
+        (idx, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn plans_are_deterministic_across_instances() {
+        for class in FaultClass::ALL {
+            let a = FaultPlan::new(class, 42, 3, vec![0, 2, 5]);
+            let b = FaultPlan::new(class, 42, 3, vec![0, 2, 5]);
+            for idx in 0..50 {
+                let (trap_index, args) = info(idx);
+                let ia = TrapInfo {
+                    trap_index,
+                    syscall: 4,
+                    args: &args,
+                };
+                let ra = a.on_trap(&ia);
+                let rb = b.on_trap(&ia);
+                assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "{class:?} @ {idx}");
+            }
+            assert_eq!(a.injected(), b.injected());
+            assert!(a.injected() > 0, "{class:?} never injected");
+        }
+    }
+
+    #[test]
+    fn injection_respects_the_period() {
+        let p = FaultPlan::new(FaultClass::IrqStorm, 7, 5, vec![]);
+        for idx in 0..20 {
+            let (trap_index, args) = info(idx);
+            let i = TrapInfo {
+                trap_index,
+                syscall: 1,
+                args: &args,
+            };
+            let a = p.on_trap(&i);
+            assert_eq!(a.raise_irqs > 0, idx % 5 == 4, "trap {idx}");
+        }
+        assert_eq!(p.injected(), 4);
+    }
+
+    #[test]
+    fn stale_use_prefers_learned_addresses() {
+        let p = FaultPlan::new(FaultClass::StaleUse, 9, 1, vec![3]);
+        p.on_pool_drop(3, 0x1000);
+        p.on_pool_drop(7, 0xdead); // not a target: ignored
+        let args = [0u64; 2];
+        let a = p.on_trap(&TrapInfo {
+            trap_index: 0,
+            syscall: 4,
+            args: &args,
+        });
+        assert_eq!(a.probe_stale, Some((3, 0x1000)));
+        // Learned address consumed; the next probe degrades to wild.
+        let b = p.on_trap(&TrapInfo {
+            trap_index: 1,
+            syscall: 4,
+            args: &args,
+        });
+        let (pool, addr) = b.probe_stale.unwrap();
+        assert_eq!(pool, 3);
+        assert!(addr >= WILD_BASE);
+    }
+}

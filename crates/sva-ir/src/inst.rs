@@ -329,6 +329,21 @@ pub enum Intrinsic {
     /// `memset(dst, byte, len)`.
     MemSet,
 
+    // --- Violation recovery (DESIGN.md §4.3) ---
+    /// `sva.recover.register()` — register the current point as the
+    /// kernel's recovery context. Returns 0 on registration; when the
+    /// machine later unwinds here after a contained violation it returns
+    /// the nonzero packed resume code (setjmp-style, like
+    /// `llva.save.integer`).
+    RecoverRegister,
+    /// `sva.recover.unwind(code)` — explicitly unwind to the registered
+    /// recovery context with the given resume code (nonzero).
+    RecoverUnwind,
+    /// `sva.recover.release(pool)` — lift the quarantine on a metapool
+    /// after the kernel has dealt with the violation; returns 1 if the
+    /// release took effect, 0 if the pool is poisoned or unknown.
+    RecoverRelease,
+
     // --- Diagnostics ---
     /// `sva_print(val)` — write a value to the VM console (debug aid).
     Print,
@@ -378,6 +393,9 @@ impl Intrinsic {
             Intrinsic::MemCpy => "sva.memcpy",
             Intrinsic::MemMove => "sva.memmove",
             Intrinsic::MemSet => "sva.memset",
+            Intrinsic::RecoverRegister => "sva.recover.register",
+            Intrinsic::RecoverUnwind => "sva.recover.unwind",
+            Intrinsic::RecoverRelease => "sva.recover.release",
             Intrinsic::Print => "sva.print",
             Intrinsic::Abort => "sva.abort",
         }
@@ -425,6 +443,9 @@ impl Intrinsic {
             "sva.memcpy" => MemCpy,
             "sva.memmove" => MemMove,
             "sva.memset" => MemSet,
+            "sva.recover.register" => RecoverRegister,
+            "sva.recover.unwind" => RecoverUnwind,
+            "sva.recover.release" => RecoverRelease,
             "sva.print" => Print,
             "sva.abort" => Abort,
             _ => return None,
@@ -470,6 +491,9 @@ impl Intrinsic {
                 | Intrinsic::IcontextCommit
                 | Intrinsic::IpushFunction
                 | Intrinsic::WasPrivileged
+                | Intrinsic::RecoverRegister
+                | Intrinsic::RecoverUnwind
+                | Intrinsic::RecoverRelease
         )
     }
 }

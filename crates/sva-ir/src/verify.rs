@@ -614,8 +614,8 @@ fn check_intrinsic_arity(ctx: &mut Ctx<'_>, iid: InstId, i: Intrinsic, nargs: us
         | BoundsCheckRange | MemCpy | MemMove | MemSet => 3,
         GetBounds => 4,
         FuncCheck => 2,
-        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace => 1,
-        CpuId | GetTimer | IcontextGet | MmuNewSpace => 0,
+        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace | RecoverUnwind | RecoverRelease => 1,
+        CpuId | GetTimer | IcontextGet | MmuNewSpace | RecoverRegister => 0,
     };
     if nargs < min {
         ctx.err(

@@ -43,10 +43,17 @@ pub mod user {
     }
 }
 
-/// Build-time options for the kernel image (reserved for future knobs; the
-/// default builds the full kernel).
+/// Build-time options for the kernel image. The default builds the full
+/// kernel exactly as before.
 #[derive(Clone, Debug, Default)]
-pub struct KernelOptions {}
+pub struct KernelOptions {
+    /// Register a violation-recovery domain around the boot sequence
+    /// (DESIGN.md §4.3): `start_kernel` calls `sva.recover.register` and
+    /// gains a handler block that releases quarantined pools, resumes the
+    /// faulting user thread with `-EFAULT`, and halts the machine once a
+    /// pool is poisoned.
+    pub recovery: bool,
+}
 
 // ---- kernel-wide constants ------------------------------------------------
 
@@ -245,7 +252,7 @@ fn setfld(b: &mut FunctionBuilder, p: Operand, field: usize, v: Operand) {
 }
 
 /// Builds the whole kernel module (plus userspace programs).
-pub fn build_kernel(_opts: &KernelOptions) -> Module {
+pub fn build_kernel(opts: &KernelOptions) -> Module {
     let mut m = Module::new("sva-kernel");
     let k = declare(&mut m);
     // Builders resolve `Operand::Global`/`Operand::Func` through interned
@@ -259,7 +266,7 @@ pub fn build_kernel(_opts: &KernelOptions) -> Module {
     define_net_elf(&mut m, &k);
     define_sys(&mut m, &k);
     define_sys_io(&mut m, &k);
-    define_boot(&mut m, &k);
+    define_boot(&mut m, &k, opts);
     define_user(&mut m, &k);
     m.entry = Some(k.fid("start_kernel"));
     m.intern_address_types();
@@ -366,6 +373,10 @@ fn declare(m: &mut Module) -> K {
         },
     );
     gdecl(m, "net_rx_count", i64t, GlobalInit::Zero);
+    // Recovery bookkeeping (only written by the `KernelOptions::recovery`
+    // boot path; declared unconditionally so image layouts stay aligned).
+    gdecl(m, "recov_count", i64t, GlobalInit::Zero);
+    gdecl(m, "recov_last_code", i64t, GlobalInit::Zero);
 
     // Allocators (§4.4, §6.2): slab caches carved from raw pages, kmalloc
     // backed by the slab layer, vmalloc for large buffers, and the page
@@ -1791,7 +1802,7 @@ fn define_sys_io(m: &mut Module, k: &K) {
 
 // ---- boot -------------------------------------------------------------------
 
-fn define_boot(m: &mut Module, k: &K) {
+fn define_boot(m: &mut Module, k: &K, opts: &KernelOptions) {
     let mut b = FunctionBuilder::new(m, k.fid("start_kernel"));
     b.call(k.fid("mm_init"), vec![]);
     let table: &[(i64, &str)] = &[
@@ -1830,6 +1841,79 @@ fn define_boot(m: &mut Module, k: &K) {
         vec![ci(k, 0), Operand::Func(k.fid("sig_timer_tick"))],
         None,
     );
+    if opts.recovery {
+        // Violation-recovery domain (DESIGN.md §4.3): every kernel-mode
+        // safety violation from here on unwinds back to this point with a
+        // nonzero packed resume code instead of stopping the machine.
+        let code = b
+            .intrinsic(Intrinsic::RecoverRegister, vec![], Some(k.i64t))
+            .unwrap();
+        let boot = b.block("boot.cold");
+        let recovered = b.block("recov.handle");
+        let fresh = b.icmp(IPred::Eq, code, ci(k, 0));
+        b.cond_br(fresh, boot, recovered);
+
+        // A violation unwound here. Record it, release the quarantined
+        // pool if it still has budget, then either resume the faulting
+        // user thread with -EFAULT or halt cleanly.
+        b.switch_to(recovered);
+        let cnt_p = k.gop("recov_count");
+        let cnt = b.load(cnt_p);
+        let cnt1 = b.add(cnt, ci(k, 1));
+        b.store(cnt1, cnt_p);
+        b.store(code, k.gop("recov_last_code"));
+        let poisoned = {
+            let sh = b.lshr(code, ci(k, 8));
+            b.and(sh, ci(k, 1))
+        };
+        let pool_p1 = {
+            let sh = b.lshr(code, ci(k, 16));
+            b.and(sh, ci(k, 0xff_ffff))
+        };
+        let ic_p1 = b.lshr(code, ci(k, 40));
+
+        // Pool attributed and not poisoned: lift the quarantine so the
+        // kernel keeps running on it (the budget still counts up).
+        let rel = b.block("recov.release");
+        let after_rel = b.block("recov.after_release");
+        let has_pool = b.icmp(IPred::Ne, pool_p1, ci(k, 0));
+        let ok = b.icmp(IPred::Eq, poisoned, ci(k, 0));
+        let both = b.and(has_pool, ok);
+        b.cond_br(both, rel, after_rel);
+        b.switch_to(rel);
+        let pool = b.sub(pool_p1, ci(k, 1));
+        b.intrinsic(Intrinsic::RecoverRelease, vec![pool], Some(k.i64t));
+        b.br(after_rel);
+
+        b.switch_to(after_rel);
+        // Past the budget the pool stays poisoned: halt with a distinct
+        // code rather than spin on a dead subsystem.
+        let halt_poison = b.block("recov.halt_poison");
+        let try_resume = b.block("recov.resume");
+        let poisonc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
+        b.cond_br(poisonc, halt_poison, try_resume);
+        b.switch_to(halt_poison);
+        b.intrinsic(Intrinsic::Abort, vec![ci(k, 41)], None);
+        b.ret(Some(ci(k, 41)));
+
+        // The violation interrupted a trap: fail that syscall with
+        // -EFAULT and resume the user thread. Otherwise there is nothing
+        // to resume — halt cleanly.
+        b.switch_to(try_resume);
+        let iret_bb = b.block("recov.iret");
+        let halt_bb = b.block("recov.halt");
+        let has_ic = b.icmp(IPred::Ne, ic_p1, ci(k, 0));
+        b.cond_br(has_ic, iret_bb, halt_bb);
+        b.switch_to(iret_bb);
+        let icid = b.sub(ic_p1, ci(k, 1));
+        b.intrinsic(Intrinsic::Iret, vec![icid, ci(k, -14)], None);
+        b.ret(Some(ci(k, 0)));
+        b.switch_to(halt_bb);
+        b.intrinsic(Intrinsic::Abort, vec![ci(k, 42)], None);
+        b.ret(Some(ci(k, 42)));
+
+        b.switch_to(boot);
+    }
     // Process 0 runs the boot program named by the harness globals.
     let p0 = proc_at(&mut b, k, ci(k, 0));
     setfld(&mut b, p0, PF_STATE, ci(k, P_RUNNING));

@@ -46,11 +46,21 @@ pub fn raw_kernel() -> Module {
 /// The safety-compiled, verifier-checked kernel for the given exclusion
 /// list (use [`AS_TESTED_EXCLUSIONS`] for the paper's configuration).
 pub fn safe_kernel_module(exclusions: &[&str]) -> Module {
-    let key = format!("safe:{}", exclusions.join(","));
+    safe_kernel_module_with(exclusions, &KernelOptions::default())
+}
+
+/// Like [`safe_kernel_module`] with explicit build options (e.g. the
+/// recovery boot path).
+pub fn safe_kernel_module_with(exclusions: &[&str], opts: &KernelOptions) -> Module {
+    let key = format!(
+        "safe:{}:{}",
+        if opts.recovery { "recov" } else { "plain" },
+        exclusions.join(","),
+    );
     let mut c = cache().lock().unwrap();
     c.entry(key)
         .or_insert_with(|| {
-            let m = build_kernel(&KernelOptions::default());
+            let m = build_kernel(opts);
             let cfg = AnalysisConfig::kernel_excluding(exclusions);
             let compiled = compile(m, &cfg, &CompileOptions::default());
             let verified = verify_and_insert_checks(compiled.module)
@@ -100,6 +110,23 @@ pub fn make_vm_traced<T: Tracer>(kind: KernelKind, tracer: T) -> Vm<T> {
         tracer,
     )
     .expect("kernel loads")
+}
+
+/// Builds a safety-checked VM whose kernel registers a violation-recovery
+/// domain at boot (DESIGN.md §4.3), under the given VM configuration.
+/// `cfg.kind` is forced to `SvaSafe` — recovery is only meaningful with
+/// checks live.
+pub fn make_vm_recovering(mut cfg: VmConfig) -> Vm {
+    cfg.kind = KernelKind::SvaSafe;
+    let module = safe_kernel_module_with(AS_TESTED_EXCLUSIONS, &KernelOptions { recovery: true });
+    Vm::new(module, cfg).expect("kernel loads")
+}
+
+/// Like [`make_vm_recovering`] with an attached tracer.
+pub fn make_vm_recovering_traced<T: Tracer>(mut cfg: VmConfig, tracer: T) -> Vm<T> {
+    cfg.kind = KernelKind::SvaSafe;
+    let module = safe_kernel_module_with(AS_TESTED_EXCLUSIONS, &KernelOptions { recovery: true });
+    Vm::with_tracer(module, cfg, tracer).expect("kernel loads")
 }
 
 /// Boots the kernel with `prog(arg)` as the init user program.

@@ -15,6 +15,10 @@ pub enum CheckKind {
     IllegalFree,
     /// A registration conflicted with a live object.
     BadRegistration,
+    /// Any check against a quarantined metapool: after a violation the
+    /// pool is fenced off and further accesses fail fast until the
+    /// kernel's recovery handler releases it (or the pool is poisoned).
+    Quarantined,
 }
 
 impl fmt::Display for CheckKind {
@@ -25,6 +29,7 @@ impl fmt::Display for CheckKind {
             CheckKind::IndirectCall => "indirect call check",
             CheckKind::IllegalFree => "illegal free",
             CheckKind::BadRegistration => "bad registration",
+            CheckKind::Quarantined => "quarantined pool",
         };
         f.write_str(s)
     }
@@ -86,6 +91,9 @@ pub struct CheckStats {
     /// Object lookups that fell through to the splay tree (layer 3, the
     /// only layer that existed before the fast path).
     pub tree_walks: u64,
+    /// Checks rejected immediately because the pool was quarantined
+    /// after a violation (no lookup is performed for these).
+    pub quarantine_rejects: u64,
 }
 
 impl CheckStats {
@@ -106,6 +114,7 @@ impl CheckStats {
         self.cache_hits += other.cache_hits;
         self.page_hits += other.page_hits;
         self.tree_walks += other.tree_walks;
+        self.quarantine_rejects += other.quarantine_rejects;
     }
 
     /// Object lookups performed by any layer (the denominator for the
@@ -128,6 +137,7 @@ impl CheckStats {
         metrics.set_counter("check.lookup.cache_hits", self.cache_hits);
         metrics.set_counter("check.lookup.page_hits", self.page_hits);
         metrics.set_counter("check.lookup.tree_walks", self.tree_walks);
+        metrics.set_counter("check.quarantine_rejects", self.quarantine_rejects);
     }
 }
 

@@ -62,6 +62,19 @@ pub struct MetaPool {
     /// Which layer answered the most recent lookup. A single byte store on
     /// the lookup path; read by tracing instrumentation, never by checks.
     last_layer: LookupLayer,
+    /// Violation containment: while quarantined, every check fails fast
+    /// with [`CheckKind::Quarantined`] (no lookup is performed). The
+    /// registry itself keeps working so registrations/drops stay coherent
+    /// across the quarantine window.
+    quarantined: bool,
+    /// Permanent quarantine: set once the violation count reaches the
+    /// budget. A poisoned pool can never be released.
+    poisoned: bool,
+    /// Safety violations attributed to this pool so far.
+    violations: u32,
+    /// Fault injection: the next N registrations fail as if the
+    /// allocator ran out of memory.
+    forced_reg_failures: u32,
 }
 
 impl MetaPool {
@@ -80,6 +93,10 @@ impl MetaPool {
             unindexed: 0,
             quiet_lookups: 0,
             last_layer: LookupLayer::None,
+            quarantined: false,
+            poisoned: false,
+            violations: 0,
+            forced_reg_failures: 0,
         }
     }
 
@@ -239,6 +256,84 @@ impl MetaPool {
         self.stats = CheckStats::default();
     }
 
+    /// Whether the pool is currently quarantined (checks fail fast).
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Whether the pool is permanently poisoned.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Safety violations attributed to this pool so far.
+    pub fn violations(&self) -> u32 {
+        self.violations
+    }
+
+    /// Records a safety violation against this pool: the pool is
+    /// quarantined, and once the violation count reaches `budget` it is
+    /// permanently poisoned. Returns `true` if the pool is now poisoned.
+    pub fn note_violation(&mut self, budget: u32) -> bool {
+        self.violations = self.violations.saturating_add(1);
+        self.quarantined = true;
+        if self.violations >= budget {
+            self.poisoned = true;
+        }
+        self.poisoned
+    }
+
+    /// Lifts the quarantine so checks run again. Poisoned pools stay
+    /// fenced off; returns whether the release took effect.
+    pub fn release_quarantine(&mut self) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        self.quarantined = false;
+        true
+    }
+
+    /// Fault injection: makes the next `n` registrations fail as if the
+    /// underlying allocator were out of memory.
+    pub fn inject_reg_failures(&mut self, n: u32) {
+        self.forced_reg_failures = self.forced_reg_failures.saturating_add(n);
+    }
+
+    /// Fault injection: corrupts the pool metadata by deregistering one
+    /// live object (chosen by `seed`) and re-registering only its first
+    /// half — pointers into the tail become wild. All cache layers are
+    /// invalidated like a real drop so the corruption is coherent.
+    /// Returns `false` if the pool had no live objects to corrupt.
+    pub fn inject_corrupt_metadata(&mut self, seed: u64) -> bool {
+        let ranges = self.objects.iter_ranges();
+        if ranges.is_empty() {
+            return false;
+        }
+        let (start, end) = ranges[(seed as usize) % ranges.len()];
+        self.objects.remove(start);
+        if self.fast_path {
+            self.note_mutation(Some((start, end)));
+            self.index_remove(start, end);
+        }
+        let len = end - start;
+        if len > 1 && self.objects.insert(start, len / 2) && self.fast_path {
+            self.note_mutation(None);
+            self.index_insert(start, start + len / 2);
+        }
+        true
+    }
+
+    /// The fail-fast rejection every check returns while quarantined.
+    fn quarantine_reject(&mut self, addr: u64) -> CheckError {
+        self.stats.quarantine_rejects += 1;
+        let detail = if self.poisoned {
+            "pool poisoned after repeated violations"
+        } else {
+            "pool quarantined after a violation"
+        };
+        self.err(CheckKind::Quarantined, addr, detail)
+    }
+
     fn err(&self, kind: CheckKind, addr: u64, detail: impl Into<String>) -> CheckError {
         CheckError {
             kind,
@@ -255,6 +350,14 @@ impl MetaPool {
     /// objects or the compiler mis-sized a registration.
     pub fn reg_obj(&mut self, addr: u64, len: u64) -> Result<(), CheckError> {
         self.stats.registrations += 1;
+        if self.forced_reg_failures > 0 {
+            self.forced_reg_failures -= 1;
+            return Err(self.err(
+                CheckKind::BadRegistration,
+                addr,
+                "injected allocation failure",
+            ));
+        }
         // Zero-sized allocations register a 1-byte placeholder so that the
         // pointer identity stays checkable.
         let len = len.max(1);
@@ -300,6 +403,10 @@ impl MetaPool {
     /// `getbounds`: bounds of the object containing `addr`, if registered.
     pub fn get_bounds(&mut self, addr: u64) -> Option<(u64, u64)> {
         self.stats.get_bounds += 1;
+        if self.quarantined {
+            self.stats.quarantine_rejects += 1;
+            return None;
+        }
         self.lookup_obj(addr)
     }
 
@@ -315,6 +422,9 @@ impl MetaPool {
     /// the same object lookup.
     pub fn bounds_check(&mut self, src: u64, derived: u64) -> Result<(), CheckError> {
         self.stats.bounds_checks += 1;
+        if self.quarantined {
+            return Err(self.quarantine_reject(derived));
+        }
         match self.lookup_obj(src) {
             Some((start, end)) => {
                 if derived >= start && derived <= end {
@@ -351,6 +461,9 @@ impl MetaPool {
         end: u64,
     ) -> Result<(), CheckError> {
         self.stats.bounds_checks += 1;
+        if self.quarantined {
+            return Err(self.quarantine_reject(derived));
+        }
         if derived >= start && derived <= end {
             Ok(())
         } else {
@@ -367,6 +480,9 @@ impl MetaPool {
     /// ("useless", paper) on incomplete pools.
     pub fn ls_check(&mut self, addr: u64) -> Result<(), CheckError> {
         self.stats.ls_checks += 1;
+        if self.quarantined {
+            return Err(self.quarantine_reject(addr));
+        }
         if !self.complete {
             self.stats.reduced_skips += 1;
             return Ok(());
@@ -443,6 +559,35 @@ impl MetaPoolTable {
     /// Panics if `id` is out of range.
     pub fn pool_mut(&mut self, id: MetaPoolId) -> &mut MetaPool {
         &mut self.pools[id.0 as usize]
+    }
+
+    /// Access a pool without panicking on bad ids (hostile input paths).
+    pub fn pool_get(&self, id: MetaPoolId) -> Option<&MetaPool> {
+        self.pools.get(id.0 as usize)
+    }
+
+    /// Mutable access without panicking on bad ids.
+    pub fn pool_get_mut(&mut self, id: MetaPoolId) -> Option<&mut MetaPool> {
+        self.pools.get_mut(id.0 as usize)
+    }
+
+    /// Resolves a pool by its symbolic name (violation attribution; cold
+    /// path, linear scan).
+    pub fn find_by_name(&self, name: &str) -> Option<MetaPoolId> {
+        self.pools
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| MetaPoolId(i as u32))
+    }
+
+    /// Number of pools currently quarantined (including poisoned ones).
+    pub fn quarantined_count(&self) -> usize {
+        self.pools.iter().filter(|p| p.quarantined()).count()
+    }
+
+    /// Number of pools permanently poisoned.
+    pub fn poisoned_count(&self) -> usize {
+        self.pools.iter().filter(|p| p.poisoned()).count()
     }
 
     /// Registers an indirect-call target set, returning its set id.
@@ -749,6 +894,103 @@ mod tests {
         p.bounds_check(0x3000, 0x3010).unwrap();
         assert_eq!(p.stats().page_hits, 1);
         assert_eq!(p.stats().tree_walks, 4);
+    }
+
+    #[test]
+    fn quarantine_fails_checks_fast_but_keeps_registry_working() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        assert!(!p.note_violation(3));
+        assert!(p.quarantined());
+        // Every check fails fast with the distinct kind, without lookups.
+        let before = p.stats().lookups();
+        assert_eq!(
+            p.bounds_check(0x1000, 0x1010).unwrap_err().kind,
+            CheckKind::Quarantined
+        );
+        assert_eq!(p.ls_check(0x1010).unwrap_err().kind, CheckKind::Quarantined);
+        assert_eq!(
+            p.bounds_check_range(0x1000, 0x1010, 0x1040)
+                .unwrap_err()
+                .kind,
+            CheckKind::Quarantined
+        );
+        assert_eq!(p.get_bounds(0x1010), None);
+        assert_eq!(p.stats().lookups(), before);
+        assert_eq!(p.stats().quarantine_rejects, 4);
+        // The registry stays coherent: reg/drop still work under quarantine
+        // (the VM sweeps stack registrations during unwind).
+        p.reg_obj(0x2000, 16).unwrap();
+        p.drop_obj(0x2000).unwrap();
+        // Release restores normal checking.
+        assert!(p.release_quarantine());
+        p.bounds_check(0x1000, 0x1010).unwrap();
+    }
+
+    #[test]
+    fn violation_budget_poisons_permanently() {
+        let mut p = th_pool();
+        assert!(!p.note_violation(3));
+        p.release_quarantine();
+        assert!(!p.note_violation(3));
+        p.release_quarantine();
+        assert!(p.note_violation(3)); // third strike: poisoned
+        assert!(p.poisoned());
+        assert_eq!(p.violations(), 3);
+        assert!(!p.release_quarantine());
+        assert!(p.quarantined());
+        assert_eq!(
+            p.ls_check(0x1000).unwrap_err().detail,
+            "pool poisoned after repeated violations"
+        );
+    }
+
+    #[test]
+    fn injected_reg_failures_consume_then_clear() {
+        let mut p = th_pool();
+        p.inject_reg_failures(2);
+        assert_eq!(
+            p.reg_obj(0x1000, 16).unwrap_err().kind,
+            CheckKind::BadRegistration
+        );
+        assert_eq!(
+            p.reg_obj(0x1000, 16).unwrap_err().detail,
+            "injected allocation failure"
+        );
+        p.reg_obj(0x1000, 16).unwrap();
+        assert_eq!(p.live_objects(), 1);
+    }
+
+    #[test]
+    fn corrupt_metadata_shrinks_an_object_coherently() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        // Warm the caches so corruption must invalidate them.
+        p.ls_check(0x1030).unwrap();
+        p.ls_check(0x1030).unwrap();
+        assert!(p.inject_corrupt_metadata(0));
+        // The tail of the object is now wild in every layer.
+        assert_eq!(p.ls_check(0x1030).unwrap_err().kind, CheckKind::LoadStore);
+        // The head still checks out.
+        p.ls_check(0x1010).unwrap();
+        assert_eq!(p.get_bounds(0x1010), Some((0x1000, 0x1020)));
+        // An empty pool has nothing to corrupt.
+        let mut empty = th_pool();
+        assert!(!empty.inject_corrupt_metadata(7));
+    }
+
+    #[test]
+    fn table_finds_pools_by_name_and_counts_quarantines() {
+        let mut t = MetaPoolTable::new();
+        let a = t.add_pool(MetaPool::new("MP0", true, true, None));
+        let b = t.add_pool(MetaPool::new("MP1", false, true, None));
+        assert_eq!(t.find_by_name("MP1"), Some(b));
+        assert_eq!(t.find_by_name("nope"), None);
+        assert!(t.pool_get(MetaPoolId(99)).is_none());
+        t.pool_mut(a).note_violation(1);
+        t.pool_mut(b).note_violation(3);
+        assert_eq!(t.quarantined_count(), 2);
+        assert_eq!(t.poisoned_count(), 1);
     }
 
     #[test]

@@ -71,11 +71,13 @@ pub enum EventClass {
     Irq,
     /// A safety check fired.
     Violation,
+    /// Violation containment: recovery unwind or pool quarantine.
+    Recovery,
 }
 
 impl EventClass {
     /// All classes (for "pin everything" configurations).
-    pub const ALL: [EventClass; 7] = [
+    pub const ALL: [EventClass; 8] = [
         EventClass::Inst,
         EventClass::Os,
         EventClass::Check,
@@ -83,6 +85,7 @@ impl EventClass {
         EventClass::Syscall,
         EventClass::Irq,
         EventClass::Violation,
+        EventClass::Recovery,
     ];
 
     pub(crate) fn bit(self) -> u16 {
@@ -178,6 +181,27 @@ pub enum TraceEvent {
         /// Human-readable context (object bounds, target set, ...).
         detail: String,
     },
+    /// A kernel-mode violation was contained: the machine unwound to the
+    /// registered recovery context instead of halting.
+    RecoverUnwind {
+        /// The resume code handed to the recovery continuation (packed
+        /// check kind / pool / icontext, see DESIGN.md §4.3).
+        code: u64,
+        /// Metapool id the violation was attributed to, or [`u32::MAX`]
+        /// when no pool was involved (static ranges, funcsets).
+        pool: u32,
+        /// Whether the pool crossed its violation budget on this unwind.
+        poisoned: bool,
+    },
+    /// A metapool's quarantine state changed after a violation.
+    PoolQuarantine {
+        /// Metapool id.
+        pool: u32,
+        /// Violations attributed to the pool so far.
+        violations: u32,
+        /// Whether the pool is now permanently poisoned.
+        poisoned: bool,
+    },
 }
 
 impl TraceEvent {
@@ -191,6 +215,9 @@ impl TraceEvent {
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => EventClass::Syscall,
             TraceEvent::IrqDeliver { .. } => EventClass::Irq,
             TraceEvent::Violation { .. } => EventClass::Violation,
+            TraceEvent::RecoverUnwind { .. } | TraceEvent::PoolQuarantine { .. } => {
+                EventClass::Recovery
+            }
         }
     }
 }
@@ -302,6 +329,22 @@ impl TimedEvent {
                 json_escape(pool),
                 json_escape(detail)
             ),
+            RecoverUnwind {
+                code,
+                pool,
+                poisoned,
+            } => format!(
+                "{{\"ts\":{ts},\"ev\":\"recover\",\"code\":{code},\"pool\":{pool},\
+                 \"poisoned\":{poisoned}}}"
+            ),
+            PoolQuarantine {
+                pool,
+                violations,
+                poisoned,
+            } => format!(
+                "{{\"ts\":{ts},\"ev\":\"quarantine\",\"pool\":{pool},\
+                 \"violations\":{violations},\"poisoned\":{poisoned}}}"
+            ),
         }
     }
 
@@ -373,6 +416,16 @@ impl TimedEvent {
                 pool: s("pool")?.to_string(),
                 addr: num("addr")? as u64,
                 detail: s("detail")?.to_string(),
+            },
+            "recover" => TraceEvent::RecoverUnwind {
+                code: num("code")? as u64,
+                pool: num("pool")? as u32,
+                poisoned: b("poisoned")?,
+            },
+            "quarantine" => TraceEvent::PoolQuarantine {
+                pool: num("pool")? as u32,
+                violations: num("violations")? as u32,
+                poisoned: b("poisoned")?,
             },
             _ => return None,
         };
@@ -540,6 +593,22 @@ mod tests {
                     pool: "MP4".into(),
                     addr: 0xdead,
                     detail: "object [0x1000, 0x1040) \"quoted\"\nline".into(),
+                },
+            },
+            TimedEvent {
+                ts: 100,
+                event: TraceEvent::RecoverUnwind {
+                    code: 0x0001_0002_0006,
+                    pool: 4,
+                    poisoned: false,
+                },
+            },
+            TimedEvent {
+                ts: 101,
+                event: TraceEvent::PoolQuarantine {
+                    pool: 4,
+                    violations: 3,
+                    poisoned: true,
                 },
             },
         ]

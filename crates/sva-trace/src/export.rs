@@ -124,6 +124,30 @@ pub fn to_chrome_trace(tracer: &RingTracer) -> String {
                     json_escape(detail)
                 ));
             }
+            TraceEvent::RecoverUnwind {
+                code,
+                pool,
+                poisoned,
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"RECOVER unwind\",\"cat\":\"recovery\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"g\",\"args\":{{\"code\":{code},\
+                     \"pool\":\"{}\",\"poisoned\":{poisoned}}}}}",
+                    json_escape(&tracer.pool_name(*pool))
+                ));
+            }
+            TraceEvent::PoolQuarantine {
+                pool,
+                violations,
+                poisoned,
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"QUARANTINE\",\"cat\":\"recovery\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"g\",\"args\":{{\"pool\":\"{}\",\
+                     \"violations\":{violations},\"poisoned\":{poisoned}}}}}",
+                    json_escape(&tracer.pool_name(*pool))
+                ));
+            }
         }
     }
     format!(

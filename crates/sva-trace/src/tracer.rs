@@ -124,6 +124,10 @@ pub struct Profile {
     pub attributed_cycles: u64,
     /// Violations observed.
     pub violations: u64,
+    /// Recovery unwinds observed (contained kernel-mode violations).
+    pub recoveries: u64,
+    /// Quarantine transitions observed (quarantine or poison).
+    pub quarantines: u64,
 }
 
 impl Profile {
@@ -175,6 +179,12 @@ impl Profile {
             }
             TraceEvent::Violation { .. } => {
                 self.violations += 1;
+            }
+            TraceEvent::RecoverUnwind { .. } => {
+                self.recoveries += 1;
+            }
+            TraceEvent::PoolQuarantine { .. } => {
+                self.quarantines += 1;
             }
         }
     }

@@ -6,7 +6,11 @@
 //! system-call dispatch. Under [`KernelKind::SvaSafe`] the run-time
 //! metapool checks from `sva-rt` are live and any violation stops the
 //! machine with [`VmError::Safety`] instead of letting the guest kernel
-//! corrupt memory.
+//! corrupt memory — or, when the kernel has registered a recovery
+//! context with `sva.recover.register`, unwinds to it with the offending
+//! metapool quarantined (DESIGN.md §4.3). A [`FaultHook`] on
+//! [`VmConfig`] lets deterministic fault-injection campaigns perturb the
+//! machine at trap boundaries.
 
 pub mod mem;
 pub mod vm;
@@ -17,8 +21,8 @@ pub use mem::{
 };
 pub use sva_trace::{NullTracer, RingTracer, Tracer};
 pub use vm::{
-    KernelKind, Vm, VmConfig, VmError, VmExit, VmStats, CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER,
-    REG_CYCLES, USTACK_SIZE,
+    FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit, VmStats,
+    CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, USTACK_SIZE,
 };
 
 #[cfg(test)]

@@ -73,6 +73,11 @@ pub enum VmError {
     BadSignature,
     /// Execution exceeded the configured fuel limit.
     OutOfFuel,
+    /// `sva.recover.unwind` without a registered recovery context.
+    NoRecoveryContext,
+    /// Broken VM invariant surfaced as a structured error instead of a
+    /// host panic (malformed inputs must never abort the host process).
+    Internal(&'static str),
     /// Malformed module or unsupported construct.
     Unsupported(String),
 }
@@ -95,6 +100,8 @@ impl std::fmt::Display for VmError {
             VmError::NotVerified => write!(f, "safety enforcement requires verified bytecode"),
             VmError::BadSignature => write!(f, "native code cache signature mismatch"),
             VmError::OutOfFuel => write!(f, "execution exceeded fuel limit"),
+            VmError::NoRecoveryContext => write!(f, "no recovery context registered"),
+            VmError::Internal(s) => write!(f, "internal VM invariant violated: {s}"),
             VmError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
     }
@@ -158,7 +165,7 @@ impl KernelKind {
 }
 
 /// VM construction options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct VmConfig {
     /// Kernel configuration.
     pub kind: KernelKind,
@@ -171,6 +178,25 @@ pub struct VmConfig {
     /// index in front of the splay tree). On by default; benchmarks disable
     /// it to measure the splay-only baseline.
     pub fast_path: bool,
+    /// Safety violations a metapool may absorb while recovery is registered
+    /// before it is permanently poisoned (DESIGN.md §4.3).
+    pub violation_budget: u32,
+    /// Deterministic fault-injection hook consulted at every user→kernel
+    /// trap. `None` (the default) leaves the machine untouched.
+    pub fault_hook: Option<Arc<dyn FaultHook>>,
+}
+
+impl std::fmt::Debug for VmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmConfig")
+            .field("kind", &self.kind)
+            .field("sign_key", &self.sign_key)
+            .field("fuel", &self.fuel)
+            .field("fast_path", &self.fast_path)
+            .field("violation_budget", &self.violation_budget)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
 }
 
 impl Default for VmConfig {
@@ -180,8 +206,64 @@ impl Default for VmConfig {
             sign_key: 0x57a,
             fuel: u64::MAX,
             fast_path: true,
+            violation_budget: 3,
+            fault_hook: None,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (DESIGN.md §4.3).
+// ---------------------------------------------------------------------------
+
+/// Observation point handed to a [`FaultHook`] on each user→kernel trap,
+/// before the handler frame is built.
+#[derive(Clone, Copy, Debug)]
+pub struct TrapInfo<'a> {
+    /// Ordinal of this trap since boot — the deterministic schedule key.
+    pub trap_index: u64,
+    /// Syscall number being dispatched.
+    pub syscall: i64,
+    /// Handler arguments as passed from user mode.
+    pub args: &'a [u64],
+}
+
+/// What a [`FaultHook`] asks the machine to perturb at a trap boundary.
+///
+/// Every field defaults to "do nothing"; a hook returns a default action
+/// to let the trap through untouched.
+#[derive(Clone, Debug, Default)]
+pub struct FaultAction {
+    /// Overwrite handler argument `index` with `value` before the handler
+    /// frame is built (wild kernel pointers, bad lengths).
+    pub mutate_args: Vec<(usize, u64)>,
+    /// Skew the result of the next `count` kernel-mode GEPs by `delta`
+    /// bytes: `(count, delta)`.
+    pub gep_skew: Option<(u32, i64)>,
+    /// After handler entry, model a kernel dereference of the given
+    /// address through the given pool's load/store check: `(pool, addr)`.
+    /// A failing check takes the normal safety-violation path.
+    pub probe_stale: Option<(u32, u64)>,
+    /// Corrupt the given pool's object metadata deterministically:
+    /// `(pool, seed)`.
+    pub corrupt_pool: Option<(u32, u64)>,
+    /// Force the next `n` object registrations in the pool to fail as if
+    /// allocation metadata ran out: `(pool, n)`.
+    pub fail_allocs: Option<(u32, u32)>,
+    /// Queue this many vector-0 interrupts (IRQ storm mid-syscall).
+    pub raise_irqs: u32,
+}
+
+/// A deterministic fault-injection plan applied at VM boundaries.
+///
+/// Implementations must be pure functions of their construction seed and
+/// the [`TrapInfo`] stream so campaigns replay bit-identically.
+pub trait FaultHook: Send + Sync {
+    /// Consulted on every user→kernel trap.
+    fn on_trap(&self, info: &TrapInfo<'_>) -> FaultAction;
+    /// Notified when an object is dropped from a pool, letting plans learn
+    /// stale addresses for later use-after-free probes.
+    fn on_pool_drop(&self, _pool: u32, _addr: u64) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +489,22 @@ struct SavedState {
     save_dst: Option<u32>,
 }
 
+/// Recovery context registered by `sva.recover.register` (setjmp-like;
+/// DESIGN.md §4.3). A kernel-mode safety violation unwinds the thread back
+/// to this snapshot instead of terminating the machine.
+#[derive(Clone, Debug)]
+struct RecoveryCtx {
+    frames: Vec<Frame>,
+    icid: Option<u32>,
+    asid: u32,
+    ksp: u64,
+    usp: u64,
+    kstack: Vec<u8>,
+    /// Register that receives 0 at registration and the packed resume code
+    /// on every unwind.
+    dst: Option<u32>,
+}
+
 /// An interrupt context (paper §3.3): the interrupted control state handed
 /// to the kernel on a trap.
 #[derive(Clone, Debug)]
@@ -475,6 +573,12 @@ pub struct VmStats {
     pub page_hits: u64,
     /// Metapool lookups that walked the splay tree.
     pub tree_walks: u64,
+    /// Kernel-mode safety violations absorbed by a recovery context.
+    pub violations_recovered: u64,
+    /// Metapools placed under quarantine after a violation.
+    pub pools_quarantined: u64,
+    /// Metapools permanently poisoned after exhausting their budget.
+    pub pools_poisoned: u64,
 }
 
 /// The Secure Virtual Machine instance.
@@ -503,6 +607,12 @@ pub struct Vm<T: Tracer = NullTracer> {
     fuel: u64,
     halted: Option<u64>,
     pending_irq: std::collections::VecDeque<i64>,
+    /// Registered violation-recovery snapshot, if any.
+    recovery: Option<RecoveryCtx>,
+    /// Armed GEP skew `(remaining count, delta)` from a fault action.
+    gep_skew: Option<(u32, i64)>,
+    /// User→kernel traps taken since boot (fault-plan schedule key).
+    trap_count: u64,
     tracer: T,
 }
 
@@ -579,7 +689,10 @@ impl<T: Tracer> Vm<T> {
         // Metapool runtime from the annotations.
         let mut pools = MetaPoolTable::new();
         if cfg.kind.checks() {
-            let pa = module.pool_annotations.as_ref().unwrap();
+            let pa = module
+                .pool_annotations
+                .as_ref()
+                .ok_or(VmError::NotVerified)?;
             for d in &pa.metapools {
                 // Function types are unsized; a pool whose element type is
                 // a function (e.g. one inferred behind a fops table) gets
@@ -649,6 +762,7 @@ impl<T: Tracer> Vm<T> {
             Vec::new()
         };
 
+        let fuel = cfg.fuel;
         let mut vm = Vm {
             mem,
             code: Arc::new(CodeImage {
@@ -666,9 +780,12 @@ impl<T: Tracer> Vm<T> {
             pools,
             console: Vec::new(),
             stats: VmStats::default(),
-            fuel: cfg.fuel,
+            fuel,
             halted: None,
             pending_irq: std::collections::VecDeque::new(),
+            recovery: None,
+            gep_skew: None,
+            trap_count: 0,
             tracer,
         };
         if T::ENABLED {
@@ -810,7 +927,9 @@ impl<T: Tracer> Vm<T> {
         let mut regs = vec![0u64; nvals];
         for (i, a) in args.iter().enumerate() {
             if i < f.params.len() {
-                regs[f.params[i].0 as usize] = *a;
+                if let Some(r) = regs.get_mut(f.params[i].0 as usize) {
+                    *r = *a;
+                }
             }
         }
         let sp_saved = match mode {
@@ -939,11 +1058,117 @@ impl<T: Tracer> Vm<T> {
                     );
                 }
             }
+            // Violation recovery (DESIGN.md §4.3): a kernel-mode safety
+            // violation with a registered recovery context is absorbed —
+            // the offending pool is quarantined and the thread unwinds to
+            // the snapshot instead of the error escaping `run`. With no
+            // context registered this arm never fires and the machine is
+            // exactly the pre-recovery machine.
+            let step = match step {
+                Err(VmError::Safety(e))
+                    if self.recovery.is_some() && self.mode() == Mode::Kernel =>
+                {
+                    self.recover_from(&e)
+                }
+                other => other,
+            };
             match step? {
                 StepOut::Continue => {}
                 StepOut::Exit(e) => return Ok(e),
             }
         }
+    }
+
+    /// Absorbs a kernel-mode safety violation: attributes it to a metapool
+    /// (quarantining, and poisoning past the budget), then unwinds the
+    /// thread to the registered recovery snapshot with a packed resume
+    /// code describing what happened.
+    fn recover_from(&mut self, e: &sva_rt::CheckError) -> Result<StepOut, VmError> {
+        // Function sets ("funcset{N}") and the static range carry pool
+        // names that are not metapools; those violations unwind without a
+        // quarantine target.
+        let pool_id = self.pools.find_by_name(&e.pool);
+        let mut poisoned = false;
+        if let Some(pid) = pool_id {
+            let budget = self.cfg.violation_budget;
+            let pool = self.pools.pool_mut(pid);
+            let was_poisoned = pool.poisoned();
+            let was_quarantined = pool.quarantined();
+            poisoned = pool.note_violation(budget);
+            if !was_quarantined {
+                self.stats.pools_quarantined += 1;
+            }
+            if poisoned && !was_poisoned {
+                self.stats.pools_poisoned += 1;
+            }
+            if T::ENABLED {
+                let violations = self.pools.pool(pid).violations();
+                let ts = self.stats.cycles;
+                self.tracer.record(
+                    ts,
+                    TraceEvent::PoolQuarantine {
+                        pool: pid.0,
+                        violations,
+                        poisoned,
+                    },
+                );
+            }
+        }
+        // The resume code captures the interrupted icontext *before* the
+        // unwind resets `icid`, so the handler can still iret the faulting
+        // user thread.
+        let code = encode_resume_code(e.kind, pool_id.map(|p| p.0), self.thread.icid, poisoned);
+        self.stats.violations_recovered += 1;
+        self.unwind_to_recovery(code)?;
+        if T::ENABLED {
+            let ts = self.stats.cycles;
+            self.tracer.record(
+                ts,
+                TraceEvent::RecoverUnwind {
+                    code,
+                    pool: pool_id.map(|p| p.0).unwrap_or(u32::MAX),
+                    poisoned,
+                },
+            );
+        }
+        Ok(StepOut::Continue)
+    }
+
+    /// Restores the thread to the registered recovery snapshot (the
+    /// longjmp half of `sva.recover.register`), writing `code` into the
+    /// snapshot's result register. Mirrors the `llva.load.integer` restore
+    /// sequence: kernel stack bytes, address space, and the snapshot
+    /// frames' stack registrations all come back.
+    fn unwind_to_recovery(&mut self, code: u64) -> Result<(), VmError> {
+        let rc = self.recovery.clone().ok_or(VmError::NoRecoveryContext)?;
+        self.stats.cycles += 32 + rc.frames.len() as u64 * 8;
+        self.stats.context_switches += 1;
+        self.mem
+            .write_bytes(KSTACK_BASE, &rc.kstack, Mode::Kernel)?;
+        self.mem.load_space(rc.asid)?;
+        self.sweep_stack_regs();
+        for fr in &rc.frames {
+            for (mp, addr, len) in &fr.stack_regs {
+                let _ = self
+                    .pools
+                    .pool_mut(sva_rt::MetaPoolId(*mp))
+                    .reg_obj(*addr, *len);
+            }
+        }
+        self.thread.frames = rc.frames;
+        self.thread.icid = rc.icid;
+        self.thread.asid = rc.asid;
+        self.thread.ksp = rc.ksp;
+        self.thread.usp = rc.usp;
+        if let Some(d) = rc.dst {
+            let fr = self
+                .thread
+                .frames
+                .last_mut()
+                .ok_or(VmError::Internal("recovery snapshot has no frames"))?;
+            fr.regs[d as usize] = code;
+        }
+        Ok(())
     }
 
     /// Static name of the instruction the current frame is about to
@@ -969,7 +1194,11 @@ impl<T: Tracer> Vm<T> {
     }
 
     fn step_flat(&mut self, code: &CodeImage) -> Result<StepOut, VmError> {
-        let fr = self.thread.frames.last_mut().expect("frame");
+        let fr = self
+            .thread
+            .frames
+            .last_mut()
+            .ok_or(VmError::Internal("step with empty frame stack"))?;
         let func = fr.func as usize;
         let pc = fr.pc as usize;
         let op = &code.flat[func].ops[pc];
@@ -1017,13 +1246,23 @@ impl<T: Tracer> Vm<T> {
                     let idx = sext_w(src!(s), *w);
                     addr += idx.wrapping_mul(*scale as i64);
                 }
+                if self.gep_skew.is_some() && fr.mode == Mode::Kernel {
+                    if let Some((n, delta)) = self.gep_skew {
+                        addr = addr.wrapping_add(delta);
+                        self.gep_skew = if n > 1 { Some((n - 1, delta)) } else { None };
+                    }
+                }
                 fr.regs[*dst as usize] = addr as u64;
             }
             FlatOp::Load { dst, ptr, w } => {
                 let addr = src!(ptr);
                 let mode = fr.mode;
                 let v = self.mem.read_uint(addr, *w as u64, mode)?;
-                let fr = self.thread.frames.last_mut().unwrap();
+                let fr = self
+                    .thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("load with no frame"))?;
                 fr.regs[*dst as usize] = v;
             }
             FlatOp::Store { val, ptr, w } => {
@@ -1041,7 +1280,11 @@ impl<T: Tracer> Vm<T> {
                 let dst = *dst;
                 let (elem, align) = (*elem, *align);
                 let addr = self.alloca(elem * n, align)?;
-                self.thread.frames.last_mut().unwrap().regs[dst as usize] = addr;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("alloca with no frame"))?
+                    .regs[dst as usize] = addr;
             }
             FlatOp::Call { dst, callee, args } => {
                 let argv: Vec<u64> = args.iter().map(|a| src!(a)).collect();
@@ -1078,7 +1321,11 @@ impl<T: Tracer> Vm<T> {
                     AtomicOp::Xchg => v,
                 };
                 self.mem.write_uint(addr, w as u64, newv, mode)?;
-                self.thread.frames.last_mut().unwrap().regs[dst as usize] = old;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("atomic with no frame"))?
+                    .regs[dst as usize] = old;
             }
             FlatOp::CmpXchg {
                 dst,
@@ -1094,7 +1341,11 @@ impl<T: Tracer> Vm<T> {
                 if old == e {
                     self.mem.write_uint(addr, w as u64, n, mode)?;
                 }
-                self.thread.frames.last_mut().unwrap().regs[dst as usize] = old;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("cmpxchg with no frame"))?
+                    .regs[dst as usize] = old;
             }
             FlatOp::Fence => {}
             FlatOp::Br { pc, from } => {
@@ -1130,12 +1381,34 @@ impl<T: Tracer> Vm<T> {
     }
 
     fn step_tree(&mut self, code: &CodeImage) -> Result<StepOut, VmError> {
-        let fr = self.thread.frames.last_mut().expect("frame");
-        let func = &code.module.funcs[fr.func as usize];
-        let block = &func.blocks[fr.block as usize];
-        let iid = block.insts[fr.idx as usize];
-        let inst = func.inst(iid);
-        let result = func.result_of(iid).map(|v| v.0);
+        let fr = self
+            .thread
+            .frames
+            .last_mut()
+            .ok_or(VmError::Internal("step with empty frame stack"))?;
+        let func = code
+            .module
+            .funcs
+            .get(fr.func as usize)
+            .ok_or(VmError::Internal("frame references bad function"))?;
+        let block = func
+            .blocks
+            .get(fr.block as usize)
+            .ok_or(VmError::Internal("frame references bad block"))?;
+        let iid = *block
+            .insts
+            .get(fr.idx as usize)
+            .ok_or(VmError::Internal("frame pc past end of block"))?;
+        let inst = func
+            .insts
+            .get(iid.0 as usize)
+            .ok_or(VmError::Internal("block references bad instruction"))?;
+        let result = func
+            .inst_results
+            .get(iid.0 as usize)
+            .copied()
+            .flatten()
+            .map(|v| v.0);
         fr.idx += 1;
         // Resolve an operand against the current frame/module.
         let m = &code.module;
@@ -1193,6 +1466,12 @@ impl<T: Tracer> Vm<T> {
                         _ => return Err(VmError::Unsupported("bad gep".into())),
                     }
                 }
+                if self.gep_skew.is_some() && fr.mode == Mode::Kernel {
+                    if let Some((n, delta)) = self.gep_skew {
+                        addr = addr.wrapping_add(delta);
+                        self.gep_skew = if n > 1 { Some((n - 1, delta)) } else { None };
+                    }
+                }
                 fr.regs[result.unwrap() as usize] = addr as u64;
             }
             Inst::Load { ptr } => {
@@ -1201,7 +1480,11 @@ impl<T: Tracer> Vm<T> {
                 let addr = opd!(ptr);
                 let mode = fr.mode;
                 let v = self.mem.read_uint(addr, w as u64, mode)?;
-                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = v;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("load with no frame"))?
+                    .regs[result.unwrap() as usize] = v;
             }
             Inst::Store { val, ptr } => {
                 let vty = func.operand_type(val, m);
@@ -1214,7 +1497,11 @@ impl<T: Tracer> Vm<T> {
                 let layout = m.types.layout(*ty);
                 let n = opd!(count);
                 let addr = self.alloca(layout.size * n, layout.align)?;
-                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = addr;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("alloca with no frame"))?
+                    .regs[result.unwrap() as usize] = addr;
             }
             Inst::Call { callee, args } => {
                 let argv: Vec<u64> = args.iter().map(|a| opd!(a)).collect();
@@ -1253,7 +1540,11 @@ impl<T: Tracer> Vm<T> {
                     AtomicOp::Xchg => v,
                 };
                 self.mem.write_uint(addr, w as u64, newv, mode)?;
-                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = old;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("atomic with no frame"))?
+                    .regs[result.unwrap() as usize] = old;
             }
             Inst::CmpXchg { ptr, expected, new } => {
                 let pty = func.operand_type(ptr, m);
@@ -1264,7 +1555,11 @@ impl<T: Tracer> Vm<T> {
                 if old == e {
                     self.mem.write_uint(addr, w as u64, n, mode)?;
                 }
-                self.thread.frames.last_mut().unwrap().regs[result.unwrap() as usize] = old;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("cmpxchg with no frame"))?
+                    .regs[result.unwrap() as usize] = old;
             }
             Inst::Fence => {}
             Inst::Br { target } => {
@@ -1326,7 +1621,13 @@ impl<T: Tracer> Vm<T> {
             }
             FlatCallee::Indirect(s) => {
                 let addr = match s {
-                    Src::Reg(r) => self.thread.frames.last().unwrap().regs[r as usize],
+                    Src::Reg(r) => {
+                        self.thread
+                            .frames
+                            .last()
+                            .ok_or(VmError::Internal("indirect call with no frame"))?
+                            .regs[r as usize]
+                    }
                     Src::Imm(v) => v,
                 };
                 let f = addr_func(addr).ok_or(VmError::BadIndirect(addr))?;
@@ -1343,7 +1644,11 @@ impl<T: Tracer> Vm<T> {
     }
 
     fn do_ret(&mut self, v: u64) -> Result<StepOut, VmError> {
-        let fr = self.thread.frames.pop().expect("frame");
+        let fr = self
+            .thread
+            .frames
+            .pop()
+            .ok_or(VmError::Internal("return with empty frame stack"))?;
         // Auto-drop stack registrations (frame-pop sweep).
         for (mp, addr, _len) in &fr.stack_regs {
             let _ = self.pools.pool_mut(sva_rt::MetaPoolId(*mp)).drop_obj(*addr);
@@ -1406,10 +1711,15 @@ impl<T: Tracer> Vm<T> {
         if i.privileged() && self.mode() == Mode::User {
             return Err(VmError::Privilege { addr: 0 });
         }
-        let set = |vm: &mut Vm<T>, v: u64| {
+        let set = |vm: &mut Vm<T>, v: u64| -> Result<(), VmError> {
             if let Some(d) = dst {
-                vm.thread.frames.last_mut().unwrap().regs[d as usize] = v;
+                vm.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("intrinsic result with no frame"))?
+                    .regs[d as usize] = v;
             }
+            Ok(())
         };
         let arg = |n: usize| args.get(n).copied().unwrap_or(0);
         match i {
@@ -1431,7 +1741,7 @@ impl<T: Tracer> Vm<T> {
                 };
                 self.stats.cycles += 32 + st.frames.len() as u64 * 8;
                 self.int_state.insert(buf, st);
-                set(self, 1);
+                set(self, 1)?;
             }
             LoadInteger => {
                 let buf = arg(0);
@@ -1462,7 +1772,11 @@ impl<T: Tracer> Vm<T> {
                 self.thread.asid = st.asid;
                 self.thread.ksp = st.ksp;
                 if let Some(d) = st.save_dst {
-                    self.thread.frames.last_mut().unwrap().regs[d as usize] = 0;
+                    self.thread
+                        .frames
+                        .last_mut()
+                        .ok_or(VmError::Internal("restored state has no frames"))?
+                        .regs[d as usize] = 0;
                 }
             }
             SaveFp => {
@@ -1479,7 +1793,7 @@ impl<T: Tracer> Vm<T> {
             // ---- Table 2: interrupt contexts ----
             IcontextGet => {
                 let icid = self.thread.icid.map(|i| i as u64).unwrap_or(u64::MAX);
-                set(self, icid);
+                set(self, icid)?;
             }
             IcontextSave => {
                 let (icp, isp) = (arg(0), arg(1));
@@ -1537,7 +1851,7 @@ impl<T: Tracer> Vm<T> {
             WasPrivileged => {
                 let icp = arg(0);
                 let p = self.icontext(icp)?.privileged;
-                set(self, p as u64);
+                set(self, p as u64)?;
             }
             IcontextNew => {
                 let (isp, asid) = (arg(0), arg(1) as u32);
@@ -1561,7 +1875,7 @@ impl<T: Tracer> Vm<T> {
                 ic.asid = asid;
                 ic.live = true;
                 let icid = self.push_icontext(ic);
-                set(self, icid as u64);
+                set(self, icid as u64)?;
             }
             IcontextSetEntry => {
                 let (icp, faddr, a0) = (arg(0), arg(1), arg(2));
@@ -1605,7 +1919,7 @@ impl<T: Tracer> Vm<T> {
             }
             IoRead => {
                 let v = self.io_read(arg(0));
-                set(self, v);
+                set(self, v)?;
             }
             IoWrite => {
                 self.io_write(arg(0), arg(1));
@@ -1623,7 +1937,7 @@ impl<T: Tracer> Vm<T> {
             MmuNewSpace => {
                 let asid = self.mem.new_space();
                 self.stats.cycles += PAGE_SIZE / 64;
-                set(self, asid as u64);
+                set(self, asid as u64)?;
             }
             MmuLoadSpace => {
                 let asid = arg(0) as u32;
@@ -1645,10 +1959,10 @@ impl<T: Tracer> Vm<T> {
             Iret => {
                 self.iret(arg(0), arg(1))?;
             }
-            CpuId => set(self, 0),
+            CpuId => set(self, 0)?,
             GetTimer => {
                 let c = self.stats.cycles;
-                set(self, c);
+                set(self, c)?;
             }
             // ---- safety runtime ----
             PchkRegObj => {
@@ -1677,7 +1991,7 @@ impl<T: Tracer> Vm<T> {
                     self.thread
                         .frames
                         .last_mut()
-                        .unwrap()
+                        .ok_or(VmError::Internal("stack registration with no frame"))?
                         .stack_regs
                         .push((mp, addr, len));
                 }
@@ -1699,6 +2013,11 @@ impl<T: Tracer> Vm<T> {
                 // Remove from the frame sweep if it was a stack object.
                 if let Some(fr) = self.thread.frames.last_mut() {
                     fr.stack_regs.retain(|(m, a, _)| !(*m == mp && *a == addr));
+                }
+                // Fault plans learn freed addresses here for later
+                // use-after-free probes.
+                if let Some(hook) = &self.cfg.fault_hook {
+                    hook.on_pool_drop(mp, addr);
                 }
             }
             BoundsCheck => {
@@ -1784,7 +2103,7 @@ impl<T: Tracer> Vm<T> {
             PseudoAlloc => {
                 // Returns a pointer to the manufactured range; registration
                 // is a separate pchk.reg.obj inserted by the compiler.
-                set(self, arg(0));
+                set(self, arg(0))?;
             }
             // ---- memory intrinsics ----
             MemCpy | MemMove => {
@@ -1798,6 +2117,54 @@ impl<T: Tracer> Vm<T> {
                 let mode = self.mode();
                 self.mem.set_bytes(d, b as u8, n, mode)?;
                 self.stats.cycles += n / 8;
+            }
+            // ---- violation recovery (DESIGN.md §4.3) ----
+            RecoverRegister => {
+                let kstack = self.mem.read_bytes(
+                    KSTACK_BASE,
+                    self.thread.ksp - KSTACK_BASE,
+                    Mode::Kernel,
+                )?;
+                let rc = RecoveryCtx {
+                    frames: self.thread.frames.clone(),
+                    icid: self.thread.icid,
+                    asid: self.thread.asid,
+                    ksp: self.thread.ksp,
+                    usp: self.thread.usp,
+                    kstack,
+                    dst,
+                };
+                self.stats.cycles += 32 + rc.frames.len() as u64 * 8;
+                self.recovery = Some(rc);
+                set(self, 0)?;
+            }
+            RecoverUnwind => {
+                if self.recovery.is_none() {
+                    return Err(VmError::NoRecoveryContext);
+                }
+                // Resume codes are nonzero by construction so the handler
+                // can distinguish unwind from registration.
+                let code = arg(0).max(1);
+                self.unwind_to_recovery(code)?;
+                if T::ENABLED {
+                    let ts = self.stats.cycles;
+                    self.tracer.record(
+                        ts,
+                        TraceEvent::RecoverUnwind {
+                            code,
+                            pool: u32::MAX,
+                            poisoned: false,
+                        },
+                    );
+                }
+            }
+            RecoverRelease => {
+                let ok = self
+                    .pools
+                    .pool_get_mut(sva_rt::MetaPoolId(arg(0) as u32))
+                    .map(|p| p.release_quarantine())
+                    .unwrap_or(false);
+                set(self, ok as u64)?;
             }
             // ---- diagnostics ----
             Print => {
@@ -1935,6 +2302,32 @@ impl<T: Tracer> Vm<T> {
             }
             Mode::User => {
                 self.stats.traps += 1;
+                // Fault injection observes every user→kernel trap; the
+                // returned action perturbs the machine around handler entry.
+                let action = if let Some(hook) = self.cfg.fault_hook.clone() {
+                    let info = TrapInfo {
+                        trap_index: self.trap_count,
+                        syscall: num,
+                        args: hargs,
+                    };
+                    Some(hook.on_trap(&info))
+                } else {
+                    None
+                };
+                self.trap_count += 1;
+                let mut mutated;
+                let hargs = match &action {
+                    Some(a) if !a.mutate_args.is_empty() => {
+                        mutated = hargs.to_vec();
+                        for (idx, v) in &a.mutate_args {
+                            if let Some(slot) = mutated.get_mut(*idx) {
+                                *slot = *v;
+                            }
+                        }
+                        &mutated[..]
+                    }
+                    _ => hargs,
+                };
                 // Trap: move the user computation into an interrupt context
                 // and start the kernel handler.
                 // The SVA-OS entry path saves a *subset* of control state
@@ -1966,9 +2359,46 @@ impl<T: Tracer> Vm<T> {
                 self.thread.ksp = KSTACK_BASE;
                 let frame = self.frame_for_call(handler, hargs, None, Mode::Kernel)?;
                 self.thread.frames.push(frame);
+                // Now in kernel mode: apply the rest of the action. A
+                // failing stale probe takes the normal safety-violation
+                // path out of this step.
+                if let Some(a) = action {
+                    self.apply_fault_action(a)?;
+                }
             }
         }
         Ok(StepOut::Continue)
+    }
+
+    /// Applies a [`FaultAction`] after handler entry (kernel mode).
+    fn apply_fault_action(&mut self, a: FaultAction) -> Result<(), VmError> {
+        if let Some((count, delta)) = a.gep_skew {
+            if count > 0 {
+                self.gep_skew = Some((count, delta));
+            }
+        }
+        if let Some((pool, seed)) = a.corrupt_pool {
+            if let Some(p) = self.pools.pool_get_mut(sva_rt::MetaPoolId(pool)) {
+                p.inject_corrupt_metadata(seed);
+            }
+        }
+        if let Some((pool, n)) = a.fail_allocs {
+            if let Some(p) = self.pools.pool_get_mut(sva_rt::MetaPoolId(pool)) {
+                p.inject_reg_failures(n);
+            }
+        }
+        for _ in 0..a.raise_irqs {
+            self.pending_irq.push_back(0);
+        }
+        if let Some((pool, addr)) = a.probe_stale {
+            // Model a kernel dereference of a stale/wild pointer through
+            // the load/store check the verifier would have inserted.
+            self.stats.cycles += CHECK_CYCLES;
+            if let Some(p) = self.pools.pool_get_mut(sva_rt::MetaPoolId(pool)) {
+                p.ls_check(addr).map_err(VmError::Safety)?;
+            }
+        }
+        Ok(())
     }
 
     /// Drops the metapool registrations of every stack object owned by the
@@ -2053,6 +2483,40 @@ pub const PORT_TIMER: u64 = 0x40;
 enum StepOut {
     Continue,
     Exit(VmExit),
+}
+
+/// Packs what a recovery handler needs to know into the resume code
+/// written by an unwind (DESIGN.md §4.3). Layout, LSB first:
+///
+/// * bits 0..8 — check kind (1 = bounds, 2 = load/store, 3 = indirect
+///   call, 4 = illegal free, 5 = bad registration, 6 = quarantined)
+/// * bit 8 — the pool crossed its violation budget and is now poisoned
+/// * bits 16..40 — metapool id + 1 (0 = no pool attributed)
+/// * bits 40..64 — interrupted icontext id + 1 (0 = none)
+///
+/// The kind field is always nonzero, so a resume code can never be
+/// mistaken for the 0 returned at registration.
+fn encode_resume_code(
+    kind: sva_rt::CheckKind,
+    pool: Option<u32>,
+    icid: Option<u32>,
+    poisoned: bool,
+) -> u64 {
+    let kind = match kind {
+        sva_rt::CheckKind::Bounds => 1u64,
+        sva_rt::CheckKind::LoadStore => 2,
+        sva_rt::CheckKind::IndirectCall => 3,
+        sva_rt::CheckKind::IllegalFree => 4,
+        sva_rt::CheckKind::BadRegistration => 5,
+        sva_rt::CheckKind::Quarantined => 6,
+    };
+    let mut code = kind;
+    if poisoned {
+        code |= 1 << 8;
+    }
+    code |= (pool.map(|p| p as u64 + 1).unwrap_or(0) & 0xff_ffff) << 16;
+    code |= (icid.map(|i| i as u64 + 1).unwrap_or(0) & 0xff_ffff) << 40;
+    code
 }
 
 // ---------------------------------------------------------------------------
@@ -2189,11 +2653,14 @@ fn width_of(m: &Module, f: &sva_ir::Function, op: &Operand) -> u8 {
 fn resolve_operand(m: &Module, global_addr: &[u64], fr: &Frame, op: &Operand) -> u64 {
     let _ = m;
     match op {
-        Operand::Value(v) => fr.regs[v.0 as usize],
+        // Out-of-range ids read as 0 (a guaranteed-unmapped address), so a
+        // corrupt module faults deterministically instead of crashing the
+        // host. The verifier rejects such modules up front.
+        Operand::Value(v) => fr.regs.get(v.0 as usize).copied().unwrap_or(0),
         Operand::ConstInt(v, _) => *v as u64,
         Operand::ConstF64(bits) => *bits,
         Operand::Null(_) => 0,
-        Operand::Global(g) => global_addr[g.0 as usize],
+        Operand::Global(g) => global_addr.get(g.0 as usize).copied().unwrap_or(0),
         Operand::Func(f) => func_addr(f.0),
         Operand::Extern(e) => extern_addr(e.0),
         Operand::Undef(_) => 0,
@@ -2221,8 +2688,16 @@ fn translate(m: &Module, f: &sva_ir::Function, global_addr: &[u64]) -> Result<Fl
     }
     for (bi, b) in f.blocks.iter().enumerate() {
         for &iid in &b.insts {
-            let inst = f.inst(iid);
-            let dst = f.result_of(iid).map(|v| v.0);
+            let inst = f
+                .insts
+                .get(iid.0 as usize)
+                .ok_or(VmError::Internal("block references bad instruction"))?;
+            let dst = f
+                .inst_results
+                .get(iid.0 as usize)
+                .copied()
+                .flatten()
+                .map(|v| v.0);
             let op = translate_inst(m, f, inst, dst, bi as u32, &block_pc, global_addr)?;
             ops.push(op);
         }
@@ -2237,7 +2712,7 @@ fn t_src(m: &Module, g: &[u64], op: &Operand) -> Src {
         Operand::ConstInt(v, _) => Src::Imm(*v as u64),
         Operand::ConstF64(bits) => Src::Imm(*bits),
         Operand::Null(_) => Src::Imm(0),
-        Operand::Global(gid) => Src::Imm(g[gid.0 as usize]),
+        Operand::Global(gid) => Src::Imm(g.get(gid.0 as usize).copied().unwrap_or(0)),
         Operand::Func(fid) => Src::Imm(func_addr(fid.0)),
         Operand::Extern(e) => Src::Imm(extern_addr(e.0)),
         Operand::Undef(_) => Src::Imm(0),

@@ -14,13 +14,15 @@
 //! * [`vm`] — the Secure Virtual Machine with the SVA-OS operations;
 //! * [`trace`] — zero-overhead-when-off tracing, metrics and profiling;
 //! * [`kernel`] — a miniature commodity kernel written in SVA IR;
-//! * [`exploits`] — reproductions of the five Linux 2.4.22 exploits.
+//! * [`exploits`] — reproductions of the five Linux 2.4.22 exploits;
+//! * [`inject`] — deterministic machine-level fault-injection plans.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
 
 pub use sva_analysis as analysis;
 pub use sva_core as core;
 pub use sva_exploits as exploits;
+pub use sva_inject as inject;
 pub use sva_ir as ir;
 pub use sva_kernel as kernel;
 pub use sva_rt as rt;

@@ -1,0 +1,83 @@
+//! Fuzz smoke: the bytecode decoder, verifier and a fueled VM must never
+//! panic the host, no matter what bytes they are fed. Structured errors
+//! are fine — `unwrap`-style crashes are not (proptest turns any panic
+//! into a test failure and shrinks the input).
+
+use proptest::prelude::*;
+
+use sva::ir::build::FunctionBuilder;
+use sva::ir::bytecode::{decode_module, encode_module};
+use sva::ir::{Linkage, Module, Operand};
+use sva::vm::{KernelKind, Vm, VmConfig};
+
+/// Decode → verify → load → run, swallowing every structured error. The
+/// verifier gates execution exactly like the production loader does
+/// (unverifiable bytecode is rejected, never run), but decoding and
+/// verification themselves must survive arbitrary input.
+fn exercise(bytes: &[u8]) {
+    let Ok(m) = decode_module(bytes) else { return };
+    if !sva::ir::verify::verify_module(&m).is_empty() {
+        return;
+    }
+    let names: Vec<String> = m.funcs.iter().map(|f| f.name.clone()).take(4).collect();
+    for kind in [KernelKind::SvaGcc, KernelKind::SvaLlvm] {
+        let Ok(mut vm) = Vm::new(
+            m.clone(),
+            VmConfig {
+                kind,
+                fuel: 20_000,
+                ..Default::default()
+            },
+        ) else {
+            continue;
+        };
+        for name in &names {
+            let _ = vm.call(name, &[1, 0x4000]);
+        }
+    }
+}
+
+/// A tiny but well-formed module whose encoding the mutation tests start
+/// from — flipped bytes then explore the decoder's deep paths.
+fn seed_module(k: u64) -> Module {
+    let mut m = Module::new("fuzz_seed");
+    let i64t = m.types.i64();
+    let fnty = m.types.func(i64t, vec![i64t], false);
+    let f = m.add_function("seed", fnty, Linkage::Public);
+    m.intern_address_types();
+    let mut b = FunctionBuilder::new(&mut m, f);
+    let p = b.param(0);
+    let c = Operand::ConstInt(k as i64, i64t);
+    let t = b.add(p, c);
+    let t2 = b.mul(t, p);
+    b.ret(Some(t2));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decoder_and_vm_survive_random_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        exercise(&bytes);
+    }
+
+    #[test]
+    fn decoder_and_vm_survive_mutated_modules(
+        k in any::<u64>(),
+        flips in prop::collection::vec(0usize..4096, 1..12),
+        cut in any::<bool>(),
+    ) {
+        let mut bytes = encode_module(&seed_module(k));
+        for bit in flips {
+            let pos = bit % (bytes.len() * 8);
+            bytes[pos / 8] ^= 1 << (pos % 8);
+        }
+        if cut && bytes.len() > 8 {
+            // Truncation is a distinct failure mode from corruption.
+            let keep = 8 + k as usize % (bytes.len() - 8);
+            bytes.truncate(keep);
+        }
+        exercise(&bytes);
+    }
+}

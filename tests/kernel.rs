@@ -2,9 +2,11 @@
 //! *behaviourally identical* on legitimate workloads (same console output,
 //! same exit codes) and differ only in cost and in what happens to attacks.
 
-use sva::kernel::harness::{boot_user, make_vm, make_vm_traced, pack_arg};
+use sva::kernel::harness::{
+    boot_user, make_vm, make_vm_recovering, make_vm_recovering_traced, make_vm_traced, pack_arg,
+};
 use sva::trace::RingTracer;
-use sva::vm::{KernelKind, VmError, VmExit};
+use sva::vm::{KernelKind, VmConfig, VmError, VmExit};
 
 fn run(kind: KernelKind, prog: &str, arg: u64) -> (VmExit, String, u64) {
     let mut vm = make_vm(kind);
@@ -80,6 +82,39 @@ fn tracing_is_invisible_to_the_machine() {
             100.0 * coverage
         );
     }
+
+    // The same discipline must hold across a violation-recovery unwind
+    // (DESIGN.md §4.3): the unwind is machine state, the tracer is not,
+    // and the recovery events must actually land in the trace.
+    let mut plain = make_vm_recovering(VmConfig::default());
+    let exit_p = boot_user(&mut plain, "user_exploit_bt", 0).expect("recovering boot");
+    let mut traced = make_vm_recovering_traced(VmConfig::default(), RingTracer::default());
+    let exit_t = boot_user(&mut traced, "user_exploit_bt", 0).expect("recovering traced boot");
+    assert_eq!(exit_p, exit_t, "recovery: exit differs under tracing");
+    assert_eq!(
+        plain.console_string(),
+        traced.console_string(),
+        "recovery: console differs under tracing"
+    );
+    let stats_t = traced.stats();
+    assert_eq!(
+        plain.stats(),
+        stats_t,
+        "recovery: VmStats differ under tracing"
+    );
+    assert!(
+        stats_t.violations_recovered >= 1,
+        "workload never recovered"
+    );
+    let tracer = traced.into_tracer();
+    assert!(
+        tracer.profile().recoveries >= stats_t.violations_recovered,
+        "recovery unwinds missing from the trace"
+    );
+    assert!(
+        tracer.profile().quarantines >= stats_t.pools_quarantined,
+        "quarantine events missing from the trace"
+    );
 }
 
 #[test]
