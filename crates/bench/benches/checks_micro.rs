@@ -128,5 +128,27 @@ fn fastpath(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, splay, fastpath);
+/// The singleton-pool elision (DESIGN.md §4.4): a pool holding exactly one
+/// live object answers every lookup with a two-compare bounds test, ahead
+/// of the MRU cache. `repeat_singleton` vs `repeat_mru` isolates what the
+/// elision saves over the PR 1 fast path on the same one-object pool; the
+/// nightly gate watches both repeat-hit medians.
+fn singleton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt/singleton");
+    for (label, on) in [("repeat_singleton", true), ("repeat_mru", false)] {
+        g.bench_function(label, |b| {
+            let mut p = pool_with_objects(1, true);
+            p.set_singleton_path(on);
+            let mut i = 0u64;
+            b.iter(|| {
+                // Walk offsets inside the lone 64-byte object.
+                i = i.wrapping_add(1);
+                p.ls_check(0x1_0000 + (i & 0x38))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, splay, fastpath, singleton);
 criterion_main!(benches);

@@ -112,10 +112,14 @@ fn main() {
         );
     }
 
-    println!("\n== Ablation 4: lookup fast path (MRU cache + page index) ==");
-    for (label, fast) in [
-        ("fast path (default)", true),
-        ("splay-only baseline", false),
+    println!("\n== Ablation 4: lookup fast path (MRU cache + page index + singleton) ==");
+    // The singleton elision (DESIGN.md §4.4) answers ahead of every layer,
+    // so the first two rows switch it off to ablate the *layered* path in
+    // isolation; the third row is the shipping default with it on.
+    for (label, fast, singleton) in [
+        ("fast path, no singleton", true, false),
+        ("splay-only baseline", false, false),
+        ("singleton on (default)", true, true),
     ] {
         let m = raw_kernel();
         let compiled = compile(m, &cfg, &CompileOptions::default());
@@ -126,6 +130,7 @@ fn main() {
             VmConfig {
                 kind: KernelKind::SvaSafe,
                 fast_path: fast,
+                singleton_path: singleton,
                 ..Default::default()
             },
         )
@@ -134,11 +139,11 @@ fn main() {
         boot_user(&mut vm, "user_pipe_loop", pack_arg(100, 0, 0)).expect("boot");
         let wall = start.elapsed();
         let s = vm.stats();
-        let lookups = s.cache_hits + s.page_hits + s.tree_walks;
+        let lookups = s.singleton_hits + s.cache_hits + s.page_hits + s.tree_walks;
         println!(
-            "  {label:<26} {lookups} lookups (cache {} / page {} / tree {}), \
+            "  {label:<26} {lookups} lookups (singleton {} / cache {} / page {} / tree {}), \
              {} cycles, {:.2?} wall",
-            s.cache_hits, s.page_hits, s.tree_walks, s.cycles, wall
+            s.singleton_hits, s.cache_hits, s.page_hits, s.tree_walks, s.cycles, wall
         );
     }
 

@@ -1,0 +1,163 @@
+//! `bench_gate`: the nightly perf-regression gate for `checks_micro`.
+//!
+//! Compares the JSON-lines output of the latest `cargo bench -p bench
+//! --bench checks_micro` run (`target/sva-bench/checks_micro.json`)
+//! against the checked-in baseline (`crates/bench/baselines/
+//! checks_micro.json`) and exits nonzero if any *gated* benchmark's median
+//! regressed by more than the threshold (default 15%).
+//!
+//! Only the repeat-hit latencies are gated — they are the steady-state
+//! cost of a run-time check (the number Table 7's overheads are built
+//! from) and they are measured with enough iterations to be stable on a
+//! shared CI runner. Every other id found in both files is reported for
+//! context but cannot fail the gate.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_gate --
+//!     [--baseline PATH] [--current PATH] [--threshold PCT]`
+//!
+//! The criterion shim *appends* to its JSON file, so when an id appears
+//! more than once the last line (the most recent run) wins.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Benchmark ids allowed to fail the gate: the repeat-hit medians.
+const GATED: [&str; 3] = [
+    "rt/fastpath/repeat_fast",
+    "rt/singleton/repeat_singleton",
+    "rt/singleton/repeat_mru",
+];
+
+/// Pulls `"key":value` (a bare JSON number or string) out of a flat JSON
+/// object line. Hand-rolled on purpose: the workspace has no JSON
+/// dependency and the shim's output is machine-generated and flat.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.strip_prefix('"').unwrap_or(rest);
+    let end = rest.find(['"', ',', '}'])?;
+    Some(&rest[..end])
+}
+
+/// Parses a shim JSON-lines file into `id → ns_median`, last line wins.
+fn parse_medians(path: &PathBuf) -> Result<HashMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = HashMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let id = field(line, "id").ok_or_else(|| format!("no id in line: {line}"))?;
+        let median: f64 = field(line, "ns_median")
+            .ok_or_else(|| format!("no ns_median in line: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad ns_median in line: {line}: {e}"))?;
+        out.insert(id.to_string(), median);
+    }
+    Ok(out)
+}
+
+fn workspace_root() -> PathBuf {
+    let mut cur = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur;
+        }
+        if !cur.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+struct Options {
+    baseline: PathBuf,
+    current: PathBuf,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let root = workspace_root();
+    let mut opts = Options {
+        baseline: root.join("crates/bench/baselines/checks_micro.json"),
+        current: root.join("target/sva-bench/checks_micro.json"),
+        threshold: 15.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => opts.baseline = PathBuf::from(val("--baseline")?),
+            "--current" => opts.current = PathBuf::from(val("--current")?),
+            "--threshold" => {
+                opts.threshold = val("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (base, cur) = match (parse_medians(&opts.baseline), parse_medians(&opts.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ids: Vec<&String> = base.keys().filter(|id| cur.contains_key(*id)).collect();
+    ids.sort();
+    if ids.is_empty() {
+        eprintln!("bench_gate: no benchmark ids in common between baseline and current");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}  gate",
+        "benchmark", "base (ns)", "now (ns)", "delta"
+    );
+    let mut failed = false;
+    for id in ids {
+        let (b, c) = (base[id], cur[id]);
+        let delta = if b == 0.0 { 0.0 } else { 100.0 * (c - b) / b };
+        let gated = GATED.contains(&id.as_str());
+        let verdict = if !gated {
+            "info"
+        } else if delta > opts.threshold {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("{id:<34} {b:>12.1} {c:>12.1} {delta:>+8.1}%  {verdict}");
+    }
+    for id in GATED {
+        if !base.contains_key(id) || !cur.contains_key(id) {
+            eprintln!("bench_gate: gated id {id:?} missing from baseline or current run");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: repeat-hit median regressed more than {:.0}% (or a gated id vanished)",
+            opts.threshold
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: all gated medians within {:.0}% of baseline",
+        opts.threshold
+    );
+    ExitCode::SUCCESS
+}

@@ -8,11 +8,19 @@
 //!   Perfetto) next to a JSONL dump of the raw event stream, both under
 //!   `target/sva-trace/` (override with `SVA_TRACE_DIR`);
 //! - a "top checks / top pools / top opcodes" text report on stdout with
-//!   the fraction of virtual cycles the profile attributes.
+//!   the fraction of virtual cycles the profile attributes;
+//! - with `--prom`, the counters and latency histograms in Prometheus
+//!   text exposition format (`<stem>.prom` in the trace directory);
+//! - with `--profile-out PATH`, a hot-function profile (the top
+//!   `--profile-keep` fraction of functions by attributed cycles) in the
+//!   `sva-hot-profile` text format consumed by `VmConfig::hot_profile` /
+//!   `Vm::with_profile` — the feedback file of the profile-guided
+//!   optimizing tier (DESIGN.md §4.4).
 //!
 //! Usage: `cargo run --release -p bench --bin svaprof --
 //!     [--prog NAME] [--arg N] [--kind sva-safe|native|sva-gcc|sva-llvm]
-//!     [--top N] [--capacity N]`
+//!     [--top N] [--capacity N] [--prom]
+//!     [--profile-out PATH] [--profile-keep FRAC]`
 //!
 //! Exits nonzero if the captured profile is empty — CI uses that to catch
 //! a silently-detached tracer.
@@ -21,8 +29,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bench::run_workload_traced;
-use sva_trace::{to_chrome_trace, to_jsonl, top_report, RingConfig};
-use sva_vm::KernelKind;
+use sva_trace::{to_chrome_trace, to_jsonl, to_prometheus, top_report, RingConfig};
+use sva_vm::{HotProfile, KernelKind};
 
 /// Workload the boot-kernel example runs; the default subject here too.
 const DEFAULT_PROG: &str = "user_hello";
@@ -55,6 +63,9 @@ struct Options {
     kind: KernelKind,
     top: usize,
     capacity: usize,
+    prom: bool,
+    profile_out: Option<PathBuf>,
+    profile_keep: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -64,6 +75,9 @@ fn parse_args() -> Result<Options, String> {
         kind: KernelKind::SvaSafe,
         top: 10,
         capacity: RingConfig::default().capacity,
+        prom: false,
+        profile_out: None,
+        profile_keep: 0.25,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +98,18 @@ fn parse_args() -> Result<Options, String> {
                 opts.capacity = val("--capacity")?
                     .parse()
                     .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--prom" => opts.prom = true,
+            "--profile-out" => {
+                opts.profile_out = Some(PathBuf::from(val("--profile-out")?));
+            }
+            "--profile-keep" => {
+                opts.profile_keep = val("--profile-keep")?
+                    .parse()
+                    .map_err(|e| format!("--profile-keep: {e}"))?;
+                if !(0.0..=1.0).contains(&opts.profile_keep) {
+                    return Err("--profile-keep must be in 0..=1".to_string());
+                }
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -138,10 +164,39 @@ fn main() -> ExitCode {
     println!();
     println!("{}", top_report(&tracer, sample.cycles, opts.top));
 
+    if opts.prom {
+        let prom_path = dir.join(format!("{stem}.prom"));
+        if let Err(e) = std::fs::write(&prom_path, to_prometheus(&tracer)) {
+            eprintln!("svaprof: cannot write {}: {e}", prom_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus:   {}", prom_path.display());
+    }
+
     let profile = tracer.profile();
     if profile.attributed_cycles == 0 || tracer.ring().total_recorded() == 0 {
         eprintln!("svaprof: empty profile — tracer not attached?");
         return ExitCode::FAILURE;
+    }
+
+    if let Some(out) = &opts.profile_out {
+        let mut ranked: Vec<(String, u64)> = profile
+            .per_func
+            .iter()
+            .map(|(&id, cc)| (tracer.func_name(id), cc.cycles))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let hot = HotProfile::from_cycle_ranking(&ranked, opts.profile_keep);
+        if let Err(e) = std::fs::write(out, hot.to_text()) {
+            eprintln!("svaprof: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "hot profile:  {} ({} of {} functions)",
+            out.display(),
+            hot.len(),
+            ranked.len()
+        );
     }
     let coverage = profile.coverage(sample.cycles);
     if coverage < 0.95 {

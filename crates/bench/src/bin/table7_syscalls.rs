@@ -2,13 +2,85 @@
 //!
 //! Paper rows: getpid, getrusage, gettimeofday, open/close, sbrk,
 //! sigaction, write, pipe, fork, fork/exec.
+//!
+//! `--opt-compare` additionally reruns a syscall subset on the sva-safe
+//! kernel at `opt_level` 0 vs 2 (DESIGN.md §4.4 superinstruction fusion)
+//! and writes the cycle deltas to `target/sva-bench/table7_opt_compare.json`
+//! for the nightly CI artifact.
 
-use bench::{arg, latency_row, print_check_breakdown, print_latency_table, run_workload_traced};
+use std::path::PathBuf;
+
+use bench::{
+    arg, latency_row, print_check_breakdown, print_latency_table, run_workload_cfg,
+    run_workload_traced,
+};
 use sva_trace::{top_report, RingConfig};
-use sva_vm::KernelKind;
+use sva_vm::{KernelKind, VmConfig};
+
+fn bench_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("SVA_BENCH_DIR") {
+        return PathBuf::from(d);
+    }
+    let mut cur = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("target").join("sva-bench");
+        }
+        if !cur.pop() {
+            return PathBuf::from("target/sva-bench");
+        }
+    }
+}
+
+/// Reruns `rows` on the sva-safe kernel with fusion off (opt 0) and on
+/// (opt 2), printing the per-row cycle reduction and returning the JSON
+/// artifact lines. The two runs must agree on result and instruction
+/// count — fusion is behavior-preserving by construction, and this doubles
+/// as an end-to-end equivalence gate on the real kernel.
+fn opt_compare(rows: &[(&str, &str, u64)]) -> String {
+    println!("\n== sva-safe optimizing tier: opt_level 0 vs 2 (virtual cycles) ==");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>10}",
+        "Test", "cycles opt0", "cycles opt2", "fused execs", "saved %"
+    );
+    let mut json = String::from("[\n");
+    for (i, (label, prog, a)) in rows.iter().enumerate() {
+        let cfg = |opt| VmConfig {
+            kind: KernelKind::SvaSafe,
+            opt_level: opt,
+            ..Default::default()
+        };
+        let s0 = run_workload_cfg(cfg(0), prog, *a);
+        let s2 = run_workload_cfg(cfg(2), prog, *a);
+        assert_eq!(s0.exit, s2.exit, "{label}: fusion changed the result");
+        assert_eq!(
+            s0.instructions, s2.instructions,
+            "{label}: fusion changed the instruction count"
+        );
+        let saved = 100.0 * (s0.cycles - s2.cycles) as f64 / s0.cycles as f64;
+        println!(
+            "{:<22} {:>14} {:>14} {:>12} {:>9.2}%",
+            label, s0.cycles, s2.cycles, s2.fused_execs, saved
+        );
+        json.push_str(&format!(
+            "  {{\"test\":\"{label}\",\"cycles_opt0\":{},\"cycles_opt2\":{},\
+             \"fused_execs\":{},\"saved_pct\":{saved:.3}}}{}\n",
+            s0.cycles,
+            s2.cycles,
+            s2.fused_execs,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    json
+}
 
 fn main() {
     let trace = std::env::args().any(|a| a == "--trace");
+    let compare = std::env::args().any(|a| a == "--opt-compare");
     let rows = vec![
         latency_row("getpid", "user_getpid_loop", arg(2000, 0, 0), 2000),
         latency_row("getrusage", "user_getrusage_loop", arg(2000, 0, 0), 2000),
@@ -34,7 +106,7 @@ fn main() {
     println!("run-time checks dominate compute-heavy ones (open/close, pipe, fork).");
 
     print_check_breakdown(
-        "sva-safe lookup-layer breakdown (MRU cache / page index / splay tree)",
+        "sva-safe lookup-layer breakdown (singleton / MRU cache / page index / splay tree)",
         &[
             ("getpid", "user_getpid_loop", arg(2000, 0, 0)),
             ("open/close", "user_openclose_loop", arg(500, 0, 0)),
@@ -43,6 +115,24 @@ fn main() {
             ("fork", "user_fork_loop", arg(60, 0, 0)),
         ],
     );
+
+    if compare {
+        let json = opt_compare(&[
+            ("getpid", "user_getpid_loop", arg(2000, 0, 0)),
+            ("open/close", "user_openclose_loop", arg(500, 0, 0)),
+            ("write", "user_write_loop", arg(500, 64, 0)),
+            ("pipe", "user_pipe_loop", arg(300, 0, 0)),
+            ("fork", "user_fork_loop", arg(60, 0, 0)),
+        ]);
+        let dir = bench_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join("table7_opt_compare.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!("opt-compare artifact: {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    }
 
     // `--trace`: re-run one representative row with a RingTracer attached
     // and print where its cycles actually went (per check, pool, SVA-OS

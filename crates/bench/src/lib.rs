@@ -8,9 +8,9 @@
 
 use std::time::{Duration, Instant};
 
-use sva_kernel::harness::{boot_user, make_vm, make_vm_traced, pack_arg};
+use sva_kernel::harness::{boot_user, make_vm_cfg, make_vm_traced, pack_arg};
 use sva_trace::{RingConfig, RingTracer};
-use sva_vm::{KernelKind, VmExit, VmStats};
+use sva_vm::{KernelKind, VmConfig, VmExit, VmStats};
 
 pub use sva_kernel::harness::pack_arg as pack;
 
@@ -31,6 +31,11 @@ pub struct Sample {
     pub page_hits: u64,
     /// Metapool lookups that walked the splay tree (sva-safe only).
     pub tree_walks: u64,
+    /// Metapool lookups answered by the singleton two-compare test
+    /// (sva-safe only).
+    pub singleton_hits: u64,
+    /// Superinstructions dispatched by the optimizing tier (opt runs only).
+    pub fused_execs: u64,
 }
 
 /// Boots `prog(arg)` on a `kind` kernel and measures it.
@@ -40,7 +45,25 @@ pub struct Sample {
 /// Panics if the workload does not halt cleanly — benchmarks must not
 /// trip safety checks.
 pub fn run_workload(kind: KernelKind, prog: &str, arg: u64) -> Sample {
-    let mut vm = make_vm(kind);
+    run_workload_cfg(
+        VmConfig {
+            kind,
+            ..Default::default()
+        },
+        prog,
+        arg,
+    )
+}
+
+/// Like [`run_workload`] with a full [`VmConfig`] — the opt-level /
+/// singleton ablation entry point.
+///
+/// # Panics
+///
+/// Panics like [`run_workload`] if the workload does not halt cleanly.
+pub fn run_workload_cfg(cfg: VmConfig, prog: &str, arg: u64) -> Sample {
+    let kind = cfg.kind;
+    let mut vm = make_vm_cfg(cfg);
     let start = Instant::now();
     let exit = boot_user(&mut vm, prog, arg)
         .unwrap_or_else(|e| panic!("{kind:?} {prog}: {e}\nbacktrace: {:?}", vm.backtrace()));
@@ -55,6 +78,8 @@ pub fn run_workload(kind: KernelKind, prog: &str, arg: u64) -> Sample {
         cache_hits,
         page_hits,
         tree_walks,
+        singleton_hits,
+        fused_execs,
         ..
     } = vm.stats();
     Sample {
@@ -65,6 +90,8 @@ pub fn run_workload(kind: KernelKind, prog: &str, arg: u64) -> Sample {
         cache_hits,
         page_hits,
         tree_walks,
+        singleton_hits,
+        fused_execs,
     }
 }
 
@@ -98,6 +125,8 @@ pub fn run_workload_traced(
         cache_hits,
         page_hits,
         tree_walks,
+        singleton_hits,
+        fused_execs,
         ..
     } = vm.stats();
     let pool_stats = vm.pools.total_stats();
@@ -110,6 +139,8 @@ pub fn run_workload_traced(
         cache_hits,
         page_hits,
         tree_walks,
+        singleton_hits,
+        fused_execs,
     };
     (sample, vm.into_tracer())
 }
@@ -258,20 +289,20 @@ pub fn arg(iters: u64, size: u64, mode: u64) -> u64 {
 pub fn print_check_breakdown(title: &str, rows: &[(&str, &str, u64)]) {
     println!("\n== {title} ==");
     println!(
-        "{:<22} {:>12} {:>12} {:>12} {:>8}",
-        "Test", "cache hits", "page hits", "tree walks", "tree %"
+        "{:<22} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "Test", "singleton", "cache hits", "page hits", "tree walks", "tree %"
     );
     for (label, prog, a) in rows {
         let s = run_workload(KernelKind::SvaSafe, prog, *a);
-        let total = s.cache_hits + s.page_hits + s.tree_walks;
+        let total = s.singleton_hits + s.cache_hits + s.page_hits + s.tree_walks;
         let pct = if total == 0 {
             0.0
         } else {
             100.0 * s.tree_walks as f64 / total as f64
         };
         println!(
-            "{:<22} {:>12} {:>12} {:>12} {:>7.1}%",
-            label, s.cache_hits, s.page_hits, s.tree_walks, pct
+            "{:<22} {:>10} {:>12} {:>12} {:>12} {:>7.1}%",
+            label, s.singleton_hits, s.cache_hits, s.page_hits, s.tree_walks, pct
         );
     }
 }

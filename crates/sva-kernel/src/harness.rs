@@ -93,6 +93,18 @@ pub fn make_vm_with(kind: KernelKind, exclusions: &[&str]) -> Vm {
     .expect("kernel loads")
 }
 
+/// Like [`make_vm`] with a full [`VmConfig`] — opt level, hot profile,
+/// fast-path/singleton toggles. The kernel image is chosen by `cfg.kind`
+/// with the paper's "as tested" exclusions.
+pub fn make_vm_cfg(cfg: VmConfig) -> Vm {
+    let module = if cfg.kind.checks() {
+        safe_kernel_module(AS_TESTED_EXCLUSIONS)
+    } else {
+        raw_kernel()
+    };
+    Vm::new(module, cfg).expect("kernel loads")
+}
+
 /// Like [`make_vm`] with an attached tracer (e.g. `RingTracer`). Uses the
 /// paper's "as tested" exclusions, same as [`make_vm`].
 pub fn make_vm_traced<T: Tracer>(kind: KernelKind, tracer: T) -> Vm<T> {

@@ -82,6 +82,10 @@ pub struct CheckStats {
     /// Checks skipped because the partition is incomplete ("reduced
     /// checks", the source of false negatives).
     pub reduced_skips: u64,
+    /// Object lookups answered by the singleton fast path: the pool held
+    /// exactly one live object, so two compares gave the full splay answer
+    /// (hit or definitive miss) without touching any other layer.
+    pub singleton_hits: u64,
     /// Object lookups answered by the per-pool MRU last-hit cache
     /// (fast-path layer 1).
     pub cache_hits: u64,
@@ -111,6 +115,7 @@ impl CheckStats {
         self.registrations += other.registrations;
         self.drops += other.drops;
         self.reduced_skips += other.reduced_skips;
+        self.singleton_hits += other.singleton_hits;
         self.cache_hits += other.cache_hits;
         self.page_hits += other.page_hits;
         self.tree_walks += other.tree_walks;
@@ -120,7 +125,7 @@ impl CheckStats {
     /// Object lookups performed by any layer (the denominator for the
     /// per-layer hit rates).
     pub fn lookups(&self) -> u64 {
-        self.cache_hits + self.page_hits + self.tree_walks
+        self.singleton_hits + self.cache_hits + self.page_hits + self.tree_walks
     }
 
     /// Folds every counter into a metrics registry under `check.`-prefixed
@@ -134,6 +139,7 @@ impl CheckStats {
         metrics.set_counter("check.registrations", self.registrations);
         metrics.set_counter("check.drops", self.drops);
         metrics.set_counter("check.reduced_skips", self.reduced_skips);
+        metrics.set_counter("check.lookup.singleton_hits", self.singleton_hits);
         metrics.set_counter("check.lookup.cache_hits", self.cache_hits);
         metrics.set_counter("check.lookup.page_hits", self.page_hits);
         metrics.set_counter("check.lookup.tree_walks", self.tree_walks);

@@ -48,6 +48,14 @@ pub struct MetaPool {
     /// Fast-path toggle (ablation). When off, every lookup is a splay walk
     /// — the pre-cache baseline.
     fast_path: bool,
+    /// Layer 0: when the registry holds exactly one live object, its range.
+    /// Two compares then answer any lookup — hit *and* definitive miss —
+    /// because no other range exists. Maintained on every mutation
+    /// (registration, drop, clear, injected corruption) regardless of the
+    /// toggles, so flipping `singleton_path` never needs a rebuild.
+    singleton: Option<(u64, u64)>,
+    /// Singleton fast-path toggle (ablation), independent of `fast_path`.
+    singleton_path: bool,
     /// Layer 1: MRU last-hit cache, most recent first. Entries are live
     /// `(start, end)` ranges and must be invalidated on drop/clear.
     mru: [Option<(u64, u64)>; 2],
@@ -88,6 +96,8 @@ impl MetaPool {
             objects: SplayTree::new(),
             stats: CheckStats::default(),
             fast_path: true,
+            singleton: None,
+            singleton_path: true,
             mru: [None; 2],
             page_index: HashMap::new(),
             unindexed: 0,
@@ -122,6 +132,23 @@ impl MetaPool {
                 self.index_insert(start, end);
             }
         }
+    }
+
+    /// Whether the singleton fast path is active.
+    pub fn singleton_path(&self) -> bool {
+        self.singleton_path
+    }
+
+    /// Enables or disables the singleton fast path (ablation flag). The
+    /// cached range is maintained either way, so this is a pure toggle.
+    pub fn set_singleton_path(&mut self, enabled: bool) {
+        self.singleton_path = enabled;
+    }
+
+    /// Re-derives the singleton range from the registry. Called after every
+    /// mutation; `only_range` is O(1) so this never walks the tree.
+    fn update_singleton(&mut self) {
+        self.singleton = self.objects.only_range();
     }
 
     fn span_pages(start: u64, end: u64) -> u64 {
@@ -178,6 +205,21 @@ impl MetaPool {
     /// index, then splay tree. Exactly one of `cache_hits` / `page_hits` /
     /// `tree_walks` is incremented per call.
     fn lookup_obj(&mut self, addr: u64) -> Option<(u64, u64)> {
+        // Layer 0: singleton pool. With exactly one live range, two
+        // compares answer both outcomes — containment is a hit, and a miss
+        // is *definitive* because no other object can contain `addr`.
+        if self.singleton_path {
+            if let Some((start, end)) = self.singleton {
+                self.stats.singleton_hits += 1;
+                self.last_layer = LookupLayer::Singleton;
+                self.quiet_lookups = self.quiet_lookups.saturating_add(1);
+                return if start <= addr && addr < end {
+                    Some((start, end))
+                } else {
+                    None
+                };
+            }
+        }
         if !self.fast_path {
             self.stats.tree_walks += 1;
             self.last_layer = LookupLayer::Tree;
@@ -320,6 +362,7 @@ impl MetaPool {
             self.note_mutation(None);
             self.index_insert(start, start + len / 2);
         }
+        self.update_singleton();
         true
     }
 
@@ -372,6 +415,7 @@ impl MetaPool {
             self.note_mutation(None);
             self.index_insert(addr, addr + len);
         }
+        self.update_singleton();
         Ok(())
     }
 
@@ -390,6 +434,7 @@ impl MetaPool {
                     self.note_mutation(Some((start, end)));
                     self.index_remove(start, end);
                 }
+                self.update_singleton();
                 Ok(())
             }
             None => Err(self.err(
@@ -498,6 +543,7 @@ impl MetaPool {
     /// destroyed", paper §4.3).
     pub fn clear(&mut self) {
         self.objects.clear();
+        self.singleton = None;
         self.mru = [None; 2];
         self.page_index.clear();
         self.unindexed = 0;
@@ -646,6 +692,13 @@ impl MetaPoolTable {
             p.set_fast_path(enabled);
         }
     }
+
+    /// Toggles the singleton fast path on every pool (benchmark ablation).
+    pub fn set_singleton_path(&mut self, enabled: bool) {
+        for p in &mut self.pools {
+            p.set_singleton_path(enabled);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -785,6 +838,7 @@ mod tests {
     #[test]
     fn mru_cache_serves_repeated_hits() {
         let mut p = th_pool();
+        p.set_singleton_path(false); // this test targets the MRU layer
         p.reg_obj(0x1000, 64).unwrap();
         // First lookup fills the cache (resolved by the page index), the
         // rest are MRU hits.
@@ -817,6 +871,7 @@ mod tests {
     #[test]
     fn dropped_object_never_served_from_caches() {
         let mut p = th_pool();
+        p.set_singleton_path(false); // this test targets the MRU layer
         p.reg_obj(0x1000, 64).unwrap();
         // Pull the object into the MRU cache and the page index.
         p.ls_check(0x1010).unwrap();
@@ -847,6 +902,7 @@ mod tests {
     #[test]
     fn page_index_proves_definitive_misses() {
         let mut p = MetaPool::new("MPc", false, true, None);
+        p.set_singleton_path(false); // this test targets the page index
         p.reg_obj(0x1000, 64).unwrap();
         // Miss on a page with no candidates: answered by the index (all
         // live ranges are indexed), no tree walk.
@@ -858,6 +914,8 @@ mod tests {
     #[test]
     fn huge_objects_fall_back_to_the_tree() {
         let mut p = MetaPool::new("MPc", false, true, None);
+        // Singleton off: a lone huge object would otherwise be a singleton.
+        p.set_singleton_path(false);
         // 1 MiB object: spans 256 pages > MAX_INDEXED_PAGES, so it is not
         // page-indexed and lookups must reach the splay tree.
         p.reg_obj(0x10_0000, 0x10_0000).unwrap();
@@ -991,6 +1049,98 @@ mod tests {
         t.pool_mut(b).note_violation(3);
         assert_eq!(t.quarantined_count(), 2);
         assert_eq!(t.poisoned_count(), 1);
+    }
+
+    #[test]
+    fn singleton_pool_answers_hits_and_definitive_misses() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        // Every lookup — hit, interior hit, and miss — is answered by the
+        // singleton layer without touching cache, index or tree.
+        p.bounds_check(0x1000, 0x1020).unwrap();
+        p.ls_check(0x103f).unwrap();
+        assert_eq!(p.ls_check(0x2000).unwrap_err().kind, CheckKind::LoadStore);
+        assert_eq!(p.get_bounds(0x1010), Some((0x1000, 0x1040)));
+        assert_eq!(p.last_lookup_layer(), sva_trace::LookupLayer::Singleton);
+        let s = *p.stats();
+        assert_eq!(s.singleton_hits, 4);
+        assert_eq!(s.cache_hits + s.page_hits + s.tree_walks, 0);
+        assert_eq!(s.lookups(), 4);
+    }
+
+    #[test]
+    fn singleton_invalidated_by_second_registration_and_restored_by_drop() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        p.ls_check(0x1010).unwrap();
+        assert_eq!(p.stats().singleton_hits, 1);
+        // A second live object disables the singleton layer...
+        p.reg_obj(0x2000, 64).unwrap();
+        p.ls_check(0x1010).unwrap();
+        p.ls_check(0x2010).unwrap();
+        assert_eq!(p.stats().singleton_hits, 1);
+        // ...and dropping back to one live object re-enables it, serving
+        // the *surviving* object only.
+        p.drop_obj(0x1000).unwrap();
+        assert_eq!(p.ls_check(0x1010).unwrap_err().kind, CheckKind::LoadStore);
+        p.ls_check(0x2010).unwrap();
+        assert_eq!(p.stats().singleton_hits, 3);
+    }
+
+    #[test]
+    fn singleton_survives_clear_and_metadata_corruption() {
+        let mut p = th_pool();
+        p.reg_obj(0x1000, 64).unwrap();
+        p.ls_check(0x1030).unwrap();
+        // Corruption shrinks the lone object; the singleton range must
+        // shrink with it so the tail is wild in this layer too.
+        assert!(p.inject_corrupt_metadata(0));
+        assert_eq!(p.ls_check(0x1030).unwrap_err().kind, CheckKind::LoadStore);
+        assert_eq!(p.get_bounds(0x1010), Some((0x1000, 0x1020)));
+        // Clearing the pool forgets the singleton entirely.
+        p.clear();
+        assert_eq!(p.ls_check(0x1010).unwrap_err().kind, CheckKind::LoadStore);
+        assert_eq!(p.last_lookup_layer(), sva_trace::LookupLayer::Page);
+    }
+
+    #[test]
+    fn singleton_toggle_falls_back_to_layered_lookup() {
+        let mut p = th_pool();
+        p.set_singleton_path(false);
+        p.reg_obj(0x1000, 64).unwrap();
+        p.ls_check(0x1010).unwrap();
+        p.ls_check(0x1010).unwrap();
+        // Layered path: page-index fill then MRU hit, no singleton traffic.
+        assert_eq!(p.stats().singleton_hits, 0);
+        assert_eq!(p.stats().page_hits, 1);
+        assert_eq!(p.stats().cache_hits, 1);
+        // Re-enabling needs no rebuild: the range is maintained either way.
+        p.set_singleton_path(true);
+        p.ls_check(0x1010).unwrap();
+        assert_eq!(p.stats().singleton_hits, 1);
+    }
+
+    #[test]
+    fn singleton_agrees_with_baseline_on_every_probe() {
+        // The two-compare answer must equal the splay-only answer for any
+        // address, including boundaries.
+        let mut fast = th_pool();
+        let mut base = th_pool();
+        base.set_singleton_path(false);
+        base.set_fast_path(false);
+        for p in [&mut fast, &mut base] {
+            p.reg_obj(0x1000, 64).unwrap();
+        }
+        for addr in [0u64, 0xfff, 0x1000, 0x1001, 0x103f, 0x1040, 0x9000] {
+            assert_eq!(fast.get_bounds(addr), base.get_bounds(addr), "{addr:#x}");
+            assert_eq!(
+                fast.ls_check(addr).is_ok(),
+                base.ls_check(addr).is_ok(),
+                "{addr:#x}"
+            );
+        }
+        assert_eq!(fast.stats().lookups(), base.stats().lookups());
+        assert_eq!(fast.stats().singleton_hits, fast.stats().lookups());
     }
 
     #[test]

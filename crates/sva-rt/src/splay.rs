@@ -288,6 +288,17 @@ impl SplayTree {
         None
     }
 
+    /// The single stored range, if the tree holds exactly one. Constant
+    /// time: with `len == 1` the root is the only node. Metapools use this
+    /// to maintain their singleton fast path across mutations.
+    pub fn only_range(&self) -> Option<(u64, u64)> {
+        if self.len != 1 {
+            return None;
+        }
+        let n = self.nodes[self.root as usize];
+        Some((n.start, n.end))
+    }
+
     /// Removes the range starting exactly at `start`. Returns the removed
     /// `(start, end)` or `None`.
     pub fn remove(&mut self, start: u64) -> Option<(u64, u64)> {
@@ -526,6 +537,20 @@ mod tests {
         }
         assert_eq!(t.root, root_before, "find restructured the tree");
         assert_eq!(t.iter_ranges(), ranges);
+    }
+
+    #[test]
+    fn only_range_tracks_singleton_state() {
+        let mut t = SplayTree::new();
+        assert_eq!(t.only_range(), None);
+        assert!(t.insert(0x1000, 64));
+        assert_eq!(t.only_range(), Some((0x1000, 0x1040)));
+        assert!(t.insert(0x2000, 64));
+        assert_eq!(t.only_range(), None);
+        assert_eq!(t.remove(0x1000), Some((0x1000, 0x1040)));
+        assert_eq!(t.only_range(), Some((0x2000, 0x2040)));
+        t.clear();
+        assert_eq!(t.only_range(), None);
     }
 
     #[test]

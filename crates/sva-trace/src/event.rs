@@ -17,6 +17,10 @@ pub enum LookupLayer {
     /// No object lookup was involved (e.g. `funccheck`, static ranges).
     #[default]
     None,
+    /// Layer 0: the singleton fast path — the pool held exactly one live
+    /// object, so a two-compare test answered hit and definitive miss
+    /// alike (DESIGN.md §4.4).
+    Singleton,
     /// Layer 1: the 2-entry MRU last-hit cache.
     Cache,
     /// Layer 2: the page-granular interval index (hit or definitive miss).
@@ -30,6 +34,7 @@ impl LookupLayer {
     pub fn name(self) -> &'static str {
         match self {
             LookupLayer::None => "none",
+            LookupLayer::Singleton => "singleton",
             LookupLayer::Cache => "cache",
             LookupLayer::Page => "page",
             LookupLayer::Tree => "tree",
@@ -40,6 +45,7 @@ impl LookupLayer {
     pub fn from_name(s: &str) -> Option<Self> {
         Some(match s {
             "none" => LookupLayer::None,
+            "singleton" => LookupLayer::Singleton,
             "cache" => LookupLayer::Cache,
             "page" => LookupLayer::Page,
             "tree" => LookupLayer::Tree,

@@ -156,6 +156,58 @@ pub fn to_chrome_trace(tracer: &RingTracer) -> String {
     )
 }
 
+/// Sanitizes a metric name for the Prometheus exposition format:
+/// `[a-zA-Z0-9_]` pass through, everything else becomes `_`, and the
+/// whole name gains an `sva_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("sva_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Serializes the metrics registry in the Prometheus text exposition
+/// format: every counter becomes a `counter` metric, every log2 latency
+/// histogram a cumulative `histogram` with `_bucket{le=...}` series at the
+/// occupied bucket *upper* bounds plus the mandatory `+Inf` bucket, `_sum`
+/// and `_count`. Nightly CI diffs these distributions across runs, which
+/// catches a latency shift that leaves the median untouched.
+pub fn to_prometheus(tracer: &RingTracer) -> String {
+    let m = tracer.metrics();
+    let mut out = String::new();
+    for (name, v) in m.counters() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in m.histograms() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (floor, count) in h.nonzero_buckets() {
+            cumulative += count;
+            // A log2 bucket with floor f covers [f, 2f); its Prometheus
+            // upper bound is the *next* bucket floor.
+            let le = if floor == 0 {
+                1
+            } else {
+                floor.saturating_mul(2)
+            };
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{n}_sum {}", h.sum());
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    out
+}
+
 fn top<K: Clone, V: Clone>(
     map: &std::collections::HashMap<K, V>,
     key: impl Fn(&V) -> u64,
@@ -240,9 +292,10 @@ pub fn top_report(tracer: &RingTracer, total_cycles: u64, n: usize) -> String {
     for (pool, pp) in top(&p.per_pool, |p| p.check_cycles, n) {
         let _ = writeln!(
             out,
-            "{:>12} cyc {:>10} chk (cache {} page {} tree {}) reg {} drop {}  {}",
+            "{:>12} cyc {:>10} chk (single {} cache {} page {} tree {}) reg {} drop {}  {}",
             pp.check_cycles,
             pp.checks(),
+            pp.singleton_hits,
             pp.cache_hits,
             pp.page_hits,
             pp.tree_walks,
@@ -380,6 +433,31 @@ mod tests {
         // The whole thing must be loadable JSON at least at the line level:
         // every event line we emitted parses as a flat-ish object start.
         assert!(chrome.matches("{\"name\"").count() >= t.ring().len());
+    }
+
+    #[test]
+    fn prometheus_export_has_typed_counters_and_cumulative_histograms() {
+        let mut t = traced();
+        // Fold in a couple of counters with dotted names (the CheckStats
+        // fold-in shape) and a histogram with values in distinct buckets.
+        t.metrics_mut()
+            .set_counter("check.lookup.singleton_hits", 3);
+        t.metrics_mut().record("lat", 0);
+        t.metrics_mut().record("lat", 5);
+        t.metrics_mut().record("lat", 5);
+        t.metrics_mut().record("lat", 100);
+        let prom = to_prometheus(&t);
+        assert!(prom.contains("# TYPE sva_check_lookup_singleton_hits counter"));
+        assert!(prom.contains("sva_check_lookup_singleton_hits 3"));
+        // The syscall histogram recorded one 37-cycle latency.
+        assert!(prom.contains("# TYPE sva_syscall_cycles histogram"));
+        // `lat`: 0 → le=1, two 5s → cumulative 3 at le=8, 100 → 4 at le=128.
+        assert!(prom.contains("sva_lat_bucket{le=\"1\"} 1"), "{prom}");
+        assert!(prom.contains("sva_lat_bucket{le=\"8\"} 3"), "{prom}");
+        assert!(prom.contains("sva_lat_bucket{le=\"128\"} 4"), "{prom}");
+        assert!(prom.contains("sva_lat_bucket{le=\"+Inf\"} 4"));
+        assert!(prom.contains("sva_lat_sum 110"));
+        assert!(prom.contains("sva_lat_count 4"));
     }
 
     #[test]

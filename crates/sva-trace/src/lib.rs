@@ -36,7 +36,7 @@ pub mod ring;
 pub mod tracer;
 
 pub use event::{intern, EventClass, LookupLayer, TimedEvent, TraceEvent};
-pub use export::{to_chrome_trace, to_jsonl, top_report};
+pub use export::{to_chrome_trace, to_jsonl, to_prometheus, top_report};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::{EventRing, RingConfig};
 pub use tracer::{NullTracer, Profile, RingTracer, Tracer};

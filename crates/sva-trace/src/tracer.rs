@@ -67,6 +67,8 @@ impl CycleCount {
 /// Per-pool lookup-layer and registration traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolProfile {
+    /// Checks resolved by the singleton fast path (one live object).
+    pub singleton_hits: u64,
     /// Checks resolved by the MRU cache.
     pub cache_hits: u64,
     /// Checks resolved by the page index.
@@ -86,7 +88,7 @@ pub struct PoolProfile {
 impl PoolProfile {
     /// Total checks observed against this pool.
     pub fn checks(&self) -> u64 {
-        self.cache_hits + self.page_hits + self.tree_walks + self.no_lookup
+        self.singleton_hits + self.cache_hits + self.page_hits + self.tree_walks + self.no_lookup
     }
 }
 
@@ -158,6 +160,7 @@ impl Profile {
                 let p = self.per_pool.entry(*pool).or_default();
                 p.check_cycles += cost;
                 match layer {
+                    LookupLayer::Singleton => p.singleton_hits += 1,
                     LookupLayer::Cache => p.cache_hits += 1,
                     LookupLayer::Page => p.page_hits += 1,
                     LookupLayer::Tree => p.tree_walks += 1,

@@ -13,12 +13,14 @@
 //! machine at trap boundaries.
 
 pub mod mem;
+pub mod opt;
 pub mod vm;
 
 pub use mem::{
     func_addr, Memory, Mode, FUNC_BASE, KERN_BASE, KERN_END, KHEAP_BASE, KHEAP_END, KSTACK_BASE,
     KSTACK_END, PAGE_SIZE, USER_BASE, USER_END, USER_SIZE,
 };
+pub use opt::HotProfile;
 pub use sva_trace::{NullTracer, RingTracer, Tracer};
 pub use vm::{
     FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit, VmStats,

@@ -552,6 +552,8 @@ fn safe_kernel_lookup_breakdown_and_ablation_agree() {
     // With the fast path on, the repeated checks of `overflow` are served
     // by the cache layers; with it off the same run is all tree walks.
     // Outcome, cycle count and check volume must be identical either way.
+    // The singleton elision is disabled on both sides: it would answer
+    // ahead of every layer under test (it has its own ablation tests).
     let run = |fast_path: bool| {
         let m = safe_module(SAFE_KERNEL);
         let mut vm = Vm::new(
@@ -559,6 +561,7 @@ fn safe_kernel_lookup_breakdown_and_ablation_agree() {
             VmConfig {
                 kind: KernelKind::SvaSafe,
                 fast_path,
+                singleton_path: false,
                 ..Default::default()
             },
         )
@@ -973,4 +976,209 @@ entry:
     // sum 0..999 = 499500; 3 ticks → 3*100000 + 499500.
     assert_eq!(exit, VmExit::Halted(3 * 100_000 + 499_500));
     assert_eq!(vm.stats().interrupts, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizing tier (DESIGN.md §4.4): fusion + singleton elision.
+// ---------------------------------------------------------------------------
+
+const SAFE_LOOP_KERNEL: &str = r#"
+module "k"
+func public @kmalloc(%sz: i64) : i8* {
+entry:
+  %cur:i64 = load @brk
+  %new:i64 = add %cur, %sz
+  store %new, @brk
+  %p:i8* = cast inttoptr %cur to i8*
+  ret %p
+}
+func public @kfree(%p: i8*) : void {
+entry:
+  ret
+}
+global @brk : i64 = bytes x0000201000000000
+allocator ordinary "kmalloc" alloc=@kmalloc dealloc=@kfree size=arg0
+
+func public @fill(%n: i64) : i64 {
+entry:
+  %buf:i8* = call @kmalloc(64:i64)
+  br loop
+loop:
+  %i:i64 = phi i64 [entry: 0:i64, loop: %i1]
+  %slot:i8* = gep %buf [%i]
+  store 65:i8, %slot
+  %i1:i64 = add %i, 1:i64
+  %done:i1 = icmp uge %i1, %n
+  condbr %done, out, loop
+out:
+  %last:i8* = gep %buf [7:i64]
+  %v:i8 = load %last
+  %r:i64 = cast zext %v to i64
+  ret %r
+}
+"#;
+
+#[test]
+fn opt_tier_fuses_and_preserves_behavior() {
+    // In a checked kernel most gep results feed the inserted pchk calls
+    // (multi-use, so gep pairs stay unfused); the loop's icmp+condbr pair
+    // is still fusible. At opt_level 2 the run must produce the same
+    // result, check volume and (cycle-masked) stats — with sites actually
+    // fused and cycles strictly reduced.
+    let run = |opt_level: u8| {
+        let m = safe_module(SAFE_LOOP_KERNEL);
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                kind: KernelKind::SvaSafe,
+                opt_level,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = vm.call("fill", &[32]).unwrap();
+        (r, vm.stats(), vm.pools.total_stats(), vm.fused_sites())
+    };
+    let (r0, s0, p0, f0) = run(0);
+    let (r2, s2, p2, f2) = run(2);
+    assert_eq!(f0, 0, "baseline tier must not fuse");
+    assert!(f2 > 0, "optimizing tier fused nothing");
+    assert_eq!(r0, r2);
+    assert_eq!(s0.equivalence_key(), s2.equivalence_key());
+    assert_eq!(p0.total_checks(), p2.total_checks());
+    assert!(s2.fused_execs > 0, "no fused dispatches executed");
+    assert!(
+        s2.cycles < s0.cycles,
+        "fusion saved no cycles: {} vs {}",
+        s2.cycles,
+        s0.cycles
+    );
+    // Exactly one dispatch cycle saved per fused dispatch.
+    assert_eq!(s0.cycles - s2.cycles, s2.fused_execs);
+}
+
+#[test]
+fn opt_tier_applies_to_all_kernel_kinds_that_run_flat() {
+    for kind in [KernelKind::Native, KernelKind::SvaLlvm] {
+        let base = vm_for(COLLATZ, kind);
+        let m = parse_module(COLLATZ).unwrap();
+        let mut opt = Vm::new(
+            m,
+            VmConfig {
+                kind,
+                opt_level: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut base = base;
+        let r0 = base.call("collatz_len", &[27]).unwrap();
+        let r2 = opt.call("collatz_len", &[27]).unwrap();
+        assert_eq!(r0, r2, "{kind:?}");
+        assert!(opt.fused_sites() > 0, "{kind:?}");
+        assert_eq!(
+            base.stats().equivalence_key(),
+            opt.stats().equivalence_key(),
+            "{kind:?}"
+        );
+        assert!(opt.stats().cycles < base.stats().cycles, "{kind:?}");
+    }
+}
+
+const COLLATZ: &str = r#"
+module "m"
+func public @collatz_len(%n0: i64) : i64 {
+entry:
+  br loop
+loop:
+  %n:i64 = phi i64 [entry: %n0, odd: %n3, even: %half]
+  %len:i64 = phi i64 [entry: 0:i64, odd: %len2, even: %len3]
+  %is1:i1 = icmp eq %n, 1:i64
+  condbr %is1, out, step
+step:
+  %bit:i64 = and %n, 1:i64
+  %isodd:i1 = icmp eq %bit, 1:i64
+  condbr %isodd, odd, even
+odd:
+  %t:i64 = mul %n, 3:i64
+  %n3:i64 = add %t, 1:i64
+  %len2:i64 = add %len, 1:i64
+  br loop
+even:
+  %half:i64 = udiv %n, 2:i64
+  %len3:i64 = add %len, 1:i64
+  br loop
+out:
+  ret %len
+}
+"#;
+
+#[test]
+fn profile_gates_fusion_to_hot_functions() {
+    use crate::opt::HotProfile;
+    // opt_level 1 without a profile: nothing fuses. With a profile naming
+    // the function: it fuses. With a profile naming something else: not.
+    let mk = |opt_level: u8, profile: Option<HotProfile>| {
+        let m = parse_module(COLLATZ).unwrap();
+        let cfg = VmConfig {
+            kind: KernelKind::SvaLlvm,
+            opt_level,
+            hot_profile: profile.map(std::sync::Arc::new),
+            ..Default::default()
+        };
+        Vm::new(m, cfg).unwrap()
+    };
+    assert_eq!(mk(1, None).fused_sites(), 0);
+    let mut hot = HotProfile::new();
+    hot.insert("collatz_len");
+    assert!(mk(1, Some(hot.clone())).fused_sites() > 0);
+    let mut cold = HotProfile::new();
+    cold.insert("some_other_fn");
+    assert_eq!(mk(2, Some(cold)).fused_sites(), 0);
+    // with_profile bumps opt_level 0 → 2.
+    let m = parse_module(COLLATZ).unwrap();
+    let vm = Vm::with_profile(
+        m,
+        VmConfig {
+            kind: KernelKind::SvaLlvm,
+            ..Default::default()
+        },
+        hot,
+    )
+    .unwrap();
+    assert!(vm.fused_sites() > 0);
+}
+
+#[test]
+fn singleton_elision_preserves_safe_kernel_behavior() {
+    // Same workload with the singleton path on and off: identical
+    // everything (the elision answers the same lookups, just cheaper in
+    // host work — the virtual cycle model charges checks identically).
+    let run = |singleton_path: bool| {
+        let m = safe_module(SAFE_KERNEL);
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                kind: KernelKind::SvaSafe,
+                singleton_path,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = vm.call("overflow", &[10]).unwrap();
+        (r, vm.stats(), vm.pools.total_stats())
+    };
+    let (r_on, s_on, p_on) = run(true);
+    let (r_off, s_off, p_off) = run(false);
+    assert_eq!(r_on, r_off);
+    assert_eq!(s_on.cycles, s_off.cycles);
+    assert_eq!(p_on.total_checks(), p_off.total_checks());
+    assert_eq!(p_on.lookups(), p_off.lookups());
+    // The elided run attributes lookups to the singleton layer; the other
+    // run never does.
+    assert_eq!(s_off.singleton_hits, 0);
+    assert_eq!(
+        s_on.singleton_hits + s_on.cache_hits + s_on.page_hits + s_on.tree_walks,
+        p_on.lookups()
+    );
 }

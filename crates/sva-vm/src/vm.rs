@@ -30,6 +30,7 @@ use crate::mem::{
     addr_func, extern_addr, func_addr, Memory, Mode, KSTACK_BASE, KSTACK_END, PAGE_SIZE, USER_BASE,
     USER_END, USER_SIZE,
 };
+use crate::opt::HotProfile;
 
 /// Errors that abort VM execution.
 #[derive(Clone, Debug)]
@@ -184,6 +185,20 @@ pub struct VmConfig {
     /// Deterministic fault-injection hook consulted at every user→kernel
     /// trap. `None` (the default) leaves the machine untouched.
     pub fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Optimizing-translation tier (DESIGN.md §4.4). `0` (the default)
+    /// translates exactly as the baseline tier — no fusion, byte-identical
+    /// flat code. `1` fuses only functions named hot by `hot_profile`
+    /// (nothing without a profile). `2` and above fuse hot functions when a
+    /// profile is present and *every* function otherwise.
+    pub opt_level: u8,
+    /// Profile-guided function selection for the optimizing tier, exported
+    /// by `svaprof --profile-out` from a previous traced run.
+    pub hot_profile: Option<Arc<HotProfile>>,
+    /// Singleton-pool check elision in the metapool runtime: pools holding
+    /// exactly one live object answer lookups with a two-compare bounds
+    /// test instead of the layered MRU/page/splay path. On by default;
+    /// benchmarks disable it to isolate the layered path.
+    pub singleton_path: bool,
 }
 
 impl std::fmt::Debug for VmConfig {
@@ -195,6 +210,9 @@ impl std::fmt::Debug for VmConfig {
             .field("fast_path", &self.fast_path)
             .field("violation_budget", &self.violation_budget)
             .field("fault_hook", &self.fault_hook.is_some())
+            .field("opt_level", &self.opt_level)
+            .field("hot_profile", &self.hot_profile.is_some())
+            .field("singleton_path", &self.singleton_path)
             .finish()
     }
 }
@@ -208,6 +226,9 @@ impl Default for VmConfig {
             fast_path: true,
             violation_budget: 3,
             fault_hook: None,
+            opt_level: 0,
+            hot_profile: None,
+            singleton_path: true,
         }
     }
 }
@@ -271,7 +292,7 @@ pub trait FaultHook: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// A pre-resolved operand.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Src {
     /// Register (SSA value slot).
     Reg(u32),
@@ -279,7 +300,7 @@ pub(crate) enum Src {
     Imm(u64),
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum FlatCallee {
     Direct(u32),
     External(u32),
@@ -383,6 +404,59 @@ pub(crate) enum FlatOp {
         val: Option<Src>,
     },
     Unreachable,
+    // ---- optimizing-tier ops (DESIGN.md §4.4) ----
+    //
+    // The fusion pass rewrites an adjacent pair in place: the first op of
+    // the pair becomes the fused superinstruction and the second becomes
+    // `Nop`, so every pc — block starts, branch targets — stays valid with
+    // zero remapping. Fused handlers skip their own placeholder, so a
+    // `Nop` is never dispatched on a legal path.
+    /// Placeholder left where the second op of a fused pair used to be.
+    Nop,
+    /// Degenerate phi whose incomings all carry the same value.
+    Mov {
+        dst: u32,
+        src: Src,
+    },
+    /// `gep` + `load` through the (otherwise dead) address register.
+    FusedGepLoad {
+        dst: u32,
+        base: Src,
+        const_off: i64,
+        dynamic: Vec<(Src, u64, u8)>,
+        w: u8,
+    },
+    /// `gep` + `store` through the (otherwise dead) address register.
+    FusedGepStore {
+        val: Src,
+        base: Src,
+        const_off: i64,
+        dynamic: Vec<(Src, u64, u8)>,
+        w: u8,
+    },
+    /// `icmp` + `condbr` on the (otherwise dead) flag register.
+    FusedCmpBr {
+        pred: IPred,
+        w: u8,
+        a: Src,
+        b: Src,
+        tpc: u32,
+        fpc: u32,
+        from: u32,
+    },
+    /// Two dependent `bin` ops; the intermediate register is dead.
+    /// `t = a op1 b; dst = t op2 c` when `t_lhs`, else `dst = c op2 t`.
+    FusedBin2 {
+        op1: BinOp,
+        w1: u8,
+        a: Src,
+        b: Src,
+        op2: BinOp,
+        w2: u8,
+        c: Src,
+        t_lhs: bool,
+        dst: u32,
+    },
 }
 
 impl FlatOp {
@@ -413,6 +487,12 @@ impl FlatOp {
             FlatOp::Switch { .. } => "switch",
             FlatOp::Ret { .. } => "ret",
             FlatOp::Unreachable => "unreachable",
+            FlatOp::Nop => "nop",
+            FlatOp::Mov { .. } => "mov",
+            FlatOp::FusedGepLoad { .. } => "gep+load",
+            FlatOp::FusedGepStore { .. } => "gep+store",
+            FlatOp::FusedCmpBr { .. } => "icmp+br",
+            FlatOp::FusedBin2 { .. } => "bin+bin",
         }
     }
 }
@@ -573,12 +653,32 @@ pub struct VmStats {
     pub page_hits: u64,
     /// Metapool lookups that walked the splay tree.
     pub tree_walks: u64,
+    /// Metapool lookups answered by the singleton-pool two-compare test.
+    pub singleton_hits: u64,
     /// Kernel-mode safety violations absorbed by a recovery context.
     pub violations_recovered: u64,
     /// Metapools placed under quarantine after a violation.
     pub pools_quarantined: u64,
     /// Metapools permanently poisoned after exhausting their budget.
     pub pools_poisoned: u64,
+    /// Superinstructions dispatched by the optimizing tier. Each fused
+    /// dispatch retires *two* instructions (so `instructions` is invariant
+    /// under fusion) but charges one dispatch cycle instead of two.
+    pub fused_execs: u64,
+}
+
+impl VmStats {
+    /// The fusion-invariant projection of the stats block: everything the
+    /// optimizing tier is allowed to change — `cycles` (fusion saves one
+    /// dispatch cycle per fused pair) and `fused_execs` itself — zeroed.
+    /// The equivalence gates assert `opt0.equivalence_key() ==
+    /// opt2.equivalence_key()` and separately that opt2 spent *fewer*
+    /// cycles.
+    pub fn equivalence_key(mut self) -> VmStats {
+        self.cycles = 0;
+        self.fused_execs = 0;
+        self
+    }
 }
 
 /// The Secure Virtual Machine instance.
@@ -613,6 +713,11 @@ pub struct Vm<T: Tracer = NullTracer> {
     gep_skew: Option<(u32, i64)>,
     /// User→kernel traps taken since boot (fault-plan schedule key).
     trap_count: u64,
+    /// Reusable argument buffer for the hot `Call` path (avoids a fresh
+    /// `Vec` allocation per call).
+    argv_scratch: Vec<u64>,
+    /// Fusion sites rewritten by the optimizing tier at load time.
+    fused_sites: u32,
     tracer: T,
 }
 
@@ -623,6 +728,22 @@ impl Vm {
     /// (i.e. be the output of the verifier); other configurations accept
     /// plain modules.
     pub fn new(module: Module, cfg: VmConfig) -> Result<Vm, VmError> {
+        Vm::with_tracer(module, cfg, NullTracer)
+    }
+
+    /// Loads a module with a hot-function profile driving the optimizing
+    /// tier (untraced). Bumps `opt_level` to 2 when the configuration left
+    /// it at the baseline 0, so passing a profile alone turns fusion on
+    /// for exactly the profiled-hot functions.
+    pub fn with_profile(
+        module: Module,
+        mut cfg: VmConfig,
+        profile: HotProfile,
+    ) -> Result<Vm, VmError> {
+        if cfg.opt_level == 0 {
+            cfg.opt_level = 2;
+        }
+        cfg.hot_profile = Some(Arc::new(profile));
         Vm::with_tracer(module, cfg, NullTracer)
     }
 }
@@ -750,9 +871,12 @@ impl<T: Tracer> Vm<T> {
         if !cfg.fast_path {
             pools.set_fast_path(false);
         }
+        if !cfg.singleton_path {
+            pools.set_singleton_path(false);
+        }
 
         // Translation to the flat "native" form.
-        let flat = if cfg.kind.flat() {
+        let mut flat = if cfg.kind.flat() {
             module
                 .funcs
                 .iter()
@@ -761,6 +885,21 @@ impl<T: Tracer> Vm<T> {
         } else {
             Vec::new()
         };
+        // Optimizing tier (DESIGN.md §4.4): superinstruction fusion over
+        // the flat code, selected per function by the hot profile.
+        let mut fused_sites = 0u32;
+        if cfg.opt_level > 0 {
+            for (f, ff) in module.funcs.iter().zip(flat.iter_mut()) {
+                let fuse = match (&cfg.hot_profile, cfg.opt_level) {
+                    (Some(p), _) => p.is_hot(&f.name),
+                    (None, 1) => false,
+                    (None, _) => true,
+                };
+                if fuse {
+                    fused_sites += crate::opt::fuse_flat(ff);
+                }
+            }
+        }
 
         let fuel = cfg.fuel;
         let mut vm = Vm {
@@ -786,6 +925,8 @@ impl<T: Tracer> Vm<T> {
             recovery: None,
             gep_skew: None,
             trap_count: 0,
+            argv_scratch: Vec::new(),
+            fused_sites,
             tracer,
         };
         if T::ENABLED {
@@ -834,7 +975,14 @@ impl<T: Tracer> Vm<T> {
         s.cache_hits = pool_stats.cache_hits;
         s.page_hits = pool_stats.page_hits;
         s.tree_walks = pool_stats.tree_walks;
+        s.singleton_hits = pool_stats.singleton_hits;
         s
+    }
+
+    /// Fusion sites the optimizing tier rewrote at load time (0 at
+    /// `opt_level` 0).
+    pub fn fused_sites(&self) -> u32 {
+        self.fused_sites
     }
 
     /// Console output as a lossy string.
@@ -1287,10 +1435,24 @@ impl<T: Tracer> Vm<T> {
                     .regs[dst as usize] = addr;
             }
             FlatOp::Call { dst, callee, args } => {
-                let argv: Vec<u64> = args.iter().map(|a| src!(a)).collect();
                 let dst = *dst;
-                let callee = callee.clone();
-                return self.do_call(callee, argv, dst);
+                let callee = *callee;
+                // Hot path: arguments go through a scratch buffer owned by
+                // the machine instead of a fresh `Vec` per call.
+                let mut argv = std::mem::take(&mut self.argv_scratch);
+                argv.clear();
+                let fr = self
+                    .thread
+                    .frames
+                    .last()
+                    .ok_or(VmError::Internal("call with no frame"))?;
+                argv.extend(args.iter().map(|a| match a {
+                    Src::Reg(r) => fr.regs[*r as usize],
+                    Src::Imm(v) => *v,
+                }));
+                let out = self.do_call(callee, &argv, dst);
+                self.argv_scratch = argv;
+                return out;
             }
             FlatOp::Phi { dst, incomings } => {
                 let pb = fr.prev_block;
@@ -1376,6 +1538,125 @@ impl<T: Tracer> Vm<T> {
                 return self.do_ret(v);
             }
             FlatOp::Unreachable => return Err(VmError::Unreachable),
+            // ---- optimizing-tier ops (DESIGN.md §4.4) ----
+            //
+            // Each fused handler retires the pair's second instruction in
+            // the same dispatch: `stats.instructions` gets the +1 the
+            // skipped loop iteration would have charged (so instruction
+            // counts are invariant under fusion) while `stats.cycles` does
+            // not — that missing dispatch cycle is the optimization. The
+            // extra instruction is charged at the same point the unfused
+            // sequence would have charged it: after the first op's work
+            // succeeds, before the second's can fail.
+            FlatOp::Nop => {
+                // Unreachable on legal paths: fused handlers skip their own
+                // placeholder and no branch targets one (the fusion pass
+                // never rewrites across a block boundary). Dispatching one
+                // anyway is a harmless no-op.
+            }
+            FlatOp::Mov { dst, src } => {
+                fr.regs[*dst as usize] = src!(src);
+            }
+            FlatOp::FusedGepLoad {
+                dst,
+                base,
+                const_off,
+                dynamic,
+                w,
+            } => {
+                let mut addr = src!(base) as i64 + const_off;
+                for (s, scale, iw) in dynamic {
+                    let idx = sext_w(src!(s), *iw);
+                    addr += idx.wrapping_mul(*scale as i64);
+                }
+                if self.gep_skew.is_some() && fr.mode == Mode::Kernel {
+                    if let Some((n, delta)) = self.gep_skew {
+                        addr = addr.wrapping_add(delta);
+                        self.gep_skew = if n > 1 { Some((n - 1, delta)) } else { None };
+                    }
+                }
+                fr.pc += 1; // skip the placeholder in the load's old slot
+                let mode = fr.mode;
+                let (dst, w) = (*dst, *w);
+                self.stats.instructions += 1;
+                self.stats.fused_execs += 1;
+                let v = self.mem.read_uint(addr as u64, w as u64, mode)?;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("load with no frame"))?
+                    .regs[dst as usize] = v;
+            }
+            FlatOp::FusedGepStore {
+                val,
+                base,
+                const_off,
+                dynamic,
+                w,
+            } => {
+                let mut addr = src!(base) as i64 + const_off;
+                for (s, scale, iw) in dynamic {
+                    let idx = sext_w(src!(s), *iw);
+                    addr += idx.wrapping_mul(*scale as i64);
+                }
+                if self.gep_skew.is_some() && fr.mode == Mode::Kernel {
+                    if let Some((n, delta)) = self.gep_skew {
+                        addr = addr.wrapping_add(delta);
+                        self.gep_skew = if n > 1 { Some((n - 1, delta)) } else { None };
+                    }
+                }
+                let v = src!(val);
+                fr.pc += 1; // skip the placeholder in the store's old slot
+                let mode = fr.mode;
+                let w = *w;
+                self.stats.instructions += 1;
+                self.stats.fused_execs += 1;
+                self.mem.write_uint(addr as u64, w as u64, v, mode)?;
+            }
+            FlatOp::FusedCmpBr {
+                pred,
+                w,
+                a,
+                b,
+                tpc,
+                fpc,
+                from,
+            } => {
+                let (a, b) = (src!(a), src!(b));
+                let t = eval_icmp(*pred, *w, a, b);
+                fr.prev_block = *from;
+                fr.pc = if t { *tpc } else { *fpc };
+                self.stats.instructions += 1;
+                self.stats.fused_execs += 1;
+            }
+            FlatOp::FusedBin2 {
+                op1,
+                w1,
+                a,
+                b,
+                op2,
+                w2,
+                c,
+                t_lhs,
+                dst,
+            } => {
+                let (av, bv, cv) = (src!(a), src!(b), src!(c));
+                fr.pc += 1; // skip the placeholder in the second bin's slot
+                let t = eval_bin(*op1, *w1, av, bv)?;
+                self.stats.instructions += 1;
+                self.stats.fused_execs += 1;
+                let r = if *t_lhs {
+                    eval_bin(*op2, *w2, t, cv)?
+                } else {
+                    eval_bin(*op2, *w2, cv, t)?
+                };
+                let fr = self
+                    .thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("bin with no frame"))?;
+                fr.regs[*dst as usize] = r;
+            }
         }
         Ok(StepOut::Continue)
     }
@@ -1514,7 +1795,7 @@ impl<T: Tracer> Vm<T> {
                     }
                     Callee::Intrinsic(i) => FlatCallee::Intrinsic(*i),
                 };
-                return self.do_call(fc, argv, result);
+                return self.do_call(fc, &argv, result);
             }
             Inst::Phi { incomings, .. } => {
                 let pb = fr.prev_block;
@@ -1605,13 +1886,13 @@ impl<T: Tracer> Vm<T> {
     fn do_call(
         &mut self,
         callee: FlatCallee,
-        args: Vec<u64>,
+        args: &[u64],
         dst: Option<u32>,
     ) -> Result<StepOut, VmError> {
         match callee {
             FlatCallee::Direct(f) => {
                 let mode = self.mode();
-                let frame = self.frame_for_call(f, &args, dst, mode)?;
+                let frame = self.frame_for_call(f, args, dst, mode)?;
                 self.thread.frames.push(frame);
                 Ok(StepOut::Continue)
             }
@@ -1635,11 +1916,11 @@ impl<T: Tracer> Vm<T> {
                     return Err(VmError::BadIndirect(addr));
                 }
                 let mode = self.mode();
-                let frame = self.frame_for_call(f, &args, dst, mode)?;
+                let frame = self.frame_for_call(f, args, dst, mode)?;
                 self.thread.frames.push(frame);
                 Ok(StepOut::Continue)
             }
-            FlatCallee::Intrinsic(i) => self.intrinsic(i, &args, dst),
+            FlatCallee::Intrinsic(i) => self.intrinsic(i, args, dst),
         }
     }
 

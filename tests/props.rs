@@ -325,6 +325,11 @@ proptest! {
         let mut fast = MetaPool::new("MPf", false, complete, None);
         let mut base = MetaPool::new("MPb", false, complete, None);
         base.set_fast_path(false);
+        // This test pins down the *layered* fast path, so the singleton
+        // elision (which answers ahead of every layer while the pool holds
+        // one object) is disabled on both sides; it has its own test below.
+        fast.set_singleton_path(false);
+        base.set_singleton_path(false);
         for (i, (op, pos, len, off)) in ops.into_iter().enumerate() {
             if i == toggle_at {
                 fast.set_fast_path(false);
@@ -359,5 +364,52 @@ proptest! {
         prop_assert_eq!(fast.stats().lookups(), base.stats().lookups());
         prop_assert_eq!(base.stats().tree_walks, base.stats().lookups());
         prop_assert_eq!(base.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn singleton_elision_agrees_with_layered_lookup(
+        ops in prop::collection::vec((0u8..5, 0u64..64, 1u64..48, 0u64..64), 1..200),
+        complete in any::<bool>(),
+    ) {
+        // The singleton two-compare test must be observationally identical
+        // to the full layered lookup, across registrations and drops that
+        // move the pool in and out of the one-object regime.
+        let mut on = MetaPool::new("MPs", false, complete, None);
+        let mut off = MetaPool::new("MPl", false, complete, None);
+        off.set_singleton_path(false);
+        for (op, pos, len, off_b) in ops.into_iter() {
+            let start = pos * 8;
+            let addr = start + off_b;
+            match op {
+                0 => prop_assert_eq!(
+                    on.reg_obj(start, len).is_ok(),
+                    off.reg_obj(start, len).is_ok()
+                ),
+                1 => prop_assert_eq!(
+                    on.drop_obj(start).is_ok(),
+                    off.drop_obj(start).is_ok()
+                ),
+                2 => prop_assert_eq!(on.get_bounds(addr), off.get_bounds(addr)),
+                3 => prop_assert_eq!(
+                    on.ls_check(addr).is_ok(),
+                    off.ls_check(addr).is_ok()
+                ),
+                _ => prop_assert_eq!(
+                    on.bounds_check(addr, addr + len).is_ok(),
+                    off.bounds_check(addr, addr + len).is_ok()
+                ),
+            }
+            prop_assert_eq!(on.live_objects(), off.live_objects());
+        }
+        prop_assert_eq!(on.live_ranges(), off.live_ranges());
+        // Both sides saw the same lookups; the elided side just answered
+        // some of them at the singleton layer instead.
+        prop_assert_eq!(on.stats().lookups(), off.stats().lookups());
+        prop_assert_eq!(off.stats().singleton_hits, 0);
+        let s = on.stats();
+        prop_assert_eq!(
+            s.singleton_hits + s.cache_hits + s.page_hits + s.tree_walks,
+            s.lookups()
+        );
     }
 }
