@@ -1,25 +1,42 @@
-//! Deterministic machine-level fault-injection campaign (DESIGN.md §4.3).
+//! Deterministic machine-level fault-injection campaign with blast-radius
+//! measurement (DESIGN.md §4.3/§4.5).
 //!
-//! Boots the recovery-enabled kernel under every [`FaultClass`] across a
-//! grid of seeds and user workloads, asserts that no run panics the host
-//! and that no kernel-mode safety violation escapes `Vm::run`, and writes
-//! a JSON report to `target/sva-inject/faultcamp.json` (override the
-//! directory with `SVA_INJECT_DIR`).
+//! Every [`FaultClass`] × seed × workload cell is run on **two arms**:
 //!
-//! Exit status is nonzero on any panic, escaped safety violation, or
-//! determinism failure, so CI can gate on it directly.
+//! * `flat`   — the recovery kernel with a single boot-time domain,
+//! * `nested` — the kernel that wraps every syscall and the IRQ dispatch
+//!   path in its own recovery domain (graceful degradation).
+//!
+//! Both arms use the same deferred fault plans (`with_defer`), so the
+//! modelled faults land inside handler bodies — on the nested arm that
+//! is inside the per-syscall domain. After each run the campaign disarms
+//! the injector and probes the machine with a fixed syscall workload to
+//! measure the blast radius: how many syscalls still answer, how many
+//! were degraded to `-ENOSYS`, how many threads were stranded, and at
+//! what domain depth the faults were contained.
+//!
+//! A JSON report lands in `target/sva-inject/faultcamp.json` (override
+//! the directory with `SVA_INJECT_DIR`). Exit status is nonzero on any
+//! panic, escaped safety violation, determinism failure, nested-arm
+//! machine death, or unresponsive nested-arm probe, so CI gates on it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use sva_inject::{FaultClass, FaultPlan};
-use sva_kernel::harness::{boot_user, make_vm_recovering, pack_arg};
-use sva_vm::{VmConfig, VmError, VmExit, VmStats};
+use sva_inject::{FaultClass, FaultPlan, PROBE_DEFER};
+use sva_kernel::harness::{
+    boot_user, make_vm_nested, make_vm_recovering, pack_arg, USER_HEAP_BASE,
+};
+use sva_kernel::{sysd_name, SYSCALLS};
+use sva_vm::{Mode, Vm, VmConfig, VmError, VmExit, VmStats};
 
 const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
 const FUEL: u64 = 3_000_000;
 /// Inject on every other trap.
 const PERIOD: u64 = 2;
+/// Scoped violation budget for the main grid (the degradation sub-run
+/// drops it to 1 so a single violation poisons).
+const BUDGET: u32 = 3;
 
 const WORKLOADS: [(&str, u64, u64, u64); 4] = [
     ("user_getpid_loop", 200, 0, 0),
@@ -28,11 +45,72 @@ const WORKLOADS: [(&str, u64, u64, u64); 4] = [
     ("user_write_loop", 80, 128, 0),
 ];
 
+/// Post-fault serviceability probes: non-blocking, non-spawning syscalls
+/// covering process, fs, net and time subsystems. A probe is *responsive*
+/// when the call returns a value (including error codes) instead of
+/// halting the machine.
+const PROBES: [(&str, &[u64]); 9] = [
+    ("sys_getpid", &[]),
+    ("sys_getrusage", &[USER_HEAP_BASE]),
+    ("sys_gettimeofday", &[USER_HEAP_BASE]),
+    ("sys_sbrk", &[0]),
+    ("sys_lseek", &[0, 0]),
+    ("sys_close", &[7]),
+    ("sys_kill", &[7, 1]),
+    ("sys_socket", &[]),
+    ("sys_write", &[1, USER_HEAP_BASE, 8]),
+];
+
+/// proc_table geometry (build.rs `proc_t`): 8 scalar fields + 8 signal
+/// handlers + 8 fds, 8 bytes each; state is the first field. Validated
+/// at startup against a clean run (`threads_stranded == 0`).
+const NPROC: u64 = 8;
+const PROC_STRIDE: u64 = 24 * 8;
+const P_FREE: u64 = 0;
+const P_ZOMBIE: u64 = 4;
+
+const ENOSYS: i64 = -38;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Arm {
+    Flat,
+    Nested,
+}
+
+impl Arm {
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Flat => "flat",
+            Arm::Nested => "nested",
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct Blast {
+    /// Violations caught by a per-syscall / IRQ domain (`recov_sysd_count`).
+    contained_syscall: u64,
+    /// Violations that fell through to the boot domain (`recov_count`).
+    contained_boot: u64,
+    /// Probes that answered (any return value) after the faults.
+    probes_responsive: u64,
+    /// Probes that answered `-ENOSYS` (degraded syscalls, nested only).
+    probes_degraded: u64,
+    /// Probes that halted the machine or escaped as an error.
+    probes_dead: u64,
+    /// Health-table entries marked degraded (nested only).
+    syscalls_degraded: u64,
+    /// Live (non-FREE, non-ZOMBIE) processes stranded beyond the clean
+    /// baseline of the same workload.
+    threads_stranded: u64,
+}
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct RunResult {
     injected: u64,
     stats: VmStats,
     outcome: Outcome,
+    blast: Blast,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,26 +127,106 @@ enum Outcome {
     EscapedSafety(String),
 }
 
-/// Metapool ids with complete points-to info in the recovery kernel —
-/// the pools whose checks reject unknown addresses (probe targets).
-fn complete_pools() -> Vec<u32> {
-    let vm = make_vm_recovering(VmConfig::default());
+fn make_vm(arm: Arm, cfg: VmConfig) -> Vm {
+    match arm {
+        Arm::Flat => make_vm_recovering(cfg),
+        Arm::Nested => make_vm_nested(cfg),
+    }
+}
+
+/// Metapool ids with complete points-to info — the probe targets. The
+/// flat and nested images analyze to different pool tables, so targets
+/// are computed per arm.
+fn complete_pools(arm: Arm) -> Vec<u32> {
+    let vm = make_vm(arm, VmConfig::default());
     (0..vm.pools.len() as u32)
         .filter(|&i| vm.pools.pool(sva_rt::MetaPoolId(i)).complete)
         .collect()
 }
 
-fn run_one(class: FaultClass, seed: u64, workload: (&str, u64, u64, u64)) -> Option<RunResult> {
-    let targets = complete_pools();
+/// Live (non-FREE, non-ZOMBIE) entries in the guest's process table.
+fn live_procs(vm: &mut Vm) -> u64 {
+    let Some(base) = vm.global_address("proc_table") else {
+        return 0;
+    };
+    (0..NPROC)
+        .filter(|i| {
+            let st = vm
+                .mem
+                .read_uint(base + i * PROC_STRIDE, 8, Mode::Kernel)
+                .unwrap_or(0);
+            st != P_FREE && st != P_ZOMBIE
+        })
+        .count() as u64
+}
+
+/// Stranded-thread baseline: what a clean (fault-free) run of the
+/// workload leaves in the process table.
+fn clean_baseline(arm: Arm, workload: (&str, u64, u64, u64)) -> u64 {
+    let mut vm = make_vm(
+        arm,
+        VmConfig {
+            fuel: FUEL,
+            ..Default::default()
+        },
+    );
+    let (prog, iters, size, mode) = workload;
+    let _ = boot_user(&mut vm, prog, pack_arg(iters, size, mode));
+    live_procs(&mut vm)
+}
+
+/// Runs the post-fault probe workload and fills in the blast record.
+fn measure_blast(vm: &mut Vm, arm: Arm, baseline: u64) -> Blast {
+    vm.disarm_faults();
+    let mut b = Blast {
+        contained_syscall: vm.read_global_u64("recov_sysd_count").unwrap_or(0),
+        contained_boot: vm.read_global_u64("recov_count").unwrap_or(0),
+        threads_stranded: live_procs(vm).saturating_sub(baseline),
+        ..Default::default()
+    };
+    if arm == Arm::Nested {
+        if let Some(base) = vm.global_address("syscall_health") {
+            b.syscalls_degraded = (0..SYSCALLS.len() as u64)
+                .filter(|i| vm.mem.read_uint(base + i * 8, 8, Mode::Kernel).unwrap_or(0) != 0)
+                .count() as u64;
+        }
+    }
+    for (handler, args) in PROBES {
+        let name = match arm {
+            Arm::Flat => handler.to_string(),
+            Arm::Nested => sysd_name(handler),
+        };
+        match vm.call(&name, args) {
+            Ok(VmExit::Returned(v)) => {
+                b.probes_responsive += 1;
+                if v as i64 == ENOSYS {
+                    b.probes_degraded += 1;
+                }
+            }
+            Ok(VmExit::Halted(_)) | Err(_) => b.probes_dead += 1,
+        }
+    }
+    b
+}
+
+fn run_one(
+    arm: Arm,
+    class: FaultClass,
+    seed: u64,
+    workload: (&str, u64, u64, u64),
+    budget: u32,
+    baseline: u64,
+) -> Option<RunResult> {
+    let targets = complete_pools(arm);
     catch_unwind(AssertUnwindSafe(move || {
-        let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets));
+        let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets).with_defer(PROBE_DEFER));
         let cfg = VmConfig {
             fuel: FUEL,
-            violation_budget: 3,
+            violation_budget: budget,
             fault_hook: Some(plan.clone()),
             ..Default::default()
         };
-        let mut vm = make_vm_recovering(cfg);
+        let mut vm = make_vm(arm, cfg);
         let (prog, iters, size, mode) = workload;
         let r = boot_user(&mut vm, prog, pack_arg(iters, size, mode));
         let outcome = match r {
@@ -78,10 +236,12 @@ fn run_one(class: FaultClass, seed: u64, workload: (&str, u64, u64, u64)) -> Opt
             Err(VmError::Safety(e)) => Outcome::EscapedSafety(e.to_string()),
             Err(e) => Outcome::StructuredError(e.to_string()),
         };
+        let blast = measure_blast(&mut vm, arm, baseline);
         RunResult {
             injected: plan.injected(),
             stats: vm.stats(),
             outcome,
+            blast,
         }
     }))
     .ok()
@@ -100,6 +260,14 @@ struct Tally {
     structured_errors: u64,
     escaped_safety: u64,
     panics: u64,
+    // Blast-radius aggregates.
+    contained_syscall: u64,
+    contained_boot: u64,
+    probes_responsive: u64,
+    probes_degraded: u64,
+    probes_dead: u64,
+    syscalls_degraded: u64,
+    threads_stranded: u64,
 }
 
 impl Tally {
@@ -113,6 +281,13 @@ impl Tally {
         self.recovered += r.stats.violations_recovered;
         self.quarantined += r.stats.pools_quarantined;
         self.poisoned += r.stats.pools_poisoned;
+        self.contained_syscall += r.blast.contained_syscall;
+        self.contained_boot += r.blast.contained_boot;
+        self.probes_responsive += r.blast.probes_responsive;
+        self.probes_degraded += r.blast.probes_degraded;
+        self.probes_dead += r.blast.probes_dead;
+        self.syscalls_degraded += r.blast.syscalls_degraded;
+        self.threads_stranded += r.blast.threads_stranded;
         match &r.outcome {
             Outcome::Completed => self.completed += 1,
             Outcome::HaltedPoisoned => self.halted_poisoned += 1,
@@ -125,13 +300,20 @@ impl Tally {
         }
     }
 
+    fn machine_deaths(&self) -> u64 {
+        self.halted_poisoned + self.halted_clean
+    }
+
     fn json(&self) -> String {
         format!(
             concat!(
                 "{{\"runs\":{},\"faults_injected\":{},\"violations_recovered\":{},",
                 "\"pools_quarantined\":{},\"pools_poisoned\":{},\"completed\":{},",
                 "\"halted_poisoned\":{},\"halted_clean\":{},\"structured_errors\":{},",
-                "\"escaped_safety\":{},\"panics\":{}}}"
+                "\"escaped_safety\":{},\"panics\":{},",
+                "\"contained_syscall\":{},\"contained_boot\":{},",
+                "\"probes_responsive\":{},\"probes_degraded\":{},\"probes_dead\":{},",
+                "\"syscalls_degraded\":{},\"threads_stranded\":{}}}"
             ),
             self.runs,
             self.injected,
@@ -144,6 +326,13 @@ impl Tally {
             self.structured_errors,
             self.escaped_safety,
             self.panics,
+            self.contained_syscall,
+            self.contained_boot,
+            self.probes_responsive,
+            self.probes_degraded,
+            self.probes_dead,
+            self.syscalls_degraded,
+            self.threads_stranded,
         )
     }
 }
@@ -169,48 +358,124 @@ fn report_dir() -> std::path::PathBuf {
     }
 }
 
-fn main() {
-    // Determinism gate: the same plan on the same workload must replay
-    // bit-identically (stats and injection counts included).
-    let d0 = run_one(FaultClass::WildPtr, SEEDS[0], WORKLOADS[0]);
-    let d1 = run_one(FaultClass::WildPtr, SEEDS[0], WORKLOADS[0]);
-    let deterministic = d0 == d1 && d0.is_some();
-    if !deterministic {
-        eprintln!("DETERMINISM FAILURE:\n  {d0:?}\n  {d1:?}");
-    }
-
+fn run_arm(arm: Arm, baselines: &[u64; WORKLOADS.len()]) -> (Tally, Vec<(FaultClass, Tally)>) {
     let mut total = Tally::default();
     let mut per_class = Vec::new();
     for class in FaultClass::ALL {
         let mut tally = Tally::default();
         for seed in SEEDS {
-            for workload in WORKLOADS {
-                let r = run_one(class, seed, workload);
+            for (wi, workload) in WORKLOADS.into_iter().enumerate() {
+                let r = run_one(arm, class, seed, workload, BUDGET, baselines[wi]);
                 tally.absorb(&r);
                 total.absorb(&r);
             }
         }
         println!(
-            "{:18} runs {:3}  injected {:6}  recovered {:6}  completed {:3}  poisoned-halt {:3}",
+            "{:7} {:18} runs {:3}  injected {:6}  recovered {:6}  deaths {:3}  contained sys/boot {:5}/{:4}  probes live {:4}",
+            arm.name(),
             class.name(),
             tally.runs,
             tally.injected,
             tally.recovered,
-            tally.completed,
-            tally.halted_poisoned,
+            tally.machine_deaths(),
+            tally.contained_syscall,
+            tally.contained_boot,
+            tally.probes_responsive,
         );
         per_class.push((class, tally));
     }
+    (total, per_class)
+}
 
-    let classes_json: Vec<String> = per_class
-        .iter()
-        .map(|(c, t)| format!("{{\"class\":\"{}\",\"tally\":{}}}", c.name(), t.json()))
-        .collect();
+fn main() {
+    // Sanity gate for the proc_table geometry: a clean nested run must
+    // strand nothing beyond its own baseline (i.e. the baseline math
+    // sees real process states, not garbage).
+    let nested_baselines: [u64; WORKLOADS.len()] =
+        std::array::from_fn(|i| clean_baseline(Arm::Nested, WORKLOADS[i]));
+    let flat_baselines: [u64; WORKLOADS.len()] =
+        std::array::from_fn(|i| clean_baseline(Arm::Flat, WORKLOADS[i]));
+
+    // Determinism gate on both arms: the same plan on the same workload
+    // must replay bit-identically — stats, injections and blast radius.
+    let mut deterministic = true;
+    for arm in [Arm::Flat, Arm::Nested] {
+        let b = match arm {
+            Arm::Flat => flat_baselines[0],
+            Arm::Nested => nested_baselines[0],
+        };
+        let d0 = run_one(arm, FaultClass::WildPtr, SEEDS[0], WORKLOADS[0], BUDGET, b);
+        let d1 = run_one(arm, FaultClass::WildPtr, SEEDS[0], WORKLOADS[0], BUDGET, b);
+        if d0 != d1 || d0.is_none() {
+            deterministic = false;
+            eprintln!("DETERMINISM FAILURE ({}):\n  {d0:?}\n  {d1:?}", arm.name());
+        }
+    }
+
+    let (flat_total, flat_classes) = run_arm(Arm::Flat, &flat_baselines);
+    let (nested_total, nested_classes) = run_arm(Arm::Nested, &nested_baselines);
+
+    // Degradation sub-run: budget 1, so a single violation poisons its
+    // pool and the owning syscall degrades to -ENOSYS while the rest of
+    // the machine keeps answering.
+    let mut degr = Tally::default();
+    let mut degraded_runs = 0u64;
+    for seed in [1, 2, 3] {
+        for wi in [1usize, 3] {
+            let r = run_one(
+                Arm::Nested,
+                FaultClass::WildPtr,
+                seed,
+                WORKLOADS[wi],
+                1,
+                nested_baselines[wi],
+            );
+            if let Some(rr) = &r {
+                if rr.blast.syscalls_degraded > 0 {
+                    degraded_runs += 1;
+                }
+            }
+            degr.absorb(&r);
+        }
+    }
+    println!(
+        "nested  degradation(b=1)  runs {:3}  degraded-runs {:3}  syscalls-degraded {:3}  deaths {:3}  probes live {:4}",
+        degr.runs,
+        degraded_runs,
+        degr.syscalls_degraded,
+        degr.machine_deaths(),
+        degr.probes_responsive,
+    );
+
+    let arm_json = |total: &Tally, classes: &[(FaultClass, Tally)]| {
+        let cj: Vec<String> = classes
+            .iter()
+            .map(|(c, t)| format!("{{\"class\":\"{}\",\"tally\":{}}}", c.name(), t.json()))
+            .collect();
+        format!(
+            "{{\"total\":{},\"classes\":[{}]}}",
+            total.json(),
+            cj.join(",")
+        )
+    };
     let json = format!(
-        "{{\"campaign\":\"faultcamp\",\"deterministic\":{},\"total\":{},\"classes\":[{}]}}\n",
+        concat!(
+            "{{\"campaign\":\"faultcamp\",\"deterministic\":{},",
+            "\"flat\":{},\"nested\":{},",
+            "\"degradation\":{{\"tally\":{},\"degraded_runs\":{}}},",
+            "\"gates\":{{\"panics\":{},\"escapes\":{},\"nested_machine_deaths\":{},",
+            "\"nested_probes_dead\":{},\"flat_machine_deaths\":{}}}}}\n"
+        ),
         deterministic,
-        total.json(),
-        classes_json.join(","),
+        arm_json(&flat_total, &flat_classes),
+        arm_json(&nested_total, &nested_classes),
+        degr.json(),
+        degraded_runs,
+        flat_total.panics + nested_total.panics + degr.panics,
+        flat_total.escaped_safety + nested_total.escaped_safety + degr.escaped_safety,
+        nested_total.machine_deaths() + degr.machine_deaths(),
+        nested_total.probes_dead + degr.probes_dead,
+        flat_total.machine_deaths(),
     );
 
     let dir = report_dir();
@@ -221,15 +486,63 @@ fn main() {
         }
     }
 
+    let panics = flat_total.panics + nested_total.panics + degr.panics;
+    let escapes = flat_total.escaped_safety + nested_total.escaped_safety + degr.escaped_safety;
     println!(
-        "total: {} faults injected, {} recovered, {} panics, {} escaped",
-        total.injected, total.recovered, total.panics, total.escaped_safety
+        "flat:   {} injected, {} recovered, {} machine deaths, probes {}/{} live",
+        flat_total.injected,
+        flat_total.recovered,
+        flat_total.machine_deaths(),
+        flat_total.probes_responsive,
+        flat_total.runs * PROBES.len() as u64,
     );
-    let enough = total.injected >= 1000;
-    if !enough {
-        eprintln!("FAILURE: campaign injected fewer than 1000 faults");
-    }
-    if total.panics > 0 || total.escaped_safety > 0 || !deterministic || !enough {
+    println!(
+        "nested: {} injected, {} recovered, {} machine deaths, probes {}/{} live, contained sys/boot {}/{}",
+        nested_total.injected,
+        nested_total.recovered,
+        nested_total.machine_deaths(),
+        nested_total.probes_responsive,
+        nested_total.runs * PROBES.len() as u64,
+        nested_total.contained_syscall,
+        nested_total.contained_boot,
+    );
+
+    let mut failed = false;
+    let mut fail = |cond: bool, msg: &str| {
+        if cond {
+            eprintln!("FAILURE: {msg}");
+            failed = true;
+        }
+    };
+    fail(panics > 0, "a campaign run panicked the host");
+    fail(escapes > 0, "a safety violation escaped a recovery domain");
+    fail(!deterministic, "campaign replay was not bit-identical");
+    fail(
+        flat_total.injected + nested_total.injected < 1000,
+        "campaign injected fewer than 1000 faults",
+    );
+    fail(
+        nested_total.machine_deaths() + degr.machine_deaths() > 0,
+        "a fault killed the nested machine (blast radius escaped the syscall)",
+    );
+    fail(
+        nested_total.probes_dead + degr.probes_dead > 0,
+        "a post-fault probe found the nested machine unresponsive",
+    );
+    fail(
+        nested_total.recovered > 0 && nested_total.contained_syscall == 0,
+        "nested arm recovered faults but none at syscall depth",
+    );
+    fail(
+        degraded_runs == 0,
+        "degradation sub-run never degraded a syscall",
+    );
+    fail(
+        nested_total.machine_deaths() >= flat_total.machine_deaths()
+            && flat_total.machine_deaths() > 0,
+        "nested blast radius not strictly smaller than flat",
+    );
+    if failed {
         std::process::exit(1);
     }
 }

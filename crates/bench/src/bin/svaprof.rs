@@ -17,18 +17,34 @@
 //!   `Vm::with_profile` — the feedback file of the profile-guided
 //!   optimizing tier (DESIGN.md §4.4).
 //!
+//! Two offline modes skip the boot entirely:
+//!
+//! - `--replay events.jsonl` parses a recorded JSONL dump back into
+//!   events, feeds them through a *fresh* ring/profile/exporter pipeline,
+//!   and validates every exporter (panic guard, JSONL round-trip,
+//!   balanced Chrome spans, cumulative Prometheus histograms) — the way
+//!   to reproduce an exporter bug from a bug report's attached stream.
+//!   With `--shrink`, a failing stream is bisected to the minimal failing
+//!   prefix, written next to the input as `<input>.min.jsonl`.
+//! - `--prom-diff OLD NEW` diffs two Prometheus text exports: counter
+//!   deltas and per-bucket histogram shifts. Nightly CI runs it against
+//!   the previous night's artifact to catch latency-distribution drift
+//!   that leaves the medians untouched.
+//!
 //! Usage: `cargo run --release -p bench --bin svaprof --
 //!     [--prog NAME] [--arg N] [--kind sva-safe|native|sva-gcc|sva-llvm]
 //!     [--top N] [--capacity N] [--prom]
-//!     [--profile-out PATH] [--profile-keep FRAC]`
+//!     [--profile-out PATH] [--profile-keep FRAC]
+//!     [--replay PATH [--shrink]] [--prom-diff OLD NEW]`
 //!
 //! Exits nonzero if the captured profile is empty — CI uses that to catch
-//! a silently-detached tracer.
+//! a silently-detached tracer — or, under `--replay`, if the stream fails
+//! exporter validation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::run_workload_traced;
+use bench::{prof, run_workload_traced};
 use sva_trace::{to_chrome_trace, to_jsonl, to_prometheus, top_report, RingConfig};
 use sva_vm::{HotProfile, KernelKind};
 
@@ -66,6 +82,9 @@ struct Options {
     prom: bool,
     profile_out: Option<PathBuf>,
     profile_keep: f64,
+    replay: Option<PathBuf>,
+    shrink: bool,
+    prom_diff: Option<(PathBuf, PathBuf)>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -78,6 +97,9 @@ fn parse_args() -> Result<Options, String> {
         prom: false,
         profile_out: None,
         profile_keep: 0.25,
+        replay: None,
+        shrink: false,
+        prom_diff: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -111,10 +133,107 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--profile-keep must be in 0..=1".to_string());
                 }
             }
+            "--replay" => opts.replay = Some(PathBuf::from(val("--replay")?)),
+            "--shrink" => opts.shrink = true,
+            "--prom-diff" => {
+                let old = PathBuf::from(val("--prom-diff")?);
+                let new = PathBuf::from(val("--prom-diff")?);
+                opts.prom_diff = Some((old, new));
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if opts.shrink && opts.replay.is_none() {
+        return Err("--shrink only makes sense with --replay".to_string());
+    }
     Ok(opts)
+}
+
+/// `--replay`: run a recorded stream through the exporter layer offline.
+fn replay_mode(path: &PathBuf, capacity: usize, top: usize, shrink: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("svaprof: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = prof::parse_jsonl(&text);
+    for (line, content) in stream.bad_lines.iter().take(5) {
+        eprintln!(
+            "svaprof: {}:{line}: unparseable event: {content}",
+            path.display()
+        );
+    }
+    println!(
+        "svaprof: replayed {} events from {} ({} bad lines)",
+        stream.events.len(),
+        path.display(),
+        stream.bad_lines.len()
+    );
+    let tracer = prof::replay(&stream.events, capacity);
+    let total = stream.events.last().map(|e| e.ts).unwrap_or(0);
+    println!("{}", top_report(&tracer, total, top));
+    match prof::replay_failure(&stream.events, capacity) {
+        None => {
+            if shrink {
+                println!("svaprof: stream passes — nothing to shrink");
+            }
+            ExitCode::SUCCESS
+        }
+        Some(reason) => {
+            eprintln!("svaprof: exporter validation FAILED: {reason}");
+            if shrink {
+                if let Some(n) = prof::shrink_failing_prefix(&stream.events, capacity) {
+                    let out = path.with_extension("min.jsonl");
+                    let min: String = stream.events[..n]
+                        .iter()
+                        .map(|e| e.to_json() + "\n")
+                        .collect();
+                    match std::fs::write(&out, min) {
+                        Ok(()) => eprintln!(
+                            "svaprof: minimal failing prefix: {n} of {} events -> {}",
+                            stream.events.len(),
+                            out.display()
+                        ),
+                        Err(e) => eprintln!("svaprof: cannot write {}: {e}", out.display()),
+                    }
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--prom-diff`: counter deltas and histogram-bucket shifts between two
+/// Prometheus text exports.
+fn prom_diff_mode(old: &PathBuf, new: &PathBuf) -> ExitCode {
+    let mut snaps = Vec::new();
+    for path in [old, new] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("svaprof: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match prof::parse_prom(&text) {
+            Ok(s) => snaps.push(s),
+            Err(e) => {
+                eprintln!("svaprof: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let d = prof::diff_prom(&snaps[0], &snaps[1]);
+    println!(
+        "svaprof: prom-diff {} -> {}: {} change(s)",
+        old.display(),
+        new.display(),
+        d.changes
+    );
+    print!("{}", d.report);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -125,6 +244,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some((old, new)) = &opts.prom_diff {
+        return prom_diff_mode(old, new);
+    }
+    if let Some(path) = &opts.replay {
+        return replay_mode(path, opts.capacity, opts.top, opts.shrink);
+    }
 
     let cfg = RingConfig {
         capacity: opts.capacity,

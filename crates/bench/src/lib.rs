@@ -14,6 +14,8 @@ use sva_vm::{KernelKind, VmConfig, VmExit, VmStats};
 
 pub use sva_kernel::harness::pack_arg as pack;
 
+pub mod prof;
+
 /// One measured run.
 #[derive(Clone, Copy, Debug)]
 pub struct Sample {

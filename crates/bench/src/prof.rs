@@ -1,0 +1,493 @@
+//! Offline `svaprof` machinery: JSONL event-stream replay through the
+//! ring/profile/exporter layer, prefix shrinking, and Prometheus text
+//! diffing.
+//!
+//! Replay exists to reproduce exporter bugs without booting a kernel: a
+//! recorded `*.jsonl` stream (the `svaprof` dump format) is parsed back
+//! into [`TimedEvent`]s and fed through a fresh [`RingTracer`], then every
+//! exporter runs against the result under a panic guard plus structural
+//! validators. When the stream fails, [`shrink_failing_prefix`] bisects to
+//! the shortest prefix that still fails, which is usually a one-event
+//! reproducer once the passing prefix is stripped.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sva_trace::{
+    to_chrome_trace, to_jsonl, to_prometheus, RingConfig, RingTracer, TimedEvent, Tracer,
+};
+
+// ---------------------------------------------------------------------------
+// JSONL replay.
+// ---------------------------------------------------------------------------
+
+/// A parsed replay stream.
+pub struct ReplayStream {
+    /// Events in file order.
+    pub events: Vec<TimedEvent>,
+    /// `(1-based line number, line)` pairs that did not parse.
+    pub bad_lines: Vec<(usize, String)>,
+}
+
+/// Parses a JSONL dump (one event per line, blank lines ignored).
+pub fn parse_jsonl(text: &str) -> ReplayStream {
+    let mut events = Vec::new();
+    let mut bad_lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TimedEvent::from_json(line) {
+            Some(ev) => events.push(ev),
+            None => bad_lines.push((i + 1, line.to_string())),
+        }
+    }
+    ReplayStream { events, bad_lines }
+}
+
+/// Feeds `events` through a fresh ring/profile/metrics pipeline, exactly
+/// as a live VM would have recorded them.
+pub fn replay(events: &[TimedEvent], capacity: usize) -> RingTracer {
+    let mut t = RingTracer::new(RingConfig {
+        capacity,
+        ..Default::default()
+    });
+    for e in events {
+        t.record(e.ts, e.event.clone());
+    }
+    t
+}
+
+/// Runs one exporter under a panic guard and hands its output to a
+/// validator.
+fn check_export(
+    name: &str,
+    tracer: &RingTracer,
+    export: impl Fn(&RingTracer) -> String,
+    validate: impl Fn(&str) -> Result<(), String>,
+) -> Result<(), String> {
+    let out = catch_unwind(AssertUnwindSafe(|| export(tracer)))
+        .map_err(|_| format!("{name}: exporter panicked"))?;
+    validate(&out).map_err(|e| format!("{name}: {e}"))
+}
+
+/// Replays a stream and verifies the exporter layer: every exporter must
+/// run without panicking, the JSONL serialization must round-trip through
+/// the codec, the Chrome trace must balance its `B`/`E` spans, and every
+/// Prometheus histogram must be cumulative with its `+Inf` bucket equal to
+/// `_count`. Returns the first failure, or `None` if the stream is clean.
+pub fn replay_failure(events: &[TimedEvent], capacity: usize) -> Option<String> {
+    let tracer = match catch_unwind(AssertUnwindSafe(|| replay(events, capacity))) {
+        Ok(t) => t,
+        Err(_) => return Some("replay: tracer panicked while recording".to_string()),
+    };
+    let r = check_export("jsonl", &tracer, to_jsonl, |out| {
+        for (i, line) in out.lines().enumerate() {
+            if TimedEvent::from_json(line).is_none() {
+                return Err(format!("line {} does not round-trip: {line}", i + 1));
+            }
+        }
+        Ok(())
+    })
+    .and_then(|()| {
+        check_export("chrome", &tracer, to_chrome_trace, |out| {
+            // Spans left open at the end are normal (a halt mid-syscall
+            // truncates the stream there); a span *closed before it was
+            // opened* — the ring dropped the B, the E survived — renders
+            // wrong in the trace viewer and is the bug to flag.
+            let mut open = 0i64;
+            for (i, line) in out.lines().enumerate() {
+                if line.contains("\"ph\":\"B\"") {
+                    open += 1;
+                } else if line.contains("\"ph\":\"E\"") {
+                    open -= 1;
+                    if open < 0 {
+                        return Err(format!("stray span end at event line {}", i + 1));
+                    }
+                }
+            }
+            Ok(())
+        })
+    })
+    .and_then(|()| {
+        check_export("prometheus", &tracer, to_prometheus, |out| {
+            let snap = parse_prom(out)?;
+            for (name, h) in &snap.histograms {
+                let mut prev = 0.0f64;
+                for (le, v) in &h.buckets {
+                    if *v < prev {
+                        return Err(format!("{name}: bucket le={le} not cumulative"));
+                    }
+                    prev = *v;
+                }
+                if let Some((_, last)) = h.buckets.last() {
+                    if *last != h.count {
+                        return Err(format!("{name}: +Inf bucket {last} != count {}", h.count));
+                    }
+                }
+            }
+            Ok(())
+        })
+    });
+    r.err()
+}
+
+/// Bisects to the minimal failing prefix: the smallest `n` such that
+/// `events[..n]` fails while `events[..n-1]` passes. Assumes the failure
+/// is prefix-monotone (adding events never fixes it), which holds for the
+/// exporter-layer failures [`replay_failure`] detects; a non-monotone
+/// failure still yields *a* pass/fail boundary, just not a global minimum.
+/// Returns `None` when the full stream already passes.
+pub fn shrink_failing_prefix(events: &[TimedEvent], capacity: usize) -> Option<usize> {
+    replay_failure(events, capacity)?;
+    // Invariant: prefix of length `hi` fails, prefix of length `lo` passes.
+    let (mut lo, mut hi) = (0usize, events.len());
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if replay_failure(&events[..mid], capacity).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text parsing and diffing.
+// ---------------------------------------------------------------------------
+
+/// A parsed histogram: cumulative buckets in file order (`le` label,
+/// cumulative count), plus `_sum` and `_count`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PromHistogram {
+    /// `(le, cumulative count)` in exposition order, `+Inf` last.
+    pub buckets: Vec<(String, f64)>,
+    /// The `_sum` series.
+    pub sum: f64,
+    /// The `_count` series.
+    pub count: f64,
+}
+
+/// A parsed Prometheus text exposition.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PromSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, f64>,
+    /// Histogram name → buckets/sum/count.
+    pub histograms: BTreeMap<String, PromHistogram>,
+}
+
+/// Parses the subset of the Prometheus text exposition format that
+/// `sva_trace::to_prometheus` emits: `# TYPE` comments, bare counter
+/// samples, and histogram `_bucket{le="..."}`/`_sum`/`_count` series.
+pub fn parse_prom(text: &str) -> Result<PromSnapshot, String> {
+    let mut snap = PromSnapshot::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: &str| format!("prom line {}: {msg}: {raw}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("TYPE") {
+                let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+                match kind {
+                    "counter" => {
+                        snap.counters.insert(name.to_string(), 0.0);
+                    }
+                    "histogram" => {
+                        snap.histograms
+                            .insert(name.to_string(), PromHistogram::default());
+                    }
+                    _ => return Err(err("unsupported metric type")),
+                }
+            }
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(char::is_whitespace)
+            .ok_or_else(|| err("no value"))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| err("value is not a number"))?;
+        if let Some((base, labels)) = name_part.split_once('{') {
+            let base = base
+                .strip_suffix("_bucket")
+                .ok_or_else(|| err("labeled series is not a _bucket"))?;
+            let h = snap
+                .histograms
+                .get_mut(base)
+                .ok_or_else(|| err("bucket without a histogram TYPE"))?;
+            let le = labels
+                .trim_end_matches('}')
+                .strip_prefix("le=\"")
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err("bucket without an le label"))?;
+            h.buckets.push((le.to_string(), value));
+        } else if let Some(base) = name_part.strip_suffix("_sum") {
+            snap.histograms
+                .get_mut(base)
+                .ok_or_else(|| err("_sum without a histogram TYPE"))?
+                .sum = value;
+        } else if let Some(base) = name_part
+            .strip_suffix("_count")
+            .filter(|b| snap.histograms.contains_key(*b))
+        {
+            snap.histograms.get_mut(base).unwrap().count = value;
+        } else if let Some(v) = snap.counters.get_mut(name_part) {
+            *v = value;
+        } else {
+            return Err(err("sample without a TYPE comment"));
+        }
+    }
+    Ok(snap)
+}
+
+/// The rendered diff between two snapshots plus a change tally, so
+/// callers can distinguish "ran, nothing moved" from "ran, N shifts".
+pub struct PromDiff {
+    /// Human-readable report, one line per changed series.
+    pub report: String,
+    /// Changed counters + changed histograms + added/removed metrics.
+    pub changes: usize,
+}
+
+fn fmt_delta(d: f64) -> String {
+    if d >= 0.0 {
+        format!("+{d}")
+    } else {
+        format!("{d}")
+    }
+}
+
+/// Per-bucket (non-cumulative) increments of a histogram, keyed by `le`.
+fn increments(h: &PromHistogram) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut prev = 0.0;
+    for (le, cum) in &h.buckets {
+        out.insert(le.clone(), cum - prev);
+        prev = *cum;
+    }
+    out
+}
+
+/// Diffs two parsed expositions: counter deltas, histogram-bucket shifts
+/// (per-bucket increments, not the cumulative series, so a latency shift
+/// shows up in exactly the buckets it moved between), and added/removed
+/// metrics. Unchanged series are omitted from the report.
+pub fn diff_prom(old: &PromSnapshot, new: &PromSnapshot) -> PromDiff {
+    let mut report = String::new();
+    let mut changes = 0usize;
+
+    let counter_names: std::collections::BTreeSet<&String> =
+        old.counters.keys().chain(new.counters.keys()).collect();
+    for name in counter_names {
+        match (old.counters.get(name), new.counters.get(name)) {
+            (Some(a), Some(b)) if a != b => {
+                changes += 1;
+                let _ = writeln!(report, "counter {name}: {a} -> {b} ({})", fmt_delta(b - a));
+            }
+            (Some(a), None) => {
+                changes += 1;
+                let _ = writeln!(report, "counter {name}: removed (was {a})");
+            }
+            (None, Some(b)) => {
+                changes += 1;
+                let _ = writeln!(report, "counter {name}: added ({b})");
+            }
+            _ => {}
+        }
+    }
+
+    let histo_names: std::collections::BTreeSet<&String> =
+        old.histograms.keys().chain(new.histograms.keys()).collect();
+    for name in histo_names {
+        match (old.histograms.get(name), new.histograms.get(name)) {
+            (Some(a), Some(b)) => {
+                if a == b {
+                    continue;
+                }
+                changes += 1;
+                let _ = writeln!(
+                    report,
+                    "histogram {name}: count {} -> {} ({}), sum {} -> {} ({})",
+                    a.count,
+                    b.count,
+                    fmt_delta(b.count - a.count),
+                    a.sum,
+                    b.sum,
+                    fmt_delta(b.sum - a.sum),
+                );
+                let (ia, ib) = (increments(a), increments(b));
+                let les: std::collections::BTreeSet<&String> = ia.keys().chain(ib.keys()).collect();
+                let mut rows: Vec<(&String, f64, f64)> = les
+                    .into_iter()
+                    .map(|le| {
+                        (
+                            le,
+                            ia.get(le).copied().unwrap_or(0.0),
+                            ib.get(le).copied().unwrap_or(0.0),
+                        )
+                    })
+                    .filter(|(_, a, b)| a != b)
+                    .collect();
+                // Numeric le order where possible (+Inf sorts last).
+                rows.sort_by(|x, y| {
+                    let key = |le: &str| le.parse::<f64>().unwrap_or(f64::INFINITY);
+                    key(x.0)
+                        .partial_cmp(&key(y.0))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for (le, a, b) in rows {
+                    let _ = writeln!(
+                        report,
+                        "  bucket le={le}: {a} -> {b} ({})",
+                        fmt_delta(b - a)
+                    );
+                }
+            }
+            (Some(_), None) => {
+                changes += 1;
+                let _ = writeln!(report, "histogram {name}: removed");
+            }
+            (None, Some(_)) => {
+                changes += 1;
+                let _ = writeln!(report, "histogram {name}: added");
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+
+    PromDiff { report, changes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_trace::TraceEvent;
+
+    fn inst(ts: u64) -> TimedEvent {
+        TimedEvent {
+            ts,
+            event: TraceEvent::Inst {
+                func: 0,
+                opcode: "load",
+                cost: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_parse_keeps_order_and_reports_bad_lines() {
+        let good = inst(3).to_json();
+        let text = format!("{good}\n\nnot json\n{good}\n");
+        let s = parse_jsonl(&text);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].ts, 3);
+        assert_eq!(s.bad_lines, vec![(3, "not json".to_string())]);
+    }
+
+    #[test]
+    fn clean_stream_replays_without_failure() {
+        let events: Vec<TimedEvent> = (1..=64).map(inst).collect();
+        assert_eq!(replay_failure(&events, 1024), None);
+        assert!(shrink_failing_prefix(&events, 1024).is_none());
+    }
+
+    #[test]
+    fn shrink_finds_the_pass_fail_boundary() {
+        // A span closed before it was opened — the head-truncated-stream
+        // exporter bug (the ring dropped the B, the E survived). The
+        // minimal failing prefix ends exactly at the stray OsExit.
+        let mut events: Vec<TimedEvent> = (1..=20).map(inst).collect();
+        events.push(TimedEvent {
+            ts: 21,
+            event: TraceEvent::OsExit {
+                op: "sva.syscall",
+                cost: 3,
+            },
+        });
+        events.extend((22..=40).map(inst));
+        let full = replay_failure(&events, 1024);
+        assert!(full.as_deref().unwrap_or("").contains("chrome"), "{full:?}");
+        assert_eq!(shrink_failing_prefix(&events, 1024), Some(21));
+        assert!(replay_failure(&events[..20], 1024).is_none());
+    }
+
+    #[test]
+    fn spans_open_at_stream_end_are_not_failures() {
+        // A halt mid-syscall legitimately truncates the stream inside a
+        // span; the validator must accept it.
+        let mut events: Vec<TimedEvent> = (1..=8).map(inst).collect();
+        events.push(TimedEvent {
+            ts: 9,
+            event: TraceEvent::SyscallEnter { num: 1 },
+        });
+        assert_eq!(replay_failure(&events, 1024), None);
+    }
+
+    #[test]
+    fn prom_round_trip_and_diff_reports_shifts() {
+        let old = "\
+# TYPE sva_traps counter
+sva_traps 10
+# TYPE sva_lat histogram
+sva_lat_bucket{le=\"8\"} 3
+sva_lat_bucket{le=\"16\"} 5
+sva_lat_bucket{le=\"+Inf\"} 6
+sva_lat_sum 70
+sva_lat_count 6
+";
+        let new = "\
+# TYPE sva_traps counter
+sva_traps 14
+# TYPE sva_fresh counter
+sva_fresh 1
+# TYPE sva_lat histogram
+sva_lat_bucket{le=\"8\"} 3
+sva_lat_bucket{le=\"16\"} 7
+sva_lat_bucket{le=\"+Inf\"} 8
+sva_lat_sum 100
+sva_lat_count 8
+";
+        let a = parse_prom(old).unwrap();
+        let b = parse_prom(new).unwrap();
+        assert_eq!(a.counters["sva_traps"], 10.0);
+        assert_eq!(a.histograms["sva_lat"].buckets.len(), 3);
+        let d = diff_prom(&a, &b);
+        assert_eq!(d.changes, 3, "{}", d.report);
+        assert!(d.report.contains("counter sva_traps: 10 -> 14 (+4)"));
+        assert!(d.report.contains("counter sva_fresh: added (1)"));
+        assert!(d.report.contains("histogram sva_lat: count 6 -> 8 (+2)"));
+        // The shift lands in the le=16 increment, not le=8.
+        assert!(
+            d.report.contains("bucket le=16: 2 -> 4 (+2)"),
+            "{}",
+            d.report
+        );
+        assert!(!d.report.contains("le=8:"), "{}", d.report);
+        // Identical snapshots: no changes.
+        assert_eq!(diff_prom(&a, &a).changes, 0);
+    }
+
+    #[test]
+    fn parse_prom_rejects_untyped_samples() {
+        assert!(parse_prom("sva_orphan 3\n").is_err());
+        assert!(parse_prom("# TYPE sva_x gauge\nsva_x 1\n").is_err());
+    }
+
+    #[test]
+    fn real_exporter_output_parses_back() {
+        let mut t = RingTracer::default();
+        t.record(5, TraceEvent::SyscallEnter { num: 4 });
+        t.record(40, TraceEvent::SyscallExit { num: 4, cost: 35 });
+        let snap = parse_prom(&to_prometheus(&t)).unwrap();
+        assert!(
+            !snap.counters.is_empty() || !snap.histograms.is_empty(),
+            "exporter emitted nothing"
+        );
+    }
+}

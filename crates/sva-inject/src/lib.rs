@@ -68,6 +68,17 @@ fn splitmix64(mut x: u64) -> u64 {
 /// registered with any pool).
 const WILD_BASE: u64 = 0x11f0_0000;
 
+/// A good [`FaultPlan::with_defer`] depth: stale probes fire (and GEP
+/// skews arm) this many kernel-mode instructions into the handler body
+/// rather than at handler entry, so on a nested kernel the modelled
+/// fault happens inside the per-syscall recovery domain the handler
+/// pushes (DESIGN.md §4.5). Deep enough to clear the wrapper prologue,
+/// shallow enough that even the shortest handlers are still in kernel
+/// mode. Deferred faults count run-loop steps, so they are *not*
+/// invariant under superinstruction fusion — plans that must replay
+/// identically across opt levels keep the default immediate form.
+pub const PROBE_DEFER: u64 = 8;
+
 struct PlanState {
     injected: u64,
     /// Learned `(pool, addr)` pairs from recent drops (use-after-free
@@ -84,6 +95,9 @@ pub struct FaultPlan {
     /// Metapool ids with complete points-to info — the pools whose checks
     /// actually reject unknown addresses.
     targets: Vec<u32>,
+    /// Kernel-mode instructions to defer stale probes by (0 = probe at
+    /// handler entry, the historical behavior).
+    defer: u64,
     state: Mutex<PlanState>,
 }
 
@@ -98,11 +112,19 @@ impl FaultPlan {
             seed,
             period: period.max(1),
             targets,
+            defer: 0,
             state: Mutex::new(PlanState {
                 injected: 0,
                 freed: Vec::new(),
             }),
         }
+    }
+
+    /// Defers stale probes and GEP-skew arming `n` kernel-mode
+    /// instructions into the handler body (see [`PROBE_DEFER`]).
+    pub fn with_defer(mut self, n: u64) -> FaultPlan {
+        self.defer = n;
+        self
     }
 
     /// Faults injected so far.
@@ -165,6 +187,9 @@ impl FaultHook for FaultPlan {
             FaultClass::IrqStorm => {
                 action.raise_irqs = 1 + (r & 7) as u32;
             }
+        }
+        if action.probe_stale.is_some() || action.gep_skew.is_some() {
+            action.probe_defer = self.defer;
         }
         let default = action.mutate_args.is_empty()
             && action.gep_skew.is_none()

@@ -614,8 +614,11 @@ fn check_intrinsic_arity(ctx: &mut Ctx<'_>, iid: InstId, i: Intrinsic, nargs: us
         | BoundsCheckRange | MemCpy | MemMove | MemSet => 3,
         GetBounds => 4,
         FuncCheck => 2,
-        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace | RecoverUnwind | RecoverRelease => 1,
-        CpuId | GetTimer | IcontextGet | MmuNewSpace | RecoverRegister => 0,
+        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace | RecoverUnwind => 1,
+        // `RecoverRelease` has two forms: with a pool argument it lifts
+        // that pool's quarantine (legacy boot handler), with none it pops
+        // the innermost recovery domain (DESIGN.md §4.5).
+        CpuId | GetTimer | IcontextGet | MmuNewSpace | RecoverRegister | RecoverRelease => 0,
     };
     if nargs < min {
         ctx.err(

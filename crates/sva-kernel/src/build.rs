@@ -53,6 +53,14 @@ pub struct KernelOptions {
     /// faulting user thread with `-EFAULT`, and halts the machine once a
     /// pool is poisoned.
     pub recovery: bool,
+    /// Nested per-subsystem recovery domains (DESIGN.md §4.5): every
+    /// syscall entry and the IRQ dispatch path run inside their own
+    /// domain (`sysd_*` / `irqd_*` wrappers), so a violation unwinds to
+    /// the syscall boundary, fails that call with `-EFAULT`, and a
+    /// poisoned subsystem degrades to `-ENOSYS` via the `syscall_health`
+    /// table instead of halting the machine. Implies the boot domain of
+    /// [`KernelOptions::recovery`] as the outermost fallback.
+    pub nested: bool,
 }
 
 // ---- kernel-wide constants ------------------------------------------------
@@ -76,6 +84,11 @@ const EINTR: i64 = -4;
 const EBADF: i64 = -9;
 /// Generic "no such thing" error.
 const ENOENT: i64 = -1;
+/// `-EFAULT`: the syscall was failed by a contained safety violation.
+const EFAULT: i64 = -14;
+/// `-ENOSYS`: the syscall is degraded — its subsystem poisoned a pool and
+/// the nested kernel fenced it off (DESIGN.md §4.5).
+const ENOSYS: i64 = -38;
 
 /// Key space for `sva.save.integer` state buffers: one per process.
 const SAVE_KEY_BASE: i64 = 0x6000_0000;
@@ -115,6 +128,46 @@ const UHEAP: i64 = UBASE + 0x28000;
 /// Base of the kernel brk heap mirrored by `mm_claim` (the VM maps
 /// `sva_vm` kernel memory flat; this matches `sva_vm::mem::KHEAP_BASE`).
 const KHEAP_BASE: i64 = 0x1020_0000;
+
+/// The syscall table: `(number, handler, arity)` in registration order.
+/// The nested kernel's `sysd_*` degradation wrappers, the
+/// `syscall_health` global and the per-syscall recovery-domain subsystem
+/// ids (`index + 1`; 0 is the boot domain, [`IRQ_SUBSYS`] the IRQ path)
+/// are all indexed by position in this table.
+pub const SYSCALLS: &[(i64, &str, usize)] = &[
+    (nr::EXIT, "sys_exit", 1),
+    (nr::FORK, "sys_fork", 0),
+    (nr::READ, "sys_read", 3),
+    (nr::WRITE, "sys_write", 3),
+    (nr::OPEN, "sys_open", 2),
+    (nr::CLOSE, "sys_close", 1),
+    (nr::WAITPID, "sys_waitpid", 1),
+    (nr::EXECVE, "sys_execve", 3),
+    (nr::LSEEK, "sys_lseek", 2),
+    (nr::GETPID, "sys_getpid", 0),
+    (nr::KILL, "sys_kill", 2),
+    (nr::PIPE, "sys_pipe", 1),
+    (nr::SBRK, "sys_sbrk", 1),
+    (nr::SIGACTION, "sys_sigaction", 2),
+    (nr::GETRUSAGE, "sys_getrusage", 1),
+    (nr::GETTIMEOFDAY, "sys_gettimeofday", 1),
+    (nr::YIELD, "sys_yield", 0),
+    (nr::SOCKET, "sys_socket", 0),
+    (nr::SETSOCKOPT, "sys_setsockopt", 4),
+    (nr::NET_RX_IGMP, "sys_net_rx_igmp", 2),
+    (nr::NET_RX_BT, "sys_net_rx_bt", 2),
+    (nr::ROUTE_LOOKUP, "sys_route_lookup", 1),
+];
+
+/// Recovery-domain subsystem id of the IRQ dispatch path (the syscall
+/// wrappers use `SYSCALLS` index + 1).
+pub const IRQ_SUBSYS: i64 = SYSCALLS.len() as i64 + 1;
+
+/// Name of the nested degradation wrapper for syscall handler `handler`
+/// (`sys_write` → `sysd_write`).
+pub fn sysd_name(handler: &str) -> String {
+    format!("sysd_{}", handler.strip_prefix("sys_").unwrap_or(handler))
+}
 
 // ---- shared builder context ------------------------------------------------
 
@@ -266,6 +319,7 @@ pub fn build_kernel(opts: &KernelOptions) -> Module {
     define_net_elf(&mut m, &k);
     define_sys(&mut m, &k);
     define_sys_io(&mut m, &k);
+    define_sysd(&mut m, &k);
     define_boot(&mut m, &k, opts);
     define_user(&mut m, &k);
     m.entry = Some(k.fid("start_kernel"));
@@ -377,6 +431,19 @@ fn declare(m: &mut Module) -> K {
     // boot path; declared unconditionally so image layouts stay aligned).
     gdecl(m, "recov_count", i64t, GlobalInit::Zero);
     gdecl(m, "recov_last_code", i64t, GlobalInit::Zero);
+    // Nested-domain bookkeeping (DESIGN.md §4.5): per-subsystem health
+    // (0 = live, 1 = degraded to -ENOSYS), indexed by `SYSCALLS`
+    // position, plus the IRQ path and a contained-violation counter for
+    // the `sysd_*` wrappers. Declared unconditionally, written only by
+    // the `KernelOptions::nested` image.
+    let health_arr = m.types.array(i64t, SYSCALLS.len() as u64);
+    gdecl(m, "syscall_health", health_arr, GlobalInit::Zero);
+    gdecl(m, "irq_health", i64t, GlobalInit::Zero);
+    gdecl(m, "recov_sysd_count", i64t, GlobalInit::Zero);
+    // Scratch used by the dbg_* recovery-ordering probes.
+    let order_arr = m.types.array(i64t, 4);
+    gdecl(m, "dbg_order", order_arr, GlobalInit::Zero);
+    gdecl(m, "dbg_order_n", i64t, GlobalInit::Zero);
 
     // Allocators (§4.4, §6.2): slab caches carved from raw pages, kmalloc
     // backed by the slab layer, vmalloc for large buffers, and the page
@@ -527,6 +594,19 @@ fn declare(m: &mut Module) -> K {
     fdecl(m, "sys_net_rx_bt", f2_i, Pub);
     fdecl(m, "sys_route_lookup", f1_i, Pub);
 
+    // Nested degradation wrappers (DESIGN.md §4.5): one per syscall, same
+    // signature as the wrapped handler, plus the IRQ-path wrapper.
+    for (_, handler, arity) in SYSCALLS {
+        let ty = [f0_i, f1_i, f2_i, f3_i, f4_i][*arity];
+        fdecl(m, &sysd_name(handler), ty, Pub);
+    }
+    fdecl(m, "irqd_timer_tick", f1_i, Pub);
+    // Recovery-semantics probes driven by the host-side tests.
+    fdecl(m, "dbg_unwind", f0_i, Pub);
+    fdecl(m, "dbg_nest", f0_i, Pub);
+    fdecl(m, "dbg_release_unwind", f0_i, Pub);
+    fdecl(m, "dbg_wedge", f0_i, Pub);
+
     fdecl(m, "start_kernel", f0_i, Pub);
 
     for name in [
@@ -565,6 +645,7 @@ fn declare(m: &mut Module) -> K {
         "user_sbrk_loop",
         "user_sigaction_loop",
         "user_write_loop",
+        "user_unwind_attack",
     ] {
         fdecl(m, name, user_fn_t, Pub);
     }
@@ -1802,46 +1883,265 @@ fn define_sys_io(m: &mut Module, k: &K) {
 
 // ---- boot -------------------------------------------------------------------
 
+// ---- nested recovery domains (DESIGN.md §4.5) -------------------------------
+
+/// Emits `dbg_order[dbg_order_n++] = v` (the tests read the array back to
+/// assert unwind ordering).
+fn dbg_record(b: &mut FunctionBuilder, k: &K, v: Operand) {
+    let np = k.gop("dbg_order_n");
+    let n = b.load(np);
+    let slot = b.array_elem_ptr(k.gop("dbg_order"), n);
+    b.store(v, slot);
+    let n1 = b.add(n, ci(k, 1));
+    b.store(n1, np);
+}
+
+/// Emits the nested-domain machinery: one `sysd_*` degradation wrapper
+/// per syscall, the `irqd_timer_tick` IRQ wrapper, and the `dbg_*`
+/// recovery-semantics probes. All are defined unconditionally (the image
+/// stays identical across configurations); only the
+/// [`KernelOptions::nested`] boot path registers the wrappers.
+fn define_sysd(m: &mut Module, k: &K) {
+    for (idx, (_num, handler, arity)) in SYSCALLS.iter().enumerate() {
+        // sysd_<name>(args...): fail fast while degraded, otherwise run
+        // the real handler inside its own recovery domain. A contained
+        // violation unwinds back here: the syscall fails with -EFAULT,
+        // and a poisoned pool degrades the whole syscall to -ENOSYS for
+        // the rest of the run.
+        let mut b = FunctionBuilder::new(m, k.fid(&sysd_name(handler)));
+        let params: Vec<Operand> = (0..*arity).map(|i| b.param(i)).collect();
+        let hp = b.array_elem_ptr(k.gop("syscall_health"), ci(k, idx as i64));
+        let hv = b.load(hp);
+        let degraded = b.icmp(IPred::Ne, hv, ci(k, 0));
+        ret_if(&mut b, k, degraded, ENOSYS);
+        let code = b
+            .intrinsic(
+                Intrinsic::RecoverRegister,
+                vec![ci(k, idx as i64 + 1)],
+                Some(k.i64t),
+            )
+            .unwrap();
+        let run = b.block("sysd.run");
+        let caught = b.block("sysd.caught");
+        let fresh = b.icmp(IPred::Eq, code, ci(k, 0));
+        b.cond_br(fresh, run, caught);
+
+        b.switch_to(run);
+        let r = b.call(k.fid(handler), params).unwrap();
+        b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+        b.ret(Some(r));
+
+        b.switch_to(caught);
+        let cnt_p = k.gop("recov_sysd_count");
+        let cnt = b.load(cnt_p);
+        let cnt1 = b.add(cnt, ci(k, 1));
+        b.store(cnt1, cnt_p);
+        b.store(code, k.gop("recov_last_code"));
+        let poisoned = {
+            let sh = b.lshr(code, ci(k, 8));
+            b.and(sh, ci(k, 1))
+        };
+        let degrade = b.block("sysd.degrade");
+        let fail = b.block("sysd.fail");
+        let pc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
+        b.cond_br(pc, degrade, fail);
+        b.switch_to(degrade);
+        b.store(ci(k, 1), hp);
+        b.br(fail);
+        b.switch_to(fail);
+        b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+        b.ret(Some(ci(k, EFAULT)));
+    }
+
+    // irqd_timer_tick(vector): the IRQ dispatch path's own domain. While
+    // degraded, ticks are dropped rather than risked.
+    let mut b = FunctionBuilder::new(m, k.fid("irqd_timer_tick"));
+    let vector = b.param(0);
+    let hv = b.load(k.gop("irq_health"));
+    let degraded = b.icmp(IPred::Ne, hv, ci(k, 0));
+    ret_if(&mut b, k, degraded, 0);
+    let code = b
+        .intrinsic(
+            Intrinsic::RecoverRegister,
+            vec![ci(k, IRQ_SUBSYS)],
+            Some(k.i64t),
+        )
+        .unwrap();
+    let run = b.block("irqd.run");
+    let caught = b.block("irqd.caught");
+    let fresh = b.icmp(IPred::Eq, code, ci(k, 0));
+    b.cond_br(fresh, run, caught);
+    b.switch_to(run);
+    let r = b.call(k.fid("sig_timer_tick"), vec![vector]).unwrap();
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(r));
+    b.switch_to(caught);
+    let cnt_p = k.gop("recov_sysd_count");
+    let cnt = b.load(cnt_p);
+    let cnt1 = b.add(cnt, ci(k, 1));
+    b.store(cnt1, cnt_p);
+    b.store(code, k.gop("recov_last_code"));
+    let poisoned = {
+        let sh = b.lshr(code, ci(k, 8));
+        b.and(sh, ci(k, 1))
+    };
+    let degrade = b.block("irqd.degrade");
+    let fail = b.block("irqd.fail");
+    let pc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
+    b.cond_br(pc, degrade, fail);
+    b.switch_to(degrade);
+    b.store(ci(k, 1), k.gop("irq_health"));
+    b.br(fail);
+    b.switch_to(fail);
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ci(k, 0)));
+
+    // dbg_unwind: an unwind with no live domain — the host test expects
+    // `NoRecoveryContext` from kernel mode (and `Privilege` from user
+    // mode, checked before any context lookup).
+    let mut b = FunctionBuilder::new(m, k.fid("dbg_unwind"));
+    b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 1)], None);
+    b.ret(Some(ci(k, 0)));
+
+    // dbg_nest: 3-deep domain stack; one unwind cascades LIFO through all
+    // three register points, recording subsystem ids in dbg_order.
+    let mut b = FunctionBuilder::new(m, k.fid("dbg_nest"));
+    let ca = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 11)], Some(k.i64t))
+        .unwrap();
+    let a_hit = b.block("nest.a_hit");
+    let a_cold = b.block("nest.a_cold");
+    let fa = b.icmp(IPred::Ne, ca, ci(k, 0));
+    b.cond_br(fa, a_hit, a_cold);
+    b.switch_to(a_hit);
+    dbg_record(&mut b, k, ci(k, 11));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(a_cold);
+    let cb = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 12)], Some(k.i64t))
+        .unwrap();
+    let b_hit = b.block("nest.b_hit");
+    let b_cold = b.block("nest.b_cold");
+    let fb = b.icmp(IPred::Ne, cb, ci(k, 0));
+    b.cond_br(fb, b_hit, b_cold);
+    b.switch_to(b_hit);
+    dbg_record(&mut b, k, ci(k, 12));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 99)], None);
+    b.ret(Some(ci(k, -3)));
+    b.switch_to(b_cold);
+    let cc = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 13)], Some(k.i64t))
+        .unwrap();
+    let c_hit = b.block("nest.c_hit");
+    let c_cold = b.block("nest.c_cold");
+    let fc = b.icmp(IPred::Ne, cc, ci(k, 0));
+    b.cond_br(fc, c_hit, c_cold);
+    b.switch_to(c_hit);
+    dbg_record(&mut b, k, ci(k, 13));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 99)], None);
+    b.ret(Some(ci(k, -2)));
+    b.switch_to(c_cold);
+    b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 99)], None);
+    b.ret(Some(ci(k, -1)));
+
+    // dbg_release_unwind: push two domains, pop the inner one, then
+    // unwind — the *outer* domain must catch, never the released one.
+    let mut b = FunctionBuilder::new(m, k.fid("dbg_release_unwind"));
+    let ca = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 21)], Some(k.i64t))
+        .unwrap();
+    let a_hit = b.block("relw.a_hit");
+    let a_cold = b.block("relw.a_cold");
+    let fa = b.icmp(IPred::Ne, ca, ci(k, 0));
+    b.cond_br(fa, a_hit, a_cold);
+    b.switch_to(a_hit);
+    dbg_record(&mut b, k, ci(k, 21));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ca));
+    b.switch_to(a_cold);
+    let cb = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 22)], Some(k.i64t))
+        .unwrap();
+    let b_hit = b.block("relw.b_hit");
+    let b_cold = b.block("relw.b_cold");
+    let fb = b.icmp(IPred::Ne, cb, ci(k, 0));
+    b.cond_br(fb, b_hit, b_cold);
+    b.switch_to(b_hit);
+    dbg_record(&mut b, k, ci(k, 22));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ci(k, -5)));
+    b.switch_to(b_cold);
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 77)], None);
+    b.ret(Some(ci(k, -6)));
+
+    // dbg_wedge: the inner domain spins forever; only the fuel watchdog
+    // (VmConfig::domain_fuel) can force-pop it and unwind to the outer
+    // domain with a kind-7 resume code.
+    let mut b = FunctionBuilder::new(m, k.fid("dbg_wedge"));
+    let ca = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 31)], Some(k.i64t))
+        .unwrap();
+    let a_hit = b.block("wedge.a_hit");
+    let a_cold = b.block("wedge.a_cold");
+    let fa = b.icmp(IPred::Ne, ca, ci(k, 0));
+    b.cond_br(fa, a_hit, a_cold);
+    b.switch_to(a_hit);
+    dbg_record(&mut b, k, ci(k, 31));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ca));
+    b.switch_to(a_cold);
+    let cb = b
+        .intrinsic(Intrinsic::RecoverRegister, vec![ci(k, 32)], Some(k.i64t))
+        .unwrap();
+    let b_hit = b.block("wedge.b_hit");
+    let spin = b.block("wedge.spin");
+    let fb = b.icmp(IPred::Ne, cb, ci(k, 0));
+    b.cond_br(fb, b_hit, spin);
+    b.switch_to(b_hit);
+    dbg_record(&mut b, k, ci(k, 32));
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ci(k, -7)));
+    b.switch_to(spin);
+    b.br(spin);
+}
+
 fn define_boot(m: &mut Module, k: &K, opts: &KernelOptions) {
     let mut b = FunctionBuilder::new(m, k.fid("start_kernel"));
     b.call(k.fid("mm_init"), vec![]);
-    let table: &[(i64, &str)] = &[
-        (nr::EXIT, "sys_exit"),
-        (nr::FORK, "sys_fork"),
-        (nr::READ, "sys_read"),
-        (nr::WRITE, "sys_write"),
-        (nr::OPEN, "sys_open"),
-        (nr::CLOSE, "sys_close"),
-        (nr::WAITPID, "sys_waitpid"),
-        (nr::EXECVE, "sys_execve"),
-        (nr::LSEEK, "sys_lseek"),
-        (nr::GETPID, "sys_getpid"),
-        (nr::KILL, "sys_kill"),
-        (nr::PIPE, "sys_pipe"),
-        (nr::SBRK, "sys_sbrk"),
-        (nr::SIGACTION, "sys_sigaction"),
-        (nr::GETRUSAGE, "sys_getrusage"),
-        (nr::GETTIMEOFDAY, "sys_gettimeofday"),
-        (nr::YIELD, "sys_yield"),
-        (nr::SOCKET, "sys_socket"),
-        (nr::SETSOCKOPT, "sys_setsockopt"),
-        (nr::NET_RX_IGMP, "sys_net_rx_igmp"),
-        (nr::NET_RX_BT, "sys_net_rx_bt"),
-        (nr::ROUTE_LOOKUP, "sys_route_lookup"),
-    ];
-    for (num, handler) in table {
+    // The nested kernel dispatches every syscall and the timer IRQ
+    // through its degradation wrappers (DESIGN.md §4.5); the flat kernel
+    // registers the raw handlers.
+    // `exit` never returns, so a domain pushed for it could never pop
+    // (a slow leak on the domain stack) — and degrading exit to -ENOSYS
+    // would make processes unkillable. It stays unwrapped, covered by
+    // the boot domain like every syscall on the flat kernel.
+    for (num, handler, _arity) in SYSCALLS {
+        let target = if opts.nested && *num != nr::EXIT {
+            k.fid(&sysd_name(handler))
+        } else {
+            k.fid(handler)
+        };
         b.intrinsic(
             Intrinsic::RegisterSyscall,
-            vec![ci(k, *num), Operand::Func(k.fid(handler))],
+            vec![ci(k, *num), Operand::Func(target)],
             None,
         );
     }
+    let irq_target = if opts.nested {
+        k.fid("irqd_timer_tick")
+    } else {
+        k.fid("sig_timer_tick")
+    };
     b.intrinsic(
         Intrinsic::RegisterInterrupt,
-        vec![ci(k, 0), Operand::Func(k.fid("sig_timer_tick"))],
+        vec![ci(k, 0), Operand::Func(irq_target)],
         None,
     );
-    if opts.recovery {
+    if opts.recovery || opts.nested {
         // Violation-recovery domain (DESIGN.md §4.3): every kernel-mode
         // safety violation from here on unwinds back to this point with a
         // nonzero packed resume code instead of stopping the machine.
@@ -1886,13 +2186,27 @@ fn define_boot(m: &mut Module, k: &K, opts: &KernelOptions) {
         b.br(after_rel);
 
         b.switch_to(after_rel);
-        // Past the budget the pool stays poisoned: halt with a distinct
-        // code rather than spin on a dead subsystem.
+        // Past the budget the pool stays poisoned. The flat kernel halts
+        // with a distinct code rather than spin on a dead subsystem; the
+        // nested kernel reserves halting for violations with nothing to
+        // resume — the pool stays fenced and the faulting thread gets
+        // -EFAULT, so one dead subsystem never takes the machine.
         let halt_poison = b.block("recov.halt_poison");
         let try_resume = b.block("recov.resume");
         let poisonc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
         b.cond_br(poisonc, halt_poison, try_resume);
         b.switch_to(halt_poison);
+        if opts.nested {
+            let p_iret = b.block("recov.poison_iret");
+            let p_halt = b.block("recov.poison_halt");
+            let has_ic = b.icmp(IPred::Ne, ic_p1, ci(k, 0));
+            b.cond_br(has_ic, p_iret, p_halt);
+            b.switch_to(p_iret);
+            let icid = b.sub(ic_p1, ci(k, 1));
+            b.intrinsic(Intrinsic::Iret, vec![icid, ci(k, EFAULT)], None);
+            b.ret(Some(ci(k, 0)));
+            b.switch_to(p_halt);
+        }
         b.intrinsic(Intrinsic::Abort, vec![ci(k, 41)], None);
         b.ret(Some(ci(k, 41)));
 
@@ -2269,6 +2583,14 @@ fn define_user2(m: &mut Module, k: &K) {
     let w = sc(&mut b, k, nr::WAITPID, vec![ci(k, 3)]);
     u_expect(&mut b, k, w, ci(k, ENOENT), 54);
     u_exit(&mut b, k, 0);
+
+    // user_unwind_attack: user mode calls sva.recover.unwind directly.
+    // The VM must reject it as a privilege violation *before* looking for
+    // a recovery context (DESIGN.md §4.5) — the boot test asserts the
+    // error kind.
+    let mut b = FunctionBuilder::new(m, k.fid("user_unwind_attack"));
+    b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 1)], None);
+    u_exit(&mut b, k, 61);
 
     // user_getrusage_loop(iters).
     let mut b = FunctionBuilder::new(m, k.fid("user_getrusage_loop"));

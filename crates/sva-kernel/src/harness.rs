@@ -54,7 +54,11 @@ pub fn safe_kernel_module(exclusions: &[&str]) -> Module {
 pub fn safe_kernel_module_with(exclusions: &[&str], opts: &KernelOptions) -> Module {
     let key = format!(
         "safe:{}:{}",
-        if opts.recovery { "recov" } else { "plain" },
+        match (opts.nested, opts.recovery) {
+            (true, _) => "nested",
+            (false, true) => "recov",
+            (false, false) => "plain",
+        },
         exclusions.join(","),
     );
     let mut c = cache().lock().unwrap();
@@ -130,14 +134,54 @@ pub fn make_vm_traced<T: Tracer>(kind: KernelKind, tracer: T) -> Vm<T> {
 /// checks live.
 pub fn make_vm_recovering(mut cfg: VmConfig) -> Vm {
     cfg.kind = KernelKind::SvaSafe;
-    let module = safe_kernel_module_with(AS_TESTED_EXCLUSIONS, &KernelOptions { recovery: true });
+    let module = safe_kernel_module_with(
+        AS_TESTED_EXCLUSIONS,
+        &KernelOptions {
+            recovery: true,
+            ..Default::default()
+        },
+    );
     Vm::new(module, cfg).expect("kernel loads")
 }
 
 /// Like [`make_vm_recovering`] with an attached tracer.
 pub fn make_vm_recovering_traced<T: Tracer>(mut cfg: VmConfig, tracer: T) -> Vm<T> {
     cfg.kind = KernelKind::SvaSafe;
-    let module = safe_kernel_module_with(AS_TESTED_EXCLUSIONS, &KernelOptions { recovery: true });
+    let module = safe_kernel_module_with(
+        AS_TESTED_EXCLUSIONS,
+        &KernelOptions {
+            recovery: true,
+            ..Default::default()
+        },
+    );
+    Vm::with_tracer(module, cfg, tracer).expect("kernel loads")
+}
+
+/// Builds a safety-checked VM whose kernel runs every syscall and the IRQ
+/// dispatch path inside its own nested recovery domain, on top of the
+/// boot domain (DESIGN.md §4.5). `cfg.kind` is forced to `SvaSafe`.
+pub fn make_vm_nested(mut cfg: VmConfig) -> Vm {
+    cfg.kind = KernelKind::SvaSafe;
+    let module = safe_kernel_module_with(
+        AS_TESTED_EXCLUSIONS,
+        &KernelOptions {
+            recovery: true,
+            nested: true,
+        },
+    );
+    Vm::new(module, cfg).expect("kernel loads")
+}
+
+/// Like [`make_vm_nested`] with an attached tracer.
+pub fn make_vm_nested_traced<T: Tracer>(mut cfg: VmConfig, tracer: T) -> Vm<T> {
+    cfg.kind = KernelKind::SvaSafe;
+    let module = safe_kernel_module_with(
+        AS_TESTED_EXCLUSIONS,
+        &KernelOptions {
+            recovery: true,
+            nested: true,
+        },
+    );
     Vm::with_tracer(module, cfg, tracer).expect("kernel loads")
 }
 

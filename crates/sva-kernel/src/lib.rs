@@ -32,7 +32,7 @@ pub mod build;
 pub mod harness;
 pub mod port_report;
 
-pub use build::{build_kernel, KernelOptions};
+pub use build::{build_kernel, sysd_name, KernelOptions, IRQ_SUBSYS, SYSCALLS};
 pub use harness::{boot_user, make_vm, make_vm_traced, safe_kernel_module, KernelImage};
 pub use port_report::{port_report, PortReport};
 

@@ -80,6 +80,13 @@ pub struct MetaPool {
     poisoned: bool,
     /// Safety violations attributed to this pool so far.
     violations: u32,
+    /// Violations attributed within the current recovery-domain scope
+    /// (DESIGN.md §4.5). The budget is enforced against this counter;
+    /// [`MetaPool::end_scope`] resets it when the owning domain pops, so a
+    /// pool only poisons when one domain instance exhausts the budget.
+    /// Flat (boot-only) recovery never ends a scope, so the counter equals
+    /// `violations` there and the pre-nesting semantics are unchanged.
+    scope_violations: u32,
     /// Fault injection: the next N registrations fail as if the
     /// allocator ran out of memory.
     forced_reg_failures: u32,
@@ -106,6 +113,7 @@ impl MetaPool {
             quarantined: false,
             poisoned: false,
             violations: 0,
+            scope_violations: 0,
             forced_reg_failures: 0,
         }
     }
@@ -313,13 +321,20 @@ impl MetaPool {
         self.violations
     }
 
+    /// Violations attributed within the current recovery-domain scope.
+    pub fn scope_violations(&self) -> u32 {
+        self.scope_violations
+    }
+
     /// Records a safety violation against this pool: the pool is
-    /// quarantined, and once the violation count reaches `budget` it is
-    /// permanently poisoned. Returns `true` if the pool is now poisoned.
+    /// quarantined, and once the violation count *within the current
+    /// domain scope* reaches `budget` it is permanently poisoned. Returns
+    /// `true` if the pool is now poisoned.
     pub fn note_violation(&mut self, budget: u32) -> bool {
         self.violations = self.violations.saturating_add(1);
+        self.scope_violations = self.scope_violations.saturating_add(1);
         self.quarantined = true;
-        if self.violations >= budget {
+        if self.scope_violations >= budget {
             self.poisoned = true;
         }
         self.poisoned
@@ -333,6 +348,16 @@ impl MetaPool {
         }
         self.quarantined = false;
         true
+    }
+
+    /// Ends the current recovery-domain scope (DESIGN.md §4.5): the
+    /// scoped violation count resets and the quarantine is lifted, so the
+    /// pool starts the next domain with a fresh budget. Poisoned pools
+    /// stay fenced off permanently; returns whether the pool is usable
+    /// again.
+    pub fn end_scope(&mut self) -> bool {
+        self.scope_violations = 0;
+        self.release_quarantine()
     }
 
     /// Fault injection: makes the next `n` registrations fail as if the

@@ -188,16 +188,38 @@ pub enum TraceEvent {
         detail: String,
     },
     /// A kernel-mode violation was contained: the machine unwound to the
-    /// registered recovery context instead of halting.
+    /// innermost registered recovery domain instead of halting.
     RecoverUnwind {
         /// The resume code handed to the recovery continuation (packed
-        /// check kind / pool / icontext, see DESIGN.md §4.3).
+        /// kind / depth / pool / icontext, see DESIGN.md §4.3/§4.5).
         code: u64,
         /// Metapool id the violation was attributed to, or [`u32::MAX`]
-        /// when no pool was involved (static ranges, funcsets).
+        /// when no pool was involved (static ranges, funcsets, watchdog).
         pool: u32,
         /// Whether the pool crossed its violation budget on this unwind.
         poisoned: bool,
+        /// Stack depth of the domain the thread unwound to (0 =
+        /// outermost/boot).
+        depth: u32,
+        /// Owning-subsystem id of that domain.
+        subsys: u64,
+    },
+    /// A recovery domain was pushed (`sva.recover.register`).
+    DomainPush {
+        /// Owning-subsystem id (`sva.recover.register` argument 0).
+        subsys: u64,
+        /// Stack depth the new domain occupies (0 = outermost).
+        depth: u32,
+    },
+    /// A recovery domain was popped (no-argument `sva.recover.release`,
+    /// or a watchdog force-pop).
+    DomainPop {
+        /// Owning-subsystem id of the popped domain.
+        subsys: u64,
+        /// Stack depth remaining after the pop.
+        depth: u32,
+        /// Whether the fuel watchdog forced the pop (a wedged domain).
+        forced: bool,
     },
     /// A metapool's quarantine state changed after a violation.
     PoolQuarantine {
@@ -221,9 +243,10 @@ impl TraceEvent {
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => EventClass::Syscall,
             TraceEvent::IrqDeliver { .. } => EventClass::Irq,
             TraceEvent::Violation { .. } => EventClass::Violation,
-            TraceEvent::RecoverUnwind { .. } | TraceEvent::PoolQuarantine { .. } => {
-                EventClass::Recovery
-            }
+            TraceEvent::RecoverUnwind { .. }
+            | TraceEvent::DomainPush { .. }
+            | TraceEvent::DomainPop { .. }
+            | TraceEvent::PoolQuarantine { .. } => EventClass::Recovery,
         }
     }
 }
@@ -339,9 +362,22 @@ impl TimedEvent {
                 code,
                 pool,
                 poisoned,
+                depth,
+                subsys,
             } => format!(
                 "{{\"ts\":{ts},\"ev\":\"recover\",\"code\":{code},\"pool\":{pool},\
-                 \"poisoned\":{poisoned}}}"
+                 \"poisoned\":{poisoned},\"depth\":{depth},\"subsys\":{subsys}}}"
+            ),
+            DomainPush { subsys, depth } => {
+                format!("{{\"ts\":{ts},\"ev\":\"dom_push\",\"subsys\":{subsys},\"depth\":{depth}}}")
+            }
+            DomainPop {
+                subsys,
+                depth,
+                forced,
+            } => format!(
+                "{{\"ts\":{ts},\"ev\":\"dom_pop\",\"subsys\":{subsys},\"depth\":{depth},\
+                 \"forced\":{forced}}}"
             ),
             PoolQuarantine {
                 pool,
@@ -427,6 +463,17 @@ impl TimedEvent {
                 code: num("code")? as u64,
                 pool: num("pool")? as u32,
                 poisoned: b("poisoned")?,
+                depth: num("depth")? as u32,
+                subsys: num("subsys")? as u64,
+            },
+            "dom_push" => TraceEvent::DomainPush {
+                subsys: num("subsys")? as u64,
+                depth: num("depth")? as u32,
+            },
+            "dom_pop" => TraceEvent::DomainPop {
+                subsys: num("subsys")? as u64,
+                depth: num("depth")? as u32,
+                forced: b("forced")?,
             },
             "quarantine" => TraceEvent::PoolQuarantine {
                 pool: num("pool")? as u32,
@@ -607,6 +654,23 @@ mod tests {
                     code: 0x0001_0002_0006,
                     pool: 4,
                     poisoned: false,
+                    depth: 1,
+                    subsys: 4,
+                },
+            },
+            TimedEvent {
+                ts: 100,
+                event: TraceEvent::DomainPush {
+                    subsys: 4,
+                    depth: 1,
+                },
+            },
+            TimedEvent {
+                ts: 100,
+                event: TraceEvent::DomainPop {
+                    subsys: 4,
+                    depth: 0,
+                    forced: true,
                 },
             },
             TimedEvent {

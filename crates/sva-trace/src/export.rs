@@ -128,12 +128,33 @@ pub fn to_chrome_trace(tracer: &RingTracer) -> String {
                 code,
                 pool,
                 poisoned,
+                depth,
+                subsys,
             } => {
                 events.push(format!(
                     "{{\"name\":\"RECOVER unwind\",\"cat\":\"recovery\",\"ph\":\"i\",\
                      \"ts\":{ts},{common},\"s\":\"g\",\"args\":{{\"code\":{code},\
-                     \"pool\":\"{}\",\"poisoned\":{poisoned}}}}}",
+                     \"pool\":\"{}\",\"poisoned\":{poisoned},\"depth\":{depth},\
+                     \"subsys\":{subsys}}}}}",
                     json_escape(&tracer.pool_name(*pool))
+                ));
+            }
+            TraceEvent::DomainPush { subsys, depth } => {
+                events.push(format!(
+                    "{{\"name\":\"DOMAIN push\",\"cat\":\"recovery\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"t\",\"args\":{{\"subsys\":{subsys},\
+                     \"depth\":{depth}}}}}"
+                ));
+            }
+            TraceEvent::DomainPop {
+                subsys,
+                depth,
+                forced,
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"DOMAIN pop\",\"cat\":\"recovery\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"t\",\"args\":{{\"subsys\":{subsys},\
+                     \"depth\":{depth},\"forced\":{forced}}}}}"
                 ));
             }
             TraceEvent::PoolQuarantine {

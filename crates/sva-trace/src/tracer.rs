@@ -128,6 +128,10 @@ pub struct Profile {
     pub violations: u64,
     /// Recovery unwinds observed (contained kernel-mode violations).
     pub recoveries: u64,
+    /// Recovery domains pushed (`sva.recover.register`).
+    pub domain_pushes: u64,
+    /// Recovery domains popped (release or watchdog force-pop).
+    pub domain_pops: u64,
     /// Quarantine transitions observed (quarantine or poison).
     pub quarantines: u64,
 }
@@ -185,6 +189,12 @@ impl Profile {
             }
             TraceEvent::RecoverUnwind { .. } => {
                 self.recoveries += 1;
+            }
+            TraceEvent::DomainPush { .. } => {
+                self.domain_pushes += 1;
+            }
+            TraceEvent::DomainPop { .. } => {
+                self.domain_pops += 1;
             }
             TraceEvent::PoolQuarantine { .. } => {
                 self.quarantines += 1;

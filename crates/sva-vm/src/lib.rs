@@ -24,7 +24,7 @@ pub use opt::HotProfile;
 pub use sva_trace::{NullTracer, RingTracer, Tracer};
 pub use vm::{
     FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit, VmStats,
-    CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, USTACK_SIZE,
+    CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, RESUME_KIND_WATCHDOG, USTACK_SIZE,
 };
 
 #[cfg(test)]

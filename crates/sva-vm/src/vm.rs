@@ -179,9 +179,15 @@ pub struct VmConfig {
     /// index in front of the splay tree). On by default; benchmarks disable
     /// it to measure the splay-only baseline.
     pub fast_path: bool,
-    /// Safety violations a metapool may absorb while recovery is registered
-    /// before it is permanently poisoned (DESIGN.md §4.3).
+    /// Safety violations a metapool may absorb *within one recovery-domain
+    /// scope* before it is permanently poisoned (DESIGN.md §4.3/§4.5).
     pub violation_budget: u32,
+    /// Watchdog fuel per recovery domain (DESIGN.md §4.5): kernel-mode
+    /// instructions the innermost domain may execute before the VM
+    /// force-unwinds it with a watchdog resume code (kind 7), so a wedged
+    /// handler cannot hang the machine. `u64::MAX` (the default) disables
+    /// the watchdog.
+    pub domain_fuel: u64,
     /// Deterministic fault-injection hook consulted at every user→kernel
     /// trap. `None` (the default) leaves the machine untouched.
     pub fault_hook: Option<Arc<dyn FaultHook>>,
@@ -209,6 +215,7 @@ impl std::fmt::Debug for VmConfig {
             .field("fuel", &self.fuel)
             .field("fast_path", &self.fast_path)
             .field("violation_budget", &self.violation_budget)
+            .field("domain_fuel", &self.domain_fuel)
             .field("fault_hook", &self.fault_hook.is_some())
             .field("opt_level", &self.opt_level)
             .field("hot_profile", &self.hot_profile.is_some())
@@ -225,6 +232,7 @@ impl Default for VmConfig {
             fuel: u64::MAX,
             fast_path: true,
             violation_budget: 3,
+            domain_fuel: u64::MAX,
             fault_hook: None,
             opt_level: 0,
             hot_profile: None,
@@ -265,6 +273,12 @@ pub struct FaultAction {
     /// address through the given pool's load/store check: `(pool, addr)`.
     /// A failing check takes the normal safety-violation path.
     pub probe_stale: Option<(u32, u64)>,
+    /// Defer [`FaultAction::probe_stale`] by this many kernel-mode
+    /// instructions instead of probing at handler entry, so the modelled
+    /// dereference happens *inside* the handler body — after a nested
+    /// kernel has pushed its per-syscall recovery domain. `0` keeps the
+    /// probe at handler entry.
+    pub probe_defer: u64,
     /// Corrupt the given pool's object metadata deterministically:
     /// `(pool, seed)`.
     pub corrupt_pool: Option<(u32, u64)>,
@@ -569,9 +583,12 @@ struct SavedState {
     save_dst: Option<u32>,
 }
 
-/// Recovery context registered by `sva.recover.register` (setjmp-like;
-/// DESIGN.md §4.3). A kernel-mode safety violation unwinds the thread back
-/// to this snapshot instead of terminating the machine.
+/// Recovery domain registered by `sva.recover.register` (setjmp-like;
+/// DESIGN.md §4.3/§4.5). Domains form a stack: a kernel-mode safety
+/// violation unwinds the thread to the *innermost* snapshot instead of
+/// terminating the machine, and `sva.recover.release` (no arguments) pops
+/// the innermost domain, ending the quarantine scope of every pool it
+/// quarantined.
 #[derive(Clone, Debug)]
 struct RecoveryCtx {
     frames: Vec<Frame>,
@@ -583,6 +600,17 @@ struct RecoveryCtx {
     /// Register that receives 0 at registration and the packed resume code
     /// on every unwind.
     dst: Option<u32>,
+    /// Owning-subsystem id (`sva.recover.register` argument 0; purely
+    /// attribution — surfaced in trace events and the blast-radius report).
+    subsys: u64,
+    /// Remaining watchdog fuel ([`VmConfig::domain_fuel`] at push). Ticks
+    /// down once per kernel-mode instruction while this domain is
+    /// innermost; at zero the VM force-unwinds the domain.
+    fuel: u64,
+    /// Metapools this domain quarantined (scoped containment): their
+    /// scope ends — quarantine released, scoped budget reset — when the
+    /// domain pops.
+    quarantined_pools: Vec<u32>,
 }
 
 /// An interrupt context (paper §3.3): the interrupted control state handed
@@ -661,6 +689,14 @@ pub struct VmStats {
     pub pools_quarantined: u64,
     /// Metapools permanently poisoned after exhausting their budget.
     pub pools_poisoned: u64,
+    /// Recovery domains pushed (`sva.recover.register`).
+    pub domains_pushed: u64,
+    /// Recovery domains popped (no-argument `sva.recover.release` or a
+    /// watchdog force-pop).
+    pub domains_popped: u64,
+    /// Wedged domains force-unwound by the fuel watchdog
+    /// ([`VmConfig::domain_fuel`]).
+    pub watchdog_unwinds: u64,
     /// Superinstructions dispatched by the optimizing tier. Each fused
     /// dispatch retires *two* instructions (so `instructions` is invariant
     /// under fusion) but charges one dispatch cycle instead of two.
@@ -707,10 +743,19 @@ pub struct Vm<T: Tracer = NullTracer> {
     fuel: u64,
     halted: Option<u64>,
     pending_irq: std::collections::VecDeque<i64>,
-    /// Registered violation-recovery snapshot, if any.
-    recovery: Option<RecoveryCtx>,
+    /// Stack of registered violation-recovery domains, innermost last.
+    recovery: Vec<RecoveryCtx>,
     /// Armed GEP skew `(remaining count, delta)` from a fault action.
     gep_skew: Option<(u32, i64)>,
+    /// Armed deferred stale probe `(countdown, pool, addr)` from a fault
+    /// action; ticks per kernel-mode instruction and fires at zero.
+    pending_probe: Option<(u64, u32, u64)>,
+    /// Armed deferred GEP skew `(countdown, count, delta)`; ticks per
+    /// kernel-mode instruction and arms `gep_skew` at zero.
+    pending_skew: Option<(u64, u32, i64)>,
+    /// Frame depth a host [`Vm::call`] started above: its run ends when
+    /// the frame stack drops back to this floor (0 = no call active).
+    call_floor: usize,
     /// User→kernel traps taken since boot (fault-plan schedule key).
     trap_count: u64,
     /// Reusable argument buffer for the hot `Call` path (avoids a fresh
@@ -922,8 +967,11 @@ impl<T: Tracer> Vm<T> {
             fuel,
             halted: None,
             pending_irq: std::collections::VecDeque::new(),
-            recovery: None,
+            recovery: Vec::new(),
             gep_skew: None,
+            pending_probe: None,
+            pending_skew: None,
+            call_floor: 0,
             trap_count: 0,
             argv_scratch: Vec::new(),
             fused_sites,
@@ -1039,7 +1087,20 @@ impl<T: Tracer> Vm<T> {
         self.mem.read_uint(addr, 8, Mode::Kernel)
     }
 
-    /// Calls a public function in kernel mode and runs to completion.
+    /// Disarms any fault-injection state still pending (deferred probes,
+    /// GEP skew) and detaches the fault hook. Campaigns call this between
+    /// the injection run and post-fault serviceability probes so a
+    /// leftover armed fault cannot fire during the probe phase.
+    pub fn disarm_faults(&mut self) {
+        self.pending_probe = None;
+        self.pending_skew = None;
+        self.gep_skew = None;
+        self.cfg.fault_hook = None;
+    }
+
+    /// Calls a public function in kernel mode and runs to completion —
+    /// of *that call*: the run stops when the pushed frame returns, so
+    /// frames a halted boot left suspended underneath are not resumed.
     pub fn call(&mut self, name: &str, args: &[u64]) -> Result<VmExit, VmError> {
         let fid = self
             .code
@@ -1047,8 +1108,12 @@ impl<T: Tracer> Vm<T> {
             .func_by_name(name)
             .ok_or_else(|| VmError::Unsupported(format!("no function @{name}")))?;
         let frame = self.frame_for_call(fid.0, args, None, Mode::Kernel)?;
+        let saved_floor = self.call_floor;
+        self.call_floor = self.thread.frames.len();
         self.thread.frames.push(frame);
-        self.run()
+        let r = self.run();
+        self.call_floor = saved_floor;
+        r
     }
 
     /// Boots the module: runs its designated entry function.
@@ -1146,6 +1211,68 @@ impl<T: Tracer> Vm<T> {
                 return Err(VmError::OutOfFuel);
             }
             self.fuel -= 1;
+            // Domain watchdog (DESIGN.md §4.5): kernel-mode execution
+            // ticks the innermost recovery domain's fuel; at zero the
+            // domain is wedged and force-unwound so recovery itself can
+            // never hang the machine. With no domain registered (or the
+            // default infinite `domain_fuel`) this never fires and charges
+            // nothing.
+            if !self.recovery.is_empty() && self.mode() == Mode::Kernel {
+                if let Some(rc) = self.recovery.last_mut() {
+                    if rc.fuel == 0 {
+                        self.watchdog_unwind()?;
+                        continue;
+                    }
+                    rc.fuel -= 1;
+                }
+            }
+            // Deferred fault probe: counts down per kernel-mode
+            // instruction and then models the stale dereference, taking
+            // the same containment path as an in-step violation.
+            if self.pending_probe.is_some() && self.mode() == Mode::Kernel {
+                let (cnt, pool, addr) = self.pending_probe.unwrap();
+                if cnt > 1 {
+                    self.pending_probe = Some((cnt - 1, pool, addr));
+                } else {
+                    self.pending_probe = None;
+                    self.stats.cycles += CHECK_CYCLES;
+                    let r = self
+                        .pools
+                        .pool_get_mut(sva_rt::MetaPoolId(pool))
+                        .map(|p| p.ls_check(addr))
+                        .unwrap_or(Ok(()));
+                    if let Err(e) = r {
+                        if T::ENABLED {
+                            let ts = self.stats.cycles;
+                            self.tracer.record(
+                                ts,
+                                TraceEvent::Violation {
+                                    check: e.kind.to_string(),
+                                    pool: e.pool.clone(),
+                                    addr: e.addr,
+                                    detail: e.detail.clone(),
+                                },
+                            );
+                        }
+                        if !self.recovery.is_empty() {
+                            self.recover_from(&e)?;
+                            continue;
+                        }
+                        return Err(VmError::Safety(e));
+                    }
+                }
+            }
+            // Deferred GEP skew: arms the live skew after the countdown so
+            // the skewed derivations happen inside the handler body.
+            if self.pending_skew.is_some() && self.mode() == Mode::Kernel {
+                let (cnt, count, delta) = self.pending_skew.unwrap();
+                if cnt > 1 {
+                    self.pending_skew = Some((cnt - 1, count, delta));
+                } else {
+                    self.pending_skew = None;
+                    self.gep_skew = Some((count, delta));
+                }
+            }
             // Snapshot the cycle counter before this iteration charges
             // anything: the post-step delta is the cycles attributed to the
             // event recorded below, so summing event costs reproduces the
@@ -1206,15 +1333,16 @@ impl<T: Tracer> Vm<T> {
                     );
                 }
             }
-            // Violation recovery (DESIGN.md §4.3): a kernel-mode safety
-            // violation with a registered recovery context is absorbed —
-            // the offending pool is quarantined and the thread unwinds to
-            // the snapshot instead of the error escaping `run`. With no
-            // context registered this arm never fires and the machine is
+            // Violation recovery (DESIGN.md §4.3/§4.5): a kernel-mode
+            // safety violation with a registered recovery domain is
+            // absorbed — the offending pool is quarantined within the
+            // innermost domain's scope and the thread unwinds to that
+            // domain's snapshot instead of the error escaping `run`. With
+            // no domain registered this arm never fires and the machine is
             // exactly the pre-recovery machine.
             let step = match step {
                 Err(VmError::Safety(e))
-                    if self.recovery.is_some() && self.mode() == Mode::Kernel =>
+                    if !self.recovery.is_empty() && self.mode() == Mode::Kernel =>
                 {
                     self.recover_from(&e)
                 }
@@ -1228,9 +1356,10 @@ impl<T: Tracer> Vm<T> {
     }
 
     /// Absorbs a kernel-mode safety violation: attributes it to a metapool
-    /// (quarantining, and poisoning past the budget), then unwinds the
-    /// thread to the registered recovery snapshot with a packed resume
-    /// code describing what happened.
+    /// (quarantining it within the innermost domain's scope, and poisoning
+    /// past the scoped budget), then unwinds the thread to the innermost
+    /// registered recovery domain with a packed resume code describing
+    /// what happened.
     fn recover_from(&mut self, e: &sva_rt::CheckError) -> Result<StepOut, VmError> {
         // Function sets ("funcset{N}") and the static range carry pool
         // names that are not metapools; those violations unwind without a
@@ -1249,6 +1378,13 @@ impl<T: Tracer> Vm<T> {
             if poisoned && !was_poisoned {
                 self.stats.pools_poisoned += 1;
             }
+            // Scoped containment: the innermost domain owns this
+            // quarantine and ends it when it pops.
+            if let Some(rc) = self.recovery.last_mut() {
+                if !rc.quarantined_pools.contains(&pid.0) {
+                    rc.quarantined_pools.push(pid.0);
+                }
+            }
             if T::ENABLED {
                 let violations = self.pools.pool(pid).violations();
                 let ts = self.stats.cycles;
@@ -1265,30 +1401,104 @@ impl<T: Tracer> Vm<T> {
         // The resume code captures the interrupted icontext *before* the
         // unwind resets `icid`, so the handler can still iret the faulting
         // user thread.
-        let code = encode_resume_code(e.kind, pool_id.map(|p| p.0), self.thread.icid, poisoned);
+        let depth = self.recovery.len().saturating_sub(1);
+        let code = encode_resume_code(
+            check_kind_code(e.kind),
+            pool_id.map(|p| p.0),
+            self.thread.icid,
+            poisoned,
+            depth,
+        );
         self.stats.violations_recovered += 1;
         self.unwind_to_recovery(code)?;
         if T::ENABLED {
             let ts = self.stats.cycles;
+            let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
             self.tracer.record(
                 ts,
                 TraceEvent::RecoverUnwind {
                     code,
                     pool: pool_id.map(|p| p.0).unwrap_or(u32::MAX),
                     poisoned,
+                    depth: depth as u32,
+                    subsys,
                 },
             );
         }
         Ok(StepOut::Continue)
     }
 
-    /// Restores the thread to the registered recovery snapshot (the
-    /// longjmp half of `sva.recover.register`), writing `code` into the
-    /// snapshot's result register. Mirrors the `llva.load.integer` restore
-    /// sequence: kernel stack bytes, address space, and the snapshot
-    /// frames' stack registrations all come back.
+    /// Pops the innermost recovery domain, ending the quarantine scope of
+    /// every pool it quarantined: quarantines lift and scoped budgets
+    /// reset (poisoned pools stay fenced off permanently).
+    fn pop_domain(&mut self, forced: bool) -> Option<RecoveryCtx> {
+        let rc = self.recovery.pop()?;
+        self.stats.domains_popped += 1;
+        for mp in &rc.quarantined_pools {
+            if let Some(p) = self.pools.pool_get_mut(sva_rt::MetaPoolId(*mp)) {
+                p.end_scope();
+            }
+        }
+        if T::ENABLED {
+            let ts = self.stats.cycles;
+            self.tracer.record(
+                ts,
+                TraceEvent::DomainPop {
+                    subsys: rc.subsys,
+                    depth: self.recovery.len() as u32,
+                    forced,
+                },
+            );
+        }
+        Some(rc)
+    }
+
+    /// Force-unwinds a wedged domain whose watchdog fuel ran out
+    /// (DESIGN.md §4.5). A nested domain is popped — its quarantine scope
+    /// ends and control lands at the next outer register point with a
+    /// watchdog resume code (kind 7) — so a wedged syscall handler costs
+    /// one syscall, not the machine. The outermost domain cannot be
+    /// popped; it is refuelled and re-armed instead.
+    fn watchdog_unwind(&mut self) -> Result<(), VmError> {
+        self.stats.watchdog_unwinds += 1;
+        let icid = self.thread.icid;
+        if self.recovery.len() > 1 {
+            self.pop_domain(true);
+        } else if let Some(rc) = self.recovery.last_mut() {
+            rc.fuel = self.cfg.domain_fuel;
+        }
+        let depth = self.recovery.len().saturating_sub(1);
+        let code = encode_resume_code(RESUME_KIND_WATCHDOG, None, icid, false, depth);
+        self.unwind_to_recovery(code)?;
+        if T::ENABLED {
+            let ts = self.stats.cycles;
+            let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
+            self.tracer.record(
+                ts,
+                TraceEvent::RecoverUnwind {
+                    code,
+                    pool: u32::MAX,
+                    poisoned: false,
+                    depth: depth as u32,
+                    subsys,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Restores the thread to the innermost registered recovery snapshot
+    /// (the longjmp half of `sva.recover.register`), writing `code` into
+    /// the snapshot's result register. Mirrors the `llva.load.integer`
+    /// restore sequence: kernel stack bytes, address space, and the
+    /// snapshot frames' stack registrations all come back. The domain
+    /// stays registered (re-armed) — only `sva.recover.release` pops it.
     fn unwind_to_recovery(&mut self, code: u64) -> Result<(), VmError> {
-        let rc = self.recovery.clone().ok_or(VmError::NoRecoveryContext)?;
+        let rc = self
+            .recovery
+            .last()
+            .cloned()
+            .ok_or(VmError::NoRecoveryContext)?;
         self.stats.cycles += 32 + rc.frames.len() as u64 * 8;
         self.stats.context_switches += 1;
         self.mem
@@ -1938,6 +2148,11 @@ impl<T: Tracer> Vm<T> {
             Mode::Kernel => self.thread.ksp = fr.sp_saved,
             Mode::User => self.thread.usp = fr.sp_saved,
         }
+        // A host `call` ends when its own frame returns; anything still
+        // below it (frames a halted boot left suspended) stays suspended.
+        if self.call_floor > 0 && self.thread.frames.len() <= self.call_floor {
+            return Ok(StepOut::Exit(VmExit::Returned(v)));
+        }
         if let Some(parent) = self.thread.frames.last_mut() {
             if let Some(d) = fr.ret_dst {
                 parent.regs[d as usize] = v;
@@ -2399,13 +2614,16 @@ impl<T: Tracer> Vm<T> {
                 self.mem.set_bytes(d, b as u8, n, mode)?;
                 self.stats.cycles += n / 8;
             }
-            // ---- violation recovery (DESIGN.md §4.3) ----
+            // ---- violation recovery (DESIGN.md §4.3/§4.5) ----
             RecoverRegister => {
+                // Pushes a nested recovery domain owned by subsystem
+                // `arg(0)` (0 = unattributed, e.g. the boot domain).
                 let kstack = self.mem.read_bytes(
                     KSTACK_BASE,
                     self.thread.ksp - KSTACK_BASE,
                     Mode::Kernel,
                 )?;
+                let subsys = arg(0);
                 let rc = RecoveryCtx {
                     frames: self.thread.frames.clone(),
                     icid: self.thread.icid,
@@ -2414,13 +2632,31 @@ impl<T: Tracer> Vm<T> {
                     usp: self.thread.usp,
                     kstack,
                     dst,
+                    subsys,
+                    fuel: self.cfg.domain_fuel,
+                    quarantined_pools: Vec::new(),
                 };
                 self.stats.cycles += 32 + rc.frames.len() as u64 * 8;
-                self.recovery = Some(rc);
+                self.stats.domains_pushed += 1;
+                self.recovery.push(rc);
+                if T::ENABLED {
+                    let ts = self.stats.cycles;
+                    self.tracer.record(
+                        ts,
+                        TraceEvent::DomainPush {
+                            subsys,
+                            depth: self.recovery.len() as u32 - 1,
+                        },
+                    );
+                }
                 set(self, 0)?;
             }
             RecoverUnwind => {
-                if self.recovery.is_none() {
+                // User-mode callers never reach this arm: the privilege
+                // gate at the top of `intrinsic_inner` fires *before* any
+                // context lookup, so an unprivileged unwind is a
+                // `Privilege` error, not `NoRecoveryContext`.
+                if self.recovery.is_empty() {
                     return Err(VmError::NoRecoveryContext);
                 }
                 // Resume codes are nonzero by construction so the handler
@@ -2429,23 +2665,37 @@ impl<T: Tracer> Vm<T> {
                 self.unwind_to_recovery(code)?;
                 if T::ENABLED {
                     let ts = self.stats.cycles;
+                    let depth = self.recovery.len() as u32 - 1;
+                    let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
                     self.tracer.record(
                         ts,
                         TraceEvent::RecoverUnwind {
                             code,
                             pool: u32::MAX,
                             poisoned: false,
+                            depth,
+                            subsys,
                         },
                     );
                 }
             }
             RecoverRelease => {
-                let ok = self
-                    .pools
-                    .pool_get_mut(sva_rt::MetaPoolId(arg(0) as u32))
-                    .map(|p| p.release_quarantine())
-                    .unwrap_or(false);
-                set(self, ok as u64)?;
+                if args.is_empty() {
+                    // Pop form (DESIGN.md §4.5): pop the innermost domain;
+                    // every pool it quarantined ends its scope.
+                    self.stats.cycles += 8;
+                    let ok = self.pop_domain(false).is_some();
+                    set(self, ok as u64)?;
+                } else {
+                    // Pool form (legacy, DESIGN.md §4.3): lift the
+                    // quarantine on pool `arg(0)`; the domain stays.
+                    let ok = self
+                        .pools
+                        .pool_get_mut(sva_rt::MetaPoolId(arg(0) as u32))
+                        .map(|p| p.release_quarantine())
+                        .unwrap_or(false);
+                    set(self, ok as u64)?;
+                }
             }
             // ---- diagnostics ----
             Print => {
@@ -2655,7 +2905,14 @@ impl<T: Tracer> Vm<T> {
     fn apply_fault_action(&mut self, a: FaultAction) -> Result<(), VmError> {
         if let Some((count, delta)) = a.gep_skew {
             if count > 0 {
-                self.gep_skew = Some((count, delta));
+                if a.probe_defer > 0 {
+                    // Deferred form: arm the skew `probe_defer` kernel-mode
+                    // instructions into the handler body (see the run
+                    // loop), inside any recovery domain the handler pushes.
+                    self.pending_skew = Some((a.probe_defer, count, delta));
+                } else {
+                    self.gep_skew = Some((count, delta));
+                }
             }
         }
         if let Some((pool, seed)) = a.corrupt_pool {
@@ -2672,11 +2929,18 @@ impl<T: Tracer> Vm<T> {
             self.pending_irq.push_back(0);
         }
         if let Some((pool, addr)) = a.probe_stale {
-            // Model a kernel dereference of a stale/wild pointer through
-            // the load/store check the verifier would have inserted.
-            self.stats.cycles += CHECK_CYCLES;
-            if let Some(p) = self.pools.pool_get_mut(sva_rt::MetaPoolId(pool)) {
-                p.ls_check(addr).map_err(VmError::Safety)?;
+            if a.probe_defer > 0 {
+                // Deferred form: the dereference is modelled `probe_defer`
+                // kernel-mode instructions into the handler body (see the
+                // run loop), inside any recovery domain the handler pushes.
+                self.pending_probe = Some((a.probe_defer, pool, addr));
+            } else {
+                // Model a kernel dereference of a stale/wild pointer through
+                // the load/store check the verifier would have inserted.
+                self.stats.cycles += CHECK_CYCLES;
+                if let Some(p) = self.pools.pool_get_mut(sva_rt::MetaPoolId(pool)) {
+                    p.ls_check(addr).map_err(VmError::Safety)?;
+                }
             }
         }
         Ok(())
@@ -2698,6 +2962,12 @@ impl<T: Tracer> Vm<T> {
     fn iret(&mut self, icp: u64, retval: u64) -> Result<(), VmError> {
         let fast = self.cfg.kind.fast_os();
         self.stats.cycles += if fast { 16 } else { 24 };
+        // Deferred faults model a dereference *inside the handler that
+        // trapped*; a handler that returns before the countdown expires
+        // wastes the injection slot rather than leaking it into the next
+        // handler's prologue (outside its recovery domain).
+        self.pending_probe = None;
+        self.pending_skew = None;
         let ic = self.icontext_mut(icp)?;
         ic.live = false;
         let mut frames = std::mem::take(&mut ic.frames);
@@ -2766,35 +3036,49 @@ enum StepOut {
     Exit(VmExit),
 }
 
+/// Resume-code kind for a watchdog force-unwind (a wedged domain ran out
+/// of [`VmConfig::domain_fuel`]); the check kinds occupy 1..=6.
+pub const RESUME_KIND_WATCHDOG: u64 = 7;
+
+/// Numeric resume-code kind of a safety-check violation.
+fn check_kind_code(kind: sva_rt::CheckKind) -> u64 {
+    match kind {
+        sva_rt::CheckKind::Bounds => 1,
+        sva_rt::CheckKind::LoadStore => 2,
+        sva_rt::CheckKind::IndirectCall => 3,
+        sva_rt::CheckKind::IllegalFree => 4,
+        sva_rt::CheckKind::BadRegistration => 5,
+        sva_rt::CheckKind::Quarantined => 6,
+    }
+}
+
 /// Packs what a recovery handler needs to know into the resume code
-/// written by an unwind (DESIGN.md §4.3). Layout, LSB first:
+/// written by an unwind (DESIGN.md §4.3/§4.5). Layout, LSB first:
 ///
-/// * bits 0..8 — check kind (1 = bounds, 2 = load/store, 3 = indirect
-///   call, 4 = illegal free, 5 = bad registration, 6 = quarantined)
+/// * bits 0..8 — kind (1 = bounds, 2 = load/store, 3 = indirect call,
+///   4 = illegal free, 5 = bad registration, 6 = quarantined,
+///   7 = watchdog force-unwind)
 /// * bit 8 — the pool crossed its violation budget and is now poisoned
+/// * bits 9..16 — containment depth + 1: stack index of the domain the
+///   thread unwound to (0 = outermost), so the blast-radius report can
+///   tell a syscall-level catch from an escape to the boot domain
 /// * bits 16..40 — metapool id + 1 (0 = no pool attributed)
 /// * bits 40..64 — interrupted icontext id + 1 (0 = none)
 ///
 /// The kind field is always nonzero, so a resume code can never be
 /// mistaken for the 0 returned at registration.
 fn encode_resume_code(
-    kind: sva_rt::CheckKind,
+    kind: u64,
     pool: Option<u32>,
     icid: Option<u32>,
     poisoned: bool,
+    depth: usize,
 ) -> u64 {
-    let kind = match kind {
-        sva_rt::CheckKind::Bounds => 1u64,
-        sva_rt::CheckKind::LoadStore => 2,
-        sva_rt::CheckKind::IndirectCall => 3,
-        sva_rt::CheckKind::IllegalFree => 4,
-        sva_rt::CheckKind::BadRegistration => 5,
-        sva_rt::CheckKind::Quarantined => 6,
-    };
-    let mut code = kind;
+    let mut code = kind & 0xff;
     if poisoned {
         code |= 1 << 8;
     }
+    code |= ((depth as u64 + 1) & 0x7f) << 9;
     code |= (pool.map(|p| p as u64 + 1).unwrap_or(0) & 0xff_ffff) << 16;
     code |= (icid.map(|i| i as u64 + 1).unwrap_or(0) & 0xff_ffff) << 40;
     code

@@ -5,10 +5,19 @@
 
 use std::sync::Arc;
 
-use sva::kernel::harness::{boot_user, make_vm, make_vm_recovering, pack_arg, safe_kernel_module};
-use sva::kernel::AS_TESTED_EXCLUSIONS;
+use sva::kernel::harness::{
+    boot_user, make_vm, make_vm_nested, make_vm_recovering, pack_arg, safe_kernel_module,
+    USER_HEAP_BASE,
+};
+use sva::kernel::{AS_TESTED_EXCLUSIONS, SYSCALLS};
 use sva::rt::MetaPoolId;
-use sva::vm::{FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit};
+use sva::vm::{
+    FaultAction, FaultHook, KernelKind, Mode, TrapInfo, Vm, VmConfig, VmError, VmExit,
+    RESUME_KIND_WATCHDOG,
+};
+
+const EFAULT: i64 = -14;
+const ENOSYS: i64 = -38;
 
 /// Metapool ids with complete points-to info — the pools whose checks
 /// reject unknown addresses, so probes against them trip violations.
@@ -86,9 +95,12 @@ fn recovery_absorbs_kernel_safety_violations() {
 }
 
 /// Raises a burst of timer IRQs and probes a wild address through a
-/// complete pool at the first user→kernel trap, and never again.
+/// complete pool at the first user→kernel trap, and never again. With
+/// `defer > 0` the probe fires that many kernel-mode instructions into
+/// the handler — inside the per-syscall domain on a nested kernel.
 struct IrqsThenViolation {
     pool: u32,
+    defer: u64,
 }
 
 impl FaultHook for IrqsThenViolation {
@@ -99,6 +111,7 @@ impl FaultHook for IrqsThenViolation {
         FaultAction {
             raise_irqs: 3,
             probe_stale: Some((self.pool, 0x11f0_8000)),
+            probe_defer: self.defer,
             ..Default::default()
         }
     }
@@ -116,7 +129,7 @@ fn pending_irqs_survive_a_violation_unwind_exactly_once() {
         .expect("kernel has a complete pool");
     let cfg = VmConfig {
         violation_budget: 100,
-        fault_hook: Some(Arc::new(IrqsThenViolation { pool })),
+        fault_hook: Some(Arc::new(IrqsThenViolation { pool, defer: 0 })),
         ..Default::default()
     };
     let mut vm = make_vm_recovering(cfg);
@@ -195,4 +208,224 @@ fn fault_plans_drive_the_recovery_kernel_deterministically() {
         "injected faults never recovered"
     );
     assert_eq!(a, b, "fault campaign run is not deterministic");
+}
+
+// ---- nested per-subsystem domains (DESIGN.md §4.5) ----
+
+/// Subsystem ids recorded by the kernel's `dbg_*` probe functions, in
+/// the order their register points caught an unwind.
+fn dbg_order(vm: &mut Vm) -> Vec<u64> {
+    let n = vm.read_global_u64("dbg_order_n").unwrap();
+    let base = vm.global_address("dbg_order").unwrap();
+    (0..n.min(4))
+        .map(|i| vm.mem.read_uint(base + i * 8, 8, Mode::Kernel).unwrap())
+        .collect()
+}
+
+/// Health-table entry for the syscall backed by `handler` (0 = live).
+fn syscall_health(vm: &mut Vm, handler: &str) -> u64 {
+    let idx = SYSCALLS
+        .iter()
+        .position(|(_, h, _)| *h == handler)
+        .unwrap_or_else(|| panic!("{handler} not in SYSCALLS")) as u64;
+    let base = vm.global_address("syscall_health").unwrap();
+    vm.mem.read_uint(base + idx * 8, 8, Mode::Kernel).unwrap()
+}
+
+#[test]
+fn nested_domains_unwind_lifo_three_deep() {
+    // dbg_nest pushes domains 11, 12, 13 (13 innermost) and unwinds
+    // once; the unwind must cascade LIFO through all three register
+    // points — innermost first — and each hit path pops its own domain.
+    let mut vm = make_vm_nested(VmConfig::default());
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    let before = vm.stats();
+    let r = vm.call("dbg_nest", &[]).unwrap();
+    assert_eq!(r, VmExit::Returned(0), "cascade must terminate cleanly");
+    assert_eq!(
+        dbg_order(&mut vm),
+        vec![13, 12, 11],
+        "unwind must visit register points innermost-first"
+    );
+    let s = vm.stats();
+    assert_eq!(s.domains_pushed - before.domains_pushed, 3);
+    assert_eq!(s.domains_popped - before.domains_popped, 3);
+}
+
+#[test]
+fn released_domain_never_catches_a_later_unwind() {
+    // dbg_release_unwind registers 21 then 22, pops 22, then unwinds
+    // with code 77: the unwind must land at 21's register point (and
+    // return the code verbatim), never at the released inner domain.
+    let mut vm = make_vm_nested(VmConfig::default());
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    let r = vm.call("dbg_release_unwind", &[]).unwrap();
+    assert_eq!(r, VmExit::Returned(77), "outer domain must see the code");
+    assert_eq!(dbg_order(&mut vm), vec![21]);
+}
+
+#[test]
+fn watchdog_force_unwinds_a_wedged_domain() {
+    // dbg_wedge's inner domain (32) spins forever; once its fuel runs
+    // out the watchdog force-pops it and unwinds to the outer domain
+    // (31) with a kind-7 resume code. The healthy syscalls of the boot
+    // workload must never trip it.
+    let mut vm = make_vm_nested(VmConfig {
+        domain_fuel: 50_000,
+        ..Default::default()
+    });
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    assert_eq!(
+        vm.stats().watchdog_unwinds,
+        0,
+        "healthy syscalls exhausted their fuel"
+    );
+    let r = vm.call("dbg_wedge", &[]).unwrap();
+    let code = match r {
+        VmExit::Returned(c) => c,
+        other => panic!("wedge must return a resume code, got {other:?}"),
+    };
+    assert_eq!(code & 0xff, RESUME_KIND_WATCHDOG, "resume kind");
+    assert_eq!(code & 0x100, 0, "watchdog unwind carries no poison");
+    assert_eq!(dbg_order(&mut vm), vec![31]);
+    assert_eq!(vm.stats().watchdog_unwinds, 1);
+}
+
+#[test]
+fn pending_irqs_survive_a_nested_unwind_exactly_once() {
+    // The nested variant of the exact-once guarantee: the probe is
+    // deferred into the handler body so the violation unwinds to the
+    // *syscall's own* domain, and the IRQs queued before it must still
+    // be delivered exactly once afterwards.
+    let pool = complete_pools()
+        .first()
+        .copied()
+        .expect("kernel has a complete pool");
+    let cfg = VmConfig {
+        violation_budget: 100,
+        fault_hook: Some(Arc::new(IrqsThenViolation {
+            pool,
+            defer: sva::inject::PROBE_DEFER,
+        })),
+        ..Default::default()
+    };
+    let mut vm = make_vm_nested(cfg);
+    boot_user(&mut vm, "user_getpid_loop", pack_arg(10, 0, 0)).expect("workload survives");
+    let s = vm.stats();
+    assert_eq!(s.violations_recovered, 1);
+    assert_eq!(
+        s.interrupts, 3,
+        "IRQs pending at the unwind were dropped or double-delivered"
+    );
+    assert_eq!(vm.read_global_u64("time_ticks").unwrap(), 3);
+    assert_eq!(
+        vm.read_global_u64("recov_sysd_count").unwrap(),
+        1,
+        "the syscall's own domain must catch the violation"
+    );
+    assert_eq!(
+        vm.read_global_u64("recov_count").unwrap(),
+        0,
+        "a contained fault must never reach the boot domain"
+    );
+    assert_eq!(
+        vm.pools.quarantined_count(),
+        0,
+        "popping the domain must end the pool's quarantine scope"
+    );
+}
+
+#[test]
+fn poisoned_pool_degrades_one_syscall_instead_of_halting() {
+    // Same poisoned-pool hit that halts the flat recovery kernel with
+    // abort(41): on the nested kernel the syscall's own domain catches
+    // it, the syscall fails with -EFAULT, is marked degraded in the
+    // health table, and answers -ENOSYS from then on — machine live.
+    let mut vm = make_vm_nested(VmConfig {
+        violation_budget: 1,
+        ..Default::default()
+    });
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    for i in 0..vm.pools.len() as u32 {
+        vm.pools.pool_mut(MetaPoolId(i)).note_violation(1);
+    }
+    assert_eq!(syscall_health(&mut vm, "sys_getrusage"), 0);
+
+    let r = vm.call("sysd_getrusage", &[USER_HEAP_BASE]).unwrap();
+    assert_eq!(
+        r,
+        VmExit::Returned(EFAULT as u64),
+        "first hit must fail the syscall, not the machine"
+    );
+    assert_eq!(
+        syscall_health(&mut vm, "sys_getrusage"),
+        1,
+        "poison must degrade the syscall in the health table"
+    );
+    assert_eq!(vm.read_global_u64("recov_sysd_count").unwrap(), 1);
+
+    // Degraded: subsequent calls fail fast without touching the pool.
+    let r2 = vm.call("sysd_getrusage", &[USER_HEAP_BASE]).unwrap();
+    assert_eq!(r2, VmExit::Returned(ENOSYS as u64));
+    assert_eq!(
+        vm.read_global_u64("recov_sysd_count").unwrap(),
+        1,
+        "a degraded syscall must not re-enter its domain"
+    );
+}
+
+#[test]
+fn nested_config_is_zero_cost_when_no_fault_fires() {
+    // The nested-kernel analogue of the zero-cost gate: on a fault-free
+    // workload, changing the watchdog fuel and the violation budget must
+    // not perturb a single counter or output byte.
+    let mut a = make_vm_nested(VmConfig::default());
+    let exit_a = boot_user(&mut a, "user_pipe_loop", pack_arg(5, 64, 0)).unwrap();
+
+    let mut b = make_vm_nested(VmConfig {
+        domain_fuel: 250_000,
+        violation_budget: 500,
+        ..Default::default()
+    });
+    let exit_b = boot_user(&mut b, "user_pipe_loop", pack_arg(5, 64, 0)).unwrap();
+
+    assert_eq!(exit_a, exit_b);
+    assert_eq!(a.console_string(), b.console_string());
+    assert_eq!(
+        a.stats(),
+        b.stats(),
+        "domain config leaked into the machine"
+    );
+    let s = a.stats();
+    assert_eq!(s.violations_recovered, 0);
+    assert_eq!(s.watchdog_unwinds, 0);
+    assert!(s.domains_pushed > 1, "syscalls must push domains");
+    assert_eq!(
+        s.domains_pushed,
+        s.domains_popped + 1,
+        "every syscall domain must pop; only the boot domain stays live"
+    );
+}
+
+#[test]
+fn unwind_without_live_context_is_privilege_from_user_mode() {
+    // Satellite regression: `sva.recover.unwind` from user mode must be
+    // rejected as a privilege violation *before* any context lookup —
+    // the attacker must not learn whether a recovery context exists.
+    let mut vm = make_vm(KernelKind::SvaSafe);
+    let err = boot_user(&mut vm, "user_unwind_attack", 0).unwrap_err();
+    assert!(
+        matches!(err, VmError::Privilege { .. }),
+        "user unwind must be a privilege fault, got {err}"
+    );
+
+    // From kernel mode with no live domain it is NoRecoveryContext —
+    // proving the privilege gate, not the empty stack, fired above.
+    let mut vm = make_vm(KernelKind::SvaSafe);
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    let err = vm.call("dbg_unwind", &[]).unwrap_err();
+    assert!(
+        matches!(err, VmError::NoRecoveryContext),
+        "kernel unwind with no domain, got {err}"
+    );
 }
