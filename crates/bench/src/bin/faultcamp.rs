@@ -1,5 +1,5 @@
 //! Deterministic machine-level fault-injection campaign with blast-radius
-//! measurement (DESIGN.md §4.3/§4.5).
+//! measurement (DESIGN.md §4.3/§4.5), snapshot-forked (DESIGN.md §4.6).
 //!
 //! Every [`FaultClass`] × seed × workload cell is run on **two arms**:
 //!
@@ -15,17 +15,34 @@
 //! were degraded to `-ENOSYS`, how many threads were stranded, and at
 //! what domain depth the faults were contained.
 //!
+//! **Snapshot forking.** Fault plans only act at user→kernel traps and
+//! the boot runs entirely in kernel mode, so every cell of one
+//! (arm, workload, budget) column shares a bit-identical post-boot
+//! machine. The campaign therefore boots each column **once** with a
+//! passive [`DropRecorder`] attached, pauses at the first user
+//! instruction ([`boot_user_paused`]), snapshots the machine
+//! ([`Vm::snapshot`]), and *forks* every (class × seed) run from the
+//! in-memory image: fresh VM + fresh plan, [`Vm::restore`], replay the
+//! recorded boot-time pool drops into the plan
+//! ([`FaultPlan::replay_drops`], so `StaleUse` learns the same
+//! use-after-free candidates a re-booted machine would), then
+//! [`Vm::run`]. A fork-vs-reboot cross-check cell per arm gates that the
+//! shortcut is byte-identical; `--verify-reboot` extends the check to
+//! every cell and `--reboot` runs the legacy full-reboot campaign.
+//!
 //! A JSON report lands in `target/sva-inject/faultcamp.json` (override
 //! the directory with `SVA_INJECT_DIR`). Exit status is nonzero on any
-//! panic, escaped safety violation, determinism failure, nested-arm
-//! machine death, or unresponsive nested-arm probe, so CI gates on it.
+//! panic, escaped safety violation, determinism failure, fork/reboot
+//! divergence, nested-arm machine death, or unresponsive nested-arm
+//! probe, so CI gates on it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use sva_inject::{FaultClass, FaultPlan, PROBE_DEFER};
+use sva_inject::{DropRecorder, FaultClass, FaultPlan, PROBE_DEFER};
 use sva_kernel::harness::{
-    boot_user, make_vm_nested, make_vm_recovering, pack_arg, USER_HEAP_BASE,
+    boot_user, boot_user_paused, make_vm_nested, make_vm_recovering, pack_arg, USER_HEAP_BASE,
 };
 use sva_kernel::{sysd_name, SYSCALLS};
 use sva_vm::{Mode, Vm, VmConfig, VmError, VmExit, VmStats};
@@ -82,6 +99,27 @@ impl Arm {
         match self {
             Arm::Flat => "flat",
             Arm::Nested => "nested",
+        }
+    }
+}
+
+/// How each campaign cell obtains its post-boot machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BootMode {
+    /// Boot once per (arm, workload, budget), fork cells from the image.
+    Fork,
+    /// Legacy behavior: boot the kernel freshly for every cell.
+    Reboot,
+    /// Run every cell both ways and gate on byte-identical results.
+    VerifyReboot,
+}
+
+impl BootMode {
+    fn name(self) -> &'static str {
+        match self {
+            BootMode::Fork => "fork",
+            BootMode::Reboot => "reboot",
+            BootMode::VerifyReboot => "verify_reboot",
         }
     }
 }
@@ -209,15 +247,71 @@ fn measure_blast(vm: &mut Vm, arm: Arm, baseline: u64) -> Blast {
     b
 }
 
-fn run_one(
+/// A paused post-boot machine image plus the pool drops the boot emitted
+/// (replayed into each fork's fresh plan so `StaleUse` learns the same
+/// use-after-free candidates a re-booted machine would).
+struct BootImage {
+    bytes: Vec<u8>,
+    boot_drops: Vec<(u32, u64)>,
+}
+
+/// Boots one (arm, workload, budget) column to the first user instruction
+/// and snapshots it. Panics if the boot never reaches user mode — every
+/// campaign workload must, so that is a harness bug, not a fault effect.
+fn boot_image(arm: Arm, workload: (&str, u64, u64, u64), budget: u32) -> BootImage {
+    let rec = Arc::new(DropRecorder::new());
+    let cfg = VmConfig {
+        fuel: FUEL,
+        violation_budget: budget,
+        fault_hook: Some(rec.clone()),
+        ..Default::default()
+    };
+    let mut vm = make_vm(arm, cfg);
+    let (prog, iters, size, mode) = workload;
+    match boot_user_paused(&mut vm, prog, pack_arg(iters, size, mode)) {
+        Ok(None) => BootImage {
+            bytes: vm.snapshot(),
+            boot_drops: rec.drops(),
+        },
+        other => panic!("{prog} boot never reached user mode: {other:?}"),
+    }
+}
+
+/// Maps a finished workload run to its campaign outcome and blast record.
+fn finish_run(
+    vm: &mut Vm,
+    arm: Arm,
+    baseline: u64,
+    r: Result<VmExit, VmError>,
+    plan: &FaultPlan,
+) -> RunResult {
+    let outcome = match r {
+        Ok(VmExit::Halted(41)) => Outcome::HaltedPoisoned,
+        Ok(VmExit::Halted(42)) => Outcome::HaltedClean,
+        Ok(_) => Outcome::Completed,
+        Err(VmError::Safety(e)) => Outcome::EscapedSafety(e.to_string()),
+        Err(e) => Outcome::StructuredError(e.to_string()),
+    };
+    let blast = measure_blast(vm, arm, baseline);
+    RunResult {
+        injected: plan.injected(),
+        stats: vm.stats(),
+        outcome,
+        blast,
+    }
+}
+
+/// Legacy cell: boot the kernel freshly under the armed plan.
+fn run_one_reboot(
     arm: Arm,
     class: FaultClass,
     seed: u64,
     workload: (&str, u64, u64, u64),
     budget: u32,
     baseline: u64,
+    targets: &[u32],
 ) -> Option<RunResult> {
-    let targets = complete_pools(arm);
+    let targets = targets.to_vec();
     catch_unwind(AssertUnwindSafe(move || {
         let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets).with_defer(PROBE_DEFER));
         let cfg = VmConfig {
@@ -229,22 +323,158 @@ fn run_one(
         let mut vm = make_vm(arm, cfg);
         let (prog, iters, size, mode) = workload;
         let r = boot_user(&mut vm, prog, pack_arg(iters, size, mode));
-        let outcome = match r {
-            Ok(VmExit::Halted(41)) => Outcome::HaltedPoisoned,
-            Ok(VmExit::Halted(42)) => Outcome::HaltedClean,
-            Ok(_) => Outcome::Completed,
-            Err(VmError::Safety(e)) => Outcome::EscapedSafety(e.to_string()),
-            Err(e) => Outcome::StructuredError(e.to_string()),
-        };
-        let blast = measure_blast(&mut vm, arm, baseline);
-        RunResult {
-            injected: plan.injected(),
-            stats: vm.stats(),
-            outcome,
-            blast,
-        }
+        finish_run(&mut vm, arm, baseline, r, &plan)
     }))
     .ok()
+}
+
+/// Snapshot-forked cell: restore the shared post-boot image into the
+/// column's scratch machine (already translated — forks skip both the
+/// kernel boot *and* the per-cell VM construction), arm a fresh plan,
+/// replay the boot-time drops, and resume. The scratch VM carries no
+/// state across cells: restore rewrites all of it.
+fn run_one_forked(
+    vm: &mut Vm,
+    arm: Arm,
+    class: FaultClass,
+    seed: u64,
+    baseline: u64,
+    targets: &[u32],
+    image: &BootImage,
+) -> Option<RunResult> {
+    let targets = targets.to_vec();
+    catch_unwind(AssertUnwindSafe(move || {
+        let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets).with_defer(PROBE_DEFER));
+        vm.restore(&image.bytes)
+            .unwrap_or_else(|e| panic!("boot image rejected: {e}"));
+        vm.arm_faults(plan.clone());
+        plan.replay_drops(&image.boot_drops);
+        let r = vm.run();
+        finish_run(vm, arm, baseline, r, &plan)
+    }))
+    .ok()
+}
+
+/// A scratch machine for forked cells of one (arm, budget) column. The
+/// violation budget is part of the image fingerprint, so each budget
+/// needs its own scratch machine.
+fn scratch_vm(arm: Arm, budget: u32) -> Vm {
+    make_vm(
+        arm,
+        VmConfig {
+            fuel: FUEL,
+            violation_budget: budget,
+            ..Default::default()
+        },
+    )
+}
+
+/// Everything one arm's grid needs: probe targets, per-workload stranded
+/// baselines and (outside `--reboot`) the shared post-boot images.
+struct ArmCtx {
+    arm: Arm,
+    targets: Vec<u32>,
+    baselines: [u64; WORKLOADS.len()],
+    /// `(workload index, image)` pairs at the main-grid budget.
+    images: Vec<(usize, BootImage)>,
+}
+
+impl ArmCtx {
+    fn build(arm: Arm, mode: BootMode) -> ArmCtx {
+        let targets = complete_pools(arm);
+        let baselines = std::array::from_fn(|i| clean_baseline(arm, WORKLOADS[i]));
+        let images = if mode == BootMode::Reboot {
+            Vec::new()
+        } else {
+            (0..WORKLOADS.len())
+                .map(|wi| (wi, boot_image(arm, WORKLOADS[wi], BUDGET)))
+                .collect()
+        };
+        ArmCtx {
+            arm,
+            targets,
+            baselines,
+            images,
+        }
+    }
+}
+
+fn image_for(images: &[(usize, BootImage)], wi: usize) -> &BootImage {
+    images
+        .iter()
+        .find(|(i, _)| *i == wi)
+        .map(|(_, img)| img)
+        .expect("boot image for workload")
+}
+
+/// Runs one grid cell under the selected boot mode. In `VerifyReboot`
+/// mode the cell runs both ways; a divergence bumps `mismatches` (gated
+/// nonzero-exit in `main`). `scratch` is the column's reusable forked
+/// machine (must match `budget`); `None` only in `Reboot` mode.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    mode: BootMode,
+    ctx: &ArmCtx,
+    scratch: Option<&mut Vm>,
+    class: FaultClass,
+    seed: u64,
+    wi: usize,
+    budget: u32,
+    images: &[(usize, BootImage)],
+    mismatches: &mut u64,
+) -> Option<RunResult> {
+    let baseline = ctx.baselines[wi];
+    match mode {
+        BootMode::Reboot => run_one_reboot(
+            ctx.arm,
+            class,
+            seed,
+            WORKLOADS[wi],
+            budget,
+            baseline,
+            &ctx.targets,
+        ),
+        BootMode::Fork => run_one_forked(
+            scratch.expect("fork mode needs a scratch machine"),
+            ctx.arm,
+            class,
+            seed,
+            baseline,
+            &ctx.targets,
+            image_for(images, wi),
+        ),
+        BootMode::VerifyReboot => {
+            let f = run_one_forked(
+                scratch.expect("verify mode needs a scratch machine"),
+                ctx.arm,
+                class,
+                seed,
+                baseline,
+                &ctx.targets,
+                image_for(images, wi),
+            );
+            let r = run_one_reboot(
+                ctx.arm,
+                class,
+                seed,
+                WORKLOADS[wi],
+                budget,
+                baseline,
+                &ctx.targets,
+            );
+            if f != r {
+                *mismatches += 1;
+                eprintln!(
+                    "FORK/REBOOT MISMATCH ({} {} seed {} workload {}):\n  fork:   {f:?}\n  reboot: {r:?}",
+                    ctx.arm.name(),
+                    class.name(),
+                    seed,
+                    WORKLOADS[wi].0,
+                );
+            }
+            f
+        }
+    }
 }
 
 #[derive(Default)]
@@ -358,21 +588,36 @@ fn report_dir() -> std::path::PathBuf {
     }
 }
 
-fn run_arm(arm: Arm, baselines: &[u64; WORKLOADS.len()]) -> (Tally, Vec<(FaultClass, Tally)>) {
+fn run_arm(
+    mode: BootMode,
+    ctx: &ArmCtx,
+    mismatches: &mut u64,
+) -> (Tally, Vec<(FaultClass, Tally)>) {
+    let mut scratch = (mode != BootMode::Reboot).then(|| scratch_vm(ctx.arm, BUDGET));
     let mut total = Tally::default();
     let mut per_class = Vec::new();
     for class in FaultClass::ALL {
         let mut tally = Tally::default();
         for seed in SEEDS {
-            for (wi, workload) in WORKLOADS.into_iter().enumerate() {
-                let r = run_one(arm, class, seed, workload, BUDGET, baselines[wi]);
+            for wi in 0..WORKLOADS.len() {
+                let r = run_cell(
+                    mode,
+                    ctx,
+                    scratch.as_mut(),
+                    class,
+                    seed,
+                    wi,
+                    BUDGET,
+                    &ctx.images,
+                    mismatches,
+                );
                 tally.absorb(&r);
                 total.absorb(&r);
             }
         }
         println!(
             "{:7} {:18} runs {:3}  injected {:6}  recovered {:6}  deaths {:3}  contained sys/boot {:5}/{:4}  probes live {:4}",
-            arm.name(),
+            ctx.arm.name(),
             class.name(),
             tally.runs,
             tally.injected,
@@ -388,47 +633,142 @@ fn run_arm(arm: Arm, baselines: &[u64; WORKLOADS.len()]) -> (Tally, Vec<(FaultCl
 }
 
 fn main() {
-    // Sanity gate for the proc_table geometry: a clean nested run must
-    // strand nothing beyond its own baseline (i.e. the baseline math
-    // sees real process states, not garbage).
-    let nested_baselines: [u64; WORKLOADS.len()] =
-        std::array::from_fn(|i| clean_baseline(Arm::Nested, WORKLOADS[i]));
-    let flat_baselines: [u64; WORKLOADS.len()] =
-        std::array::from_fn(|i| clean_baseline(Arm::Flat, WORKLOADS[i]));
+    let mut mode = BootMode::Fork;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--reboot" => mode = BootMode::Reboot,
+            "--verify-reboot" => mode = BootMode::VerifyReboot,
+            other => {
+                eprintln!("faultcamp: unknown flag {other} (expected --reboot or --verify-reboot)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let t_total = Instant::now();
+
+    // Boot/imaging phase: probe targets, clean stranded baselines (the
+    // sanity gate for the proc_table geometry — a clean run must strand
+    // nothing beyond its own baseline), and the shared post-boot images.
+    let t_boot = Instant::now();
+    let flat_ctx = ArmCtx::build(Arm::Flat, mode);
+    let nested_ctx = ArmCtx::build(Arm::Nested, mode);
+    let mut boot_wall = t_boot.elapsed();
+    if mode != BootMode::Reboot {
+        let (n, bytes) = [&flat_ctx, &nested_ctx]
+            .iter()
+            .flat_map(|c| &c.images)
+            .fold((0u64, 0u64), |(n, b), (_, img)| {
+                (n + 1, b + img.bytes.len() as u64)
+            });
+        println!(
+            "boot images: {} columns, {} KiB total ({} ms)",
+            n,
+            bytes / 1024,
+            boot_wall.as_millis(),
+        );
+    }
 
     // Determinism gate on both arms: the same plan on the same workload
     // must replay bit-identically — stats, injections and blast radius.
     let mut deterministic = true;
-    for arm in [Arm::Flat, Arm::Nested] {
-        let b = match arm {
-            Arm::Flat => flat_baselines[0],
-            Arm::Nested => nested_baselines[0],
+    let mut mismatches = 0u64;
+    for ctx in [&flat_ctx, &nested_ctx] {
+        let mut scratch = (mode != BootMode::Reboot).then(|| scratch_vm(ctx.arm, BUDGET));
+        let mut cell = |scratch: Option<&mut Vm>| {
+            run_cell(
+                mode,
+                ctx,
+                scratch,
+                FaultClass::WildPtr,
+                SEEDS[0],
+                0,
+                BUDGET,
+                &ctx.images,
+                &mut mismatches,
+            )
         };
-        let d0 = run_one(arm, FaultClass::WildPtr, SEEDS[0], WORKLOADS[0], BUDGET, b);
-        let d1 = run_one(arm, FaultClass::WildPtr, SEEDS[0], WORKLOADS[0], BUDGET, b);
+        let d0 = cell(scratch.as_mut());
+        let d1 = cell(scratch.as_mut());
         if d0 != d1 || d0.is_none() {
             deterministic = false;
-            eprintln!("DETERMINISM FAILURE ({}):\n  {d0:?}\n  {d1:?}", arm.name());
+            eprintln!(
+                "DETERMINISM FAILURE ({}):\n  {d0:?}\n  {d1:?}",
+                ctx.arm.name()
+            );
         }
     }
 
-    let (flat_total, flat_classes) = run_arm(Arm::Flat, &flat_baselines);
-    let (nested_total, nested_classes) = run_arm(Arm::Nested, &nested_baselines);
+    // Fork/reboot cross-check: in the default fork mode one cell per arm
+    // also runs the legacy re-boot path and must match byte-identically —
+    // a standing canary that forking is an optimization, not a semantic
+    // change. (`--verify-reboot` extends this to every cell.)
+    if mode == BootMode::Fork {
+        for ctx in [&flat_ctx, &nested_ctx] {
+            let mut scratch = scratch_vm(ctx.arm, BUDGET);
+            let f = run_one_forked(
+                &mut scratch,
+                ctx.arm,
+                FaultClass::WildPtr,
+                SEEDS[0],
+                ctx.baselines[0],
+                &ctx.targets,
+                image_for(&ctx.images, 0),
+            );
+            let r = run_one_reboot(
+                ctx.arm,
+                FaultClass::WildPtr,
+                SEEDS[0],
+                WORKLOADS[0],
+                BUDGET,
+                ctx.baselines[0],
+                &ctx.targets,
+            );
+            if f != r || f.is_none() {
+                mismatches += 1;
+                eprintln!(
+                    "FORK/REBOOT MISMATCH ({} cross-check):\n  fork:   {f:?}\n  reboot: {r:?}",
+                    ctx.arm.name()
+                );
+            }
+        }
+    }
+
+    let t_grid = Instant::now();
+    let (flat_total, flat_classes) = run_arm(mode, &flat_ctx, &mut mismatches);
+    let (nested_total, nested_classes) = run_arm(mode, &nested_ctx, &mut mismatches);
+    let grid_wall = t_grid.elapsed();
 
     // Degradation sub-run: budget 1, so a single violation poisons its
     // pool and the owning syscall degrades to -ENOSYS while the rest of
-    // the machine keeps answering.
+    // the machine keeps answering. The violation budget is part of the
+    // snapshot config fingerprint, so this sub-run forks from its own
+    // budget-1 images.
+    let degr_images: Vec<(usize, BootImage)> = if mode == BootMode::Reboot {
+        Vec::new()
+    } else {
+        let t = Instant::now();
+        let imgs = [1usize, 3]
+            .into_iter()
+            .map(|wi| (wi, boot_image(Arm::Nested, WORKLOADS[wi], 1)))
+            .collect();
+        boot_wall += t.elapsed();
+        imgs
+    };
+    let mut degr_scratch = (mode != BootMode::Reboot).then(|| scratch_vm(Arm::Nested, 1));
     let mut degr = Tally::default();
     let mut degraded_runs = 0u64;
     for seed in [1, 2, 3] {
         for wi in [1usize, 3] {
-            let r = run_one(
-                Arm::Nested,
+            let r = run_cell(
+                mode,
+                &nested_ctx,
+                degr_scratch.as_mut(),
                 FaultClass::WildPtr,
                 seed,
-                WORKLOADS[wi],
+                wi,
                 1,
-                nested_baselines[wi],
+                &degr_images,
+                &mut mismatches,
             );
             if let Some(rr) = &r {
                 if rr.blast.syscalls_degraded > 0 {
@@ -447,6 +787,9 @@ fn main() {
         degr.probes_responsive,
     );
 
+    let total_wall = t_total.elapsed();
+    let ms = |d: Duration| d.as_millis() as u64;
+
     let arm_json = |total: &Tally, classes: &[(FaultClass, Tally)]| {
         let cj: Vec<String> = classes
             .iter()
@@ -460,13 +803,19 @@ fn main() {
     };
     let json = format!(
         concat!(
-            "{{\"campaign\":\"faultcamp\",\"deterministic\":{},",
+            "{{\"campaign\":\"faultcamp\",\"boot_mode\":\"{}\",\"deterministic\":{},",
+            "\"wall_ms\":{{\"boot_images\":{},\"grid\":{},\"total\":{}}},",
             "\"flat\":{},\"nested\":{},",
             "\"degradation\":{{\"tally\":{},\"degraded_runs\":{}}},",
             "\"gates\":{{\"panics\":{},\"escapes\":{},\"nested_machine_deaths\":{},",
-            "\"nested_probes_dead\":{},\"flat_machine_deaths\":{}}}}}\n"
+            "\"nested_probes_dead\":{},\"flat_machine_deaths\":{},",
+            "\"fork_reboot_mismatches\":{}}}}}\n"
         ),
+        mode.name(),
         deterministic,
+        ms(boot_wall),
+        ms(grid_wall),
+        ms(total_wall),
         arm_json(&flat_total, &flat_classes),
         arm_json(&nested_total, &nested_classes),
         degr.json(),
@@ -476,6 +825,7 @@ fn main() {
         nested_total.machine_deaths() + degr.machine_deaths(),
         nested_total.probes_dead + degr.probes_dead,
         flat_total.machine_deaths(),
+        mismatches,
     );
 
     let dir = report_dir();
@@ -506,6 +856,13 @@ fn main() {
         nested_total.contained_syscall,
         nested_total.contained_boot,
     );
+    println!(
+        "mode {}: boot/imaging {} ms, grid {} ms, total {} ms",
+        mode.name(),
+        ms(boot_wall),
+        ms(grid_wall),
+        ms(total_wall),
+    );
 
     let mut failed = false;
     let mut fail = |cond: bool, msg: &str| {
@@ -517,6 +874,10 @@ fn main() {
     fail(panics > 0, "a campaign run panicked the host");
     fail(escapes > 0, "a safety violation escaped a recovery domain");
     fail(!deterministic, "campaign replay was not bit-identical");
+    fail(
+        mismatches > 0,
+        "a snapshot-forked run diverged from a fresh re-boot",
+    );
     fail(
         flat_total.injected + nested_total.injected < 1000,
         "campaign injected fewer than 1000 faults",

@@ -17,6 +17,21 @@
 //!   `Vm::with_profile` — the feedback file of the profile-guided
 //!   optimizing tier (DESIGN.md §4.4).
 //!
+//! Two snapshot modes exercise the machine checkpoint format
+//! (DESIGN.md §4.6):
+//!
+//! - `--snapshot-out PATH` boots the kernel to the first user-mode
+//!   instruction of `--prog`, writes the paused machine as a snapshot
+//!   image, then resumes it and cross-checks the completed run against a
+//!   fresh uninterrupted boot (`VmStats::equivalence_key` + console).
+//!   Nightly CI uploads the image as the golden post-boot artifact.
+//! - `--resume PATH` restores a previously written image into a fresh
+//!   machine, runs it to completion, and cross-checks against a fresh
+//!   boot of the same `--prog`/`--arg`. Exits nonzero on a structured
+//!   restore error (bad header, version or config-fingerprint mismatch)
+//!   or any divergence — nightly CI runs it against the previous night's
+//!   golden image to catch accidental format breaks.
+//!
 //! Two offline modes skip the boot entirely:
 //!
 //! - `--replay events.jsonl` parses a recorded JSONL dump back into
@@ -35,6 +50,7 @@
 //!     [--prog NAME] [--arg N] [--kind sva-safe|native|sva-gcc|sva-llvm]
 //!     [--top N] [--capacity N] [--prom]
 //!     [--profile-out PATH] [--profile-keep FRAC]
+//!     [--snapshot-out PATH] [--resume PATH]
 //!     [--replay PATH [--shrink]] [--prom-diff OLD NEW]`
 //!
 //! Exits nonzero if the captured profile is empty — CI uses that to catch
@@ -45,8 +61,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bench::{prof, run_workload_traced};
+use sva_kernel::harness::{boot_user, boot_user_paused, make_vm};
 use sva_trace::{to_chrome_trace, to_jsonl, to_prometheus, top_report, RingConfig};
-use sva_vm::{HotProfile, KernelKind};
+use sva_vm::{HotProfile, KernelKind, Vm};
 
 /// Workload the boot-kernel example runs; the default subject here too.
 const DEFAULT_PROG: &str = "user_hello";
@@ -82,6 +99,8 @@ struct Options {
     prom: bool,
     profile_out: Option<PathBuf>,
     profile_keep: f64,
+    snapshot_out: Option<PathBuf>,
+    resume: Option<PathBuf>,
     replay: Option<PathBuf>,
     shrink: bool,
     prom_diff: Option<(PathBuf, PathBuf)>,
@@ -97,6 +116,8 @@ fn parse_args() -> Result<Options, String> {
         prom: false,
         profile_out: None,
         profile_keep: 0.25,
+        snapshot_out: None,
+        resume: None,
         replay: None,
         shrink: false,
         prom_diff: None,
@@ -133,6 +154,10 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--profile-keep must be in 0..=1".to_string());
                 }
             }
+            "--snapshot-out" => {
+                opts.snapshot_out = Some(PathBuf::from(val("--snapshot-out")?));
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(val("--resume")?)),
             "--replay" => opts.replay = Some(PathBuf::from(val("--replay")?)),
             "--shrink" => opts.shrink = true,
             "--prom-diff" => {
@@ -147,6 +172,99 @@ fn parse_args() -> Result<Options, String> {
         return Err("--shrink only makes sense with --replay".to_string());
     }
     Ok(opts)
+}
+
+/// Compares a finished (resumed) machine against a fresh uninterrupted
+/// boot of the same workload: exit value, equivalence-key stats and
+/// console bytes must all match byte-for-byte.
+fn matches_fresh_boot(vm: &mut Vm, exit: &str, kind: KernelKind, prog: &str, arg: u64) -> bool {
+    let mut fresh = make_vm(kind);
+    let fresh_exit = format!("{:?}", boot_user(&mut fresh, prog, arg));
+    let mut ok = true;
+    if exit != fresh_exit {
+        eprintln!("svaprof: exit mismatch: resumed {exit}, fresh boot {fresh_exit}");
+        ok = false;
+    }
+    let resumed = vm.stats().equivalence_key();
+    let booted = fresh.stats().equivalence_key();
+    if resumed != booted {
+        eprintln!("svaprof: stats mismatch:\n  resumed {resumed:?}\n  fresh   {booted:?}");
+        ok = false;
+    }
+    if vm.console != fresh.console {
+        eprintln!("svaprof: console output mismatch");
+        ok = false;
+    }
+    ok
+}
+
+/// `--snapshot-out`: boot to the first user instruction, write the paused
+/// machine image, then resume and cross-check against a fresh boot.
+fn snapshot_out_mode(kind: KernelKind, prog: &str, arg: u64, path: &PathBuf) -> ExitCode {
+    let mut vm = make_vm(kind);
+    match boot_user_paused(&mut vm, prog, arg) {
+        Ok(None) => {}
+        Ok(Some(e)) => {
+            eprintln!("svaprof: boot exited before reaching user mode: {e:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("svaprof: boot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let image = vm.snapshot();
+    if let Err(e) = std::fs::write(path, &image) {
+        eprintln!("svaprof: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "svaprof: post-boot snapshot of {} {}({:#x}): {} bytes -> {}",
+        kind.label(),
+        prog,
+        arg,
+        image.len(),
+        path.display()
+    );
+    // The paused machine must finish exactly like an uninterrupted boot,
+    // or the image just written captures a corrupted pause point.
+    let exit = format!("{:?}", vm.run());
+    if !matches_fresh_boot(&mut vm, &exit, kind, prog, arg) {
+        return ExitCode::FAILURE;
+    }
+    println!("svaprof: resume-after-snapshot matches an uninterrupted boot");
+    ExitCode::SUCCESS
+}
+
+/// `--resume`: restore an image into a fresh machine, run to completion,
+/// and cross-check against a fresh boot of the same workload.
+fn resume_mode(kind: KernelKind, prog: &str, arg: u64, path: &PathBuf) -> ExitCode {
+    let image = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("svaprof: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut vm = make_vm(kind);
+    if let Err(e) = vm.restore(&image) {
+        eprintln!("svaprof: cannot restore {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "svaprof: restored {} ({} bytes), resuming {} {}({:#x})",
+        path.display(),
+        image.len(),
+        kind.label(),
+        prog,
+        arg
+    );
+    let exit = format!("{:?}", vm.run());
+    if !matches_fresh_boot(&mut vm, &exit, kind, prog, arg) {
+        return ExitCode::FAILURE;
+    }
+    println!("svaprof: resumed run matches a fresh boot bit-for-bit");
+    ExitCode::SUCCESS
 }
 
 /// `--replay`: run a recorded stream through the exporter layer offline.
@@ -250,6 +368,12 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.replay {
         return replay_mode(path, opts.capacity, opts.top, opts.shrink);
+    }
+    if let Some(path) = &opts.snapshot_out {
+        return snapshot_out_mode(opts.kind, &opts.prog, opts.arg, path);
+    }
+    if let Some(path) = &opts.resume {
+        return resume_mode(opts.kind, &opts.prog, opts.arg, path);
     }
 
     let cfg = RingConfig {

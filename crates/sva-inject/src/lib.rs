@@ -132,6 +132,18 @@ impl FaultPlan {
         self.state.lock().map(|s| s.injected).unwrap_or(0)
     }
 
+    /// Replays a recorded pool-drop history into this plan's learned
+    /// use-after-free candidates, exactly as if [`FaultHook::on_pool_drop`]
+    /// had observed each drop live. Snapshot-forked campaigns boot once
+    /// with a [`DropRecorder`] attached, then replay the boot-time drops
+    /// into each fork's fresh plan so the fork starts with the same
+    /// learned state a re-booted machine would have.
+    pub fn replay_drops(&self, drops: &[(u32, u64)]) {
+        for &(pool, addr) in drops {
+            self.on_pool_drop(pool, addr);
+        }
+    }
+
     fn target(&self, r: u64) -> Option<u32> {
         if self.targets.is_empty() {
             None
@@ -214,6 +226,41 @@ impl FaultHook for FaultPlan {
             st.freed.remove(0);
         }
         st.freed.push((pool, addr));
+    }
+}
+
+/// A passive [`FaultHook`] that injects nothing and records every pool
+/// drop it observes. Snapshot-forked campaigns attach one during the
+/// single boot so the boot-time drop history can be replayed (via
+/// [`FaultPlan::replay_drops`]) into each fork's fresh plan — keeping a
+/// forked run byte-identical to a freshly re-booted one even for the
+/// drop-learning `StaleUse` class.
+#[derive(Default)]
+pub struct DropRecorder {
+    drops: Mutex<Vec<(u32, u64)>>,
+}
+
+impl DropRecorder {
+    /// An empty recorder.
+    pub fn new() -> DropRecorder {
+        DropRecorder::default()
+    }
+
+    /// The recorded `(pool, addr)` drops, in observation order.
+    pub fn drops(&self) -> Vec<(u32, u64)> {
+        self.drops.lock().map(|d| d.clone()).unwrap_or_default()
+    }
+}
+
+impl FaultHook for DropRecorder {
+    fn on_trap(&self, _info: &TrapInfo<'_>) -> FaultAction {
+        FaultAction::default()
+    }
+
+    fn on_pool_drop(&self, pool: u32, addr: u64) {
+        if let Ok(mut d) = self.drops.lock() {
+            d.push((pool, addr));
+        }
     }
 }
 

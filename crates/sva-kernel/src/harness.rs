@@ -194,3 +194,20 @@ pub fn boot_user<T: Tracer>(vm: &mut Vm<T>, prog: &str, arg: u64) -> Result<VmEx
     vm.write_global_u64("boot_user_arg", arg)?;
     vm.boot()
 }
+
+/// Like [`boot_user`] but pauses the machine at the first user-mode
+/// instruction — the post-boot point machine snapshots are taken at.
+/// Returns `Ok(None)` when paused (resume with [`Vm::run`]); `Ok(Some)`
+/// if the boot exited before ever entering user mode.
+pub fn boot_user_paused<T: Tracer>(
+    vm: &mut Vm<T>,
+    prog: &str,
+    arg: u64,
+) -> Result<Option<VmExit>, VmError> {
+    let addr = vm
+        .func_address(prog)
+        .ok_or_else(|| VmError::Unsupported(format!("no user program @{prog}")))?;
+    vm.write_global_u64("boot_user_prog", addr)?;
+    vm.write_global_u64("boot_user_arg", arg)?;
+    vm.boot_to_user()
+}

@@ -145,6 +145,46 @@ impl CheckStats {
         metrics.set_counter("check.lookup.tree_walks", self.tree_walks);
         metrics.set_counter("check.quarantine_rejects", self.quarantine_rejects);
     }
+
+    /// Number of counters in the block — the width of [`CheckStats::to_words`].
+    pub const WORDS: usize = 12;
+
+    /// The counters as a fixed word array, in declaration order (binary
+    /// serialization for snapshot images).
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        [
+            self.bounds_checks,
+            self.ls_checks,
+            self.get_bounds,
+            self.func_checks,
+            self.registrations,
+            self.drops,
+            self.reduced_skips,
+            self.singleton_hits,
+            self.cache_hits,
+            self.page_hits,
+            self.tree_walks,
+            self.quarantine_rejects,
+        ]
+    }
+
+    /// Rebuilds a stats block from [`CheckStats::to_words`] output.
+    pub fn from_words(w: [u64; Self::WORDS]) -> CheckStats {
+        CheckStats {
+            bounds_checks: w[0],
+            ls_checks: w[1],
+            get_bounds: w[2],
+            func_checks: w[3],
+            registrations: w[4],
+            drops: w[5],
+            reduced_skips: w[6],
+            singleton_hits: w[7],
+            cache_hits: w[8],
+            page_hits: w[9],
+            tree_walks: w[10],
+            quarantine_rejects: w[11],
+        }
+    }
 }
 
 #[cfg(test)]

@@ -579,6 +579,114 @@ impl MetaPool {
     pub fn live_ranges(&self) -> Vec<(u64, u64)> {
         self.objects.iter_ranges()
     }
+
+    /// Exports the pool's mutable state as a plain-data image for a
+    /// machine snapshot. Live ranges are exported sorted; the splay tree's
+    /// shape and the page-index bucket order are *not* captured — they are
+    /// rebuilt deterministically on restore, which is observationally
+    /// equivalent because ranges are disjoint (every lookup answer and
+    /// every counter increment is independent of tree shape).
+    pub fn export_image(&self) -> PoolImage {
+        PoolImage {
+            name: self.name.clone(),
+            ranges: self.objects.iter_ranges(),
+            stats: self.stats.to_words(),
+            fast_path: self.fast_path,
+            singleton_path: self.singleton_path,
+            mru: self.mru,
+            quiet_lookups: self.quiet_lookups,
+            last_layer: self.last_layer.to_code(),
+            quarantined: self.quarantined,
+            poisoned: self.poisoned,
+            violations: self.violations,
+            scope_violations: self.scope_violations,
+            forced_reg_failures: self.forced_reg_failures,
+        }
+    }
+
+    /// Restores the pool's mutable state from [`MetaPool::export_image`]
+    /// output, rebuilding the derived lookup structures (splay tree, page
+    /// index, singleton cache) from the sorted range list. The pool's
+    /// identity fields (name, homogeneity, completeness) are *not* taken
+    /// from the image — they come from the bytecode annotations, which the
+    /// caller has already matched; a name mismatch is rejected as a
+    /// cross-wired image.
+    pub fn restore_image(&mut self, img: &PoolImage) -> Result<(), String> {
+        if img.name != self.name {
+            return Err(format!(
+                "pool image \"{}\" restored into pool \"{}\"",
+                img.name, self.name
+            ));
+        }
+        let last_layer = LookupLayer::from_code(img.last_layer).ok_or_else(|| {
+            format!(
+                "pool {}: bad lookup-layer code {}",
+                self.name, img.last_layer
+            )
+        })?;
+        self.objects.clear();
+        self.page_index.clear();
+        self.unindexed = 0;
+        self.fast_path = img.fast_path;
+        self.singleton_path = img.singleton_path;
+        for &(start, end) in &img.ranges {
+            if end <= start || !self.objects.insert(start, end - start) {
+                return Err(format!(
+                    "pool {}: bad range [{start:#x}, {end:#x}) in image",
+                    self.name
+                ));
+            }
+            if self.fast_path {
+                self.index_insert(start, end);
+            }
+        }
+        self.update_singleton();
+        self.mru = img.mru;
+        self.quiet_lookups = img.quiet_lookups;
+        self.last_layer = last_layer;
+        self.quarantined = img.quarantined;
+        self.poisoned = img.poisoned;
+        self.violations = img.violations;
+        self.scope_violations = img.scope_violations;
+        self.forced_reg_failures = img.forced_reg_failures;
+        self.stats = CheckStats::from_words(img.stats);
+        Ok(())
+    }
+}
+
+/// Plain-data image of one metapool's mutable state (machine snapshots,
+/// DESIGN.md §4.6). Holds exactly what cannot be rebuilt from the sorted
+/// range list: the MRU cache contents, the read-mostly counter, the
+/// violation/quarantine state and the check counters. `last_layer` is a
+/// [`LookupLayer::to_code`] byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolImage {
+    /// Pool name, checked against the restore target.
+    pub name: String,
+    /// Live object ranges `(start, end)`, ascending.
+    pub ranges: Vec<(u64, u64)>,
+    /// [`CheckStats::to_words`] of the pool counters.
+    pub stats: [u64; CheckStats::WORDS],
+    /// Layered fast-path toggle.
+    pub fast_path: bool,
+    /// Singleton fast-path toggle.
+    pub singleton_path: bool,
+    /// MRU last-hit cache, most recent first.
+    pub mru: [Option<(u64, u64)>; 2],
+    /// Consecutive lookups since the last mutation.
+    pub quiet_lookups: u32,
+    /// [`LookupLayer::to_code`] of the most recent lookup's layer.
+    pub last_layer: u8,
+    /// Whether checks currently fail fast.
+    pub quarantined: bool,
+    /// Whether the pool is permanently fenced off.
+    pub poisoned: bool,
+    /// Lifetime violation count.
+    pub violations: u32,
+    /// Violations within the current recovery-domain scope.
+    pub scope_violations: u32,
+    /// Pending injected registration failures.
+    pub forced_reg_failures: u32,
 }
 
 /// The set of all metapools of a loaded kernel, indexed by the metapool ids
@@ -723,6 +831,39 @@ impl MetaPoolTable {
         for p in &mut self.pools {
             p.set_singleton_path(enabled);
         }
+    }
+
+    /// Exports every pool's mutable state plus the table-level
+    /// indirect-call counters for a machine snapshot.
+    pub fn export_images(&self) -> (Vec<PoolImage>, [u64; CheckStats::WORDS]) {
+        (
+            self.pools.iter().map(|p| p.export_image()).collect(),
+            self.func_stats.to_words(),
+        )
+    }
+
+    /// Restores pool contents and counters from
+    /// [`MetaPoolTable::export_images`] output. The table must already hold
+    /// the same pools (same count, names, declaration order) — they come
+    /// from the bytecode annotations, which the snapshot's code identity
+    /// pins; any mismatch is rejected.
+    pub fn restore_images(
+        &mut self,
+        imgs: &[PoolImage],
+        func_stats: [u64; CheckStats::WORDS],
+    ) -> Result<(), String> {
+        if imgs.len() != self.pools.len() {
+            return Err(format!(
+                "image has {} pools, machine has {}",
+                imgs.len(),
+                self.pools.len()
+            ));
+        }
+        for (p, img) in self.pools.iter_mut().zip(imgs) {
+            p.restore_image(img)?;
+        }
+        self.func_stats = CheckStats::from_words(func_stats);
+        Ok(())
     }
 }
 
@@ -1166,6 +1307,45 @@ mod tests {
         }
         assert_eq!(fast.stats().lookups(), base.stats().lookups());
         assert_eq!(fast.stats().singleton_hits, fast.stats().lookups());
+    }
+
+    #[test]
+    fn pool_image_round_trip_is_observationally_identical() {
+        // Build a pool with non-trivial state in every layer: warm caches,
+        // a huge unindexed object, violations, injected failures.
+        let mut p = MetaPool::new("MPc", false, true, None);
+        for i in 0..8u64 {
+            p.reg_obj(0x1000 + i * 0x100, 0x80).unwrap();
+        }
+        p.reg_obj(0x10_0000, 0x10_0000).unwrap(); // huge → unindexed
+        for addr in [0x1010u64, 0x1210, 0x18_0000, 0x1010] {
+            let _ = p.ls_check(addr);
+        }
+        p.note_violation(3);
+        p.release_quarantine();
+        p.inject_reg_failures(1);
+
+        let img = p.export_image();
+        let mut q = MetaPool::new("MPc", false, true, None);
+        q.restore_image(&img).unwrap();
+
+        assert_eq!(q.live_ranges(), p.live_ranges());
+        assert_eq!(q.stats(), p.stats());
+        assert_eq!(q.violations(), p.violations());
+        assert_eq!(q.quarantined(), p.quarantined());
+        // The restored pool must answer every probe — and attribute it to
+        // the same layer, moving the same counters — as the original.
+        let probes = [0u64, 0x1010, 0x1210, 0x1700, 0x18_0000, 0x50_0000];
+        for addr in probes {
+            assert_eq!(q.get_bounds(addr), p.get_bounds(addr), "{addr:#x}");
+            assert_eq!(q.last_lookup_layer(), p.last_lookup_layer(), "{addr:#x}");
+        }
+        assert_eq!(q.stats(), p.stats());
+        // Pending injected failures survive the trip.
+        assert!(q.reg_obj(0x9000, 8).is_err());
+        // Cross-wired images are rejected.
+        let mut other = MetaPool::new("MPx", false, true, None);
+        assert!(other.restore_image(&img).is_err());
     }
 
     #[test]

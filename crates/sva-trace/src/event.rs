@@ -52,6 +52,29 @@ impl LookupLayer {
             _ => return None,
         })
     }
+
+    /// Stable one-byte code for binary serialization (snapshot images).
+    pub fn to_code(self) -> u8 {
+        match self {
+            LookupLayer::None => 0,
+            LookupLayer::Singleton => 1,
+            LookupLayer::Cache => 2,
+            LookupLayer::Page => 3,
+            LookupLayer::Tree => 4,
+        }
+    }
+
+    /// Parses [`LookupLayer::to_code`] output.
+    pub fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            0 => LookupLayer::None,
+            1 => LookupLayer::Singleton,
+            2 => LookupLayer::Cache,
+            3 => LookupLayer::Page,
+            4 => LookupLayer::Tree,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for LookupLayer {

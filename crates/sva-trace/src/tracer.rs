@@ -35,6 +35,12 @@ pub trait Tracer {
 
     /// Supplies the metapool-name table (index = pool id).
     fn note_pool_names(&mut self, _names: &[String]) {}
+
+    /// Notifies the tracer that the machine's state was replaced by a
+    /// snapshot restore: `cycles` is the image's virtual-cycle counter, so
+    /// every subsequent event timestamp continues on the *image's* clock,
+    /// not the pre-restore one. The default does nothing.
+    fn on_restore(&mut self, _cycles: u64) {}
 }
 
 /// The disabled tracer: every instrumentation point compiles to nothing.
@@ -301,6 +307,14 @@ impl Tracer for RingTracer {
 
     fn note_pool_names(&mut self, names: &[String]) {
         self.pool_names = names.to_vec();
+    }
+
+    fn on_restore(&mut self, cycles: u64) {
+        // Counted rather than traced as an event: the event stream stays
+        // byte-comparable with an uninterrupted run of the same machine,
+        // while exporters can still surface that a restore happened.
+        self.metrics.add_counter("snapshot_restores", 1);
+        self.metrics.set_counter("snapshot_restore_cycles", cycles);
     }
 }
 

@@ -14,6 +14,7 @@
 
 pub mod mem;
 pub mod opt;
+pub mod snapshot;
 pub mod vm;
 
 pub use mem::{
@@ -21,6 +22,7 @@ pub use mem::{
     KSTACK_END, PAGE_SIZE, USER_BASE, USER_END, USER_SIZE,
 };
 pub use opt::HotProfile;
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use sva_trace::{NullTracer, RingTracer, Tracer};
 pub use vm::{
     FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit, VmStats,

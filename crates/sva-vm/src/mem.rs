@@ -176,6 +176,30 @@ impl Memory {
         self.spaces.iter().filter(|s| s.live).count()
     }
 
+    /// Raw kernel-region bytes (machine snapshots).
+    pub(crate) fn kernel_bytes(&self) -> &[u8] {
+        &self.kernel
+    }
+
+    /// Replaces the kernel region wholesale (snapshot restore). Swapping
+    /// in a freshly calloc-ed buffer is much cheaper than zeroing the old
+    /// one in place: the 32 MiB region is zero-page-backed until touched,
+    /// so a restore costs only the image's nonzero pages.
+    pub(crate) fn set_kernel(&mut self, kernel: Vec<u8>) {
+        debug_assert_eq!(kernel.len(), self.kernel.len());
+        self.kernel = kernel;
+    }
+
+    /// All address spaces including tombstones (machine snapshots).
+    pub(crate) fn all_spaces(&self) -> &[UserSpace] {
+        &self.spaces
+    }
+
+    /// Replaces the address-space table wholesale (snapshot restore).
+    pub(crate) fn set_spaces(&mut self, spaces: Vec<UserSpace>) {
+        self.spaces = spaces;
+    }
+
     fn slice(&self, addr: u64, len: u64, mode: Mode) -> Result<&[u8], VmError> {
         if len == 0 {
             return Ok(&[]);

@@ -1,0 +1,1271 @@
+//! Machine snapshot / checkpoint-restore (DESIGN.md §4.6).
+//!
+//! Because the whole commodity-OS state is mediated by the virtual
+//! architecture (paper §3), the *entire* machine — physical memory,
+//! register frames, metapool registries, interrupt contexts, the
+//! recovery-domain stack — is an ordinary serializable object. This
+//! module turns a live [`Vm`] into a versioned, checksummed binary image
+//! and restores it bit-exactly, so that `snapshot → restore → run` is
+//! indistinguishable from an uninterrupted `run` on
+//! [`VmStats::equivalence_key`] (and in fact on the full stats block,
+//! console bytes and exit).
+//!
+//! ## Image layout
+//!
+//! ```text
+//! header (40 bytes):
+//!   magic       4  b"SVA1"
+//!   version     4  u32 LE, SNAPSHOT_VERSION
+//!   config_fp   8  FNV-1a over the fingerprint block
+//!   code_id     8  FNV-1a over the sealed module bytes
+//!   payload_len 8  u64 LE
+//!   checksum    8  FNV-1a over the payload
+//! payload:
+//!   fingerprint block  (one u64 per config field, see below)
+//!   memory, thread, icontexts, saved states, dispatch tables,
+//!   metapool images, console, stats, fuel/halt/irq/recovery/fault state
+//! ```
+//!
+//! ## Serialized vs rebuilt
+//!
+//! Everything observable is serialized. Three things are deliberately
+//! *rebuilt* on restore instead:
+//!
+//! * the translated-function cache — deterministic from the module and
+//!   config, which the header's `code_id`/`config_fp` pin;
+//! * the metapool splay trees and page indexes — rebuilt from the sorted
+//!   live-range lists ([`sva_rt::PoolImage`]); tree shape and bucket
+//!   order are observationally irrelevant because ranges are disjoint
+//!   (the round-trip gates in `tests/snapshot.rs` prove it);
+//! * the fault hook — a host-side `Arc<dyn FaultHook>` that cannot be
+//!   serialized; the image carries its schedule cursor (`trap_count`),
+//!   so reattaching an identical plan resumes the identical schedule.
+//!
+//! ## Version policy
+//!
+//! Any change to the payload layout bumps [`SNAPSHOT_VERSION`]; restore
+//! hard-rejects other versions ([`SnapshotError::BadVersion`]) rather
+//! than guessing. Images are likewise rejected when the restoring
+//! machine's config fingerprint or code identity differs — a snapshot is
+//! a *state* capture, not a code capture.
+
+use std::collections::HashMap;
+
+use sva_ir::bytecode::SignedModule;
+use sva_rt::{CheckStats, PoolImage};
+use sva_trace::Tracer;
+
+use crate::mem::{Mode, UserSpace, PAGE_SIZE};
+use crate::vm::{
+    Frame, IContext, KernelKind, RecoveryCtx, SavedState, Thread, Vm, VmConfig, VmStats,
+};
+
+/// Image magic.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SVA1";
+/// Current image format version. Bump on any payload-layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Header size in bytes.
+const HEADER_LEN: usize = 40;
+
+/// Why an image could not be restored. Restore never partially applies:
+/// on any error the machine is untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The image ends before the advertised content.
+    Truncated {
+        /// Bytes the parser needed.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The first four bytes are not [`SNAPSHOT_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The image was written by a different format version.
+    BadVersion {
+        /// Version in the image header.
+        found: u32,
+        /// Version this build restores.
+        expected: u32,
+    },
+    /// One configuration field differs between the image and the machine.
+    ConfigMismatch {
+        /// Which fingerprint field mismatched.
+        field: &'static str,
+        /// The image's value (widened to u64).
+        image: u64,
+        /// The restoring machine's value.
+        machine: u64,
+    },
+    /// The image was taken from a machine running different code.
+    CodeMismatch {
+        /// Code identity in the image header.
+        image: u64,
+        /// The restoring machine's code identity.
+        machine: u64,
+    },
+    /// The payload checksum does not match (bit rot / tampering).
+    Corrupt {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The payload parsed but described an impossible machine.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated { need, have } => {
+                write!(f, "truncated image: need {need} bytes, have {have}")
+            }
+            SnapshotError::BadMagic(m) => write!(f, "bad magic {m:02x?} (not an SVA image)"),
+            SnapshotError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "image format version {found}, this build restores {expected}"
+                )
+            }
+            SnapshotError::ConfigMismatch {
+                field,
+                image,
+                machine,
+            } => write!(
+                f,
+                "config mismatch on {field}: image {image:#x}, machine {machine:#x}"
+            ),
+            SnapshotError::CodeMismatch { image, machine } => write!(
+                f,
+                "code identity mismatch: image {image:#x}, machine {machine:#x}"
+            ),
+            SnapshotError::Corrupt { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            ),
+            SnapshotError::Malformed(s) => write!(f, "malformed image: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit (the repo's standing content-hash; no dependencies).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn kind_code(k: KernelKind) -> u64 {
+    match k {
+        KernelKind::Native => 0,
+        KernelKind::SvaGcc => 1,
+        KernelKind::SvaLlvm => 2,
+        KernelKind::SvaSafe => 3,
+    }
+}
+
+/// The config fields a snapshot is only valid under, each widened to u64.
+/// Order is part of the format.
+const FP_FIELDS: [&str; 9] = [
+    "kind",
+    "sign_key",
+    "opt_level",
+    "fast_path",
+    "singleton_path",
+    "violation_budget",
+    "domain_fuel",
+    "fused_sites",
+    "hot_profile",
+];
+
+fn fingerprint_words(cfg: &VmConfig, fused_sites: u32) -> [u64; FP_FIELDS.len()] {
+    let profile_hash = cfg
+        .hot_profile
+        .as_ref()
+        .map(|p| fnv64(p.to_text().as_bytes()))
+        .unwrap_or(0);
+    [
+        kind_code(cfg.kind),
+        cfg.sign_key,
+        cfg.opt_level as u64,
+        cfg.fast_path as u64,
+        cfg.singleton_path as u64,
+        cfg.violation_budget as u64,
+        cfg.domain_fuel,
+        fused_sites as u64,
+        profile_hash,
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian writer / reader.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u32(x);
+            }
+            None => self.bool(false),
+        }
+    }
+    /// Zero-dominated byte region as a page-granular nonzero-page list.
+    /// The kernel region is 32 MiB and mostly zeros; post-boot images
+    /// shrink ~50× under this encoding.
+    fn sparse(&mut self, data: &[u8]) {
+        self.u64(data.len() as u64);
+        let page = PAGE_SIZE as usize;
+        let nonzero: Vec<usize> = data
+            .chunks(page)
+            .enumerate()
+            .filter(|(_, c)| !all_zero(c))
+            .map(|(i, _)| i)
+            .collect();
+        self.u64(nonzero.len() as u64);
+        for i in nonzero {
+            self.u64(i as u64);
+            let start = i * page;
+            let end = (start + page).min(data.len());
+            self.buf.extend_from_slice(&data[start..end]);
+        }
+    }
+}
+
+/// Word-at-a-time zero test: the sparse codec scans the full 32 MiB
+/// kernel region on every snapshot *and* every restore, and a byte-wise
+/// loop there costs more than the fork it enables saves.
+fn all_zero(bytes: &[u8]) -> bool {
+    let mut words = bytes.chunks_exact(8);
+    if words.any(|c| u64::from_ne_bytes(c.try_into().unwrap()) != 0) {
+        return false;
+    }
+    words.remainder().iter().all(|&b| b == 0)
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+type RResult<T> = Result<T, SnapshotError>;
+
+impl<'a> R<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        R { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> RResult<&'a [u8]> {
+        if self.pos + n > self.b.len() {
+            return Err(SnapshotError::Truncated {
+                need: self.pos + n,
+                have: self.b.len(),
+            });
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> RResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> RResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(SnapshotError::Malformed(format!("bad bool byte {v}"))),
+        }
+    }
+    fn u32(&mut self) -> RResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> RResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> RResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn len(&mut self, what: &str) -> RResult<usize> {
+        let n = self.u64()?;
+        // Guard against absurd counts before any allocation: every
+        // element encodes to at least one byte, so a count can never
+        // exceed the remaining payload.
+        let remaining = (self.b.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(SnapshotError::Malformed(format!(
+                "{what} count {n} exceeds {remaining} remaining bytes"
+            )));
+        }
+        Ok(n as usize)
+    }
+    fn bytes(&mut self) -> RResult<Vec<u8>> {
+        let n = self.len("byte section")?;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn str(&mut self) -> RResult<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| SnapshotError::Malformed("non-UTF-8 string".into()))
+    }
+    fn opt_u32(&mut self) -> RResult<Option<u32>> {
+        Ok(if self.bool()? {
+            Some(self.u32()?)
+        } else {
+            None
+        })
+    }
+    fn sparse(&mut self) -> RResult<SparseRegion<'a>> {
+        // The decoded region may legitimately exceed the (compressed)
+        // payload size, so `len`'s remaining-bytes guard does not apply;
+        // cap it at well above the largest real region (32 MiB kernel).
+        const MAX_REGION: u64 = 1 << 28;
+        let total = self.u64()?;
+        if total > MAX_REGION {
+            return Err(SnapshotError::Malformed(format!(
+                "sparse region of {total} bytes"
+            )));
+        }
+        let total = total as usize;
+        let page = PAGE_SIZE as usize;
+        let npages = self.u64()?;
+        if npages as usize > total / page + 1 {
+            return Err(SnapshotError::Malformed(format!(
+                "{npages} sparse pages in a {total}-byte region"
+            )));
+        }
+        let mut pages = Vec::with_capacity(npages as usize);
+        for _ in 0..npages {
+            let i = self.u64()? as usize;
+            let start = i.checked_mul(page).filter(|&s| s < total).ok_or_else(|| {
+                SnapshotError::Malformed(format!("sparse page {i} outside region"))
+            })?;
+            let end = (start + page).min(total);
+            pages.push((start, self.take(end - start)?));
+        }
+        Ok(SparseRegion { total, pages })
+    }
+}
+
+/// A decoded sparse region: nonzero pages borrowed straight from the
+/// image. Restore never materializes the big (32 MiB, zero-dominated)
+/// kernel region as a dense temporary — snapshot-forked campaigns
+/// restore hundreds of times per run, and a dense copy per fork would
+/// cost more than the re-boot the fork replaces.
+struct SparseRegion<'a> {
+    total: usize,
+    /// `(byte offset, page bytes)`, offsets validated `< total`.
+    pages: Vec<(usize, &'a [u8])>,
+}
+
+impl SparseRegion<'_> {
+    /// Decodes into a fresh zero-filled buffer. `vec![0; n]` is a calloc:
+    /// the buffer stays zero-page-backed until written, so this touches
+    /// only the image's nonzero pages no matter how large the region is.
+    fn materialize(&self) -> Vec<u8> {
+        let mut data = vec![0u8; self.total];
+        for &(start, bytes) in &self.pages {
+            data[start..start + bytes.len()].copy_from_slice(bytes);
+        }
+        data
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section codecs.
+// ---------------------------------------------------------------------------
+
+fn mode_code(m: Mode) -> u8 {
+    match m {
+        Mode::Kernel => 0,
+        Mode::User => 1,
+    }
+}
+
+fn mode_from(c: u8) -> RResult<Mode> {
+    match c {
+        0 => Ok(Mode::Kernel),
+        1 => Ok(Mode::User),
+        v => Err(SnapshotError::Malformed(format!("bad mode byte {v}"))),
+    }
+}
+
+fn write_frame(w: &mut W, fr: &Frame) {
+    w.u32(fr.func);
+    w.u32(fr.pc);
+    w.u32(fr.block);
+    w.u32(fr.idx);
+    w.u32(fr.prev_block);
+    w.u64(fr.regs.len() as u64);
+    for &r in &fr.regs {
+        w.u64(r);
+    }
+    w.opt_u32(fr.ret_dst);
+    w.u8(mode_code(fr.mode));
+    w.u64(fr.sp_saved);
+    w.u64(fr.stack_regs.len() as u64);
+    for &(mp, addr, len) in &fr.stack_regs {
+        w.u32(mp);
+        w.u64(addr);
+        w.u64(len);
+    }
+}
+
+fn read_frame(r: &mut R<'_>) -> RResult<Frame> {
+    let func = r.u32()?;
+    let pc = r.u32()?;
+    let block = r.u32()?;
+    let idx = r.u32()?;
+    let prev_block = r.u32()?;
+    let nregs = r.len("frame regs")?;
+    let mut regs = Vec::with_capacity(nregs);
+    for _ in 0..nregs {
+        regs.push(r.u64()?);
+    }
+    let ret_dst = r.opt_u32()?;
+    let mode = mode_from(r.u8()?)?;
+    let sp_saved = r.u64()?;
+    let nstack = r.len("stack regs")?;
+    let mut stack_regs = Vec::with_capacity(nstack);
+    for _ in 0..nstack {
+        stack_regs.push((r.u32()?, r.u64()?, r.u64()?));
+    }
+    Ok(Frame {
+        func,
+        pc,
+        block,
+        idx,
+        prev_block,
+        regs,
+        ret_dst,
+        mode,
+        sp_saved,
+        stack_regs,
+    })
+}
+
+fn write_frames(w: &mut W, frames: &[Frame]) {
+    w.u64(frames.len() as u64);
+    for fr in frames {
+        write_frame(w, fr);
+    }
+}
+
+fn read_frames(r: &mut R<'_>) -> RResult<Vec<Frame>> {
+    let n = r.len("frame stack")?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(read_frame(r)?);
+    }
+    Ok(v)
+}
+
+fn write_icontext(w: &mut W, ic: &IContext) {
+    write_frames(w, &ic.frames);
+    w.u64(ic.usp);
+    w.u32(ic.asid);
+    w.bool(ic.privileged);
+    w.opt_u32(ic.result_dst);
+    w.u64(ic.result_frame as u64);
+    w.bool(ic.live);
+    match ic.trace_sys {
+        Some((nr, at)) => {
+            w.bool(true);
+            w.i64(nr);
+            w.u64(at);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn read_icontext(r: &mut R<'_>) -> RResult<IContext> {
+    Ok(IContext {
+        frames: read_frames(r)?,
+        usp: r.u64()?,
+        asid: r.u32()?,
+        privileged: r.bool()?,
+        result_dst: r.opt_u32()?,
+        result_frame: r.u64()? as usize,
+        live: r.bool()?,
+        trace_sys: if r.bool()? {
+            Some((r.i64()?, r.u64()?))
+        } else {
+            None
+        },
+    })
+}
+
+fn write_saved_state(w: &mut W, s: &SavedState) {
+    write_frames(w, &s.frames);
+    w.opt_u32(s.icid);
+    w.u32(s.asid);
+    w.u64(s.ksp);
+    w.bytes(&s.kstack);
+    w.opt_u32(s.save_dst);
+}
+
+fn read_saved_state(r: &mut R<'_>) -> RResult<SavedState> {
+    Ok(SavedState {
+        frames: read_frames(r)?,
+        icid: r.opt_u32()?,
+        asid: r.u32()?,
+        ksp: r.u64()?,
+        kstack: r.bytes()?,
+        save_dst: r.opt_u32()?,
+    })
+}
+
+fn write_recovery(w: &mut W, rc: &RecoveryCtx) {
+    write_frames(w, &rc.frames);
+    w.opt_u32(rc.icid);
+    w.u32(rc.asid);
+    w.u64(rc.ksp);
+    w.u64(rc.usp);
+    w.bytes(&rc.kstack);
+    w.opt_u32(rc.dst);
+    w.u64(rc.subsys);
+    w.u64(rc.fuel);
+    w.u64(rc.quarantined_pools.len() as u64);
+    for &p in &rc.quarantined_pools {
+        w.u32(p);
+    }
+}
+
+fn read_recovery(r: &mut R<'_>) -> RResult<RecoveryCtx> {
+    let frames = read_frames(r)?;
+    let icid = r.opt_u32()?;
+    let asid = r.u32()?;
+    let ksp = r.u64()?;
+    let usp = r.u64()?;
+    let kstack = r.bytes()?;
+    let dst = r.opt_u32()?;
+    let subsys = r.u64()?;
+    let fuel = r.u64()?;
+    let n = r.len("quarantined pools")?;
+    let mut quarantined_pools = Vec::with_capacity(n);
+    for _ in 0..n {
+        quarantined_pools.push(r.u32()?);
+    }
+    Ok(RecoveryCtx {
+        frames,
+        icid,
+        asid,
+        ksp,
+        usp,
+        kstack,
+        dst,
+        subsys,
+        fuel,
+        quarantined_pools,
+    })
+}
+
+fn write_pool_image(w: &mut W, img: &PoolImage) {
+    w.str(&img.name);
+    w.u64(img.ranges.len() as u64);
+    for &(s, e) in &img.ranges {
+        w.u64(s);
+        w.u64(e);
+    }
+    for &word in &img.stats {
+        w.u64(word);
+    }
+    w.bool(img.fast_path);
+    w.bool(img.singleton_path);
+    for slot in img.mru {
+        match slot {
+            Some((s, e)) => {
+                w.bool(true);
+                w.u64(s);
+                w.u64(e);
+            }
+            None => w.bool(false),
+        }
+    }
+    w.u32(img.quiet_lookups);
+    w.u8(img.last_layer);
+    w.bool(img.quarantined);
+    w.bool(img.poisoned);
+    w.u32(img.violations);
+    w.u32(img.scope_violations);
+    w.u32(img.forced_reg_failures);
+}
+
+fn read_pool_image(r: &mut R<'_>) -> RResult<PoolImage> {
+    let name = r.str()?;
+    let n = r.len("pool ranges")?;
+    let mut ranges = Vec::with_capacity(n);
+    for _ in 0..n {
+        ranges.push((r.u64()?, r.u64()?));
+    }
+    let mut stats = [0u64; CheckStats::WORDS];
+    for word in &mut stats {
+        *word = r.u64()?;
+    }
+    let fast_path = r.bool()?;
+    let singleton_path = r.bool()?;
+    let mut mru = [None; 2];
+    for slot in &mut mru {
+        if r.bool()? {
+            *slot = Some((r.u64()?, r.u64()?));
+        }
+    }
+    Ok(PoolImage {
+        name,
+        ranges,
+        stats,
+        fast_path,
+        singleton_path,
+        mru,
+        quiet_lookups: r.u32()?,
+        last_layer: r.u8()?,
+        quarantined: r.bool()?,
+        poisoned: r.bool()?,
+        violations: r.u32()?,
+        scope_violations: r.u32()?,
+        forced_reg_failures: r.u32()?,
+    })
+}
+
+fn stats_words(s: &VmStats) -> [u64; 17] {
+    [
+        s.instructions,
+        s.cycles,
+        s.traps,
+        s.range_checks,
+        s.context_switches,
+        s.interrupts,
+        s.cache_hits,
+        s.page_hits,
+        s.tree_walks,
+        s.singleton_hits,
+        s.violations_recovered,
+        s.pools_quarantined,
+        s.pools_poisoned,
+        s.domains_pushed,
+        s.domains_popped,
+        s.watchdog_unwinds,
+        s.fused_execs,
+    ]
+}
+
+fn stats_from_words(w: [u64; 17]) -> VmStats {
+    VmStats {
+        instructions: w[0],
+        cycles: w[1],
+        traps: w[2],
+        range_checks: w[3],
+        context_switches: w[4],
+        interrupts: w[5],
+        cache_hits: w[6],
+        page_hits: w[7],
+        tree_walks: w[8],
+        singleton_hits: w[9],
+        violations_recovered: w[10],
+        pools_quarantined: w[11],
+        pools_poisoned: w[12],
+        domains_pushed: w[13],
+        domains_popped: w[14],
+        watchdog_unwinds: w[15],
+        fused_execs: w[16],
+    }
+}
+
+/// Everything a payload decodes to, parsed in full before any of it is
+/// committed to the machine (restore is atomic: error ⇒ untouched).
+/// Memory regions stay borrowed from the image until commit.
+struct Parsed<'a> {
+    kernel: SparseRegion<'a>,
+    spaces: Vec<(bool, SparseRegion<'a>)>,
+    current_asid: u32,
+    thread: Thread,
+    icontexts: Vec<IContext>,
+    int_state: HashMap<u64, SavedState>,
+    user_state: HashMap<u64, IContext>,
+    syscalls: HashMap<i64, u32>,
+    interrupts: HashMap<i64, u32>,
+    pool_images: Vec<PoolImage>,
+    func_stats: [u64; CheckStats::WORDS],
+    console: Vec<u8>,
+    stats: VmStats,
+    fuel: u64,
+    halted: Option<u64>,
+    pending_irq: Vec<i64>,
+    recovery: Vec<RecoveryCtx>,
+    gep_skew: Option<(u32, i64)>,
+    pending_probe: Option<(u64, u32, u64)>,
+    pending_skew: Option<(u64, u32, i64)>,
+    call_floor: usize,
+    trap_count: u64,
+}
+
+impl<T: Tracer> Vm<T> {
+    /// FNV identity of the machine's code: the sealed (signed) module
+    /// bytes, exactly what the translation cache is a pure function of.
+    fn code_identity(&self) -> u64 {
+        fnv64(&SignedModule::seal(&self.code.module, self.cfg.sign_key).bytecode)
+    }
+
+    /// Serializes the complete machine state into a versioned,
+    /// checksummed binary image. See the module docs for the layout and
+    /// the serialized-vs-rebuilt split. The attached fault hook (if any)
+    /// is *not* captured — only its schedule cursor is; reattach an
+    /// identical plan after [`Vm::restore`] to resume the schedule.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = W::default();
+        // Fingerprint block: one word per config field so restore can
+        // name the exact mismatching field.
+        for word in fingerprint_words(&self.cfg, self.fused_sites()) {
+            w.u64(word);
+        }
+        // Memory.
+        w.sparse(self.mem.kernel_bytes());
+        let spaces = self.mem.all_spaces();
+        w.u64(spaces.len() as u64);
+        for s in spaces {
+            w.bool(s.live);
+            w.sparse(&s.data);
+        }
+        w.u32(self.mem.current_asid);
+        // Thread.
+        write_frames(&mut w, &self.thread.frames);
+        w.u32(self.thread.asid);
+        w.opt_u32(self.thread.icid);
+        w.u64(self.thread.ksp);
+        w.u64(self.thread.usp);
+        w.bool(self.thread.fp_dirty);
+        // Interrupt contexts.
+        w.u64(self.icontexts.len() as u64);
+        for ic in &self.icontexts {
+            write_icontext(&mut w, ic);
+        }
+        // Saved processor state, sorted for a canonical image.
+        let mut keys: Vec<u64> = self.int_state.keys().copied().collect();
+        keys.sort_unstable();
+        w.u64(keys.len() as u64);
+        for k in keys {
+            w.u64(k);
+            write_saved_state(&mut w, &self.int_state[&k]);
+        }
+        let mut keys: Vec<u64> = self.user_state.keys().copied().collect();
+        keys.sort_unstable();
+        w.u64(keys.len() as u64);
+        for k in keys {
+            w.u64(k);
+            write_icontext(&mut w, &self.user_state[&k]);
+        }
+        // Dispatch tables.
+        let mut keys: Vec<i64> = self.syscalls.keys().copied().collect();
+        keys.sort_unstable();
+        w.u64(keys.len() as u64);
+        for k in keys {
+            w.i64(k);
+            w.u32(self.syscalls[&k]);
+        }
+        let mut keys: Vec<i64> = self.interrupts.keys().copied().collect();
+        keys.sort_unstable();
+        w.u64(keys.len() as u64);
+        for k in keys {
+            w.i64(k);
+            w.u32(self.interrupts[&k]);
+        }
+        // Metapools.
+        let (pool_images, func_stats) = self.pools.export_images();
+        w.u64(pool_images.len() as u64);
+        for img in &pool_images {
+            write_pool_image(&mut w, img);
+        }
+        for word in func_stats {
+            w.u64(word);
+        }
+        // Console and counters.
+        w.bytes(&self.console);
+        for word in stats_words(&self.stats) {
+            w.u64(word);
+        }
+        // Run-control and fault-injection state.
+        w.u64(self.fuel);
+        match self.halted {
+            Some(c) => {
+                w.bool(true);
+                w.u64(c);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.pending_irq.len() as u64);
+        for &v in &self.pending_irq {
+            w.i64(v);
+        }
+        w.u64(self.recovery.len() as u64);
+        for rc in &self.recovery {
+            write_recovery(&mut w, rc);
+        }
+        match self.gep_skew {
+            Some((count, delta)) => {
+                w.bool(true);
+                w.u32(count);
+                w.i64(delta);
+            }
+            None => w.bool(false),
+        }
+        match self.pending_probe {
+            Some((cnt, pool, addr)) => {
+                w.bool(true);
+                w.u64(cnt);
+                w.u32(pool);
+                w.u64(addr);
+            }
+            None => w.bool(false),
+        }
+        match self.pending_skew {
+            Some((cnt, count, delta)) => {
+                w.bool(true);
+                w.u64(cnt);
+                w.u32(count);
+                w.i64(delta);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.call_floor as u64);
+        w.u64(self.trap_count);
+
+        let payload = w.buf;
+        let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
+        image.extend_from_slice(&SNAPSHOT_MAGIC);
+        image.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        let fp = fnv64(
+            &fingerprint_words(&self.cfg, self.fused_sites())
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        );
+        image.extend_from_slice(&fp.to_le_bytes());
+        image.extend_from_slice(&self.code_identity().to_le_bytes());
+        image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        image.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        image.extend_from_slice(&payload);
+        image
+    }
+
+    /// Replaces this machine's state with the image's. The machine must
+    /// have been constructed from the same module under the same
+    /// configuration (header `code_id`/`config_fp`; mismatches are
+    /// rejected field-by-field with [`SnapshotError::ConfigMismatch`]).
+    /// On any error the machine is untouched — the payload is parsed in
+    /// full before the first field is committed.
+    pub fn restore(&mut self, image: &[u8]) -> Result<(), SnapshotError> {
+        if image.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                need: HEADER_LEN,
+                have: image.len(),
+            });
+        }
+        let magic: [u8; 4] = image[0..4].try_into().unwrap();
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(image[4..8].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let code_id = u64::from_le_bytes(image[16..24].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(image[24..32].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(image[32..40].try_into().unwrap());
+        if image.len() < HEADER_LEN + payload_len {
+            return Err(SnapshotError::Truncated {
+                need: HEADER_LEN + payload_len,
+                have: image.len(),
+            });
+        }
+        let payload = &image[HEADER_LEN..HEADER_LEN + payload_len];
+        let computed = fnv64(payload);
+        if computed != checksum {
+            return Err(SnapshotError::Corrupt {
+                stored: checksum,
+                computed,
+            });
+        }
+        let mut r = R::new(payload);
+        // Fingerprint block first: field-level mismatch beats the opaque
+        // header-hash comparison in every error message.
+        let machine_fp = fingerprint_words(&self.cfg, self.fused_sites());
+        for (i, field) in FP_FIELDS.iter().enumerate() {
+            let image_word = r.u64()?;
+            if image_word != machine_fp[i] {
+                return Err(SnapshotError::ConfigMismatch {
+                    field,
+                    image: image_word,
+                    machine: machine_fp[i],
+                });
+            }
+        }
+        let machine_code = self.code_identity();
+        if code_id != machine_code {
+            return Err(SnapshotError::CodeMismatch {
+                image: code_id,
+                machine: machine_code,
+            });
+        }
+        let parsed = Self::parse_payload(&mut r)?;
+        if r.pos != payload.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing payload bytes",
+                payload.len() - r.pos
+            )));
+        }
+        self.commit(parsed)
+    }
+
+    fn parse_payload<'a>(r: &mut R<'a>) -> Result<Parsed<'a>, SnapshotError> {
+        let kernel = r.sparse()?;
+        let nspaces = r.len("address spaces")?;
+        let mut spaces = Vec::with_capacity(nspaces);
+        for _ in 0..nspaces {
+            let live = r.bool()?;
+            let data = r.sparse()?;
+            spaces.push((live, data));
+        }
+        let current_asid = r.u32()?;
+        let thread = Thread {
+            frames: read_frames(r)?,
+            asid: r.u32()?,
+            icid: r.opt_u32()?,
+            ksp: r.u64()?,
+            usp: r.u64()?,
+            fp_dirty: r.bool()?,
+        };
+        let nic = r.len("interrupt contexts")?;
+        let mut icontexts = Vec::with_capacity(nic);
+        for _ in 0..nic {
+            icontexts.push(read_icontext(r)?);
+        }
+        let n = r.len("saved integer states")?;
+        let mut int_state = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.u64()?;
+            int_state.insert(k, read_saved_state(r)?);
+        }
+        let n = r.len("saved user states")?;
+        let mut user_state = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.u64()?;
+            user_state.insert(k, read_icontext(r)?);
+        }
+        let n = r.len("syscall table")?;
+        let mut syscalls = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.i64()?;
+            syscalls.insert(k, r.u32()?);
+        }
+        let n = r.len("interrupt table")?;
+        let mut interrupts = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.i64()?;
+            interrupts.insert(k, r.u32()?);
+        }
+        let n = r.len("pool images")?;
+        let mut pool_images = Vec::with_capacity(n);
+        for _ in 0..n {
+            pool_images.push(read_pool_image(r)?);
+        }
+        let mut func_stats = [0u64; CheckStats::WORDS];
+        for word in &mut func_stats {
+            *word = r.u64()?;
+        }
+        let console = r.bytes()?;
+        let mut words = [0u64; 17];
+        for word in &mut words {
+            *word = r.u64()?;
+        }
+        let stats = stats_from_words(words);
+        let fuel = r.u64()?;
+        let halted = if r.bool()? { Some(r.u64()?) } else { None };
+        let n = r.len("pending irqs")?;
+        let mut pending_irq = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending_irq.push(r.i64()?);
+        }
+        let n = r.len("recovery stack")?;
+        let mut recovery = Vec::with_capacity(n);
+        for _ in 0..n {
+            recovery.push(read_recovery(r)?);
+        }
+        let gep_skew = if r.bool()? {
+            Some((r.u32()?, r.i64()?))
+        } else {
+            None
+        };
+        let pending_probe = if r.bool()? {
+            Some((r.u64()?, r.u32()?, r.u64()?))
+        } else {
+            None
+        };
+        let pending_skew = if r.bool()? {
+            Some((r.u64()?, r.u32()?, r.i64()?))
+        } else {
+            None
+        };
+        let call_floor = r.u64()? as usize;
+        let trap_count = r.u64()?;
+        Ok(Parsed {
+            kernel,
+            spaces,
+            current_asid,
+            thread,
+            icontexts,
+            int_state,
+            user_state,
+            syscalls,
+            interrupts,
+            pool_images,
+            func_stats,
+            console,
+            stats,
+            fuel,
+            halted,
+            pending_irq,
+            recovery,
+            gep_skew,
+            pending_probe,
+            pending_skew,
+            call_floor,
+            trap_count,
+        })
+    }
+
+    fn commit(&mut self, p: Parsed<'_>) -> Result<(), SnapshotError> {
+        if p.kernel.total != self.mem.kernel_bytes().len() {
+            return Err(SnapshotError::Malformed(format!(
+                "kernel region is {} bytes, image has {}",
+                self.mem.kernel_bytes().len(),
+                p.kernel.total
+            )));
+        }
+        if p.spaces.is_empty() || p.current_asid as usize >= p.spaces.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "current asid {} with {} spaces",
+                p.current_asid,
+                p.spaces.len()
+            )));
+        }
+        // Metapool restore validates range lists and pool names; it runs
+        // before any other field is committed so a malformed pool section
+        // still leaves the machine consistent... except the pools it
+        // already rebuilt. Validate dry-run first on a clone instead.
+        let mut pools = self.pools.clone();
+        pools
+            .restore_images(&p.pool_images, p.func_stats)
+            .map_err(SnapshotError::Malformed)?;
+        self.pools = pools;
+        self.mem.set_kernel(p.kernel.materialize());
+        self.mem.set_spaces(
+            p.spaces
+                .into_iter()
+                .map(|(live, data)| UserSpace {
+                    data: data.materialize(),
+                    live,
+                })
+                .collect(),
+        );
+        self.mem.current_asid = p.current_asid;
+        self.thread = p.thread;
+        self.icontexts = p.icontexts;
+        self.int_state = p.int_state;
+        self.user_state = p.user_state;
+        self.syscalls = p.syscalls;
+        self.interrupts = p.interrupts;
+        self.console = p.console;
+        self.stats = p.stats;
+        self.fuel = p.fuel;
+        self.halted = p.halted;
+        self.pending_irq = p.pending_irq.into_iter().collect();
+        self.recovery = p.recovery;
+        self.gep_skew = p.gep_skew;
+        self.pending_probe = p.pending_probe;
+        self.pending_skew = p.pending_skew;
+        self.call_floor = p.call_floor;
+        self.trap_count = p.trap_count;
+        self.argv_scratch.clear();
+        if T::ENABLED {
+            let cycles = self.stats.cycles;
+            self.tracer.on_restore(cycles);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{VmError, VmExit};
+    use sva_ir::parse::parse_module;
+
+    const PROG: &str = r#"
+module "m"
+func public @work(%n: i64) : i64 {
+entry:
+  br loop
+loop:
+  %i:i64 = phi i64 [entry: 0:i64, body: %i2]
+  %acc:i64 = phi i64 [entry: %n, body: %acc2]
+  %done:i1 = icmp uge %i, 40:i64
+  condbr %done, out, body
+body:
+  %acc2:i64 = add %acc, 3:i64
+  %i2:i64 = add %i, 1:i64
+  br loop
+out:
+  ret %acc
+}
+"#;
+
+    fn cfg() -> VmConfig {
+        VmConfig {
+            kind: KernelKind::SvaLlvm,
+            ..Default::default()
+        }
+    }
+
+    fn mk(c: VmConfig) -> Vm {
+        Vm::new(parse_module(PROG).unwrap(), c).unwrap()
+    }
+
+    #[test]
+    fn round_trip_mid_call_finishes_identically() {
+        // Uninterrupted run.
+        let mut base = mk(cfg());
+        let exit = base.call("work", &[7]).unwrap();
+        let base_stats = base.stats();
+
+        // The same call interrupted mid-flight by a narrow fuel tank,
+        // snapshotted at the boundary, restored into a *fresh* machine,
+        // refuelled and run to completion.
+        let mut vm = mk(VmConfig { fuel: 25, ..cfg() });
+        assert!(matches!(vm.call("work", &[7]), Err(VmError::OutOfFuel)));
+        let img = vm.snapshot();
+        let mut fresh = mk(VmConfig { fuel: 25, ..cfg() });
+        fresh.restore(&img).unwrap();
+        assert_eq!(fresh.fuel(), 0);
+        fresh.set_fuel(u64::MAX);
+        let r = fresh.run().unwrap();
+        assert_eq!(r, exit);
+        assert_eq!(fresh.stats(), base_stats);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let a = mk(cfg()).snapshot();
+        let b = mk(cfg()).snapshot();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_rejections() {
+        let img = mk(cfg()).snapshot();
+
+        let mut fresh = mk(cfg());
+        // Bad magic.
+        let mut bad = img.clone();
+        bad[0] ^= 0x40;
+        assert!(matches!(
+            fresh.restore(&bad),
+            Err(SnapshotError::BadMagic(_))
+        ));
+        // Future version.
+        let mut bad = img.clone();
+        bad[4] = bad[4].wrapping_add(1);
+        assert!(matches!(
+            fresh.restore(&bad),
+            Err(SnapshotError::BadVersion { .. })
+        ));
+        // Flipped payload bit.
+        let mut bad = img.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(matches!(
+            fresh.restore(&bad),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        // Truncated body.
+        assert!(matches!(
+            fresh.restore(&img[..img.len() - 9]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        assert!(matches!(
+            fresh.restore(&img[..16]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        // The machine still runs after every rejected restore.
+        assert_eq!(fresh.call("work", &[0]).unwrap(), VmExit::Returned(120));
+    }
+
+    #[test]
+    fn config_mismatch_names_the_field() {
+        let img = mk(cfg()).snapshot();
+        let mut other = mk(VmConfig {
+            violation_budget: 7,
+            ..cfg()
+        });
+        match other.restore(&img) {
+            Err(SnapshotError::ConfigMismatch { field, .. }) => {
+                assert_eq!(field, "violation_budget")
+            }
+            r => panic!("expected ConfigMismatch, got {r:?}"),
+        }
+        let mut other = mk(VmConfig {
+            opt_level: 2,
+            ..cfg()
+        });
+        assert!(matches!(
+            other.restore(&img),
+            Err(SnapshotError::ConfigMismatch {
+                field: "opt_level",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn code_mismatch_rejected() {
+        let img = mk(cfg()).snapshot();
+        let other_src = PROG.replace("add %acc, 3:i64", "add %acc, 4:i64");
+        let mut other = Vm::new(parse_module(&other_src).unwrap(), cfg()).unwrap();
+        assert!(matches!(
+            other.restore(&img),
+            Err(SnapshotError::CodeMismatch { .. })
+        ));
+    }
+}

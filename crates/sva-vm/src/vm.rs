@@ -574,13 +574,13 @@ pub(crate) struct Frame {
 
 /// Saved integer state (`llva.save.integer`, paper Table 1).
 #[derive(Clone, Debug)]
-struct SavedState {
-    frames: Vec<Frame>,
-    icid: Option<u32>,
-    asid: u32,
-    ksp: u64,
-    kstack: Vec<u8>,
-    save_dst: Option<u32>,
+pub(crate) struct SavedState {
+    pub frames: Vec<Frame>,
+    pub icid: Option<u32>,
+    pub asid: u32,
+    pub ksp: u64,
+    pub kstack: Vec<u8>,
+    pub save_dst: Option<u32>,
 }
 
 /// Recovery domain registered by `sva.recover.register` (setjmp-like;
@@ -590,45 +590,45 @@ struct SavedState {
 /// the innermost domain, ending the quarantine scope of every pool it
 /// quarantined.
 #[derive(Clone, Debug)]
-struct RecoveryCtx {
-    frames: Vec<Frame>,
-    icid: Option<u32>,
-    asid: u32,
-    ksp: u64,
-    usp: u64,
-    kstack: Vec<u8>,
+pub(crate) struct RecoveryCtx {
+    pub frames: Vec<Frame>,
+    pub icid: Option<u32>,
+    pub asid: u32,
+    pub ksp: u64,
+    pub usp: u64,
+    pub kstack: Vec<u8>,
     /// Register that receives 0 at registration and the packed resume code
     /// on every unwind.
-    dst: Option<u32>,
+    pub dst: Option<u32>,
     /// Owning-subsystem id (`sva.recover.register` argument 0; purely
     /// attribution — surfaced in trace events and the blast-radius report).
-    subsys: u64,
+    pub subsys: u64,
     /// Remaining watchdog fuel ([`VmConfig::domain_fuel`] at push). Ticks
     /// down once per kernel-mode instruction while this domain is
     /// innermost; at zero the VM force-unwinds the domain.
-    fuel: u64,
+    pub fuel: u64,
     /// Metapools this domain quarantined (scoped containment): their
     /// scope ends — quarantine released, scoped budget reset — when the
     /// domain pops.
-    quarantined_pools: Vec<u32>,
+    pub quarantined_pools: Vec<u32>,
 }
 
 /// An interrupt context (paper §3.3): the interrupted control state handed
 /// to the kernel on a trap.
 #[derive(Clone, Debug)]
-struct IContext {
-    frames: Vec<Frame>,
-    usp: u64,
-    asid: u32,
-    privileged: bool,
-    result_dst: Option<u32>,
+pub(crate) struct IContext {
+    pub frames: Vec<Frame>,
+    pub usp: u64,
+    pub asid: u32,
+    pub privileged: bool,
+    pub result_dst: Option<u32>,
     /// Frame index (within `frames`) the syscall result belongs to; pushed
     /// signal handlers sit above it.
-    result_frame: usize,
-    live: bool,
+    pub result_frame: usize,
+    pub live: bool,
     /// Tracing bookkeeping for syscall spans: `(syscall number, cycle
     /// counter at trap entry)`. Always `None` with tracing off.
-    trace_sys: Option<(i64, u64)>,
+    pub trace_sys: Option<(i64, u64)>,
 }
 
 #[derive(Clone, Debug)]
@@ -727,43 +727,43 @@ impl VmStats {
 pub struct Vm<T: Tracer = NullTracer> {
     /// Simulated memory.
     pub mem: Memory,
-    code: Arc<CodeImage>,
-    cfg: VmConfig,
-    thread: Thread,
-    icontexts: Vec<IContext>,
-    int_state: HashMap<u64, SavedState>,
-    user_state: HashMap<u64, IContext>,
-    syscalls: HashMap<i64, u32>,
-    interrupts: HashMap<i64, u32>,
+    pub(crate) code: Arc<CodeImage>,
+    pub(crate) cfg: VmConfig,
+    pub(crate) thread: Thread,
+    pub(crate) icontexts: Vec<IContext>,
+    pub(crate) int_state: HashMap<u64, SavedState>,
+    pub(crate) user_state: HashMap<u64, IContext>,
+    pub(crate) syscalls: HashMap<i64, u32>,
+    pub(crate) interrupts: HashMap<i64, u32>,
     /// Metapool run-time (live only under [`KernelKind::SvaSafe`]).
     pub pools: MetaPoolTable,
     /// Console output captured from `sva.print` / the console port.
     pub console: Vec<u8>,
-    stats: VmStats,
-    fuel: u64,
-    halted: Option<u64>,
-    pending_irq: std::collections::VecDeque<i64>,
+    pub(crate) stats: VmStats,
+    pub(crate) fuel: u64,
+    pub(crate) halted: Option<u64>,
+    pub(crate) pending_irq: std::collections::VecDeque<i64>,
     /// Stack of registered violation-recovery domains, innermost last.
-    recovery: Vec<RecoveryCtx>,
+    pub(crate) recovery: Vec<RecoveryCtx>,
     /// Armed GEP skew `(remaining count, delta)` from a fault action.
-    gep_skew: Option<(u32, i64)>,
+    pub(crate) gep_skew: Option<(u32, i64)>,
     /// Armed deferred stale probe `(countdown, pool, addr)` from a fault
     /// action; ticks per kernel-mode instruction and fires at zero.
-    pending_probe: Option<(u64, u32, u64)>,
+    pub(crate) pending_probe: Option<(u64, u32, u64)>,
     /// Armed deferred GEP skew `(countdown, count, delta)`; ticks per
     /// kernel-mode instruction and arms `gep_skew` at zero.
-    pending_skew: Option<(u64, u32, i64)>,
+    pub(crate) pending_skew: Option<(u64, u32, i64)>,
     /// Frame depth a host [`Vm::call`] started above: its run ends when
     /// the frame stack drops back to this floor (0 = no call active).
-    call_floor: usize,
+    pub(crate) call_floor: usize,
     /// User→kernel traps taken since boot (fault-plan schedule key).
-    trap_count: u64,
+    pub(crate) trap_count: u64,
     /// Reusable argument buffer for the hot `Call` path (avoids a fresh
     /// `Vec` allocation per call).
-    argv_scratch: Vec<u64>,
+    pub(crate) argv_scratch: Vec<u64>,
     /// Fusion sites rewritten by the optimizing tier at load time.
     fused_sites: u32,
-    tracer: T,
+    pub(crate) tracer: T,
 }
 
 impl Vm {
@@ -1098,6 +1098,15 @@ impl<T: Tracer> Vm<T> {
         self.cfg.fault_hook = None;
     }
 
+    /// Attaches (or replaces) the fault hook. Snapshot-forked campaigns
+    /// keep one translated machine per boot image and re-arm a fresh plan
+    /// before each [`Vm::restore`]-and-run cycle; the hook is not part of
+    /// the snapshot config fingerprint, so swapping it never invalidates
+    /// an image.
+    pub fn arm_faults(&mut self, hook: Arc<dyn FaultHook>) {
+        self.cfg.fault_hook = Some(hook);
+    }
+
     /// Calls a public function in kernel mode and runs to completion —
     /// of *that call*: the run stops when the pushed frame returns, so
     /// frames a halted boot left suspended underneath are not resumed.
@@ -1199,13 +1208,90 @@ impl<T: Tracer> Vm<T> {
     /// Runs until the outermost frame returns, the machine halts, or an
     /// error (including safety violations) occurs.
     pub fn run(&mut self) -> Result<VmExit, VmError> {
+        Ok(self
+            .run_inner(false)?
+            .expect("run_inner(false) never pauses"))
+    }
+
+    /// Boots the module like [`Vm::boot`] but pauses at the first
+    /// *user-mode* instruction boundary — the post-boot point machine
+    /// snapshots are taken at. Returns `Ok(None)` when paused; `Ok(Some)`
+    /// if the boot ran to completion without ever entering user mode.
+    ///
+    /// The pause is a host-side check at the top of the interpreter loop,
+    /// so it charges no guest instructions or cycles: a machine resumed
+    /// from here with [`Vm::run`] is byte-identical (fuel, stats, traps)
+    /// to one that booted straight through.
+    pub fn boot_to_user(&mut self) -> Result<Option<VmExit>, VmError> {
+        let entry = self
+            .code
+            .module
+            .entry
+            .ok_or_else(|| VmError::Unsupported("module has no entry".into()))?;
+        let frame = self.frame_for_call(entry.0, &[], None, Mode::Kernel)?;
+        let saved_floor = self.call_floor;
+        self.call_floor = self.thread.frames.len();
+        self.thread.frames.push(frame);
+        let r = self.run_inner(true);
+        self.call_floor = saved_floor;
+        r
+    }
+
+    /// Runs at most `max` instruction-boundary iterations, returning
+    /// `Ok(None)` if the budget ran out with the machine still live (state
+    /// intact at the boundary — exactly what [`VmError::OutOfFuel`]
+    /// guarantees). Implemented by temporarily narrowing the fuel tank, so
+    /// the fuel value an interrupted machine carries equals the value an
+    /// uninterrupted run would have at the same boundary — which is what
+    /// lets snapshot tests cut a run at an arbitrary step and still compare
+    /// byte-identical images.
+    pub fn run_steps(&mut self, max: u64) -> Result<Option<VmExit>, VmError> {
+        if max >= self.fuel {
+            return self.run().map(Some);
+        }
+        let rest = self.fuel - max;
+        self.fuel = max;
+        match self.run() {
+            Ok(exit) => {
+                self.fuel += rest;
+                Ok(Some(exit))
+            }
+            Err(VmError::OutOfFuel) => {
+                self.fuel = rest;
+                Ok(None)
+            }
+            Err(e) => {
+                self.fuel += rest;
+                Err(e)
+            }
+        }
+    }
+
+    /// Remaining instruction fuel.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Refills the instruction fuel tank (e.g. after restoring a snapshot
+    /// that was taken under a smaller budget).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The interpreter loop. With `pause_on_user` the loop returns
+    /// `Ok(None)` at the first iteration that would execute a user-mode
+    /// instruction, *before* charging fuel or stats for it.
+    fn run_inner(&mut self, pause_on_user: bool) -> Result<Option<VmExit>, VmError> {
         let code = self.code.clone();
         loop {
             if let Some(c) = self.halted.take() {
-                return Ok(VmExit::Halted(c));
+                return Ok(Some(VmExit::Halted(c)));
             }
             if self.thread.frames.is_empty() {
-                return Ok(VmExit::Returned(0));
+                return Ok(Some(VmExit::Returned(0)));
+            }
+            if pause_on_user && self.mode() == Mode::User {
+                return Ok(None);
             }
             if self.fuel == 0 {
                 return Err(VmError::OutOfFuel);
@@ -1350,7 +1436,7 @@ impl<T: Tracer> Vm<T> {
             };
             match step? {
                 StepOut::Continue => {}
-                StepOut::Exit(e) => return Ok(e),
+                StepOut::Exit(e) => return Ok(Some(e)),
             }
         }
     }
