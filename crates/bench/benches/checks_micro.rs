@@ -5,6 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sva_rt::{MetaPool, SplayTree};
+use sva_trace::{
+    EventClass, FlightRecorder, LookupLayer, NullTracer, RingTracer, TraceEvent, Tracer,
+};
 
 fn splay(c: &mut Criterion) {
     let mut g = c.benchmark_group("rt/splay");
@@ -150,5 +153,132 @@ fn singleton(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, splay, fastpath, singleton);
+/// One iteration of a traced repeat-hit check site, mirroring the VM's
+/// `pchk.lscheck` dispatch: the check itself and a recording block behind
+/// `T::wants(EventClass::Check)`. The `wants` test is a constant per
+/// monomorphization, so the compiler deletes the whole block for tracers
+/// whose `WANTED` mask excludes the `Check` class.
+#[inline(always)]
+fn traced_check_step<T: Tracer>(p: &mut MetaPool, tracer: &mut T, i: &mut u64) -> bool {
+    *i = i.wrapping_add(1);
+    let addr = 0x1_0000 + (*i & 1) * 0x100 + 8;
+    let r = p.ls_check(addr);
+    if T::wants(EventClass::Check) {
+        tracer.record(
+            *i * 16,
+            TraceEvent::Check {
+                check: "pchk.lscheck",
+                pool: 0,
+                layer: LookupLayer::Cache,
+                passed: r.is_ok(),
+                cost: 16,
+            },
+        );
+    }
+    r.is_ok()
+}
+
+/// Times one slice of the traced site; returns ns per iteration.
+fn flight_slice<T: Tracer>(p: &mut MetaPool, tracer: &mut T, i: &mut u64, iters: u64) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        criterion::black_box(traced_check_step(p, tracer, i));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Appends a result line in the criterion shim's JSON format, so
+/// `bench_gate` can read hand-measured ids alongside shim-measured ones.
+fn emit_result(id: &str, ns: &mut [f64], iters: u64) {
+    ns.sort_by(|a, b| a.total_cmp(b));
+    let (lo, median, hi) = (ns[0], ns[ns.len() / 2], ns[ns.len() - 1]);
+    println!("{id:<44} time: [{lo:.2} ns {median:.2} ns {hi:.2} ns]");
+    let dir = std::env::var("SVA_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            let mut cur = std::env::var("CARGO_MANIFEST_DIR")
+                .map(std::path::PathBuf::from)
+                .or_else(|_| std::env::current_dir())
+                .unwrap_or_else(|_| std::path::PathBuf::from("."));
+            loop {
+                if cur.join("Cargo.lock").exists() {
+                    break cur.join("target").join("sva-bench");
+                }
+                if !cur.pop() {
+                    break std::path::PathBuf::from("target/sva-bench");
+                }
+            }
+        });
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("checks_micro.json"))
+    {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"checks_micro\",\"id\":\"{id}\",\"ns_low\":{lo:.1},\"ns_median\":{median:.1},\
+             \"ns_high\":{hi:.1},\"iters_per_sample\":{iters},\"samples\":{}}}",
+            ns.len()
+        );
+    }
+}
+
+/// The always-on flight recorder's tax on the repeat-hit check path
+/// (DESIGN.md §4.7). `FlightRecorder` excludes the `Check` class from its
+/// `WANTED` mask, so `repeat_flight` must price the same as `repeat_null`
+/// — `bench_gate` pairs the two at ≤5%. A 5% bar on a ~7 ns site is far
+/// below this runner's noise floor if the two sides differ in *anything*
+/// but the tracer: separately allocated pools can land on unlucky
+/// cache-aliasing addresses and one side then pays ~2x for the whole
+/// process. So both sides drive the *same* pool and counter in
+/// alternating slices within one harness — layout luck and machine-speed
+/// drift apply to both equally and cancel. `repeat_ring` (the
+/// full-firehose tracer on the identical site) stays on the shim as an
+/// ungated contrast number.
+fn flight(c: &mut Criterion) {
+    const SLICE_ITERS: u64 = 200_000;
+    const SAMPLES: usize = 61;
+    let mut pool = pool_with_objects(1024, true);
+    let mut null_tracer = NullTracer;
+    let mut flight_tracer = FlightRecorder::default();
+    let mut i = 0u64;
+    // Warmup, alternating like the measurement will.
+    for _ in 0..3 {
+        flight_slice(&mut pool, &mut null_tracer, &mut i, SLICE_ITERS);
+        flight_slice(&mut pool, &mut flight_tracer, &mut i, SLICE_ITERS);
+    }
+    let mut null_ns = Vec::with_capacity(SAMPLES);
+    let mut flight_ns = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        null_ns.push(flight_slice(
+            &mut pool,
+            &mut null_tracer,
+            &mut i,
+            SLICE_ITERS,
+        ));
+        flight_ns.push(flight_slice(
+            &mut pool,
+            &mut flight_tracer,
+            &mut i,
+            SLICE_ITERS,
+        ));
+    }
+    emit_result("rt/flight/repeat_null", &mut null_ns, SLICE_ITERS);
+    emit_result("rt/flight/repeat_flight", &mut flight_ns, SLICE_ITERS);
+
+    let mut g = c.benchmark_group("rt/flight");
+    g.bench_function("repeat_ring", |b| {
+        let mut p = pool_with_objects(1024, true);
+        let mut t = RingTracer::default();
+        let mut i = 0u64;
+        b.iter(|| traced_check_step(&mut p, &mut t, &mut i));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, splay, fastpath, singleton, flight);
 criterion_main!(benches);

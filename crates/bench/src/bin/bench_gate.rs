@@ -12,6 +12,11 @@
 //! shared CI runner. Every other id found in both files is reported for
 //! context but cannot fail the gate.
 //!
+//! A second, *paired* gate compares ids within the current run alone:
+//! the flight recorder's repeat-hit site must price within 5% of the
+//! NullTracer site measured seconds earlier on the same machine, so the
+//! machine-speed variable cancels and the threshold can be tight.
+//!
 //! Usage: `cargo run --release -p bench --bin bench_gate --
 //!     [--baseline PATH] [--current PATH] [--threshold PCT]`
 //!
@@ -28,6 +33,11 @@ const GATED: [&str; 3] = [
     "rt/singleton/repeat_singleton",
     "rt/singleton/repeat_mru",
 ];
+
+/// Same-run paired gates: `(id, reference, max % over reference)`. The
+/// always-on flight recorder (DESIGN.md §4.7) may cost at most 5% over
+/// the NullTracer on the identical repeat-hit check site.
+const PAIRED: [(&str, &str, f64); 1] = [("rt/flight/repeat_flight", "rt/flight/repeat_null", 5.0)];
 
 /// Pulls `"key":value` (a bare JSON number or string) out of a flat JSON
 /// object line. Hand-rolled on purpose: the workspace has no JSON
@@ -146,6 +156,26 @@ fn main() -> ExitCode {
         if !base.contains_key(id) || !cur.contains_key(id) {
             eprintln!("bench_gate: gated id {id:?} missing from baseline or current run");
             failed = true;
+        }
+    }
+    for (id, reference, pct) in PAIRED {
+        match (cur.get(id), cur.get(reference)) {
+            (Some(&c), Some(&r)) if r > 0.0 => {
+                let delta = 100.0 * (c - r) / r;
+                let verdict = if delta > pct {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{id:<34} {r:>12.1} {c:>12.1} {delta:>+8.1}%  {verdict} (paired, limit +{pct:.0}%)"
+                );
+            }
+            _ => {
+                eprintln!("bench_gate: paired ids {id:?} / {reference:?} missing from current run");
+                failed = true;
+            }
         }
     }
     if failed {

@@ -30,22 +30,38 @@
 //! shortcut is byte-identical; `--verify-reboot` extends the check to
 //! every cell and `--reboot` runs the legacy full-reboot campaign.
 //!
+//! **Crash forensics.** Every campaign machine runs with an always-on
+//! [`FlightRecorder`] and per-cell crash capture: any machine death
+//! (halt 41/42, fuel exhaustion, escape) drops a crash bundle named
+//! after its grid cell into `target/sva-dbg` (override with
+//! `SVA_DBG_DIR`). After the grid, every halt bundle is replayed via
+//! `sva_kernel::postmortem` and must reproduce the same halt code,
+//! resume code and console bit-for-bit — the `svadbg` inspector reads
+//! the same bundles offline.
+//!
 //! A JSON report lands in `target/sva-inject/faultcamp.json` (override
 //! the directory with `SVA_INJECT_DIR`). Exit status is nonzero on any
 //! panic, escaped safety violation, determinism failure, fork/reboot
-//! divergence, nested-arm machine death, or unresponsive nested-arm
-//! probe, so CI gates on it.
+//! divergence, nested-arm machine death, unresponsive nested-arm
+//! probe, or crash-bundle replay divergence, so CI gates on it.
 
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sva_inject::{DropRecorder, FaultClass, FaultPlan, PROBE_DEFER};
 use sva_kernel::harness::{
-    boot_user, boot_user_paused, make_vm_nested, make_vm_recovering, pack_arg, USER_HEAP_BASE,
+    boot_user, boot_user_paused, make_vm_nested_traced, make_vm_recovering_traced, pack_arg,
+    USER_HEAP_BASE,
 };
+use sva_kernel::postmortem::{check_reproduction, replay};
 use sva_kernel::{sysd_name, SYSCALLS};
-use sva_vm::{Mode, Vm, VmConfig, VmError, VmExit, VmStats};
+use sva_vm::{CrashBundle, FlightRecorder, Mode, Vm, VmConfig, VmError, VmExit, VmStats};
+
+/// Campaign machines carry the always-on flight recorder so crash
+/// bundles embed a black-box event tail.
+type CampVm = Vm<FlightRecorder>;
 
 const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
 const FUEL: u64 = 3_000_000;
@@ -165,10 +181,10 @@ enum Outcome {
     EscapedSafety(String),
 }
 
-fn make_vm(arm: Arm, cfg: VmConfig) -> Vm {
+fn make_vm(arm: Arm, cfg: VmConfig) -> CampVm {
     match arm {
-        Arm::Flat => make_vm_recovering(cfg),
-        Arm::Nested => make_vm_nested(cfg),
+        Arm::Flat => make_vm_recovering_traced(cfg, FlightRecorder::default()),
+        Arm::Nested => make_vm_nested_traced(cfg, FlightRecorder::default()),
     }
 }
 
@@ -183,7 +199,7 @@ fn complete_pools(arm: Arm) -> Vec<u32> {
 }
 
 /// Live (non-FREE, non-ZOMBIE) entries in the guest's process table.
-fn live_procs(vm: &mut Vm) -> u64 {
+fn live_procs(vm: &mut CampVm) -> u64 {
     let Some(base) = vm.global_address("proc_table") else {
         return 0;
     };
@@ -214,8 +230,10 @@ fn clean_baseline(arm: Arm, workload: (&str, u64, u64, u64)) -> u64 {
 }
 
 /// Runs the post-fault probe workload and fills in the blast record.
-fn measure_blast(vm: &mut Vm, arm: Arm, baseline: u64) -> Blast {
+fn measure_blast(vm: &mut CampVm, arm: Arm, baseline: u64) -> Blast {
     vm.disarm_faults();
+    // A dying probe must not overwrite the real death's bundle.
+    vm.disable_crash_capture();
     let mut b = Blast {
         contained_syscall: vm.read_global_u64("recov_sysd_count").unwrap_or(0),
         contained_boot: vm.read_global_u64("recov_count").unwrap_or(0),
@@ -279,7 +297,7 @@ fn boot_image(arm: Arm, workload: (&str, u64, u64, u64), budget: u32) -> BootIma
 
 /// Maps a finished workload run to its campaign outcome and blast record.
 fn finish_run(
-    vm: &mut Vm,
+    vm: &mut CampVm,
     arm: Arm,
     baseline: u64,
     r: Result<VmExit, VmError>,
@@ -302,6 +320,7 @@ fn finish_run(
 }
 
 /// Legacy cell: boot the kernel freshly under the armed plan.
+#[allow(clippy::too_many_arguments)]
 fn run_one_reboot(
     arm: Arm,
     class: FaultClass,
@@ -310,8 +329,10 @@ fn run_one_reboot(
     budget: u32,
     baseline: u64,
     targets: &[u32],
+    tag: &str,
 ) -> Option<RunResult> {
     let targets = targets.to_vec();
+    let tag = tag.to_string();
     catch_unwind(AssertUnwindSafe(move || {
         let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets).with_defer(PROBE_DEFER));
         let cfg = VmConfig {
@@ -321,6 +342,7 @@ fn run_one_reboot(
             ..Default::default()
         };
         let mut vm = make_vm(arm, cfg);
+        vm.enable_crash_capture(Some(&bundle_dir()), &tag);
         let (prog, iters, size, mode) = workload;
         let r = boot_user(&mut vm, prog, pack_arg(iters, size, mode));
         finish_run(&mut vm, arm, baseline, r, &plan)
@@ -333,20 +355,23 @@ fn run_one_reboot(
 /// kernel boot *and* the per-cell VM construction), arm a fresh plan,
 /// replay the boot-time drops, and resume. The scratch VM carries no
 /// state across cells: restore rewrites all of it.
+#[allow(clippy::too_many_arguments)]
 fn run_one_forked(
-    vm: &mut Vm,
+    vm: &mut CampVm,
     arm: Arm,
     class: FaultClass,
     seed: u64,
     baseline: u64,
     targets: &[u32],
     image: &BootImage,
+    tag: &str,
 ) -> Option<RunResult> {
     let targets = targets.to_vec();
     catch_unwind(AssertUnwindSafe(move || {
         let plan = Arc::new(FaultPlan::new(class, seed, PERIOD, targets).with_defer(PROBE_DEFER));
         vm.restore(&image.bytes)
             .unwrap_or_else(|e| panic!("boot image rejected: {e}"));
+        vm.enable_crash_capture(Some(&bundle_dir()), tag);
         vm.arm_faults(plan.clone());
         plan.replay_drops(&image.boot_drops);
         let r = vm.run();
@@ -358,7 +383,7 @@ fn run_one_forked(
 /// A scratch machine for forked cells of one (arm, budget) column. The
 /// violation budget is part of the image fingerprint, so each budget
 /// needs its own scratch machine.
-fn scratch_vm(arm: Arm, budget: u32) -> Vm {
+fn scratch_vm(arm: Arm, budget: u32) -> CampVm {
     make_vm(
         arm,
         VmConfig {
@@ -411,20 +436,35 @@ fn image_for(images: &[(usize, BootImage)], wi: usize) -> &BootImage {
 /// mode the cell runs both ways; a divergence bumps `mismatches` (gated
 /// nonzero-exit in `main`). `scratch` is the column's reusable forked
 /// machine (must match `budget`); `None` only in `Reboot` mode.
+/// Deterministic grid-cell identity, used as the crash-bundle filename
+/// stem so every dying cell leaves a stable, replayable artifact.
+fn cell_tag(arm: Arm, class: FaultClass, seed: u64, wi: usize, budget: u32) -> String {
+    format!(
+        "{}-{}-s{}-w{}-b{}",
+        arm.name(),
+        class.name(),
+        seed,
+        wi,
+        budget
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     mode: BootMode,
     ctx: &ArmCtx,
-    scratch: Option<&mut Vm>,
+    scratch: Option<&mut CampVm>,
     class: FaultClass,
     seed: u64,
     wi: usize,
     budget: u32,
     images: &[(usize, BootImage)],
     mismatches: &mut u64,
+    deaths: &mut BTreeSet<String>,
 ) -> Option<RunResult> {
     let baseline = ctx.baselines[wi];
-    match mode {
+    let tag = cell_tag(ctx.arm, class, seed, wi, budget);
+    let result = match mode {
         BootMode::Reboot => run_one_reboot(
             ctx.arm,
             class,
@@ -433,6 +473,7 @@ fn run_cell(
             budget,
             baseline,
             &ctx.targets,
+            &tag,
         ),
         BootMode::Fork => run_one_forked(
             scratch.expect("fork mode needs a scratch machine"),
@@ -442,6 +483,7 @@ fn run_cell(
             baseline,
             &ctx.targets,
             image_for(images, wi),
+            &tag,
         ),
         BootMode::VerifyReboot => {
             let f = run_one_forked(
@@ -452,6 +494,7 @@ fn run_cell(
                 baseline,
                 &ctx.targets,
                 image_for(images, wi),
+                &tag,
             );
             let r = run_one_reboot(
                 ctx.arm,
@@ -461,6 +504,7 @@ fn run_cell(
                 budget,
                 baseline,
                 &ctx.targets,
+                &tag,
             );
             if f != r {
                 *mismatches += 1;
@@ -474,7 +518,13 @@ fn run_cell(
             }
             f
         }
+    };
+    if let Some(rr) = &result {
+        if matches!(rr.outcome, Outcome::HaltedPoisoned | Outcome::HaltedClean) {
+            deaths.insert(tag);
+        }
     }
+    result
 }
 
 #[derive(Default)]
@@ -567,24 +617,36 @@ impl Tally {
     }
 }
 
-fn report_dir() -> std::path::PathBuf {
-    if let Ok(d) = std::env::var("SVA_INJECT_DIR") {
-        return std::path::PathBuf::from(d);
-    }
-    // Anchor at the workspace root (nearest ancestor holding Cargo.lock),
-    // same as the bench harness, so the report lands in one known place
-    // regardless of the cwd cargo chose.
+/// `target/<sub>` anchored at the workspace root (nearest ancestor
+/// holding Cargo.lock), same as the bench harness, so artifacts land in
+/// one known place regardless of the cwd cargo chose.
+fn anchored_dir(sub: &str) -> std::path::PathBuf {
     let mut cur = std::env::var("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
         .or_else(|_| std::env::current_dir())
         .unwrap_or_else(|_| std::path::PathBuf::from("."));
     loop {
         if cur.join("Cargo.lock").exists() {
-            return cur.join("target").join("sva-inject");
+            return cur.join("target").join(sub);
         }
         if !cur.pop() {
-            return std::path::PathBuf::from("target/sva-inject");
+            return std::path::PathBuf::from("target").join(sub);
         }
+    }
+}
+
+fn report_dir() -> std::path::PathBuf {
+    match std::env::var("SVA_INJECT_DIR") {
+        Ok(d) => std::path::PathBuf::from(d),
+        Err(_) => anchored_dir("sva-inject"),
+    }
+}
+
+/// Where crash bundles land (`svadbg` and CI read the same files).
+fn bundle_dir() -> std::path::PathBuf {
+    match std::env::var("SVA_DBG_DIR") {
+        Ok(d) => std::path::PathBuf::from(d),
+        Err(_) => anchored_dir("sva-dbg"),
     }
 }
 
@@ -592,6 +654,7 @@ fn run_arm(
     mode: BootMode,
     ctx: &ArmCtx,
     mismatches: &mut u64,
+    deaths: &mut BTreeSet<String>,
 ) -> (Tally, Vec<(FaultClass, Tally)>) {
     let mut scratch = (mode != BootMode::Reboot).then(|| scratch_vm(ctx.arm, BUDGET));
     let mut total = Tally::default();
@@ -610,6 +673,7 @@ fn run_arm(
                     BUDGET,
                     &ctx.images,
                     mismatches,
+                    deaths,
                 );
                 tally.absorb(&r);
                 total.absorb(&r);
@@ -672,9 +736,10 @@ fn main() {
     // must replay bit-identically — stats, injections and blast radius.
     let mut deterministic = true;
     let mut mismatches = 0u64;
+    let mut deaths = BTreeSet::new();
     for ctx in [&flat_ctx, &nested_ctx] {
         let mut scratch = (mode != BootMode::Reboot).then(|| scratch_vm(ctx.arm, BUDGET));
-        let mut cell = |scratch: Option<&mut Vm>| {
+        let mut cell = |scratch: Option<&mut CampVm>, deaths: &mut BTreeSet<String>| {
             run_cell(
                 mode,
                 ctx,
@@ -685,10 +750,11 @@ fn main() {
                 BUDGET,
                 &ctx.images,
                 &mut mismatches,
+                deaths,
             )
         };
-        let d0 = cell(scratch.as_mut());
-        let d1 = cell(scratch.as_mut());
+        let d0 = cell(scratch.as_mut(), &mut deaths);
+        let d1 = cell(scratch.as_mut(), &mut deaths);
         if d0 != d1 || d0.is_none() {
             deterministic = false;
             eprintln!(
@@ -705,6 +771,7 @@ fn main() {
     if mode == BootMode::Fork {
         for ctx in [&flat_ctx, &nested_ctx] {
             let mut scratch = scratch_vm(ctx.arm, BUDGET);
+            let tag = cell_tag(ctx.arm, FaultClass::WildPtr, SEEDS[0], 0, BUDGET);
             let f = run_one_forked(
                 &mut scratch,
                 ctx.arm,
@@ -713,6 +780,7 @@ fn main() {
                 ctx.baselines[0],
                 &ctx.targets,
                 image_for(&ctx.images, 0),
+                &tag,
             );
             let r = run_one_reboot(
                 ctx.arm,
@@ -722,6 +790,7 @@ fn main() {
                 BUDGET,
                 ctx.baselines[0],
                 &ctx.targets,
+                &tag,
             );
             if f != r || f.is_none() {
                 mismatches += 1;
@@ -734,8 +803,8 @@ fn main() {
     }
 
     let t_grid = Instant::now();
-    let (flat_total, flat_classes) = run_arm(mode, &flat_ctx, &mut mismatches);
-    let (nested_total, nested_classes) = run_arm(mode, &nested_ctx, &mut mismatches);
+    let (flat_total, flat_classes) = run_arm(mode, &flat_ctx, &mut mismatches, &mut deaths);
+    let (nested_total, nested_classes) = run_arm(mode, &nested_ctx, &mut mismatches, &mut deaths);
     let grid_wall = t_grid.elapsed();
 
     // Degradation sub-run: budget 1, so a single violation poisons its
@@ -769,6 +838,7 @@ fn main() {
                 1,
                 &degr_images,
                 &mut mismatches,
+                &mut deaths,
             );
             if let Some(rr) = &r {
                 if rr.blast.syscalls_degraded > 0 {
@@ -785,6 +855,32 @@ fn main() {
         degr.syscalls_degraded,
         degr.machine_deaths(),
         degr.probes_responsive,
+    );
+
+    // Crash-forensics gate: every machine death above must have left a
+    // bundle whose replay reproduces the same halt code, resume code and
+    // console bit-for-bit.
+    let bdir = bundle_dir();
+    let mut bundle_failures = 0u64;
+    for tag in &deaths {
+        let path = bdir.join(format!("{tag}-halt.bundle"));
+        let verdict = std::fs::read(&path)
+            .map_err(|e| format!("bundle not written: {e}"))
+            .and_then(|bytes| CrashBundle::from_bytes(&bytes).map_err(|e| e.to_string()))
+            .and_then(|b| {
+                let r = replay(&b).map_err(|e| e.to_string())?;
+                check_reproduction(&b, &r)
+            });
+        if let Err(e) = verdict {
+            bundle_failures += 1;
+            eprintln!("BUNDLE REPLAY FAILURE {}: {e}", path.display());
+        }
+    }
+    println!(
+        "crash bundles: {} machine-death cells, {} replay failures ({})",
+        deaths.len(),
+        bundle_failures,
+        bdir.display(),
     );
 
     let total_wall = t_total.elapsed();
@@ -809,7 +905,8 @@ fn main() {
             "\"degradation\":{{\"tally\":{},\"degraded_runs\":{}}},",
             "\"gates\":{{\"panics\":{},\"escapes\":{},\"nested_machine_deaths\":{},",
             "\"nested_probes_dead\":{},\"flat_machine_deaths\":{},",
-            "\"fork_reboot_mismatches\":{}}}}}\n"
+            "\"fork_reboot_mismatches\":{},",
+            "\"crash_bundle_cells\":{},\"bundle_replay_failures\":{}}}}}\n"
         ),
         mode.name(),
         deterministic,
@@ -826,6 +923,8 @@ fn main() {
         nested_total.probes_dead + degr.probes_dead,
         flat_total.machine_deaths(),
         mismatches,
+        deaths.len(),
+        bundle_failures,
     );
 
     let dir = report_dir();
@@ -902,6 +1001,14 @@ fn main() {
         nested_total.machine_deaths() >= flat_total.machine_deaths()
             && flat_total.machine_deaths() > 0,
         "nested blast radius not strictly smaller than flat",
+    );
+    fail(
+        bundle_failures > 0,
+        "a machine death's crash bundle is missing or did not replay bit-exactly",
+    );
+    fail(
+        flat_total.machine_deaths() > 0 && deaths.is_empty(),
+        "flat machines died but no cell recorded a crash bundle",
     );
     if failed {
         std::process::exit(1);

@@ -1,0 +1,189 @@
+//! `svadbg` — the crash-bundle postmortem inspector (DESIGN.md §4.7).
+//!
+//! ```text
+//! svadbg <bundle>            print a human postmortem of the crash
+//! svadbg --replay <bundle>   also restore the embedded snapshot and
+//!                            reproduce the death, gating bit-exactness
+//! ```
+//!
+//! The postmortem is everything the machine knew when it died: the crash
+//! reason and detail, the decoded resume code, the machine configuration
+//! and code identity, execution statistics, the recovery-domain stack,
+//! the metapool dump, the degraded-syscall health table, the
+//! flight-recorder tail and the console transcript.
+//!
+//! With `--replay` the bundle's snapshot is restored into a freshly
+//! built kernel of the matching flavor and run to its next exit; for a
+//! halt bundle the replay must reproduce the same halt code, resume code
+//! and console byte-for-byte ([`sva_kernel::check_reproduction`]). Exit
+//! status: 0 on success, 1 on a load/parse error, 2 on usage error, 3
+//! when a replay diverges from the captured death.
+
+use std::process::ExitCode;
+
+use sva_kernel::postmortem::{check_reproduction, replay};
+use sva_vm::{CrashBundle, ResumeCode};
+
+fn human_console(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+fn print_postmortem(bundle: &CrashBundle) {
+    println!("== SVA crash bundle ==");
+    println!("reason:      {}", bundle.reason);
+    if bundle.halt_code != 0 {
+        println!("halt code:   {}", bundle.halt_code);
+    }
+    if !bundle.detail.is_empty() {
+        println!("detail:      {}", bundle.detail);
+    }
+    match bundle.resume_code() {
+        Some(rc) => println!("resume code: {rc}  (raw {:#x})", bundle.resume_code_raw),
+        None => println!("resume code: none recorded"),
+    }
+    println!("code id:     {:#018x}", bundle.code_id);
+    match bundle.vm_config() {
+        Ok(cfg) => println!(
+            "config:      {:?} opt={} fast_path={} singleton={} budget={} domain_fuel={}",
+            cfg.kind,
+            cfg.opt_level,
+            cfg.fast_path,
+            cfg.singleton_path,
+            cfg.violation_budget,
+            cfg.domain_fuel,
+        ),
+        Err(e) => println!("config:      unreplayable ({e})"),
+    }
+
+    let s = &bundle.stats;
+    println!(
+        "stats:       {} insts, {} cycles, {} traps, {} interrupts, {} ctx switches",
+        s.instructions, s.cycles, s.traps, s.interrupts, s.context_switches
+    );
+    println!(
+        "recovery:    {} violations recovered, {} pools quarantined, {} poisoned, {} watchdog unwinds, domains {}/{} pushed/popped",
+        s.violations_recovered,
+        s.pools_quarantined,
+        s.pools_poisoned,
+        s.watchdog_unwinds,
+        s.domains_pushed,
+        s.domains_popped,
+    );
+
+    println!(
+        "-- recovery domains ({}, innermost last)",
+        bundle.domains.len()
+    );
+    for (i, d) in bundle.domains.iter().enumerate() {
+        println!(
+            "  [{}] subsys {} fuel {} quarantined {:?}",
+            i, d.subsys, d.fuel, d.quarantined_pools
+        );
+    }
+
+    let hot: Vec<_> = bundle
+        .pools
+        .iter()
+        .filter(|p| p.violations > 0 || p.quarantined || p.poisoned)
+        .collect();
+    println!(
+        "-- metapools ({} total, {} with violations/quarantine)",
+        bundle.pools.len(),
+        hot.len()
+    );
+    for p in &hot {
+        println!(
+            "  #{} {:24} {} live {:5} checks {:8} violations {:3}{}{}",
+            p.id,
+            p.name,
+            if p.complete {
+                "complete  "
+            } else {
+                "incomplete"
+            },
+            p.live_objects,
+            p.checks,
+            p.violations,
+            if p.quarantined { " QUARANTINED" } else { "" },
+            if p.poisoned { " POISONED" } else { "" },
+        );
+    }
+
+    println!("-- syscall health ({} degraded)", bundle.health.len());
+    for (i, w) in &bundle.health {
+        println!("  syscall[{i}] = {w:#x}");
+    }
+
+    println!("-- flight recorder tail ({} events)", bundle.flight.len());
+    for e in &bundle.flight {
+        println!("  {}", e.to_json());
+    }
+
+    println!("-- console ({} bytes)", bundle.console.len());
+    for line in human_console(&bundle.console).lines() {
+        println!("  | {line}");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut do_replay = false;
+    let mut path = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--replay" => do_replay = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("svadbg: unexpected argument {other}");
+                eprintln!("usage: svadbg [--replay] <bundle>");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: svadbg [--replay] <bundle>");
+        return ExitCode::from(2);
+    };
+
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("svadbg: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let bundle = match CrashBundle::from_bytes(&bytes) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("svadbg: {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    print_postmortem(&bundle);
+
+    if do_replay {
+        println!("-- replay");
+        match replay(&bundle) {
+            Ok(r) => {
+                println!("kernel flavor: {}", r.flavor);
+                println!("exit:          {}", r.exit);
+                match ResumeCode::decode(r.resume_code_raw) {
+                    Some(rc) => println!("resume code:   {rc}"),
+                    None => println!("resume code:   none recorded"),
+                }
+                match check_reproduction(&bundle, &r) {
+                    Ok(()) => println!("reproduction:  exact"),
+                    Err(e) => {
+                        eprintln!("svadbg: REPLAY DIVERGED: {e}");
+                        return ExitCode::from(3);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("svadbg: replay failed: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

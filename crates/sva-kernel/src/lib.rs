@@ -31,10 +31,12 @@
 pub mod build;
 pub mod harness;
 pub mod port_report;
+pub mod postmortem;
 
 pub use build::{build_kernel, sysd_name, KernelOptions, IRQ_SUBSYS, SYSCALLS};
 pub use harness::{boot_user, make_vm, make_vm_traced, safe_kernel_module, KernelImage};
 pub use port_report::{port_report, PortReport};
+pub use postmortem::{check_reproduction, replay, Replay, ReplayError, ReplayExit};
 
 /// Function-name prefixes excluded from the safety-checking compiler in the
 /// paper's "as tested" configuration (§7.1: `mm/mm.o`, `lib/lib.a`, and the

@@ -28,5 +28,5 @@ pub mod pool;
 pub mod splay;
 
 pub use check::{CheckError, CheckKind, CheckStats};
-pub use metapool::{MetaPool, MetaPoolId, MetaPoolTable, PoolImage};
+pub use metapool::{MetaPool, MetaPoolId, MetaPoolTable, PoolImage, PoolSummary};
 pub use splay::SplayTree;

@@ -689,6 +689,31 @@ pub struct PoolImage {
     pub forced_reg_failures: u32,
 }
 
+/// One metapool's forensic surface: the fields a crash bundle or
+/// postmortem report prints. Unlike [`PoolImage`] this is a *summary* —
+/// no ranges, no MRU contents — sized to be embedded per pool in every
+/// crash artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolSummary {
+    /// Pool id (index in the table).
+    pub id: u32,
+    /// Pool name.
+    pub name: String,
+    /// Whether the points-to partition is complete (incomplete pools run
+    /// reduced checks).
+    pub complete: bool,
+    /// Live registered objects.
+    pub live_objects: u64,
+    /// Total checks answered (all layers).
+    pub checks: u64,
+    /// Lifetime violation count.
+    pub violations: u32,
+    /// Whether checks currently fail fast.
+    pub quarantined: bool,
+    /// Whether the pool is permanently fenced off.
+    pub poisoned: bool,
+}
+
 /// The set of all metapools of a loaded kernel, indexed by the metapool ids
 /// embedded in the bytecode annotations.
 #[derive(Clone, Debug, Default)]
@@ -757,6 +782,28 @@ impl MetaPoolTable {
             .iter()
             .position(|p| p.name == name)
             .map(|i| MetaPoolId(i as u32))
+    }
+
+    /// Forensic summaries of every pool, in id order (crash bundles and
+    /// postmortem reports embed these).
+    pub fn summaries(&self) -> Vec<PoolSummary> {
+        self.pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let s = p.stats();
+                PoolSummary {
+                    id: i as u32,
+                    name: p.name.clone(),
+                    complete: p.complete,
+                    live_objects: p.live_objects() as u64,
+                    checks: s.bounds_checks + s.ls_checks + s.get_bounds + s.func_checks,
+                    violations: p.violations(),
+                    quarantined: p.quarantined(),
+                    poisoned: p.poisoned(),
+                }
+            })
+            .collect()
     }
 
     /// Number of pools currently quarantined (including poisoned ones).

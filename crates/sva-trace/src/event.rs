@@ -117,7 +117,10 @@ impl EventClass {
         EventClass::Recovery,
     ];
 
-    pub(crate) fn bit(self) -> u16 {
+    /// Bit of this class in a class mask (ring pinning, tracer
+    /// [`crate::Tracer::WANTED`] filters). `const` so masks can be built
+    /// in associated-constant position.
+    pub const fn bit(self) -> u16 {
         1 << (self as u16)
     }
 }

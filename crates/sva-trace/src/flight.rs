@@ -1,0 +1,374 @@
+//! The always-on flight recorder: a third tracer mode between
+//! [`NullTracer`](crate::NullTracer) (blind) and
+//! [`RingTracer`](crate::RingTracer) (full attribution, expensive).
+//!
+//! The [`FlightRecorder`] is what a production machine flies with. It
+//! records only the high-signal event classes — syscall spans, IRQ
+//! delivery, violations, and recovery traffic (unwinds, quarantines,
+//! domain push/pop) — into a small fixed-size tail buffer with violations
+//! and recovery events pinned against wraparound. Everything else
+//! (per-instruction retirement, per-check execution, SVA-OS spans, pool
+//! registration churn) is *outside* [`FlightRecorder::WANTED`], so those
+//! instrumentation points monomorphize away exactly as they do for
+//! `NullTracer`: the repeat-hit check path of a flight-recorded machine is
+//! the same compiled code as an untraced one. Check *failures* are still
+//! captured, because the VM emits a distinct `Violation` event when a
+//! check fires.
+//!
+//! On top of the tail it keeps coarse sampled cycle attribution: 1 in
+//! [`FlightConfig::sample_period`] syscall exits contributes its latency
+//! to a per-syscall-number accumulator, and IRQ delivery is watched for
+//! storms (longest burst of back-to-back deliveries with no intervening
+//! syscall progress). That is deliberately crude — enough for a postmortem
+//! to say "syscall 7 was where the cycles went and the timer was storming",
+//! at a cost that never shows up on the hot path.
+
+use std::collections::HashMap;
+
+use crate::event::{EventClass, TimedEvent, TraceEvent};
+use crate::ring::{EventRing, RingConfig};
+use crate::tracer::{CycleCount, Tracer};
+
+/// Flight-recorder construction options.
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Tail-buffer capacity (events). Small by design: this is a black
+    /// box, not a profiler.
+    pub capacity: usize,
+    /// Side-buffer capacity for pinned (violation/recovery) records
+    /// promoted on wraparound.
+    pub pinned_capacity: usize,
+    /// Sampling decimation for cycle attribution: 1 in `sample_period`
+    /// syscall exits is attributed. 1 = attribute everything, 0 is
+    /// treated as 1.
+    pub sample_period: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 256,
+            pinned_capacity: 128,
+            sample_period: 8,
+        }
+    }
+}
+
+/// The always-on tail recorder. See the module docs for what it keeps.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    tail: EventRing,
+    sample_period: u64,
+    /// Sampled per-syscall-number latency attribution.
+    sampled_syscalls: HashMap<i64, CycleCount>,
+    /// Totals (cheap integer bumps; never decimated).
+    syscalls: u64,
+    irqs: u64,
+    violations: u64,
+    unwinds: u64,
+    quarantines: u64,
+    pools_poisoned: u64,
+    forced_pops: u64,
+    domain_pushes: u64,
+    domain_pops: u64,
+    restores: u64,
+    /// IRQ-storm tracking: current and longest run of IRQ deliveries with
+    /// no syscall completing in between.
+    irq_burst: u64,
+    irq_burst_max: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FlightConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with the given configuration.
+    pub fn new(cfg: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            tail: EventRing::new(RingConfig {
+                capacity: cfg.capacity,
+                pinned: vec![EventClass::Violation, EventClass::Recovery],
+                pinned_capacity: cfg.pinned_capacity,
+            }),
+            sample_period: cfg.sample_period.max(1),
+            sampled_syscalls: HashMap::new(),
+            syscalls: 0,
+            irqs: 0,
+            violations: 0,
+            unwinds: 0,
+            quarantines: 0,
+            pools_poisoned: 0,
+            forced_pops: 0,
+            domain_pushes: 0,
+            domain_pops: 0,
+            restores: 0,
+            irq_burst: 0,
+            irq_burst_max: 0,
+        }
+    }
+
+    /// The tail buffer (oldest first via [`EventRing::iter`]).
+    pub fn tail(&self) -> &EventRing {
+        &self.tail
+    }
+
+    /// Sampled per-syscall cycle attribution (1 in
+    /// [`FlightConfig::sample_period`] exits).
+    pub fn sampled_syscalls(&self) -> &HashMap<i64, CycleCount> {
+        &self.sampled_syscalls
+    }
+
+    /// Syscalls completed.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// IRQs delivered.
+    pub fn irqs(&self) -> u64 {
+        self.irqs
+    }
+
+    /// Safety violations observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Recovery unwinds observed.
+    pub fn unwinds(&self) -> u64 {
+        self.unwinds
+    }
+
+    /// Pool quarantine transitions observed.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Quarantine transitions that poisoned the pool permanently.
+    pub fn pools_poisoned(&self) -> u64 {
+        self.pools_poisoned
+    }
+
+    /// Watchdog force-pops observed (wedged recovery domains).
+    pub fn forced_pops(&self) -> u64 {
+        self.forced_pops
+    }
+
+    /// Recovery domains pushed.
+    pub fn domain_pushes(&self) -> u64 {
+        self.domain_pushes
+    }
+
+    /// Recovery domains popped.
+    pub fn domain_pops(&self) -> u64 {
+        self.domain_pops
+    }
+
+    /// Snapshot restores this recorder lived through.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Longest run of IRQ deliveries with no syscall completing between
+    /// them — the "IRQ storm" indicator.
+    pub fn irq_burst_max(&self) -> u64 {
+        self.irq_burst_max
+    }
+}
+
+impl Tracer for FlightRecorder {
+    const ENABLED: bool = true;
+
+    /// Only the high-signal classes. `Inst`/`Os`/`Check`/`Pool`
+    /// instrumentation compiles away entirely — that exclusion, not any
+    /// cleverness in `record`, is what keeps flight recording within noise
+    /// of `NullTracer` on the repeat-hit check path (gated in
+    /// `bench_gate`).
+    const WANTED: u16 = EventClass::Syscall.bit()
+        | EventClass::Irq.bit()
+        | EventClass::Violation.bit()
+        | EventClass::Recovery.bit();
+
+    fn record(&mut self, ts: u64, event: TraceEvent) {
+        match &event {
+            TraceEvent::SyscallExit { num, cost } => {
+                self.syscalls += 1;
+                self.irq_burst = 0;
+                if self.syscalls.is_multiple_of(self.sample_period) {
+                    let c = self.sampled_syscalls.entry(*num).or_default();
+                    c.count += 1;
+                    c.cycles += cost;
+                }
+            }
+            TraceEvent::IrqDeliver { .. } => {
+                self.irqs += 1;
+                self.irq_burst += 1;
+                self.irq_burst_max = self.irq_burst_max.max(self.irq_burst);
+            }
+            TraceEvent::Violation { .. } => self.violations += 1,
+            TraceEvent::RecoverUnwind { .. } => self.unwinds += 1,
+            TraceEvent::PoolQuarantine { poisoned, .. } => {
+                self.quarantines += 1;
+                if *poisoned {
+                    self.pools_poisoned += 1;
+                }
+            }
+            TraceEvent::DomainPush { .. } => self.domain_pushes += 1,
+            TraceEvent::DomainPop { forced, .. } => {
+                self.domain_pops += 1;
+                if *forced {
+                    self.forced_pops += 1;
+                }
+            }
+            // Classes outside WANTED: unreachable via gated VM sites, but
+            // record() is also callable directly — just buffer them.
+            _ => {}
+        }
+        self.tail.push(ts, event);
+    }
+
+    fn recent_events(&self) -> Vec<TimedEvent> {
+        self.tail.iter().cloned().collect()
+    }
+
+    fn on_restore(&mut self, _cycles: u64) {
+        // The black box restarts at the restore point: the restored image
+        // is a different timeline, and a crash after a restore should not
+        // show pre-restore events as if they led up to it.
+        let cfg = FlightConfig {
+            capacity: self.tail.len().max(1).max(256),
+            pinned_capacity: 128,
+            sample_period: self.sample_period,
+        };
+        let restores = self.restores + 1;
+        *self = FlightRecorder::new(cfg);
+        self.restores = restores;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys_exit(num: i64, cost: u64) -> TraceEvent {
+        TraceEvent::SyscallExit { num, cost }
+    }
+
+    #[test]
+    fn wanted_mask_excludes_hot_classes() {
+        assert!(FlightRecorder::wants(EventClass::Syscall));
+        assert!(FlightRecorder::wants(EventClass::Irq));
+        assert!(FlightRecorder::wants(EventClass::Violation));
+        assert!(FlightRecorder::wants(EventClass::Recovery));
+        assert!(!FlightRecorder::wants(EventClass::Inst));
+        assert!(!FlightRecorder::wants(EventClass::Check));
+        assert!(!FlightRecorder::wants(EventClass::Os));
+        assert!(!FlightRecorder::wants(EventClass::Pool));
+        // And the null/ring reference points.
+        assert!(!crate::NullTracer::wants(EventClass::Violation));
+        assert!(crate::RingTracer::wants(EventClass::Inst));
+    }
+
+    #[test]
+    fn sampling_decimates_attribution_but_not_totals() {
+        let mut f = FlightRecorder::new(FlightConfig {
+            capacity: 16,
+            pinned_capacity: 8,
+            sample_period: 4,
+        });
+        for i in 0..16 {
+            f.record(i, sys_exit(7, 100));
+        }
+        assert_eq!(f.syscalls(), 16);
+        let c = f.sampled_syscalls()[&7];
+        assert_eq!(c.count, 4); // 1 in 4
+        assert_eq!(c.cycles, 400);
+    }
+
+    #[test]
+    fn irq_storm_burst_resets_on_syscall_progress() {
+        let mut f = FlightRecorder::default();
+        for i in 0..5 {
+            f.record(
+                i,
+                TraceEvent::IrqDeliver {
+                    vector: 32,
+                    cost: 40,
+                },
+            );
+        }
+        f.record(6, sys_exit(1, 10));
+        for i in 7..10 {
+            f.record(
+                i,
+                TraceEvent::IrqDeliver {
+                    vector: 32,
+                    cost: 40,
+                },
+            );
+        }
+        assert_eq!(f.irqs(), 8);
+        assert_eq!(f.irq_burst_max(), 5);
+    }
+
+    #[test]
+    fn violations_and_recovery_survive_tail_wraparound() {
+        let mut f = FlightRecorder::new(FlightConfig {
+            capacity: 4,
+            pinned_capacity: 16,
+            sample_period: 1,
+        });
+        f.record(
+            0,
+            TraceEvent::Violation {
+                check: "pchk.lscheck".into(),
+                pool: "MP1".into(),
+                addr: 0xbad,
+                detail: "oob".into(),
+            },
+        );
+        f.record(
+            1,
+            TraceEvent::PoolQuarantine {
+                pool: 1,
+                violations: 1,
+                poisoned: true,
+            },
+        );
+        for i in 2..200 {
+            f.record(i, sys_exit(3, 10));
+        }
+        let tail = f.recent_events();
+        assert!(tail
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::Violation { .. })));
+        assert!(tail
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::PoolQuarantine { .. })));
+        assert_eq!(f.violations(), 1);
+        assert_eq!(f.pools_poisoned(), 1);
+        // Tail stays timestamp-ordered despite promotion.
+        assert!(tail.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn restore_clears_the_black_box_but_counts_itself() {
+        let mut f = FlightRecorder::default();
+        f.record(0, sys_exit(1, 10));
+        f.record(
+            1,
+            TraceEvent::IrqDeliver {
+                vector: 32,
+                cost: 40,
+            },
+        );
+        f.on_restore(1000);
+        assert!(f.recent_events().is_empty());
+        assert_eq!(f.syscalls(), 0);
+        assert_eq!(f.restores(), 1);
+        f.record(1001, sys_exit(2, 20));
+        assert_eq!(f.syscalls(), 1);
+    }
+}

@@ -29,14 +29,22 @@
 //!   flame-style "top functions / top checks / top pools / top opcodes"
 //!   text report.
 
+//! * [`FlightRecorder`] — the third mode: an always-on black box. Only
+//!   the high-signal classes ([`Tracer::WANTED`]) are compiled in, so the
+//!   hot check path matches `NullTracer` byte for byte while syscall
+//!   spans, IRQ storms, violations and recovery traffic land in a small
+//!   pinned tail buffer that crash bundles embed.
+
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod ring;
 pub mod tracer;
 
 pub use event::{intern, EventClass, LookupLayer, TimedEvent, TraceEvent};
 pub use export::{to_chrome_trace, to_jsonl, to_prometheus, top_report};
+pub use flight::{FlightConfig, FlightRecorder};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::{EventRing, RingConfig};
-pub use tracer::{NullTracer, Profile, RingTracer, Tracer};
+pub use tracer::{CycleCount, NullTracer, Profile, RingTracer, Tracer};

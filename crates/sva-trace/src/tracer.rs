@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use crate::event::{LookupLayer, TimedEvent, TraceEvent};
+use crate::event::{EventClass, LookupLayer, TimedEvent, TraceEvent};
 use crate::metrics::MetricsRegistry;
 use crate::ring::{EventRing, RingConfig};
 
@@ -27,8 +27,34 @@ pub trait Tracer {
     /// on this associated constant so disabled tracing compiles away.
     const ENABLED: bool;
 
+    /// Bitmask of [`EventClass`] bits this tracer consumes (build it from
+    /// [`EventClass::bit`]). Instrumentation points for a class outside the
+    /// mask guard with [`Tracer::wants`] and monomorphize away exactly like
+    /// the `NullTracer` path — which is how the flight recorder stays off
+    /// the per-instruction and per-check hot paths while still seeing
+    /// every violation and unwind. Defaults to all classes.
+    const WANTED: u16 = u16::MAX;
+
+    /// Whether instrumentation for `class` should be compiled in. Both
+    /// operands are associated constants, so each call site folds to
+    /// `true` or `false` at monomorphization time.
+    #[inline(always)]
+    fn wants(class: EventClass) -> bool
+    where
+        Self: Sized,
+    {
+        Self::ENABLED && (Self::WANTED & class.bit()) != 0
+    }
+
     /// Records one event at virtual-cycle timestamp `ts`.
     fn record(&mut self, ts: u64, event: TraceEvent);
+
+    /// The most recent buffered events, oldest first — what a crash
+    /// bundle embeds as the black-box timeline. Tracers without a buffer
+    /// return nothing.
+    fn recent_events(&self) -> Vec<TimedEvent> {
+        Vec::new()
+    }
 
     /// Supplies the guest function-name table (index = function id).
     fn note_function_names(&mut self, _names: &[String]) {}
@@ -299,6 +325,10 @@ impl Tracer for RingTracer {
             _ => {}
         }
         self.ring.push(ts, event);
+    }
+
+    fn recent_events(&self) -> Vec<TimedEvent> {
+        self.ring.iter().cloned().collect()
     }
 
     fn note_function_names(&mut self, names: &[String]) {

@@ -12,21 +12,25 @@
 //! [`VmConfig`] lets deterministic fault-injection campaigns perturb the
 //! machine at trap boundaries.
 
+pub mod bundle;
 pub mod mem;
 pub mod opt;
+pub mod resume;
 pub mod snapshot;
 pub mod vm;
 
+pub use bundle::{BundleError, CrashBundle, CrashReason, BUNDLE_MAGIC, BUNDLE_VERSION};
 pub use mem::{
     func_addr, Memory, Mode, FUNC_BASE, KERN_BASE, KERN_END, KHEAP_BASE, KHEAP_END, KSTACK_BASE,
     KSTACK_END, PAGE_SIZE, USER_BASE, USER_END, USER_SIZE,
 };
 pub use opt::HotProfile;
+pub use resume::{check_kind_code, ResumeCode, RESUME_KIND_WATCHDOG};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use sva_trace::{NullTracer, RingTracer, Tracer};
+pub use sva_trace::{FlightConfig, FlightRecorder, NullTracer, RingTracer, Tracer};
 pub use vm::{
     FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit, VmStats,
-    CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, RESUME_KIND_WATCHDOG, USTACK_SIZE,
+    CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, USTACK_SIZE,
 };
 
 #[cfg(test)]

@@ -1,0 +1,227 @@
+//! The bit-packed resume code handed to recovery continuations, as a
+//! first-class type.
+//!
+//! An unwind writes one `u64` into the recovery continuation's
+//! destination register (DESIGN.md §4.3/§4.5). Layout, LSB first:
+//!
+//! * bits 0..8 — kind (1 = bounds, 2 = load/store, 3 = indirect call,
+//!   4 = illegal free, 5 = bad registration, 6 = quarantined,
+//!   7 = watchdog force-unwind)
+//! * bit 8 — the pool crossed its violation budget and is now poisoned
+//! * bits 9..16 — containment depth + 1: stack index of the domain the
+//!   thread unwound to (0 = outermost), so a blast-radius report can tell
+//!   a syscall-level catch from an escape to the boot domain
+//! * bits 16..40 — metapool id + 1 (0 = no pool attributed)
+//! * bits 40..64 — interrupted icontext id + 1 (0 = none)
+//!
+//! The kind field is always nonzero, so a resume code can never be
+//! mistaken for the 0 returned at registration — which is also what makes
+//! [`ResumeCode::decode`] total over "is this a resume code at all".
+
+use std::fmt;
+
+/// Resume-code kind for a watchdog force-unwind (a wedged domain ran out
+/// of [`crate::VmConfig::domain_fuel`]); the check kinds occupy 1..=6.
+pub const RESUME_KIND_WATCHDOG: u64 = 7;
+
+/// Numeric resume-code kind of a safety-check violation.
+pub fn check_kind_code(kind: sva_rt::CheckKind) -> u64 {
+    match kind {
+        sva_rt::CheckKind::Bounds => 1,
+        sva_rt::CheckKind::LoadStore => 2,
+        sva_rt::CheckKind::IndirectCall => 3,
+        sva_rt::CheckKind::IllegalFree => 4,
+        sva_rt::CheckKind::BadRegistration => 5,
+        sva_rt::CheckKind::Quarantined => 6,
+    }
+}
+
+/// A decoded resume code. Construct with the field initializer syntax and
+/// [`ResumeCode::encode`], or parse a packed word with
+/// [`ResumeCode::decode`]; the two round-trip exactly for every value the
+/// VM can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeCode {
+    /// Violation kind, 1..=7 (see module docs). Never 0.
+    pub kind: u64,
+    /// Whether the attributed pool is now permanently poisoned.
+    pub poisoned: bool,
+    /// Stack depth of the domain the thread unwound to (0 = outermost).
+    pub depth: u32,
+    /// Metapool id the violation was attributed to.
+    pub pool: Option<u32>,
+    /// Interrupted icontext id, if the unwind crossed one.
+    pub icid: Option<u32>,
+}
+
+impl ResumeCode {
+    /// Packs the fields into the wire word.
+    pub fn encode(&self) -> u64 {
+        let mut code = self.kind & 0xff;
+        if self.poisoned {
+            code |= 1 << 8;
+        }
+        code |= ((self.depth as u64 + 1) & 0x7f) << 9;
+        code |= (self.pool.map(|p| p as u64 + 1).unwrap_or(0) & 0xff_ffff) << 16;
+        code |= (self.icid.map(|i| i as u64 + 1).unwrap_or(0) & 0xff_ffff) << 40;
+        code
+    }
+
+    /// Unpacks a wire word. Returns `None` for `code & 0xff == 0` — the 0
+    /// a continuation sees at registration, or a depth-field-only word
+    /// that never came from an unwind.
+    pub fn decode(code: u64) -> Option<ResumeCode> {
+        let kind = code & 0xff;
+        if kind == 0 {
+            return None;
+        }
+        let depth_plus_1 = (code >> 9) & 0x7f;
+        let pool_plus_1 = (code >> 16) & 0xff_ffff;
+        let icid_plus_1 = (code >> 40) & 0xff_ffff;
+        Some(ResumeCode {
+            kind,
+            poisoned: code & (1 << 8) != 0,
+            // depth is stored +1; a raw word with the field at 0 decodes
+            // as depth 0 rather than underflowing.
+            depth: depth_plus_1.saturating_sub(1) as u32,
+            pool: (pool_plus_1 != 0).then(|| (pool_plus_1 - 1) as u32),
+            icid: (icid_plus_1 != 0).then(|| (icid_plus_1 - 1) as u32),
+        })
+    }
+
+    /// Whether this unwind was the fuel watchdog force-popping a wedged
+    /// domain rather than a safety check firing.
+    pub fn is_watchdog(&self) -> bool {
+        self.kind == RESUME_KIND_WATCHDOG
+    }
+
+    /// Stable human name of the kind field.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            1 => "bounds",
+            2 => "load/store",
+            3 => "indirect-call",
+            4 => "illegal-free",
+            5 => "bad-registration",
+            6 => "quarantined",
+            RESUME_KIND_WATCHDOG => "watchdog",
+            _ => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for ResumeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind_name())?;
+        if self.poisoned {
+            write!(f, " [poisoned]")?;
+        }
+        write!(f, " depth={}", self.depth)?;
+        match self.pool {
+            Some(p) => write!(f, " pool={p}")?,
+            None => write!(f, " pool=-")?,
+        }
+        match self.icid {
+            Some(i) => write!(f, " icid={i}")?,
+            None => write!(f, " icid=-")?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_field_combination() {
+        for kind in 1..=7u64 {
+            for poisoned in [false, true] {
+                for depth in [0u32, 1, 5, 63] {
+                    for pool in [None, Some(0u32), Some(7), Some(0xff_fffe)] {
+                        for icid in [None, Some(0u32), Some(3)] {
+                            let rc = ResumeCode {
+                                kind,
+                                poisoned,
+                                depth,
+                                pool,
+                                icid,
+                            };
+                            let back = ResumeCode::decode(rc.encode())
+                                .unwrap_or_else(|| panic!("undecodable: {rc:?}"));
+                            assert_eq!(back, rc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_kindless_words_are_not_resume_codes() {
+        assert_eq!(ResumeCode::decode(0), None);
+        // Depth/pool bits set but kind 0: registration return, not unwind.
+        assert_eq!(ResumeCode::decode(1 << 9), None);
+        assert_eq!(ResumeCode::decode(5 << 16), None);
+    }
+
+    #[test]
+    fn known_wire_words_decode_as_documented() {
+        // kind=6 (quarantined), poisoned, depth 1, pool 4, icid none:
+        // 6 | 0x100 | (2<<9) | (5<<16).
+        let code = 6 | 0x100 | (2 << 9) | (5 << 16);
+        let rc = ResumeCode::decode(code).unwrap();
+        assert_eq!(rc.kind, 6);
+        assert!(rc.poisoned);
+        assert_eq!(rc.depth, 1);
+        assert_eq!(rc.pool, Some(4));
+        assert_eq!(rc.icid, None);
+        assert_eq!(rc.kind_name(), "quarantined");
+        assert!(!rc.is_watchdog());
+        assert_eq!(rc.encode(), code);
+
+        let wd = ResumeCode {
+            kind: RESUME_KIND_WATCHDOG,
+            poisoned: false,
+            depth: 0,
+            pool: None,
+            icid: Some(2),
+        };
+        let back = ResumeCode::decode(wd.encode()).unwrap();
+        assert!(back.is_watchdog());
+        assert_eq!(back.kind_name(), "watchdog");
+    }
+
+    #[test]
+    fn display_is_stable_and_readable() {
+        let rc = ResumeCode {
+            kind: 2,
+            poisoned: true,
+            depth: 3,
+            pool: Some(9),
+            icid: None,
+        };
+        assert_eq!(
+            rc.to_string(),
+            "load/store [poisoned] depth=3 pool=9 icid=-"
+        );
+    }
+
+    #[test]
+    fn check_kinds_are_dense_and_nonzero() {
+        use sva_rt::CheckKind::*;
+        let codes: Vec<u64> = [
+            Bounds,
+            LoadStore,
+            IndirectCall,
+            IllegalFree,
+            BadRegistration,
+            Quarantined,
+        ]
+        .into_iter()
+        .map(check_kind_code)
+        .collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+        const { assert!(RESUME_KIND_WATCHDOG > 6) };
+    }
+}

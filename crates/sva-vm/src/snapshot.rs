@@ -151,7 +151,7 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// FNV-1a 64-bit (the repo's standing content-hash; no dependencies).
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -160,7 +160,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn kind_code(k: KernelKind) -> u64 {
+pub(crate) fn kind_code(k: KernelKind) -> u64 {
     match k {
         KernelKind::Native => 0,
         KernelKind::SvaGcc => 1,
@@ -171,7 +171,7 @@ fn kind_code(k: KernelKind) -> u64 {
 
 /// The config fields a snapshot is only valid under, each widened to u64.
 /// Order is part of the format.
-const FP_FIELDS: [&str; 9] = [
+pub(crate) const FP_FIELDS: [&str; 9] = [
     "kind",
     "sign_key",
     "opt_level",
@@ -183,7 +183,7 @@ const FP_FIELDS: [&str; 9] = [
     "hot_profile",
 ];
 
-fn fingerprint_words(cfg: &VmConfig, fused_sites: u32) -> [u64; FP_FIELDS.len()] {
+pub(crate) fn fingerprint_words(cfg: &VmConfig, fused_sites: u32) -> [u64; FP_FIELDS.len()] {
     let profile_hash = cfg
         .hot_profile
         .as_ref()
@@ -207,34 +207,34 @@ fn fingerprint_words(cfg: &VmConfig, fused_sites: u32) -> [u64; FP_FIELDS.len()]
 // ---------------------------------------------------------------------------
 
 #[derive(Default)]
-struct W {
-    buf: Vec<u8>,
+pub(crate) struct W {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl W {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.buf.push(v as u8);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.u64(b.len() as u64);
         self.buf.extend_from_slice(b);
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.bytes(s.as_bytes());
     }
-    fn opt_u32(&mut self, v: Option<u32>) {
+    pub(crate) fn opt_u32(&mut self, v: Option<u32>) {
         match v {
             Some(x) => {
                 self.bool(true);
@@ -246,7 +246,7 @@ impl W {
     /// Zero-dominated byte region as a page-granular nonzero-page list.
     /// The kernel region is 32 MiB and mostly zeros; post-boot images
     /// shrink ~50× under this encoding.
-    fn sparse(&mut self, data: &[u8]) {
+    pub(crate) fn sparse(&mut self, data: &[u8]) {
         self.u64(data.len() as u64);
         let page = PAGE_SIZE as usize;
         let nonzero: Vec<usize> = data
@@ -276,18 +276,18 @@ fn all_zero(bytes: &[u8]) -> bool {
     words.remainder().iter().all(|&b| b == 0)
 }
 
-struct R<'a> {
+pub(crate) struct R<'a> {
     b: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
-type RResult<T> = Result<T, SnapshotError>;
+pub(crate) type RResult<T> = Result<T, SnapshotError>;
 
 impl<'a> R<'a> {
-    fn new(b: &'a [u8]) -> Self {
+    pub(crate) fn new(b: &'a [u8]) -> Self {
         R { b, pos: 0 }
     }
-    fn take(&mut self, n: usize) -> RResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> RResult<&'a [u8]> {
         if self.pos + n > self.b.len() {
             return Err(SnapshotError::Truncated {
                 need: self.pos + n,
@@ -298,26 +298,26 @@ impl<'a> R<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> RResult<u8> {
+    pub(crate) fn u8(&mut self) -> RResult<u8> {
         Ok(self.take(1)?[0])
     }
-    fn bool(&mut self) -> RResult<bool> {
+    pub(crate) fn bool(&mut self) -> RResult<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             v => Err(SnapshotError::Malformed(format!("bad bool byte {v}"))),
         }
     }
-    fn u32(&mut self) -> RResult<u32> {
+    pub(crate) fn u32(&mut self) -> RResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> RResult<u64> {
+    pub(crate) fn u64(&mut self) -> RResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> RResult<i64> {
+    pub(crate) fn i64(&mut self) -> RResult<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn len(&mut self, what: &str) -> RResult<usize> {
+    pub(crate) fn len(&mut self, what: &str) -> RResult<usize> {
         let n = self.u64()?;
         // Guard against absurd counts before any allocation: every
         // element encodes to at least one byte, so a count can never
@@ -330,15 +330,15 @@ impl<'a> R<'a> {
         }
         Ok(n as usize)
     }
-    fn bytes(&mut self) -> RResult<Vec<u8>> {
+    pub(crate) fn bytes(&mut self) -> RResult<Vec<u8>> {
         let n = self.len("byte section")?;
         Ok(self.take(n)?.to_vec())
     }
-    fn str(&mut self) -> RResult<String> {
+    pub(crate) fn str(&mut self) -> RResult<String> {
         String::from_utf8(self.bytes()?)
             .map_err(|_| SnapshotError::Malformed("non-UTF-8 string".into()))
     }
-    fn opt_u32(&mut self) -> RResult<Option<u32>> {
+    pub(crate) fn opt_u32(&mut self) -> RResult<Option<u32>> {
         Ok(if self.bool()? {
             Some(self.u32()?)
         } else {
@@ -657,7 +657,7 @@ fn read_pool_image(r: &mut R<'_>) -> RResult<PoolImage> {
     })
 }
 
-fn stats_words(s: &VmStats) -> [u64; 17] {
+pub(crate) fn stats_words(s: &VmStats) -> [u64; 17] {
     [
         s.instructions,
         s.cycles,
@@ -679,7 +679,7 @@ fn stats_words(s: &VmStats) -> [u64; 17] {
     ]
 }
 
-fn stats_from_words(w: [u64; 17]) -> VmStats {
+pub(crate) fn stats_from_words(w: [u64; 17]) -> VmStats {
     VmStats {
         instructions: w[0],
         cycles: w[1],
@@ -732,7 +732,7 @@ struct Parsed<'a> {
 impl<T: Tracer> Vm<T> {
     /// FNV identity of the machine's code: the sealed (signed) module
     /// bytes, exactly what the translation cache is a pure function of.
-    fn code_identity(&self) -> u64 {
+    pub(crate) fn code_identity(&self) -> u64 {
         fnv64(&SignedModule::seal(&self.code.module, self.cfg.sign_key).bytecode)
     }
 

@@ -24,13 +24,14 @@ use sva_ir::{
     RelocTarget, Type, TypeId,
 };
 use sva_rt::{CheckError, MetaPool, MetaPoolTable};
-use sva_trace::{LookupLayer, NullTracer, TraceEvent, Tracer};
+use sva_trace::{EventClass, LookupLayer, NullTracer, TraceEvent, Tracer};
 
 use crate::mem::{
     addr_func, extern_addr, func_addr, Memory, Mode, KSTACK_BASE, KSTACK_END, PAGE_SIZE, USER_BASE,
     USER_END, USER_SIZE,
 };
 use crate::opt::HotProfile;
+use crate::resume::{check_kind_code, ResumeCode, RESUME_KIND_WATCHDOG};
 
 /// Errors that abort VM execution.
 #[derive(Clone, Debug)]
@@ -763,6 +764,9 @@ pub struct Vm<T: Tracer = NullTracer> {
     pub(crate) argv_scratch: Vec<u64>,
     /// Fusion sites rewritten by the optimizing tier at load time.
     fused_sites: u32,
+    /// Host-side crash-forensics capture state (opt-in, never part of a
+    /// snapshot image).
+    pub(crate) crash: crate::bundle::CrashCapture,
     pub(crate) tracer: T,
 }
 
@@ -975,6 +979,7 @@ impl<T: Tracer> Vm<T> {
             trap_count: 0,
             argv_scratch: Vec::new(),
             fused_sites,
+            crash: crate::bundle::CrashCapture::default(),
             tracer,
         };
         if T::ENABLED {
@@ -1284,7 +1289,18 @@ impl<T: Tracer> Vm<T> {
     fn run_inner(&mut self, pause_on_user: bool) -> Result<Option<VmExit>, VmError> {
         let code = self.code.clone();
         loop {
-            if let Some(c) = self.halted.take() {
+            if let Some(c) = self.halted {
+                // Capture *before* clearing `halted`: the bundle's
+                // embedded snapshot then re-halts with the identical code
+                // the moment a replay runs it.
+                if c != 0 && self.crash.enabled {
+                    self.capture_crash(
+                        crate::bundle::CrashReason::Halt,
+                        c,
+                        format!("sva.abort({c})"),
+                    );
+                }
+                self.halted = None;
                 return Ok(Some(VmExit::Halted(c)));
             }
             if self.thread.frames.is_empty() {
@@ -1294,6 +1310,16 @@ impl<T: Tracer> Vm<T> {
                 return Ok(None);
             }
             if self.fuel == 0 {
+                // Only terminal under an armed fault hook: fuel running
+                // out in a campaign is a wedged machine, fuel running out
+                // in a `run_steps` slice is an ordinary pause.
+                if self.crash.enabled && self.cfg.fault_hook.is_some() {
+                    self.capture_crash(
+                        crate::bundle::CrashReason::FuelExhausted,
+                        0,
+                        "instruction fuel exhausted under fault injection".to_string(),
+                    );
+                }
                 return Err(VmError::OutOfFuel);
             }
             self.fuel -= 1;
@@ -1328,7 +1354,7 @@ impl<T: Tracer> Vm<T> {
                         .map(|p| p.ls_check(addr))
                         .unwrap_or(Ok(()));
                     if let Err(e) = r {
-                        if T::ENABLED {
+                        if T::wants(EventClass::Violation) {
                             let ts = self.stats.cycles;
                             self.tracer.record(
                                 ts,
@@ -1343,6 +1369,13 @@ impl<T: Tracer> Vm<T> {
                         if !self.recovery.is_empty() {
                             self.recover_from(&e)?;
                             continue;
+                        }
+                        if self.crash.enabled {
+                            let d = format!(
+                                "{} pool={} addr={:#x} {}",
+                                e.kind, e.pool, e.addr, e.detail
+                            );
+                            self.capture_crash(crate::bundle::CrashReason::SafetyEscape, 0, d);
                         }
                         return Err(VmError::Safety(e));
                     }
@@ -1363,12 +1396,18 @@ impl<T: Tracer> Vm<T> {
             // anything: the post-step delta is the cycles attributed to the
             // event recorded below, so summing event costs reproduces the
             // counter exactly (100% profile coverage by construction).
-            let iter_start = if T::ENABLED { self.stats.cycles } else { 0 };
+            // Needed by both the per-instruction and the IRQ-delivery
+            // events, so it is read if either class is wanted.
+            let iter_start = if T::wants(EventClass::Inst) || T::wants(EventClass::Irq) {
+                self.stats.cycles
+            } else {
+                0
+            };
             self.stats.instructions += 1;
             self.stats.cycles += 1;
             if !self.pending_irq.is_empty() && self.mode() == Mode::User {
                 let vector = self.deliver_interrupt()?;
-                if T::ENABLED {
+                if T::wants(EventClass::Irq) {
                     let ts = self.stats.cycles;
                     self.tracer.record(
                         ts,
@@ -1380,7 +1419,7 @@ impl<T: Tracer> Vm<T> {
                 }
                 continue;
             }
-            let (func, opcode) = if T::ENABLED {
+            let (func, opcode) = if T::wants(EventClass::Inst) {
                 (
                     self.thread
                         .frames
@@ -1397,7 +1436,7 @@ impl<T: Tracer> Vm<T> {
             } else {
                 self.step_tree(&code)
             };
-            if T::ENABLED {
+            if T::wants(EventClass::Inst) {
                 let ts = self.stats.cycles;
                 self.tracer.record(
                     ts,
@@ -1407,7 +1446,10 @@ impl<T: Tracer> Vm<T> {
                         cost: ts - iter_start,
                     },
                 );
+            }
+            if T::wants(EventClass::Violation) {
                 if let Err(VmError::Safety(e)) = &step {
+                    let ts = self.stats.cycles;
                     self.tracer.record(
                         ts,
                         TraceEvent::Violation {
@@ -1431,6 +1473,16 @@ impl<T: Tracer> Vm<T> {
                     if !self.recovery.is_empty() && self.mode() == Mode::Kernel =>
                 {
                     self.recover_from(&e)
+                }
+                Err(VmError::Safety(e)) => {
+                    // A violation with nowhere to unwind to: the machine
+                    // dies with `VmError::Safety`, so capture it first.
+                    if self.crash.enabled {
+                        let d =
+                            format!("{} pool={} addr={:#x} {}", e.kind, e.pool, e.addr, e.detail);
+                        self.capture_crash(crate::bundle::CrashReason::SafetyEscape, 0, d);
+                    }
+                    Err(VmError::Safety(e))
                 }
                 other => other,
             };
@@ -1471,7 +1523,7 @@ impl<T: Tracer> Vm<T> {
                     rc.quarantined_pools.push(pid.0);
                 }
             }
-            if T::ENABLED {
+            if T::wants(EventClass::Recovery) {
                 let violations = self.pools.pool(pid).violations();
                 let ts = self.stats.cycles;
                 self.tracer.record(
@@ -1488,16 +1540,17 @@ impl<T: Tracer> Vm<T> {
         // unwind resets `icid`, so the handler can still iret the faulting
         // user thread.
         let depth = self.recovery.len().saturating_sub(1);
-        let code = encode_resume_code(
-            check_kind_code(e.kind),
-            pool_id.map(|p| p.0),
-            self.thread.icid,
+        let code = ResumeCode {
+            kind: check_kind_code(e.kind),
             poisoned,
-            depth,
-        );
+            depth: depth as u32,
+            pool: pool_id.map(|p| p.0),
+            icid: self.thread.icid,
+        }
+        .encode();
         self.stats.violations_recovered += 1;
         self.unwind_to_recovery(code)?;
-        if T::ENABLED {
+        if T::wants(EventClass::Recovery) {
             let ts = self.stats.cycles;
             let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
             self.tracer.record(
@@ -1525,7 +1578,7 @@ impl<T: Tracer> Vm<T> {
                 p.end_scope();
             }
         }
-        if T::ENABLED {
+        if T::wants(EventClass::Recovery) {
             let ts = self.stats.cycles;
             self.tracer.record(
                 ts,
@@ -1546,6 +1599,15 @@ impl<T: Tracer> Vm<T> {
     /// one syscall, not the machine. The outermost domain cannot be
     /// popped; it is refuelled and re-armed instead.
     fn watchdog_unwind(&mut self) -> Result<(), VmError> {
+        // Capture at entry: the embedded snapshot still has the wedged
+        // domain at fuel 0, so a replay re-runs this same force-unwind.
+        if self.crash.enabled {
+            self.capture_crash(
+                crate::bundle::CrashReason::Watchdog,
+                0,
+                "domain watchdog force-unwind of a wedged recovery domain".to_string(),
+            );
+        }
         self.stats.watchdog_unwinds += 1;
         let icid = self.thread.icid;
         if self.recovery.len() > 1 {
@@ -1554,9 +1616,16 @@ impl<T: Tracer> Vm<T> {
             rc.fuel = self.cfg.domain_fuel;
         }
         let depth = self.recovery.len().saturating_sub(1);
-        let code = encode_resume_code(RESUME_KIND_WATCHDOG, None, icid, false, depth);
+        let code = ResumeCode {
+            kind: RESUME_KIND_WATCHDOG,
+            poisoned: false,
+            depth: depth as u32,
+            pool: None,
+            icid,
+        }
+        .encode();
         self.unwind_to_recovery(code)?;
-        if T::ENABLED {
+        if T::wants(EventClass::Recovery) {
             let ts = self.stats.cycles;
             let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
             self.tracer.record(
@@ -2263,7 +2332,7 @@ impl<T: Tracer> Vm<T> {
         args: &[u64],
         dst: Option<u32>,
     ) -> Result<StepOut, VmError> {
-        if !T::ENABLED {
+        if !T::wants(EventClass::Os) {
             return self.intrinsic_inner(i, args, dst);
         }
         // SVA-OS span: enter/exit events bracket the operation; the exit
@@ -2559,7 +2628,7 @@ impl<T: Tracer> Vm<T> {
                     .pool_mut(sva_rt::MetaPoolId(mp))
                     .reg_obj(addr, len)
                     .map_err(VmError::Safety)?;
-                if T::ENABLED {
+                if T::wants(EventClass::Pool) {
                     self.tracer.record(
                         self.stats.cycles,
                         TraceEvent::PoolReg {
@@ -2588,7 +2657,7 @@ impl<T: Tracer> Vm<T> {
                     .pool_mut(sva_rt::MetaPoolId(mp))
                     .drop_obj(addr)
                     .map_err(VmError::Safety)?;
-                if T::ENABLED {
+                if T::wants(EventClass::Pool) {
                     self.tracer
                         .record(self.stats.cycles, TraceEvent::PoolDrop { pool: mp, addr });
                 }
@@ -2610,7 +2679,7 @@ impl<T: Tracer> Vm<T> {
                     .pools
                     .pool_mut(sva_rt::MetaPoolId(mp))
                     .bounds_check(src, derived);
-                if T::ENABLED {
+                if T::wants(EventClass::Check) {
                     self.trace_check(i.name(), mp, before, r.is_ok(), CHECK_CYCLES);
                 }
                 r.map_err(VmError::Safety)?;
@@ -2620,7 +2689,7 @@ impl<T: Tracer> Vm<T> {
                 self.stats.range_checks += 1;
                 let (start, derived, end) = (arg(0), arg(1), arg(2));
                 let ok = derived >= start && derived <= end;
-                if T::ENABLED {
+                if T::wants(EventClass::Check) {
                     self.tracer.record(
                         self.stats.cycles,
                         TraceEvent::Check {
@@ -2646,7 +2715,7 @@ impl<T: Tracer> Vm<T> {
                 let (mp, addr) = (arg(0) as u32, arg(1));
                 let before = self.lookups_of(mp);
                 let r = self.pools.pool_mut(sva_rt::MetaPoolId(mp)).ls_check(addr);
-                if T::ENABLED {
+                if T::wants(EventClass::Check) {
                     self.trace_check(i.name(), mp, before, r.is_ok(), CHECK_CYCLES);
                 }
                 r.map_err(VmError::Safety)?;
@@ -2656,7 +2725,7 @@ impl<T: Tracer> Vm<T> {
                 let (mp, p, sout, eout) = (arg(0) as u32, arg(1), arg(2), arg(3));
                 let before = self.lookups_of(mp);
                 let b = self.pools.pool_mut(sva_rt::MetaPoolId(mp)).get_bounds(p);
-                if T::ENABLED {
+                if T::wants(EventClass::Check) {
                     self.trace_check(i.name(), mp, before, b.is_some(), CHECK_CYCLES);
                 }
                 let (s, e) = b.unwrap_or((0, 0));
@@ -2668,7 +2737,7 @@ impl<T: Tracer> Vm<T> {
                 self.stats.cycles += CHECK_CYCLES / 2;
                 let (setid, target) = (arg(0) as u32, arg(1));
                 let r = self.pools.func_check(setid, target);
-                if T::ENABLED {
+                if T::wants(EventClass::Check) {
                     self.tracer.record(
                         self.stats.cycles,
                         TraceEvent::Check {
@@ -2725,7 +2794,7 @@ impl<T: Tracer> Vm<T> {
                 self.stats.cycles += 32 + rc.frames.len() as u64 * 8;
                 self.stats.domains_pushed += 1;
                 self.recovery.push(rc);
-                if T::ENABLED {
+                if T::wants(EventClass::Recovery) {
                     let ts = self.stats.cycles;
                     self.tracer.record(
                         ts,
@@ -2749,7 +2818,7 @@ impl<T: Tracer> Vm<T> {
                 // can distinguish unwind from registration.
                 let code = arg(0).max(1);
                 self.unwind_to_recovery(code)?;
-                if T::ENABLED {
+                if T::wants(EventClass::Recovery) {
                     let ts = self.stats.cycles;
                     let depth = self.recovery.len() as u32 - 1;
                     let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
@@ -2805,7 +2874,7 @@ impl<T: Tracer> Vm<T> {
     /// Lookup count of pool `mp` (0 when tracing is off — the value is
     /// only used to detect whether a check performed an object lookup).
     fn lookups_of(&self, mp: u32) -> u64 {
-        if T::ENABLED {
+        if T::wants(EventClass::Check) {
             self.pools.pool(sva_rt::MetaPoolId(mp)).stats().lookups()
         } else {
             0
@@ -2952,7 +3021,7 @@ impl<T: Tracer> Vm<T> {
                 // the hand-written native path.
                 let fast = self.cfg.kind.fast_os();
                 self.stats.cycles += if fast { 24 } else { 40 };
-                let trace_sys = if T::ENABLED {
+                let trace_sys = if T::wants(EventClass::Syscall) {
                     let ts = self.stats.cycles;
                     self.tracer.record(ts, TraceEvent::SyscallEnter { num });
                     Some((num, ts))
@@ -3074,7 +3143,7 @@ impl<T: Tracer> Vm<T> {
         self.thread.asid = asid;
         self.thread.icid = None;
         self.thread.ksp = KSTACK_BASE;
-        if T::ENABLED {
+        if T::wants(EventClass::Syscall) {
             if let Some((num, enter)) = trace_sys {
                 let ts = self.stats.cycles;
                 self.tracer.record(
@@ -3120,54 +3189,6 @@ pub const PORT_TIMER: u64 = 0x40;
 enum StepOut {
     Continue,
     Exit(VmExit),
-}
-
-/// Resume-code kind for a watchdog force-unwind (a wedged domain ran out
-/// of [`VmConfig::domain_fuel`]); the check kinds occupy 1..=6.
-pub const RESUME_KIND_WATCHDOG: u64 = 7;
-
-/// Numeric resume-code kind of a safety-check violation.
-fn check_kind_code(kind: sva_rt::CheckKind) -> u64 {
-    match kind {
-        sva_rt::CheckKind::Bounds => 1,
-        sva_rt::CheckKind::LoadStore => 2,
-        sva_rt::CheckKind::IndirectCall => 3,
-        sva_rt::CheckKind::IllegalFree => 4,
-        sva_rt::CheckKind::BadRegistration => 5,
-        sva_rt::CheckKind::Quarantined => 6,
-    }
-}
-
-/// Packs what a recovery handler needs to know into the resume code
-/// written by an unwind (DESIGN.md §4.3/§4.5). Layout, LSB first:
-///
-/// * bits 0..8 — kind (1 = bounds, 2 = load/store, 3 = indirect call,
-///   4 = illegal free, 5 = bad registration, 6 = quarantined,
-///   7 = watchdog force-unwind)
-/// * bit 8 — the pool crossed its violation budget and is now poisoned
-/// * bits 9..16 — containment depth + 1: stack index of the domain the
-///   thread unwound to (0 = outermost), so the blast-radius report can
-///   tell a syscall-level catch from an escape to the boot domain
-/// * bits 16..40 — metapool id + 1 (0 = no pool attributed)
-/// * bits 40..64 — interrupted icontext id + 1 (0 = none)
-///
-/// The kind field is always nonzero, so a resume code can never be
-/// mistaken for the 0 returned at registration.
-fn encode_resume_code(
-    kind: u64,
-    pool: Option<u32>,
-    icid: Option<u32>,
-    poisoned: bool,
-    depth: usize,
-) -> u64 {
-    let mut code = kind & 0xff;
-    if poisoned {
-        code |= 1 << 8;
-    }
-    code |= ((depth as u64 + 1) & 0x7f) << 9;
-    code |= (pool.map(|p| p as u64 + 1).unwrap_or(0) & 0xff_ffff) << 16;
-    code |= (icid.map(|i| i as u64 + 1).unwrap_or(0) & 0xff_ffff) << 40;
-    code
 }
 
 // ---------------------------------------------------------------------------

@@ -12,8 +12,8 @@ use sva::kernel::harness::{
 use sva::kernel::{AS_TESTED_EXCLUSIONS, SYSCALLS};
 use sva::rt::MetaPoolId;
 use sva::vm::{
-    FaultAction, FaultHook, KernelKind, Mode, TrapInfo, Vm, VmConfig, VmError, VmExit,
-    RESUME_KIND_WATCHDOG,
+    check_kind_code, FaultAction, FaultHook, KernelKind, Mode, ResumeCode, TrapInfo, Vm, VmConfig,
+    VmError, VmExit,
 };
 
 const EFAULT: i64 = -14;
@@ -91,7 +91,15 @@ fn recovery_absorbs_kernel_safety_violations() {
     assert!(s.pools_quarantined >= 1);
     assert!(vm.read_global_u64("recov_count").unwrap() >= 1);
     let code = vm.read_global_u64("recov_last_code").unwrap();
-    assert_ne!(code & 0xff, 0, "resume code must carry the violation kind");
+    let rc = ResumeCode::decode(code).expect("recov_last_code must decode as a resume code");
+    assert!(
+        (1..=6).contains(&rc.kind),
+        "resume code must carry a check kind: {rc}"
+    );
+    assert!(
+        rc.pool.is_some(),
+        "violation must be attributed to a pool: {rc}"
+    );
 }
 
 /// Raises a burst of timer IRQs and probes a wild address through a
@@ -177,9 +185,14 @@ fn quarantined_pool_hit_from_kernel_mode_halts_cleanly() {
         "poisoned pool must halt the machine"
     );
     assert_eq!(vm.stats().violations_recovered, 1);
-    let code = vm.read_global_u64("recov_last_code").unwrap();
-    assert_eq!(code & 0xff, 6, "resume code kind must be Quarantined");
-    assert_ne!(code & 0x100, 0, "resume code must carry the poison bit");
+    let rc = ResumeCode::decode(vm.read_global_u64("recov_last_code").unwrap())
+        .expect("recov_last_code must decode as a resume code");
+    assert_eq!(
+        rc.kind,
+        check_kind_code(sva::rt::CheckKind::Quarantined),
+        "resume code kind must be Quarantined: {rc}"
+    );
+    assert!(rc.poisoned, "resume code must carry the poison bit: {rc}");
 }
 
 #[test]
@@ -285,8 +298,9 @@ fn watchdog_force_unwinds_a_wedged_domain() {
         VmExit::Returned(c) => c,
         other => panic!("wedge must return a resume code, got {other:?}"),
     };
-    assert_eq!(code & 0xff, RESUME_KIND_WATCHDOG, "resume kind");
-    assert_eq!(code & 0x100, 0, "watchdog unwind carries no poison");
+    let rc = ResumeCode::decode(code).expect("wedge must return a resume code");
+    assert!(rc.is_watchdog(), "resume kind: {rc}");
+    assert!(!rc.poisoned, "watchdog unwind carries no poison: {rc}");
     assert_eq!(dbg_order(&mut vm), vec![31]);
     assert_eq!(vm.stats().watchdog_unwinds, 1);
 }
