@@ -56,8 +56,10 @@ use sva_kernel::harness::{
     USER_HEAP_BASE,
 };
 use sva_kernel::postmortem::{check_reproduction, replay};
-use sva_kernel::{sysd_name, SYSCALLS};
-use sva_vm::{CrashBundle, FlightRecorder, Mode, Vm, VmConfig, VmError, VmExit, VmStats};
+use sva_kernel::{health_state, sysd_name, H_DEGRADED, H_LIVE, H_PROBATION, H_RETIRED, SYSCALLS};
+use sva_vm::{
+    CrashBundle, FlightRecorder, Mode, ResumeCode, Vm, VmConfig, VmError, VmExit, VmStats,
+};
 
 /// Campaign machines carry the always-on flight recorder so crash
 /// bundles embed a black-box event tail.
@@ -103,6 +105,28 @@ const P_FREE: u64 = 0;
 const P_ZOMBIE: u64 = 4;
 
 const ENOSYS: i64 = -38;
+const EFAULT: i64 = -14;
+
+/// Repair-arm timeline length: IRQ ticks driven (and probe sweeps run)
+/// after the transient poison. Long enough to cover the initial repair
+/// backoff (`REPAIR_DELAY_INIT`) plus the probation window many times
+/// over, so a healthy repair path leaves only a handful of fenced
+/// probes in the availability denominator.
+const REPAIR_TIMELINE: u64 = 50;
+
+/// Repair-arm targets: probe syscalls whose handlers dereference
+/// through a metapool check, so a poisoned pool deterministically
+/// degrades them. Targets whose discovery probe does not fault are
+/// skipped (and logged) rather than failing the arm.
+const REPAIR_TARGETS: [(&str, &[u64]); 7] = [
+    ("sys_getrusage", &[USER_HEAP_BASE]),
+    ("sys_gettimeofday", &[USER_HEAP_BASE]),
+    ("sys_sbrk", &[0]),
+    ("sys_lseek", &[0, 0]),
+    ("sys_kill", &[7, 1]),
+    ("sys_socket", &[]),
+    ("sys_write", &[1, USER_HEAP_BASE, 8]),
+];
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Arm {
@@ -152,7 +176,8 @@ struct Blast {
     probes_degraded: u64,
     /// Probes that halted the machine or escaped as an error.
     probes_dead: u64,
-    /// Health-table entries marked degraded (nested only).
+    /// Syscall health-table entries not in the live state — degraded,
+    /// in probation, or retired (nested only, DESIGN.md §4.8).
     syscalls_degraded: u64,
     /// Live (non-FREE, non-ZOMBIE) processes stranded beyond the clean
     /// baseline of the same workload.
@@ -241,9 +266,12 @@ fn measure_blast(vm: &mut CampVm, arm: Arm, baseline: u64) -> Blast {
         ..Default::default()
     };
     if arm == Arm::Nested {
-        if let Some(base) = vm.global_address("syscall_health") {
+        if let Some(base) = vm.global_address("subsys_health") {
             b.syscalls_degraded = (0..SYSCALLS.len() as u64)
-                .filter(|i| vm.mem.read_uint(base + i * 8, 8, Mode::Kernel).unwrap_or(0) != 0)
+                .filter(|i| {
+                    let word = vm.mem.read_uint(base + i * 8, 8, Mode::Kernel).unwrap_or(0);
+                    health_state(word) != H_LIVE as u64
+                })
                 .count() as u64;
         }
     }
@@ -617,6 +645,205 @@ impl Tally {
     }
 }
 
+// ---- repair arm (DESIGN.md §4.8) ----------------------------------------
+//
+// The grid above proves faults are *contained*; the repair arm proves the
+// machine *heals*. Each cell transiently poisons the one pool a target
+// syscall's handler checks (attributed to that syscall's subsystem, as a
+// budget-exhausting violation under its domain would), trips the poison
+// once so the subsystem degrades, then drives the IRQ tick — and with it
+// the kernel's repair manager — while sweeping the full probe workload
+// every tick. Availability is the fraction of post-fault probes serviced
+// (answered with anything but the -ENOSYS fence); the repaired subsystem
+// must finish the timeline live. A separate retire drill re-poisons the
+// pool after every repair until the strike budget retires the subsystem,
+// proving permanent -ENOSYS without machine death.
+
+/// 1-based recovery-subsystem id of a syscall handler (build.rs layout).
+fn subsys_of(handler: &str) -> u64 {
+    SYSCALLS
+        .iter()
+        .position(|(_, h, _)| *h == handler)
+        .unwrap_or_else(|| panic!("{handler} not in SYSCALLS")) as u64
+        + 1
+}
+
+/// Health-machine state of subsystem `subsys` (H_LIVE..H_RETIRED).
+fn subsys_state(vm: &mut CampVm, subsys: u64) -> u64 {
+    let Some(base) = vm.global_address("subsys_health") else {
+        return H_LIVE as u64;
+    };
+    let word = vm
+        .mem
+        .read_uint(base + (subsys - 1) * 8, 8, Mode::Kernel)
+        .unwrap_or(0);
+    health_state(word)
+}
+
+/// A fresh nested machine for one repair cell: budget 1, so a single
+/// tripped violation poisons the target pool.
+fn repair_vm() -> Option<CampVm> {
+    let mut vm = make_vm(
+        Arm::Nested,
+        VmConfig {
+            fuel: FUEL,
+            violation_budget: 1,
+            ..Default::default()
+        },
+    );
+    boot_user(&mut vm, "user_hello", 0).ok()?;
+    Some(vm)
+}
+
+/// Discovers which metapool `handler` checks against: poison every pool
+/// on a scratch machine, trip the syscall, and read the attributed pool
+/// out of the resume code. `None` when the handler never faults (no
+/// pool-checked dereference) — such targets are skipped.
+fn attributed_pool(handler: &str, args: &[u64]) -> Option<u32> {
+    let mut vm = repair_vm()?;
+    for i in 0..vm.pools.len() as u32 {
+        vm.pools.pool_mut(sva_rt::MetaPoolId(i)).note_violation(1);
+    }
+    match vm.call(&sysd_name(handler), args) {
+        Ok(VmExit::Returned(v)) if v as i64 == EFAULT => {}
+        _ => return None,
+    }
+    ResumeCode::decode(vm.read_global_u64("recov_last_code").ok()?)?.pool
+}
+
+#[derive(Default)]
+struct RepairTally {
+    cells: u64,
+    /// Cells whose target subsystem finished the timeline live again
+    /// after at least one `sva.recover.repair`.
+    repaired_subsystems: u64,
+    probes_total: u64,
+    probes_serviced: u64,
+    repairs: u64,
+    pools_repaired: u64,
+    probation_passed: u64,
+    probation_failed: u64,
+    /// Subsystems permanently retired during the availability cells —
+    /// must be zero under default budgets.
+    retired: u64,
+    deaths: u64,
+}
+
+impl RepairTally {
+    fn availability(&self) -> f64 {
+        if self.probes_total == 0 {
+            return 0.0;
+        }
+        self.probes_serviced as f64 / self.probes_total as f64
+    }
+}
+
+/// One availability cell: degrade `handler` via a transient poison of
+/// `pool`, then tick-and-probe through the repair. Returns false on a
+/// machine death anywhere in the timeline.
+fn run_repair_cell(t: &mut RepairTally, handler: &str, args: &[u64], pool: u32) -> bool {
+    let Some(mut vm) = repair_vm() else {
+        return false;
+    };
+    t.cells += 1;
+    let subsys = subsys_of(handler);
+    vm.pools
+        .pool_mut(sva_rt::MetaPoolId(pool))
+        .force_poison(subsys);
+    // Trip the poison: the wrapped call catches the violation and the
+    // subsystem degrades (-EFAULT now, fenced until repaired).
+    let mut alive = matches!(
+        vm.call(&sysd_name(handler), args),
+        Ok(VmExit::Returned(v)) if v as i64 == EFAULT
+    );
+    for _ in 0..REPAIR_TIMELINE {
+        // The IRQ tick advances the repair clock and runs the repair
+        // manager's scan — exactly what a live machine's timer does.
+        match vm.call("irqd_timer_tick", &[0]) {
+            Ok(VmExit::Returned(_)) => {}
+            _ => alive = false,
+        }
+        for (h, a) in PROBES {
+            t.probes_total += 1;
+            match vm.call(&sysd_name(h), a) {
+                Ok(VmExit::Returned(v)) => {
+                    if v as i64 != ENOSYS {
+                        t.probes_serviced += 1;
+                    }
+                }
+                Ok(VmExit::Halted(_)) | Err(_) => alive = false,
+            }
+        }
+    }
+    let s = vm.stats();
+    t.repairs += s.repairs;
+    t.pools_repaired += s.pools_repaired;
+    t.probation_passed += s.probation_passed;
+    t.probation_failed += s.probation_failed;
+    t.retired += s.subsys_retired;
+    if s.repairs > 0 && subsys_state(&mut vm, subsys) == H_LIVE as u64 {
+        t.repaired_subsystems += 1;
+    }
+    if !alive {
+        t.deaths += 1;
+    }
+    alive
+}
+
+#[derive(Default)]
+struct RetireDrill {
+    /// The target reached the permanently-retired state.
+    retired: bool,
+    /// `sva.recover.probation` verdict-2 count (kernel-side retirement).
+    stats_retired: u64,
+    /// Retired target answers -ENOSYS (not a halt, not a fault).
+    post_retire_enosys: bool,
+    /// Every other probe still serviced after the retirement.
+    machine_alive: bool,
+    /// Poison trips it took to exhaust the strike budget.
+    trips: u64,
+}
+
+/// Retire drill: re-poison the target's pool after every repair until
+/// the strike budget permanently retires the subsystem. The machine
+/// must survive with the target fenced to -ENOSYS and everything else
+/// serviced.
+fn run_retire_drill(handler: &str, args: &[u64], pool: u32) -> RetireDrill {
+    let mut d = RetireDrill::default();
+    let Some(mut vm) = repair_vm() else {
+        return d;
+    };
+    let subsys = subsys_of(handler);
+    for _ in 0..200 {
+        match subsys_state(&mut vm, subsys) {
+            s if s == H_RETIRED as u64 => break,
+            s if s == H_DEGRADED as u64 => {
+                // Waiting out the backoff; the tick drives the repair.
+                let _ = vm.call("irqd_timer_tick", &[0]);
+            }
+            s if s == H_LIVE as u64 || s == H_PROBATION as u64 => {
+                d.trips += 1;
+                vm.pools
+                    .pool_mut(sva_rt::MetaPoolId(pool))
+                    .force_poison(subsys);
+                let _ = vm.call(&sysd_name(handler), args);
+            }
+            _ => break,
+        }
+    }
+    d.retired = subsys_state(&mut vm, subsys) == H_RETIRED as u64;
+    d.stats_retired = vm.stats().subsys_retired;
+    d.post_retire_enosys = matches!(
+        vm.call(&sysd_name(handler), args),
+        Ok(VmExit::Returned(v)) if v as i64 == ENOSYS
+    );
+    d.machine_alive = PROBES
+        .iter()
+        .filter(|(h, _)| *h != handler)
+        .all(|(h, a)| matches!(vm.call(&sysd_name(h), a), Ok(VmExit::Returned(_))));
+    d
+}
+
 /// `target/<sub>` anchored at the workspace root (nearest ancestor
 /// holding Cargo.lock), same as the bench harness, so artifacts land in
 /// one known place regardless of the cwd cargo chose.
@@ -857,6 +1084,40 @@ fn main() {
         degr.probes_responsive,
     );
 
+    // Repair arm (DESIGN.md §4.8): transiently poison each target's
+    // pool, trip it, and measure availability while the IRQ-driven
+    // repair manager heals the subsystem. Then the retire drill: keep
+    // re-poisoning one target until the strike budget retires it — the
+    // machine must shrug, not die.
+    let mut repair = RepairTally::default();
+    let mut repair_targets = Vec::new();
+    for (handler, args) in REPAIR_TARGETS {
+        match attributed_pool(handler, args) {
+            Some(pool) => repair_targets.push((handler, args, pool)),
+            None => println!("repair arm: {handler} never faults — skipped"),
+        }
+    }
+    for (handler, args, pool) in &repair_targets {
+        run_repair_cell(&mut repair, handler, args, *pool);
+    }
+    let drill = match repair_targets.first() {
+        Some((handler, args, pool)) => run_retire_drill(handler, args, *pool),
+        None => RetireDrill::default(),
+    };
+    println!(
+        "nested  repair            cells {:3}  repaired {:3}  availability {:.4}  retired {:3}  probation pass/fail {:3}/{:3}",
+        repair.cells,
+        repair.repaired_subsystems,
+        repair.availability(),
+        repair.retired,
+        repair.probation_passed,
+        repair.probation_failed,
+    );
+    println!(
+        "nested  retire-drill      trips {:3}  retired {}  post-retire -ENOSYS {}  machine alive {}",
+        drill.trips, drill.retired, drill.post_retire_enosys, drill.machine_alive,
+    );
+
     // Crash-forensics gate: every machine death above must have left a
     // bundle whose replay reproduces the same halt code, resume code and
     // console bit-for-bit.
@@ -903,6 +1164,12 @@ fn main() {
             "\"wall_ms\":{{\"boot_images\":{},\"grid\":{},\"total\":{}}},",
             "\"flat\":{},\"nested\":{},",
             "\"degradation\":{{\"tally\":{},\"degraded_runs\":{}}},",
+            "\"repair\":{{\"cells\":{},\"repaired_subsystems\":{},\"availability\":{:.4},",
+            "\"probes_total\":{},\"probes_serviced\":{},\"repairs\":{},",
+            "\"pools_repaired\":{},\"probation_passed\":{},\"probation_failed\":{},",
+            "\"retired_subsystems\":{},\"deaths\":{}}},",
+            "\"retire_drill\":{{\"retired\":{},\"stats_retired\":{},\"trips\":{},",
+            "\"post_retire_enosys\":{},\"machine_alive\":{}}},",
             "\"gates\":{{\"panics\":{},\"escapes\":{},\"nested_machine_deaths\":{},",
             "\"nested_probes_dead\":{},\"flat_machine_deaths\":{},",
             "\"fork_reboot_mismatches\":{},",
@@ -917,6 +1184,22 @@ fn main() {
         arm_json(&nested_total, &nested_classes),
         degr.json(),
         degraded_runs,
+        repair.cells,
+        repair.repaired_subsystems,
+        repair.availability(),
+        repair.probes_total,
+        repair.probes_serviced,
+        repair.repairs,
+        repair.pools_repaired,
+        repair.probation_passed,
+        repair.probation_failed,
+        repair.retired,
+        repair.deaths,
+        drill.retired,
+        drill.stats_retired,
+        drill.trips,
+        drill.post_retire_enosys,
+        drill.machine_alive,
         flat_total.panics + nested_total.panics + degr.panics,
         flat_total.escaped_safety + nested_total.escaped_safety + degr.escaped_safety,
         nested_total.machine_deaths() + degr.machine_deaths(),
@@ -996,6 +1279,23 @@ fn main() {
     fail(
         degraded_runs == 0,
         "degradation sub-run never degraded a syscall",
+    );
+    fail(
+        repair.repaired_subsystems == 0,
+        "repair arm never returned a degraded subsystem to service",
+    );
+    fail(
+        repair.availability() < 0.99,
+        "repair-arm availability below 0.99",
+    );
+    fail(
+        repair.retired > 0,
+        "repair arm permanently retired a subsystem under default budgets",
+    );
+    fail(repair.deaths > 0, "a repair-arm cell killed the machine");
+    fail(
+        !(drill.retired && drill.post_retire_enosys && drill.machine_alive),
+        "retire drill: strike-budget retirement must fence to -ENOSYS with the machine alive",
     );
     fail(
         nested_total.machine_deaths() >= flat_total.machine_deaths()

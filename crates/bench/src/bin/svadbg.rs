@@ -22,6 +22,7 @@
 use std::process::ExitCode;
 
 use sva_kernel::postmortem::{check_reproduction, replay};
+use sva_kernel::{health_state, health_state_name, health_strikes, subsys_name};
 use sva_vm::{CrashBundle, ResumeCode};
 
 fn human_console(bytes: &[u8]) -> String {
@@ -93,7 +94,7 @@ fn print_postmortem(bundle: &CrashBundle) {
     );
     for p in &hot {
         println!(
-            "  #{} {:24} {} live {:5} checks {:8} violations {:3}{}{}",
+            "  #{} {:24} {} live {:5} checks {:8} violations {:3}{}{}{}",
             p.id,
             p.name,
             if p.complete {
@@ -106,12 +107,23 @@ fn print_postmortem(bundle: &CrashBundle) {
             p.violations,
             if p.quarantined { " QUARANTINED" } else { "" },
             if p.poisoned { " POISONED" } else { "" },
+            if p.repairs > 0 {
+                format!(" repaired x{}", p.repairs)
+            } else {
+                String::new()
+            },
         );
     }
 
-    println!("-- syscall health ({} degraded)", bundle.health.len());
-    for (i, w) in &bundle.health {
-        println!("  syscall[{i}] = {w:#x}");
+    println!("-- subsystem health ({} not live)", bundle.health.len());
+    for &(i, w) in &bundle.health {
+        let subsys = i as i64 + 1;
+        println!(
+            "  [{subsys}] {:18} {:9} strikes {}  (raw {w:#x})",
+            subsys_name(subsys),
+            health_state_name(health_state(w)),
+            health_strikes(w),
+        );
     }
 
     println!("-- flight recorder tail ({} events)", bundle.flight.len());

@@ -133,6 +133,15 @@ pub fn run_workload_traced(
     } = vm.stats();
     let pool_stats = vm.pools.total_stats();
     pool_stats.fold_into(vm.tracer_mut().metrics_mut());
+    // The self-healing counters (DESIGN.md §4.8) ride the same registry so
+    // the nightly `svaprof --prom-diff` tracks repair/probation drift.
+    let s = vm.stats();
+    let m = vm.tracer_mut().metrics_mut();
+    m.set_counter("recovery.repairs", s.repairs);
+    m.set_counter("recovery.pools_repaired", s.pools_repaired);
+    m.set_counter("recovery.probation_passed", s.probation_passed);
+    m.set_counter("recovery.probation_failed", s.probation_failed);
+    m.set_counter("recovery.subsys_retired", s.subsys_retired);
     let sample = Sample {
         wall,
         cycles,

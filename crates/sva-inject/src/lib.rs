@@ -72,12 +72,15 @@ const WILD_BASE: u64 = 0x11f0_0000;
 /// skews arm) this many kernel-mode instructions into the handler body
 /// rather than at handler entry, so on a nested kernel the modelled
 /// fault happens inside the per-syscall recovery domain the handler
-/// pushes (DESIGN.md §4.5). Deep enough to clear the wrapper prologue,
-/// shallow enough that even the shortest handlers are still in kernel
-/// mode. Deferred faults count run-loop steps, so they are *not*
-/// invariant under superinstruction fusion — plans that must replay
-/// identically across opt levels keep the default immediate form.
-pub const PROBE_DEFER: u64 = 8;
+/// pushes (DESIGN.md §4.5). Deep enough to clear the wrapper prologue —
+/// including the health-table fence the wrapper evaluates *before*
+/// registering its domain (DESIGN.md §4.8) — yet shallow enough that
+/// even the shortest handlers are still in kernel mode (the post-handler
+/// `health_probe_ok` bookkeeping extends that window). Deferred faults
+/// count run-loop steps, so they are *not* invariant under
+/// superinstruction fusion — plans that must replay identically across
+/// opt levels keep the default immediate form.
+pub const PROBE_DEFER: u64 = 16;
 
 struct PlanState {
     injected: u64,

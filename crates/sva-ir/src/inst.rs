@@ -343,6 +343,19 @@ pub enum Intrinsic {
     /// after the kernel has dealt with the violation; returns 1 if the
     /// release took effect, 0 if the pool is poisoned or unknown.
     RecoverRelease,
+    /// `sva.recover.repair(subsys)` — tear down and reinitialize every
+    /// pool poisoned under recovery-domain subsystem `subsys`
+    /// (DESIGN.md §4.8): the poison is cleared, the violation budget
+    /// resets, and the pool's lookup structures are rebuilt from the
+    /// live registry. Returns the number of pools repaired.
+    RecoverRepair,
+    /// `sva.recover.probation(subsys, verdict)` — report a health-state
+    /// transition of a subsystem on probation (DESIGN.md §4.8):
+    /// verdict 0 = probation passed (back to live), 1 = re-poisoned
+    /// during probation (re-degraded with doubled backoff), 2 = strike
+    /// budget exhausted (permanently retired). Pure bookkeeping: bumps
+    /// the VM's probation counters and emits a trace event.
+    RecoverProbation,
 
     // --- Diagnostics ---
     /// `sva_print(val)` — write a value to the VM console (debug aid).
@@ -396,6 +409,8 @@ impl Intrinsic {
             Intrinsic::RecoverRegister => "sva.recover.register",
             Intrinsic::RecoverUnwind => "sva.recover.unwind",
             Intrinsic::RecoverRelease => "sva.recover.release",
+            Intrinsic::RecoverRepair => "sva.recover.repair",
+            Intrinsic::RecoverProbation => "sva.recover.probation",
             Intrinsic::Print => "sva.print",
             Intrinsic::Abort => "sva.abort",
         }
@@ -446,6 +461,8 @@ impl Intrinsic {
             "sva.recover.register" => RecoverRegister,
             "sva.recover.unwind" => RecoverUnwind,
             "sva.recover.release" => RecoverRelease,
+            "sva.recover.repair" => RecoverRepair,
+            "sva.recover.probation" => RecoverProbation,
             "sva.print" => Print,
             "sva.abort" => Abort,
             _ => return None,
@@ -494,6 +511,8 @@ impl Intrinsic {
                 | Intrinsic::RecoverRegister
                 | Intrinsic::RecoverUnwind
                 | Intrinsic::RecoverRelease
+                | Intrinsic::RecoverRepair
+                | Intrinsic::RecoverProbation
         )
     }
 }

@@ -614,7 +614,8 @@ fn check_intrinsic_arity(ctx: &mut Ctx<'_>, iid: InstId, i: Intrinsic, nargs: us
         | BoundsCheckRange | MemCpy | MemMove | MemSet => 3,
         GetBounds => 4,
         FuncCheck => 2,
-        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace | RecoverUnwind => 1,
+        IoRead | Syscall | MmuLoadSpace | MmuFreeSpace | RecoverUnwind | RecoverRepair => 1,
+        RecoverProbation => 2,
         // `RecoverRelease` has two forms: with a pool argument it lifts
         // that pool's quarantine (legacy boot handler), with none it pops
         // the innermost recovery domain (DESIGN.md §4.5).

@@ -55,10 +55,12 @@ pub struct KernelOptions {
     pub recovery: bool,
     /// Nested per-subsystem recovery domains (DESIGN.md §4.5): every
     /// syscall entry and the IRQ dispatch path run inside their own
-    /// domain (`sysd_*` / `irqd_*` wrappers), so a violation unwinds to
-    /// the syscall boundary, fails that call with `-EFAULT`, and a
-    /// poisoned subsystem degrades to `-ENOSYS` via the `syscall_health`
-    /// table instead of halting the machine. Implies the boot domain of
+    /// domain (`sysd_*` / `irqd_*` / per-driver `drvd_*` wrappers), so a
+    /// violation unwinds to the subsystem boundary, fails that call with
+    /// `-EFAULT`, and a poisoned subsystem degrades to `-ENOSYS` via the
+    /// `subsys_health` table instead of halting the machine — then heals
+    /// through the repair manager's probation/backoff state machine
+    /// (DESIGN.md §4.8). Implies the boot domain of
     /// [`KernelOptions::recovery`] as the outermost fallback.
     pub nested: bool,
 }
@@ -130,10 +132,11 @@ const UHEAP: i64 = UBASE + 0x28000;
 const KHEAP_BASE: i64 = 0x1020_0000;
 
 /// The syscall table: `(number, handler, arity)` in registration order.
-/// The nested kernel's `sysd_*` degradation wrappers, the
-/// `syscall_health` global and the per-syscall recovery-domain subsystem
-/// ids (`index + 1`; 0 is the boot domain, [`IRQ_SUBSYS`] the IRQ path)
-/// are all indexed by position in this table.
+/// The nested kernel's `sysd_*` degradation wrappers, the leading
+/// entries of the `subsys_health` global and the per-syscall
+/// recovery-domain subsystem ids (`index + 1`; 0 is the boot domain,
+/// [`IRQ_SUBSYS`] the IRQ path, [`driver_subsys`] the per-driver
+/// domains) are all indexed by position in this table.
 pub const SYSCALLS: &[(i64, &str, usize)] = &[
     (nr::EXIT, "sys_exit", 1),
     (nr::FORK, "sys_fork", 0),
@@ -162,6 +165,102 @@ pub const SYSCALLS: &[(i64, &str, usize)] = &[
 /// Recovery-domain subsystem id of the IRQ dispatch path (the syscall
 /// wrappers use `SYSCALLS` index + 1).
 pub const IRQ_SUBSYS: i64 = SYSCALLS.len() as i64 + 1;
+
+/// Per-driver recovery subsystems: `(wrapper, wrapped handler, arity)`.
+/// These are the paper's §7.2 exploit surfaces — the four network
+/// protocol handlers and the ELF loader — each given its own recovery
+/// domain (`drvd_*` wrapper) so quarantine and health attribute to the
+/// *driver*, not the compound syscall that happened to dispatch into it.
+/// Subsystem ids follow the IRQ path: [`driver_subsys`]`(i)` =
+/// [`IRQ_SUBSYS`]` + 1 + i`.
+pub const DRIVERS: &[(&str, &str, usize)] = &[
+    ("drvd_net_msfilter", "net_set_msfilter", 2),
+    ("drvd_net_igmp", "net_rx_igmp", 2),
+    ("drvd_net_bt", "net_rx_bt", 2),
+    ("drvd_net_route", "net_route_lookup", 1),
+    ("drvd_elf_load", "elf_load", 3),
+];
+
+/// Recovery-domain subsystem id of driver `DRIVERS[i]`.
+pub fn driver_subsys(i: usize) -> i64 {
+    IRQ_SUBSYS + 1 + i as i64
+}
+
+/// Human-readable name of a health-tracked subsystem id (1-based):
+/// the syscall handler, `irq`, or the driver wrapper.
+pub fn subsys_name(subsys: i64) -> String {
+    if subsys >= 1 && (subsys as usize) <= SYSCALLS.len() {
+        SYSCALLS[subsys as usize - 1].1.to_string()
+    } else if subsys == IRQ_SUBSYS {
+        "irq".to_string()
+    } else if subsys > IRQ_SUBSYS && subsys <= IRQ_SUBSYS + DRIVERS.len() as i64 {
+        DRIVERS[(subsys - IRQ_SUBSYS - 1) as usize].0.to_string()
+    } else {
+        format!("subsys#{subsys}")
+    }
+}
+
+/// Total number of health-tracked subsystems: the syscalls, the IRQ
+/// path, and the per-driver domains. `subsys_health[id - 1]` is the
+/// packed health word of subsystem `id`.
+pub const NSUBSYS: i64 = SYSCALLS.len() as i64 + 1 + DRIVERS.len() as i64;
+
+// ---- the 3-state health machine (DESIGN.md §4.8) ---------------------------
+//
+// Each `subsys_health` entry packs one subsystem's health state machine
+// into a single i64 word:
+//
+//   bits  0..4   state: 0 live, 1 degraded, 2 probation, 3 retired
+//   bits  4..8   strikes (poison events survived so far)
+//   bits  8..16  probation credits remaining (successful probes needed)
+//   bits 16..24  current repair delay in IRQ ticks (exponential backoff)
+//   bits 24..48  absolute repair-due tick (`repair_clock` value)
+//
+// A wrapper gates on state: degraded and retired fail fast with -ENOSYS
+// (the IRQ wrapper drops the tick); live and probation run normally. The
+// repair manager (`repair_scan`, driven from the IRQ tick) repairs due
+// degraded entries into probation; `PROBATION_CREDITS` clean calls
+// promote probation back to live, a re-poison during probation
+// re-degrades with doubled delay, and `REPAIR_STRIKES` poisons retire
+// the subsystem permanently.
+
+/// Health state: fully in service.
+pub const H_LIVE: i64 = 0;
+/// Health state: degraded to `-ENOSYS`, repair pending after backoff.
+pub const H_DEGRADED: i64 = 1;
+/// Health state: repaired, back in service on probation.
+pub const H_PROBATION: i64 = 2;
+/// Health state: strike budget exhausted, permanently `-ENOSYS`.
+pub const H_RETIRED: i64 = 3;
+/// Initial repair delay (IRQ ticks) for a first-strike degradation.
+pub const REPAIR_DELAY_INIT: i64 = 2;
+/// Backoff cap on the repair delay (ticks).
+pub const REPAIR_DELAY_CAP: i64 = 64;
+/// Poison events after which a subsystem is permanently retired.
+pub const REPAIR_STRIKES: i64 = 3;
+/// Clean probation calls required to promote back to live.
+pub const PROBATION_CREDITS: i64 = 2;
+
+/// Decodes the state field (bits 0..4) of a packed health word.
+pub fn health_state(word: u64) -> u64 {
+    word & 0xf
+}
+
+/// Decodes the strike count (bits 4..8) of a packed health word.
+pub fn health_strikes(word: u64) -> u64 {
+    (word >> 4) & 0xf
+}
+
+/// Human-readable name of a health state.
+pub fn health_state_name(state: u64) -> &'static str {
+    match state {
+        0 => "live",
+        1 => "degraded",
+        2 => "probation",
+        3 => "retired",
+        _ => "?",
+    }
+}
 
 /// Name of the nested degradation wrapper for syscall handler `handler`
 /// (`sys_write` → `sysd_write`).
@@ -318,7 +417,7 @@ pub fn build_kernel(opts: &KernelOptions) -> Module {
     define_pipe(&mut m, &k);
     define_net_elf(&mut m, &k);
     define_sys(&mut m, &k);
-    define_sys_io(&mut m, &k);
+    define_sys_io(&mut m, &k, opts);
     define_sysd(&mut m, &k);
     define_boot(&mut m, &k, opts);
     define_user(&mut m, &k);
@@ -431,14 +530,16 @@ fn declare(m: &mut Module) -> K {
     // boot path; declared unconditionally so image layouts stay aligned).
     gdecl(m, "recov_count", i64t, GlobalInit::Zero);
     gdecl(m, "recov_last_code", i64t, GlobalInit::Zero);
-    // Nested-domain bookkeeping (DESIGN.md §4.5): per-subsystem health
-    // (0 = live, 1 = degraded to -ENOSYS), indexed by `SYSCALLS`
-    // position, plus the IRQ path and a contained-violation counter for
-    // the `sysd_*` wrappers. Declared unconditionally, written only by
-    // the `KernelOptions::nested` image.
-    let health_arr = m.types.array(i64t, SYSCALLS.len() as u64);
-    gdecl(m, "syscall_health", health_arr, GlobalInit::Zero);
-    gdecl(m, "irq_health", i64t, GlobalInit::Zero);
+    // Nested-domain bookkeeping (DESIGN.md §4.5/§4.8): one packed health
+    // word per subsystem — syscalls by `SYSCALLS` position, then the IRQ
+    // path, then the per-driver domains — plus the repair manager's tick
+    // clock, its pending-repair count, and a contained-violation counter
+    // for the `sysd_*` wrappers. Declared unconditionally, written only
+    // by the `KernelOptions::nested` image.
+    let health_arr = m.types.array(i64t, NSUBSYS as u64);
+    gdecl(m, "subsys_health", health_arr, GlobalInit::Zero);
+    gdecl(m, "repair_clock", i64t, GlobalInit::Zero);
+    gdecl(m, "repair_pending", i64t, GlobalInit::Zero);
     gdecl(m, "recov_sysd_count", i64t, GlobalInit::Zero);
     // Scratch used by the dbg_* recovery-ordering probes.
     let order_arr = m.types.array(i64t, 4);
@@ -595,12 +696,30 @@ fn declare(m: &mut Module) -> K {
     fdecl(m, "sys_route_lookup", f1_i, Pub);
 
     // Nested degradation wrappers (DESIGN.md §4.5): one per syscall, same
-    // signature as the wrapped handler, plus the IRQ-path wrapper.
+    // signature as the wrapped handler, plus the IRQ-path wrapper and the
+    // per-driver wrappers (DESIGN.md §4.8).
     for (_, handler, arity) in SYSCALLS {
         let ty = [f0_i, f1_i, f2_i, f3_i, f4_i][*arity];
         fdecl(m, &sysd_name(handler), ty, Pub);
     }
     fdecl(m, "irqd_timer_tick", f1_i, Pub);
+    for (wrapper, _, arity) in DRIVERS {
+        let ty = [f0_i, f1_i, f2_i, f3_i, f4_i][*arity];
+        fdecl(m, wrapper, ty, Pub);
+    }
+    // The shared health state machine (DESIGN.md §4.8): degrade on
+    // caught poison, credit a clean probation call, and the IRQ-driven
+    // repair scan. Emitted once, called from every wrapper. The health
+    // slot is passed as a pointer computed with a *constant* (statically
+    // safe, check-elided) GEP at each call site: the degrade path runs
+    // while a pool is poisoned, so it must never execute a bounds check
+    // that the poison would fail — that unwind would land back at the
+    // register point that called it.
+    let p_i64 = m.types.ptr(i64t);
+    let f_health = m.types.func(i64t, vec![p_i64, i64t], false);
+    fdecl(m, "health_degrade", f_health, Pub);
+    fdecl(m, "health_probe_ok", f_health, Pub);
+    fdecl(m, "repair_scan", f0_i, Pub);
     // Recovery-semantics probes driven by the host-side tests.
     fdecl(m, "dbg_unwind", f0_i, Pub);
     fdecl(m, "dbg_nest", f0_i, Pub);
@@ -646,6 +765,7 @@ fn declare(m: &mut Module) -> K {
         "user_sigaction_loop",
         "user_write_loop",
         "user_unwind_attack",
+        "user_repair_attack",
     ] {
         fdecl(m, name, user_fn_t, Pub);
     }
@@ -1613,7 +1733,24 @@ fn define_sys(m: &mut Module, k: &K) {
 
 // ---- file/pipe/net system calls ---------------------------------------------
 
-fn define_sys_io(m: &mut Module, k: &K) {
+fn define_sys_io(m: &mut Module, k: &K, opts: &KernelOptions) {
+    // Driver dispatch: the nested kernel routes the §7.2 exploit
+    // surfaces through their per-driver recovery wrappers (DESIGN.md
+    // §4.8) so a poison lands on the driver's own subsystem; other
+    // flavors call the handlers directly (`define_boot` already differs
+    // per flavor, so the image diverging here is nothing new).
+    let drv = |i: usize, raw: &'static str| -> &'static str {
+        if opts.nested {
+            DRIVERS[i].0
+        } else {
+            raw
+        }
+    };
+    let drv_msfilter = drv(0, "net_set_msfilter");
+    let drv_igmp = drv(1, "net_rx_igmp");
+    let drv_bt = drv(2, "net_rx_bt");
+    let drv_route = drv(3, "net_route_lookup");
+    let drv_elf = drv(4, "elf_load");
     // sys_open(path, flags): path < 0x10 selects a character device (bit 0
     // picks /dev/zero vs /dev/null through chr_fops); 0x10+i opens ramfs
     // inode i.
@@ -1850,7 +1987,7 @@ fn define_sys_io(m: &mut Module, k: &K) {
     let prog = b.param(0);
     let hdr = b.param(1);
     let len = b.param(2);
-    let r = b.call(k.fid("elf_load"), vec![prog, hdr, len]).unwrap();
+    let r = b.call(k.fid(drv_elf), vec![prog, hdr, len]).unwrap();
     b.ret(Some(r));
 
     // sys_socket: always "socket 0".
@@ -1861,23 +1998,23 @@ fn define_sys_io(m: &mut Module, k: &K) {
     let mut b = FunctionBuilder::new(m, k.fid("sys_setsockopt"));
     let n = b.param(2);
     let src = b.param(3);
-    let r = b.call(k.fid("net_set_msfilter"), vec![n, src]).unwrap();
+    let r = b.call(k.fid(drv_msfilter), vec![n, src]).unwrap();
     b.ret(Some(r));
 
     // Packet-injection syscalls (stand-ins for the network RX paths).
     let mut b = FunctionBuilder::new(m, k.fid("sys_net_rx_igmp"));
     let n = b.param(0);
     let src = b.param(1);
-    let r = b.call(k.fid("net_rx_igmp"), vec![n, src]).unwrap();
+    let r = b.call(k.fid(drv_igmp), vec![n, src]).unwrap();
     b.ret(Some(r));
     let mut b = FunctionBuilder::new(m, k.fid("sys_net_rx_bt"));
     let n = b.param(0);
     let src = b.param(1);
-    let r = b.call(k.fid("net_rx_bt"), vec![n, src]).unwrap();
+    let r = b.call(k.fid(drv_bt), vec![n, src]).unwrap();
     b.ret(Some(r));
     let mut b = FunctionBuilder::new(m, k.fid("sys_route_lookup"));
     let idx = b.param(0);
-    let r = b.call(k.fid("net_route_lookup"), vec![idx]).unwrap();
+    let r = b.call(k.fid(drv_route), vec![idx]).unwrap();
     b.ret(Some(r));
 }
 
@@ -1896,70 +2033,290 @@ fn dbg_record(b: &mut FunctionBuilder, k: &K, v: Operand) {
     b.store(n1, np);
 }
 
-/// Emits the nested-domain machinery: one `sysd_*` degradation wrapper
-/// per syscall, the `irqd_timer_tick` IRQ wrapper, and the `dbg_*`
+/// Emits the shared 3-state health machine (DESIGN.md §4.8): the
+/// degrade transition every wrapper's caught-poison path calls, the
+/// probation-credit bookkeeping of a clean call, and the IRQ-driven
+/// repair scan. Emitted once so the policy (strikes, backoff, credits)
+/// lives in exactly one place.
+fn define_health_machine(m: &mut Module, k: &K) {
+    // health_degrade(hp, subsys): a poison was caught under `subsys`,
+    // whose health slot is `hp` — a pointer computed with a *constant*
+    // (statically safe, check-elided) GEP at the call site. That matters:
+    // this path runs while a pool is poisoned, so a dynamic GEP here
+    // would emit a bounds check the poison fails, and that unwind would
+    // land back at the register point that called us — forever. Strike
+    // the subsystem; at REPAIR_STRIKES it is permanently retired,
+    // otherwise it degrades with an exponentially-backed-off repair due
+    // tick (doubling the previous delay, capped) and joins the repair
+    // manager's pending set. A probation-time re-poison also reports
+    // verdict 1 through `sva.recover.probation`.
+    let mut b = FunctionBuilder::new(m, k.fid("health_degrade"));
+    let hp = b.param(0);
+    let subsys = b.param(1);
+    let word = b.load(hp);
+    let state = b.and(word, ci(k, 0xf));
+    let strikes = {
+        let sh = b.lshr(word, ci(k, 4));
+        b.and(sh, ci(k, 0xf))
+    };
+    let strikes1 = b.add(strikes, ci(k, 1));
+    let out = b.icmp(IPred::UGe, strikes1, ci(k, REPAIR_STRIKES));
+    let retire = b.block("hd.retire");
+    let degrade = b.block("hd.degrade");
+    b.cond_br(out, retire, degrade);
+    b.switch_to(retire);
+    let sbits = b.shl(strikes1, ci(k, 4));
+    let retired_word = b.or(sbits, ci(k, H_RETIRED));
+    b.store(retired_word, hp);
+    b.intrinsic(
+        Intrinsic::RecoverProbation,
+        vec![subsys, ci(k, 2)],
+        Some(k.i64t),
+    );
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(degrade);
+    let prevd = {
+        let sh = b.lshr(word, ci(k, 16));
+        b.and(sh, ci(k, 0xff))
+    };
+    let doubled = b.mul(prevd, ci(k, 2));
+    let first = b.icmp(IPred::Eq, prevd, ci(k, 0));
+    let seed = b.select(first, ci(k, REPAIR_DELAY_INIT), doubled);
+    let delay = umin(&mut b, seed, ci(k, REPAIR_DELAY_CAP));
+    let clock = b.load(k.gop("repair_clock"));
+    let due_raw = b.add(clock, delay);
+    let due = b.and(due_raw, ci(k, 0xff_ffff));
+    let sbits = b.shl(strikes1, ci(k, 4));
+    let w1 = b.or(sbits, ci(k, H_DEGRADED));
+    let dbits = b.shl(delay, ci(k, 16));
+    let w2 = b.or(w1, dbits);
+    let ubits = b.shl(due, ci(k, 24));
+    let w3 = b.or(w2, ubits);
+    b.store(w3, hp);
+    let pend_p = k.gop("repair_pending");
+    let pend = b.load(pend_p);
+    let pend1 = b.add(pend, ci(k, 1));
+    b.store(pend1, pend_p);
+    let was_prob = b.icmp(IPred::Eq, state, ci(k, H_PROBATION));
+    let report = b.block("hd.reprob");
+    let done = b.block("hd.done");
+    b.cond_br(was_prob, report, done);
+    b.switch_to(report);
+    b.intrinsic(
+        Intrinsic::RecoverProbation,
+        vec![subsys, ci(k, 1)],
+        Some(k.i64t),
+    );
+    b.br(done);
+    b.switch_to(done);
+    b.ret(Some(ci(k, 0)));
+
+    // health_probe_ok(hp, subsys): a wrapped call completed cleanly
+    // (`hp` is the constant-GEP health-slot pointer, as above). Outside
+    // probation this is a no-op; in probation it spends one credit, and
+    // the last credit promotes the subsystem back to live (verdict 0),
+    // clearing strikes and backoff.
+    let mut b = FunctionBuilder::new(m, k.fid("health_probe_ok"));
+    let hp = b.param(0);
+    let subsys = b.param(1);
+    let word = b.load(hp);
+    let state = b.and(word, ci(k, 0xf));
+    let in_prob = b.icmp(IPred::Eq, state, ci(k, H_PROBATION));
+    let prob = b.block("hp.prob");
+    let out = b.block("hp.out");
+    b.cond_br(in_prob, prob, out);
+    b.switch_to(prob);
+    let credits = {
+        let sh = b.lshr(word, ci(k, 8));
+        b.and(sh, ci(k, 0xff))
+    };
+    let c1 = b.sub(credits, ci(k, 1));
+    let clean = b.icmp(IPred::Eq, c1, ci(k, 0));
+    let live = b.block("hp.live");
+    let keep = b.block("hp.keep");
+    b.cond_br(clean, live, keep);
+    b.switch_to(live);
+    b.store(ci(k, H_LIVE), hp);
+    b.intrinsic(
+        Intrinsic::RecoverProbation,
+        vec![subsys, ci(k, 0)],
+        Some(k.i64t),
+    );
+    b.ret(Some(ci(k, 1)));
+    b.switch_to(keep);
+    let cleared = b.and(word, ci(k, !0xff00));
+    let cbits = b.shl(c1, ci(k, 8));
+    let neww = b.or(cleared, cbits);
+    b.store(neww, hp);
+    b.ret(Some(ci(k, 0)));
+    b.switch_to(out);
+    b.ret(Some(ci(k, 0)));
+
+    // repair_scan(): the repair manager, driven once per IRQ tick. The
+    // pending-count guard keeps the clean-run cost to a load and a
+    // compare; with repairs due, each degraded entry whose due tick has
+    // passed gets its pools torn down and reinitialized
+    // (`sva.recover.repair`) and moves to probation with fresh credits.
+    // The sweep is unrolled over constant indices rather than looped: it
+    // runs exactly when some subsystem's pools are poisoned, so every
+    // health-slot access must use a statically-safe (check-elided) GEP —
+    // a dynamic index would emit a bounds check the poison fails, and
+    // that unwind would escape to the boot domain.
+    let mut b = FunctionBuilder::new(m, k.fid("repair_scan"));
+    let pend = b.load(k.gop("repair_pending"));
+    let idle = b.icmp(IPred::Eq, pend, ci(k, 0));
+    ret_if(&mut b, k, idle, 0);
+    let clock = b.load(k.gop("repair_clock"));
+    for i in 0..NSUBSYS {
+        let hp = b.array_elem_ptr(k.gop("subsys_health"), ci(k, i));
+        let word = b.load(hp);
+        let state = b.and(word, ci(k, 0xf));
+        let isdeg = b.icmp(IPred::Eq, state, ci(k, H_DEGRADED));
+        let due = {
+            let sh = b.lshr(word, ci(k, 24));
+            b.and(sh, ci(k, 0xff_ffff))
+        };
+        let isdue = b.icmp(IPred::ULe, due, clock);
+        let fix = b.and(isdeg, isdue);
+        let rep = b.block(&format!("rs.repair{i}"));
+        let skip = b.block(&format!("rs.skip{i}"));
+        b.cond_br(fix, rep, skip);
+        b.switch_to(rep);
+        b.intrinsic(Intrinsic::RecoverRepair, vec![ci(k, i + 1)], Some(k.i64t));
+        let strikes = {
+            let sh = b.lshr(word, ci(k, 4));
+            b.and(sh, ci(k, 0xf))
+        };
+        let delay = {
+            let sh = b.lshr(word, ci(k, 16));
+            b.and(sh, ci(k, 0xff))
+        };
+        let sbits = b.shl(strikes, ci(k, 4));
+        let base = ci(k, H_PROBATION | (PROBATION_CREDITS << 8));
+        let w1 = b.or(sbits, base);
+        let dbits = b.shl(delay, ci(k, 16));
+        let w2 = b.or(w1, dbits);
+        b.store(w2, hp);
+        let pend_p = k.gop("repair_pending");
+        let p = b.load(pend_p);
+        let p1 = b.sub(p, ci(k, 1));
+        b.store(p1, pend_p);
+        b.br(skip);
+        b.switch_to(skip);
+    }
+    b.ret(Some(ci(k, 0)));
+}
+
+/// Emits one health-gated recovery-domain wrapper (DESIGN.md §4.8):
+/// `wrapper(args…)` fences with `-ENOSYS` while subsystem `subsys` is
+/// degraded or retired, runs `handler` inside a fresh recovery domain
+/// otherwise (crediting probation on a clean return), and on a caught
+/// poison hands the transition to `health_degrade`.
+fn emit_health_wrapper(
+    m: &mut Module,
+    k: &K,
+    wrapper: &str,
+    handler: &str,
+    arity: usize,
+    subsys: i64,
+) {
+    let mut b = FunctionBuilder::new(m, k.fid(wrapper));
+    let params: Vec<Operand> = (0..arity).map(|i| b.param(i)).collect();
+    let hidx = subsys - 1;
+    let hp = b.array_elem_ptr(k.gop("subsys_health"), ci(k, hidx));
+    let word = b.load(hp);
+    let state = b.and(word, ci(k, 0xf));
+    let deg = b.icmp(IPred::Eq, state, ci(k, H_DEGRADED));
+    let ret3 = b.icmp(IPred::Eq, state, ci(k, H_RETIRED));
+    let fenced = b.or(deg, ret3);
+    ret_if(&mut b, k, fenced, ENOSYS);
+    let code = b
+        .intrinsic(
+            Intrinsic::RecoverRegister,
+            vec![ci(k, subsys)],
+            Some(k.i64t),
+        )
+        .unwrap();
+    let run = b.block("sysd.run");
+    let caught = b.block("sysd.caught");
+    let fresh = b.icmp(IPred::Eq, code, ci(k, 0));
+    b.cond_br(fresh, run, caught);
+
+    b.switch_to(run);
+    let r = b.call(k.fid(handler), params).unwrap();
+    b.call(k.fid("health_probe_ok"), vec![hp, ci(k, subsys)]);
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(r));
+
+    b.switch_to(caught);
+    let cnt_p = k.gop("recov_sysd_count");
+    let cnt = b.load(cnt_p);
+    let cnt1 = b.add(cnt, ci(k, 1));
+    b.store(cnt1, cnt_p);
+    b.store(code, k.gop("recov_last_code"));
+    let poisoned = {
+        let sh = b.lshr(code, ci(k, 8));
+        b.and(sh, ci(k, 1))
+    };
+    let degrade = b.block("sysd.degrade");
+    let fail = b.block("sysd.fail");
+    let pc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
+    b.cond_br(pc, degrade, fail);
+    b.switch_to(degrade);
+    b.call(k.fid("health_degrade"), vec![hp, ci(k, subsys)]);
+    b.br(fail);
+    b.switch_to(fail);
+    b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
+    b.ret(Some(ci(k, EFAULT)));
+}
+
+/// Emits the nested-domain machinery: the shared health state machine,
+/// one `sysd_*` degradation wrapper per syscall, the per-driver `drvd_*`
+/// wrappers, the `irqd_timer_tick` IRQ wrapper, and the `dbg_*`
 /// recovery-semantics probes. All are defined unconditionally (the image
 /// stays identical across configurations); only the
 /// [`KernelOptions::nested`] boot path registers the wrappers.
 fn define_sysd(m: &mut Module, k: &K) {
+    define_health_machine(m, k);
+
+    // sysd_<name>(args...): fail fast while degraded or retired,
+    // otherwise run the real handler inside its own recovery domain. A
+    // contained violation unwinds back here: the syscall fails with
+    // -EFAULT, and a poisoned pool hands the subsystem to the 3-state
+    // health machine (DESIGN.md §4.8) — degraded now, repaired into
+    // probation once the backoff expires.
     for (idx, (_num, handler, arity)) in SYSCALLS.iter().enumerate() {
-        // sysd_<name>(args...): fail fast while degraded, otherwise run
-        // the real handler inside its own recovery domain. A contained
-        // violation unwinds back here: the syscall fails with -EFAULT,
-        // and a poisoned pool degrades the whole syscall to -ENOSYS for
-        // the rest of the run.
-        let mut b = FunctionBuilder::new(m, k.fid(&sysd_name(handler)));
-        let params: Vec<Operand> = (0..*arity).map(|i| b.param(i)).collect();
-        let hp = b.array_elem_ptr(k.gop("syscall_health"), ci(k, idx as i64));
-        let hv = b.load(hp);
-        let degraded = b.icmp(IPred::Ne, hv, ci(k, 0));
-        ret_if(&mut b, k, degraded, ENOSYS);
-        let code = b
-            .intrinsic(
-                Intrinsic::RecoverRegister,
-                vec![ci(k, idx as i64 + 1)],
-                Some(k.i64t),
-            )
-            .unwrap();
-        let run = b.block("sysd.run");
-        let caught = b.block("sysd.caught");
-        let fresh = b.icmp(IPred::Eq, code, ci(k, 0));
-        b.cond_br(fresh, run, caught);
-
-        b.switch_to(run);
-        let r = b.call(k.fid(handler), params).unwrap();
-        b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
-        b.ret(Some(r));
-
-        b.switch_to(caught);
-        let cnt_p = k.gop("recov_sysd_count");
-        let cnt = b.load(cnt_p);
-        let cnt1 = b.add(cnt, ci(k, 1));
-        b.store(cnt1, cnt_p);
-        b.store(code, k.gop("recov_last_code"));
-        let poisoned = {
-            let sh = b.lshr(code, ci(k, 8));
-            b.and(sh, ci(k, 1))
-        };
-        let degrade = b.block("sysd.degrade");
-        let fail = b.block("sysd.fail");
-        let pc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
-        b.cond_br(pc, degrade, fail);
-        b.switch_to(degrade);
-        b.store(ci(k, 1), hp);
-        b.br(fail);
-        b.switch_to(fail);
-        b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
-        b.ret(Some(ci(k, EFAULT)));
+        emit_health_wrapper(m, k, &sysd_name(handler), handler, *arity, idx as i64 + 1);
+    }
+    // drvd_*: the per-driver domains (DESIGN.md §4.8). Same shape as the
+    // syscall wrappers, but the domain — and therefore quarantine, poison
+    // attribution, and health — belongs to the *driver*, so one bad
+    // protocol handler degrades itself, not the compound syscall path
+    // that dispatched into it.
+    for (i, (wrapper, handler, arity)) in DRIVERS.iter().enumerate() {
+        emit_health_wrapper(m, k, wrapper, handler, *arity, driver_subsys(i));
     }
 
     // irqd_timer_tick(vector): the IRQ dispatch path's own domain. While
-    // degraded, ticks are dropped rather than risked.
+    // degraded, ticks are dropped rather than risked. The repair
+    // manager's clock advances *before* the IRQ path's own health gate,
+    // so repair time keeps flowing even while the timer subsystem itself
+    // is degraded — otherwise nothing could ever repair it.
     let mut b = FunctionBuilder::new(m, k.fid("irqd_timer_tick"));
     let vector = b.param(0);
-    let hv = b.load(k.gop("irq_health"));
-    let degraded = b.icmp(IPred::Ne, hv, ci(k, 0));
-    ret_if(&mut b, k, degraded, 0);
+    let clock_p = k.gop("repair_clock");
+    let clock = b.load(clock_p);
+    let clock1 = b.add(clock, ci(k, 1));
+    b.store(clock1, clock_p);
+    b.call(k.fid("repair_scan"), vec![]);
+    let hidx = IRQ_SUBSYS - 1;
+    let hp = b.array_elem_ptr(k.gop("subsys_health"), ci(k, hidx));
+    let word = b.load(hp);
+    let state = b.and(word, ci(k, 0xf));
+    let deg = b.icmp(IPred::Eq, state, ci(k, H_DEGRADED));
+    let ret3 = b.icmp(IPred::Eq, state, ci(k, H_RETIRED));
+    let fenced = b.or(deg, ret3);
+    ret_if(&mut b, k, fenced, 0);
     let code = b
         .intrinsic(
             Intrinsic::RecoverRegister,
@@ -1973,6 +2330,7 @@ fn define_sysd(m: &mut Module, k: &K) {
     b.cond_br(fresh, run, caught);
     b.switch_to(run);
     let r = b.call(k.fid("sig_timer_tick"), vec![vector]).unwrap();
+    b.call(k.fid("health_probe_ok"), vec![hp, ci(k, IRQ_SUBSYS)]);
     b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
     b.ret(Some(r));
     b.switch_to(caught);
@@ -1990,7 +2348,7 @@ fn define_sysd(m: &mut Module, k: &K) {
     let pc = b.icmp(IPred::Ne, poisoned, ci(k, 0));
     b.cond_br(pc, degrade, fail);
     b.switch_to(degrade);
-    b.store(ci(k, 1), k.gop("irq_health"));
+    b.call(k.fid("health_degrade"), vec![hp, ci(k, IRQ_SUBSYS)]);
     b.br(fail);
     b.switch_to(fail);
     b.intrinsic(Intrinsic::RecoverRelease, vec![], Some(k.i64t));
@@ -2591,6 +2949,13 @@ fn define_user2(m: &mut Module, k: &K) {
     let mut b = FunctionBuilder::new(m, k.fid("user_unwind_attack"));
     b.intrinsic(Intrinsic::RecoverUnwind, vec![ci(k, 1)], None);
     u_exit(&mut b, k, 61);
+
+    // user_repair_attack: user mode calls sva.recover.repair directly.
+    // Same contract as the unwind attack — the VM's privilege gate must
+    // fire before any health or pool state is touched (DESIGN.md §4.8).
+    let mut b = FunctionBuilder::new(m, k.fid("user_repair_attack"));
+    b.intrinsic(Intrinsic::RecoverRepair, vec![ci(k, 1)], Some(k.i64t));
+    u_exit(&mut b, k, 62);
 
     // user_getrusage_loop(iters).
     let mut b = FunctionBuilder::new(m, k.fid("user_getrusage_loop"));

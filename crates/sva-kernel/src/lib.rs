@@ -33,7 +33,11 @@ pub mod harness;
 pub mod port_report;
 pub mod postmortem;
 
-pub use build::{build_kernel, sysd_name, KernelOptions, IRQ_SUBSYS, SYSCALLS};
+pub use build::{
+    build_kernel, driver_subsys, health_state, health_state_name, health_strikes, subsys_name,
+    sysd_name, KernelOptions, DRIVERS, H_DEGRADED, H_LIVE, H_PROBATION, H_RETIRED, IRQ_SUBSYS,
+    NSUBSYS, PROBATION_CREDITS, REPAIR_DELAY_CAP, REPAIR_DELAY_INIT, REPAIR_STRIKES, SYSCALLS,
+};
 pub use harness::{boot_user, make_vm, make_vm_traced, safe_kernel_module, KernelImage};
 pub use port_report::{port_report, PortReport};
 pub use postmortem::{check_reproduction, replay, Replay, ReplayError, ReplayExit};

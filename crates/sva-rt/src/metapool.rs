@@ -90,6 +90,15 @@ pub struct MetaPool {
     /// Fault injection: the next N registrations fail as if the
     /// allocator ran out of memory.
     forced_reg_failures: u32,
+    /// Recovery-domain subsystem id the poisoning violation was
+    /// attributed to (0 = none / unattributed). Set by the VM when the
+    /// pool crosses its budget inside a domain; `sva.recover.repair`
+    /// selects pools by this id (DESIGN.md §4.8).
+    poisoned_by: u64,
+    /// Times this pool has been repaired (un-poisoned and reinitialized)
+    /// by `sva.recover.repair` — the pool's repair history, surfaced in
+    /// crash bundles.
+    repairs: u32,
 }
 
 impl MetaPool {
@@ -115,6 +124,8 @@ impl MetaPool {
             violations: 0,
             scope_violations: 0,
             forced_reg_failures: 0,
+            poisoned_by: 0,
+            repairs: 0,
         }
     }
 
@@ -347,6 +358,70 @@ impl MetaPool {
             return false;
         }
         self.quarantined = false;
+        true
+    }
+
+    /// Recovery-domain subsystem id the poisoning violation was
+    /// attributed to (0 = none).
+    pub fn poisoned_by(&self) -> u64 {
+        self.poisoned_by
+    }
+
+    /// Attributes this pool's poison to recovery-domain subsystem
+    /// `subsys`. Only the first attribution sticks: the subsystem whose
+    /// domain crossed the budget owns the repair.
+    pub fn attribute_poison(&mut self, subsys: u64) {
+        if self.poisoned && self.poisoned_by == 0 {
+            self.poisoned_by = subsys;
+        }
+    }
+
+    /// Times this pool has been repaired by `sva.recover.repair`.
+    pub fn repairs(&self) -> u32 {
+        self.repairs
+    }
+
+    /// Fault injection / test hook: poisons the pool outright and
+    /// attributes the poison to `subsys`, as if a domain owned by that
+    /// subsystem had exhausted the violation budget.
+    pub fn force_poison(&mut self, subsys: u64) {
+        self.violations = self.violations.saturating_add(1);
+        self.scope_violations = self.scope_violations.saturating_add(1);
+        self.quarantined = true;
+        self.poisoned = true;
+        self.attribute_poison(subsys);
+    }
+
+    /// `sva.recover.repair` (DESIGN.md §4.8): tears down and
+    /// reinitializes a poisoned pool. The poison, quarantine, scoped
+    /// violation budget and subsystem attribution all clear, and the
+    /// layered lookup structures are rebuilt from the live registry —
+    /// exactly the state a freshly initialized pool would reach after
+    /// replaying the registrations, so post-repair checks are coherent.
+    /// The lifetime violation count is kept as history. Returns `false`
+    /// (and does nothing) if the pool was not poisoned.
+    pub fn repair(&mut self) -> bool {
+        if !self.poisoned {
+            return false;
+        }
+        self.poisoned = false;
+        self.quarantined = false;
+        self.scope_violations = 0;
+        self.poisoned_by = 0;
+        self.repairs = self.repairs.saturating_add(1);
+        // Reinitialize the lookup layers from the registry (same rebuild
+        // as the fast-path toggle): caches drop, index and singleton are
+        // re-derived from live ranges.
+        self.mru = [None; 2];
+        self.page_index.clear();
+        self.unindexed = 0;
+        self.quiet_lookups = 0;
+        if self.fast_path {
+            for (start, end) in self.objects.iter_ranges() {
+                self.index_insert(start, end);
+            }
+        }
+        self.update_singleton();
         true
     }
 
@@ -601,6 +676,8 @@ impl MetaPool {
             violations: self.violations,
             scope_violations: self.scope_violations,
             forced_reg_failures: self.forced_reg_failures,
+            poisoned_by: self.poisoned_by,
+            repairs: self.repairs,
         }
     }
 
@@ -649,6 +726,8 @@ impl MetaPool {
         self.violations = img.violations;
         self.scope_violations = img.scope_violations;
         self.forced_reg_failures = img.forced_reg_failures;
+        self.poisoned_by = img.poisoned_by;
+        self.repairs = img.repairs;
         self.stats = CheckStats::from_words(img.stats);
         Ok(())
     }
@@ -687,6 +766,10 @@ pub struct PoolImage {
     pub scope_violations: u32,
     /// Pending injected registration failures.
     pub forced_reg_failures: u32,
+    /// Subsystem id the poison was attributed to (0 = none).
+    pub poisoned_by: u64,
+    /// Times the pool has been repaired by `sva.recover.repair`.
+    pub repairs: u32,
 }
 
 /// One metapool's forensic surface: the fields a crash bundle or
@@ -712,6 +795,9 @@ pub struct PoolSummary {
     pub quarantined: bool,
     /// Whether the pool is permanently fenced off.
     pub poisoned: bool,
+    /// Times the pool has been repaired by `sva.recover.repair` (repair
+    /// history, DESIGN.md §4.8).
+    pub repairs: u32,
 }
 
 /// The set of all metapools of a loaded kernel, indexed by the metapool ids
@@ -801,6 +887,7 @@ impl MetaPoolTable {
                     violations: p.violations(),
                     quarantined: p.quarantined(),
                     poisoned: p.poisoned(),
+                    repairs: p.repairs(),
                 }
             })
             .collect()
@@ -814,6 +901,19 @@ impl MetaPoolTable {
     /// Number of pools permanently poisoned.
     pub fn poisoned_count(&self) -> usize {
         self.pools.iter().filter(|p| p.poisoned()).count()
+    }
+
+    /// `sva.recover.repair(subsys)` backend: repairs every pool whose
+    /// poison is attributed to `subsys` (DESIGN.md §4.8). Returns the
+    /// ids of the pools repaired.
+    pub fn repair_poisoned_by(&mut self, subsys: u64) -> Vec<MetaPoolId> {
+        let mut repaired = Vec::new();
+        for (i, p) in self.pools.iter_mut().enumerate() {
+            if p.poisoned() && p.poisoned_by() == subsys && p.repair() {
+                repaired.push(MetaPoolId(i as u32));
+            }
+        }
+        repaired
     }
 
     /// Registers an indirect-call target set, returning its set id.
@@ -1214,6 +1314,70 @@ mod tests {
             p.ls_check(0x1000).unwrap_err().detail,
             "pool poisoned after repeated violations"
         );
+    }
+
+    #[test]
+    fn repair_unpoisons_and_rebuilds_coherently() {
+        let mut p = MetaPool::new("MPc", false, true, None);
+        p.reg_obj(0x1000, 64).unwrap();
+        p.reg_obj(0x3000, 64).unwrap();
+        // Warm the caches, then poison with attribution.
+        p.ls_check(0x1010).unwrap();
+        p.ls_check(0x1010).unwrap();
+        p.force_poison(7);
+        assert!(p.poisoned());
+        assert_eq!(p.poisoned_by(), 7);
+        assert!(!p.release_quarantine(), "poison must resist release");
+        // Repair: poison clears, budget resets, attribution drops,
+        // history records the repair.
+        assert!(p.repair());
+        assert!(!p.poisoned());
+        assert!(!p.quarantined());
+        assert_eq!(p.scope_violations(), 0);
+        assert_eq!(p.poisoned_by(), 0);
+        assert_eq!(p.repairs(), 1);
+        assert_eq!(p.violations(), 1, "lifetime violations stay as history");
+        // The rebuilt lookup layers answer correctly for live and dead
+        // addresses alike.
+        p.ls_check(0x1010).unwrap();
+        p.ls_check(0x3010).unwrap();
+        assert_eq!(p.ls_check(0x9000).unwrap_err().kind, CheckKind::LoadStore);
+        // A healthy pool is not repairable.
+        assert!(!p.repair());
+        assert_eq!(p.repairs(), 1);
+    }
+
+    #[test]
+    fn attribution_sticks_to_first_owner_and_table_repairs_by_subsys() {
+        let mut t = MetaPoolTable::new();
+        let a = t.add_pool(MetaPool::new("A", true, true, None));
+        let b = t.add_pool(MetaPool::new("B", false, true, None));
+        t.pool_mut(a).force_poison(3);
+        t.pool_mut(a).attribute_poison(9); // second owner must not take over
+        t.pool_mut(b).force_poison(9);
+        assert_eq!(t.pool(a).poisoned_by(), 3);
+        assert_eq!(t.repair_poisoned_by(3), vec![a]);
+        assert!(!t.pool(a).poisoned());
+        assert!(t.pool(b).poisoned(), "other subsystems' pools stay fenced");
+        assert_eq!(t.repair_poisoned_by(3), vec![]);
+        assert_eq!(t.repair_poisoned_by(9), vec![b]);
+    }
+
+    #[test]
+    fn repair_state_survives_the_image_round_trip() {
+        let mut p = MetaPool::new("MPc", false, true, None);
+        p.reg_obj(0x1000, 64).unwrap();
+        p.force_poison(5);
+        p.repair();
+        p.force_poison(6);
+        let img = p.export_image();
+        assert_eq!(img.poisoned_by, 6);
+        assert_eq!(img.repairs, 1);
+        let mut q = MetaPool::new("MPc", false, true, None);
+        q.restore_image(&img).unwrap();
+        assert_eq!(q.poisoned_by(), 6);
+        assert_eq!(q.repairs(), 1);
+        assert!(q.poisoned());
     }
 
     #[test]

@@ -102,11 +102,14 @@ pub enum EventClass {
     Violation,
     /// Violation containment: recovery unwind or pool quarantine.
     Recovery,
+    /// Self-healing: subsystem repair and probation transitions
+    /// (DESIGN.md §4.8).
+    Repair,
 }
 
 impl EventClass {
     /// All classes (for "pin everything" configurations).
-    pub const ALL: [EventClass; 8] = [
+    pub const ALL: [EventClass; 9] = [
         EventClass::Inst,
         EventClass::Os,
         EventClass::Check,
@@ -115,6 +118,7 @@ impl EventClass {
         EventClass::Irq,
         EventClass::Violation,
         EventClass::Recovery,
+        EventClass::Repair,
     ];
 
     /// Bit of this class in a class mask (ring pinning, tracer
@@ -256,6 +260,24 @@ pub enum TraceEvent {
         /// Whether the pool is now permanently poisoned.
         poisoned: bool,
     },
+    /// `sva.recover.repair` tore down and reinitialized a subsystem's
+    /// poisoned pools (DESIGN.md §4.8).
+    Repair {
+        /// Subsystem id whose pools were repaired.
+        subsys: u64,
+        /// Number of pools unpoisoned and reinitialized.
+        pools: u32,
+    },
+    /// The kernel's repair manager reported a probation transition via
+    /// `sva.recover.probation`.
+    Probation {
+        /// Subsystem id.
+        subsys: u64,
+        /// Transition verdict: 0 = probation passed (back to live),
+        /// 1 = re-poisoned during probation (re-degraded, backoff
+        /// doubled), 2 = strike budget exhausted (permanently retired).
+        verdict: u64,
+    },
 }
 
 impl TraceEvent {
@@ -273,6 +295,7 @@ impl TraceEvent {
             | TraceEvent::DomainPush { .. }
             | TraceEvent::DomainPop { .. }
             | TraceEvent::PoolQuarantine { .. } => EventClass::Recovery,
+            TraceEvent::Repair { .. } | TraceEvent::Probation { .. } => EventClass::Repair,
         }
     }
 }
@@ -413,6 +436,12 @@ impl TimedEvent {
                 "{{\"ts\":{ts},\"ev\":\"quarantine\",\"pool\":{pool},\
                  \"violations\":{violations},\"poisoned\":{poisoned}}}"
             ),
+            Repair { subsys, pools } => {
+                format!("{{\"ts\":{ts},\"ev\":\"repair\",\"subsys\":{subsys},\"pools\":{pools}}}")
+            }
+            Probation { subsys, verdict } => format!(
+                "{{\"ts\":{ts},\"ev\":\"probation\",\"subsys\":{subsys},\"verdict\":{verdict}}}"
+            ),
         }
     }
 
@@ -505,6 +534,14 @@ impl TimedEvent {
                 pool: num("pool")? as u32,
                 violations: num("violations")? as u32,
                 poisoned: b("poisoned")?,
+            },
+            "repair" => TraceEvent::Repair {
+                subsys: num("subsys")? as u64,
+                pools: num("pools")? as u32,
+            },
+            "probation" => TraceEvent::Probation {
+                subsys: num("subsys")? as u64,
+                verdict: num("verdict")? as u64,
             },
             _ => return None,
         };
@@ -705,6 +742,20 @@ mod tests {
                     pool: 4,
                     violations: 3,
                     poisoned: true,
+                },
+            },
+            TimedEvent {
+                ts: 150,
+                event: TraceEvent::Repair {
+                    subsys: 4,
+                    pools: 1,
+                },
+            },
+            TimedEvent {
+                ts: 151,
+                event: TraceEvent::Probation {
+                    subsys: 4,
+                    verdict: 0,
                 },
             },
         ]

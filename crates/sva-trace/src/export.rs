@@ -169,6 +169,20 @@ pub fn to_chrome_trace(tracer: &RingTracer) -> String {
                     json_escape(&tracer.pool_name(*pool))
                 ));
             }
+            TraceEvent::Repair { subsys, pools } => {
+                events.push(format!(
+                    "{{\"name\":\"REPAIR\",\"cat\":\"repair\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"g\",\"args\":{{\"subsys\":{subsys},\
+                     \"pools\":{pools}}}}}"
+                ));
+            }
+            TraceEvent::Probation { subsys, verdict } => {
+                events.push(format!(
+                    "{{\"name\":\"PROBATION\",\"cat\":\"repair\",\"ph\":\"i\",\
+                     \"ts\":{ts},{common},\"s\":\"t\",\"args\":{{\"subsys\":{subsys},\
+                     \"verdict\":{verdict}}}}}"
+                ));
+            }
         }
     }
     format!(

@@ -76,6 +76,10 @@ pub struct FlightRecorder {
     /// no syscall completing in between.
     irq_burst: u64,
     irq_burst_max: u64,
+    /// Self-healing traffic (DESIGN.md §4.8).
+    repairs: u64,
+    probations: u64,
+    retirements: u64,
 }
 
 impl Default for FlightRecorder {
@@ -90,7 +94,11 @@ impl FlightRecorder {
         FlightRecorder {
             tail: EventRing::new(RingConfig {
                 capacity: cfg.capacity,
-                pinned: vec![EventClass::Violation, EventClass::Recovery],
+                pinned: vec![
+                    EventClass::Violation,
+                    EventClass::Recovery,
+                    EventClass::Repair,
+                ],
                 pinned_capacity: cfg.pinned_capacity,
             }),
             sample_period: cfg.sample_period.max(1),
@@ -107,6 +115,9 @@ impl FlightRecorder {
             restores: 0,
             irq_burst: 0,
             irq_burst_max: 0,
+            repairs: 0,
+            probations: 0,
+            retirements: 0,
         }
     }
 
@@ -176,6 +187,22 @@ impl FlightRecorder {
     pub fn irq_burst_max(&self) -> u64 {
         self.irq_burst_max
     }
+
+    /// Subsystem repairs observed (`sva.recover.repair` teardown/reinit).
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Probation transitions observed (`sva.recover.probation`).
+    pub fn probations(&self) -> u64 {
+        self.probations
+    }
+
+    /// Probation transitions that permanently retired the subsystem
+    /// (strike budget exhausted).
+    pub fn retirements(&self) -> u64 {
+        self.retirements
+    }
 }
 
 impl Tracer for FlightRecorder {
@@ -189,7 +216,8 @@ impl Tracer for FlightRecorder {
     const WANTED: u16 = EventClass::Syscall.bit()
         | EventClass::Irq.bit()
         | EventClass::Violation.bit()
-        | EventClass::Recovery.bit();
+        | EventClass::Recovery.bit()
+        | EventClass::Repair.bit();
 
     fn record(&mut self, ts: u64, event: TraceEvent) {
         match &event {
@@ -220,6 +248,13 @@ impl Tracer for FlightRecorder {
                 self.domain_pops += 1;
                 if *forced {
                     self.forced_pops += 1;
+                }
+            }
+            TraceEvent::Repair { .. } => self.repairs += 1,
+            TraceEvent::Probation { verdict, .. } => {
+                self.probations += 1;
+                if *verdict == 2 {
+                    self.retirements += 1;
                 }
             }
             // Classes outside WANTED: unreachable via gated VM sites, but

@@ -166,6 +166,10 @@ pub struct Profile {
     pub domain_pops: u64,
     /// Quarantine transitions observed (quarantine or poison).
     pub quarantines: u64,
+    /// Subsystem repairs observed (`sva.recover.repair`).
+    pub repairs: u64,
+    /// Probation transitions observed (`sva.recover.probation`).
+    pub probations: u64,
 }
 
 impl Profile {
@@ -230,6 +234,12 @@ impl Profile {
             }
             TraceEvent::PoolQuarantine { .. } => {
                 self.quarantines += 1;
+            }
+            TraceEvent::Repair { .. } => {
+                self.repairs += 1;
+            }
+            TraceEvent::Probation { .. } => {
+                self.probations += 1;
             }
         }
     }

@@ -48,7 +48,7 @@ use crate::vm::{KernelKind, Vm, VmConfig, VmStats};
 /// Bundle magic.
 pub const BUNDLE_MAGIC: [u8; 4] = *b"SVAB";
 /// Current bundle format version. Bump on any payload-layout change.
-pub const BUNDLE_VERSION: u32 = 1;
+pub const BUNDLE_VERSION: u32 = 2;
 /// Header size in bytes.
 const HEADER_LEN: usize = 24;
 
@@ -221,8 +221,10 @@ pub struct CrashBundle {
     pub domains: Vec<DomainDump>,
     /// Per-metapool forensic summaries.
     pub pools: Vec<PoolSummary>,
-    /// Nonzero `syscall_health` entries as `(syscall index, word)` —
-    /// the degraded-syscall table of nested-recovery kernels.
+    /// Nonzero `subsys_health` entries as `(subsystem index, packed
+    /// health word)` — the 3-state health machine of nested-recovery
+    /// kernels (DESIGN.md §4.8: state, strikes, probation credits,
+    /// backoff delay, due tick).
     pub health: Vec<(u64, u64)>,
     /// The flight-recorder tail (black-box timeline), oldest first.
     pub flight: Vec<TimedEvent>,
@@ -301,6 +303,7 @@ impl CrashBundle {
             w.u32(p.violations);
             w.bool(p.quarantined);
             w.bool(p.poisoned);
+            w.u32(p.repairs);
         }
         w.u64(self.health.len() as u64);
         for &(i, v) in &self.health {
@@ -380,7 +383,7 @@ impl CrashBundle {
             *w = r.u64().map_err(perr)?;
         }
         let code_id = r.u64().map_err(perr)?;
-        let mut stat_words = [0u64; 17];
+        let mut stat_words = [0u64; 22];
         for w in &mut stat_words {
             *w = r.u64().map_err(perr)?;
         }
@@ -414,6 +417,7 @@ impl CrashBundle {
                 violations: r.u32().map_err(perr)?,
                 quarantined: r.bool().map_err(perr)?,
                 poisoned: r.bool().map_err(perr)?,
+                repairs: r.u32().map_err(perr)?,
             });
         }
         let nhealth = r.len("health entries").map_err(perr)?;
@@ -512,7 +516,7 @@ impl<T: Tracer> Vm<T> {
         let snapshot = self.snapshot();
         let resume_code_raw = self.read_global_u64("recov_last_code").unwrap_or(0);
         let mut health = Vec::new();
-        if let Some(gid) = self.code.module.global_by_name("syscall_health") {
+        if let Some(gid) = self.code.module.global_by_name("subsys_health") {
             let idx = gid.0 as usize;
             let base = self.code.global_addr[idx];
             let size = self

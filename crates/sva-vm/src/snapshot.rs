@@ -63,7 +63,7 @@ use crate::vm::{
 /// Image magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SVA1";
 /// Current image format version. Bump on any payload-layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 /// Header size in bytes.
 const HEADER_LEN: usize = 40;
 
@@ -619,6 +619,8 @@ fn write_pool_image(w: &mut W, img: &PoolImage) {
     w.u32(img.violations);
     w.u32(img.scope_violations);
     w.u32(img.forced_reg_failures);
+    w.u64(img.poisoned_by);
+    w.u32(img.repairs);
 }
 
 fn read_pool_image(r: &mut R<'_>) -> RResult<PoolImage> {
@@ -654,10 +656,12 @@ fn read_pool_image(r: &mut R<'_>) -> RResult<PoolImage> {
         violations: r.u32()?,
         scope_violations: r.u32()?,
         forced_reg_failures: r.u32()?,
+        poisoned_by: r.u64()?,
+        repairs: r.u32()?,
     })
 }
 
-pub(crate) fn stats_words(s: &VmStats) -> [u64; 17] {
+pub(crate) fn stats_words(s: &VmStats) -> [u64; 22] {
     [
         s.instructions,
         s.cycles,
@@ -676,10 +680,15 @@ pub(crate) fn stats_words(s: &VmStats) -> [u64; 17] {
         s.domains_popped,
         s.watchdog_unwinds,
         s.fused_execs,
+        s.repairs,
+        s.pools_repaired,
+        s.probation_passed,
+        s.probation_failed,
+        s.subsys_retired,
     ]
 }
 
-pub(crate) fn stats_from_words(w: [u64; 17]) -> VmStats {
+pub(crate) fn stats_from_words(w: [u64; 22]) -> VmStats {
     VmStats {
         instructions: w[0],
         cycles: w[1],
@@ -698,6 +707,11 @@ pub(crate) fn stats_from_words(w: [u64; 17]) -> VmStats {
         domains_popped: w[14],
         watchdog_unwinds: w[15],
         fused_execs: w[16],
+        repairs: w[17],
+        pools_repaired: w[18],
+        probation_passed: w[19],
+        probation_failed: w[20],
+        subsys_retired: w[21],
     }
 }
 
@@ -1006,7 +1020,7 @@ impl<T: Tracer> Vm<T> {
             *word = r.u64()?;
         }
         let console = r.bytes()?;
-        let mut words = [0u64; 17];
+        let mut words = [0u64; 22];
         for word in &mut words {
             *word = r.u64()?;
         }

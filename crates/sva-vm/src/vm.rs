@@ -702,6 +702,18 @@ pub struct VmStats {
     /// dispatch retires *two* instructions (so `instructions` is invariant
     /// under fusion) but charges one dispatch cycle instead of two.
     pub fused_execs: u64,
+    /// `sva.recover.repair` invocations that repaired at least one pool.
+    pub repairs: u64,
+    /// Metapools unpoisoned and reinitialized across all repairs.
+    pub pools_repaired: u64,
+    /// Probation verdicts: subsystem passed probation (back to live).
+    pub probation_passed: u64,
+    /// Probation verdicts: subsystem re-poisoned during probation
+    /// (re-degraded with doubled backoff).
+    pub probation_failed: u64,
+    /// Probation verdicts: strike budget exhausted, subsystem permanently
+    /// retired.
+    pub subsys_retired: u64,
 }
 
 impl VmStats {
@@ -1506,10 +1518,17 @@ impl<T: Tracer> Vm<T> {
         let mut poisoned = false;
         if let Some(pid) = pool_id {
             let budget = self.cfg.violation_budget;
+            // Attribute a budget-crossing poison to the innermost domain's
+            // owning subsystem: `sva.recover.repair(subsys)` later selects
+            // the pools to tear down by this mark (DESIGN.md §4.8).
+            let subsys = self.recovery.last().map(|rc| rc.subsys).unwrap_or(0);
             let pool = self.pools.pool_mut(pid);
             let was_poisoned = pool.poisoned();
             let was_quarantined = pool.quarantined();
             poisoned = pool.note_violation(budget);
+            if poisoned && subsys != 0 {
+                pool.attribute_poison(subsys);
+            }
             if !was_quarantined {
                 self.stats.pools_quarantined += 1;
             }
@@ -2851,6 +2870,52 @@ impl<T: Tracer> Vm<T> {
                         .unwrap_or(false);
                     set(self, ok as u64)?;
                 }
+            }
+            RecoverRepair => {
+                // Tear down and reinitialize every pool whose poison was
+                // attributed to subsystem `arg(0)` (DESIGN.md §4.8). The
+                // kernel's repair manager calls this when a degraded
+                // subsystem's backoff delay expires; the returned count
+                // tells it whether any pool actually needed the teardown.
+                self.stats.cycles += 16;
+                let subsys = arg(0);
+                let repaired = self.pools.repair_poisoned_by(subsys);
+                if !repaired.is_empty() {
+                    self.stats.repairs += 1;
+                    self.stats.pools_repaired += repaired.len() as u64;
+                }
+                if T::wants(EventClass::Repair) {
+                    let ts = self.stats.cycles;
+                    self.tracer.record(
+                        ts,
+                        TraceEvent::Repair {
+                            subsys,
+                            pools: repaired.len() as u32,
+                        },
+                    );
+                }
+                set(self, repaired.len() as u64)?;
+            }
+            RecoverProbation => {
+                // Probation bookkeeping (DESIGN.md §4.8): the kernel's
+                // health machine reports its transition so VM stats and
+                // the flight recorder see the same timeline the guest
+                // does. Verdict 0 = probation passed (live again), 1 =
+                // re-poisoned during probation (re-degraded, backoff
+                // doubled), 2 = strike budget exhausted (retired).
+                let subsys = arg(0);
+                let verdict = arg(1);
+                match verdict {
+                    0 => self.stats.probation_passed += 1,
+                    1 => self.stats.probation_failed += 1,
+                    _ => self.stats.subsys_retired += 1,
+                }
+                if T::wants(EventClass::Repair) {
+                    let ts = self.stats.cycles;
+                    self.tracer
+                        .record(ts, TraceEvent::Probation { subsys, verdict });
+                }
+                set(self, 0)?;
             }
             // ---- diagnostics ----
             Print => {

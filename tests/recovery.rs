@@ -9,11 +9,14 @@ use sva::kernel::harness::{
     boot_user, make_vm, make_vm_nested, make_vm_recovering, pack_arg, safe_kernel_module,
     USER_HEAP_BASE,
 };
-use sva::kernel::{AS_TESTED_EXCLUSIONS, SYSCALLS};
+use sva::kernel::{
+    health_state, health_strikes, AS_TESTED_EXCLUSIONS, H_DEGRADED, H_LIVE, H_PROBATION, H_RETIRED,
+    IRQ_SUBSYS, NSUBSYS, REPAIR_STRIKES, SYSCALLS,
+};
 use sva::rt::MetaPoolId;
 use sva::vm::{
     check_kind_code, FaultAction, FaultHook, KernelKind, Mode, ResumeCode, TrapInfo, Vm, VmConfig,
-    VmError, VmExit,
+    VmError, VmExit, VmStats,
 };
 
 const EFAULT: i64 = -14;
@@ -235,14 +238,33 @@ fn dbg_order(vm: &mut Vm) -> Vec<u64> {
         .collect()
 }
 
-/// Health-table entry for the syscall backed by `handler` (0 = live).
-fn syscall_health(vm: &mut Vm, handler: &str) -> u64 {
-    let idx = SYSCALLS
+/// Recovery-domain subsystem id (1-based) of the syscall backed by
+/// `handler`: its SYSCALLS index + 1.
+fn syscall_subsys(handler: &str) -> u64 {
+    SYSCALLS
         .iter()
         .position(|(_, h, _)| *h == handler)
-        .unwrap_or_else(|| panic!("{handler} not in SYSCALLS")) as u64;
-    let base = vm.global_address("syscall_health").unwrap();
-    vm.mem.read_uint(base + idx * 8, 8, Mode::Kernel).unwrap()
+        .unwrap_or_else(|| panic!("{handler} not in SYSCALLS")) as u64
+        + 1
+}
+
+/// Packed health word for the subsystem backed by `handler` (DESIGN.md
+/// §4.8 bit layout).
+fn syscall_health_word(vm: &mut Vm, handler: &str) -> u64 {
+    subsys_health_word(vm, syscall_subsys(handler))
+}
+
+/// Packed health word for an arbitrary subsystem id (1-based).
+fn subsys_health_word(vm: &mut Vm, subsys: u64) -> u64 {
+    let base = vm.global_address("subsys_health").unwrap();
+    vm.mem
+        .read_uint(base + (subsys - 1) * 8, 8, Mode::Kernel)
+        .unwrap()
+}
+
+/// Health-machine state for the syscall backed by `handler` (0 = live).
+fn syscall_health(vm: &mut Vm, handler: &str) -> u64 {
+    health_state(syscall_health_word(vm, handler))
 }
 
 #[test]
@@ -442,4 +464,293 @@ fn unwind_without_live_context_is_privilege_from_user_mode() {
         matches!(err, VmError::NoRecoveryContext),
         "kernel unwind with no domain, got {err}"
     );
+}
+
+// ---- health-table repair and probation (DESIGN.md §4.8) ----
+
+/// Guest address of subsystem `subsys`'s packed health word.
+fn health_slot(vm: &mut Vm, subsys: u64) -> u64 {
+    vm.global_address("subsys_health").unwrap() + (subsys - 1) * 8
+}
+
+#[test]
+fn degraded_then_repaired_irq_path_delivers_ticks_exactly_once() {
+    // The IRQ dispatch path rides the same 3-state health machine as the
+    // syscalls. Degrade it through the kernel's own transition function
+    // (the caught path of `irqd_timer_tick` calls exactly this with
+    // exactly these arguments) with its pools poisoned: degraded ticks
+    // are dropped, the repair manager — whose clock runs *before* the
+    // IRQ path's own gate — repairs it on schedule, and a repaired tick
+    // is delivered exactly once per timer interrupt again.
+    let mut vm = make_vm_nested(VmConfig {
+        violation_budget: 1,
+        ..Default::default()
+    });
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    for i in 0..vm.pools.len() as u32 {
+        vm.pools
+            .pool_mut(MetaPoolId(i))
+            .force_poison(IRQ_SUBSYS as u64);
+    }
+    let hp = health_slot(&mut vm, IRQ_SUBSYS as u64);
+    vm.call("health_degrade", &[hp, IRQ_SUBSYS as u64]).unwrap();
+    let w = subsys_health_word(&mut vm, IRQ_SUBSYS as u64);
+    assert_eq!(health_state(w), H_DEGRADED as u64);
+    assert_eq!(health_strikes(w), 1);
+
+    // A degraded tick is dropped — the repair clock advances, time does
+    // not.
+    let t0 = vm.read_global_u64("time_ticks").unwrap();
+    vm.call("irqd_timer_tick", &[0]).unwrap();
+    assert_eq!(
+        vm.read_global_u64("time_ticks").unwrap(),
+        t0,
+        "a degraded tick must be dropped, not delivered"
+    );
+
+    // Keep ticking until the machine heals itself: due repair into
+    // probation, clean ticks spend the probation credits, live again.
+    let mut spins = 0;
+    while health_state(subsys_health_word(&mut vm, IRQ_SUBSYS as u64)) != H_LIVE as u64 {
+        vm.call("irqd_timer_tick", &[0]).unwrap();
+        spins += 1;
+        assert!(spins < 32, "IRQ path never returned to live");
+    }
+    assert_eq!(
+        subsys_health_word(&mut vm, IRQ_SUBSYS as u64),
+        0,
+        "the live word must clear strikes and backoff"
+    );
+    let s = vm.stats();
+    assert!(s.repairs >= 1, "repair manager never fired");
+    assert_eq!(
+        s.pools_repaired,
+        vm.pools.len() as u64,
+        "every pool attributed to the IRQ path must be reinitialized"
+    );
+    assert!(s.probation_passed >= 1);
+    assert_eq!(vm.pools.quarantined_count(), 0);
+
+    // The regression proper: a repaired tick is delivered exactly once —
+    // not dropped, not double-counted.
+    let t1 = vm.read_global_u64("time_ticks").unwrap();
+    for n in 1..=3 {
+        vm.call("irqd_timer_tick", &[0]).unwrap();
+        assert_eq!(
+            vm.read_global_u64("time_ticks").unwrap(),
+            t1 + n,
+            "repaired tick not delivered exactly once"
+        );
+    }
+    assert_eq!(
+        vm.read_global_u64("recov_count").unwrap(),
+        0,
+        "IRQ-path health traffic must never reach the boot domain"
+    );
+}
+
+#[test]
+fn user_mode_repair_is_privilege_before_touching_health_state() {
+    // Satellite regression (mirror of the unwind-attack test above):
+    // `sva.recover.repair` from user mode must be rejected as a
+    // privilege violation before any health or pool state is touched.
+    let mut vm = make_vm_nested(VmConfig::default());
+    let err = boot_user(&mut vm, "user_repair_attack", 0).unwrap_err();
+    assert!(
+        matches!(err, VmError::Privilege { .. }),
+        "user repair must be a privilege fault, got {err}"
+    );
+    let s = vm.stats();
+    assert_eq!(s.repairs, 0);
+    assert_eq!(s.pools_repaired, 0);
+    for subsys in 1..=NSUBSYS as u64 {
+        assert_eq!(
+            subsys_health_word(&mut vm, subsys),
+            0,
+            "health table touched by a user-mode repair"
+        );
+    }
+    for i in 0..vm.pools.len() as u32 {
+        assert_eq!(
+            vm.pools.pool(MetaPoolId(i)).repairs(),
+            0,
+            "pool state touched by a user-mode repair"
+        );
+    }
+}
+
+#[test]
+fn strike_budget_exhaustion_permanently_retires_a_subsystem() {
+    // The strike budget is the machine's give-up point: REPAIR_STRIKES
+    // poison strikes retire the subsystem permanently — -ENOSYS forever,
+    // never rescheduled for repair — while the rest of the machine keeps
+    // answering.
+    let mut vm = make_vm_nested(VmConfig::default());
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    let subsys = syscall_subsys("sys_getrusage");
+    let hp = health_slot(&mut vm, subsys);
+    for _ in 0..REPAIR_STRIKES {
+        vm.call("health_degrade", &[hp, subsys]).unwrap();
+    }
+    let w = subsys_health_word(&mut vm, subsys);
+    assert_eq!(health_state(w), H_RETIRED as u64);
+    assert_eq!(health_strikes(w), REPAIR_STRIKES as u64);
+    assert_eq!(vm.stats().subsys_retired, 1);
+
+    // Retired is permanent: the repair manager never reschedules it.
+    for _ in 0..8 {
+        vm.call("irqd_timer_tick", &[0]).unwrap();
+    }
+    assert_eq!(
+        health_state(subsys_health_word(&mut vm, subsys)),
+        H_RETIRED as u64,
+        "a tick resurrected a retired subsystem"
+    );
+    assert_eq!(
+        vm.call("sysd_getrusage", &[USER_HEAP_BASE]).unwrap(),
+        VmExit::Returned(ENOSYS as u64),
+        "a retired syscall must answer -ENOSYS"
+    );
+    // ... without taking the machine down with it.
+    assert!(matches!(
+        vm.call("sysd_getpid", &[]).unwrap(),
+        VmExit::Returned(_)
+    ));
+}
+
+/// Field-wise `after - before` view of a measurement window.
+fn stats_delta(before: &VmStats, after: &VmStats) -> VmStats {
+    VmStats {
+        instructions: after.instructions - before.instructions,
+        cycles: after.cycles - before.cycles,
+        traps: after.traps - before.traps,
+        range_checks: after.range_checks - before.range_checks,
+        context_switches: after.context_switches - before.context_switches,
+        interrupts: after.interrupts - before.interrupts,
+        cache_hits: after.cache_hits - before.cache_hits,
+        page_hits: after.page_hits - before.page_hits,
+        tree_walks: after.tree_walks - before.tree_walks,
+        singleton_hits: after.singleton_hits - before.singleton_hits,
+        violations_recovered: after.violations_recovered - before.violations_recovered,
+        pools_quarantined: after.pools_quarantined - before.pools_quarantined,
+        pools_poisoned: after.pools_poisoned - before.pools_poisoned,
+        domains_pushed: after.domains_pushed - before.domains_pushed,
+        domains_popped: after.domains_popped - before.domains_popped,
+        watchdog_unwinds: after.watchdog_unwinds - before.watchdog_unwinds,
+        fused_execs: after.fused_execs - before.fused_execs,
+        repairs: after.repairs - before.repairs,
+        pools_repaired: after.pools_repaired - before.pools_repaired,
+        probation_passed: after.probation_passed - before.probation_passed,
+        probation_failed: after.probation_failed - before.probation_failed,
+        subsys_retired: after.subsys_retired - before.subsys_retired,
+    }
+}
+
+/// The satellite-3 projection: the fusion-invariant equivalence key with
+/// the repair-cycle counters ("minus repair counters") also zeroed.
+fn repair_scrubbed(mut s: VmStats) -> VmStats {
+    s.repairs = 0;
+    s.pools_repaired = 0;
+    s.probation_passed = 0;
+    s.probation_failed = 0;
+    s.subsys_retired = 0;
+    s.equivalence_key()
+}
+
+/// One round of the fixed probe workload the equivalence property
+/// measures.
+fn probe_round(vm: &mut Vm) {
+    assert_eq!(
+        vm.call("sysd_getrusage", &[USER_HEAP_BASE]).unwrap(),
+        VmExit::Returned(0)
+    );
+    vm.call("sysd_getpid", &[]).unwrap();
+    vm.call("irqd_timer_tick", &[0]).unwrap();
+}
+
+/// Boots a nested kernel, optionally drives `sys_getrusage` through a
+/// full degrade → repair → probation → live cycle, then measures the
+/// stats delta of one probe round (after an identical warmup round, so
+/// both machines enter the window with equally warm lookup layers).
+fn cycle_then_probe(opt: u8, pre_ticks: u64, fault: bool) -> VmStats {
+    let mut vm = make_vm_nested(VmConfig {
+        opt_level: opt,
+        violation_budget: 1,
+        ..Default::default()
+    });
+    boot_user(&mut vm, "user_hello", 0).expect("clean boot");
+    for _ in 0..pre_ticks {
+        vm.call("irqd_timer_tick", &[0]).unwrap();
+    }
+    if fault {
+        let subsys = syscall_subsys("sys_getrusage");
+        for i in 0..vm.pools.len() as u32 {
+            vm.pools.pool_mut(MetaPoolId(i)).force_poison(subsys);
+        }
+        assert_eq!(
+            vm.call("sysd_getrusage", &[USER_HEAP_BASE]).unwrap(),
+            VmExit::Returned(EFAULT as u64),
+            "poisoned pool must fail the syscall"
+        );
+        assert_eq!(syscall_health(&mut vm, "sys_getrusage"), H_DEGRADED as u64);
+        // The machine heals itself: ticks advance the repair manager
+        // through the backoff, clean calls spend the probation credits.
+        let mut spins = 0;
+        loop {
+            let st = syscall_health(&mut vm, "sys_getrusage");
+            if st == H_LIVE as u64 {
+                break;
+            } else if st == H_DEGRADED as u64 {
+                vm.call("irqd_timer_tick", &[0]).unwrap();
+            } else if st == H_PROBATION as u64 {
+                assert_eq!(
+                    vm.call("sysd_getrusage", &[USER_HEAP_BASE]).unwrap(),
+                    VmExit::Returned(0),
+                    "a repaired pool must serve probation calls"
+                );
+            } else {
+                panic!("unexpected health state {st}");
+            }
+            spins += 1;
+            assert!(spins < 64, "repair cycle never converged");
+        }
+        assert_eq!(
+            syscall_health_word(&mut vm, "sys_getrusage"),
+            0,
+            "the live word must clear strikes and backoff"
+        );
+        assert!(vm.stats().pools_repaired > 0);
+        assert_eq!(vm.pools.quarantined_count(), 0);
+    }
+    probe_round(&mut vm); // warmup
+    let before = vm.stats();
+    probe_round(&mut vm);
+    stats_delta(&before, &vm.stats())
+}
+
+#[test]
+fn repair_cycle_leaves_machine_equivalent_to_never_faulted() {
+    // Property (DESIGN.md §4.8): after a full degrade → repair →
+    // probation → live cycle the machine is indistinguishable — on the
+    // equivalence key, minus the repair counters themselves — from a
+    // machine that never faulted, across random fault seeds (which vary
+    // the repair-clock phase the fault lands in) and both opt levels.
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    for opt in [0u8, 2] {
+        for _ in 0..3 {
+            // xorshift64 — deterministic, seeds printed on failure.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let pre_ticks = (rng >> 33) % 5;
+            let cycled = cycle_then_probe(opt, pre_ticks, true);
+            let clean = cycle_then_probe(opt, pre_ticks, false);
+            assert_eq!(
+                repair_scrubbed(cycled),
+                repair_scrubbed(clean),
+                "opt {opt}, pre_ticks {pre_ticks}: a repaired machine must be \
+                 equivalent to one that never faulted"
+            );
+        }
+    }
 }
