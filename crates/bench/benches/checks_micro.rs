@@ -4,10 +4,12 @@
 //! splay lookups" optimization discussion.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sva_kernel::harness::{boot_user, make_vm_cfg, USER_HEAP_BASE};
 use sva_rt::{MetaPool, SplayTree};
 use sva_trace::{
     EventClass, FlightRecorder, LookupLayer, NullTracer, RingTracer, TraceEvent, Tracer,
 };
+use sva_vm::{KernelKind, VmConfig};
 
 fn splay(c: &mut Criterion) {
     let mut g = c.benchmark_group("rt/splay");
@@ -280,5 +282,36 @@ fn flight(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, splay, fastpath, singleton, flight);
+/// The fused checked-load path on the real kernel (DESIGN.md §4.4): the
+/// same pool-checked syscall (`sys_getrusage` dereferences user memory
+/// through a metapool check) on the sva-safe kernel with the optimizing
+/// tier off vs on. At opt 2 the hot checked loads dispatch as
+/// `FusedGepChkLoad` triples; the delta is the dispatch overhead fusion
+/// deletes. Reported for context — the cycle-exact accounting is gated
+/// by `opt_equiv` and the nightly `--opt-compare` artifact.
+fn fused_checked_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm/fusion");
+    for (label, opt) in [("getrusage_unfused", 0u8), ("getrusage_fused", 2)] {
+        g.bench_function(label, |b| {
+            let mut vm = make_vm_cfg(VmConfig {
+                kind: KernelKind::SvaSafe,
+                opt_level: opt,
+                ..Default::default()
+            });
+            boot_user(&mut vm, "user_hello", 0).unwrap();
+            assert_eq!(vm.fused_chk_sites() > 0, opt == 2);
+            b.iter(|| vm.call("sys_getrusage", &[USER_HEAP_BASE]));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    splay,
+    fastpath,
+    singleton,
+    flight,
+    fused_checked_load
+);
 criterion_main!(benches);

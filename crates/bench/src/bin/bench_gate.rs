@@ -17,8 +17,18 @@
 //! NullTracer site measured seconds earlier on the same machine, so the
 //! machine-speed variable cancels and the threshold can be tight.
 //!
+//! A third gate covers the SMP scaling curve (DESIGN.md §4.9): when
+//! `target/sva-bench/scaling.json` (written by `table7_syscalls
+//! --vcpus ...`) is present it is compared against
+//! `crates/bench/baselines/scaling.json`. The deterministic merged
+//! cycles-per-syscall may not regress past the threshold at any common
+//! vCPU count, and the measured speedup at ≥4 vCPUs may not fall below
+//! the 2.5× acceptance floor. Without a current scaling run the gate is
+//! skipped unless `--require-scaling` is given (the nightly passes it).
+//!
 //! Usage: `cargo run --release -p bench --bin bench_gate --
-//!     [--baseline PATH] [--current PATH] [--threshold PCT]`
+//!     [--baseline PATH] [--current PATH] [--threshold PCT]
+//!     [--scaling-baseline PATH] [--scaling-current PATH] [--require-scaling]`
 //!
 //! The criterion shim *appends* to its JSON file, so when an id appears
 //! more than once the last line (the most recent run) wins.
@@ -84,6 +94,9 @@ struct Options {
     baseline: PathBuf,
     current: PathBuf,
     threshold: f64,
+    scaling_baseline: PathBuf,
+    scaling_current: PathBuf,
+    require_scaling: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -92,6 +105,9 @@ fn parse_args() -> Result<Options, String> {
         baseline: root.join("crates/bench/baselines/checks_micro.json"),
         current: root.join("target/sva-bench/checks_micro.json"),
         threshold: 15.0,
+        scaling_baseline: root.join("crates/bench/baselines/scaling.json"),
+        scaling_current: root.join("target/sva-bench/scaling.json"),
+        require_scaling: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -104,10 +120,116 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--threshold: {e}"))?;
             }
+            "--scaling-baseline" => {
+                opts.scaling_baseline = PathBuf::from(val("--scaling-baseline")?)
+            }
+            "--scaling-current" => opts.scaling_current = PathBuf::from(val("--scaling-current")?),
+            "--require-scaling" => opts.require_scaling = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(opts)
+}
+
+/// One parsed line of a `scaling.json` artifact.
+struct ScalingLine {
+    vcpus: u32,
+    cycles_per_syscall: f64,
+    speedup_vs_1: f64,
+}
+
+/// Parses the line-oriented `scaling.json` array into its points.
+fn parse_scaling(path: &PathBuf) -> Result<Vec<ScalingLine>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"vcpus\":")) {
+        let num = |key: &str| -> Result<f64, String> {
+            field(line, key)
+                .ok_or_else(|| format!("no {key} in line: {line}"))?
+                .parse()
+                .map_err(|e| format!("bad {key} in line: {line}: {e}"))
+        };
+        out.push(ScalingLine {
+            vcpus: num("vcpus")? as u32,
+            cycles_per_syscall: num("cycles_per_syscall")?,
+            speedup_vs_1: num("speedup_vs_1")?,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{}: no scaling points", path.display()));
+    }
+    Ok(out)
+}
+
+/// Minimum speedup the ≥4-vCPU point must clear (the PR's acceptance
+/// floor for the SMP machine).
+const SCALING_SPEEDUP_FLOOR: f64 = 2.5;
+
+/// Gates the scaling curve. Returns whether anything failed.
+fn gate_scaling(opts: &Options) -> bool {
+    if !opts.scaling_current.exists() {
+        if opts.require_scaling {
+            eprintln!(
+                "bench_gate: --require-scaling but no current run at {} (run table7_syscalls --vcpus ...)",
+                opts.scaling_current.display()
+            );
+            return true;
+        }
+        println!("scaling: no current run, skipped");
+        return false;
+    }
+    let (base, cur) = match (
+        parse_scaling(&opts.scaling_baseline),
+        parse_scaling(&opts.scaling_current),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: scaling: {e}");
+            return true;
+        }
+    };
+    let mut failed = false;
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}  gate",
+        "scaling (cycles/syscall)", "base", "now", "delta"
+    );
+    for c in &cur {
+        let Some(b) = base.iter().find(|b| b.vcpus == c.vcpus) else {
+            println!("scaling/{}vcpu: no baseline point, info only", c.vcpus);
+            continue;
+        };
+        let delta = if b.cycles_per_syscall == 0.0 {
+            0.0
+        } else {
+            100.0 * (c.cycles_per_syscall - b.cycles_per_syscall) / b.cycles_per_syscall
+        };
+        let verdict = if delta > opts.threshold {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        let id = format!("scaling/{}vcpu", c.vcpus);
+        println!(
+            "{id:<34} {:>12.1} {:>12.1} {delta:>+8.1}%  {verdict}",
+            b.cycles_per_syscall, c.cycles_per_syscall
+        );
+    }
+    match cur.iter().find(|c| c.vcpus >= 4) {
+        Some(c) if c.speedup_vs_1 < SCALING_SPEEDUP_FLOOR => {
+            failed = true;
+            println!(
+                "scaling/{}vcpu speedup {:.2}x < {SCALING_SPEEDUP_FLOOR:.1}x floor  FAIL",
+                c.vcpus, c.speedup_vs_1
+            );
+        }
+        Some(c) => println!(
+            "scaling/{}vcpu speedup {:.2}x (floor {SCALING_SPEEDUP_FLOOR:.1}x)  ok",
+            c.vcpus, c.speedup_vs_1
+        ),
+        None => println!("scaling: no >=4-vCPU point in current run, speedup floor not checked"),
+    }
+    failed
 }
 
 fn main() -> ExitCode {
@@ -178,9 +300,12 @@ fn main() -> ExitCode {
             }
         }
     }
+    if gate_scaling(&opts) {
+        failed = true;
+    }
     if failed {
         eprintln!(
-            "bench_gate: repeat-hit median regressed more than {:.0}% (or a gated id vanished)",
+            "bench_gate: a gated metric regressed more than {:.0}% (or a gated id vanished)",
             opts.threshold
         );
         return ExitCode::FAILURE;

@@ -39,11 +39,19 @@
 //! resume code and console bit-for-bit — the `svadbg` inspector reads
 //! the same bundles offline.
 //!
+//! **SMP arm.** After the single-CPU grid, the same 6-class grid runs
+//! as concurrent job batches on a `--vcpus`-wide (default 4) nested
+//! [`SmpMachine`] whose vCPUs share one epoch-published metadata plane
+//! (DESIGN.md §4.9) — proving containment survives real thread
+//! interleaving on the lock-free check path. Any death there drops a
+//! bundle whose `cpu` field names the faulting vCPU.
+//!
 //! A JSON report lands in `target/sva-inject/faultcamp.json` (override
 //! the directory with `SVA_INJECT_DIR`). Exit status is nonzero on any
 //! panic, escaped safety violation, determinism failure, fork/reboot
 //! divergence, nested-arm machine death, unresponsive nested-arm
-//! probe, or crash-bundle replay divergence, so CI gates on it.
+//! probe, crash-bundle replay divergence, or SMP-arm death/escape, so
+//! CI gates on it.
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,13 +60,14 @@ use std::time::{Duration, Instant};
 
 use sva_inject::{DropRecorder, FaultClass, FaultPlan, PROBE_DEFER};
 use sva_kernel::harness::{
-    boot_user, boot_user_paused, make_vm_nested_traced, make_vm_recovering_traced, pack_arg,
-    USER_HEAP_BASE,
+    boot_user, boot_user_paused, make_vm_nested, make_vm_nested_traced, make_vm_recovering_traced,
+    pack_arg, USER_HEAP_BASE,
 };
 use sva_kernel::postmortem::{check_reproduction, replay};
 use sva_kernel::{health_state, sysd_name, H_DEGRADED, H_LIVE, H_PROBATION, H_RETIRED, SYSCALLS};
 use sva_vm::{
-    CrashBundle, FlightRecorder, Mode, ResumeCode, Vm, VmConfig, VmError, VmExit, VmStats,
+    CrashBundle, FlightRecorder, Mode, ResumeCode, SmpJob, SmpMachine, Vm, VmConfig, VmError,
+    VmExit, VmStats,
 };
 
 /// Campaign machines carry the always-on flight recorder so crash
@@ -844,6 +853,148 @@ fn run_retire_drill(handler: &str, args: &[u64], pool: u32) -> RetireDrill {
     d
 }
 
+// ---- SMP arm (DESIGN.md §4.9) -------------------------------------------
+//
+// The grid and repair arms prove containment and healing on a single
+// CPU; the SMP arm proves both survive *concurrency*. Each fault class
+// becomes one job batch on a `--vcpus`-wide nested machine: every
+// (seed, workload) cell is an [`SmpJob`] that arms its own plan (the
+// same per-cell determinism the grid has) and enables crash capture, so
+// an unexpected death drops a bundle whose `cpu` field names the
+// faulting vCPU (`svadbg` prints it). The vCPUs share the epoch-
+// published metadata plane, so the injected violations exercise the
+// lock-free check path under real thread interleaving. Gates: zero
+// escaped safety violations and zero machine deaths anywhere in the
+// fleet, with a floor on injected faults so an accidentally-disarmed
+// arm cannot pass vacuously.
+
+/// Seeds for the SMP arm: a subset of the grid's, to bound runtime —
+/// the class × workload coverage stays full.
+const SMP_SEEDS: [u64; 3] = [1, 2, 3];
+
+#[derive(Default)]
+struct SmpTally {
+    vcpus: u32,
+    jobs: u64,
+    injected: u64,
+    recovered: u64,
+    completed: u64,
+    /// Jobs that ended in halt 41/42 — a machine death, gated zero.
+    deaths: u64,
+    /// Safety violations that escaped a recovery domain, gated zero.
+    escapes: u64,
+    structured_errors: u64,
+    /// Jobs claimed off another vCPU's queue (scheduler health signal).
+    steals: u64,
+}
+
+impl SmpTally {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"vcpus\":{},\"jobs\":{},\"faults_injected\":{},",
+                "\"violations_recovered\":{},\"completed\":{},",
+                "\"machine_deaths\":{},\"escaped_safety\":{},",
+                "\"structured_errors\":{},\"steals\":{}}}"
+            ),
+            self.vcpus,
+            self.jobs,
+            self.injected,
+            self.recovered,
+            self.completed,
+            self.deaths,
+            self.escapes,
+            self.structured_errors,
+            self.steals,
+        )
+    }
+}
+
+/// Runs the 6-class grid as SMP job batches and tallies the outcomes.
+fn run_smp_arm(vcpus: u32, targets: &[u32]) -> SmpTally {
+    let mut t = SmpTally {
+        vcpus,
+        ..Default::default()
+    };
+    let bdir = bundle_dir();
+    for class in FaultClass::ALL {
+        let template = make_vm_nested(VmConfig {
+            fuel: FUEL,
+            violation_budget: BUDGET,
+            vcpus,
+            ..Default::default()
+        });
+        let mut machine = SmpMachine::new(template);
+        let mut jobs = Vec::new();
+        let mut plans = Vec::new();
+        for seed in SMP_SEEDS {
+            for (wi, (prog, iters, size, wmode)) in WORKLOADS.iter().enumerate() {
+                let addr = machine
+                    .template()
+                    .func_address(prog)
+                    .unwrap_or_else(|| panic!("no user program {prog}"));
+                let plan = Arc::new(
+                    FaultPlan::new(class, seed, PERIOD, targets.to_vec()).with_defer(PROBE_DEFER),
+                );
+                plans.push(plan.clone());
+                let tag = format!(
+                    "smp{vcpus}-{}",
+                    cell_tag(Arm::Nested, class, seed, wi, BUDGET)
+                );
+                let dir = bdir.clone();
+                jobs.push(
+                    SmpJob::boot_user(tag.clone(), addr, pack_arg(*iters, *size, *wmode))
+                        .with_setup(move |vm| {
+                            vm.enable_crash_capture(Some(&dir), &tag);
+                            vm.arm_faults(plan.clone());
+                        }),
+                );
+            }
+        }
+        let r = machine.run(jobs);
+        t.jobs += r.jobs.len() as u64;
+        t.injected += plans.iter().map(|p| p.injected()).sum::<u64>();
+        t.recovered += r.merged.violations_recovered;
+        t.steals += r.cpus.iter().map(|c| c.steals).sum::<u64>();
+        let mut class_deaths = 0u64;
+        for j in &r.jobs {
+            match &j.exit {
+                Ok(VmExit::Halted(41 | 42)) => {
+                    class_deaths += 1;
+                    t.deaths += 1;
+                    eprintln!(
+                        "SMP MACHINE DEATH: {} on vCPU {}: {:?}",
+                        j.label, j.cpu, j.exit
+                    );
+                }
+                Ok(_) => t.completed += 1,
+                Err(VmError::Safety(e)) => {
+                    t.escapes += 1;
+                    eprintln!(
+                        "SMP ESCAPED SAFETY VIOLATION: {} on vCPU {}: {e}",
+                        j.label, j.cpu
+                    );
+                }
+                Err(e) => {
+                    t.structured_errors += 1;
+                    eprintln!("SMP structured error: {} on vCPU {}: {e}", j.label, j.cpu);
+                }
+            }
+        }
+        println!(
+            "smp({})  {:18} jobs {:3}  injected {:6}  recovered {:6}  deaths {:3}  steals {:4}",
+            vcpus,
+            class.name(),
+            r.jobs.len(),
+            plans.iter().map(|p| p.injected()).sum::<u64>(),
+            r.merged.violations_recovered,
+            class_deaths,
+            r.cpus.iter().map(|c| c.steals).sum::<u64>(),
+        );
+    }
+    t
+}
+
 /// `target/<sub>` anchored at the workspace root (nearest ancestor
 /// holding Cargo.lock), same as the bench harness, so artifacts land in
 /// one known place regardless of the cwd cargo chose.
@@ -925,15 +1076,35 @@ fn run_arm(
 
 fn main() {
     let mut mode = BootMode::Fork;
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
+    let mut smp_vcpus: u32 = 4;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let bad = |v: &str| {
+            eprintln!("faultcamp: --vcpus takes a count >= 1, got {v:?}");
+            std::process::exit(2);
+        };
+        match args[i].as_str() {
             "--reboot" => mode = BootMode::Reboot,
             "--verify-reboot" => mode = BootMode::VerifyReboot,
-            other => {
-                eprintln!("faultcamp: unknown flag {other} (expected --reboot or --verify-reboot)");
-                std::process::exit(2);
+            "--vcpus" => {
+                i += 1;
+                let v = args.get(i).map(String::as_str).unwrap_or("");
+                smp_vcpus = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad(v));
             }
+            other => match other.strip_prefix("--vcpus=") {
+                Some(v) => {
+                    smp_vcpus = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| bad(v));
+                }
+                None => {
+                    eprintln!(
+                        "faultcamp: unknown flag {other} (expected --reboot, --verify-reboot or --vcpus N)"
+                    );
+                    std::process::exit(2);
+                }
+            },
         }
+        i += 1;
     }
     let t_total = Instant::now();
 
@@ -1118,6 +1289,19 @@ fn main() {
         drill.trips, drill.retired, drill.post_retire_enosys, drill.machine_alive,
     );
 
+    // SMP arm (DESIGN.md §4.9): the 6-class grid as concurrent job
+    // batches on a multi-vCPU machine sharing one metadata plane.
+    let smp = catch_unwind(AssertUnwindSafe(|| {
+        run_smp_arm(smp_vcpus, &nested_ctx.targets)
+    }))
+    .ok();
+    let smp_panicked = smp.is_none();
+    let smp = smp.unwrap_or_default();
+    println!(
+        "smp({})  total             jobs {:3}  injected {:6}  recovered {:6}  deaths {:3}  escapes {:3}  steals {:4}",
+        smp_vcpus, smp.jobs, smp.injected, smp.recovered, smp.deaths, smp.escapes, smp.steals,
+    );
+
     // Crash-forensics gate: every machine death above must have left a
     // bundle whose replay reproduces the same halt code, resume code and
     // console bit-for-bit.
@@ -1170,10 +1354,12 @@ fn main() {
             "\"retired_subsystems\":{},\"deaths\":{}}},",
             "\"retire_drill\":{{\"retired\":{},\"stats_retired\":{},\"trips\":{},",
             "\"post_retire_enosys\":{},\"machine_alive\":{}}},",
+            "\"smp\":{},",
             "\"gates\":{{\"panics\":{},\"escapes\":{},\"nested_machine_deaths\":{},",
             "\"nested_probes_dead\":{},\"flat_machine_deaths\":{},",
             "\"fork_reboot_mismatches\":{},",
-            "\"crash_bundle_cells\":{},\"bundle_replay_failures\":{}}}}}\n"
+            "\"crash_bundle_cells\":{},\"bundle_replay_failures\":{},",
+            "\"smp_machine_deaths\":{},\"smp_escapes\":{}}}}}\n"
         ),
         mode.name(),
         deterministic,
@@ -1200,6 +1386,7 @@ fn main() {
         drill.trips,
         drill.post_retire_enosys,
         drill.machine_alive,
+        smp.json(),
         flat_total.panics + nested_total.panics + degr.panics,
         flat_total.escaped_safety + nested_total.escaped_safety + degr.escaped_safety,
         nested_total.machine_deaths() + degr.machine_deaths(),
@@ -1208,6 +1395,8 @@ fn main() {
         mismatches,
         deaths.len(),
         bundle_failures,
+        smp.deaths,
+        smp.escapes,
     );
 
     let dir = report_dir();
@@ -1309,6 +1498,23 @@ fn main() {
     fail(
         flat_total.machine_deaths() > 0 && deaths.is_empty(),
         "flat machines died but no cell recorded a crash bundle",
+    );
+    fail(smp_panicked, "the SMP arm panicked the host");
+    fail(
+        smp.escapes > 0,
+        "a safety violation escaped a recovery domain on the SMP machine",
+    );
+    fail(
+        smp.deaths > 0,
+        "a fault killed a vCPU's machine on the SMP arm",
+    );
+    fail(
+        smp.injected < 200,
+        "SMP arm injected fewer than 200 faults (arm disarmed?)",
+    );
+    fail(
+        smp.recovered == 0,
+        "SMP arm recovered no violations (containment never exercised)",
     );
     if failed {
         std::process::exit(1);

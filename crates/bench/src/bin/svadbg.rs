@@ -32,6 +32,7 @@ fn human_console(bytes: &[u8]) -> String {
 fn print_postmortem(bundle: &CrashBundle) {
     println!("== SVA crash bundle ==");
     println!("reason:      {}", bundle.reason);
+    println!("vcpu:        {}", bundle.cpu);
     if bundle.halt_code != 0 {
         println!("halt code:   {}", bundle.halt_code);
     }
@@ -45,13 +46,14 @@ fn print_postmortem(bundle: &CrashBundle) {
     println!("code id:     {:#018x}", bundle.code_id);
     match bundle.vm_config() {
         Ok(cfg) => println!(
-            "config:      {:?} opt={} fast_path={} singleton={} budget={} domain_fuel={}",
+            "config:      {:?} opt={} fast_path={} singleton={} budget={} domain_fuel={} vcpus={}",
             cfg.kind,
             cfg.opt_level,
             cfg.fast_path,
             cfg.singleton_path,
             cfg.violation_budget,
             cfg.domain_fuel,
+            cfg.vcpus,
         ),
         Err(e) => println!("config:      unreplayable ({e})"),
     }

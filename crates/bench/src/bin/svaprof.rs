@@ -62,7 +62,9 @@ use std::process::ExitCode;
 
 use bench::{prof, run_workload_traced};
 use sva_kernel::harness::{boot_user, boot_user_paused, make_vm};
-use sva_trace::{to_chrome_trace, to_jsonl, to_prometheus, top_report, RingConfig};
+use sva_trace::{
+    metrics_to_prometheus, to_chrome_trace, to_jsonl, to_prometheus, top_report, RingConfig,
+};
 use sva_vm::{HotProfile, KernelKind, Vm};
 
 /// Workload the boot-kernel example runs; the default subject here too.
@@ -104,6 +106,7 @@ struct Options {
     replay: Option<PathBuf>,
     shrink: bool,
     prom_diff: Option<(PathBuf, PathBuf)>,
+    vcpus: Option<u32>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -121,6 +124,7 @@ fn parse_args() -> Result<Options, String> {
         replay: None,
         shrink: false,
         prom_diff: None,
+        vcpus: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -164,6 +168,15 @@ fn parse_args() -> Result<Options, String> {
                 let old = PathBuf::from(val("--prom-diff")?);
                 let new = PathBuf::from(val("--prom-diff")?);
                 opts.prom_diff = Some((old, new));
+            }
+            "--vcpus" => {
+                let n: u32 = val("--vcpus")?
+                    .parse()
+                    .map_err(|e| format!("--vcpus: {e}"))?;
+                if n == 0 {
+                    return Err("--vcpus must be at least 1".to_string());
+                }
+                opts.vcpus = Some(n);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -323,6 +336,57 @@ fn replay_mode(path: &PathBuf, capacity: usize, top: usize, shrink: bool) -> Exi
     }
 }
 
+/// `--vcpus N`: run the SMP scaling corpus on an N-vCPU machine and
+/// export per-vCPU metrics — every `check.*`/`recovery.*`/`sched.*`
+/// counter appears under `cpu<id>.` plus the machine total — to
+/// `smp<N>.prom`, which the nightly `--prom-diff`s against the previous
+/// night alongside the single-CPU export (DESIGN.md §4.9).
+fn smp_prom_mode(vcpus: u32) -> ExitCode {
+    let m = bench::smp_metrics(vcpus);
+    // Every vCPU must have contributed its own check series; a missing
+    // cpu<id> prefix means the per-CPU fold silently degenerated into a
+    // flat machine total and the nightly diff would track nothing.
+    for cpu in 0..vcpus {
+        if m.counter(&format!("cpu{cpu}.check.ls_checks")) == 0 {
+            eprintln!("svaprof: cpu{cpu} recorded no load/store checks — per-vCPU fold broken?");
+            return ExitCode::FAILURE;
+        }
+    }
+    let dir = trace_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("svaprof: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let prom_path = dir.join(format!("smp{vcpus}.prom"));
+    if let Err(e) = std::fs::write(&prom_path, metrics_to_prometheus(&m)) {
+        eprintln!("svaprof: cannot write {}: {e}", prom_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("svaprof: {vcpus}-vCPU scaling corpus, per-CPU check/recovery counters:");
+    for cpu in 0..vcpus {
+        println!(
+            "  cpu{cpu}: ls_checks {} bounds {} lookups s/c/p/t {}/{}/{}/{} repairs {} jobs {} steals {}",
+            m.counter(&format!("cpu{cpu}.check.ls_checks")),
+            m.counter(&format!("cpu{cpu}.check.bounds_checks")),
+            m.counter(&format!("cpu{cpu}.check.lookup.singleton_hits")),
+            m.counter(&format!("cpu{cpu}.check.lookup.cache_hits")),
+            m.counter(&format!("cpu{cpu}.check.lookup.page_hits")),
+            m.counter(&format!("cpu{cpu}.check.lookup.tree_walks")),
+            m.counter(&format!("cpu{cpu}.recovery.repairs")),
+            m.counter(&format!("cpu{cpu}.sched.jobs")),
+            m.counter(&format!("cpu{cpu}.sched.steals")),
+        );
+    }
+    println!(
+        "  total: ls_checks {} bounds {} repairs {}",
+        m.counter("check.ls_checks"),
+        m.counter("check.bounds_checks"),
+        m.counter("recovery.repairs"),
+    );
+    println!("prometheus:   {}", prom_path.display());
+    ExitCode::SUCCESS
+}
+
 /// `--prom-diff`: counter deltas and histogram-bucket shifts between two
 /// Prometheus text exports.
 fn prom_diff_mode(old: &PathBuf, new: &PathBuf) -> ExitCode {
@@ -365,6 +429,9 @@ fn main() -> ExitCode {
 
     if let Some((old, new)) = &opts.prom_diff {
         return prom_diff_mode(old, new);
+    }
+    if let Some(vcpus) = opts.vcpus {
+        return smp_prom_mode(vcpus);
     }
     if let Some(path) = &opts.replay {
         return replay_mode(path, opts.capacity, opts.top, opts.shrink);

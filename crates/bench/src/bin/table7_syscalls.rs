@@ -7,12 +7,17 @@
 //! kernel at `opt_level` 0 vs 2 (DESIGN.md §4.4 superinstruction fusion)
 //! and writes the cycle deltas to `target/sva-bench/table7_opt_compare.json`
 //! for the nightly CI artifact.
+//!
+//! `--vcpus 1,2,4,8` runs the SMP scaling workload (DESIGN.md §4.9) at
+//! each vCPU count and writes the syscalls/sec-vs-vCPUs curve to
+//! `target/sva-bench/scaling.json`, which `bench_gate` compares against
+//! the checked-in baseline.
 
 use std::path::PathBuf;
 
 use bench::{
-    arg, latency_row, print_check_breakdown, print_latency_table, run_workload_cfg,
-    run_workload_traced,
+    arg, latency_row, print_check_breakdown, print_latency_table, print_scaling_table,
+    run_workload_cfg, run_workload_traced, scaling_curve, scaling_json, scaling_speedup,
 };
 use sva_trace::{top_report, RingConfig};
 use sva_vm::{KernelKind, VmConfig};
@@ -78,9 +83,49 @@ fn opt_compare(rows: &[(&str, &str, u64)]) -> String {
     json
 }
 
+/// Parses `--vcpus 1,2,4` / `--vcpus=1,2,4` into the counts to sweep.
+fn vcpus_arg() -> Option<Vec<u32>> {
+    let args: Vec<String> = std::env::args().collect();
+    let list = args.iter().enumerate().find_map(|(i, a)| {
+        a.strip_prefix("--vcpus=")
+            .map(str::to_string)
+            .or_else(|| (a == "--vcpus").then(|| args.get(i + 1).cloned()).flatten())
+    })?;
+    let ns: Vec<u32> = list
+        .split(',')
+        .map(|s| s.trim().parse().expect("--vcpus takes e.g. 1,2,4,8"))
+        .collect();
+    assert!(!ns.is_empty(), "--vcpus takes e.g. 1,2,4,8");
+    Some(ns)
+}
+
 fn main() {
     let trace = std::env::args().any(|a| a == "--trace");
     let compare = std::env::args().any(|a| a == "--opt-compare");
+    let vcpus = vcpus_arg();
+
+    // The scaling sweep stands alone: no point re-measuring the latency
+    // table once per nightly matrix arm that only wants the curve.
+    if let Some(ns) = vcpus {
+        let points = scaling_curve(&ns);
+        print_scaling_table(&points);
+        if let Some(p4) = points.iter().find(|p| p.vcpus >= 4) {
+            println!(
+                "speedup at {} vCPUs: {:.2}x (acceptance floor 2.5x)",
+                p4.vcpus,
+                scaling_speedup(&points, p4)
+            );
+        }
+        let dir = bench_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join("scaling.json");
+            match std::fs::write(&path, scaling_json(&points)) {
+                Ok(()) => println!("scaling artifact: {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+        return;
+    }
     let rows = vec![
         latency_row("getpid", "user_getpid_loop", arg(2000, 0, 0), 2000),
         latency_row("getrusage", "user_getrusage_loop", arg(2000, 0, 0), 2000),

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use sva_kernel::harness::{boot_user, make_vm_cfg, make_vm_traced, pack_arg};
 use sva_trace::{RingConfig, RingTracer};
-use sva_vm::{KernelKind, VmConfig, VmExit, VmStats};
+use sva_vm::{KernelKind, SmpJob, SmpMachine, VmConfig, VmExit, VmStats};
 
 pub use sva_kernel::harness::pack_arg as pack;
 
@@ -292,6 +292,211 @@ pub fn print_bandwidth_table(title: &str, rows: &[BandwidthRow]) {
 /// Convenience: packed workload argument.
 pub fn arg(iters: u64, size: u64, mode: u64) -> u64 {
     pack_arg(iters, size, mode)
+}
+
+// ---- SMP scaling curve (DESIGN.md §4.9) ------------------------------------
+
+/// The scaling workload: three syscall-heavy programs, one full set per
+/// vCPU, so per-CPU work stays constant as N grows and the curve
+/// isolates what sharing the check path costs. Arguments are pre-packed
+/// `pack_arg(iters, size, mode)` words.
+pub const SCALING_CORPUS: [(&str, u64); 3] = [
+    ("user_getpid_loop", 200),
+    ("user_write_loop", 80 | (64 << 24)),
+    ("user_openclose_loop", 60),
+];
+
+/// One point on the syscalls/sec-vs-vCPUs scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// vCPU count of the machine.
+    pub vcpus: u32,
+    /// Jobs submitted (one corpus set per vCPU).
+    pub jobs: u32,
+    /// Syscalls executed across all vCPUs (deterministic).
+    pub total_syscalls: u64,
+    /// Virtual cycles of the busiest vCPU — the machine's virtual
+    /// makespan (schedule-dependent within one job's worth of skew).
+    pub max_cpu_cycles: u64,
+    /// Merged virtual cycles across all vCPUs (deterministic).
+    pub total_cycles: u64,
+    /// Throughput: syscalls per million virtual cycles of makespan.
+    pub syscalls_per_mcycle: f64,
+    /// Wall time of the run (host-scheduling noise; never gated).
+    pub wall: Duration,
+}
+
+impl ScalingPoint {
+    /// Merged cycles per syscall — the deterministic per-check-path cost
+    /// the nightly gate compares (makespan-based throughput wobbles by
+    /// up to one job's worth of steal skew; this does not).
+    pub fn cycles_per_syscall(&self) -> f64 {
+        if self.total_syscalls == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.total_syscalls as f64
+        }
+    }
+}
+
+/// Measures one point of the scaling curve on the sva-safe kernel at
+/// opt 2 (the configuration the paper's overhead story is about).
+///
+/// # Panics
+///
+/// Panics if any job fails — the scaling corpus must run clean at every
+/// vCPU count.
+pub fn scaling_point(vcpus: u32) -> ScalingPoint {
+    let template = make_vm_cfg(VmConfig {
+        kind: KernelKind::SvaSafe,
+        opt_level: 2,
+        vcpus,
+        ..Default::default()
+    });
+    let mut jobs = Vec::new();
+    for _ in 0..vcpus {
+        for (prog, a) in SCALING_CORPUS {
+            let addr = template
+                .func_address(prog)
+                .expect("scaling corpus program exists");
+            jobs.push(SmpJob::boot_user(prog, addr, a));
+        }
+    }
+    let njobs = jobs.len() as u32;
+    let mut smp = SmpMachine::new(template);
+    let r = smp.run(jobs);
+    let failures: Vec<String> = r
+        .failures()
+        .iter()
+        .map(|j| format!("{} on cpu {}: {:?}", j.label, j.cpu, j.exit))
+        .collect();
+    assert!(failures.is_empty(), "scaling jobs failed: {failures:?}");
+    ScalingPoint {
+        vcpus,
+        jobs: njobs,
+        total_syscalls: r.total_syscalls,
+        max_cpu_cycles: r.max_cpu_cycles,
+        total_cycles: r.merged.cycles,
+        syscalls_per_mcycle: r.syscalls_per_mcycle(),
+        wall: r.wall,
+    }
+}
+
+/// Measures the curve at each requested vCPU count.
+pub fn scaling_curve(vcpus: &[u32]) -> Vec<ScalingPoint> {
+    vcpus.iter().map(|&n| scaling_point(n)).collect()
+}
+
+/// Speedup of each point's throughput over the curve's 1-vCPU point
+/// (0.0 when the curve has no such point).
+pub fn scaling_speedup(points: &[ScalingPoint], p: &ScalingPoint) -> f64 {
+    points
+        .iter()
+        .find(|q| q.vcpus == 1)
+        .filter(|q| q.syscalls_per_mcycle > 0.0)
+        .map(|q| p.syscalls_per_mcycle / q.syscalls_per_mcycle)
+        .unwrap_or(0.0)
+}
+
+/// Renders the curve as the `scaling.json` artifact: a JSON array, one
+/// flat object per line (the same line-oriented shape `bench_gate`
+/// parses for `checks_micro`).
+pub fn scaling_json(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"vcpus\":{},\"jobs\":{},\"total_syscalls\":{},\"max_cpu_cycles\":{},\
+             \"total_cycles\":{},\"syscalls_per_mcycle\":{:.4},\"cycles_per_syscall\":{:.4},\
+             \"speedup_vs_1\":{:.4},\"wall_ms\":{:.1}}}{}\n",
+            p.vcpus,
+            p.jobs,
+            p.total_syscalls,
+            p.max_cpu_cycles,
+            p.total_cycles,
+            p.syscalls_per_mcycle,
+            p.cycles_per_syscall(),
+            scaling_speedup(points, p),
+            p.wall.as_secs_f64() * 1e3,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Prints the scaling curve as a table.
+pub fn print_scaling_table(points: &[ScalingPoint]) {
+    println!("\n== sva-safe SMP scaling: syscalls per Mcycle of virtual makespan ==");
+    println!(
+        "{:>6} {:>6} {:>10} {:>14} {:>12} {:>10} {:>10}",
+        "vcpus", "jobs", "syscalls", "max cycles", "sys/Mcyc", "speedup", "wall (ms)"
+    );
+    for p in points {
+        println!(
+            "{:>6} {:>6} {:>10} {:>14} {:>12.2} {:>9.2}x {:>10.1}",
+            p.vcpus,
+            p.jobs,
+            p.total_syscalls,
+            p.max_cpu_cycles,
+            p.syscalls_per_mcycle,
+            scaling_speedup(points, p),
+            p.wall.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Runs the scaling corpus on an `vcpus`-wide [`SmpMachine`] and folds
+/// every vCPU's counters into one registry via
+/// [`MetricsRegistry::fold_cpu`]: each check/recovery/scheduler counter
+/// appears both under `cpu<id>.<name>` and summed into the unprefixed
+/// machine total. `svaprof --vcpus N --prom` serializes the result so the
+/// nightly `--prom-diff` tracks per-vCPU `recovery.*` and `check.*` drift
+/// night over night (DESIGN.md §4.9).
+///
+/// # Panics
+///
+/// Panics if any corpus job fails — same contract as [`scaling_point`].
+pub fn smp_metrics(vcpus: u32) -> sva_trace::MetricsRegistry {
+    use sva_trace::MetricsRegistry;
+    let template = make_vm_cfg(VmConfig {
+        kind: KernelKind::SvaSafe,
+        opt_level: 2,
+        vcpus,
+        ..Default::default()
+    });
+    let mut jobs = Vec::new();
+    for _ in 0..vcpus {
+        for (prog, a) in SCALING_CORPUS {
+            let addr = template
+                .func_address(prog)
+                .expect("scaling corpus program exists");
+            jobs.push(SmpJob::boot_user(prog, addr, a));
+        }
+    }
+    let mut smp = SmpMachine::new(template);
+    let r = smp.run(jobs);
+    let failures: Vec<String> = r
+        .failures()
+        .iter()
+        .map(|j| format!("{} on cpu {}: {:?}", j.label, j.cpu, j.exit))
+        .collect();
+    assert!(failures.is_empty(), "smp metrics jobs failed: {failures:?}");
+    let mut m = MetricsRegistry::new();
+    for c in &r.cpus {
+        let mut per_cpu = MetricsRegistry::new();
+        c.checks.fold_into(&mut per_cpu);
+        per_cpu.set_counter("recovery.repairs", c.stats.repairs);
+        per_cpu.set_counter("recovery.pools_repaired", c.stats.pools_repaired);
+        per_cpu.set_counter("recovery.probation_passed", c.stats.probation_passed);
+        per_cpu.set_counter("recovery.probation_failed", c.stats.probation_failed);
+        per_cpu.set_counter("recovery.subsys_retired", c.stats.subsys_retired);
+        per_cpu.set_counter("sched.jobs", c.jobs as u64);
+        per_cpu.set_counter("sched.steals", c.steals);
+        per_cpu.set_counter("sched.parks", c.parks);
+        per_cpu.set_counter("sched.irqs_routed", c.irqs_routed);
+        m.fold_cpu(c.cpu, &per_cpu);
+    }
+    m
 }
 
 /// Prints, for each workload, where the sva-safe configuration's metapool

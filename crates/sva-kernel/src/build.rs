@@ -27,8 +27,8 @@ use std::collections::HashMap;
 
 use sva_ir::build::FunctionBuilder;
 use sva_ir::{
-    AllocKind, AllocatorDecl, FuncId, GlobalId, GlobalInit, IPred, Intrinsic, Linkage, Module,
-    Operand, RelocTarget, SizeSpec, TypeId,
+    AllocKind, AllocatorDecl, AtomicOp, FuncId, GlobalId, GlobalInit, IPred, Intrinsic, Linkage,
+    Module, Operand, RelocTarget, SizeSpec, TypeId,
 };
 
 use crate::nr;
@@ -2067,7 +2067,11 @@ fn define_health_machine(m: &mut Module, k: &K) {
     b.switch_to(retire);
     let sbits = b.shl(strikes1, ci(k, 4));
     let retired_word = b.or(sbits, ci(k, H_RETIRED));
-    b.store(retired_word, hp);
+    // Health transitions are single-shot CAS against the word the
+    // decision was computed from (DESIGN.md §4.9): on a multi-vCPU
+    // machine a racing transition loses the exchange instead of
+    // clobbering it; single-CPU the exchange always succeeds.
+    b.cmpxchg(hp, word, retired_word);
     b.intrinsic(
         Intrinsic::RecoverProbation,
         vec![subsys, ci(k, 2)],
@@ -2092,11 +2096,9 @@ fn define_health_machine(m: &mut Module, k: &K) {
     let w2 = b.or(w1, dbits);
     let ubits = b.shl(due, ci(k, 24));
     let w3 = b.or(w2, ubits);
-    b.store(w3, hp);
+    b.cmpxchg(hp, word, w3);
     let pend_p = k.gop("repair_pending");
-    let pend = b.load(pend_p);
-    let pend1 = b.add(pend, ci(k, 1));
-    b.store(pend1, pend_p);
+    b.atomic_rmw(AtomicOp::Add, pend_p, ci(k, 1));
     let was_prob = b.icmp(IPred::Eq, state, ci(k, H_PROBATION));
     let report = b.block("hd.reprob");
     let done = b.block("hd.done");
@@ -2136,7 +2138,7 @@ fn define_health_machine(m: &mut Module, k: &K) {
     let keep = b.block("hp.keep");
     b.cond_br(clean, live, keep);
     b.switch_to(live);
-    b.store(ci(k, H_LIVE), hp);
+    b.cmpxchg(hp, word, ci(k, H_LIVE));
     b.intrinsic(
         Intrinsic::RecoverProbation,
         vec![subsys, ci(k, 0)],
@@ -2147,7 +2149,7 @@ fn define_health_machine(m: &mut Module, k: &K) {
     let cleared = b.and(word, ci(k, !0xff00));
     let cbits = b.shl(c1, ci(k, 8));
     let neww = b.or(cleared, cbits);
-    b.store(neww, hp);
+    b.cmpxchg(hp, word, neww);
     b.ret(Some(ci(k, 0)));
     b.switch_to(out);
     b.ret(Some(ci(k, 0)));
@@ -2196,11 +2198,9 @@ fn define_health_machine(m: &mut Module, k: &K) {
         let w1 = b.or(sbits, base);
         let dbits = b.shl(delay, ci(k, 16));
         let w2 = b.or(w1, dbits);
-        b.store(w2, hp);
+        b.cmpxchg(hp, word, w2);
         let pend_p = k.gop("repair_pending");
-        let p = b.load(pend_p);
-        let p1 = b.sub(p, ci(k, 1));
-        b.store(p1, pend_p);
+        b.atomic_rmw(AtomicOp::Sub, pend_p, ci(k, 1));
         b.br(skip);
         b.switch_to(skip);
     }

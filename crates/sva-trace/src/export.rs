@@ -214,7 +214,14 @@ fn prom_name(name: &str) -> String {
 /// and `_count`. Nightly CI diffs these distributions across runs, which
 /// catches a latency shift that leaves the median untouched.
 pub fn to_prometheus(tracer: &RingTracer) -> String {
-    let m = tracer.metrics();
+    metrics_to_prometheus(tracer.metrics())
+}
+
+/// [`to_prometheus`] for a bare registry — the SMP path builds one by
+/// [`crate::MetricsRegistry::fold_cpu`]-ing each vCPU's counters (so the
+/// export carries `sva_cpu<N>_…` series alongside the machine totals)
+/// without ever attaching a tracer.
+pub fn metrics_to_prometheus(m: &crate::MetricsRegistry) -> String {
     let mut out = String::new();
     for (name, v) in m.counters() {
         let n = prom_name(name);

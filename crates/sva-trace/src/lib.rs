@@ -43,7 +43,7 @@ pub mod ring;
 pub mod tracer;
 
 pub use event::{intern, EventClass, LookupLayer, TimedEvent, TraceEvent};
-pub use export::{to_chrome_trace, to_jsonl, to_prometheus, top_report};
+pub use export::{metrics_to_prometheus, to_chrome_trace, to_jsonl, to_prometheus, top_report};
 pub use flight::{FlightConfig, FlightRecorder};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::{EventRing, RingConfig};

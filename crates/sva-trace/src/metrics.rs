@@ -201,11 +201,71 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Sums every counter and merges every histogram of `other` into
+    /// this registry.
+    pub fn fold(&mut self, other: &MetricsRegistry) {
+        for (k, v) in other.counters() {
+            self.add_counter(k, v);
+        }
+        for (k, h) in other.histograms() {
+            self.histograms.entry(k.to_string()).or_default().merge(h);
+        }
+    }
+
+    /// Per-CPU fold (DESIGN.md §4.9): every series of `other` lands
+    /// twice — under `cpu<id>.<name>` for the per-vCPU view the nightly
+    /// `--prom-diff` tracks, and summed into the unprefixed machine
+    /// total. Fold each vCPU's registry exactly once, in cpu-id order,
+    /// into a fresh registry; the result is deterministic because both
+    /// maps iterate name-sorted.
+    pub fn fold_cpu(&mut self, cpu: u32, other: &MetricsRegistry) {
+        for (k, v) in other.counters() {
+            self.add_counter(&format!("cpu{cpu}.{k}"), v);
+            self.add_counter(k, v);
+        }
+        for (k, h) in other.histograms() {
+            self.histograms
+                .entry(format!("cpu{cpu}.{k}"))
+                .or_default()
+                .merge(h);
+            self.histograms.entry(k.to_string()).or_default().merge(h);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fold_cpu_builds_prefixed_and_total_series() {
+        let mut cpu0 = MetricsRegistry::new();
+        cpu0.add_counter("recovery.repairs", 2);
+        cpu0.record("check.cost", 16);
+        let mut cpu1 = MetricsRegistry::new();
+        cpu1.add_counter("recovery.repairs", 3);
+        cpu1.add_counter("check.ls_checks", 7);
+        cpu1.record("check.cost", 32);
+
+        let mut m = MetricsRegistry::new();
+        m.fold_cpu(0, &cpu0);
+        m.fold_cpu(1, &cpu1);
+        assert_eq!(m.counter("cpu0.recovery.repairs"), 2);
+        assert_eq!(m.counter("cpu1.recovery.repairs"), 3);
+        assert_eq!(m.counter("recovery.repairs"), 5);
+        assert_eq!(m.counter("cpu1.check.ls_checks"), 7);
+        assert_eq!(m.counter("cpu0.check.ls_checks"), 0);
+        assert_eq!(m.histogram("check.cost").unwrap().count(), 2);
+        assert_eq!(m.histogram("cpu0.check.cost").unwrap().count(), 1);
+
+        // Plain fold: unprefixed sum only.
+        let mut flat = MetricsRegistry::new();
+        flat.fold(&cpu0);
+        flat.fold(&cpu1);
+        assert_eq!(flat.counter("recovery.repairs"), 5);
+        assert_eq!(flat.histogram("check.cost").unwrap().count(), 2);
+    }
 
     #[test]
     fn buckets_are_log2() {

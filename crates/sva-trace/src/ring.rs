@@ -121,6 +121,27 @@ impl EventRing {
     pub fn pinned_overflow(&self) -> u64 {
         self.pinned_overflow
     }
+
+    /// Deterministic per-CPU merge (DESIGN.md §4.9): folds this ring's
+    /// surviving events into `dst`, re-interleaving both streams by
+    /// timestamp. The sort is stable, so same-timestamp events keep
+    /// `dst`-before-`self` order — folding vCPU rings into one merged
+    /// ring in cpu-id order always yields the same sequence. `dst` keeps
+    /// its own capacity and pinning rules (re-pushing replays eviction),
+    /// and the loss counters accumulate across both rings.
+    pub fn fold_into(&self, dst: &mut EventRing) {
+        let mut all: Vec<TimedEvent> = dst.iter().chain(self.iter()).cloned().collect();
+        all.sort_by_key(|e| e.ts);
+        let total = dst.total + self.total;
+        dst.buf.clear();
+        dst.pinned.clear();
+        dst.dropped += self.dropped;
+        dst.pinned_overflow += self.pinned_overflow;
+        for e in all {
+            dst.push(e.ts, e.event);
+        }
+        dst.total = total;
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +215,82 @@ mod tests {
         assert_eq!(r.len(), 3);
         assert_eq!(r.pinned_overflow(), 2);
         assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn fold_into_merges_by_timestamp_deterministically() {
+        let mk = |ts: &[u64]| {
+            let mut r = EventRing::new(RingConfig {
+                capacity: 16,
+                pinned: vec![],
+                pinned_capacity: 0,
+            });
+            for &t in ts {
+                r.push(t, inst(t));
+            }
+            r
+        };
+        // Two "vCPU" rings with interleaved timestamps and one tie (5).
+        let cpu0 = mk(&[1, 5, 9]);
+        let cpu1 = mk(&[2, 5, 7]);
+        let mut merged = EventRing::new(RingConfig {
+            capacity: 16,
+            pinned: vec![],
+            pinned_capacity: 0,
+        });
+        cpu0.fold_into(&mut merged);
+        cpu1.fold_into(&mut merged);
+        let ts: Vec<u64> = merged.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![1, 2, 5, 5, 7, 9]);
+        assert_eq!(merged.total_recorded(), 6);
+        // Stable tie-break: cpu0's event at ts=5 precedes cpu1's.
+        let funcs: Vec<u32> = merged
+            .iter()
+            .filter(|e| e.ts == 5)
+            .map(|e| match e.event {
+                TraceEvent::Inst { func, .. } => func,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(funcs, vec![5, 5]);
+        // Same fold order → identical sequence.
+        let mut again = EventRing::new(RingConfig {
+            capacity: 16,
+            pinned: vec![],
+            pinned_capacity: 0,
+        });
+        cpu0.fold_into(&mut again);
+        cpu1.fold_into(&mut again);
+        assert_eq!(
+            merged.iter().collect::<Vec<_>>(),
+            again.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fold_into_respects_destination_capacity() {
+        let mut src = EventRing::new(RingConfig {
+            capacity: 8,
+            pinned: vec![EventClass::Violation],
+            pinned_capacity: 8,
+        });
+        src.push(0, violation(0));
+        for i in 1..6 {
+            src.push(i, inst(i));
+        }
+        let mut dst = EventRing::new(RingConfig {
+            capacity: 2,
+            pinned: vec![EventClass::Violation],
+            pinned_capacity: 8,
+        });
+        src.fold_into(&mut dst);
+        // 6 events through a 2-slot ring: the violation is promoted, the
+        // overflowing instructions are dropped, totals carry over.
+        assert_eq!(dst.total_recorded(), 6);
+        assert!(dst
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::Violation { .. })));
+        assert_eq!(dst.dropped(), 3);
     }
 
     #[test]

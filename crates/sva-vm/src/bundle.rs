@@ -48,7 +48,9 @@ use crate::vm::{KernelKind, Vm, VmConfig, VmStats};
 /// Bundle magic.
 pub const BUNDLE_MAGIC: [u8; 4] = *b"SVAB";
 /// Current bundle format version. Bump on any payload-layout change.
-pub const BUNDLE_VERSION: u32 = 2;
+/// v3: records the faulting vCPU id and carries the widened (10-word,
+/// `vcpus`-bearing) config fingerprint of snapshot v3.
+pub const BUNDLE_VERSION: u32 = 3;
 /// Header size in bytes.
 const HEADER_LEN: usize = 24;
 
@@ -207,6 +209,9 @@ pub struct CrashBundle {
     /// Human-readable capture context (the abort expression, the escaped
     /// check's provenance, ...).
     pub detail: String,
+    /// Which vCPU was executing when the machine died (0 on classic
+    /// single-CPU machines; the forked vCPU's id under [`crate::SmpMachine`]).
+    pub cpu: u32,
     /// The machine's config fingerprint words (same order as the
     /// snapshot format), from which [`CrashBundle::vm_config`] rebuilds
     /// a replay config.
@@ -265,6 +270,7 @@ impl CrashBundle {
             singleton_path: w[4] != 0,
             violation_budget: w[5] as u32,
             domain_fuel: w[6],
+            vcpus: (w[9] as u32).max(1),
             ..VmConfig::default()
         })
     }
@@ -276,6 +282,7 @@ impl CrashBundle {
         w.u64(self.halt_code);
         w.u64(self.resume_code_raw);
         w.str(&self.detail);
+        w.u32(self.cpu);
         for word in self.config_words {
             w.u64(word);
         }
@@ -378,6 +385,7 @@ impl CrashBundle {
         let halt_code = r.u64().map_err(perr)?;
         let resume_code_raw = r.u64().map_err(perr)?;
         let detail = r.str().map_err(perr)?;
+        let cpu = r.u32().map_err(perr)?;
         let mut config_words = [0u64; FP_FIELDS.len()];
         for w in &mut config_words {
             *w = r.u64().map_err(perr)?;
@@ -446,6 +454,7 @@ impl CrashBundle {
             halt_code,
             resume_code_raw,
             detail,
+            cpu,
             config_words,
             code_id,
             stats,
@@ -539,6 +548,7 @@ impl<T: Tracer> Vm<T> {
             halt_code,
             resume_code_raw,
             detail,
+            cpu: self.cpu_id,
             config_words: fingerprint_words(&self.cfg, self.fused_sites()),
             code_id: self.code_identity(),
             stats: self.stats(),

@@ -16,6 +16,7 @@ pub mod bundle;
 pub mod mem;
 pub mod opt;
 pub mod resume;
+pub mod smp;
 pub mod snapshot;
 pub mod vm;
 
@@ -26,11 +27,12 @@ pub use mem::{
 };
 pub use opt::HotProfile;
 pub use resume::{check_kind_code, ResumeCode, RESUME_KIND_WATCHDOG};
+pub use smp::{CpuReport, JobResult, SmpJob, SmpMachine, SmpReport};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use sva_trace::{FlightConfig, FlightRecorder, NullTracer, RingTracer, Tracer};
 pub use vm::{
-    FaultAction, FaultHook, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit, VmStats,
-    CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, USTACK_SIZE,
+    FaultAction, FaultHook, IrqAffinity, KernelKind, TrapInfo, Vm, VmConfig, VmError, VmExit,
+    VmStats, CHECK_CYCLES, PORT_CONSOLE, PORT_TIMER, REG_CYCLES, USTACK_SIZE,
 };
 
 #[cfg(test)]

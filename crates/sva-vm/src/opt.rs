@@ -36,7 +36,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::vm::{FlatFunc, FlatOp, Src};
+use sva_ir::Intrinsic;
+
+use crate::vm::{FlatCallee, FlatFunc, FlatOp, Src};
 
 /// The set of functions the optimizing tier should fuse, exported from a
 /// profiled run (`svaprof --profile-out`) and consumed by
@@ -213,6 +215,20 @@ fn count_reg_uses(ops: &[FlatOp]) -> HashMap<u32, u32> {
                     add(s);
                 }
             }
+            FlatOp::FusedGepChkLoad {
+                base,
+                dynamic,
+                chk_src,
+                ..
+            } => {
+                add(base);
+                for (s, _, _) in dynamic {
+                    add(s);
+                }
+                if let Some(s) = chk_src {
+                    add(s);
+                }
+            }
             FlatOp::FusedGepStore {
                 val, base, dynamic, ..
             } => {
@@ -279,6 +295,63 @@ pub(crate) fn fuse_flat(ff: &mut FlatFunc) -> u32 {
         if block_start[p + 1] {
             p += 1;
             continue;
+        }
+        // Triple: gep + inserted pool check + load (checked kernels).
+        // The address register has exactly *two* reads — the check
+        // operand and the load pointer — so the pairwise single-use rule
+        // stops at the check call; swallowing all three ops at once is
+        // what makes the fused-GEP win reach sva-safe.
+        if p + 2 < n && !block_start[p + 2] {
+            let triple = match (&ff.ops[p], &ff.ops[p + 1], &ff.ops[p + 2]) {
+                (
+                    FlatOp::Gep {
+                        dst,
+                        base,
+                        const_off,
+                        dynamic,
+                    },
+                    FlatOp::Call {
+                        dst: None,
+                        callee: FlatCallee::Intrinsic(intr),
+                        args,
+                    },
+                    FlatOp::Load {
+                        dst: ld,
+                        ptr: Src::Reg(lp),
+                        w,
+                    },
+                ) if *lp == *dst && uses.get(dst).copied().unwrap_or(0) == 2 => {
+                    let chk = match (intr, args.as_slice()) {
+                        (Intrinsic::LsCheck, [Src::Imm(mp), Src::Reg(a)]) if *a == *dst => {
+                            Some((*mp as u32, None))
+                        }
+                        (Intrinsic::BoundsCheck, [Src::Imm(mp), src, Src::Reg(a)])
+                            if *a == *dst =>
+                        {
+                            Some((*mp as u32, Some(*src)))
+                        }
+                        _ => None,
+                    };
+                    chk.map(|(mp, chk_src)| FlatOp::FusedGepChkLoad {
+                        dst: *ld,
+                        base: *base,
+                        const_off: *const_off,
+                        dynamic: dynamic.clone(),
+                        w: *w,
+                        mp,
+                        chk_src,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(r) = triple {
+                ff.ops[p] = r;
+                ff.ops[p + 1] = FlatOp::Nop;
+                ff.ops[p + 2] = FlatOp::Nop;
+                fused += 1;
+                p += 3;
+                continue;
+            }
         }
         let replacement = match (&ff.ops[p], &ff.ops[p + 1]) {
             (
@@ -530,6 +603,112 @@ mod tests {
             }
             other => panic!("expected FusedBin2, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checked_gep_load_triple_fuses() {
+        // gep t; pchk.ls(mp, t); load t — the address register has two
+        // reads (check + load), both swallowed by the triple.
+        let ops = vec![
+            FlatOp::Gep {
+                dst: 0,
+                base: Src::Imm(0x1000),
+                const_off: 8,
+                dynamic: vec![],
+            },
+            FlatOp::Call {
+                dst: None,
+                callee: FlatCallee::Intrinsic(Intrinsic::LsCheck),
+                args: vec![Src::Imm(3), Src::Reg(0)],
+            },
+            FlatOp::Load {
+                dst: 1,
+                ptr: Src::Reg(0),
+                w: 8,
+            },
+            FlatOp::Ret {
+                val: Some(Src::Reg(1)),
+            },
+        ];
+        let mut ff = FlatFunc { ops };
+        assert_eq!(fuse_flat(&mut ff), 1);
+        match &ff.ops[0] {
+            FlatOp::FusedGepChkLoad {
+                dst, mp, chk_src, ..
+            } => {
+                assert_eq!(*dst, 1);
+                assert_eq!(*mp, 3);
+                assert!(chk_src.is_none());
+            }
+            other => panic!("expected FusedGepChkLoad, got {other:?}"),
+        }
+        assert!(matches!(ff.ops[1], FlatOp::Nop));
+        assert!(matches!(ff.ops[2], FlatOp::Nop));
+    }
+
+    #[test]
+    fn checked_gep_load_triple_fuses_bounds_variant() {
+        // gep t = base+off; pchk.bounds(mp, base, t); load t.
+        let ops = vec![
+            FlatOp::Gep {
+                dst: 1,
+                base: Src::Reg(0),
+                const_off: 16,
+                dynamic: vec![],
+            },
+            FlatOp::Call {
+                dst: None,
+                callee: FlatCallee::Intrinsic(Intrinsic::BoundsCheck),
+                args: vec![Src::Imm(2), Src::Reg(0), Src::Reg(1)],
+            },
+            FlatOp::Load {
+                dst: 2,
+                ptr: Src::Reg(1),
+                w: 8,
+            },
+            FlatOp::Ret {
+                val: Some(Src::Reg(2)),
+            },
+        ];
+        let mut ff = FlatFunc { ops };
+        assert_eq!(fuse_flat(&mut ff), 1);
+        match &ff.ops[0] {
+            FlatOp::FusedGepChkLoad { mp, chk_src, .. } => {
+                assert_eq!(*mp, 2);
+                assert_eq!(*chk_src, Some(Src::Reg(0)));
+            }
+            other => panic!("expected FusedGepChkLoad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_gep_load_triple_respects_extra_uses() {
+        // The address register is ALSO returned — three uses, no fusion
+        // (the intermediate is observable).
+        let ops = vec![
+            FlatOp::Gep {
+                dst: 0,
+                base: Src::Imm(0x1000),
+                const_off: 0,
+                dynamic: vec![],
+            },
+            FlatOp::Call {
+                dst: None,
+                callee: FlatCallee::Intrinsic(Intrinsic::LsCheck),
+                args: vec![Src::Imm(0), Src::Reg(0)],
+            },
+            FlatOp::Load {
+                dst: 1,
+                ptr: Src::Reg(0),
+                w: 8,
+            },
+            FlatOp::Ret {
+                val: Some(Src::Reg(0)),
+            },
+        ];
+        let mut ff = FlatFunc { ops };
+        assert_eq!(fuse_flat(&mut ff), 0);
+        assert!(matches!(ff.ops[0], FlatOp::Gep { .. }));
     }
 
     #[test]

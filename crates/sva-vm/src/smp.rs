@@ -1,0 +1,484 @@
+//! Multi-vCPU SMP machine (DESIGN.md §4.9).
+//!
+//! [`SmpMachine`] runs `VmConfig::vcpus` virtual CPUs, one host thread
+//! each. The state split:
+//!
+//! * **Shared, read-only**: the translated code image (`Arc<CodeImage>`,
+//!   translation and superinstruction fusion happen once).
+//! * **Shared, epoch-published**: metapool object metadata lives in one
+//!   [`SharedMetaPlane`]. Each vCPU owns a contiguous slot range inside
+//!   the plane (its kernel instance's object namespace), but every vCPU
+//!   reads through the same snapshot/epoch machinery: any registration
+//!   or drop publishes a new epoch, which invalidates every vCPU's
+//!   epoch-tagged MRU lines at the cost of a single `Acquire` load on
+//!   their next lookup — cross-CPU invalidation with zero traffic.
+//! * **Private**: memory image, thread state, recovery-domain stack,
+//!   per-vCPU MRU/singleton caches, `CheckStats`, `VmStats`, console and
+//!   trace sinks. [`Vm::fork_for_cpu`] deep-clones these, and the
+//!   kernel-stack window is carved into per-CPU lanes.
+//!
+//! Work arrives as [`SmpJob`]s on per-vCPU run queues. An idle vCPU
+//! first drains its own queue, then *steals* from its neighbours
+//! (`cpu+1, cpu+2, …` round-robin, stealing from the cold end), and
+//! finally parks on a condvar until the fleet drains. IRQs queued
+//! before a run are routed by [`IrqAffinity`]: round-robin fan-out
+//! (`Spread`), a fixed vCPU (`Pin`), or every vCPU (`Broadcast`).
+//!
+//! At halt the per-vCPU reports are merged **deterministically in
+//! cpu-id order** and job results are returned in submission order.
+//! With `vcpus == 1` no plane is created and no thread is spawned: the
+//! single fork takes exactly the classic machine's code path, so its
+//! `VmStats::equivalence_key` is byte-identical to the pre-SMP machine.
+//!
+//! Throughput is reported in *virtual time*: the machine-level elapsed
+//! time of a run is the maximum virtual cycle count over vCPUs (they
+//! run concurrently), while syscalls served is the sum — so
+//! `syscalls_per_mcycle` scales with vCPU count as long as the shared
+//! plane does not serialize the check path. Wall-clock time is recorded
+//! too, but on a single-core host it measures host scheduling, not the
+//! machine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use sva_rt::{CheckStats, SharedMetaPlane};
+
+use crate::vm::{IrqAffinity, Vm, VmError, VmExit, VmStats};
+
+/// A per-job setup hook (see [`SmpJob::setup`]).
+pub type JobSetup = Arc<dyn Fn(&mut Vm) + Send + Sync>;
+
+/// One unit of work: a set of `u64` globals written into a fresh vCPU
+/// fork, which is then booted. The kernel harness convention is two
+/// globals, `boot_user_prog` / `boot_user_arg` (see
+/// [`SmpJob::boot_user`]).
+#[derive(Clone, Default)]
+pub struct SmpJob {
+    /// Label carried through to the [`JobResult`] (e.g. the program name).
+    pub label: String,
+    /// Globals written before boot, in order.
+    pub globals: Vec<(String, u64)>,
+    /// Per-job setup run on the fresh fork after its plane slot range is
+    /// bound but before the globals are written — fault-injection
+    /// campaigns arm a per-job plan and enable crash capture here.
+    pub setup: Option<JobSetup>,
+}
+
+impl std::fmt::Debug for SmpJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmpJob")
+            .field("label", &self.label)
+            .field("globals", &self.globals)
+            .field("setup", &self.setup.is_some())
+            .finish()
+    }
+}
+
+impl SmpJob {
+    /// A job following the kernel harness boot protocol: boot with
+    /// `prog_addr` as the init user program and `arg` as its argument.
+    /// Resolve `prog_addr` with [`Vm::func_address`] on the template.
+    pub fn boot_user(label: impl Into<String>, prog_addr: u64, arg: u64) -> SmpJob {
+        SmpJob {
+            label: label.into(),
+            globals: vec![
+                ("boot_user_prog".to_string(), prog_addr),
+                ("boot_user_arg".to_string(), arg),
+            ],
+            setup: None,
+        }
+    }
+
+    /// Attaches a per-job setup hook (see the `setup` field).
+    pub fn with_setup(mut self, setup: impl Fn(&mut Vm) + Send + Sync + 'static) -> SmpJob {
+        self.setup = Some(Arc::new(setup));
+        self
+    }
+}
+
+/// Outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// The job's label.
+    pub label: String,
+    /// The vCPU that executed it (varies run-to-run under stealing).
+    pub cpu: u32,
+    /// How the boot ended.
+    pub exit: Result<VmExit, VmError>,
+    /// The executing fork's stats.
+    pub stats: VmStats,
+    /// The executing fork's cumulative check counters.
+    pub checks: CheckStats,
+    /// Console bytes the job produced.
+    pub console: Vec<u8>,
+}
+
+/// Per-vCPU aggregate, merged at halt.
+#[derive(Clone, Debug, Default)]
+pub struct CpuReport {
+    /// The vCPU id.
+    pub cpu: u32,
+    /// Jobs this vCPU executed.
+    pub jobs: u32,
+    /// Jobs claimed from another vCPU's queue.
+    pub steals: u64,
+    /// Times this vCPU parked with the fleet still draining.
+    pub parks: u64,
+    /// IRQ vectors routed to this vCPU's jobs.
+    pub irqs_routed: u64,
+    /// Summed [`VmStats`] over this vCPU's jobs.
+    pub stats: VmStats,
+    /// Summed check counters over this vCPU's jobs.
+    pub checks: CheckStats,
+}
+
+/// The merged outcome of one [`SmpMachine::run`].
+#[derive(Clone, Debug)]
+pub struct SmpReport {
+    /// vCPU count the run used.
+    pub vcpus: u32,
+    /// Per-vCPU reports, cpu-id order.
+    pub cpus: Vec<CpuReport>,
+    /// Per-job results, submission order.
+    pub jobs: Vec<JobResult>,
+    /// All vCPU stats folded in cpu-id order.
+    pub merged: VmStats,
+    /// Total syscalls served (`merged.traps`).
+    pub total_syscalls: u64,
+    /// Virtual elapsed time of the run: max cycles over vCPUs.
+    pub max_cpu_cycles: u64,
+    /// Host wall-clock time of the run (scheduling noise included).
+    pub wall: Duration,
+    /// Plane epoch after the run (0 with no plane).
+    pub final_epoch: u64,
+    /// Superseded plane snapshots still pinned at halt (deferred
+    /// reclamation backlog; 0 once every vCPU quiesced).
+    pub retired_snapshots: usize,
+}
+
+impl SmpReport {
+    /// Deterministic throughput: syscalls per million virtual cycles of
+    /// machine-level elapsed time.
+    pub fn syscalls_per_mcycle(&self) -> f64 {
+        if self.max_cpu_cycles == 0 {
+            return 0.0;
+        }
+        self.total_syscalls as f64 / (self.max_cpu_cycles as f64 / 1e6)
+    }
+
+    /// Every job that did not exit cleanly with code 0.
+    pub fn failures(&self) -> Vec<&JobResult> {
+        self.jobs
+            .iter()
+            .filter(|j| !matches!(j.exit, Ok(VmExit::Halted(0) | VmExit::Returned(0))))
+            .collect()
+    }
+}
+
+/// Shared run-loop state; lives on the stack of [`SmpMachine::run`].
+struct RunState {
+    jobs: Vec<SmpJob>,
+    /// Per-vCPU run queues of indices into `jobs`.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Jobs enqueued but not yet claimed by any vCPU.
+    unclaimed: AtomicUsize,
+    /// Jobs fully executed.
+    finished: AtomicUsize,
+    total: usize,
+    /// Set when `finished == total`; parked vCPUs wait on it.
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned queue mutex means a sibling vCPU panicked; the queue
+    // itself (a deque of indices) is always coherent — recover it.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The multi-vCPU machine. See the module docs for the state split.
+pub struct SmpMachine {
+    /// The pristine machine forks are cut from. Never run.
+    template: Vm,
+    vcpus: u32,
+    affinity: IrqAffinity,
+    /// The shared metadata plane (`None` when `vcpus == 1`).
+    plane: Option<Arc<SharedMetaPlane>>,
+    /// Plane slot-range base per vCPU (`cpu * pools_per_cpu`).
+    slot_base: Vec<u32>,
+    /// Per-pool live ranges of the pristine template — what each slot
+    /// range is reset to before a job boots.
+    baseline: Vec<Vec<(u64, u64)>>,
+    /// Round-robin cursor for `IrqAffinity::Spread`.
+    irq_next: u32,
+    /// Vectors queued per vCPU, delivered to its next job.
+    irq_pending: Vec<VecDeque<i64>>,
+}
+
+impl SmpMachine {
+    /// Builds the machine around a pristine (never-run) template VM.
+    /// `cfg.vcpus` and `cfg.irq_affinity` on the template's config choose
+    /// the geometry. At `vcpus >= 2` the template's pool table is
+    /// published into a fresh shared plane once per vCPU; at `vcpus == 1`
+    /// no plane exists and jobs take the classic single-machine path.
+    pub fn new(template: Vm) -> SmpMachine {
+        let vcpus = template.cfg.vcpus.max(1);
+        let affinity = template.cfg.irq_affinity;
+        let baseline = template.pools.live_ranges_by_pool();
+        let (plane, slot_base) = if vcpus >= 2 {
+            let plane = Arc::new(SharedMetaPlane::new());
+            let bases = (0..vcpus)
+                .map(|_| template.pools.publish_to_plane(&plane))
+                .collect();
+            (Some(plane), bases)
+        } else {
+            (None, vec![0])
+        };
+        SmpMachine {
+            template,
+            vcpus,
+            affinity,
+            plane,
+            slot_base,
+            baseline,
+            irq_next: 0,
+            irq_pending: (0..vcpus).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// vCPU count.
+    pub fn vcpus(&self) -> u32 {
+        self.vcpus
+    }
+
+    /// The shared metadata plane (`None` at `vcpus == 1`).
+    pub fn plane(&self) -> Option<&Arc<SharedMetaPlane>> {
+        self.plane.as_ref()
+    }
+
+    /// The pristine template machine.
+    pub fn template(&self) -> &Vm {
+        &self.template
+    }
+
+    /// Queues an IRQ vector, routed by the configured [`IrqAffinity`]:
+    /// `Spread` round-robins across vCPUs, `Pin(c)` targets vCPU `c`
+    /// (clamped), `Broadcast` queues on every vCPU. Pending vectors are
+    /// delivered to the next job the target vCPU runs.
+    pub fn queue_irq(&mut self, vector: i64) {
+        let n = self.vcpus as usize;
+        match self.affinity {
+            IrqAffinity::Broadcast => {
+                for q in &mut self.irq_pending {
+                    q.push_back(vector);
+                }
+            }
+            IrqAffinity::Pin(c) => self.irq_pending[(c as usize).min(n - 1)].push_back(vector),
+            IrqAffinity::Spread => {
+                let c = self.irq_next as usize % n;
+                self.irq_next = self.irq_next.wrapping_add(1);
+                self.irq_pending[c].push_back(vector);
+            }
+        }
+    }
+
+    /// Runs a batch of jobs to completion across all vCPUs and merges
+    /// the result deterministically (cpu-id order for stats, submission
+    /// order for job results).
+    pub fn run(&mut self, jobs: Vec<SmpJob>) -> SmpReport {
+        let n = self.vcpus as usize;
+        let total = jobs.len();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..total {
+            relock(&queues[i % n]).push_back(i);
+        }
+        let state = RunState {
+            jobs,
+            queues,
+            unclaimed: AtomicUsize::new(total),
+            finished: AtomicUsize::new(0),
+            total,
+            done: Mutex::new(total == 0),
+            cv: Condvar::new(),
+        };
+        let mut irq_plans = std::mem::replace(
+            &mut self.irq_pending,
+            (0..n).map(|_| VecDeque::new()).collect(),
+        );
+        let this: &SmpMachine = self;
+        let start = Instant::now();
+        let per_cpu: Vec<(CpuReport, Vec<JobResult>)> = if n == 1 {
+            // Single vCPU: no threads, no plane — the classic machine.
+            vec![this.vcpu_loop(0, &state, irq_plans.pop().unwrap_or_default())]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = irq_plans
+                    .drain(..)
+                    .enumerate()
+                    .map(|(cpu, irqs)| {
+                        let state = &state;
+                        s.spawn(move || this.vcpu_loop(cpu as u32, state, irqs))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("vCPU thread panicked"))
+                    .collect()
+            })
+        };
+        let wall = start.elapsed();
+        let mut cpus = Vec::with_capacity(n);
+        let mut job_results = Vec::with_capacity(total);
+        for (rep, mut rs) in per_cpu {
+            cpus.push(rep);
+            job_results.append(&mut rs);
+        }
+        cpus.sort_by_key(|c| c.cpu);
+        job_results.sort_by_key(|r| r.job);
+        let mut merged = VmStats::default();
+        for c in &cpus {
+            merged.fold(&c.stats);
+        }
+        let max_cpu_cycles = cpus.iter().map(|c| c.stats.cycles).max().unwrap_or(0);
+        let (final_epoch, retired_snapshots) = match &self.plane {
+            Some(p) => (p.epoch(), p.retired_live()),
+            None => (0, 0),
+        };
+        SmpReport {
+            vcpus: self.vcpus,
+            cpus,
+            total_syscalls: merged.traps,
+            merged,
+            jobs: job_results,
+            max_cpu_cycles,
+            wall,
+            final_epoch,
+            retired_snapshots,
+        }
+    }
+
+    /// One vCPU's scheduler loop: own queue, then steal, then park.
+    fn vcpu_loop(
+        &self,
+        cpu: u32,
+        state: &RunState,
+        mut irqs: VecDeque<i64>,
+    ) -> (CpuReport, Vec<JobResult>) {
+        let n = self.vcpus as usize;
+        let mut rep = CpuReport {
+            cpu,
+            ..CpuReport::default()
+        };
+        let mut results = Vec::new();
+        loop {
+            let mut claimed = {
+                let mut q = relock(&state.queues[cpu as usize]);
+                let j = q.pop_front();
+                if j.is_some() {
+                    state.unclaimed.fetch_sub(1, Ordering::AcqRel);
+                }
+                j
+            };
+            if claimed.is_none() {
+                for k in 1..n {
+                    let mut q = relock(&state.queues[(cpu as usize + k) % n]);
+                    // Steal from the cold end: the owner keeps locality
+                    // on its front.
+                    if let Some(j) = q.pop_back() {
+                        state.unclaimed.fetch_sub(1, Ordering::AcqRel);
+                        rep.steals += 1;
+                        claimed = Some(j);
+                        break;
+                    }
+                }
+            }
+            let Some(ji) = claimed else {
+                if state.unclaimed.load(Ordering::Acquire) == 0 {
+                    // Nothing left to claim, ever: park until the last
+                    // in-flight job unparks the fleet, then retire.
+                    let mut done = state.done.lock().unwrap_or_else(|e| e.into_inner());
+                    if !*done {
+                        rep.parks += 1;
+                        while !*done {
+                            done = state.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
+                    break;
+                }
+                // A sibling is mid-claim; its decrement lands shortly.
+                std::thread::yield_now();
+                continue;
+            };
+            let vectors: Vec<i64> = irqs.drain(..).collect();
+            rep.irqs_routed += vectors.len() as u64;
+            let r = self.run_job(cpu, ji, &state.jobs[ji], &vectors);
+            rep.jobs += 1;
+            rep.stats.fold(&r.stats);
+            rep.checks.merge(&r.checks);
+            results.push(r);
+            if state.finished.fetch_add(1, Ordering::AcqRel) + 1 == state.total {
+                *state.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                state.cv.notify_all();
+            }
+        }
+        (rep, results)
+    }
+
+    /// Executes one job on `cpu`: fork the template, reset and bind the
+    /// vCPU's plane slot range, write the job's globals, queue its IRQ
+    /// vectors, boot.
+    fn run_job(&self, cpu: u32, ji: usize, job: &SmpJob, irqs: &[i64]) -> JobResult {
+        let mut vm = self.template.fork_for_cpu(cpu);
+        if let Some(plane) = &self.plane {
+            let base = self.slot_base[cpu as usize];
+            for (i, ranges) in self.baseline.iter().enumerate() {
+                let slot = base + i as u32;
+                plane.clear_pool(slot);
+                plane
+                    .adopt(slot, ranges)
+                    .expect("baseline ranges are disjoint");
+            }
+            vm.pools.bind_shared_at(plane, base);
+        }
+        if let Some(setup) = &job.setup {
+            setup(&mut vm);
+        }
+        let mut global_err = None;
+        for (name, v) in &job.globals {
+            if let Err(e) = vm.write_global_u64(name, *v) {
+                global_err = Some(e);
+                break;
+            }
+        }
+        for &v in irqs {
+            vm.raise_interrupt(v);
+        }
+        let exit = match global_err {
+            Some(e) => Err(e),
+            None => vm.boot(),
+        };
+        JobResult {
+            job: ji,
+            label: job.label.clone(),
+            cpu,
+            exit,
+            stats: vm.stats(),
+            checks: vm.pools.total_stats(),
+            console: std::mem::take(&mut vm.console),
+        }
+    }
+}
+
+// The worker threads borrow the machine and the run state across the
+// scope; this pins down that every piece of the template VM is
+// thread-shareable.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<SmpMachine>();
+    assert_sync::<RunState>();
+};

@@ -63,7 +63,10 @@ use crate::vm::{
 /// Image magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SVA1";
 /// Current image format version. Bump on any payload-layout change.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// v3: `vcpus` joined the config fingerprint and the payload gained the
+/// machine's vCPU identity (`cpu_id`) — an image taken on vCPU 2 of a
+/// 4-CPU machine restores as vCPU 2 (DESIGN.md §4.9).
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// Header size in bytes.
 const HEADER_LEN: usize = 40;
 
@@ -171,7 +174,7 @@ pub(crate) fn kind_code(k: KernelKind) -> u64 {
 
 /// The config fields a snapshot is only valid under, each widened to u64.
 /// Order is part of the format.
-pub(crate) const FP_FIELDS: [&str; 9] = [
+pub(crate) const FP_FIELDS: [&str; 10] = [
     "kind",
     "sign_key",
     "opt_level",
@@ -181,6 +184,7 @@ pub(crate) const FP_FIELDS: [&str; 9] = [
     "domain_fuel",
     "fused_sites",
     "hot_profile",
+    "vcpus",
 ];
 
 pub(crate) fn fingerprint_words(cfg: &VmConfig, fused_sites: u32) -> [u64; FP_FIELDS.len()] {
@@ -199,6 +203,7 @@ pub(crate) fn fingerprint_words(cfg: &VmConfig, fused_sites: u32) -> [u64; FP_FI
         cfg.domain_fuel,
         fused_sites as u64,
         profile_hash,
+        cfg.vcpus.max(1) as u64,
     ]
 }
 
@@ -741,6 +746,7 @@ struct Parsed<'a> {
     pending_skew: Option<(u64, u32, i64)>,
     call_floor: usize,
     trap_count: u64,
+    cpu_id: u32,
 }
 
 impl<T: Tracer> Vm<T> {
@@ -872,6 +878,7 @@ impl<T: Tracer> Vm<T> {
         }
         w.u64(self.call_floor as u64);
         w.u64(self.trap_count);
+        w.u32(self.cpu_id);
 
         let payload = w.buf;
         let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -1054,6 +1061,7 @@ impl<T: Tracer> Vm<T> {
         };
         let call_floor = r.u64()? as usize;
         let trap_count = r.u64()?;
+        let cpu_id = r.u32()?;
         Ok(Parsed {
             kernel,
             spaces,
@@ -1077,6 +1085,7 @@ impl<T: Tracer> Vm<T> {
             pending_skew,
             call_floor,
             trap_count,
+            cpu_id,
         })
     }
 
@@ -1132,6 +1141,7 @@ impl<T: Tracer> Vm<T> {
         self.pending_skew = p.pending_skew;
         self.call_floor = p.call_floor;
         self.trap_count = p.trap_count;
+        self.cpu_id = p.cpu_id;
         self.argv_scratch.clear();
         if T::ENABLED {
             let cycles = self.stats.cycles;

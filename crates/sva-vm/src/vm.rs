@@ -206,6 +206,29 @@ pub struct VmConfig {
     /// test instead of the layered MRU/page/splay path. On by default;
     /// benchmarks disable it to isolate the layered path.
     pub singleton_path: bool,
+    /// Virtual CPUs of the machine (DESIGN.md §4.9). `1` (the default) is
+    /// the classic single-threaded machine, bit-identical to the pre-SMP
+    /// VM. At 2+ the [`crate::smp::SmpMachine`] runner forks one full VM
+    /// per vCPU sharing the code image and an epoch-published metapool
+    /// plane; each vCPU keeps its private MRU, check counters and trace
+    /// rings, merged deterministically at halt.
+    pub vcpus: u32,
+    /// How SMP machines route queued interrupts to vCPUs (ignored at
+    /// `vcpus == 1`).
+    pub irq_affinity: IrqAffinity,
+}
+
+/// Interrupt routing policy of an SMP machine (DESIGN.md §4.9).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IrqAffinity {
+    /// Fan queued IRQs out round-robin across vCPUs (timer ticks load-
+    /// balance). The default.
+    #[default]
+    Spread,
+    /// Pin every IRQ to one vCPU (classic IRQ-owning-CPU kernels).
+    Pin(u32),
+    /// Deliver each IRQ to *every* vCPU (TLB-shootdown-style broadcast).
+    Broadcast,
 }
 
 impl std::fmt::Debug for VmConfig {
@@ -221,6 +244,8 @@ impl std::fmt::Debug for VmConfig {
             .field("opt_level", &self.opt_level)
             .field("hot_profile", &self.hot_profile.is_some())
             .field("singleton_path", &self.singleton_path)
+            .field("vcpus", &self.vcpus)
+            .field("irq_affinity", &self.irq_affinity)
             .finish()
     }
 }
@@ -238,6 +263,8 @@ impl Default for VmConfig {
             opt_level: 0,
             hot_profile: None,
             singleton_path: true,
+            vcpus: 1,
+            irq_affinity: IrqAffinity::default(),
         }
     }
 }
@@ -441,6 +468,25 @@ pub(crate) enum FlatOp {
         dynamic: Vec<(Src, u64, u8)>,
         w: u8,
     },
+    /// `gep` + inserted pool check (`pchk.bounds` / `pchk.ls`) + `load`:
+    /// the checked-kernel triple. The address register has exactly two
+    /// reads — the check operand and the load pointer — both swallowed
+    /// here, which is why the pairwise single-use rule alone could never
+    /// fuse a checked GEP. The check runs unchanged against the
+    /// skew-adjusted address (same cycle charge, same lookup and trace
+    /// attribution, same failure path), then the load retires.
+    FusedGepChkLoad {
+        dst: u32,
+        base: Src,
+        const_off: i64,
+        dynamic: Vec<(Src, u64, u8)>,
+        w: u8,
+        /// Metapool the swallowed check targets.
+        mp: u32,
+        /// `Some(src)` = `pchk.bounds(mp, src, addr)`; `None` =
+        /// `pchk.ls(mp, addr)`.
+        chk_src: Option<Src>,
+    },
     /// `gep` + `store` through the (otherwise dead) address register.
     FusedGepStore {
         val: Src,
@@ -505,6 +551,7 @@ impl FlatOp {
             FlatOp::Nop => "nop",
             FlatOp::Mov { .. } => "mov",
             FlatOp::FusedGepLoad { .. } => "gep+load",
+            FlatOp::FusedGepChkLoad { .. } => "gep+pchk+load",
             FlatOp::FusedGepStore { .. } => "gep+store",
             FlatOp::FusedCmpBr { .. } => "icmp+br",
             FlatOp::FusedBin2 { .. } => "bin+bin",
@@ -728,6 +775,58 @@ impl VmStats {
         self.fused_execs = 0;
         self
     }
+
+    /// Adds another stats block into this one (SMP per-vCPU merge). The
+    /// exhaustive destructure makes adding a `VmStats` field without
+    /// deciding its merge a compile error.
+    pub fn fold(&mut self, o: &VmStats) {
+        let VmStats {
+            instructions,
+            cycles,
+            traps,
+            range_checks,
+            context_switches,
+            interrupts,
+            cache_hits,
+            page_hits,
+            tree_walks,
+            singleton_hits,
+            violations_recovered,
+            pools_quarantined,
+            pools_poisoned,
+            domains_pushed,
+            domains_popped,
+            watchdog_unwinds,
+            fused_execs,
+            repairs,
+            pools_repaired,
+            probation_passed,
+            probation_failed,
+            subsys_retired,
+        } = *o;
+        self.instructions += instructions;
+        self.cycles += cycles;
+        self.traps += traps;
+        self.range_checks += range_checks;
+        self.context_switches += context_switches;
+        self.interrupts += interrupts;
+        self.cache_hits += cache_hits;
+        self.page_hits += page_hits;
+        self.tree_walks += tree_walks;
+        self.singleton_hits += singleton_hits;
+        self.violations_recovered += violations_recovered;
+        self.pools_quarantined += pools_quarantined;
+        self.pools_poisoned += pools_poisoned;
+        self.domains_pushed += domains_pushed;
+        self.domains_popped += domains_popped;
+        self.watchdog_unwinds += watchdog_unwinds;
+        self.fused_execs += fused_execs;
+        self.repairs += repairs;
+        self.pools_repaired += pools_repaired;
+        self.probation_passed += probation_passed;
+        self.probation_failed += probation_failed;
+        self.subsys_retired += subsys_retired;
+    }
 }
 
 /// The Secure Virtual Machine instance.
@@ -776,6 +875,10 @@ pub struct Vm<T: Tracer = NullTracer> {
     pub(crate) argv_scratch: Vec<u64>,
     /// Fusion sites rewritten by the optimizing tier at load time.
     fused_sites: u32,
+    /// This machine's virtual CPU id (`sva.cpu.id`). 0 on the classic
+    /// single-threaded machine and on the boot vCPU; [`Vm::fork_for_cpu`]
+    /// stamps the others.
+    pub(crate) cpu_id: u32,
     /// Host-side crash-forensics capture state (opt-in, never part of a
     /// snapshot image).
     pub(crate) crash: crate::bundle::CrashCapture,
@@ -991,6 +1094,7 @@ impl<T: Tracer> Vm<T> {
             trap_count: 0,
             argv_scratch: Vec::new(),
             fused_sites,
+            cpu_id: 0,
             crash: crate::bundle::CrashCapture::default(),
             tracer,
         };
@@ -1048,6 +1152,81 @@ impl<T: Tracer> Vm<T> {
     /// `opt_level` 0).
     pub fn fused_sites(&self) -> u32 {
         self.fused_sites
+    }
+
+    /// How many of the installed fusion sites are gep+pchk+load triples
+    /// (`FusedGepChkLoad`) — the checked-kernel-specific rewrite that
+    /// swallows a metapool check between address formation and the load
+    /// (DESIGN.md §4.4). Equivalence tests assert this is nonzero on the
+    /// sva-safe kernel so the triple path cannot silently stop matching.
+    pub fn fused_chk_sites(&self) -> u32 {
+        self.code
+            .flat
+            .iter()
+            .flat_map(|f| f.ops.iter())
+            .filter(|op| matches!(op, FlatOp::FusedGepChkLoad { .. }))
+            .count() as u32
+    }
+
+    /// This machine's virtual CPU id (what `sva.cpu.id` returns).
+    pub fn cpu_id(&self) -> u32 {
+        self.cpu_id
+    }
+
+    /// SMP bring-up (DESIGN.md §4.9): forks an independent vCPU machine
+    /// from this booted machine's state. The code image is *shared*
+    /// (`Arc` — translation and fusion happen once); everything mutable —
+    /// memory, thread, interrupt contexts, recovery-domain stack, pool
+    /// table with its private MRU/counters — is deep-cloned, so each vCPU
+    /// steps without synchronizing. Shared metadata comes later:
+    /// [`MetaPoolTable::bind_shared`] rebinds each fork's pools to the
+    /// machine's plane. The fork starts with fresh stats/fuel/forensics
+    /// and an untraced sink; per-vCPU counters are merged back at halt.
+    ///
+    /// Kernel stacks are per-CPU: the `KSTACK` window is carved into
+    /// `cfg.vcpus` equal lanes and the fork's kernel stack pointer starts
+    /// at the base of lane `cpu_id`. CPU 0's lane starts where the
+    /// classic machine's stack does, so a 1-vCPU fork is byte-identical.
+    pub fn fork_for_cpu(&self, cpu_id: u32) -> Vm {
+        self.fork_for_cpu_traced(cpu_id, NullTracer)
+    }
+
+    /// Like [`Vm::fork_for_cpu`] with an attached per-vCPU tracer (e.g.
+    /// a `RingTracer` whose ring is merged at halt with
+    /// `EventRing::fold_into`).
+    pub fn fork_for_cpu_traced<U: Tracer>(&self, cpu_id: u32, tracer: U) -> Vm<U> {
+        let lanes = self.cfg.vcpus.max(1) as u64;
+        let lane = (KSTACK_END - KSTACK_BASE) / lanes;
+        let mut thread = self.thread.clone();
+        thread.ksp += u64::from(cpu_id).min(lanes - 1) * lane;
+        Vm {
+            mem: self.mem.clone(),
+            code: Arc::clone(&self.code),
+            cfg: self.cfg.clone(),
+            thread,
+            icontexts: self.icontexts.clone(),
+            int_state: self.int_state.clone(),
+            user_state: self.user_state.clone(),
+            syscalls: self.syscalls.clone(),
+            interrupts: self.interrupts.clone(),
+            pools: self.pools.clone(),
+            console: Vec::new(),
+            stats: VmStats::default(),
+            fuel: self.cfg.fuel,
+            halted: None,
+            pending_irq: std::collections::VecDeque::new(),
+            recovery: self.recovery.clone(),
+            gep_skew: None,
+            pending_probe: None,
+            pending_skew: None,
+            call_floor: 0,
+            trap_count: 0,
+            argv_scratch: Vec::new(),
+            fused_sites: self.fused_sites,
+            cpu_id,
+            crash: crate::bundle::CrashCapture::default(),
+            tracer,
+        }
     }
 
     /// Console output as a lossy string.
@@ -1971,6 +2150,63 @@ impl<T: Tracer> Vm<T> {
                     .ok_or(VmError::Internal("load with no frame"))?
                     .regs[dst as usize] = v;
             }
+            FlatOp::FusedGepChkLoad {
+                dst,
+                base,
+                const_off,
+                dynamic,
+                w,
+                mp,
+                chk_src,
+            } => {
+                let mut addr = src!(base) as i64 + const_off;
+                for (s, scale, iw) in dynamic {
+                    let idx = sext_w(src!(s), *iw);
+                    addr += idx.wrapping_mul(*scale as i64);
+                }
+                if self.gep_skew.is_some() && fr.mode == Mode::Kernel {
+                    if let Some((n, delta)) = self.gep_skew {
+                        addr = addr.wrapping_add(delta);
+                        self.gep_skew = if n > 1 { Some((n - 1, delta)) } else { None };
+                    }
+                }
+                let chk_src = chk_src.as_ref().map(|s| src!(s));
+                fr.pc += 2; // skip the placeholders in the check's and load's old slots
+                let mode = fr.mode;
+                let (dst, w, mp) = (*dst, *w, *mp);
+                // Each swallowed op is charged exactly where the unfused
+                // machine would have dispatched it, so instruction counts
+                // (and the cycles-saved == fused_execs invariant) agree
+                // with opt 0 on *every* path — including a check failure,
+                // where the unfused load was never reached.
+                self.stats.instructions += 1;
+                self.stats.fused_execs += 1;
+                // The swallowed check, verbatim from `intrinsic_inner`:
+                // same cycle charge, same lookup, same trace attribution,
+                // same failure path — against the skew-adjusted address.
+                self.stats.cycles += CHECK_CYCLES;
+                let before = self.lookups_of(mp);
+                let pool = self.pools.pool_mut(sva_rt::MetaPoolId(mp));
+                let (name, r) = match chk_src {
+                    Some(src) => (
+                        Intrinsic::BoundsCheck.name(),
+                        pool.bounds_check(src, addr as u64),
+                    ),
+                    None => (Intrinsic::LsCheck.name(), pool.ls_check(addr as u64)),
+                };
+                if T::wants(EventClass::Check) {
+                    self.trace_check(name, mp, before, r.is_ok(), CHECK_CYCLES);
+                }
+                r.map_err(VmError::Safety)?;
+                self.stats.instructions += 1;
+                self.stats.fused_execs += 1;
+                let v = self.mem.read_uint(addr as u64, w as u64, mode)?;
+                self.thread
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("load with no frame"))?
+                    .regs[dst as usize] = v;
+            }
             FlatOp::FusedGepStore {
                 val,
                 base,
@@ -2629,7 +2865,10 @@ impl<T: Tracer> Vm<T> {
             Iret => {
                 self.iret(arg(0), arg(1))?;
             }
-            CpuId => set(self, 0)?,
+            CpuId => {
+                let id = self.cpu_id as u64;
+                set(self, id)?;
+            }
             GetTimer => {
                 let c = self.stats.cycles;
                 set(self, c)?;

@@ -160,6 +160,54 @@ fn kernel_workloads_agree_across_opt_levels() {
     }
 }
 
+/// The checked-kernel triple rewrite (DESIGN.md §4.4): on the sva-safe
+/// kernel the fusion pass swallows a metapool check *between* address
+/// formation and the load (`Gep + pchk + Load → FusedGepChkLoad`).
+/// Pointer-heavy syscall workloads must install triple sites, and the
+/// fused check must be the standalone intrinsic hit-for-hit: same exit,
+/// same equivalence key, and the identical split across every lookup
+/// layer (singleton / MRU / page index / splay tree).
+#[test]
+fn kernel_gep_chk_load_triples_fuse_and_agree() {
+    for (prog, iters, size) in [("user_openclose_loop", 30, 0), ("user_write_loop", 20, 64)] {
+        let run = |opt_level: u8| {
+            let mut vm = make_vm_cfg(VmConfig {
+                kind: KernelKind::SvaSafe,
+                opt_level,
+                ..Default::default()
+            });
+            let exit = boot_user(&mut vm, prog, pack_arg(iters, size, 0)).unwrap();
+            (exit, vm.stats(), vm.fused_chk_sites())
+        };
+        let (r0, s0, t0) = run(0);
+        let (r2, s2, t2) = run(2);
+        assert_eq!(t0, 0, "{prog}: opt 0 must not install triples");
+        assert!(t2 > 0, "{prog}: sva-safe should fuse gep+pchk+load triples");
+        assert_eq!(r0, r2, "{prog}: triple fusion changed the exit");
+        assert_eq!(
+            s0.equivalence_key(),
+            s2.equivalence_key(),
+            "{prog}: triple fusion changed an observable stat"
+        );
+        assert_eq!(
+            (
+                s0.singleton_hits,
+                s0.cache_hits,
+                s0.page_hits,
+                s0.tree_walks
+            ),
+            (
+                s2.singleton_hits,
+                s2.cache_hits,
+                s2.page_hits,
+                s2.tree_walks
+            ),
+            "{prog}: the fused check moved a lookup between layers"
+        );
+        assert_eq!(s0.cycles - s2.cycles, s2.fused_execs, "{prog}");
+    }
+}
+
 /// The singleton elision answers some lookups at a different *layer*, so
 /// the layer split moves — but the total lookup count, every check
 /// outcome, the cycle count and the exit must be identical.
