@@ -60,8 +60,8 @@ use std::time::{Duration, Instant};
 
 use sva_inject::{DropRecorder, FaultClass, FaultPlan, PROBE_DEFER};
 use sva_kernel::harness::{
-    boot_user, boot_user_paused, make_vm_nested, make_vm_nested_traced, make_vm_recovering_traced,
-    pack_arg, USER_HEAP_BASE,
+    boot_user, boot_user_paused, make_vm_nested, make_vm_nested_patched, make_vm_nested_traced,
+    make_vm_recovering_traced, pack_arg, USER_HEAP_BASE,
 };
 use sva_kernel::postmortem::{check_reproduction, replay};
 use sva_kernel::{health_state, sysd_name, H_DEGRADED, H_LIVE, H_PROBATION, H_RETIRED, SYSCALLS};
@@ -995,6 +995,481 @@ fn run_smp_arm(vcpus: u32, targets: &[u32]) -> SmpTally {
     t
 }
 
+// ---- upgrade arm (DESIGN.md §4.10) ---------------------------------------
+//
+// The crash-consistency differential campaign behind `--upgrade`: every
+// cell runs a fault-injected workload twice — once straight to terminal
+// state, and once interrupted mid-flight by a snapshot that is dragged
+// through the migration machinery (downgraded to the previous format,
+// upcast back, and separately adopted by a *compatible rebuild* of the
+// kernel) before a twin machine replays the rest. If migration preserves
+// state exactly, the twin's terminal fingerprint (`VmStats::
+// equivalence_key`, console bytes, resume code, faults injected) is
+// byte-identical to the original's — across all 6 fault classes, so the
+// cut lands inside syscalls, mid-unwind, with armed probes and skews and
+// IRQ bursts pending. A coordinated-quiesce probe then exercises
+// `SmpMachine::quiesce`/`resume_quiesced` at `--vcpus` and gates on the
+// resumed fleet matching the quiesced run job-for-job.
+
+/// Workload-run instruction boundary the twin is cut at — mid-workload
+/// for every campaign workload (the boot image pauses at the first user
+/// instruction, so this counts user-and-syscall steps only).
+const UPGRADE_CUT: u64 = 5_000;
+/// Workload indices the upgrade grid runs (syscall-light and
+/// syscall-heavy).
+const UPGRADE_WORKLOADS: [usize; 2] = [0, 3];
+/// `KernelOptions::patch_salt` of the modelled compatible rebuild.
+const PATCH_SALT: u64 = 0x5eed;
+
+/// Plain (untraced) machines: the upgrade arm compares terminal
+/// fingerprints across machines, and the flight recorder is host-side
+/// state a snapshot deliberately does not carry.
+fn upgrade_vm(vcpus: u32) -> Vm {
+    make_vm_nested(VmConfig {
+        fuel: FUEL,
+        violation_budget: BUDGET,
+        vcpus,
+        ..Default::default()
+    })
+}
+
+/// Terminal fingerprint of one upgrade-arm run; twins must match the
+/// original field-for-field.
+#[derive(Clone, Debug, PartialEq)]
+struct UpgradeOutcome {
+    exit: String,
+    stats: VmStats,
+    console: Vec<u8>,
+    resume_code: u64,
+    injected: u64,
+}
+
+fn upgrade_finish(vm: &mut Vm, exit: &Result<VmExit, VmError>, plan: &FaultPlan) -> UpgradeOutcome {
+    UpgradeOutcome {
+        exit: format!("{exit:?}"),
+        stats: vm.stats().equivalence_key(),
+        console: vm.console.clone(),
+        resume_code: vm.read_global_u64("recov_last_code").unwrap_or(0),
+        injected: plan.injected(),
+    }
+}
+
+#[derive(Default)]
+struct UpgradeTally {
+    cells: u64,
+    /// Cells whose twin was genuinely cut mid-flight (the interesting
+    /// ones; gated nonzero).
+    midflight_cells: u64,
+    /// Cells whose workload finished before the cut (compared directly,
+    /// no migration exercised).
+    short_cells: u64,
+    injected: u64,
+    twin_divergences: u64,
+    crossbuild_divergences: u64,
+    migrate_errors: u64,
+    migrate_panics: u64,
+    migrations: u64,
+    migrate_ns: u128,
+    image_bytes: u64,
+}
+
+/// One twin leg: migrate `cut_img` into `vm` (optionally via a
+/// downgrade to format v3 first, so the v3→v4 upcaster runs on every
+/// cell), re-arm a fresh plan carrying the original plan's exported
+/// state, and replay to terminal.
+#[allow(clippy::too_many_arguments)]
+fn upgrade_leg(
+    vm: &mut Vm,
+    cut_img: &[u8],
+    plan_state: &(u64, Vec<(u32, u64)>),
+    class: FaultClass,
+    seed: u64,
+    targets: &[u32],
+    via_v3: bool,
+    t: &mut UpgradeTally,
+    tag: &str,
+) -> Option<UpgradeOutcome> {
+    let input = if via_v3 {
+        match sva_vm::reencode_at(cut_img, 3) {
+            Ok(v) => v,
+            Err(e) => {
+                t.migrate_errors += 1;
+                eprintln!("MIGRATE ERROR {tag} (downgrade to v3): {e}");
+                return None;
+            }
+        }
+    } else {
+        cut_img.to_vec()
+    };
+    let t0 = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| vm.restore_migrated(&input))) {
+        Err(_) => {
+            t.migrate_panics += 1;
+            eprintln!("MIGRATE PANIC {tag}");
+            None
+        }
+        Ok(Err(e)) => {
+            t.migrate_errors += 1;
+            eprintln!("MIGRATE ERROR {tag}: {e}");
+            None
+        }
+        Ok(Ok(_report)) => {
+            t.migrations += 1;
+            t.migrate_ns += t0.elapsed().as_nanos();
+            let plan = Arc::new(
+                FaultPlan::new(class, seed, PERIOD, targets.to_vec()).with_defer(PROBE_DEFER),
+            );
+            plan.restore_state(plan_state.clone());
+            vm.arm_faults(plan.clone());
+            let r = vm.run();
+            Some(upgrade_finish(vm, &r, &plan))
+        }
+    }
+}
+
+/// The differential grid: 6 fault classes × the campaign seeds × two
+/// workloads, each cell original-vs-migrated-twin.
+fn run_upgrade_grid() -> UpgradeTally {
+    let mut t = UpgradeTally::default();
+    let targets = complete_pools(Arm::Nested);
+    let mut orig = upgrade_vm(1);
+    let mut twin = upgrade_vm(1);
+    let mut patched = make_vm_nested_patched(
+        VmConfig {
+            fuel: FUEL,
+            violation_budget: BUDGET,
+            ..Default::default()
+        },
+        PATCH_SALT,
+    );
+    let images: Vec<(usize, BootImage)> = UPGRADE_WORKLOADS
+        .iter()
+        .map(|&wi| (wi, boot_image(Arm::Nested, WORKLOADS[wi], BUDGET)))
+        .collect();
+    for class in FaultClass::ALL {
+        let mut class_div = 0u64;
+        for seed in SEEDS {
+            for (wi, image) in &images {
+                t.cells += 1;
+                let tag = format!("upgrade-{}-s{seed}-w{wi}", class.name());
+                let mk_plan = || {
+                    Arc::new(
+                        FaultPlan::new(class, seed, PERIOD, targets.clone())
+                            .with_defer(PROBE_DEFER),
+                    )
+                };
+                // Original: straight to terminal state.
+                let plan = mk_plan();
+                orig.restore(&image.bytes)
+                    .unwrap_or_else(|e| panic!("boot image rejected: {e}"));
+                orig.arm_faults(plan.clone());
+                plan.replay_drops(&image.boot_drops);
+                let r = orig.run();
+                let want = upgrade_finish(&mut orig, &r, &plan);
+                t.injected += want.injected;
+                // Twin: identical prefix, cut mid-flight.
+                let plan2 = mk_plan();
+                twin.restore(&image.bytes)
+                    .unwrap_or_else(|e| panic!("boot image rejected: {e}"));
+                twin.arm_faults(plan2.clone());
+                plan2.replay_drops(&image.boot_drops);
+                match twin.run_steps(UPGRADE_CUT) {
+                    Ok(Some(exit)) => {
+                        // Terminal before the cut: nothing to migrate,
+                        // but the two full runs must still agree.
+                        t.short_cells += 1;
+                        let got = upgrade_finish(&mut twin, &Ok(exit), &plan2);
+                        if got != want {
+                            t.twin_divergences += 1;
+                            class_div += 1;
+                            eprintln!(
+                                "TWIN DIVERGENCE {tag} (short):\n  want {want:?}\n  got  {got:?}"
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        t.short_cells += 1;
+                        let got = upgrade_finish(&mut twin, &Err(e), &plan2);
+                        if got != want {
+                            t.twin_divergences += 1;
+                            class_div += 1;
+                            eprintln!("TWIN DIVERGENCE {tag} (short-err):\n  want {want:?}\n  got  {got:?}");
+                        }
+                    }
+                    Ok(None) => {
+                        t.midflight_cells += 1;
+                        let cut_img = twin.snapshot_midflight();
+                        t.image_bytes += cut_img.len() as u64;
+                        let plan_state = plan2.state_image();
+                        // Leg A: same build, forced through the v3→v4
+                        // upcaster (downgrade first).
+                        if let Some(got) = upgrade_leg(
+                            &mut twin,
+                            &cut_img,
+                            &plan_state,
+                            class,
+                            seed,
+                            &targets,
+                            true,
+                            &mut t,
+                            &tag,
+                        ) {
+                            if got != want {
+                                t.twin_divergences += 1;
+                                class_div += 1;
+                                eprintln!(
+                                    "TWIN DIVERGENCE {tag} (v3 roundtrip):\n  want {want:?}\n  got  {got:?}"
+                                );
+                            }
+                        }
+                        // Leg B: compatible rebuild (pad function
+                        // appended) adopts the image across code_id.
+                        if let Some(got) = upgrade_leg(
+                            &mut patched,
+                            &cut_img,
+                            &plan_state,
+                            class,
+                            seed,
+                            &targets,
+                            false,
+                            &mut t,
+                            &tag,
+                        ) {
+                            if got != want {
+                                t.crossbuild_divergences += 1;
+                                class_div += 1;
+                                eprintln!(
+                                    "CROSS-BUILD DIVERGENCE {tag}:\n  want {want:?}\n  got  {got:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "upgrade {:18} cells {:3}  divergences {:3}",
+            class.name(),
+            SEEDS.len() as u64 * UPGRADE_WORKLOADS.len() as u64,
+            class_div,
+        );
+    }
+    t
+}
+
+/// Coordinated-quiesce probe: one pinned workload per vCPU, quiesce at
+/// a mid-run boundary, resume the coordinated image on a *fresh*
+/// machine and require the resumed fleet to match the quiesced run
+/// job-for-job.
+struct QuiesceProbe {
+    vcpus: u32,
+    boundary: u64,
+    park_spread: Duration,
+    run_wall: Duration,
+    image_bytes: u64,
+    resume_divergences: u64,
+    resume_error: Option<String>,
+    jobs: u64,
+}
+
+fn run_upgrade_quiesce(vcpus: u32) -> QuiesceProbe {
+    // Self-calibrating boundary: half the step count of the shortest
+    // workload's clean boot+run, so every member parks mid-flight.
+    let min_steps = WORKLOADS
+        .iter()
+        .map(|&(prog, iters, size, mode)| {
+            let mut vm = upgrade_vm(1);
+            let _ = boot_user(&mut vm, prog, pack_arg(iters, size, mode));
+            FUEL - vm.fuel()
+        })
+        .min()
+        .unwrap_or(FUEL);
+    let boundary = min_steps / 2;
+    let mut machine = SmpMachine::new(upgrade_vm(vcpus));
+    let jobs: Vec<SmpJob> = (0..vcpus as usize)
+        .map(|i| {
+            let (prog, iters, size, mode) = WORKLOADS[i % WORKLOADS.len()];
+            let addr = machine
+                .template()
+                .func_address(prog)
+                .unwrap_or_else(|| panic!("no user program {prog}"));
+            SmpJob::boot_user(
+                format!("quiesce-cpu{i}-{prog}"),
+                addr,
+                pack_arg(iters, size, mode),
+            )
+        })
+        .collect();
+    let outcome = machine.quiesce(jobs, boundary);
+    let mut probe = QuiesceProbe {
+        vcpus,
+        boundary,
+        park_spread: outcome.park_spread,
+        run_wall: outcome.report.wall,
+        image_bytes: outcome.image.len() as u64,
+        resume_divergences: 0,
+        resume_error: None,
+        jobs: outcome.report.jobs.len() as u64,
+    };
+    let mut fresh = SmpMachine::new(upgrade_vm(vcpus));
+    match fresh.resume_quiesced(&outcome.image) {
+        Err(e) => probe.resume_error = Some(e.to_string()),
+        Ok(resumed) => {
+            // Under a shared plane the cache-hit/page-hit split of the
+            // check path is epoch-timing dependent (a concurrent vCPU's
+            // publish invalidates this vCPU's range cache at a
+            // scheduling-dependent instruction), so compare the folded
+            // total of resolved checks, not the split.
+            let smp_key = |s: &VmStats| {
+                let mut k = (*s).equivalence_key();
+                k.cache_hits += k.page_hits;
+                k.page_hits = 0;
+                k
+            };
+            for (a, b) in outcome.report.jobs.iter().zip(&resumed.jobs) {
+                let same = format!("{:?}", a.exit) == format!("{:?}", b.exit)
+                    && a.console == b.console
+                    && smp_key(&a.stats) == smp_key(&b.stats);
+                if !same {
+                    probe.resume_divergences += 1;
+                    eprintln!(
+                        "QUIESCE RESUME DIVERGENCE cpu {}:\n  quiesced {:?} / {} console bytes / {:?}\n  resumed  {:?} / {} console bytes / {:?}",
+                        a.cpu,
+                        a.exit,
+                        a.console.len(),
+                        smp_key(&a.stats),
+                        b.exit,
+                        b.console.len(),
+                        smp_key(&b.stats),
+                    );
+                }
+            }
+        }
+    }
+    probe
+}
+
+/// The `--upgrade` entry point: differential grid + quiesce probe, JSON
+/// report, jq-friendly gates. Never returns.
+fn run_upgrade_campaign(vcpus: u32) -> ! {
+    let t_total = Instant::now();
+    let grid = catch_unwind(AssertUnwindSafe(run_upgrade_grid)).ok();
+    let grid_panicked = grid.is_none();
+    let mut grid = grid.unwrap_or_default();
+    if grid_panicked {
+        grid.migrate_panics += 1;
+    }
+    let quiesce = run_upgrade_quiesce(vcpus);
+    let total_wall = t_total.elapsed();
+    let migrate_us_avg = if grid.migrations == 0 {
+        0.0
+    } else {
+        grid.migrate_ns as f64 / 1000.0 / grid.migrations as f64
+    };
+    let image_kib_avg = grid
+        .image_bytes
+        .checked_div(grid.midflight_cells)
+        .unwrap_or(0)
+        / 1024;
+    println!(
+        "upgrade total: {} cells ({} mid-flight, {} short), {} migrations @ {:.0} µs avg, image {} KiB avg",
+        grid.cells, grid.midflight_cells, grid.short_cells, grid.migrations, migrate_us_avg,
+        image_kib_avg,
+    );
+    println!(
+        "quiesce({}): boundary {} steps, park spread {} µs, run {} ms, image {} KiB, resume divergences {}{}",
+        quiesce.vcpus,
+        quiesce.boundary,
+        quiesce.park_spread.as_micros(),
+        quiesce.run_wall.as_millis(),
+        quiesce.image_bytes / 1024,
+        quiesce.resume_divergences,
+        quiesce
+            .resume_error
+            .as_ref()
+            .map(|e| format!(", RESUME ERROR: {e}"))
+            .unwrap_or_default(),
+    );
+    let json = format!(
+        concat!(
+            "{{\"campaign\":\"faultcamp-upgrade\",\"cells\":{},\"midflight_cells\":{},",
+            "\"short_cells\":{},\"faults_injected\":{},",
+            "\"migrations\":{},\"migrate_cost_us_avg\":{:.1},\"image_kib_avg\":{},",
+            "\"wall_ms\":{},",
+            "\"quiesce\":{{\"vcpus\":{},\"boundary_steps\":{},\"park_spread_us\":{},",
+            "\"run_wall_ms\":{},\"image_kib\":{},\"resume_ok\":{},\"jobs\":{}}},",
+            "\"gates\":{{\"twin_divergences\":{},\"crossbuild_divergences\":{},",
+            "\"migrate_errors\":{},\"migrate_panics\":{},",
+            "\"quiesce_resume_divergences\":{}}}}}\n"
+        ),
+        grid.cells,
+        grid.midflight_cells,
+        grid.short_cells,
+        grid.injected,
+        grid.migrations,
+        migrate_us_avg,
+        image_kib_avg,
+        total_wall.as_millis(),
+        quiesce.vcpus,
+        quiesce.boundary,
+        quiesce.park_spread.as_micros(),
+        quiesce.run_wall.as_millis(),
+        quiesce.image_bytes / 1024,
+        quiesce.resume_error.is_none(),
+        quiesce.jobs,
+        grid.twin_divergences,
+        grid.crossbuild_divergences,
+        grid.migrate_errors,
+        grid.migrate_panics,
+        quiesce.resume_divergences,
+    );
+    let dir = report_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("faultcamp-upgrade.json");
+        if std::fs::write(&path, &json).is_ok() {
+            println!("report: {}", path.display());
+        }
+    }
+    let mut failed = false;
+    let mut fail = |cond: bool, msg: &str| {
+        if cond {
+            eprintln!("FAILURE: {msg}");
+            failed = true;
+        }
+    };
+    fail(grid_panicked, "the upgrade grid panicked the host");
+    fail(
+        grid.twin_divergences > 0,
+        "a migrated twin diverged from its original run",
+    );
+    fail(
+        grid.crossbuild_divergences > 0,
+        "a compatible-rebuild twin diverged from its original run",
+    );
+    fail(
+        grid.migrate_errors > 0,
+        "a migration failed closed mid-campaign",
+    );
+    fail(grid.migrate_panics > 0, "a migration panicked");
+    fail(
+        grid.midflight_cells == 0,
+        "no cell was cut mid-flight (cut boundary miscalibrated?)",
+    );
+    fail(
+        grid.injected < 200,
+        "upgrade grid injected fewer than 200 faults (arm disarmed?)",
+    );
+    fail(
+        quiesce.resume_error.is_some(),
+        "the coordinated quiesce image did not restore",
+    );
+    fail(
+        quiesce.resume_divergences > 0,
+        "a resumed vCPU diverged from the quiesced run",
+    );
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 /// `target/<sub>` anchored at the workspace root (nearest ancestor
 /// holding Cargo.lock), same as the bench harness, so artifacts land in
 /// one known place regardless of the cwd cargo chose.
@@ -1077,6 +1552,7 @@ fn run_arm(
 fn main() {
     let mut mode = BootMode::Fork;
     let mut smp_vcpus: u32 = 4;
+    let mut upgrade = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -1087,6 +1563,7 @@ fn main() {
         match args[i].as_str() {
             "--reboot" => mode = BootMode::Reboot,
             "--verify-reboot" => mode = BootMode::VerifyReboot,
+            "--upgrade" => upgrade = true,
             "--vcpus" => {
                 i += 1;
                 let v = args.get(i).map(String::as_str).unwrap_or("");
@@ -1098,13 +1575,16 @@ fn main() {
                 }
                 None => {
                     eprintln!(
-                        "faultcamp: unknown flag {other} (expected --reboot, --verify-reboot or --vcpus N)"
+                        "faultcamp: unknown flag {other} (expected --reboot, --verify-reboot, --upgrade or --vcpus N)"
                     );
                     std::process::exit(2);
                 }
             },
         }
         i += 1;
+    }
+    if upgrade {
+        run_upgrade_campaign(smp_vcpus);
     }
     let t_total = Instant::now();
 

@@ -4,6 +4,11 @@
 //! svadbg <bundle>            print a human postmortem of the crash
 //! svadbg --replay <bundle>   also restore the embedded snapshot and
 //!                            reproduce the death, gating bit-exactness
+//! svadbg --migrate <file>    print the migration plan (the upcaster
+//!                            chain) for a bundle or snapshot, and for
+//!                            bundles rewrite to the current format so
+//!                            the postmortem/--replay run on builds that
+//!                            postdate the capture (DESIGN.md §4.10)
 //! ```
 //!
 //! The postmortem is everything the machine knew when it died: the crash
@@ -21,9 +26,37 @@
 
 use std::process::ExitCode;
 
-use sva_kernel::postmortem::{check_reproduction, replay};
+use sva_kernel::postmortem::{check_reproduction, migrate_bundle_any, replay};
 use sva_kernel::{health_state, health_state_name, health_strikes, subsys_name};
 use sva_vm::{CrashBundle, ResumeCode};
+
+/// Prints the upcaster chain an artifact would take to reach the
+/// current format (`svadbg --migrate`).
+fn print_plan(plan: &sva_vm::MigrationPlan) {
+    println!("== migration plan ==");
+    println!("container:   {}", plan.kind);
+    println!(
+        "format:      v{} -> v{}{}",
+        plan.version,
+        plan.target,
+        if plan.version == plan.target {
+            "  (already current)"
+        } else {
+            ""
+        }
+    );
+    println!("code id:     {:#018x}", plan.code_id);
+    if let Some(step) = &plan.bundle_step {
+        println!("bundle:      {step}");
+    }
+    if plan.steps.is_empty() {
+        println!("steps:       none");
+    } else {
+        for s in &plan.steps {
+            println!("  {:7} {}", s.name, s.summary);
+        }
+    }
+}
 
 fn human_console(bytes: &[u8]) -> String {
     String::from_utf8_lossy(bytes).into_owned()
@@ -141,30 +174,66 @@ fn print_postmortem(bundle: &CrashBundle) {
 
 fn main() -> ExitCode {
     let mut do_replay = false;
+    let mut do_migrate = false;
     let mut path = None;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--replay" => do_replay = true,
+            "--migrate" => do_migrate = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("svadbg: unexpected argument {other}");
-                eprintln!("usage: svadbg [--replay] <bundle>");
+                eprintln!("usage: svadbg [--replay] [--migrate] <bundle-or-snapshot>");
                 return ExitCode::from(2);
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: svadbg [--replay] <bundle>");
+        eprintln!("usage: svadbg [--replay] [--migrate] <bundle-or-snapshot>");
         return ExitCode::from(2);
     };
 
-    let bytes = match std::fs::read(&path) {
+    let mut bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("svadbg: cannot read {path}: {e}");
             return ExitCode::from(1);
         }
     };
+    if do_migrate {
+        let plan = match sva_vm::plan(&bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("svadbg: {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        print_plan(&plan);
+        if plan.kind != "bundle" {
+            // A bare snapshot has no postmortem to print — the plan is
+            // the product (restore it with `svaprof --resume`).
+            return ExitCode::SUCCESS;
+        }
+        match migrate_bundle_any(&bytes) {
+            Ok((out, report, flavor)) => {
+                println!(
+                    "migrated:    from v{} via [{}]{} (flavor {flavor})",
+                    report.from_version,
+                    report.steps.join(", "),
+                    if report.code_migrated {
+                        ", code identity adopted"
+                    } else {
+                        ""
+                    },
+                );
+                bytes = out;
+            }
+            Err(e) => {
+                eprintln!("svadbg: migrate: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     let bundle = match CrashBundle::from_bytes(&bytes) {
         Ok(b) => b,
         Err(e) => {

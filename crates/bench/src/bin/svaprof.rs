@@ -27,10 +27,19 @@
 //!   Nightly CI uploads the image as the golden post-boot artifact.
 //! - `--resume PATH` restores a previously written image into a fresh
 //!   machine, runs it to completion, and cross-checks against a fresh
-//!   boot of the same `--prog`/`--arg`. Exits nonzero on a structured
-//!   restore error (bad header, version or config-fingerprint mismatch)
-//!   or any divergence — nightly CI runs it against the previous night's
-//!   golden image to catch accidental format breaks.
+//!   boot of the same `--prog`/`--arg`. An image from a previous format
+//!   version (or a compatible rebuild) is migrated through the upcaster
+//!   chain ([`Vm::restore_migrated`], DESIGN.md §4.10) — the run reports
+//!   the steps taken and still gates the cross-check. Exits nonzero when
+//!   neither a direct restore nor migration accepts the image, or on any
+//!   divergence — nightly CI runs it against the previous night's golden
+//!   images to catch accidental format breaks.
+//! - `--snapshot-mid PATH` boots to the first user instruction, runs
+//!   `--cut N` (default 1000) further steps so the machine is genuinely
+//!   mid-workload — live domain stack, in-flight syscall — writes the
+//!   machine image, then proves a restored twin finishes bit-identically
+//!   to the uninterrupted machine. Nightly CI uploads this as the
+//!   mid-flight golden artifact alongside the post-boot one.
 //!
 //! Two offline modes skip the boot entirely:
 //!
@@ -50,7 +59,7 @@
 //!     [--prog NAME] [--arg N] [--kind sva-safe|native|sva-gcc|sva-llvm]
 //!     [--top N] [--capacity N] [--prom]
 //!     [--profile-out PATH] [--profile-keep FRAC]
-//!     [--snapshot-out PATH] [--resume PATH]
+//!     [--snapshot-out PATH] [--snapshot-mid PATH [--cut N]] [--resume PATH]
 //!     [--replay PATH [--shrink]] [--prom-diff OLD NEW]`
 //!
 //! Exits nonzero if the captured profile is empty — CI uses that to catch
@@ -102,6 +111,8 @@ struct Options {
     profile_out: Option<PathBuf>,
     profile_keep: f64,
     snapshot_out: Option<PathBuf>,
+    snapshot_mid: Option<PathBuf>,
+    cut: u64,
     resume: Option<PathBuf>,
     replay: Option<PathBuf>,
     shrink: bool,
@@ -120,6 +131,8 @@ fn parse_args() -> Result<Options, String> {
         profile_out: None,
         profile_keep: 0.25,
         snapshot_out: None,
+        snapshot_mid: None,
+        cut: 1000,
         resume: None,
         replay: None,
         shrink: false,
@@ -160,6 +173,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--snapshot-out" => {
                 opts.snapshot_out = Some(PathBuf::from(val("--snapshot-out")?));
+            }
+            "--snapshot-mid" => {
+                opts.snapshot_mid = Some(PathBuf::from(val("--snapshot-mid")?));
+            }
+            "--cut" => {
+                opts.cut = val("--cut")?.parse().map_err(|e| format!("--cut: {e}"))?;
+                if opts.cut == 0 {
+                    return Err("--cut must be at least 1".to_string());
+                }
             }
             "--resume" => opts.resume = Some(PathBuf::from(val("--resume")?)),
             "--replay" => opts.replay = Some(PathBuf::from(val("--replay")?)),
@@ -249,6 +271,81 @@ fn snapshot_out_mode(kind: KernelKind, prog: &str, arg: u64, path: &PathBuf) -> 
     ExitCode::SUCCESS
 }
 
+/// `--snapshot-mid`: boot to the first user instruction, run `cut` more
+/// steps so the capture lands mid-workload, write the image, and prove a
+/// restored twin finishes bit-identically to the uninterrupted machine.
+fn snapshot_mid_mode(kind: KernelKind, prog: &str, arg: u64, path: &PathBuf, cut: u64) -> ExitCode {
+    let mut vm = make_vm(kind);
+    match boot_user_paused(&mut vm, prog, arg) {
+        Ok(None) => {}
+        Ok(Some(e)) => {
+            eprintln!("svaprof: boot exited before reaching user mode: {e:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("svaprof: boot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match vm.run_steps(cut) {
+        Ok(None) => {}
+        Ok(Some(e)) => {
+            eprintln!(
+                "svaprof: workload finished before the {cut}-step cut ({e:?}) — pick a longer workload or a smaller --cut"
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("svaprof: workload failed before the cut: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let image = vm.snapshot_midflight();
+    if let Err(e) = std::fs::write(path, &image) {
+        eprintln!("svaprof: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "svaprof: mid-flight snapshot of {} {}({:#x}) at boot+{cut} steps: {} bytes -> {}",
+        kind.label(),
+        prog,
+        arg,
+        image.len(),
+        path.display()
+    );
+    // The restored twin and the uninterrupted machine must finish as the
+    // same machine, or the image captures a corrupted cut point.
+    let mut twin = make_vm(kind);
+    if let Err(e) = twin.restore(&image) {
+        eprintln!("svaprof: mid-flight image does not restore: {e}");
+        return ExitCode::FAILURE;
+    }
+    let exit = format!("{:?}", vm.run());
+    let twin_exit = format!("{:?}", twin.run());
+    let mut ok = true;
+    if exit != twin_exit {
+        eprintln!("svaprof: exit mismatch: uninterrupted {exit}, resumed twin {twin_exit}");
+        ok = false;
+    }
+    if vm.stats().equivalence_key() != twin.stats().equivalence_key() {
+        eprintln!(
+            "svaprof: stats mismatch:\n  uninterrupted {:?}\n  twin          {:?}",
+            vm.stats().equivalence_key(),
+            twin.stats().equivalence_key()
+        );
+        ok = false;
+    }
+    if vm.console != twin.console {
+        eprintln!("svaprof: console output mismatch");
+        ok = false;
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!("svaprof: mid-flight resume matches the uninterrupted run bit-for-bit");
+    ExitCode::SUCCESS
+}
+
 /// `--resume`: restore an image into a fresh machine, run to completion,
 /// and cross-check against a fresh boot of the same workload.
 fn resume_mode(kind: KernelKind, prog: &str, arg: u64, path: &PathBuf) -> ExitCode {
@@ -260,9 +357,32 @@ fn resume_mode(kind: KernelKind, prog: &str, arg: u64, path: &PathBuf) -> ExitCo
         }
     };
     let mut vm = make_vm(kind);
-    if let Err(e) = vm.restore(&image) {
-        eprintln!("svaprof: cannot restore {}: {e}", path.display());
-        return ExitCode::FAILURE;
+    match vm.restore(&image) {
+        Ok(()) => {}
+        // Not a current-format image of this exact build: route through
+        // the migration chain (DESIGN.md §4.10). A previous-night golden
+        // taken under an older format or a compatible rebuild must
+        // restore this way — if migration also rejects it, the format
+        // really broke and the run fails.
+        Err(first) => match vm.restore_migrated(&image) {
+            Ok(report) => println!(
+                "svaprof: direct restore rejected ({first}); migrated from v{} via [{}]{}",
+                report.from_version,
+                report.steps.join(", "),
+                if report.code_migrated {
+                    ", code identity adopted"
+                } else {
+                    ""
+                },
+            ),
+            Err(e) => {
+                eprintln!(
+                    "svaprof: cannot restore {}: {first}; migration also failed: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
     }
     println!(
         "svaprof: restored {} ({} bytes), resuming {} {}({:#x})",
@@ -438,6 +558,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.snapshot_out {
         return snapshot_out_mode(opts.kind, &opts.prog, opts.arg, path);
+    }
+    if let Some(path) = &opts.snapshot_mid {
+        return snapshot_mid_mode(opts.kind, &opts.prog, opts.arg, path, opts.cut);
     }
     if let Some(path) = &opts.resume {
         return resume_mode(opts.kind, &opts.prog, opts.arg, path);

@@ -274,6 +274,29 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    #[derive(Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniform choice among `values` (proptest's `sample::select`).
+    pub fn select<T: std::fmt::Debug + Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from an empty set");
+        Select(values)
+    }
+
+    impl<T: std::fmt::Debug + Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// Per-test configuration.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
@@ -310,13 +333,13 @@ pub fn case_seed(name: &str, case: u64) -> u64 {
 
 /// Everything a property test file needs.
 pub mod prelude {
-    pub use super::collection;
     pub use super::{any, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
+    pub use super::{collection, sample};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
     /// Namespace alias matching `proptest::prelude::prop`.
     pub mod prop {
-        pub use super::super::collection;
+        pub use super::super::{collection, sample};
     }
 }
 

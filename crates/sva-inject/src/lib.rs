@@ -147,6 +147,32 @@ impl FaultPlan {
         }
     }
 
+    /// Exports the plan's mutable state (faults injected so far, learned
+    /// use-after-free candidates) as plain data. A plan is a pure
+    /// function of `(seed, trap_index, state)`, so a fresh plan with the
+    /// same constructor arguments plus [`FaultPlan::restore_state`] of
+    /// this image continues injecting exactly where this one would —
+    /// which is what lets the upgrade differential campaign re-arm a
+    /// twin machine restored from a mid-flight snapshot.
+    pub fn state_image(&self) -> (u64, Vec<(u32, u64)>) {
+        match self.state.lock() {
+            Ok(s) => (s.injected, s.freed.clone()),
+            Err(_) => (0, Vec::new()),
+        }
+    }
+
+    /// Overwrites the plan's mutable state with a [`FaultPlan::state_image`]
+    /// export. The constructor arguments (class, seed, period, targets,
+    /// defer) are *not* part of the image — the twin must be built with
+    /// the same ones, exactly as a restored machine must be built from
+    /// the same module.
+    pub fn restore_state(&self, image: (u64, Vec<(u32, u64)>)) {
+        if let Ok(mut s) = self.state.lock() {
+            s.injected = image.0;
+            s.freed = image.1;
+        }
+    }
+
     fn target(&self, r: u64) -> Option<u32> {
         if self.targets.is_empty() {
             None

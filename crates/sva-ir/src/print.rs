@@ -12,6 +12,21 @@ use crate::types::TypeId;
 
 /// Renders a whole module as text.
 pub fn print_module(m: &Module) -> String {
+    let mut out = print_module_header(m);
+    for f in &m.funcs {
+        print_function(&mut out, m, f);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders everything *except* function bodies: the module line, struct
+/// layouts, globals (including initializers), extern declarations,
+/// allocator descriptors and the entry designation. This is the module's
+/// "surface" — the part function indices, global addresses and dispatch
+/// tables are derived from — and snapshot migration fingerprints it to
+/// decide whether two builds are layout-compatible.
+pub fn print_module_header(m: &Module) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "module \"{}\"", m.name);
     out.push('\n');
@@ -125,11 +140,16 @@ pub fn print_module(m: &Module) -> String {
     if let Some(e) = m.entry {
         let _ = writeln!(out, "entry @{}\n", m.func(e).name);
     }
+    out
+}
 
-    for f in &m.funcs {
-        print_function(&mut out, m, f);
-        out.push('\n');
-    }
+/// Renders a single function as text, exactly as it appears inside
+/// [`print_module`]'s output. The text is deterministic for a given
+/// module, which makes it usable as a canonical per-function identity
+/// (snapshot migration hashes it to detect body changes across builds).
+pub fn print_function_text(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    print_function(&mut out, m, f);
     out
 }
 

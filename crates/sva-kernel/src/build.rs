@@ -63,6 +63,15 @@ pub struct KernelOptions {
     /// (DESIGN.md §4.8). Implies the boot domain of
     /// [`KernelOptions::recovery`] as the outermost fallback.
     pub nested: bool,
+    /// Nonzero: model a *compatible rebuild* for live-upgrade testing
+    /// (DESIGN.md §4.10) by appending one never-called cold function
+    /// (`live_patch_pad_<salt>`) at the very end of the module. The
+    /// resulting image has a different code identity but an identical
+    /// module header and an identical function list up to the pad — the
+    /// pure prefix extension the snapshot-migration code-adoption policy
+    /// accepts. Zero (the default) builds the kernel byte-identically to
+    /// a build without this option.
+    pub patch_salt: u64,
 }
 
 // ---- kernel-wide constants ------------------------------------------------
@@ -421,6 +430,18 @@ pub fn build_kernel(opts: &KernelOptions) -> Module {
     define_sysd(&mut m, &k);
     define_boot(&mut m, &k, opts);
     define_user(&mut m, &k);
+    if opts.patch_salt != 0 {
+        // Appended last so every pre-existing function keeps its index,
+        // body and printed text; only the module's code identity moves.
+        let pad_ty = m.types.func(k.i64t, vec![], false);
+        let pad = m.add_function(
+            &format!("live_patch_pad_{}", opts.patch_salt),
+            pad_ty,
+            Linkage::Internal,
+        );
+        let mut b = FunctionBuilder::new(&mut m, pad);
+        b.ret(Some(ci(&k, opts.patch_salt as i64)));
+    }
     m.entry = Some(k.fid("start_kernel"));
     m.intern_address_types();
     m

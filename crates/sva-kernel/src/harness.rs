@@ -53,12 +53,13 @@ pub fn safe_kernel_module(exclusions: &[&str]) -> Module {
 /// recovery boot path).
 pub fn safe_kernel_module_with(exclusions: &[&str], opts: &KernelOptions) -> Module {
     let key = format!(
-        "safe:{}:{}",
+        "safe:{}:{}:{}",
         match (opts.nested, opts.recovery) {
             (true, _) => "nested",
             (false, true) => "recov",
             (false, false) => "plain",
         },
+        opts.patch_salt,
         exclusions.join(","),
     );
     let mut c = cache().lock().unwrap();
@@ -167,6 +168,25 @@ pub fn make_vm_nested(mut cfg: VmConfig) -> Vm {
         &KernelOptions {
             recovery: true,
             nested: true,
+            ..Default::default()
+        },
+    );
+    Vm::new(module, cfg).expect("kernel loads")
+}
+
+/// Like [`make_vm_nested`] but modelling a *compatible rebuild*: the
+/// kernel gains one never-called pad function appended at module end
+/// (`KernelOptions::patch_salt`), so the machine has a different code
+/// identity with an identical surface prefix — the build the snapshot
+/// migration code-adoption policy (DESIGN.md §4.10) is meant to accept.
+pub fn make_vm_nested_patched(mut cfg: VmConfig, salt: u64) -> Vm {
+    cfg.kind = KernelKind::SvaSafe;
+    let module = safe_kernel_module_with(
+        AS_TESTED_EXCLUSIONS,
+        &KernelOptions {
+            recovery: true,
+            nested: true,
+            patch_salt: salt,
         },
     );
     Vm::new(module, cfg).expect("kernel loads")
@@ -180,6 +200,7 @@ pub fn make_vm_nested_traced<T: Tracer>(mut cfg: VmConfig, tracer: T) -> Vm<T> {
         &KernelOptions {
             recovery: true,
             nested: true,
+            ..Default::default()
         },
     );
     Vm::with_tracer(module, cfg, tracer).expect("kernel loads")

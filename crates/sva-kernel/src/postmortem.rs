@@ -111,11 +111,52 @@ fn flavor_module(flavor: &'static str) -> sva_ir::Module {
             &KernelOptions {
                 recovery: true,
                 nested: true,
+                ..Default::default()
             },
         ),
         "plain" => safe_kernel_module(AS_TESTED_EXCLUSIONS),
         _ => raw_kernel(),
     }
+}
+
+/// Migrates a (possibly previous-format) crash bundle to the current
+/// layout, trying each kernel flavor this harness builds until one's
+/// code identity — or compatible surface (DESIGN.md §4.10) — accepts
+/// the embedded snapshot. Returns the migrated bytes, what the
+/// migration did, and the accepting flavor. A bundle already at the
+/// current format with a matching flavor passes through byte-identical.
+pub fn migrate_bundle_any(
+    bytes: &[u8],
+) -> Result<(Vec<u8>, sva_vm::MigrationReport, &'static str), String> {
+    let mut tried = Vec::new();
+    for &flavor in &["nested", "recovering", "plain", "raw"] {
+        let kind = if flavor == "raw" {
+            KernelKind::Native
+        } else {
+            KernelKind::SvaSafe
+        };
+        let vm = match Vm::new(
+            flavor_module(flavor),
+            sva_vm::VmConfig {
+                kind,
+                ..Default::default()
+            },
+        ) {
+            Ok(vm) => vm,
+            Err(e) => {
+                tried.push(format!("[{flavor}: vm load: {e}]"));
+                continue;
+            }
+        };
+        match sva_vm::migrate_bundle(&vm, bytes) {
+            Ok((out, report)) => return Ok((out, report, flavor)),
+            Err(e) => tried.push(format!("[{flavor}: {e}]")),
+        }
+    }
+    Err(format!(
+        "no kernel flavor accepts the bundle for migration: {}",
+        tried.join(" ")
+    ))
 }
 
 /// Replays a bundle: rebuilds the machine config from the bundle's

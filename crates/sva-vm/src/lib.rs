@@ -14,6 +14,7 @@
 
 pub mod bundle;
 pub mod mem;
+pub mod migrate;
 pub mod opt;
 pub mod resume;
 pub mod smp;
@@ -25,9 +26,16 @@ pub use mem::{
     func_addr, Memory, Mode, FUNC_BASE, KERN_BASE, KERN_END, KHEAP_BASE, KHEAP_END, KSTACK_BASE,
     KSTACK_END, PAGE_SIZE, USER_BASE, USER_END, USER_SIZE,
 };
+pub use migrate::{
+    migrate, migrate_bundle, plan, reencode_at, MigrateError, MigrationPlan, MigrationReport,
+    Upcaster, OLDEST_SUPPORTED, UPCASTERS,
+};
 pub use opt::HotProfile;
 pub use resume::{check_kind_code, ResumeCode, RESUME_KIND_WATCHDOG};
-pub use smp::{CpuReport, JobResult, SmpJob, SmpMachine, SmpReport};
+pub use smp::{
+    decode_quiesce, encode_quiesce, CpuReport, JobResult, QuiesceOutcome, SmpJob, SmpMachine,
+    SmpReport, QUIESCE_MAGIC, QUIESCE_VERSION,
+};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use sva_trace::{FlightConfig, FlightRecorder, NullTracer, RingTracer, Tracer};
 pub use vm::{

@@ -45,6 +45,8 @@ use std::time::{Duration, Instant};
 
 use sva_rt::{CheckStats, SharedMetaPlane};
 
+use crate::migrate::MigrateError;
+use crate::snapshot::{fnv64, SnapshotError};
 use crate::vm::{IrqAffinity, Vm, VmError, VmExit, VmStats};
 
 /// A per-job setup hook (see [`SmpJob::setup`]).
@@ -429,10 +431,10 @@ impl SmpMachine {
         (rep, results)
     }
 
-    /// Executes one job on `cpu`: fork the template, reset and bind the
-    /// vCPU's plane slot range, write the job's globals, queue its IRQ
-    /// vectors, boot.
-    fn run_job(&self, cpu: u32, ji: usize, job: &SmpJob, irqs: &[i64]) -> JobResult {
+    /// Forks the template for `cpu`, resets and binds the vCPU's plane
+    /// slot range, runs the job's setup hook, writes its globals and
+    /// queues its IRQ vectors — everything up to (but excluding) boot.
+    fn prepare_fork(&self, cpu: u32, job: &SmpJob, irqs: &[i64]) -> (Vm, Option<VmError>) {
         let mut vm = self.template.fork_for_cpu(cpu);
         if let Some(plane) = &self.plane {
             let base = self.slot_base[cpu as usize];
@@ -458,6 +460,14 @@ impl SmpMachine {
         for &v in irqs {
             vm.raise_interrupt(v);
         }
+        (vm, global_err)
+    }
+
+    /// Executes one job on `cpu`: fork the template, reset and bind the
+    /// vCPU's plane slot range, write the job's globals, queue its IRQ
+    /// vectors, boot.
+    fn run_job(&self, cpu: u32, ji: usize, job: &SmpJob, irqs: &[i64]) -> JobResult {
+        let (mut vm, global_err) = self.prepare_fork(cpu, job, irqs);
         let exit = match global_err {
             Some(e) => Err(e),
             None => vm.boot(),
@@ -472,6 +482,369 @@ impl SmpMachine {
             console: std::mem::take(&mut vm.console),
         }
     }
+
+    /// Runs one **pinned** job per vCPU (`jobs[i]` on vCPU `i`, no
+    /// stealing) and parks every vCPU at its next safe point after
+    /// `boundary` instruction boundaries, capturing a coordinated
+    /// multi-vCPU image (DESIGN.md §4.10).
+    ///
+    /// Each vCPU arms its fork's snapshot latch with a sink that blocks
+    /// on a fleet-wide barrier: when the latch fires at the safe point
+    /// the vCPU records its member image and *parks inside the
+    /// instruction loop* until every sibling has reached its own safe
+    /// point — the set of member images is therefore a consistent cut
+    /// (no member has executed past its capture point while another's
+    /// image was still forming). A job that reaches terminal state
+    /// before its boundary contributes its terminal state as the member
+    /// image and parks at the barrier from the outside. After the
+    /// barrier releases, every vCPU runs its job on to terminal state,
+    /// so the returned [`SmpReport`] is a complete run — the quiesce is
+    /// a pause, not a stop.
+    ///
+    /// At `vcpus == 1` the single member takes exactly the classic
+    /// machine's `request_snapshot_at` path, so the member image is
+    /// byte-identical to a solo mid-flight snapshot at the same
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs.len() != vcpus` — quiesce is a whole-machine
+    /// protocol; every vCPU must participate.
+    pub fn quiesce(&mut self, jobs: Vec<SmpJob>, boundary: u64) -> QuiesceOutcome {
+        let n = self.vcpus as usize;
+        assert_eq!(
+            jobs.len(),
+            n,
+            "quiesce needs exactly one pinned job per vCPU"
+        );
+        let mut irq_plans = std::mem::replace(
+            &mut self.irq_pending,
+            (0..n).map(|_| VecDeque::new()).collect(),
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let slots: Vec<Arc<Mutex<Option<Vec<u8>>>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
+        let arrivals: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let this: &SmpMachine = self;
+        let start = Instant::now();
+        let per_cpu: Vec<(CpuReport, Vec<JobResult>)> = if n == 1 {
+            let r = this.quiesce_job(
+                0,
+                &jobs[0],
+                &irq_plans
+                    .pop()
+                    .unwrap_or_default()
+                    .drain(..)
+                    .collect::<Vec<_>>(),
+                boundary,
+                &barrier,
+                &slots[0],
+                &arrivals,
+            );
+            vec![(cpu_report_of(&r), vec![r])]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = irq_plans
+                    .drain(..)
+                    .enumerate()
+                    .map(|(cpu, irqs)| {
+                        let (barrier, slot, arrivals, jobs) =
+                            (&barrier, &slots[cpu], &arrivals, &jobs);
+                        s.spawn(move || {
+                            let vectors: Vec<i64> = irqs.into_iter().collect();
+                            let r = this.quiesce_job(
+                                cpu as u32, &jobs[cpu], &vectors, boundary, barrier, slot, arrivals,
+                            );
+                            (cpu_report_of(&r), vec![r])
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("vCPU thread panicked"))
+                    .collect()
+            })
+        };
+        let wall = start.elapsed();
+        let members: Vec<Vec<u8>> = slots
+            .iter()
+            .map(|s| {
+                relock(s)
+                    .take()
+                    .expect("every vCPU filled its member slot before the barrier")
+            })
+            .collect();
+        let park_spread = {
+            let a = relock(&arrivals);
+            match (a.iter().min(), a.iter().max()) {
+                (Some(&first), Some(&last)) => last.duration_since(first),
+                _ => Duration::ZERO,
+            }
+        };
+        QuiesceOutcome {
+            image: encode_quiesce(&members),
+            report: self.merge_report(per_cpu, wall),
+            park_spread,
+        }
+    }
+
+    /// One vCPU's half of the quiesce protocol; see [`Self::quiesce`].
+    #[allow(clippy::too_many_arguments)]
+    fn quiesce_job(
+        &self,
+        cpu: u32,
+        job: &SmpJob,
+        irqs: &[i64],
+        boundary: u64,
+        barrier: &Arc<std::sync::Barrier>,
+        slot: &Arc<Mutex<Option<Vec<u8>>>>,
+        arrivals: &Arc<Mutex<Vec<Instant>>>,
+    ) -> JobResult {
+        let (mut vm, global_err) = self.prepare_fork(cpu, job, irqs);
+        vm.request_snapshot_at(boundary);
+        let sink = {
+            let (barrier, slot, arrivals) =
+                (Arc::clone(barrier), Arc::clone(slot), Arc::clone(arrivals));
+            move |img: Vec<u8>| {
+                relock(&arrivals).push(Instant::now());
+                *relock(&slot) = Some(img);
+                barrier.wait();
+            }
+        };
+        vm.set_snapshot_sink(Arc::new(sink));
+        let exit = match global_err {
+            Some(e) => Err(e),
+            None => vm.boot(),
+        };
+        if relock(slot).is_none() {
+            // Terminal before the boundary: this vCPU's contribution to
+            // the cut is its terminal state; park from the outside so
+            // the siblings' barrier still fills.
+            relock(arrivals).push(Instant::now());
+            *relock(slot) = Some(vm.snapshot_midflight());
+            barrier.wait();
+        }
+        JobResult {
+            job: cpu as usize,
+            label: job.label.clone(),
+            cpu,
+            exit,
+            stats: vm.stats(),
+            checks: vm.pools.total_stats(),
+            console: std::mem::take(&mut vm.console),
+        }
+    }
+
+    /// Restores a coordinated image captured by [`Self::quiesce`] and
+    /// runs every member on to terminal state, in cpu-id order. Member
+    /// images go through the migration path ([`Vm::restore_migrated`]),
+    /// so a coordinated image survives format-version bumps and
+    /// compatible rebuilds like any other snapshot. The machine's vCPU
+    /// count must match the image's.
+    pub fn resume_quiesced(&mut self, image: &[u8]) -> Result<SmpReport, MigrateError> {
+        let members = decode_quiesce(image)?;
+        if members.len() != self.vcpus as usize {
+            return Err(MigrateError::Image(SnapshotError::Malformed(format!(
+                "coordinated image has {} members, machine has {} vCPUs",
+                members.len(),
+                self.vcpus
+            ))));
+        }
+        let start = Instant::now();
+        let mut per_cpu = Vec::with_capacity(members.len());
+        for (cpu, member) in members.iter().enumerate() {
+            let mut vm = self.template.fork_for_cpu(cpu as u32);
+            // Restore into the unbound fork first (pool images repopulate
+            // the private registries), then publish the *restored* ranges
+            // into this vCPU's plane slots and bind — the same bring-up
+            // order `MetaPoolTable::publish_to_plane` + `bind_shared_at`
+            // use at machine construction.
+            vm.restore_migrated(member)?;
+            if let Some(plane) = &self.plane {
+                let base = self.slot_base[cpu];
+                for (i, ranges) in vm.pools.live_ranges_by_pool().iter().enumerate() {
+                    let slot = base + i as u32;
+                    plane.clear_pool(slot);
+                    plane.adopt(slot, ranges).map_err(|e| {
+                        MigrateError::Image(SnapshotError::Malformed(format!(
+                            "member {cpu} pool ranges rejected by the plane: {}",
+                            e.detail
+                        )))
+                    })?;
+                }
+                vm.pools.bind_shared_at(plane, base);
+            }
+            let exit = vm.run();
+            let r = JobResult {
+                job: cpu,
+                label: format!("resume:cpu{cpu}"),
+                cpu: cpu as u32,
+                exit,
+                stats: vm.stats(),
+                checks: vm.pools.total_stats(),
+                console: std::mem::take(&mut vm.console),
+            };
+            per_cpu.push((cpu_report_of(&r), vec![r]));
+        }
+        let wall = start.elapsed();
+        Ok(self.merge_report(per_cpu, wall))
+    }
+
+    /// Deterministic merge shared by [`Self::run`], [`Self::quiesce`]
+    /// and [`Self::resume_quiesced`]: cpu-id order for stats, submission
+    /// order for job results.
+    fn merge_report(&self, per_cpu: Vec<(CpuReport, Vec<JobResult>)>, wall: Duration) -> SmpReport {
+        let mut cpus = Vec::with_capacity(per_cpu.len());
+        let mut job_results = Vec::new();
+        for (rep, mut rs) in per_cpu {
+            cpus.push(rep);
+            job_results.append(&mut rs);
+        }
+        cpus.sort_by_key(|c| c.cpu);
+        job_results.sort_by_key(|r| r.job);
+        let mut merged = VmStats::default();
+        for c in &cpus {
+            merged.fold(&c.stats);
+        }
+        let max_cpu_cycles = cpus.iter().map(|c| c.stats.cycles).max().unwrap_or(0);
+        let (final_epoch, retired_snapshots) = match &self.plane {
+            Some(p) => (p.epoch(), p.retired_live()),
+            None => (0, 0),
+        };
+        SmpReport {
+            vcpus: self.vcpus,
+            cpus,
+            total_syscalls: merged.traps,
+            merged,
+            jobs: job_results,
+            max_cpu_cycles,
+            wall,
+            final_epoch,
+            retired_snapshots,
+        }
+    }
+}
+
+fn cpu_report_of(r: &JobResult) -> CpuReport {
+    let mut rep = CpuReport {
+        cpu: r.cpu,
+        jobs: 1,
+        ..CpuReport::default()
+    };
+    rep.stats.fold(&r.stats);
+    rep.checks.merge(&r.checks);
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// The coordinated-image container (`SVAQ`).
+// ---------------------------------------------------------------------------
+
+/// Magic of a coordinated multi-vCPU image: one `SVA1` member snapshot
+/// per vCPU, captured at a consistent cut by [`SmpMachine::quiesce`].
+pub const QUIESCE_MAGIC: [u8; 4] = *b"SVAQ";
+/// Container format version. Member snapshots carry their own
+/// [`crate::snapshot::SNAPSHOT_VERSION`] and migrate independently, so
+/// this only versions the container framing.
+pub const QUIESCE_VERSION: u32 = 1;
+
+const QUIESCE_HEADER: usize = 28;
+
+/// What [`SmpMachine::quiesce`] produced.
+pub struct QuiesceOutcome {
+    /// The coordinated `SVAQ` image (feed to
+    /// [`SmpMachine::resume_quiesced`]).
+    pub image: Vec<u8>,
+    /// The full run's merged report — jobs continued to terminal state
+    /// after the cut.
+    pub report: SmpReport,
+    /// Quiesce latency: time between the first vCPU parking at its safe
+    /// point and the last (how long the earliest member held still).
+    pub park_spread: Duration,
+}
+
+/// Frames member snapshots into an `SVAQ` container:
+/// `magic | version u32 | members u32 | payload_len u64 | checksum u64`
+/// then per member `len u64 | bytes`.
+pub fn encode_quiesce(members: &[Vec<u8>]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for m in members {
+        payload.extend_from_slice(&(m.len() as u64).to_le_bytes());
+        payload.extend_from_slice(m);
+    }
+    let mut out = Vec::with_capacity(QUIESCE_HEADER + payload.len());
+    out.extend_from_slice(&QUIESCE_MAGIC);
+    out.extend_from_slice(&QUIESCE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Splits an `SVAQ` container back into its member snapshots,
+/// fail-closed (magic, version, member count, length, checksum).
+pub fn decode_quiesce(bytes: &[u8]) -> Result<Vec<Vec<u8>>, SnapshotError> {
+    if bytes.len() < QUIESCE_HEADER {
+        return Err(SnapshotError::Truncated {
+            need: QUIESCE_HEADER,
+            have: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    if magic != QUIESCE_MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != QUIESCE_VERSION {
+        return Err(SnapshotError::BadVersion {
+            found: version,
+            expected: QUIESCE_VERSION,
+        });
+    }
+    let nmembers = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    if bytes.len() < QUIESCE_HEADER + payload_len {
+        return Err(SnapshotError::Truncated {
+            need: QUIESCE_HEADER + payload_len,
+            have: bytes.len(),
+        });
+    }
+    let payload = &bytes[QUIESCE_HEADER..QUIESCE_HEADER + payload_len];
+    let computed = fnv64(payload);
+    if computed != checksum {
+        return Err(SnapshotError::Corrupt {
+            stored: checksum,
+            computed,
+        });
+    }
+    let mut members = Vec::with_capacity(nmembers.min(64));
+    let mut pos = 0usize;
+    for i in 0..nmembers {
+        if payload.len() - pos < 8 {
+            return Err(SnapshotError::Malformed(format!(
+                "member {i} length truncated"
+            )));
+        }
+        let len = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+        if payload.len() - pos < len {
+            return Err(SnapshotError::Malformed(format!(
+                "member {i} body truncated ({len} bytes declared, {} left)",
+                payload.len() - pos
+            )));
+        }
+        members.push(payload[pos..pos + len].to_vec());
+        pos += len;
+    }
+    if pos != payload.len() {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing container bytes",
+            payload.len() - pos
+        )));
+    }
+    Ok(members)
 }
 
 // The worker threads borrow the machine and the run state across the

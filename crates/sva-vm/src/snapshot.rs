@@ -23,7 +23,8 @@
 //! payload:
 //!   fingerprint block  (one u64 per config field, see below)
 //!   memory, thread, icontexts, saved states, dispatch tables,
-//!   metapool images, console, stats, fuel/halt/irq/recovery/fault state
+//!   metapool images, console, stats, fuel/halt/irq/recovery/fault state,
+//!   capture origin (checkpoint vs mid-flight), code manifest
 //! ```
 //!
 //! ## Serialized vs rebuilt
@@ -66,9 +67,22 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SVA1";
 /// v3: `vcpus` joined the config fingerprint and the payload gained the
 /// machine's vCPU identity (`cpu_id`) — an image taken on vCPU 2 of a
 /// 4-CPU machine restores as vCPU 2 (DESIGN.md §4.9).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// v4: the payload gained a capture-origin byte (checkpoint vs
+/// mid-flight safe point) and a code manifest — the module's surface
+/// fingerprint plus per-function body hashes — so [`crate::migrate`]
+/// can judge whether a *rebuilt* kernel may adopt the image
+/// (DESIGN.md §4.10). Older versions are upcast by `migrate`, never
+/// guessed at by [`Vm::restore`].
+pub const SNAPSHOT_VERSION: u32 = 4;
+/// Capture origin: a deliberate checkpoint ([`Vm::snapshot`]), e.g. at
+/// the boot pause point.
+pub const ORIGIN_CHECKPOINT: u8 = 0;
+/// Capture origin: a latched safe-point capture taken at an instruction
+/// boundary while the machine was running ([`Vm::request_snapshot`],
+/// [`Vm::snapshot_midflight`], `SmpMachine::quiesce`).
+pub const ORIGIN_MIDFLIGHT: u8 = 1;
 /// Header size in bytes.
-const HEADER_LEN: usize = 40;
+pub(crate) const HEADER_LEN: usize = 40;
 
 /// Why an image could not be restored. Restore never partially applies:
 /// on any error the machine is untouched.
@@ -350,7 +364,7 @@ impl<'a> R<'a> {
             None
         })
     }
-    fn sparse(&mut self) -> RResult<SparseRegion<'a>> {
+    pub(crate) fn sparse(&mut self) -> RResult<SparseRegion<'a>> {
         // The decoded region may legitimately exceed the (compressed)
         // payload size, so `len`'s remaining-bytes guard does not apply;
         // cap it at well above the largest real region (32 MiB kernel).
@@ -387,7 +401,7 @@ impl<'a> R<'a> {
 /// kernel region as a dense temporary — snapshot-forked campaigns
 /// restore hundreds of times per run, and a dense copy per fork would
 /// cost more than the re-boot the fork replaces.
-struct SparseRegion<'a> {
+pub(crate) struct SparseRegion<'a> {
     total: usize,
     /// `(byte offset, page bytes)`, offsets validated `< total`.
     pages: Vec<(usize, &'a [u8])>,
@@ -425,7 +439,7 @@ fn mode_from(c: u8) -> RResult<Mode> {
     }
 }
 
-fn write_frame(w: &mut W, fr: &Frame) {
+pub(crate) fn write_frame(w: &mut W, fr: &Frame) {
     w.u32(fr.func);
     w.u32(fr.pc);
     w.u32(fr.block);
@@ -446,7 +460,7 @@ fn write_frame(w: &mut W, fr: &Frame) {
     }
 }
 
-fn read_frame(r: &mut R<'_>) -> RResult<Frame> {
+pub(crate) fn read_frame(r: &mut R<'_>) -> RResult<Frame> {
     let func = r.u32()?;
     let pc = r.u32()?;
     let block = r.u32()?;
@@ -479,14 +493,14 @@ fn read_frame(r: &mut R<'_>) -> RResult<Frame> {
     })
 }
 
-fn write_frames(w: &mut W, frames: &[Frame]) {
+pub(crate) fn write_frames(w: &mut W, frames: &[Frame]) {
     w.u64(frames.len() as u64);
     for fr in frames {
         write_frame(w, fr);
     }
 }
 
-fn read_frames(r: &mut R<'_>) -> RResult<Vec<Frame>> {
+pub(crate) fn read_frames(r: &mut R<'_>) -> RResult<Vec<Frame>> {
     let n = r.len("frame stack")?;
     let mut v = Vec::with_capacity(n);
     for _ in 0..n {
@@ -495,7 +509,7 @@ fn read_frames(r: &mut R<'_>) -> RResult<Vec<Frame>> {
     Ok(v)
 }
 
-fn write_icontext(w: &mut W, ic: &IContext) {
+pub(crate) fn write_icontext(w: &mut W, ic: &IContext) {
     write_frames(w, &ic.frames);
     w.u64(ic.usp);
     w.u32(ic.asid);
@@ -513,7 +527,7 @@ fn write_icontext(w: &mut W, ic: &IContext) {
     }
 }
 
-fn read_icontext(r: &mut R<'_>) -> RResult<IContext> {
+pub(crate) fn read_icontext(r: &mut R<'_>) -> RResult<IContext> {
     Ok(IContext {
         frames: read_frames(r)?,
         usp: r.u64()?,
@@ -530,7 +544,7 @@ fn read_icontext(r: &mut R<'_>) -> RResult<IContext> {
     })
 }
 
-fn write_saved_state(w: &mut W, s: &SavedState) {
+pub(crate) fn write_saved_state(w: &mut W, s: &SavedState) {
     write_frames(w, &s.frames);
     w.opt_u32(s.icid);
     w.u32(s.asid);
@@ -539,7 +553,7 @@ fn write_saved_state(w: &mut W, s: &SavedState) {
     w.opt_u32(s.save_dst);
 }
 
-fn read_saved_state(r: &mut R<'_>) -> RResult<SavedState> {
+pub(crate) fn read_saved_state(r: &mut R<'_>) -> RResult<SavedState> {
     Ok(SavedState {
         frames: read_frames(r)?,
         icid: r.opt_u32()?,
@@ -550,7 +564,7 @@ fn read_saved_state(r: &mut R<'_>) -> RResult<SavedState> {
     })
 }
 
-fn write_recovery(w: &mut W, rc: &RecoveryCtx) {
+pub(crate) fn write_recovery(w: &mut W, rc: &RecoveryCtx) {
     write_frames(w, &rc.frames);
     w.opt_u32(rc.icid);
     w.u32(rc.asid);
@@ -566,7 +580,7 @@ fn write_recovery(w: &mut W, rc: &RecoveryCtx) {
     }
 }
 
-fn read_recovery(r: &mut R<'_>) -> RResult<RecoveryCtx> {
+pub(crate) fn read_recovery(r: &mut R<'_>) -> RResult<RecoveryCtx> {
     let frames = read_frames(r)?;
     let icid = r.opt_u32()?;
     let asid = r.u32()?;
@@ -595,7 +609,7 @@ fn read_recovery(r: &mut R<'_>) -> RResult<RecoveryCtx> {
     })
 }
 
-fn write_pool_image(w: &mut W, img: &PoolImage) {
+pub(crate) fn write_pool_image(w: &mut W, img: &PoolImage) {
     w.str(&img.name);
     w.u64(img.ranges.len() as u64);
     for &(s, e) in &img.ranges {
@@ -628,7 +642,7 @@ fn write_pool_image(w: &mut W, img: &PoolImage) {
     w.u32(img.repairs);
 }
 
-fn read_pool_image(r: &mut R<'_>) -> RResult<PoolImage> {
+pub(crate) fn read_pool_image(r: &mut R<'_>) -> RResult<PoolImage> {
     let name = r.str()?;
     let n = r.len("pool ranges")?;
     let mut ranges = Vec::with_capacity(n);
@@ -720,6 +734,114 @@ pub(crate) fn stats_from_words(w: [u64; 22]) -> VmStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Code manifest (v4).
+// ---------------------------------------------------------------------------
+
+/// One function's identity in a [`CodeManifest`]: its name, a signature
+/// fingerprint (linkage + full function type) and a hash of its printed
+/// body. Order in the manifest is module order, which is also dispatch /
+/// frame-index order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct ManifestFunc {
+    pub name: String,
+    pub sig_fp: u64,
+    pub body_hash: u64,
+}
+
+/// The code identity a v4 image carries alongside the opaque `code_id`
+/// hash: enough structure for [`crate::migrate`] to decide whether a
+/// *different* build may adopt the image (same surface ⇒ same function
+/// indices, global addresses and dispatch-table meanings) and which
+/// function bodies changed (a function with a live frame must be
+/// byte-compatible; a cold one may differ — that is the live-patch case).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub(crate) struct CodeManifest {
+    /// FNV over `globals_fp` + each function's `(name, sig_fp)`.
+    pub surface_fp: u64,
+    /// FNV over the printed module header (structs, globals, externs,
+    /// allocators, entry) — everything memory layout is derived from.
+    pub globals_fp: u64,
+    /// Per function, in module order.
+    pub funcs: Vec<ManifestFunc>,
+}
+
+/// Computes the manifest for a module. Deterministic: built on the IR
+/// printer, whose output is a pure function of the module.
+pub(crate) fn compute_manifest(m: &sva_ir::Module) -> CodeManifest {
+    let globals_fp = fnv64(sva_ir::print::print_module_header(m).as_bytes());
+    let funcs: Vec<ManifestFunc> = m
+        .funcs
+        .iter()
+        .map(|f| {
+            let linkage = match f.linkage {
+                sva_ir::Linkage::Public => "public",
+                sva_ir::Linkage::Internal => "internal",
+            };
+            let sig = format!("{} {}", linkage, m.types.display(f.ty));
+            ManifestFunc {
+                name: f.name.clone(),
+                sig_fp: fnv64(sig.as_bytes()),
+                body_hash: fnv64(sva_ir::print::print_function_text(m, f).as_bytes()),
+            }
+        })
+        .collect();
+    CodeManifest {
+        surface_fp: surface_fp_of(globals_fp, &funcs),
+        globals_fp,
+        funcs,
+    }
+}
+
+/// The surface fingerprint over a header hash and a function list —
+/// shared by [`compute_manifest`] and the migration prefix check.
+pub(crate) fn surface_fp_of(globals_fp: u64, funcs: &[ManifestFunc]) -> u64 {
+    let mut bytes = globals_fp.to_le_bytes().to_vec();
+    for f in funcs {
+        bytes.extend_from_slice(f.name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&f.sig_fp.to_le_bytes());
+    }
+    fnv64(&bytes)
+}
+
+pub(crate) fn write_manifest(w: &mut W, m: &CodeManifest) {
+    w.u64(m.surface_fp);
+    w.u64(m.globals_fp);
+    w.u64(m.funcs.len() as u64);
+    for f in &m.funcs {
+        w.str(&f.name);
+        w.u64(f.sig_fp);
+        w.u64(f.body_hash);
+    }
+}
+
+pub(crate) fn read_manifest(r: &mut R<'_>) -> RResult<CodeManifest> {
+    let surface_fp = r.u64()?;
+    let globals_fp = r.u64()?;
+    let n = r.len("manifest functions")?;
+    let mut funcs = Vec::with_capacity(n);
+    for _ in 0..n {
+        funcs.push(ManifestFunc {
+            name: r.str()?,
+            sig_fp: r.u64()?,
+            body_hash: r.u64()?,
+        });
+    }
+    Ok(CodeManifest {
+        surface_fp,
+        globals_fp,
+        funcs,
+    })
+}
+
+pub(crate) fn read_origin(r: &mut R<'_>) -> RResult<u8> {
+    match r.u8()? {
+        o @ (ORIGIN_CHECKPOINT | ORIGIN_MIDFLIGHT) => Ok(o),
+        v => Err(SnapshotError::Malformed(format!("bad origin byte {v}"))),
+    }
+}
+
 /// Everything a payload decodes to, parsed in full before any of it is
 /// committed to the machine (restore is atomic: error ⇒ untouched).
 /// Memory regions stay borrowed from the image until commit.
@@ -762,6 +884,19 @@ impl<T: Tracer> Vm<T> {
     /// is *not* captured — only its schedule cursor is; reattach an
     /// identical plan after [`Vm::restore`] to resume the schedule.
     pub fn snapshot(&self) -> Vec<u8> {
+        self.snapshot_with_origin(ORIGIN_CHECKPOINT)
+    }
+
+    /// [`Vm::snapshot`] tagged [`ORIGIN_MIDFLIGHT`]: the image a latched
+    /// safe-point capture produces. Taking one by hand at a chosen
+    /// instruction boundary (e.g. after [`Vm::run_steps`]) yields bytes
+    /// identical to arming [`Vm::request_snapshot_at`] with the same
+    /// boundary — the byte-identity gates in `tests/smp.rs` rely on it.
+    pub fn snapshot_midflight(&self) -> Vec<u8> {
+        self.snapshot_with_origin(ORIGIN_MIDFLIGHT)
+    }
+
+    pub(crate) fn snapshot_with_origin(&self, origin: u8) -> Vec<u8> {
         let mut w = W::default();
         // Fingerprint block: one word per config field so restore can
         // name the exact mismatching field.
@@ -879,6 +1014,12 @@ impl<T: Tracer> Vm<T> {
         w.u64(self.call_floor as u64);
         w.u64(self.trap_count);
         w.u32(self.cpu_id);
+        // v4: capture origin and the code manifest. Neither is machine
+        // *state* — restore ignores them — but migration reads both:
+        // the manifest to judge cross-build compatibility, the origin so
+        // tooling can tell a boot-pause checkpoint from a mid-flight cut.
+        w.u8(origin);
+        write_manifest(&mut w, self.code.manifest());
 
         let payload = w.buf;
         let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -1062,6 +1203,10 @@ impl<T: Tracer> Vm<T> {
         let call_floor = r.u64()? as usize;
         let trap_count = r.u64()?;
         let cpu_id = r.u32()?;
+        // Origin and manifest are advisory (see `snapshot_with_origin`);
+        // decode them for structural validity, then drop them.
+        let _origin = read_origin(r)?;
+        let _manifest = read_manifest(r)?;
         Ok(Parsed {
             kernel,
             spaces,

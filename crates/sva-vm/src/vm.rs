@@ -597,6 +597,17 @@ pub(crate) struct CodeImage {
     pub module: Module,
     pub flat: Vec<FlatFunc>,
     pub global_addr: Vec<u64>,
+    /// Lazily computed code manifest (snapshot v4 / migration). Shared
+    /// across forks through the `Arc`, so a machine family prints the
+    /// module at most once no matter how many snapshots it takes.
+    pub manifest: std::sync::OnceLock<crate::snapshot::CodeManifest>,
+}
+
+impl CodeImage {
+    pub(crate) fn manifest(&self) -> &crate::snapshot::CodeManifest {
+        self.manifest
+            .get_or_init(|| crate::snapshot::compute_manifest(&self.module))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -882,6 +893,16 @@ pub struct Vm<T: Tracer = NullTracer> {
     /// Host-side crash-forensics capture state (opt-in, never part of a
     /// snapshot image).
     pub(crate) crash: crate::bundle::CrashCapture,
+    /// Armed safe-point snapshot latch: `Some(n)` fires a mid-flight
+    /// snapshot at the n-th next instruction boundary (DESIGN.md §4.10).
+    /// Host-side intent, never serialized.
+    pub(crate) snap_request: Option<u64>,
+    /// The latched image, when no sink is attached.
+    pub(crate) snap_pending: Option<Vec<u8>>,
+    /// Where a fired latch delivers its image. The callback runs *inside*
+    /// the interpreter loop at the safe point and may block — that is how
+    /// `SmpMachine::quiesce` parks every vCPU at its boundary.
+    pub(crate) snap_sink: Option<std::sync::Arc<dyn Fn(Vec<u8>) + Send + Sync>>,
     pub(crate) tracer: T,
 }
 
@@ -1072,6 +1093,7 @@ impl<T: Tracer> Vm<T> {
                 module,
                 flat,
                 global_addr,
+                manifest: std::sync::OnceLock::new(),
             }),
             cfg,
             thread: Thread::new(),
@@ -1096,6 +1118,9 @@ impl<T: Tracer> Vm<T> {
             fused_sites,
             cpu_id: 0,
             crash: crate::bundle::CrashCapture::default(),
+            snap_request: None,
+            snap_pending: None,
+            snap_sink: None,
             tracer,
         };
         if T::ENABLED {
@@ -1225,6 +1250,9 @@ impl<T: Tracer> Vm<T> {
             fused_sites: self.fused_sites,
             cpu_id,
             crash: crate::bundle::CrashCapture::default(),
+            snap_request: None,
+            snap_pending: None,
+            snap_sink: None,
             tracer,
         }
     }
@@ -1463,6 +1491,37 @@ impl<T: Tracer> Vm<T> {
         }
     }
 
+    /// Arms the safe-point snapshot latch: the machine takes a mid-flight
+    /// snapshot ([`crate::snapshot::ORIGIN_MIDFLIGHT`]) at the *next*
+    /// instruction boundary it reaches while running, without pausing.
+    /// The image lands in the attached sink ([`Vm::set_snapshot_sink`])
+    /// or, with none, in [`Vm::take_pending_snapshot`].
+    pub fn request_snapshot(&mut self) {
+        self.request_snapshot_at(0);
+    }
+
+    /// Like [`Vm::request_snapshot`], but fires after `boundary` further
+    /// instruction boundaries — the image is byte-identical to pausing
+    /// the same machine with [`Vm::run_steps`]`(boundary)` and calling
+    /// [`Vm::snapshot_midflight`] there, because the latch is checked at
+    /// the exact loop position the fuel tank is.
+    pub fn request_snapshot_at(&mut self, boundary: u64) {
+        self.snap_request = Some(boundary);
+    }
+
+    /// Attaches a delivery sink for latched snapshots. The callback runs
+    /// inside the interpreter loop at the safe point and may block —
+    /// `SmpMachine::quiesce` passes a barrier-waiting closure to park
+    /// every vCPU at its boundary until the coordinated cut is complete.
+    pub fn set_snapshot_sink(&mut self, sink: std::sync::Arc<dyn Fn(Vec<u8>) + Send + Sync>) {
+        self.snap_sink = Some(sink);
+    }
+
+    /// Takes the image a fired latch stashed (sink-less delivery).
+    pub fn take_pending_snapshot(&mut self) -> Option<Vec<u8>> {
+        self.snap_pending.take()
+    }
+
     /// Remaining instruction fuel.
     pub fn fuel(&self) -> u64 {
         self.fuel
@@ -1499,6 +1558,23 @@ impl<T: Tracer> Vm<T> {
             }
             if pause_on_user && self.mode() == Mode::User {
                 return Ok(None);
+            }
+            // Safe-point snapshot latch (DESIGN.md §4.10). Checked at the
+            // exact loop position the fuel tank is, so an image latched at
+            // boundary k is byte-identical to `run_steps(k)` followed by
+            // `snapshot_midflight()`. The capture charges no guest fuel,
+            // cycles or stats: execution continues as if nothing happened.
+            if let Some(n) = self.snap_request {
+                if n == 0 {
+                    self.snap_request = None;
+                    let img = self.snapshot_with_origin(crate::snapshot::ORIGIN_MIDFLIGHT);
+                    match &self.snap_sink {
+                        Some(sink) => sink(img),
+                        None => self.snap_pending = Some(img),
+                    }
+                } else {
+                    self.snap_request = Some(n - 1);
+                }
             }
             if self.fuel == 0 {
                 // Only terminal under an armed fault hook: fuel running

@@ -1,14 +1,18 @@
-//! Fuzz smoke: the bytecode decoder, verifier and a fueled VM must never
-//! panic the host, no matter what bytes they are fed. Structured errors
-//! are fine — `unwrap`-style crashes are not (proptest turns any panic
-//! into a test failure and shrinks the input).
+//! Fuzz smoke: the bytecode decoder, verifier, a fueled VM and the
+//! snapshot-migration layer must never panic the host, no matter what
+//! bytes they are fed. Structured errors are fine — `unwrap`-style
+//! crashes are not (proptest turns any panic into a test failure and
+//! shrinks the input).
 
 use proptest::prelude::*;
 
 use sva::ir::build::FunctionBuilder;
 use sva::ir::bytecode::{decode_module, encode_module};
+use sva::ir::parse::parse_module;
 use sva::ir::{Linkage, Module, Operand};
-use sva::vm::{KernelKind, Vm, VmConfig};
+use sva::vm::{
+    migrate_bundle, plan, reencode_at, CrashBundle, CrashReason, KernelKind, Vm, VmConfig, VmError,
+};
 
 /// Decode → verify → load → run, swallowing every structured error. The
 /// verifier gates execution exactly like the production loader does
@@ -54,6 +58,74 @@ fn seed_module(k: u64) -> Module {
     m
 }
 
+// --- snapshot / bundle migration (DESIGN.md §4.10) ------------------------
+
+/// A mid-run machine image at the given opt level — the well-formed
+/// SVA1 artifact the mutation tests corrupt. Built once per opt level;
+/// the guest is a counted loop so the cut lands inside a live frame.
+fn migration_seed(opt_level: u8) -> (Vm, Vec<u8>) {
+    let src = r#"
+module "m"
+func public @work(%n0: i64) : i64 {
+entry:
+  br loop
+loop:
+  %i:i64 = phi i64 [entry: 0:i64, body: %i2]
+  %acc:i64 = phi i64 [entry: %n0, body: %acc3]
+  %done:i1 = icmp uge %i, 40:i64
+  condbr %done, out, body
+body:
+  %t:i64 = mul %acc, 3:i64
+  %acc2:i64 = add %t, 5:i64
+  %acc3:i64 = xor %acc2, 7:i64
+  %i2:i64 = add %i, 1:i64
+  br loop
+out:
+  ret %acc
+}
+"#;
+    let cfg = |fuel| VmConfig {
+        kind: KernelKind::SvaLlvm,
+        opt_level,
+        fuel,
+        ..Default::default()
+    };
+    let mut vm = Vm::new(parse_module(src).unwrap(), cfg(120)).unwrap();
+    match vm.call("work", &[9]) {
+        Err(VmError::OutOfFuel) => {}
+        r => panic!("seed cut did not interrupt: {r:?}"),
+    }
+    let img = vm.snapshot();
+    (
+        Vm::new(parse_module(src).unwrap(), cfg(u64::MAX)).unwrap(),
+        img,
+    )
+}
+
+/// Feed damaged bytes through every migration entry point. Each call
+/// must return a structured error (or, by luck, succeed) — never panic.
+fn exercise_migration(target: &mut Vm, bytes: &[u8]) {
+    let _ = plan(bytes);
+    for to in [1u32, 2, 3] {
+        let _ = reencode_at(bytes, to);
+    }
+    let _ = target.restore_migrated(bytes);
+    let _ = migrate_bundle(target, bytes);
+}
+
+/// Mutates a well-formed artifact: bit flips, then optional truncation
+/// (a distinct failure mode from corruption).
+fn damage(bytes: &mut Vec<u8>, flips: &[usize], cut: bool, k: u64) {
+    for &bit in flips {
+        let pos = bit % (bytes.len() * 8);
+        bytes[pos / 8] ^= 1 << (pos % 8);
+    }
+    if cut && bytes.len() > 8 {
+        let keep = 8 + k as usize % (bytes.len() - 8);
+        bytes.truncate(keep);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -79,5 +151,69 @@ proptest! {
             bytes.truncate(keep);
         }
         exercise(&bytes);
+    }
+}
+
+/// Body of `migration_survives_mutated_snapshots`: a damaged SVA1
+/// machine image through the whole migration surface — plan, downcasts,
+/// `restore_migrated` — at the given translation tier. Mutating the
+/// version byte steers many cases into the legacy decoders, which walk
+/// the payload structurally and must also fail closed.
+fn check_mutated_snapshot(opt: u8, flips: &[usize], cut: bool, k: u64) {
+    let (mut target, img) = migration_seed(opt);
+    let mut bytes = img;
+    damage(&mut bytes, flips, cut, k);
+    exercise_migration(&mut target, &bytes);
+}
+
+/// Body of `migration_survives_mutated_bundles`: the same sweep over an
+/// SVAB crash bundle wrapping a valid snapshot — the bundle walker, the
+/// legacy bundle decoders and the embedded-snapshot migration must all
+/// survive arbitrary damage.
+fn check_mutated_bundle(opt: u8, flips: &[usize], cut: bool, k: u64) {
+    let (mut target, img) = migration_seed(opt);
+    let code_id = plan(&img).unwrap().code_id;
+    let bundle = CrashBundle {
+        reason: CrashReason::Halt,
+        halt_code: 41,
+        resume_code_raw: 0,
+        detail: "fuzz seed".to_string(),
+        cpu: 0,
+        config_words: [0; 10],
+        code_id,
+        stats: Default::default(),
+        console: b"fuzz".to_vec(),
+        domains: Vec::new(),
+        pools: Vec::new(),
+        health: Vec::new(),
+        flight: Vec::new(),
+        snapshot: img,
+    };
+    let mut bytes = bundle.to_bytes();
+    damage(&mut bytes, flips, cut, k);
+    exercise_migration(&mut target, &bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn migration_survives_mutated_snapshots(
+        opt in prop::sample::select(vec![0u8, 2]),
+        flips in prop::collection::vec(0usize..320_000, 1..12),
+        cut in any::<bool>(),
+        k in any::<u64>(),
+    ) {
+        check_mutated_snapshot(opt, &flips, cut, k);
+    }
+
+    #[test]
+    fn migration_survives_mutated_bundles(
+        opt in prop::sample::select(vec![0u8, 2]),
+        flips in prop::collection::vec(0usize..400_000, 1..12),
+        cut in any::<bool>(),
+        k in any::<u64>(),
+    ) {
+        check_mutated_bundle(opt, &flips, cut, k);
     }
 }

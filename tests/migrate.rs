@@ -1,0 +1,420 @@
+//! Integration gates for live-upgrade snapshot migration (DESIGN.md
+//! §4.10).
+//!
+//! The contract under test: a machine image written by any supported
+//! format version restores into the current build **through the upcaster
+//! chain** and then behaves as if the machine had never been serialized
+//! at all — and every image migration cannot carry forward fails closed
+//! with a structured error naming the first lost field. Five angles:
+//!
+//! * **composition** — proptest over generated programs: downcasting
+//!   stepwise equals downcasting directly, migrating any downgraded
+//!   image reproduces the original v4 bytes, and migrating a
+//!   current-format image is the byte-exact identity;
+//! * **legacy kernel images** — real kernel snapshots re-encoded at
+//!   v1/v2/v3 restore via migration and finish bit-identically to an
+//!   uninterrupted boot;
+//! * **compatible rebuilds** — a kernel rebuilt with an appended
+//!   never-called function (different `code_id`, identical surface
+//!   prefix) adopts a mid-boot image across the code change;
+//! * **fail-closed** — a changed *live* function body, a poisoned pool's
+//!   attribution, and an unknown future version are each refused with
+//!   the named field, never a panic or a silent drop;
+//! * **bundles** — a crash bundle embedding a previous-format snapshot
+//!   migrates as a unit and the migrated bundle is a fixed point.
+
+use proptest::prelude::*;
+
+use sva::ir::parse::parse_module;
+use sva::kernel::harness::{
+    boot_user, make_vm, make_vm_cfg, make_vm_nested, make_vm_nested_patched, pack_arg,
+};
+use sva::rt::MetaPoolId;
+use sva::vm::{
+    migrate, migrate_bundle, plan, reencode_at, CrashBundle, CrashReason, KernelKind, MigrateError,
+    SnapshotError, Vm, VmConfig, VmError, UPCASTERS,
+};
+
+// --- toy machines ---------------------------------------------------------
+
+/// The counted-loop shape `tests/snapshot.rs` uses, so the cut lands
+/// inside a live frame of `@work`.
+fn loop_prog(trip: u64, mul: u64, add: u64, xor: u64) -> String {
+    format!(
+        r#"
+module "m"
+func public @work(%n0: i64) : i64 {{
+entry:
+  br loop
+loop:
+  %i:i64 = phi i64 [entry: 0:i64, body: %i2]
+  %acc:i64 = phi i64 [entry: %n0, body: %acc3]
+  %done:i1 = icmp uge %i, {trip}:i64
+  condbr %done, out, body
+body:
+  %t:i64 = mul %acc, {mul}:i64
+  %acc2:i64 = add %t, {add}:i64
+  %acc3:i64 = xor %acc2, {xor}:i64
+  %i2:i64 = add %i, 1:i64
+  br loop
+out:
+  ret %acc
+}}
+"#
+    )
+}
+
+fn toy_vm(src: &str, opt_level: u8, fuel: u64) -> Vm {
+    Vm::new(
+        parse_module(src).unwrap(),
+        VmConfig {
+            kind: KernelKind::SvaLlvm,
+            opt_level,
+            fuel,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Runs `@work(arg)` to completion for the reference result, then again
+/// cut mid-run by a narrowed fuel tank, and returns the cut machine's
+/// image plus the reference `(exit, stats)`.
+fn cut_image(src: &str, opt_level: u8, arg: u64, cut: u64) -> (Vec<u8>, String, sva::vm::VmStats) {
+    let mut base = toy_vm(src, opt_level, u64::MAX);
+    let exit = format!("{:?}", base.call("work", &[arg]));
+    let consumed = u64::MAX - base.fuel();
+    let cut = cut % consumed.max(1);
+    let mut vm = toy_vm(src, opt_level, cut);
+    match vm.call("work", &[arg]) {
+        Err(VmError::OutOfFuel) => {}
+        r => panic!("cut {cut} did not interrupt: {r:?}"),
+    }
+    (vm.snapshot(), exit, base.stats())
+}
+
+// --- composition ----------------------------------------------------------
+
+/// Downcast chains compose, every upcast chain is a right inverse of
+/// its downcast chain, and migration at the current version is the
+/// byte-exact identity. (Body of [`upcaster_chain_composes`]; plain
+/// asserts keep the proptest macro expansion shallow.)
+fn check_chain_composition(trip: u64, mul: u64, add: u64, arg: u64, cut: u64, opt: u8) {
+    let src = loop_prog(trip, mul, add, 0xf00d);
+    let (img, exit, stats) = cut_image(&src, opt, arg, cut);
+    let target = toy_vm(&src, opt, u64::MAX);
+
+    // Idempotence: already-current images pass through byte-exact.
+    let (out, rep) = migrate(&target, &img).unwrap();
+    assert_eq!(out, img);
+    assert!(rep.steps.is_empty() && !rep.code_migrated);
+
+    // Stepwise downcast equals direct downcast.
+    let v3 = reencode_at(&img, 3).unwrap();
+    let v2 = reencode_at(&img, 2).unwrap();
+    let v1 = reencode_at(&img, 1).unwrap();
+    assert_eq!(reencode_at(&v3, 2).unwrap(), v2);
+    assert_eq!(reencode_at(&v2, 1).unwrap(), v1);
+    assert_eq!(reencode_at(&v3, 1).unwrap(), v1);
+
+    // Migrating any downgraded image reproduces the original bytes —
+    // the upcaster chain from v(k) is exactly the inverse of the
+    // downcast chain to v(k).
+    for (old, steps) in [(&v3, 1usize), (&v2, 2), (&v1, 3)] {
+        let (out, rep) = migrate(&target, old).unwrap();
+        assert_eq!(out, img);
+        assert_eq!(rep.steps.len(), steps);
+        assert!(!rep.code_migrated);
+    }
+
+    // And a migrated legacy image resumes to the reference result.
+    let mut vm = toy_vm(&src, opt, 1);
+    vm.restore_migrated(&v1).unwrap();
+    vm.set_fuel(u64::MAX);
+    assert_eq!(format!("{:?}", vm.run()), exit);
+    assert_eq!(vm.stats(), stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn upcaster_chain_composes(
+        trip in 1u64..48,
+        mul in 1u64..1_000_000,
+        add in any::<u32>(),
+        arg in any::<u64>(),
+        cut in any::<u64>(),
+        opt in prop::sample::select(vec![0u8, 2]),
+    ) {
+        check_chain_composition(trip, mul, add as u64, arg, cut, opt);
+    }
+}
+
+/// The registry itself is a contiguous chain ending at the current
+/// version — the invariant `migrate` walks by.
+#[test]
+fn upcaster_registry_is_contiguous() {
+    for (i, u) in UPCASTERS.iter().enumerate() {
+        assert_eq!(u.from, 1 + i as u32, "registry out of order at {}", u.name);
+        assert_eq!(u.to, u.from + 1, "upcaster {} skips a version", u.name);
+    }
+    assert_eq!(
+        UPCASTERS.last().unwrap().to,
+        plan(&cut_image(&loop_prog(4, 3, 5, 7), 0, 9, 10).0)
+            .unwrap()
+            .target,
+        "registry does not reach the current snapshot version"
+    );
+}
+
+// --- fail-closed ----------------------------------------------------------
+
+/// A rebuild that *changes the body of a live function* must be refused
+/// by name — the suspended frame would resume into different code.
+#[test]
+fn changed_live_function_fails_closed() {
+    let src_a = loop_prog(40, 3, 5, 7);
+    let src_b = loop_prog(40, 3, 6, 7); // same surface, different body
+    let (img, _, _) = cut_image(&src_a, 0, 9, 50);
+    let target = toy_vm(&src_b, 0, u64::MAX);
+    match migrate(&target, &img) {
+        Err(MigrateError::Incompatible {
+            field: "live_function",
+            ..
+        }) => {}
+        r => panic!("expected live_function refusal, got {r:?}"),
+    }
+}
+
+/// A future format version is refused with `UnsupportedVersion`, and
+/// upcasting to the current version without a target machine is refused
+/// with the field that needs one (the code manifest).
+#[test]
+fn unknown_versions_fail_closed() {
+    let (img, _, _) = cut_image(&loop_prog(8, 3, 5, 7), 0, 9, 20);
+    let mut future = img.clone();
+    future[4] = 99; // header version word (little-endian u32)
+    let target = toy_vm(&loop_prog(8, 3, 5, 7), 0, u64::MAX);
+    match migrate(&target, &future) {
+        Err(MigrateError::UnsupportedVersion { found: 99, .. }) => {}
+        r => panic!("expected UnsupportedVersion, got {r:?}"),
+    }
+    let v3 = reencode_at(&img, 3).unwrap();
+    match reencode_at(&v3, 4) {
+        Err(MigrateError::Incompatible {
+            field: "code_manifest",
+            ..
+        }) => {}
+        r => panic!(
+            "expected code_manifest refusal, got {:?}",
+            r.map(|v| v.len())
+        ),
+    }
+}
+
+// --- compatible rebuilds --------------------------------------------------
+
+/// A module extended with an appended never-called function is a
+/// different `code_id` with an identical surface prefix: migration must
+/// adopt the image and the resumed run must match the original build's.
+#[test]
+fn appended_function_rebuild_adopts_toy_image() {
+    let src_a = loop_prog(40, 3, 5, 7);
+    let src_b = format!(
+        "{}\nfunc public @live_patch_pad() : i64 {{\nentry:\n  ret 7:i64\n}}\n",
+        src_a.trim_end()
+    );
+    let (img, exit, stats) = cut_image(&src_a, 0, 9, 50);
+    let mut patched = toy_vm(&src_b, 0, 1);
+    let report = patched.restore_migrated(&img).unwrap();
+    assert!(report.code_migrated, "adoption not reported");
+    patched.set_fuel(u64::MAX);
+    assert_eq!(format!("{:?}", patched.run()), exit);
+    assert_eq!(patched.stats(), stats);
+
+    // The reverse direction fails closed: an image from the *extended*
+    // build names a function the original build does not have.
+    let (img_b, _, _) = cut_image(&src_b, 0, 9, 50);
+    let original = toy_vm(&src_a, 0, u64::MAX);
+    match migrate(&original, &img_b) {
+        Err(MigrateError::Incompatible {
+            field: "function_count",
+            ..
+        }) => {}
+        r => panic!("expected function_count refusal, got {r:?}"),
+    }
+}
+
+/// The same adoption on the real kernel: `make_vm_nested_patched` is the
+/// nested recovery kernel plus one pad function (a modelled compatible
+/// rebuild), and it must resume a mid-boot image of the stock build to
+/// the same end state.
+#[test]
+fn patched_kernel_adopts_mid_boot_image() {
+    let arg = pack_arg(40, 0, 0);
+    let mut base = make_vm_nested(VmConfig::default());
+    let r = boot_user(&mut base, "user_getpid_loop", arg);
+    let want = (
+        format!("{r:?}"),
+        base.stats().equivalence_key(),
+        base.console.clone(),
+    );
+    let cut = (u64::MAX - base.fuel()) / 2;
+
+    let mut vm = make_vm_nested(VmConfig {
+        fuel: cut,
+        ..Default::default()
+    });
+    match boot_user(&mut vm, "user_getpid_loop", arg) {
+        Err(VmError::OutOfFuel) => {}
+        r => panic!("cut at {cut} did not interrupt: {r:?}"),
+    }
+    let img = vm.snapshot();
+
+    // The stock build refuses the patched build's identity outright...
+    let mut patched = make_vm_nested_patched(VmConfig::default(), 0x5eed);
+    assert!(matches!(
+        patched.restore(&img),
+        Err(SnapshotError::CodeMismatch { .. })
+    ));
+    // ...but migration recognises the compatible surface and adopts.
+    let report = patched.restore_migrated(&img).unwrap();
+    assert!(report.code_migrated, "kernel adoption not reported");
+    assert!(report.steps.is_empty(), "same-format image took upcasters");
+    patched.set_fuel(u64::MAX);
+    let r = patched.run();
+    let got = (
+        format!("{r:?}"),
+        patched.stats().equivalence_key(),
+        patched.console.clone(),
+    );
+    assert_eq!(got, want, "adopted image diverged from the stock build");
+}
+
+// --- legacy kernel images -------------------------------------------------
+
+/// Real kernel snapshots re-encoded at every supported previous version
+/// restore through the chain and finish identically to an uninterrupted
+/// boot — the nightly `--resume` cross-check in miniature.
+#[test]
+fn legacy_kernel_images_restore_via_migration() {
+    let arg = pack_arg(30, 0, 0);
+    let mut base = make_vm(KernelKind::SvaSafe);
+    let r = boot_user(&mut base, "user_getpid_loop", arg);
+    let want = (
+        format!("{r:?}"),
+        base.stats().equivalence_key(),
+        base.console.clone(),
+    );
+    let cut = (u64::MAX - base.fuel()) / 2;
+
+    let mut vm = make_vm_cfg(VmConfig {
+        kind: KernelKind::SvaSafe,
+        fuel: cut,
+        ..Default::default()
+    });
+    match boot_user(&mut vm, "user_getpid_loop", arg) {
+        Err(VmError::OutOfFuel) => {}
+        r => panic!("cut at {cut} did not interrupt: {r:?}"),
+    }
+    let img = vm.snapshot();
+
+    for old_version in 1..=3u32 {
+        let old = reencode_at(&img, old_version).unwrap();
+        let mut fresh = make_vm(KernelKind::SvaSafe);
+        // The strict path must refuse the old format by version...
+        assert!(matches!(
+            fresh.restore(&old),
+            Err(SnapshotError::BadVersion { .. })
+        ));
+        // ...and the migration path must walk the remaining chain.
+        let report = fresh.restore_migrated(&old).unwrap();
+        assert_eq!(report.from_version, old_version);
+        assert_eq!(report.steps.len(), (4 - old_version) as usize);
+        fresh.set_fuel(u64::MAX);
+        let r = fresh.run();
+        let got = (
+            format!("{r:?}"),
+            fresh.stats().equivalence_key(),
+            fresh.console.clone(),
+        );
+        assert_eq!(got, want, "v{old_version} image diverged after migration");
+    }
+}
+
+/// A poisoned pool carries attribution (`poisoned_by`) that the v1
+/// format cannot express: downcasting such an image must fail closed
+/// naming that field, not silently drop the forensics.
+#[test]
+fn poisoned_pool_refuses_v1_downcast() {
+    let mut vm = make_vm_nested(VmConfig::default());
+    boot_user(&mut vm, "user_getpid_loop", pack_arg(5, 0, 0)).expect("clean boot");
+    // Poison one pool the way the recovery path does: budget crossed,
+    // poison attributed to a recovery-domain subsystem.
+    let pool = vm.pools.pool_mut(MetaPoolId(0));
+    assert!(
+        pool.note_violation(1),
+        "budget 1 must poison on first strike"
+    );
+    pool.attribute_poison(3);
+    let img = vm.snapshot();
+    match reencode_at(&img, 1) {
+        Err(MigrateError::Incompatible {
+            field: "poisoned_by",
+            ..
+        }) => {}
+        r => panic!("expected poisoned_by refusal, got {:?}", r.map(|v| v.len())),
+    }
+    // v2 can express attribution — the same image downcasts fine there.
+    assert!(reencode_at(&img, 2).is_ok());
+}
+
+// --- bundles --------------------------------------------------------------
+
+/// A crash bundle embedding a previous-format snapshot migrates as one
+/// unit: the embedded image is upcast, the bundle re-encoded, and the
+/// result is a fixed point of `migrate_bundle`.
+#[test]
+fn bundle_with_legacy_snapshot_migrates_and_is_fixed_point() {
+    let src = loop_prog(24, 3, 5, 7);
+    let (img, _, _) = cut_image(&src, 0, 9, 40);
+    let target = toy_vm(&src, 0, u64::MAX);
+    let v3 = reencode_at(&img, 3).unwrap();
+    let code_id = plan(&img).unwrap().code_id;
+
+    let bundle = CrashBundle {
+        reason: CrashReason::Halt,
+        halt_code: 41,
+        resume_code_raw: 0,
+        detail: "synthetic".to_string(),
+        cpu: 0,
+        config_words: [0; 10],
+        code_id,
+        stats: Default::default(),
+        console: b"hello".to_vec(),
+        domains: Vec::new(),
+        pools: Vec::new(),
+        health: Vec::new(),
+        flight: Vec::new(),
+        snapshot: v3,
+    };
+    let bytes = bundle.to_bytes();
+
+    let p = plan(&bytes).unwrap();
+    assert_eq!(p.kind, "bundle");
+    assert_eq!(p.steps.len(), 1, "expected exactly the v3→v4 step");
+
+    let (migrated, report) = migrate_bundle(&target, &bytes).unwrap();
+    assert_eq!(report.steps, vec!["v3→v4"]);
+    let out = CrashBundle::from_bytes(&migrated).unwrap();
+    assert_eq!(out.console, b"hello");
+    assert_eq!(out.halt_code, 41);
+    // The migrated embedded snapshot is the original current-format one.
+    assert_eq!(out.snapshot, img);
+
+    // Fixed point: migrating the migrated bundle is the identity.
+    let (again, report) = migrate_bundle(&target, &migrated).unwrap();
+    assert_eq!(again, migrated);
+    assert!(report.steps.is_empty() && !report.code_migrated);
+}

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use sva::kernel::harness::{boot_user, make_vm_cfg, pack_arg};
 use sva::rt::{CheckKind, MetaPool, SharedMetaPlane};
-use sva::vm::{IrqAffinity, KernelKind, SmpJob, SmpMachine, VmConfig};
+use sva::vm::{decode_quiesce, IrqAffinity, KernelKind, SmpJob, SmpMachine, VmConfig, VmStats};
 
 fn cfg(kind: KernelKind, opt: u8, vcpus: u32) -> VmConfig {
     VmConfig {
@@ -334,7 +334,129 @@ fn irq_affinity_routes_vectors_where_the_policy_says() {
     assert!(r.failures().is_empty());
 }
 
-// ---- 4. Exploit detection under SMP ---------------------------------------
+// ---- 4. coordinated quiesce snapshots (DESIGN.md §4.10) -------------------
+
+/// Fuel each corpus workload consumes booting clean on this config —
+/// `min/2` is a boundary every quiesce member still hits mid-flight.
+fn midflight_boundary(c: &VmConfig) -> u64 {
+    let mut min = u64::MAX;
+    for (prog, arg) in corpus() {
+        let mut vm = make_vm_cfg(c.clone());
+        let start = vm.fuel();
+        boot_user(&mut vm, prog, arg).expect("clean boot");
+        min = min.min(start - vm.fuel());
+    }
+    assert!(min > 4, "corpus boots too short to cut mid-flight");
+    min / 2
+}
+
+/// The merged-machine equivalence key for SMP resume probes: a sibling's
+/// epoch publish can kill an MRU cache line at a schedule-dependent
+/// instruction, so only the `cache_hits + page_hits` *sum* is stable
+/// between a threaded run and its serially resumed twin.
+fn smp_key(s: &VmStats) -> VmStats {
+    let mut k = (*s).equivalence_key();
+    k.cache_hits += k.page_hits;
+    k.page_hits = 0;
+    k
+}
+
+/// The §4.10 acceptance gate: a 4-vCPU `quiesce()` yields one
+/// coordinated image whose members a fresh machine restores
+/// (`resume_quiesced`), and the resumed run finishes exactly like the
+/// uninterrupted one — same exits, consoles and equivalence keys.
+#[test]
+fn four_vcpu_quiesce_image_resumes_to_the_same_terminal_state() {
+    let c = cfg(KernelKind::SvaSafe, 2, 4);
+    let boundary = midflight_boundary(&c);
+
+    let template = make_vm_cfg(c.clone());
+    let jobs: Vec<SmpJob> = corpus()
+        .iter()
+        .cycle()
+        .take(4)
+        .map(|(prog, arg)| {
+            let addr = template.func_address(prog).expect("prog exists");
+            SmpJob::boot_user(*prog, addr, *arg)
+        })
+        .collect();
+    let mut smp = SmpMachine::new(template);
+    let out = smp.quiesce(jobs, boundary);
+    assert!(
+        out.report.failures().is_empty(),
+        "quiesce run failed: {:?}",
+        out.report.failures()
+    );
+    let members = decode_quiesce(&out.image).expect("SVAQ container decodes");
+    assert_eq!(members.len(), 4, "one member image per vCPU");
+
+    let mut fresh = SmpMachine::new(make_vm_cfg(c));
+    let resumed = fresh
+        .resume_quiesced(&out.image)
+        .expect("coordinated image restores");
+    assert_eq!(resumed.jobs.len(), 4);
+    for (a, b) in out.report.jobs.iter().zip(&resumed.jobs) {
+        assert_eq!(
+            format!("{:?}", a.exit),
+            format!("{:?}", b.exit),
+            "vCPU {} exit diverged after resume",
+            a.cpu
+        );
+        assert_eq!(a.console, b.console, "vCPU {} console diverged", a.cpu);
+        assert_eq!(
+            smp_key(&a.stats),
+            smp_key(&b.stats),
+            "vCPU {} stats diverged after resume",
+            a.cpu
+        );
+    }
+}
+
+/// At N=1 the quiesce member takes exactly the classic machine's
+/// snapshot-latch path, so its bytes must equal a solo mid-flight
+/// snapshot of the same fork at the same boundary — the coordinated
+/// container adds framing, never reinterpretation.
+#[test]
+fn single_vcpu_quiesce_member_is_byte_identical_to_a_solo_midflight_snapshot() {
+    let c = cfg(KernelKind::SvaSafe, 2, 1);
+    let boundary = midflight_boundary(&c);
+    let (prog, arg) = corpus()[0];
+
+    let template = make_vm_cfg(c);
+    let addr = template.func_address(prog).expect("prog exists");
+    let mut smp = SmpMachine::new(template);
+    let out = smp.quiesce(vec![SmpJob::boot_user(prog, addr, arg)], boundary);
+    assert!(out.report.failures().is_empty());
+    let members = decode_quiesce(&out.image).expect("SVAQ container decodes");
+    assert_eq!(members.len(), 1);
+
+    // The classic path: same fork, same latch, solo sink.
+    let mut solo = smp.template().fork_for_cpu(0);
+    solo.write_global_u64("boot_user_prog", addr).unwrap();
+    solo.write_global_u64("boot_user_arg", arg).unwrap();
+    solo.request_snapshot_at(boundary);
+    let captured = Arc::new(std::sync::Mutex::new(None));
+    let slot = captured.clone();
+    solo.set_snapshot_sink(Arc::new(move |img: Vec<u8>| {
+        *slot.lock().unwrap() = Some(img);
+    }));
+    let exit = solo.boot().expect("solo boot");
+    assert_eq!(
+        format!("{exit:?}"),
+        format!("{:?}", out.report.jobs[0].exit.as_ref().unwrap())
+    );
+    let solo_img = captured
+        .lock()
+        .unwrap()
+        .take()
+        .expect("solo latch fired before terminal state");
+    assert_eq!(
+        members[0], solo_img,
+        "N=1 quiesce member is not byte-identical to the classic mid-flight snapshot"
+    );
+}
+
+// ---- 5. Exploit detection under SMP ---------------------------------------
 
 /// The §7.2 exploit suite run as SMP jobs: the detection rate must be
 /// exactly 4/5 (the paper's as-tested result) at every vCPU count —
